@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the DESIGN.md design-choice ablations."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        ablations.run, args=(bench_scale,), rounds=3, iterations=1
+    )
+    assert result.total_cost["DOLBIE[single-helper]"] > result.total_cost["DOLBIE"]
+    print()
+    ablations.main(bench_scale)

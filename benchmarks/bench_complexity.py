@@ -1,0 +1,26 @@
+"""Benchmark: regenerate the §IV-C communication/computation analysis."""
+
+from repro.experiments import complexity
+
+
+def test_complexity_message_counts(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        complexity.run, args=(bench_scale,), kwargs={"rounds": 10},
+        rounds=3, iterations=1,
+    )
+    for i, n in enumerate(result.worker_counts):
+        assert result.messages_mw[i] == complexity.expected_master_worker(n)
+        assert result.messages_fd[i] == complexity.expected_fully_distributed(n)
+    print()
+    complexity.main(bench_scale)
+
+
+def test_decision_overhead_scaling(benchmark):
+    result = benchmark.pedantic(
+        complexity.run_compute_overhead,
+        kwargs={"worker_counts": (30, 100, 300), "rounds": 10},
+        rounds=1,
+        iterations=1,
+    )
+    # OPT's full instantaneous solve is far heavier than DOLBIE's update.
+    assert result.seconds_per_round["OPT"][-1] > 3 * result.seconds_per_round["DOLBIE"][-1]

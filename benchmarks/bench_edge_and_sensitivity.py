@@ -1,0 +1,26 @@
+"""Benchmarks: the §III-B edge scenario and the hyperparameter sweeps."""
+
+from repro.experiments import edge_scenario, sensitivity
+
+
+def test_edge_offloading(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        edge_scenario.run,
+        args=(bench_scale,),
+        kwargs={"num_servers": 5, "horizon": 60, "realizations": 2},
+        rounds=1,
+        iterations=1,
+    )
+    # DOLBIE must beat the proportional baseline on non-linear costs.
+    assert result.total_cost_mean["DOLBIE"] < result.total_cost_mean["ABS"]
+
+
+def test_sensitivity_sweeps(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        sensitivity.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    # Every swept algorithm shows measurable hyperparameter dependence.
+    for name in result.totals:
+        assert result.spread(name) > 1.0
+    print()
+    sensitivity.main(bench_scale)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 10 (batch size per worker per round)."""
+
+import numpy as np
+
+from repro.experiments import fig10_batch_size
+
+
+def test_fig10_batch_size(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig10_batch_size.run, args=(bench_scale,), rounds=3, iterations=1
+    )
+    for sizes in result.batch_sizes.values():
+        assert np.allclose(sizes.sum(axis=1), bench_scale.global_batch)
+    print()
+    fig10_batch_size.main(bench_scale)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 11 (utilization + balancer overhead)."""
+
+from repro.experiments import fig11_utilization
+
+
+def test_fig11_utilization(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig11_utilization.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert result.idle_reduction["EQU"] > 0
+    print()
+    fig11_utilization.main(bench_scale)

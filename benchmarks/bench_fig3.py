@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 3 (per-round latency, one realization)."""
+
+from repro.experiments import fig3_per_round_latency
+
+
+def test_fig3_per_round_latency(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig3_per_round_latency.run, args=(bench_scale,), rounds=3, iterations=1
+    )
+    # Regenerate the paper's series and headline comparison.
+    assert result.reductions_at_40["EQU"] > 0
+    print()
+    fig3_per_round_latency.main(bench_scale)

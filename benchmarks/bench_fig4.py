@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (per-round latency, 95% CI)."""
+
+from repro.experiments import fig4_latency_ci
+
+
+def test_fig4_latency_ci(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig4_latency_ci.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    assert result.mean["DOLBIE"][-1] < result.mean["EQU"][-1]
+    print()
+    fig4_latency_ci.main(bench_scale)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 5 (cumulative latency, 95% CI)."""
+
+from repro.experiments import fig5_cumulative_latency
+
+
+def test_fig5_cumulative_latency(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig5_cumulative_latency.run, args=(bench_scale,), rounds=1, iterations=1
+    )
+    totals = result.final_totals()
+    assert totals["DOLBIE"][0] < totals["EQU"][0]
+    print()
+    fig5_cumulative_latency.main(bench_scale)

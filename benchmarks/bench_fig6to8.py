@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figs. 6-8 (accuracy vs wall-clock).
+
+The bench runs ResNet18 (Fig. 7) at reduced horizon; the LeNet5/VGG16
+panels (Figs. 6 and 8) use the same code path via
+``python -m repro.experiments.fig6to8_accuracy`` at paper scale.
+"""
+
+import math
+
+from repro.experiments import fig6to8_accuracy
+
+
+def test_fig7_resnet18_accuracy_vs_time(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig6to8_accuracy.run,
+        args=(bench_scale,),
+        kwargs={"models": ["ResNet18"]},
+        rounds=1,
+        iterations=1,
+    )
+    times = result.time_to_target["ResNet18"]
+    assert all(math.isfinite(t) for t in times.values())
+    assert times["DOLBIE"] < times["EQU"]

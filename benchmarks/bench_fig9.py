@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 9 (per-worker latency per round)."""
+
+from repro.experiments import fig9_worker_latency
+
+
+def test_fig9_worker_latency(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        fig9_worker_latency.run, args=(bench_scale,), rounds=3, iterations=1
+    )
+    assert result.convergence_round("DOLBIE") <= result.convergence_round("EQU")
+    print()
+    fig9_worker_latency.main(bench_scale)

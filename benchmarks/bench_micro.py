@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the core computational kernels.
+
+Not a paper figure — these quantify the building blocks behind the
+§IV-C computation-complexity claims at realistic scales: the DOLBIE
+update, the risk-averse target computation, the simplex projection OGD
+must run every round, and the full min-max solve OPT runs every round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dolbie import Dolbie
+from repro.core.interface import make_feedback
+from repro.core.quantities import acceptable_workloads
+from repro.costs.affine import AffineLatencyCost
+from repro.minmax.solver import evaluate_allocation, solve_min_max
+from repro.simplex.projection import project_simplex_sort
+
+N = 100
+
+
+@pytest.fixture(scope="module")
+def costs():
+    rng = np.random.default_rng(0)
+    return [
+        AffineLatencyCost(slope=s, intercept=c)
+        for s, c in zip(rng.uniform(0.1, 10, N), rng.uniform(0, 0.2, N))
+    ]
+
+
+def test_dolbie_full_update(benchmark, costs):
+    def one_round():
+        balancer = Dolbie(N, alpha_1=0.001)
+        feedback = make_feedback(1, balancer.decide(), costs)
+        balancer.update(feedback)
+        return balancer.allocation
+
+    result = benchmark(one_round)
+    assert abs(result.sum() - 1.0) < 1e-9
+
+
+def test_acceptable_workloads_kernel(benchmark, costs):
+    x = np.full(N, 1.0 / N)
+    _, level, straggler = evaluate_allocation(costs, x)
+    result = benchmark(acceptable_workloads, costs, x, level, straggler)
+    assert (result >= x - 1e-12).all()
+
+
+def test_simplex_projection(benchmark):
+    rng = np.random.default_rng(1)
+    v = rng.normal(size=N)
+    result = benchmark(project_simplex_sort, v)
+    assert abs(result.sum() - 1.0) < 1e-9
+
+
+def test_minmax_solve(benchmark, costs):
+    solution = benchmark(solve_min_max, costs)
+    assert solution.value > 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the Theorem 1 regret-vs-bound sweeps."""
+
+from repro.experiments import regret_experiment
+
+
+def test_regret_vs_bound(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        regret_experiment.run,
+        args=(bench_scale,),
+        kwargs={"horizons": (25, 50, 100)},
+        rounds=1,
+        iterations=1,
+    )
+    for point in result.horizon_sweep + result.worker_sweep:
+        assert point.regret <= point.bound
+    print()
+    regret_experiment.main(bench_scale)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper figure (see DESIGN.md's
+per-experiment index). Benchmarks run the experiment at a reduced but
+structurally identical scale (``BENCH`` below) so a full
+``pytest benchmarks/ --benchmark-only`` pass completes in minutes; the
+printed tables use the same code paths as the paper-scale run
+(``python -m repro.experiments.<module>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import QUICK
+
+#: Benchmark scale: QUICK with fewer realizations to keep timings tight.
+BENCH = replace(QUICK, label="bench", realizations=3, rounds=50, accuracy_rounds=600)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH

@@ -1,0 +1,51 @@
+"""Batch-size tuning for distributed training (the paper's §VI scenario).
+
+Thirty heterogeneous workers (V100 / P100 / T4 / Cascade Lake /
+Broadwell, sampled uniformly) train ResNet18 on a CIFAR-10-scale dataset
+with a global batch of 256. Each balancer retunes the per-worker batch
+sizes every round; we compare per-round latency, wall-clock time to 95%
+training accuracy, and worker idle time.
+
+Run:  python examples/batch_size_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import PAPER_HYPERPARAMETERS
+from repro.baselines import make_balancer
+from repro.mlsim import SyncTrainer, TrainingEnvironment
+
+MODEL = "ResNet18"
+NUM_WORKERS = 30
+ROUNDS = 6000  # ~31 epochs at B=256 on 50k samples; ResNet18 crosses 95%
+TARGET_ACCURACY = 0.95
+
+
+def main() -> None:
+    env = TrainingEnvironment(MODEL, num_workers=NUM_WORKERS, global_batch=256, seed=7)
+    print("fleet:", {t: env.processor_names().count(t) for t in set(env.processor_names())})
+    trainer = SyncTrainer(env)
+
+    print(
+        f"\n{'algorithm':>8}  {'lat@40 (ms)':>12}  {'t->95% acc (s)':>14}  "
+        f"{'idle/round (ms)':>15}  {'overhead (us)':>13}"
+    )
+    for name in ["EQU", "OGD", "LB-BSP", "ABS", "DOLBIE", "OPT"]:
+        balancer = make_balancer(name, NUM_WORKERS, **PAPER_HYPERPARAMETERS[name])
+        run = trainer.train(balancer, ROUNDS)
+        t95 = run.time_to_accuracy(TARGET_ACCURACY)
+        print(
+            f"{name:>8}  {run.round_latency[39] * 1e3:>12.2f}  {t95:>14.2f}  "
+            f"{run.waiting_time.mean() * 1e3:>15.3f}  "
+            f"{run.decision_seconds.mean() * 1e6:>13.1f}"
+        )
+
+    print(
+        "\nDOLBIE reaches the accuracy target fastest among the online "
+        "algorithms while keeping workers busiest — with microsecond-scale "
+        "decisions (no gradients, no projections)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Task offloading in edge computing (the paper's Example 2, §III-B).
+
+A user device splits a divisible task between local execution and eight
+heterogeneous edge servers whose uplinks and background load fluctuate.
+Server execution delay is queueing-style (non-linear, exploding near
+saturation) — exactly the regime where proportional baselines like ABS
+mis-assign, while DOLBIE's level-set targets stay risk-averse.
+
+Run:  python examples/edge_offloading.py
+"""
+
+from __future__ import annotations
+
+from repro import make_balancer, run_online
+from repro.edge import EdgeOffloadingScenario
+
+NUM_SERVERS = 8
+HORIZON = 200
+
+
+def main() -> None:
+    scenario = EdgeOffloadingScenario(num_servers=NUM_SERVERS, seed=3)
+    n = NUM_SERVERS + 1  # workers = local device + servers
+
+    print(f"{'algorithm':>8}  {'total completion (s)':>21}  {'final latency (s)':>18}")
+    results = {}
+    for name in ["EQU", "OGD", "ABS", "LB-BSP", "DOLBIE", "OPT"]:
+        kwargs = {"alpha_1": 0.01} if name == "DOLBIE" else {}
+        balancer = make_balancer(name, n, **kwargs)
+        run = run_online(balancer, scenario, HORIZON)
+        results[name] = run
+        print(
+            f"{name:>8}  {run.total_cost:>21.3f}  "
+            f"{run.global_costs[-20:].mean():>18.4f}"
+        )
+
+    dolbie = results["DOLBIE"].allocations[-1]
+    print("\nfinal DOLBIE split:  local device {:.3f}".format(dolbie[0]))
+    for i, share in enumerate(dolbie[1:], start=1):
+        print(f"                     server {i}: {share:.3f}")
+    print(
+        "\nNote how ABS — proportional to inverse historical cost — "
+        "over-assigns to servers whose queueing delay then blows up, while "
+        "DOLBIE's assistance is capped at each server's level set."
+    )
+
+
+if __name__ == "__main__":
+    main()

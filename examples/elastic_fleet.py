@@ -1,0 +1,66 @@
+"""Elastic fleets: workers leaving and joining mid-run (library extension).
+
+The paper fixes the worker set; real clusters don't. ElasticDolbie
+rebalances across membership changes while keeping the workload simplex
+intact: a crashed worker's share is re-sharded proportionally over the
+survivors, a newcomer is seeded with 1/(N+1) taken proportionally from
+the incumbents, and the step-size schedule restarts safely on the new
+fleet.
+
+Run:  python examples/elastic_fleet.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import make_feedback
+from repro.core.membership import ElasticDolbie
+from repro.costs import RandomAffineProcess
+
+HORIZON = 90
+
+
+def main() -> None:
+    # Start with 6 workers; worker 5 (the fastest) dies at round 30; a new
+    # mid-speed worker joins at round 60.
+    speeds_before = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0]
+    speeds_after_crash = speeds_before[:5]
+    speeds_after_join = speeds_after_crash + [4.0]
+
+    balancer = ElasticDolbie(6, alpha_1=0.05)
+    phases = {
+        range(1, 30): speeds_before,
+        range(30, 60): speeds_after_crash,
+        range(60, HORIZON + 1): speeds_after_join,
+    }
+
+    def costs_for(t: int):
+        for rounds, speeds in phases.items():
+            if t in rounds:
+                return RandomAffineProcess(speeds, sigma=0.1, seed=1).costs_at(t)
+        raise AssertionError(t)
+
+    print(f"{'round':>5}  {'N':>2}  {'max latency':>11}  allocation")
+    for t in range(1, HORIZON + 1):
+        if t == 30:
+            balancer.remove_worker(5)
+            print(f"{'--':>5}  worker 5 crashed; share re-sharded over survivors")
+        if t == 60:
+            balancer.add_worker()
+            print(f"{'--':>5}  new worker joined with share 1/{balancer.num_workers}")
+        costs = costs_for(t)
+        feedback = make_feedback(t, balancer.decide(), costs)
+        balancer.update(feedback)
+        if t % 10 == 0 or t in (29, 30, 59, 60):
+            alloc = np.round(balancer.allocation, 3)
+            print(
+                f"{t:>5}  {balancer.num_workers:>2}  {feedback.global_cost:>11.4f}  {alloc}"
+            )
+
+    assert abs(balancer.allocation.sum() - 1.0) < 1e-9
+    print("\nworkload stayed on the simplex through both membership changes.")
+
+
+if __name__ == "__main__":
+    main()

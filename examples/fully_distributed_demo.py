@@ -1,0 +1,89 @@
+"""Algorithms 1 and 2 as real message-passing protocols.
+
+Runs DOLBIE three ways on the same time-varying workload:
+
+* the centralized reference implementation (:class:`repro.core.Dolbie`),
+* Algorithm 1 (master-worker) over the discrete-event network, and
+* Algorithm 2 (fully-distributed) over the network with random link
+  latencies,
+
+then verifies all three produce identical allocations and reports the
+measured per-round message counts against the §IV-C complexity analysis
+(3N for master-worker, N^2 - 1 fully distributed).
+
+Run:  python examples/fully_distributed_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Dolbie, run_online
+from repro.costs import RandomAffineProcess
+from repro.net import Link, UniformLatency
+from repro.protocols import FullyDistributedDolbie, MasterWorkerDolbie
+
+NUM_WORKERS = 8
+HORIZON = 50
+ALPHA_1 = 0.02
+
+
+def main() -> None:
+    process = RandomAffineProcess(
+        speeds=[1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0],
+        sigma=0.12,
+        comm_scale=0.03,
+        seed=11,
+    )
+
+    reference = Dolbie(NUM_WORKERS, alpha_1=ALPHA_1, exact_feasibility_guard=False)
+    ref_run = run_online(reference, process, HORIZON)
+
+    master_worker = MasterWorkerDolbie(NUM_WORKERS, alpha_1=ALPHA_1)
+    mw_run = master_worker.run(process, HORIZON)
+
+    rng = np.random.default_rng(0)
+    lossy_link = Link(UniformLatency(0.001, 0.040, rng))
+    fully_distributed = FullyDistributedDolbie(
+        NUM_WORKERS, alpha_1=ALPHA_1, link=lossy_link
+    )
+    fd_run = fully_distributed.run(process, HORIZON)
+
+    mw_match = np.allclose(ref_run.allocations, mw_run.allocations, atol=1e-12)
+    fd_match = np.allclose(ref_run.allocations, fd_run.allocations, atol=1e-12)
+    print(f"master-worker matches reference:      {mw_match}")
+    print(f"fully-distributed matches reference:  {fd_match}")
+
+    n = NUM_WORKERS
+    print("\nper-round communication (measured vs §IV-C analysis):")
+    print(
+        f"  master-worker:     {master_worker.metrics.mean_messages_per_round():.0f} "
+        f"messages (3N = {3 * n})"
+    )
+    print(
+        f"  fully-distributed: {fully_distributed.metrics.mean_messages_per_round():.0f} "
+        f"messages (N^2-1 = {n * n - 1})"
+    )
+    print(
+        f"\nvirtual time to finish {HORIZON} rounds over the lossy links: "
+        f"{fully_distributed.cluster.engine.now:.2f}s"
+    )
+    print(f"final allocation: {np.round(fd_run.allocations[-1], 4)}")
+
+    # Extension: Algorithm 2 on a ring instead of all-to-all, via flooding.
+    from repro.net import Topology
+
+    ring = FullyDistributedDolbie(
+        NUM_WORKERS, alpha_1=ALPHA_1, topology=Topology.ring(NUM_WORKERS)
+    )
+    ring_run = ring.run(process, HORIZON)
+    ring_match = np.allclose(ref_run.allocations, ring_run.allocations, atol=1e-12)
+    print(
+        f"\nring topology (flooding) matches reference: {ring_match} — "
+        f"{ring.metrics.mean_messages_per_round():.0f} messages/round vs "
+        f"{fully_distributed.metrics.mean_messages_per_round():.0f} all-to-all"
+    )
+
+
+if __name__ == "__main__":
+    main()

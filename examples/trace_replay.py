@@ -1,0 +1,62 @@
+"""Replaying measured traces and comparing algorithms with the analysis kit.
+
+Workflow a practitioner would follow with real cluster measurements:
+
+1. obtain a per-round, per-worker table of processing speeds and
+   communication times (here we export one from the simulator — with
+   real data you'd write the same CSV from your monitoring system);
+2. load it into a :class:`TraceTable` and replay it as a cost process;
+3. run every balancer on the identical replayed world;
+4. summarize with the analysis toolkit and export the comparison CSV.
+
+Run:  python examples/trace_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import compare_runs, comparison_table, export_comparison_csv
+from repro.core.loop import run_online
+from repro.experiments.config import paper_balancer
+from repro.mlsim import TraceEnvironment, TraceTable, TrainingEnvironment
+
+ROUNDS = 120
+NUM_WORKERS = 12
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="dolbie-traces-"))
+
+    # 1-2. Produce a measured-style trace file and load it back.
+    source = TrainingEnvironment("ResNet18", num_workers=NUM_WORKERS, seed=21)
+    trace_path = TraceTable.from_environment(source, rounds=ROUNDS).save_csv(
+        workdir / "cluster_trace.csv"
+    )
+    print(f"trace written to {trace_path}")
+    table = TraceTable.load_csv(trace_path)
+    replay = TraceEnvironment(table, global_batch=256)
+
+    # 3. Run every algorithm on the identical replayed world.
+    runs = {}
+    for name in ("EQU", "OGD", "LB-BSP", "ABS", "EG", "DOLBIE", "OPT"):
+        balancer = paper_balancer(name, NUM_WORKERS)
+        runs[name] = run_online(balancer, replay, ROUNDS)
+
+    # 4. Summarize and export.
+    summaries = compare_runs(runs)
+    print()
+    print(comparison_table(summaries))
+    csv_path = export_comparison_csv(summaries, workdir / "comparison.csv")
+    print(f"\ncomparison exported to {csv_path}")
+
+    best_online = next(s for s in summaries if s.algorithm != "OPT")
+    print(
+        f"best online algorithm on this trace: {best_online.algorithm} "
+        f"({best_online.oracle_ratio:.2f}x the clairvoyant optimum)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — full reproduction of DOLBIE (Wang & Liang, ICDCS 2023).
+
+*Distributed Online Min-Max Load Balancing with Risk-Averse Assistance.*
+
+Public API tour
+---------------
+- :class:`repro.core.Dolbie` — the algorithm (centralized reference).
+- :mod:`repro.protocols` — Algorithm 1 (master-worker) and Algorithm 2
+  (fully-distributed) as message-passing programs on a discrete-event
+  network substrate (:mod:`repro.net`).
+- :mod:`repro.baselines` — EQU, OGD, ABS, LB-BSP, OPT.
+- :mod:`repro.costs` — increasing cost functions and time-varying
+  processes; :mod:`repro.mlsim` — the distributed-ML latency simulator
+  used in §VI; :mod:`repro.edge` — the task-offloading scenario of §III-B.
+- :mod:`repro.regret` — dynamic regret, path length, Theorem 1's bound.
+- :mod:`repro.experiments` — one module per paper figure.
+
+Quickstart
+----------
+>>> from repro import Dolbie, run_online
+>>> from repro.costs import RandomAffineProcess
+>>> process = RandomAffineProcess(speeds=[1.0, 2.0, 4.0], seed=0)
+>>> result = run_online(Dolbie(3), process, horizon=50)
+>>> bool(result.global_costs[-1] < result.global_costs[0])
+True
+"""
+
+from repro.baselines import (
+    AdaptiveBatchSize,
+    DynamicOptimum,
+    EqualAssignment,
+    LoadBalancedBSP,
+    OnlineGradientDescent,
+    make_balancer,
+)
+from repro.core import Dolbie, OnlineLoadBalancer, RoundFeedback
+from repro.core.loop import RunResult, run_online, run_online_costs
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dolbie",
+    "OnlineLoadBalancer",
+    "RoundFeedback",
+    "RunResult",
+    "run_online",
+    "run_online_costs",
+    "EqualAssignment",
+    "OnlineGradientDescent",
+    "AdaptiveBatchSize",
+    "LoadBalancedBSP",
+    "DynamicOptimum",
+    "make_balancer",
+    "ReproError",
+    "__version__",
+]

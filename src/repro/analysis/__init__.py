@@ -1,0 +1,31 @@
+"""Trajectory analytics and cross-algorithm comparison."""
+
+from repro.analysis.compare import (
+    AlgorithmSummary,
+    compare_runs,
+    comparison_table,
+    export_comparison_csv,
+)
+from repro.analysis.metrics import (
+    convergence_round,
+    fluctuation_index,
+    gini,
+    imbalance,
+    jain_fairness,
+    oracle_ratio,
+    straggler_churn,
+)
+
+__all__ = [
+    "imbalance",
+    "jain_fairness",
+    "gini",
+    "fluctuation_index",
+    "convergence_round",
+    "straggler_churn",
+    "oracle_ratio",
+    "AlgorithmSummary",
+    "compare_runs",
+    "comparison_table",
+    "export_comparison_csv",
+]

@@ -1,0 +1,127 @@
+"""Side-by-side comparison of algorithm runs.
+
+Builds the cross-algorithm summary a user wants after a sweep: one row
+per algorithm with total cost, oracle ratio, convergence round,
+fluctuation, idle time, and overhead — the statistics behind the paper's
+§VI narrative — plus CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+from repro.analysis.metrics import (
+    convergence_round,
+    fluctuation_index,
+    imbalance,
+    oracle_ratio,
+    straggler_churn,
+)
+from repro.core.loop import RunResult
+from repro.experiments.reporting import format_table, save_csv
+
+__all__ = ["AlgorithmSummary", "compare_runs", "comparison_table", "export_comparison_csv"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """One algorithm's run, reduced to the headline statistics."""
+
+    algorithm: str
+    total_cost: float
+    final_latency: float
+    mean_waiting: float
+    convergence: int
+    fluctuation: float
+    mean_imbalance: float
+    straggler_churn: float
+    oracle_ratio: float
+    mean_overhead: float
+
+    HEADERS = (
+        "algorithm",
+        "total_cost",
+        "final_latency",
+        "mean_waiting",
+        "convergence_round",
+        "fluctuation",
+        "mean_imbalance",
+        "straggler_churn",
+        "oracle_ratio",
+        "mean_overhead_s",
+    )
+
+    def as_row(self) -> list[object]:
+        return [
+            self.algorithm,
+            self.total_cost,
+            self.final_latency,
+            self.mean_waiting,
+            self.convergence,
+            self.fluctuation,
+            self.mean_imbalance,
+            self.straggler_churn,
+            self.oracle_ratio,
+            self.mean_overhead,
+        ]
+
+
+def compare_runs(
+    runs: Mapping[str, RunResult],
+    oracle: str = "OPT",
+) -> list[AlgorithmSummary]:
+    """Summarize runs of the *same environment*; ratios use ``oracle``.
+
+    If the oracle run is absent, oracle ratios are reported as NaN.
+    """
+    if not runs:
+        raise ValueError("no runs to compare")
+    horizons = {run.horizon for run in runs.values()}
+    if len(horizons) != 1:
+        raise ValueError(f"runs have mismatched horizons: {sorted(horizons)}")
+    oracle_costs = runs[oracle].global_costs if oracle in runs else None
+
+    summaries = []
+    for name, run in runs.items():
+        tail = max(1, run.horizon // 10)
+        summaries.append(
+            AlgorithmSummary(
+                algorithm=name,
+                total_cost=run.total_cost,
+                final_latency=float(run.global_costs[-tail:].mean()),
+                mean_waiting=run.mean_waiting_time(),
+                convergence=convergence_round(run.global_costs),
+                fluctuation=fluctuation_index(
+                    run.global_costs, skip=run.horizon // 4
+                ),
+                mean_imbalance=float(imbalance(run.local_costs).mean()),
+                straggler_churn=straggler_churn(run.stragglers),
+                oracle_ratio=(
+                    oracle_ratio(run.global_costs, oracle_costs)
+                    if oracle_costs is not None
+                    else float("nan")
+                ),
+                mean_overhead=float(run.decision_seconds.mean()),
+            )
+        )
+    summaries.sort(key=lambda s: s.total_cost)
+    return summaries
+
+
+def comparison_table(summaries: Sequence[AlgorithmSummary]) -> str:
+    """Render summaries as an aligned text table."""
+    return format_table(
+        list(AlgorithmSummary.HEADERS), [s.as_row() for s in summaries]
+    )
+
+
+def export_comparison_csv(
+    summaries: Sequence[AlgorithmSummary], path: str | Path
+) -> Path:
+    """Write summaries to CSV and return the path."""
+    return save_csv(
+        path, list(AlgorithmSummary.HEADERS), [s.as_row() for s in summaries]
+    )

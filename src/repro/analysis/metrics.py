@@ -1,0 +1,124 @@
+"""Trajectory analytics for online load-balancing runs.
+
+Quantities the paper discusses qualitatively ("the lines representing
+different workers converge much more quickly in DOLBIE", "ABS shows a
+radical fluctuation") made precise and computable from a
+:class:`~repro.core.loop.RunResult` or
+:class:`~repro.mlsim.trainer.TrainingRun`:
+
+* **imbalance** — relative gap between the worst and best local cost;
+* **Jain's fairness index** of the local costs (1 = perfectly equal);
+* **Gini coefficient** of the allocation (how concentrated the workload is);
+* **fluctuation index** — mean absolute round-to-round relative change of
+  the global cost (ABS scores high, DOLBIE low);
+* **convergence round** — when a series settles within a band of its own
+  terminal value;
+* **straggler churn** — how often the straggler identity changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "imbalance",
+    "jain_fairness",
+    "gini",
+    "fluctuation_index",
+    "convergence_round",
+    "straggler_churn",
+    "oracle_ratio",
+]
+
+
+def imbalance(local_costs: np.ndarray) -> np.ndarray:
+    """Per-round relative imbalance ``(max - min) / max`` in [0, 1]."""
+    arr = np.asarray(local_costs, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (T, N) local costs, got shape {arr.shape}")
+    hi = arr.max(axis=1)
+    lo = arr.min(axis=1)
+    return (hi - lo) / np.maximum(hi, 1e-30)
+
+
+def jain_fairness(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Jain's index ``(sum v)^2 / (n * sum v^2)``; 1 means all equal."""
+    arr = np.asarray(values, dtype=float)
+    n = arr.shape[axis]
+    num = arr.sum(axis=axis) ** 2
+    den = n * (arr**2).sum(axis=axis)
+    return num / np.maximum(den, 1e-30)
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative 1-D vector (0 = equal)."""
+    arr = np.sort(np.asarray(values, dtype=float).ravel())
+    if arr.size == 0:
+        raise ValueError("gini of an empty vector")
+    if np.any(arr < -1e-12):
+        raise ValueError("gini requires non-negative values")
+    arr = np.maximum(arr, 0.0)
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * arr).sum()) / (n * total) - (n + 1.0) / n)
+
+
+def fluctuation_index(series: np.ndarray, skip: int = 0) -> float:
+    """Mean absolute relative round-to-round change of a positive series.
+
+    ``skip`` drops the initial transient so the index measures
+    steady-state jitter (the "radical fluctuation" statistic for ABS).
+    """
+    arr = np.asarray(series, dtype=float)[skip:]
+    if arr.size < 2:
+        raise ValueError("need at least two points after the skip")
+    rel = np.abs(np.diff(arr)) / np.maximum(arr[:-1], 1e-30)
+    return float(rel.mean())
+
+
+def convergence_round(
+    series: np.ndarray, band: float = 0.2, reference: str = "final"
+) -> int:
+    """First round from which the series stays within ``band`` of a
+    reference level: the mean of its last decile (``"final"``) or its
+    minimum (``"best"``). Returns ``len(series) + 1`` if it never settles.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    if reference == "final":
+        tail = max(1, arr.size // 10)
+        level = float(arr[-tail:].mean())
+    elif reference == "best":
+        level = float(arr.min())
+    else:
+        raise ValueError(f"unknown reference {reference!r}; use 'final' or 'best'")
+    lo, hi = level * (1.0 - band), level * (1.0 + band)
+    within = (arr >= lo) & (arr <= hi)
+    for t in range(arr.size):
+        if within[t:].all():
+            return t + 1
+    return arr.size + 1
+
+
+def straggler_churn(stragglers: np.ndarray) -> float:
+    """Fraction of rounds where the straggler identity changed."""
+    arr = np.asarray(stragglers)
+    if arr.size < 2:
+        return 0.0
+    return float((np.diff(arr) != 0).mean())
+
+
+def oracle_ratio(global_costs: np.ndarray, oracle_costs: np.ndarray) -> float:
+    """Total cost relative to the clairvoyant optimum (>= 1)."""
+    algo = np.asarray(global_costs, dtype=float)
+    opt = np.asarray(oracle_costs, dtype=float)
+    if algo.shape != opt.shape:
+        raise ValueError(f"shapes differ: {algo.shape} vs {opt.shape}")
+    denom = opt.sum()
+    if denom <= 0:
+        raise ValueError("oracle cost total must be positive")
+    return float(algo.sum() / denom)

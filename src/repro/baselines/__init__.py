@@ -1,0 +1,32 @@
+"""State-of-the-art baselines compared against DOLBIE in §VI."""
+
+from repro.baselines.abs_tuner import AdaptiveBatchSize
+from repro.baselines.equal import EqualAssignment
+from repro.baselines.expgrad import ExponentiatedGradient
+from repro.baselines.lbbsp import LoadBalancedBSP
+from repro.baselines.ogd import OnlineGradientDescent, numeric_slope
+from repro.baselines.opt import DynamicOptimum
+from repro.baselines.static_weighted import StaticWeighted
+from repro.baselines.registry import (
+    ALGORITHMS,
+    PAPER_ALGORITHM_ORDER,
+    make_balancer,
+    register_algorithm,
+    unregister_algorithm,
+)
+
+__all__ = [
+    "EqualAssignment",
+    "OnlineGradientDescent",
+    "numeric_slope",
+    "AdaptiveBatchSize",
+    "LoadBalancedBSP",
+    "DynamicOptimum",
+    "ExponentiatedGradient",
+    "StaticWeighted",
+    "ALGORITHMS",
+    "PAPER_ALGORITHM_ORDER",
+    "make_balancer",
+    "register_algorithm",
+    "unregister_algorithm",
+]

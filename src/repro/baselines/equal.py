@@ -1,0 +1,26 @@
+"""EQU — static equal assignment (§VI-B).
+
+Each worker processes ``B / N`` samples every round. This is the
+assumption baked into most distributed-training analyses and the paper's
+worst-performing baseline: it never reacts to heterogeneity, so the
+per-round latency is permanently dominated by the slowest processor type.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.simplex.sampling import equal_split
+
+__all__ = ["EqualAssignment"]
+
+
+class EqualAssignment(OnlineLoadBalancer):
+    """Static ``1/N`` allocation; ignores all feedback."""
+
+    name = "EQU"
+
+    def __init__(self, num_workers: int, **_ignored: object) -> None:
+        super().__init__(num_workers, equal_split(num_workers))
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        self._allocation = equal_split(self.num_workers)

@@ -1,0 +1,58 @@
+"""Exponentiated Gradient (EG) — an extra baseline beyond the paper.
+
+Multiplicative-weights update on the simplex, the natural online-learning
+alternative to projected OGD when the feasible set is the simplex:
+
+    w_{i,t+1} = x_{i,t} * exp(-eta * l_{i,t} / l_t),
+    x_{t+1} = w_{t+1} / sum_j w_{j,t+1}.
+
+Costs are normalized by the round's global cost so ``eta`` is
+scale-free. Like OGD, EG needs no inverse of the cost function; unlike
+OGD, it needs no projection (the multiplicative form is simplex-
+preserving) — but it down-weights *every* worker by its own cost rather
+than targeting the straggler's level set, so it systematically
+under-loads mid-tier workers. Included to let users compare DOLBIE
+against the standard no-regret toolbox; it is **not** part of the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ExponentiatedGradient"]
+
+
+class ExponentiatedGradient(OnlineLoadBalancer):
+    """Multiplicative-weights load balancing on the simplex."""
+
+    name = "EG"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        eta: float = 0.5,
+        floor: float = 1e-6,
+    ) -> None:
+        """``eta`` is the learning rate on normalized costs; ``floor``
+        keeps every weight positive so no worker is starved forever (a
+        zero weight is absorbing under multiplicative updates)."""
+        super().__init__(num_workers, initial_allocation)
+        if eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {eta}")
+        if not 0 < floor < 1.0 / num_workers:
+            raise ConfigurationError(
+                f"floor must lie in (0, 1/N), got {floor}"
+            )
+        self.eta = float(eta)
+        self.floor = float(floor)
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        normalized = feedback.local_costs / max(feedback.global_cost, 1e-30)
+        weights = self._allocation * np.exp(-self.eta * normalized)
+        weights = np.maximum(weights, self.floor)
+        self._allocation = weights / weights.sum()

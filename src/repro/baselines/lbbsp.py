@@ -1,0 +1,80 @@
+"""LB-BSP — Load-Balanced Bulk Synchronous Parallel [6] (§VI-B).
+
+As described in the paper's experiment section: "If the fastest worker in
+the previous round preceded the straggler for consecutive D rounds, the
+workload of the straggler in the previous training round is reduced by
+Delta. The same amount of work Delta is additionally assigned to the
+fastest worker."
+
+The two design properties the paper contrasts against DOLBIE are kept
+intact:
+
+* only *two* workers (fastest and straggler) ever change their workload
+  in an update, and
+* the increment ``Delta`` is a prescribed constant that ignores both the
+  magnitude of the heterogeneity and its dynamics,
+
+which is why LB-BSP converges slowly and in visible staircase steps
+(Figs. 3, 9-10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LoadBalancedBSP"]
+
+
+class LoadBalancedBSP(OnlineLoadBalancer):
+    """Fixed-increment straggler-to-fastest workload shifting."""
+
+    name = "LB-BSP"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        delta: float = 5.0 / 256.0,
+        patience: int = 5,
+    ) -> None:
+        """``delta`` is a workload *fraction*; the paper's Delta = 5 samples
+        of a B = 256 global batch gives the default 5/256. ``patience`` is
+        the D of §VI-B (default 5, as in the paper)."""
+        super().__init__(num_workers, initial_allocation)
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.delta = float(delta)
+        self.patience = int(patience)
+        self._streak = 0
+        self._last_straggler: int | None = None
+        #: Rounds at which a transfer fired (analysis/tests).
+        self.transfer_rounds: list[int] = []
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        fastest = int(np.argmin(feedback.local_costs))
+        straggler = feedback.straggler
+        if fastest == straggler:
+            # Degenerate tie: all workers equal; no gap to close.
+            self._streak = 0
+            self._last_straggler = straggler
+            return
+        if straggler != self._last_straggler:
+            # "preceded the straggler for consecutive D rounds": the same
+            # worker must remain the straggler for the whole streak.
+            self._streak = 0
+            self._last_straggler = straggler
+        self._streak += 1
+        if self._streak < self.patience:
+            return
+        self._streak = 0
+        x = self._allocation
+        transfer = min(self.delta, float(x[straggler]))
+        x[straggler] -= transfer
+        x[fastest] += transfer
+        self._allocation = x
+        self.transfer_rounds.append(feedback.round_index)

@@ -1,0 +1,75 @@
+"""OGD — projected Online Gradient Descent on the max cost [38] (§VI-B).
+
+The global cost ``f_t(x) = max_i f_{i,t}(x_i)`` is non-smooth; a valid
+subgradient is supported on the straggler coordinate only:
+
+    g~_t = f'_{s_t, t}(x_{s_t, t}) * e_{s_t}.
+
+The update is ``x_{t+1} = Pi_F( x_t - beta * g~_t )`` with the Euclidean
+projection onto the simplex implemented via the method of [39]
+(:mod:`repro.simplex.projection`). This is the comparison point for
+DOLBIE's "no gradient, no projection" claim: OGD must both differentiate
+the straggler's cost and run an O(N log N) projection every round, and its
+update touches only one coordinate before projection, which is why it
+needs many more rounds to converge (Fig. 3 discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.costs.base import CostFunction
+from repro.exceptions import ConfigurationError
+from repro.simplex.projection import project_simplex
+
+__all__ = ["OnlineGradientDescent", "numeric_slope"]
+
+
+def numeric_slope(cost: CostFunction, x: float, h: float = 1e-6) -> float:
+    """One-sided finite-difference slope of ``cost`` at ``x``, domain-aware.
+
+    Uses the analytic Lipschitz slope for affine costs when available
+    (``lipschitz`` attribute), otherwise a forward or backward difference
+    clipped to ``[0, x_max]``.
+    """
+    lipschitz = getattr(cost, "lipschitz", None)
+    if lipschitz is not None and getattr(cost, "intercept", None) is not None:
+        return float(lipschitz)
+    hi = min(x + h, cost.x_max)
+    lo = max(hi - h, 0.0)
+    if hi == lo:
+        return 0.0
+    return (cost.value(hi) - cost.value(lo)) / (hi - lo)
+
+
+class OnlineGradientDescent(OnlineLoadBalancer):
+    """Projected OGD with max-subgradient feedback."""
+
+    name = "OGD"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        learning_rate: float = 0.001,
+        projection_method: str = "sort",
+    ) -> None:
+        super().__init__(num_workers, initial_allocation)
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+        self.projection_method = projection_method
+        #: Number of projections performed (complexity accounting, Fig. 11).
+        self.projection_count = 0
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        s = feedback.straggler
+        slope = numeric_slope(feedback.costs[s], float(self._allocation[s]))
+        subgradient = np.zeros(self.num_workers)
+        subgradient[s] = slope
+        raw = self._allocation - self.learning_rate * subgradient
+        self._allocation = project_simplex(raw, method=self.projection_method)
+        self.projection_count += 1

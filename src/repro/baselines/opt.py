@@ -1,0 +1,48 @@
+"""OPT — the clairvoyant Dynamic Optimum (§VI-B).
+
+Solves the instantaneous min-max problem *before* each round using the
+revealed-in-advance cost functions, i.e. the comparator sequence
+``x_t* in argmin_x f_t(x)`` from the dynamic-regret definition (§V).
+"Cannot be implemented in reality due to the lack of future information";
+it exists to lower-bound every online algorithm and to compute regret.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.costs.base import CostFunction
+from repro.minmax.solver import solve_min_max
+
+__all__ = ["DynamicOptimum"]
+
+
+class DynamicOptimum(OnlineLoadBalancer):
+    """Per-round clairvoyant min-max optimizer."""
+
+    name = "OPT"
+    requires_oracle = True
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        tol: float = 1e-10,
+    ) -> None:
+        super().__init__(num_workers, initial_allocation)
+        self.tol = float(tol)
+        #: Optimal values per round (the regret comparator terms).
+        self.optimal_values: list[float] = []
+
+    def oracle_decide(self, costs: Sequence[CostFunction]) -> np.ndarray:
+        solution = solve_min_max(costs, tol=self.tol)
+        self._allocation = solution.allocation
+        self.optimal_values.append(solution.value)
+        return self.allocation
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        # All work happens in oracle_decide; nothing to learn afterwards.
+        return None

@@ -1,0 +1,100 @@
+"""Factory for building algorithms by name, as the experiment configs do."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.baselines.abs_tuner import AdaptiveBatchSize
+from repro.baselines.equal import EqualAssignment
+from repro.baselines.expgrad import ExponentiatedGradient
+from repro.baselines.lbbsp import LoadBalancedBSP
+from repro.baselines.ogd import OnlineGradientDescent
+from repro.baselines.static_weighted import StaticWeighted
+from repro.baselines.opt import DynamicOptimum
+from repro.core.dolbie import Dolbie
+from repro.core.interface import OnlineLoadBalancer
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ALGORITHMS",
+    "PAPER_ALGORITHM_ORDER",
+    "make_balancer",
+    "register_algorithm",
+    "unregister_algorithm",
+]
+
+#: Name -> constructor. Names match the paper's legend strings; "EG"
+#: (multiplicative weights) and "STATIC" (profiled static split) are
+#: library extensions, not part of the paper.
+ALGORITHMS: dict[str, Callable[..., OnlineLoadBalancer]] = {
+    "EQU": EqualAssignment,
+    "OGD": OnlineGradientDescent,
+    "ABS": AdaptiveBatchSize,
+    "LB-BSP": LoadBalancedBSP,
+    "DOLBIE": Dolbie,
+    "OPT": DynamicOptimum,
+    "EG": ExponentiatedGradient,
+    "STATIC": StaticWeighted,
+}
+
+#: The order used throughout the paper's figures and headline comparisons.
+PAPER_ALGORITHM_ORDER = ["EQU", "OGD", "LB-BSP", "ABS", "DOLBIE", "OPT"]
+
+
+def register_algorithm(
+    name: str,
+    constructor: Callable[..., OnlineLoadBalancer],
+    replace: bool = False,
+) -> None:
+    """Register a user-defined balancer under ``name``.
+
+    Registered algorithms become available everywhere a name is accepted:
+    :func:`make_balancer`, the comparison harness, and the CLI's
+    ``compare --algorithms``. The constructor must accept
+    ``(num_workers, initial_allocation=None, **kwargs)`` like the
+    built-ins. Re-registering an existing name requires ``replace=True``
+    so a typo cannot silently shadow a paper algorithm.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError(f"algorithm name must be a non-empty string, got {name!r}")
+    if name in ALGORITHMS and not replace:
+        raise ConfigurationError(
+            f"algorithm {name!r} already registered; pass replace=True to override"
+        )
+    ALGORITHMS[name] = constructor
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a user-registered algorithm (paper algorithms are protected)."""
+    if name in PAPER_ALGORITHM_ORDER:
+        raise ConfigurationError(f"cannot unregister the paper algorithm {name!r}")
+    try:
+        del ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(f"algorithm {name!r} is not registered") from None
+
+
+def make_balancer(
+    name: str,
+    num_workers: int,
+    initial_allocation: np.ndarray | None = None,
+    **kwargs: object,
+) -> OnlineLoadBalancer:
+    """Instantiate an algorithm by its paper name.
+
+    Extra keyword arguments are forwarded to the constructor (e.g.
+    ``alpha_1`` for DOLBIE, ``learning_rate`` for OGD, ``period`` for ABS,
+    ``delta``/``patience`` for LB-BSP).
+    """
+    try:
+        ctor = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise ConfigurationError(f"unknown algorithm {name!r}; known: {known}") from None
+    if name in ("EQU", "STATIC"):
+        # EQU ignores the initial allocation by definition; STATIC derives
+        # its fixed split from profiled weights instead.
+        return ctor(num_workers, **kwargs)
+    return ctor(num_workers, initial_allocation=initial_allocation, **kwargs)

@@ -1,0 +1,44 @@
+"""Profiled static assignment — an extra baseline beyond the paper.
+
+The strongest *offline* strategy available without online adaptation:
+profile the workers once (e.g. from their nominal speeds) and fix the
+allocation proportional to the profile forever. Comparing DOLBIE against
+this isolates how much of its win comes from adapting to *dynamics*
+rather than merely knowing the static heterogeneity — EQU conflates the
+two. Not part of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.exceptions import ConfigurationError
+
+__all__ = ["StaticWeighted"]
+
+
+class StaticWeighted(OnlineLoadBalancer):
+    """Fixed allocation proportional to profiled worker weights."""
+
+    name = "STATIC"
+
+    def __init__(self, num_workers: int, weights: np.ndarray | None = None) -> None:
+        """``weights`` are relative capacities (e.g. measured samples/s);
+        ``None`` degenerates to the equal split."""
+        if weights is None:
+            allocation = None
+        else:
+            arr = np.asarray(weights, dtype=float)
+            if arr.shape != (num_workers,):
+                raise ConfigurationError(
+                    f"need {num_workers} weights, got shape {arr.shape}"
+                )
+            if np.any(arr < 0) or arr.sum() <= 0:
+                raise ConfigurationError("weights must be >= 0 with positive sum")
+            allocation = arr / arr.sum()
+        super().__init__(num_workers, allocation)
+        self._fixed = self.allocation
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        self._allocation = self._fixed.copy()

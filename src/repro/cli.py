@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiment <id>``
+    Run one paper experiment (``fig3`` .. ``fig11``, ``complexity``,
+    ``regret``, ``ablations``) at ``--scale quick`` or ``--scale paper``.
+``compare``
+    Run every algorithm on one training environment and print the
+    cross-algorithm summary table (optionally ``--csv out.csv``).
+``export``
+    Run the experiments and write every data series as CSV files.
+``figures``
+    Render the reproduced figures as dependency-free SVG files.
+``list``
+    Show available experiments, algorithms and models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro import __version__
+from repro.analysis.compare import compare_runs, comparison_table, export_comparison_csv
+from repro.baselines.registry import ALGORITHMS
+from repro.core.loop import RunResult, run_online
+from repro.experiments import (
+    ablations,
+    complexity,
+    edge_scenario,
+    fig3_per_round_latency,
+    fig4_latency_ci,
+    fig5_cumulative_latency,
+    fig6to8_accuracy,
+    fig9_worker_latency,
+    fig10_batch_size,
+    fig11_utilization,
+    regret_experiment,
+    sensitivity,
+)
+from repro.experiments.config import PAPER, QUICK, ExperimentScale, paper_balancer
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.models import MODEL_CATALOG
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+#: Experiment id -> module with a ``main(scale)`` entry point.
+EXPERIMENTS: dict[str, Callable[[ExperimentScale], object]] = {
+    "fig3": fig3_per_round_latency.main,
+    "fig4": fig4_latency_ci.main,
+    "fig5": fig5_cumulative_latency.main,
+    "fig6to8": fig6to8_accuracy.main,
+    "fig9": fig9_worker_latency.main,
+    "fig10": fig10_batch_size.main,
+    "fig11": fig11_utilization.main,
+    "complexity": complexity.main,
+    "regret": regret_experiment.main,
+    "ablations": ablations.main,
+    "edge": edge_scenario.main,
+    "sensitivity": sensitivity.main,
+}
+
+_SCALES = {"quick": QUICK, "paper": PAPER}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DOLBIE reproduction (Wang & Liang, ICDCS 2023)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS))
+    exp.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+
+    cmp_parser = sub.add_parser(
+        "compare", help="run all algorithms on one environment and summarize"
+    )
+    cmp_parser.add_argument("--model", default="ResNet18", choices=sorted(MODEL_CATALOG))
+    cmp_parser.add_argument("--workers", type=int, default=30)
+    cmp_parser.add_argument("--rounds", type=int, default=100)
+    cmp_parser.add_argument("--seed", type=int, default=0)
+    cmp_parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["EQU", "OGD", "LB-BSP", "ABS", "EG", "DOLBIE", "OPT"],
+        choices=sorted(ALGORITHMS),
+    )
+    cmp_parser.add_argument("--csv", default=None, help="also write a CSV file")
+
+    export = sub.add_parser(
+        "export", help="run experiments and write their data series as CSV"
+    )
+    export.add_argument("--out", default="results", help="output directory")
+    export.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    export.add_argument(
+        "--only", nargs="+", default=None,
+        help="subset of exports (default: all)",
+    )
+
+    figures = sub.add_parser(
+        "figures", help="render the reproduced figures as SVG files"
+    )
+    figures.add_argument("--out", default="results/figures")
+    figures.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    figures.add_argument("--only", nargs="+", default=None)
+
+    sub.add_parser("list", help="show experiments, algorithms and models")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    EXPERIMENTS[args.id](_SCALES[args.scale])
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    env = TrainingEnvironment(args.model, num_workers=args.workers, seed=args.seed)
+    runs: dict[str, RunResult] = {}
+    for name in args.algorithms:
+        balancer = paper_balancer(name, args.workers)
+        runs[name] = run_online(balancer, env, args.rounds)
+    summaries = compare_runs(runs)
+    print(comparison_table(summaries))
+    if args.csv:
+        path = export_comparison_csv(summaries, args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export_all import export_all
+
+    written = export_all(args.out, _SCALES[args.scale], only=args.only)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz.figures import render_all
+
+    written = render_all(args.out, _SCALES[args.scale], only=args.only)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
+    print("models:     ", ", ".join(sorted(MODEL_CATALOG)))
+    print("scales:     ", ", ".join(sorted(_SCALES)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "export": _cmd_export,
+        "figures": _cmd_figures,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

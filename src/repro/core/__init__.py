@@ -1,0 +1,36 @@
+"""DOLBIE core: the algorithm, its quantities, and the step-size rule."""
+
+from repro.core.delayed import DelayedFeedback
+from repro.core.dolbie import Dolbie
+from repro.core.interface import (
+    OnlineLoadBalancer,
+    RoundFeedback,
+    identify_straggler,
+    make_feedback,
+)
+from repro.core.membership import (
+    ElasticDolbie,
+    add_worker_allocation,
+    remove_worker_allocation,
+)
+from repro.core.restart import RestartDolbie
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.core.step_size import StepSizeRule, feasibility_cap, initial_step_size
+
+__all__ = [
+    "Dolbie",
+    "ElasticDolbie",
+    "DelayedFeedback",
+    "RestartDolbie",
+    "OnlineLoadBalancer",
+    "RoundFeedback",
+    "identify_straggler",
+    "make_feedback",
+    "acceptable_workloads",
+    "assistance_vector",
+    "add_worker_allocation",
+    "remove_worker_allocation",
+    "StepSizeRule",
+    "feasibility_cap",
+    "initial_step_size",
+]

@@ -1,0 +1,69 @@
+"""Delayed feedback — an extension for high-latency control planes.
+
+The paper assumes the round-t costs are observed before deciding round
+t+1. In geo-distributed settings feedback can lag by ``d`` rounds (the
+balancer learns round t's costs only at the end of round t+d).
+:class:`DelayedFeedback` wraps any balancer and buffers feedback for
+``d`` rounds before delivering it, re-indexed, to the inner algorithm —
+the standard reduction for delayed online learning. With ``delay=0`` it
+is the identity wrapper (tested).
+
+The wrapped DOLBIE stays feasible (its own invariants are untouched; it
+just learns late), and the regret experiment can quantify the price of
+delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DelayedFeedback"]
+
+
+class DelayedFeedback(OnlineLoadBalancer):
+    """Deliver feedback to ``inner`` ``delay`` rounds late."""
+
+    requires_oracle = False
+
+    def __init__(self, inner: OnlineLoadBalancer, delay: int) -> None:
+        if inner.requires_oracle:
+            raise ConfigurationError(
+                "cannot delay an oracle algorithm: it has no feedback path"
+            )
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        super().__init__(inner.num_workers, inner.allocation)
+        self.inner = inner
+        self.delay = int(delay)
+        self.name = f"{inner.name}+delay{delay}"
+        self._buffer: deque[RoundFeedback] = deque()
+
+    def decide(self) -> np.ndarray:
+        # The inner algorithm's state lags by `delay` rounds; play its
+        # current (stale) decision.
+        return self.inner.decide()
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        self._buffer.append(feedback)
+        if len(self._buffer) > self.delay:
+            stale = self._buffer.popleft()
+            # Re-index so the inner algorithm sees consecutive rounds.
+            # Note the standard delayed-OCO semantics: the inner update
+            # combines its *current* iterate with the stale observation
+            # (costs/straggler measured d rounds ago).
+            self.inner.update(
+                RoundFeedback(
+                    round_index=self.inner.round,
+                    allocation=stale.allocation,
+                    costs=stale.costs,
+                    local_costs=stale.local_costs,
+                    global_cost=stale.global_cost,
+                    straggler=stale.straggler,
+                )
+            )
+        self._allocation = self.inner.allocation

@@ -1,0 +1,134 @@
+"""DOLBIE — the paper's algorithm (centralized reference implementation).
+
+This class realizes the update rules (5)-(7) exactly, in a single process.
+It is the numerical ground truth against which the message-passing
+implementations of Algorithm 1 (:mod:`repro.protocols.master_worker`) and
+Algorithm 2 (:mod:`repro.protocols.fully_distributed`) are asserted equal
+in the integration tests.
+
+Per round, given the revealed costs and the observed global cost ``l_t``:
+
+1. every non-straggler computes its maximum acceptable workload
+   ``x'_{i,t}`` (Eq. 4) — "how much could I have taken without becoming a
+   worse straggler?";
+2. non-stragglers move a fraction ``alpha_t`` of the way toward it
+   (Eq. 5) — the *risk-averse assistance*;
+3. the straggler absorbs the balance so the simplex constraint holds by
+   construction (Eq. 6) — no projection;
+4. the step size is capped by Eq. (7) so the straggler's next workload
+   stays non-negative and the schedule is non-increasing.
+
+No gradients, no projections: the only non-trivial computation is the
+level inverse, which is closed-form for affine latency costs and a short
+bisection otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, RoundFeedback
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.core.step_size import StepSizeRule
+
+__all__ = ["Dolbie"]
+
+
+class Dolbie(OnlineLoadBalancer):
+    """Distributed Online Load Balancing with rIsk-averse assistancE."""
+
+    name = "DOLBIE"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        alpha_1: float | None = None,
+        record_history: bool = False,
+        exact_feasibility_guard: bool = True,
+    ) -> None:
+        """Create a DOLBIE controller.
+
+        Parameters
+        ----------
+        num_workers:
+            Number of parallel workers ``N``.
+        initial_allocation:
+            ``x_1`` (defaults to the equal split ``1/N``, as in §VI-B).
+        alpha_1:
+            Initial step size. ``None`` derives it from the paper's rule
+            ``min_i x_{i,1} / (N - 2 + min_i x_{i,1})``; the experiments
+            use the explicit 0.001 of §VI-B.
+        record_history:
+            Keep per-round ``x'`` and ``G`` vectors for analysis plots
+            (Fig. 10 needs the allocation trajectory).
+        exact_feasibility_guard:
+            The Eq. (7) schedule keeps every round feasible *provided*
+            ``alpha_1`` respects the paper's initialization rule (a
+            straggler's workload only grows between its own straggling
+            turns, so the historical cap is inductively conservative).
+            For a user-chosen larger ``alpha_1`` the first straggling turn
+            of a small-workload worker can go negative; when True (the
+            default) the exact per-round bound
+            ``alpha <= x_s / sum_{i != s}(x'_i - x_i)`` from Eq. (7)'s own
+            derivation is additionally enforced, making any alpha_1 in
+            [0, 1] safe. Set False for strict equivalence with the
+            verbatim message-passing protocols of :mod:`repro.protocols`.
+        """
+        super().__init__(num_workers, initial_allocation)
+        self.step_rule = StepSizeRule(
+            num_workers, alpha_1=alpha_1, initial_allocation=self._allocation
+        )
+        self.record_history = bool(record_history)
+        self.exact_feasibility_guard = bool(exact_feasibility_guard)
+        self.x_prime_history: list[np.ndarray] = []
+        self.assistance_history: list[np.ndarray] = []
+        self.straggler_history: list[int] = []
+
+    @property
+    def alpha(self) -> float:
+        """The step size that will be used in the current round."""
+        return self.step_rule.alpha
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        x = self._allocation
+        s = feedback.straggler
+        alpha = self.step_rule.alpha
+
+        x_prime = acceptable_workloads(
+            feedback.costs, x, feedback.global_cost, straggler=s
+        )
+        g = assistance_vector(x, x_prime, straggler=s)
+
+        # Eq. (7)'s derivation bounds alpha by x_s / sum_{i != s}(x' - x).
+        # The schedule satisfies this inductively when alpha_1 follows the
+        # paper's initialization rule; the exact per-round bound below
+        # extends safety to any alpha_1 in [0, 1].
+        shed_total = float(g[s])
+        if self.exact_feasibility_guard and shed_total > 0.0:
+            alpha = min(alpha, x[s] / shed_total)
+
+        # Eq. (9): x_{t+1} = x_t - alpha_t G_t. Non-stragglers gain
+        # (G_i <= 0); the straggler sheds the exact total (Eq. 6).
+        x_next = x - alpha * g
+        # The straggler coordinate closes the simplex constraint exactly,
+        # absorbing the accumulated floating-point error of the sum.
+        x_next[s] = 1.0 - (x_next.sum() - x_next[s])
+        if -1e-12 < x_next[s] < 0.0:
+            # Floating-point dust from the exact cap; true violations
+            # (possible only with the guard disabled) are left in place so
+            # the base-class feasibility check surfaces them loudly.
+            x_next[s] = 0.0
+
+        if self.record_history:
+            self.x_prime_history.append(x_prime)
+            self.assistance_history.append(g)
+        self.straggler_history.append(s)
+
+        self._allocation = x_next
+        self.step_rule.advance(x_next[s])
+
+    @property
+    def alpha_history(self) -> list[float]:
+        """All step sizes used so far (``alpha_1`` first)."""
+        return list(self.step_rule.history)

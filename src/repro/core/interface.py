@@ -1,0 +1,135 @@
+"""The online load-balancer interface shared by DOLBIE and all baselines.
+
+The online protocol of problem (1) is: in each round ``t`` the algorithm
+*plays* an allocation ``x_t`` on the simplex, then the environment reveals
+the local cost functions ``f_{i,t}`` and the algorithm observes its costs
+and updates. The harness drives every algorithm through this exact loop::
+
+    x_t   = balancer.decide()
+    ...environment evaluates f_{i,t}(x_{i,t})...
+    balancer.update(RoundFeedback(...))
+
+The oracle baseline OPT is the one exception — it is allowed to peek at
+the current round's costs (it "cannot be implemented in reality", §VI-B) —
+and signals this with :attr:`OnlineLoadBalancer.requires_oracle`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.base import CostFunction
+from repro.exceptions import ConfigurationError, FeasibilityError
+from repro.minmax.solver import evaluate_allocation
+from repro.simplex.sampling import equal_split, is_feasible
+
+__all__ = ["RoundFeedback", "OnlineLoadBalancer", "identify_straggler", "make_feedback"]
+
+
+def identify_straggler(local_costs: np.ndarray) -> int:
+    """Index of the highest-cost worker; ties go to the lowest index.
+
+    Matches the paper's deterministic rule "select the worker that ranks
+    higher in the worker list" (Alg. 1 line 11 / Alg. 2 line 7), which lets
+    every node of the fully-distributed protocol agree on ``s_t`` without
+    extra communication.
+    """
+    return int(np.argmax(np.asarray(local_costs, dtype=float)))
+
+
+@dataclass(frozen=True)
+class RoundFeedback:
+    """Everything revealed to an algorithm at the end of round ``t``."""
+
+    round_index: int
+    allocation: np.ndarray
+    costs: Sequence[CostFunction]
+    local_costs: np.ndarray
+    global_cost: float
+    straggler: int
+
+    def __post_init__(self) -> None:
+        if len(self.costs) != len(self.allocation):
+            raise ConfigurationError("costs and allocation length mismatch")
+
+
+def make_feedback(
+    round_index: int,
+    allocation: np.ndarray,
+    costs: Sequence[CostFunction],
+) -> RoundFeedback:
+    """Evaluate one round and package the revealed information."""
+    local, global_cost, straggler = evaluate_allocation(costs, allocation)
+    return RoundFeedback(
+        round_index=round_index,
+        allocation=np.asarray(allocation, dtype=float).copy(),
+        costs=costs,
+        local_costs=local,
+        global_cost=global_cost,
+        straggler=straggler,
+    )
+
+
+class OnlineLoadBalancer(abc.ABC):
+    """Base class of every load-balancing algorithm in this library."""
+
+    #: Human-readable algorithm name used in experiment reports.
+    name: str = "base"
+
+    #: True for OPT-style oracles that receive the round's costs in advance.
+    requires_oracle: bool = False
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+    ) -> None:
+        if num_workers < 2:
+            raise ConfigurationError(
+                f"load balancing needs >= 2 workers, got {num_workers}"
+            )
+        self.num_workers = int(num_workers)
+        if initial_allocation is None:
+            initial_allocation = equal_split(self.num_workers)
+        x0 = np.asarray(initial_allocation, dtype=float).copy()
+        if x0.shape != (self.num_workers,) or not is_feasible(x0):
+            raise FeasibilityError(
+                f"initial allocation must be a feasible length-{num_workers} simplex point"
+            )
+        self._allocation = x0
+        self.round = 1
+
+    @property
+    def allocation(self) -> np.ndarray:
+        """The allocation that will be played this round (a copy)."""
+        return self._allocation.copy()
+
+    def decide(self) -> np.ndarray:
+        """Return the allocation ``x_t`` to play in the current round."""
+        return self.allocation
+
+    def update(self, feedback: RoundFeedback) -> None:
+        """Consume the revealed costs and move to round ``t + 1``."""
+        self._update(feedback)
+        if not is_feasible(self._allocation, atol=1e-7):
+            raise FeasibilityError(
+                f"{self.name} produced an infeasible allocation in round "
+                f"{feedback.round_index}: sum={self._allocation.sum()!r}, "
+                f"min={self._allocation.min()!r}"
+            )
+        self.round = feedback.round_index + 1
+
+    @abc.abstractmethod
+    def _update(self, feedback: RoundFeedback) -> None:
+        """Algorithm-specific state transition; must set ``self._allocation``."""
+
+    def oracle_decide(self, costs: Sequence[CostFunction]) -> np.ndarray:
+        """Clairvoyant decision hook; only OPT overrides this."""
+        raise NotImplementedError(f"{self.name} is not an oracle algorithm")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(N={self.num_workers}, round={self.round})"

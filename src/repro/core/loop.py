@@ -1,0 +1,117 @@
+"""The online round loop: drive any balancer against a cost process.
+
+One function, :func:`run_online`, implements the protocol of problem (1)
+for every algorithm uniformly: play, reveal, suffer, update. It records
+the full trajectory (allocations, local costs, global costs, stragglers)
+and measures the wall-clock decision overhead per round — the statistic
+reported in the lower panel of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, make_feedback
+from repro.costs.base import CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError
+from repro.utils.timer import Stopwatch
+
+__all__ = ["RunResult", "run_online", "run_online_costs"]
+
+
+@dataclass
+class RunResult:
+    """Trajectory of one online run of one algorithm."""
+
+    algorithm: str
+    num_workers: int
+    horizon: int
+    allocations: np.ndarray  # (T, N) — x_t actually played
+    local_costs: np.ndarray  # (T, N) — l_{i,t}
+    global_costs: np.ndarray  # (T,)  — l_t = max_i l_{i,t}
+    stragglers: np.ndarray  # (T,) int
+    decision_seconds: np.ndarray  # (T,) wall-clock overhead of decide+update
+
+    @property
+    def cumulative_cost(self) -> np.ndarray:
+        """Running total of the global cost (objective of problem (1))."""
+        return np.cumsum(self.global_costs)
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.global_costs.sum())
+
+    def waiting_time(self) -> np.ndarray:
+        """Per-worker, per-round idle time at the synchronization barrier.
+
+        Worker *i* waits ``l_t - l_{i,t}`` while the straggler finishes —
+        the quantity DOLBIE's evaluation reduces by 42.8-84.6% (Fig. 11).
+        """
+        return self.global_costs[:, None] - self.local_costs
+
+    def mean_waiting_time(self) -> float:
+        """Average idle seconds per worker per round."""
+        return float(self.waiting_time().mean())
+
+
+def run_online(
+    balancer: OnlineLoadBalancer,
+    process: CostProcess,
+    horizon: int,
+) -> RunResult:
+    """Run ``balancer`` against ``process`` for ``horizon`` rounds."""
+    costs_per_round = [process.costs_at(t) for t in range(1, horizon + 1)]
+    return run_online_costs(balancer, costs_per_round)
+
+
+def run_online_costs(
+    balancer: OnlineLoadBalancer,
+    costs_per_round: Sequence[Sequence[CostFunction]],
+) -> RunResult:
+    """Run against an explicit per-round list of cost vectors."""
+    horizon = len(costs_per_round)
+    if horizon == 0:
+        raise ConfigurationError("horizon must be at least one round")
+    n = balancer.num_workers
+
+    allocations = np.empty((horizon, n))
+    local = np.empty((horizon, n))
+    global_costs = np.empty(horizon)
+    stragglers = np.empty(horizon, dtype=int)
+    overhead = np.empty(horizon)
+
+    watch = Stopwatch()
+    for t, costs in enumerate(costs_per_round, start=1):
+        if len(costs) != n:
+            raise ConfigurationError(
+                f"round {t} has {len(costs)} costs for {n} workers"
+            )
+        with watch:
+            if balancer.requires_oracle:
+                x_t = balancer.oracle_decide(costs)
+            else:
+                x_t = balancer.decide()
+        feedback = make_feedback(t, x_t, costs)
+        with watch:
+            balancer.update(feedback)
+
+        allocations[t - 1] = feedback.allocation
+        local[t - 1] = feedback.local_costs
+        global_costs[t - 1] = feedback.global_cost
+        stragglers[t - 1] = feedback.straggler
+        overhead[t - 1] = watch.laps[-2] + watch.laps[-1]
+
+    return RunResult(
+        algorithm=balancer.name,
+        num_workers=n,
+        horizon=horizon,
+        allocations=allocations,
+        local_costs=local,
+        global_costs=global_costs,
+        stragglers=stragglers,
+        decision_seconds=overhead,
+    )

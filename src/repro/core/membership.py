@@ -1,0 +1,103 @@
+"""Dynamic worker membership — an engineering extension beyond the paper.
+
+The paper fixes the worker set N for the whole horizon. Real fleets are
+elastic: nodes are preempted, crash, or join. These helpers rebalance an
+allocation across membership changes while preserving the simplex
+constraint, and :class:`ElasticDolbie` wires them into the algorithm with
+a step-size reset that follows the same Eq. (7) feasibility logic on the
+new fleet (the regret guarantee restarts from the change point; this is
+explicitly *not* part of the paper's analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dolbie import Dolbie
+from repro.core.step_size import StepSizeRule, feasibility_cap
+from repro.exceptions import ConfigurationError, FeasibilityError
+from repro.simplex.sampling import is_feasible
+
+__all__ = ["remove_worker_allocation", "add_worker_allocation", "ElasticDolbie"]
+
+
+def remove_worker_allocation(x: np.ndarray, worker: int) -> np.ndarray:
+    """Drop ``worker`` and redistribute its share proportionally.
+
+    Survivors absorb the departed share in proportion to their current
+    workloads (a crashed worker's work is re-sharded the way consistent-
+    hashing systems do). Degenerate case: if the departed worker held
+    everything, survivors split it equally.
+    """
+    arr = np.asarray(x, dtype=float)
+    if not is_feasible(arr):
+        raise FeasibilityError("allocation must lie on the simplex")
+    if arr.size < 3:
+        raise ConfigurationError("cannot go below 2 workers")
+    if not 0 <= worker < arr.size:
+        raise ConfigurationError(f"worker index {worker} out of range")
+    survivors = np.delete(arr, worker)
+    total = survivors.sum()
+    if total <= 0.0:
+        return np.full(survivors.size, 1.0 / survivors.size)
+    return survivors / total
+
+
+def add_worker_allocation(x: np.ndarray, share: float | None = None) -> np.ndarray:
+    """Append a new worker holding ``share`` (default ``1 / (N + 1)``).
+
+    Incumbents are scaled down proportionally to free exactly the new
+    worker's share, so the result is back on the simplex.
+    """
+    arr = np.asarray(x, dtype=float)
+    if not is_feasible(arr):
+        raise FeasibilityError("allocation must lie on the simplex")
+    n_new = arr.size + 1
+    if share is None:
+        share = 1.0 / n_new
+    if not 0.0 <= share < 1.0:
+        raise ConfigurationError(f"share must lie in [0, 1), got {share}")
+    scaled = arr * (1.0 - share)
+    return np.concatenate([scaled, [share]])
+
+
+class ElasticDolbie(Dolbie):
+    """DOLBIE with join/leave support between rounds.
+
+    Membership changes are only legal at round boundaries (after
+    ``update``, before the next ``decide``), which matches how a
+    synchronous training system would apply them.
+    """
+
+    name = "DOLBIE/elastic"
+
+    def remove_worker(self, worker: int) -> None:
+        """Handle a departure: rebalance and re-derive a safe step size."""
+        self._allocation = remove_worker_allocation(self._allocation, worker)
+        self.num_workers -= 1
+        self._reset_step_rule()
+        self._trim_histories()
+
+    def add_worker(self, share: float | None = None) -> None:
+        """Handle a join: grant the newcomer a share and rebalance."""
+        self._allocation = add_worker_allocation(self._allocation, share)
+        self.num_workers += 1
+        self._reset_step_rule()
+        self._trim_histories()
+
+    def _reset_step_rule(self) -> None:
+        # Restart Eq. (7) on the new fleet: the cap must reflect the new
+        # N and the smallest current share (same reasoning as alpha_1's
+        # initialization rule), but never exceed the pre-change alpha so
+        # the schedule stays non-increasing across the change point.
+        old_alpha = self.step_rule.alpha
+        safe = feasibility_cap(float(self._allocation.min()), self.num_workers)
+        self.step_rule = StepSizeRule(
+            self.num_workers, alpha_1=min(old_alpha, safe) if safe > 0 else 0.0
+        )
+
+    def _trim_histories(self) -> None:
+        # Per-worker history vectors are no longer aligned; clear them
+        # rather than serve misleading data.
+        self.x_prime_history.clear()
+        self.assistance_history.clear()

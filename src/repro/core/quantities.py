@@ -1,0 +1,103 @@
+"""The risk-averse quantities of §IV-A: x-tilde, x-prime, and G.
+
+``x'_{i,t}`` (Eq. 4) is the largest workload worker *i* could have carried
+this round without exceeding the observed global cost ``l_t`` — i.e.
+without becoming a *worse* straggler. The assistance vector ``G_t``
+(Theorem 1's proof) packages the update so that
+``x_{t+1} = x_t - alpha_t G_t`` (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CostFunction
+from repro.exceptions import ConfigurationError
+
+__all__ = ["acceptable_workloads", "assistance_vector"]
+
+
+def _affine_fast_path(
+    costs: Sequence[CostFunction],
+    x: np.ndarray,
+    global_cost: float,
+    straggler: int,
+) -> np.ndarray | None:
+    """Vectorized x' for all-affine cost vectors (the §VI-A formula).
+
+    The level inverse of an affine latency cost is closed-form, so the
+    whole vector is three numpy operations — this is what keeps DOLBIE's
+    per-round decision in the tens of microseconds (Fig. 11, lower).
+    """
+    if not all(type(c) is AffineLatencyCost for c in costs):
+        return None
+    slopes = np.array([c.slope for c in costs])
+    intercepts = np.array([c.intercept for c in costs])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tilde = (global_cost - intercepts) / slopes
+    tilde = np.where(slopes == 0.0, 1.0, tilde)
+    x_prime = np.clip(tilde, x, 1.0)
+    x_prime[straggler] = x[straggler]
+    return x_prime
+
+
+def acceptable_workloads(
+    costs: Sequence[CostFunction],
+    allocation: np.ndarray,
+    global_cost: float,
+    straggler: int,
+) -> np.ndarray:
+    """Compute ``x'_t`` of Eq. (4) for every worker.
+
+    For non-stragglers, ``x'_{i,t} = min( max{x : f_{i,t}(x) <= l_t}, 1 )``.
+    The straggler keeps its current workload (``x'_{s_t} = x_{s_t}``): it
+    defines the global cost, so it acquires no additional work (§IV-A).
+
+    The result dominates the played allocation coordinate-wise
+    (Lemma 1-ii), which the property tests assert for arbitrary increasing
+    costs.
+    """
+    x = np.asarray(allocation, dtype=float)
+    n = len(costs)
+    if x.shape != (n,):
+        raise ConfigurationError(f"allocation shape {x.shape} != ({n},)")
+    if not 0 <= straggler < n:
+        raise ConfigurationError(f"straggler index {straggler} out of range")
+    fast = _affine_fast_path(costs, x, global_cost, straggler)
+    if fast is not None:
+        return fast
+    x_prime = np.empty(n, dtype=float)
+    for i, cost in enumerate(costs):
+        if i == straggler:
+            x_prime[i] = x[i]
+            continue
+        acceptable = min(cost.max_acceptable(global_cost), 1.0)
+        # Guard floating-point dust: Lemma 1-ii guarantees x' >= x because
+        # f_i(x_i) <= l_t, so clamp tiny negative gaps from bisection.
+        x_prime[i] = max(acceptable, x[i])
+    return x_prime
+
+
+def assistance_vector(
+    allocation: np.ndarray,
+    x_prime: np.ndarray,
+    straggler: int,
+) -> np.ndarray:
+    """The vector ``G_t`` from the proof of Theorem 1.
+
+    ``G_i = x_i - x'_i <= 0`` for non-stragglers (they can absorb work) and
+    ``G_s = -sum_{j != s} (x_j - x'_j) >= 0`` (the straggler sheds exactly
+    what the others absorb), so ``sum(G) = 0`` and the simplex constraint
+    is preserved by ``x - alpha G`` for any alpha.
+    """
+    x = np.asarray(allocation, dtype=float)
+    xp = np.asarray(x_prime, dtype=float)
+    if x.shape != xp.shape:
+        raise ConfigurationError("allocation and x_prime shapes differ")
+    g = x - xp
+    g[straggler] = 0.0
+    g[straggler] = -g.sum()
+    return g

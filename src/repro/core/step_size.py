@@ -1,0 +1,79 @@
+"""DOLBIE's diminishing, feasibility-retaining step-size rule (Eq. 7-8).
+
+The step size is the coordination device of DOLBIE: capping
+
+    alpha_{t+1} <= min( alpha_t, x_{s,t+1} / (N - 2 + x_{s,t+1}) )
+
+simultaneously (i) keeps the straggler's next workload non-negative
+without any projection (derivation below Eq. 7) and (ii) enforces the
+monotone decay the regret proof needs (step (c) of Theorem 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["feasibility_cap", "initial_step_size", "StepSizeRule"]
+
+
+def feasibility_cap(straggler_workload: float, num_workers: int) -> float:
+    """The second term of Eq. (7): ``x_s / (N - 2 + x_s)``.
+
+    For ``N = 2`` the denominator equals ``x_s``, giving a cap of 1 (the
+    single helper can take everything the straggler can shed). A straggler
+    with zero workload yields a cap of 0: nothing can be shed, so the
+    update freezes rather than going infeasible.
+    """
+    if num_workers < 2:
+        raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+    x_s = float(straggler_workload)
+    if x_s < 0:
+        raise ConfigurationError(f"straggler workload must be >= 0, got {x_s}")
+    denom = num_workers - 2 + x_s
+    if denom <= 0.0:
+        return 0.0
+    return x_s / denom
+
+
+def initial_step_size(initial_allocation: np.ndarray) -> float:
+    """Paper's initialization: ``alpha_1 = min_i x_{i,1} / (N-2+min_i x_{i,1})``.
+
+    Safe regardless of which worker turns out to be the first straggler,
+    because ``x / (a + x)`` is increasing in ``x`` (§IV-B1).
+    """
+    x = np.asarray(initial_allocation, dtype=float)
+    return feasibility_cap(float(x.min()), x.size)
+
+
+class StepSizeRule:
+    """Stateful step-size schedule implementing Eq. (7)/(8) with equality.
+
+    The paper only requires "<="; taking the min with equality is the
+    least conservative choice that satisfies it, and is what makes the
+    experiments' fast convergence possible.
+    """
+
+    def __init__(self, num_workers: int, alpha_1: float | None = None,
+                 initial_allocation: np.ndarray | None = None) -> None:
+        if num_workers < 2:
+            raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+        self.num_workers = int(num_workers)
+        if alpha_1 is None:
+            if initial_allocation is None:
+                raise ConfigurationError(
+                    "provide alpha_1 or initial_allocation to derive it"
+                )
+            alpha_1 = initial_step_size(initial_allocation)
+        if not 0.0 <= alpha_1 <= 1.0:
+            raise ConfigurationError(f"alpha_1 must lie in [0, 1], got {alpha_1}")
+        self.alpha = float(alpha_1)
+        self.history: list[float] = [self.alpha]
+
+    def advance(self, straggler_workload_next: float) -> float:
+        """Apply Eq. (7) after the round's update and return the new alpha."""
+        cap = feasibility_cap(straggler_workload_next, self.num_workers)
+        self.alpha = min(self.alpha, cap)
+        self.history.append(self.alpha)
+        return self.alpha

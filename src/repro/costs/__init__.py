@@ -1,0 +1,38 @@
+"""Increasing cost functions and time-varying cost processes (§III)."""
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CallableCost, ConstantCost, CostFunction, compose_max
+from repro.costs.nonlinear import (
+    ExponentialCost,
+    LogCost,
+    PiecewiseLinearCost,
+    PowerLawCost,
+    QueueingDelayCost,
+)
+from repro.costs.timevarying import (
+    CostProcess,
+    DriftingAffineProcess,
+    PowerLawProcess,
+    RandomAffineProcess,
+    StaticCostProcess,
+    SwitchingProcess,
+)
+
+__all__ = [
+    "CostFunction",
+    "CallableCost",
+    "ConstantCost",
+    "compose_max",
+    "AffineLatencyCost",
+    "PowerLawCost",
+    "ExponentialCost",
+    "LogCost",
+    "PiecewiseLinearCost",
+    "QueueingDelayCost",
+    "CostProcess",
+    "StaticCostProcess",
+    "RandomAffineProcess",
+    "DriftingAffineProcess",
+    "SwitchingProcess",
+    "PowerLawProcess",
+]

@@ -1,0 +1,79 @@
+"""Affine latency cost: the paper's batch-size-tuning cost model (§III-A).
+
+The per-round latency of worker *i* training on a fraction ``x`` of the
+global batch ``B`` is::
+
+    f_{i,t}(x) = f^P_{i,t}(x) + f^C_{i,t}
+               =  x * B / gamma_{i,t}  +  d_{i,t} / phi_{i,t}
+
+with data-processing speed ``gamma`` (samples/s), model size ``d`` (bits)
+and uplink rate ``phi`` (bits/s). This is affine in ``x`` with slope
+``B / gamma`` and intercept equal to the communication time, so the level
+inverse of Eq. (4) is closed-form — the expression for ``b'_{i,t-1}``
+in §VI-A of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costs.base import CostFunction
+from repro.exceptions import CostFunctionError
+
+__all__ = ["AffineLatencyCost"]
+
+
+class AffineLatencyCost(CostFunction):
+    """``f(x) = slope * x + intercept`` with ``slope >= 0, intercept >= 0``."""
+
+    def __init__(self, slope: float, intercept: float = 0.0, x_max: float = 1.0) -> None:
+        if not (math.isfinite(slope) and slope >= 0):
+            raise CostFunctionError(f"slope must be finite and >= 0, got {slope}")
+        if not (math.isfinite(intercept) and intercept >= 0):
+            raise CostFunctionError(
+                f"intercept must be finite and >= 0, got {intercept}"
+            )
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.x_max = float(x_max)
+
+    @classmethod
+    def from_system(
+        cls,
+        batch_size: float,
+        speed: float,
+        comm_time: float = 0.0,
+        x_max: float = 1.0,
+    ) -> "AffineLatencyCost":
+        """Build from the paper's quantities: global batch B, speed gamma.
+
+        ``comm_time`` is ``f^C = d / phi`` already evaluated, matching how a
+        worker observes it after sending its gradient (§VI-A).
+        """
+        if speed <= 0:
+            raise CostFunctionError(f"processing speed must be positive, got {speed}")
+        if batch_size <= 0:
+            raise CostFunctionError(f"batch size must be positive, got {batch_size}")
+        return cls(slope=batch_size / speed, intercept=comm_time, x_max=x_max)
+
+    def value(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def level_inverse(self, level: float) -> float:
+        """Closed-form x-tilde: ``(level - intercept) / slope``.
+
+        For a zero slope the cost is constant; every x qualifies when the
+        level clears the intercept (callers handle the other branch via
+        :meth:`CostFunction.max_acceptable`'s f(0) check).
+        """
+        if self.slope == 0.0:
+            return self.x_max
+        return (level - self.intercept) / self.slope
+
+    @property
+    def lipschitz(self) -> float:
+        """Exact Lipschitz constant (Assumption 1): the slope."""
+        return self.slope
+
+    def __repr__(self) -> str:
+        return f"AffineLatencyCost(slope={self.slope:.6g}, intercept={self.intercept:.6g})"

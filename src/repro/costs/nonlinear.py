@@ -1,0 +1,193 @@
+"""Non-linear increasing cost families.
+
+The paper motivates DOLBIE partly by the fact that proportional schemes
+such as ABS [3] "are not robust to non-linear cost functions" (§I, §II-B).
+These families let the test suite, the ablation benches and the edge-
+computing example exercise DOLBIE on genuinely non-linear, non-convex
+costs:
+
+* :class:`PowerLawCost` — ``a * x^p + c`` (convex for p>1, concave p<1);
+* :class:`ExponentialCost` — ``a * (e^{k x} - 1) + c``;
+* :class:`LogCost` — ``a * log(1 + k x) + c`` (concave, hence non-convex
+  objective under the max);
+* :class:`PiecewiseLinearCost` — increasing splines, models throughput
+  cliffs (e.g. memory pressure past a knee);
+* :class:`QueueingDelayCost` — M/M/1-style ``x / (mu - lam * x)`` sharp
+  blow-up near saturation, the classic edge-server execution-delay model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.costs.base import CostFunction
+from repro.exceptions import CostFunctionError
+
+__all__ = [
+    "PowerLawCost",
+    "ExponentialCost",
+    "LogCost",
+    "PiecewiseLinearCost",
+    "QueueingDelayCost",
+]
+
+
+class PowerLawCost(CostFunction):
+    """``f(x) = a * x**p + c`` with ``a, c >= 0`` and ``p > 0``."""
+
+    def __init__(self, a: float, p: float, c: float = 0.0, x_max: float = 1.0) -> None:
+        if a < 0 or c < 0:
+            raise CostFunctionError("a and c must be non-negative")
+        if p <= 0:
+            raise CostFunctionError(f"exponent p must be positive, got {p}")
+        self.a, self.p, self.c = float(a), float(p), float(c)
+        self.x_max = float(x_max)
+
+    def value(self, x: float) -> float:
+        return self.a * x**self.p + self.c
+
+    def level_inverse(self, level: float) -> float:
+        if self.a == 0.0:
+            return self.x_max
+        arg = (level - self.c) / self.a
+        if arg <= 0:
+            return 0.0
+        return arg ** (1.0 / self.p)
+
+    def __repr__(self) -> str:
+        return f"PowerLawCost(a={self.a:.4g}, p={self.p:.4g}, c={self.c:.4g})"
+
+
+class ExponentialCost(CostFunction):
+    """``f(x) = a * (exp(k x) - 1) + c`` with ``a, c >= 0`` and ``k > 0``."""
+
+    def __init__(self, a: float, k: float, c: float = 0.0, x_max: float = 1.0) -> None:
+        if a < 0 or c < 0:
+            raise CostFunctionError("a and c must be non-negative")
+        if k <= 0:
+            raise CostFunctionError(f"rate k must be positive, got {k}")
+        self.a, self.k, self.c = float(a), float(k), float(c)
+        self.x_max = float(x_max)
+
+    def value(self, x: float) -> float:
+        return self.a * (math.exp(self.k * x) - 1.0) + self.c
+
+    def level_inverse(self, level: float) -> float:
+        if self.a == 0.0:
+            return self.x_max
+        arg = (level - self.c) / self.a + 1.0
+        if arg <= 1.0:
+            return 0.0
+        return math.log(arg) / self.k
+
+    def __repr__(self) -> str:
+        return f"ExponentialCost(a={self.a:.4g}, k={self.k:.4g}, c={self.c:.4g})"
+
+
+class LogCost(CostFunction):
+    """``f(x) = a * log(1 + k x) + c`` — concave and increasing."""
+
+    def __init__(self, a: float, k: float, c: float = 0.0, x_max: float = 1.0) -> None:
+        if a < 0 or c < 0:
+            raise CostFunctionError("a and c must be non-negative")
+        if k <= 0:
+            raise CostFunctionError(f"rate k must be positive, got {k}")
+        self.a, self.k, self.c = float(a), float(k), float(c)
+        self.x_max = float(x_max)
+
+    def value(self, x: float) -> float:
+        return self.a * math.log1p(self.k * x) + self.c
+
+    def level_inverse(self, level: float) -> float:
+        if self.a == 0.0:
+            return self.x_max
+        arg = (level - self.c) / self.a
+        if arg <= 0:
+            return 0.0
+        return (math.exp(arg) - 1.0) / self.k
+
+    def __repr__(self) -> str:
+        return f"LogCost(a={self.a:.4g}, k={self.k:.4g}, c={self.c:.4g})"
+
+
+class PiecewiseLinearCost(CostFunction):
+    """Increasing piecewise-linear interpolation of (x, f) knots.
+
+    Models throughput cliffs, e.g. a worker whose effective speed collapses
+    once its assigned batch exceeds device memory. No analytic inverse is
+    registered on purpose: this class exercises the bisection path of
+    :meth:`repro.costs.base.CostFunction.max_acceptable` in tests.
+    """
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]) -> None:
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise CostFunctionError("need >= 2 matching knots")
+        pairs = sorted(zip(xs, ys))
+        self.xs = [float(x) for x, _ in pairs]
+        self.ys = [float(y) for _, y in pairs]
+        if self.xs[0] != 0.0:
+            raise CostFunctionError("first knot must be at x=0")
+        for a, b in zip(self.ys, self.ys[1:]):
+            if b < a:
+                raise CostFunctionError("knot values must be non-decreasing")
+        self.x_max = self.xs[-1]
+
+    def value(self, x: float) -> float:
+        xs, ys = self.xs, self.ys
+        if x <= xs[0]:
+            return ys[0]
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            if x <= x1:
+                if x1 == x0:
+                    return y1
+                frac = (x - x0) / (x1 - x0)
+                return y0 + frac * (y1 - y0)
+        return ys[-1]
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinearCost({len(self.xs)} knots)"
+
+
+class QueueingDelayCost(CostFunction):
+    """M/M/1-style sojourn delay ``f(x) = 1 / (mu - lam * x) + c``.
+
+    ``mu`` is the service rate and ``lam * x`` the arrival rate routed to
+    this server when it receives fraction ``x`` of the workload. The
+    domain is capped strictly below saturation (``lam * x < mu``), which
+    models an edge server that must remain stable (§III-B Example 2).
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        lam: float,
+        c: float = 0.0,
+        x_max: float = 1.0,
+        safety: float = 0.999,
+    ) -> None:
+        if mu <= 0 or lam <= 0:
+            raise CostFunctionError("mu and lam must be positive")
+        if c < 0:
+            raise CostFunctionError("c must be non-negative")
+        self.mu, self.lam, self.c = float(mu), float(lam), float(c)
+        # Restrict the domain so the queue never saturates.
+        self.x_max = min(float(x_max), safety * mu / lam)
+        if self.x_max <= 0:
+            raise CostFunctionError("domain collapses: mu too small relative to lam")
+
+    def value(self, x: float) -> float:
+        denom = self.mu - self.lam * x
+        if denom <= 0:
+            raise CostFunctionError(f"queue saturated at x={x} (mu={self.mu}, lam={self.lam})")
+        return 1.0 / denom + self.c
+
+    def level_inverse(self, level: float) -> float:
+        gap = level - self.c
+        if gap <= 0:
+            return 0.0
+        # 1/(mu - lam x) = gap  =>  x = (mu - 1/gap) / lam
+        return (self.mu - 1.0 / gap) / self.lam
+
+    def __repr__(self) -> str:
+        return f"QueueingDelayCost(mu={self.mu:.4g}, lam={self.lam:.4g}, c={self.c:.4g})"

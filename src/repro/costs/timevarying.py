@@ -1,0 +1,203 @@
+"""Time-varying cost-function processes (synthetic environments).
+
+Problem (1) is defined over a *sequence* of local cost functions
+``f_{i,t}`` revealed only after each round's decision. A
+:class:`CostProcess` produces that sequence. The realistic distributed-ML
+environment lives in :mod:`repro.mlsim`; the processes here are synthetic
+and knob-controlled, which the regret experiments and ablations need:
+the drift magnitude directly controls the path length ``P_T`` appearing
+in Theorem 1.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CostFunction
+from repro.costs.nonlinear import PowerLawCost
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "CostProcess",
+    "StaticCostProcess",
+    "RandomAffineProcess",
+    "DriftingAffineProcess",
+    "SwitchingProcess",
+    "PowerLawProcess",
+]
+
+
+class CostProcess(abc.ABC):
+    """A reproducible sequence of per-round cost-function vectors."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 2:
+            raise ConfigurationError(
+                f"min-max load balancing needs >= 2 workers, got {num_workers}"
+            )
+        self.num_workers = int(num_workers)
+
+    @abc.abstractmethod
+    def costs_at(self, t: int) -> list[CostFunction]:
+        """Return the N local cost functions of round ``t`` (1-based).
+
+        Must be deterministic in ``t``: calling twice with the same round
+        returns functions with identical values, so that online algorithms
+        and the OPT oracle see the same world.
+        """
+
+    def horizon_costs(self, horizon: int) -> list[list[CostFunction]]:
+        """Materialize rounds ``1..horizon``."""
+        return [self.costs_at(t) for t in range(1, horizon + 1)]
+
+
+class StaticCostProcess(CostProcess):
+    """The same cost vector every round (path length zero)."""
+
+    def __init__(self, costs: Sequence[CostFunction]) -> None:
+        super().__init__(len(costs))
+        self._costs = list(costs)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        return list(self._costs)
+
+
+class RandomAffineProcess(CostProcess):
+    """I.i.d. per-round affine latency costs with heterogeneous workers.
+
+    Worker ``i`` has base speed ``speeds[i]``; each round its effective
+    speed is scaled by a lognormal shock of volatility ``sigma``, and its
+    intercept (communication time) is drawn uniformly in
+    ``[0, comm_scale]``. Determinism in ``t`` is obtained by seeding a
+    per-round generator.
+    """
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        batch: float = 1.0,
+        sigma: float = 0.2,
+        comm_scale: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(len(speeds))
+        if any(s <= 0 for s in speeds):
+            raise ConfigurationError("all speeds must be positive")
+        if sigma < 0 or comm_scale < 0:
+            raise ConfigurationError("sigma and comm_scale must be >= 0")
+        self.speeds = np.asarray(speeds, dtype=float)
+        self.batch = float(batch)
+        self.sigma = float(sigma)
+        self.comm_scale = float(comm_scale)
+        self.seed = int(seed)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, t]))
+        shocks = rng.lognormal(mean=0.0, sigma=self.sigma, size=self.num_workers)
+        comms = rng.uniform(0.0, self.comm_scale, size=self.num_workers)
+        return [
+            AffineLatencyCost.from_system(self.batch, s * shock, comm_time=c)
+            for s, shock, c in zip(self.speeds, shocks, comms)
+        ]
+
+
+class DriftingAffineProcess(CostProcess):
+    """Affine costs whose speeds drift smoothly — tunable path length.
+
+    Speeds follow ``speeds[i] * (1 + amplitude * sin(2 pi (t/period + phase_i)))``.
+    Larger ``amplitude``/shorter ``period`` increases the minimizer path
+    length ``P_T``, which the regret experiment sweeps.
+    """
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        batch: float = 1.0,
+        amplitude: float = 0.3,
+        period: float = 50.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(len(speeds))
+        if not 0 <= amplitude < 1:
+            raise ConfigurationError("amplitude must lie in [0, 1)")
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.speeds = np.asarray(speeds, dtype=float)
+        self.batch = float(batch)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        rng = np.random.default_rng(seed)
+        self._phases = rng.uniform(0.0, 1.0, size=self.num_workers)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        factor = 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * (t / self.period + self._phases)
+        )
+        return [
+            AffineLatencyCost.from_system(self.batch, s * f)
+            for s, f in zip(self.speeds, factor)
+        ]
+
+
+class SwitchingProcess(CostProcess):
+    """Alternate between two cost regimes every ``switch_every`` rounds.
+
+    Models abrupt environment changes (e.g. a co-located job landing on a
+    subset of workers), a regime where window-based baselines (ABS, LB-BSP)
+    are slow to react.
+    """
+
+    def __init__(
+        self,
+        regime_a: Sequence[CostFunction],
+        regime_b: Sequence[CostFunction],
+        switch_every: int = 25,
+    ) -> None:
+        if len(regime_a) != len(regime_b):
+            raise ConfigurationError("regimes must have matching worker counts")
+        super().__init__(len(regime_a))
+        if switch_every <= 0:
+            raise ConfigurationError("switch_every must be positive")
+        self.regime_a = list(regime_a)
+        self.regime_b = list(regime_b)
+        self.switch_every = int(switch_every)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        phase = ((t - 1) // self.switch_every) % 2
+        return list(self.regime_a if phase == 0 else self.regime_b)
+
+
+class PowerLawProcess(CostProcess):
+    """Non-linear (power-law) costs with fluctuating scale.
+
+    The environment where proportional baselines like ABS are explicitly
+    non-robust (§II-B): cost curvature makes "workload inversely
+    proportional to past latency" mis-calibrated.
+    """
+
+    def __init__(
+        self,
+        scales: Sequence[float],
+        exponents: Sequence[float],
+        sigma: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if len(scales) != len(exponents):
+            raise ConfigurationError("scales and exponents must match in length")
+        super().__init__(len(scales))
+        self.scales = np.asarray(scales, dtype=float)
+        self.exponents = np.asarray(exponents, dtype=float)
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 7919, t]))
+        shocks = rng.lognormal(0.0, self.sigma, size=self.num_workers)
+        return [
+            PowerLawCost(a=a * sh, p=p)
+            for a, p, sh in zip(self.scales, self.exponents, shocks)
+        ]

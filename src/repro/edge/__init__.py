@@ -1,0 +1,5 @@
+"""Edge-computing task offloading: the paper's Example 2 (§III-B)."""
+
+from repro.edge.offloading import EdgeOffloadingScenario
+
+__all__ = ["EdgeOffloadingScenario"]

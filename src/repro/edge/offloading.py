@@ -1,0 +1,141 @@
+"""Example 2 (§III-B): task offloading in edge computing.
+
+A user device holds a divisible computation task; a fraction
+``lambda_0`` runs locally and fractions ``lambda_i`` are offloaded to N
+heterogeneous edge servers. Cost functions:
+
+* local execution — processing time proportional to the retained
+  fraction on the (slow) device CPU;
+* offloading to server *i* — task *transmission* time over a fluctuating
+  wireless uplink plus *execution* time at the server, modeled with the
+  M/M/1-style :class:`~repro.costs.nonlinear.QueueingDelayCost` so that
+  delay blows up as a server approaches saturation (genuinely non-linear,
+  the regime where proportional baselines mis-assign).
+
+The scenario is exposed as a :class:`~repro.costs.timevarying.CostProcess`
+over N+1 "workers" (index 0 is the local device), so every balancer in the
+library runs on it unchanged — this is the library's second end-to-end
+application domain next to :mod:`repro.mlsim`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costs.base import CallableCost, CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError
+from repro.mlsim.traces import FluctuationTrace
+
+__all__ = ["EdgeOffloadingScenario"]
+
+
+class EdgeOffloadingScenario(CostProcess):
+    """Time-varying offloading costs for one user and N edge servers."""
+
+    def __init__(
+        self,
+        num_servers: int = 8,
+        task_size_mbits: float = 80.0,
+        local_rate: float = 0.4,
+        server_rates: np.ndarray | None = None,
+        uplink_mbps: np.ndarray | None = None,
+        background_load: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        """Create a scenario.
+
+        Parameters
+        ----------
+        num_servers:
+            Number of edge servers N (total workers is N+1).
+        task_size_mbits:
+            Size of the full task when transmitted, in megabits.
+        local_rate:
+            Fraction of the task the user device can process per second.
+        server_rates:
+            Service rate ``mu_i`` of each server in tasks/second
+            (defaults to a heterogeneous spread in [0.8, 4.0]).
+        uplink_mbps:
+            Mean uplink rate to each server (defaults to 20-120 Mbps).
+        background_load:
+            Fraction of each server's capacity consumed by background
+            traffic, which fluctuates over time.
+        """
+        super().__init__(num_servers + 1)
+        if task_size_mbits <= 0 or local_rate <= 0:
+            raise ConfigurationError("task size and local rate must be positive")
+        if not 0 <= background_load < 1:
+            raise ConfigurationError("background_load must lie in [0, 1)")
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0xED6E]))
+        self.num_servers = int(num_servers)
+        self.task_size_mbits = float(task_size_mbits)
+        self.local_rate = float(local_rate)
+        self.server_rates = (
+            np.asarray(server_rates, dtype=float)
+            if server_rates is not None
+            else rng.uniform(0.8, 4.0, size=num_servers)
+        )
+        self.uplink_mbps = (
+            np.asarray(uplink_mbps, dtype=float)
+            if uplink_mbps is not None
+            else rng.uniform(20.0, 120.0, size=num_servers)
+        )
+        if self.server_rates.shape != (num_servers,) or self.uplink_mbps.shape != (
+            num_servers,
+        ):
+            raise ConfigurationError("server_rates/uplink_mbps must have length N")
+        if np.any(self.server_rates <= 0) or np.any(self.uplink_mbps <= 0):
+            raise ConfigurationError("rates must be positive")
+        self.background_load = float(background_load)
+        self._local_trace = FluctuationTrace(
+            rho=0.9, sigma=0.05, spike_probability=0.01, seed=seed * 31 + 1
+        )
+        self._uplink_traces = [
+            FluctuationTrace(rho=0.8, sigma=0.15, spike_probability=0.02, seed=seed * 97 + i)
+            for i in range(num_servers)
+        ]
+        self._load_traces = [
+            FluctuationTrace(rho=0.9, sigma=0.10, spike_probability=0.015, seed=seed * 193 + i)
+            for i in range(num_servers)
+        ]
+
+    def _local_cost(self, t: int) -> CostFunction:
+        rate = self.local_rate * self._local_trace.at(t)
+        return CallableCost(
+            lambda x, r=rate: x / r,
+            inverse=lambda level, r=rate: level * r,
+            label=f"local(t={t})",
+        )
+
+    def effective_service_rate(self, server: int, t: int) -> float:
+        """Server ``mu`` after subtracting its background load in round t."""
+        if not 0 <= server < self.num_servers:
+            raise ConfigurationError(f"server index {server} out of range")
+        load = min(0.95, self.background_load * self._load_traces[server].at(t))
+        return float(self.server_rates[server] * (1.0 - load))
+
+    def _server_cost(self, server: int, t: int) -> CostFunction:
+        uplink = self.uplink_mbps[server] * self._uplink_traces[server].at(t)
+        transmit_full = self.task_size_mbits / uplink  # seconds for the whole task
+        mu_effective = self.effective_service_rate(server, t)
+        # Execution delay x / (mu - x): zero at zero load, convex, and
+        # blowing up toward saturation — the non-linear regime of §III-B.
+        # Past 99% of saturation the delay continues as a steep linear
+        # ramp so that baselines that overshoot (OGD, LB-BSP) observe a
+        # huge-but-finite "deadline blown" cost instead of crashing.
+        sat = 0.99 * mu_effective
+
+        def total(x: float, tf: float = transmit_full, mu: float = mu_effective) -> float:
+            if x <= sat:
+                return tf * x + x / (mu - x)
+            base = tf * sat + sat / (mu - sat)
+            steep_slope = tf + mu / (mu - sat) ** 2
+            return base + steep_slope * (x - sat)
+
+        return CallableCost(total, x_max=1.0, label=f"server{server}(t={t})")
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        costs: list[CostFunction] = [self._local_cost(t)]
+        costs.extend(self._server_cost(i, t) for i in range(self.num_servers))
+        return costs

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Specific subclasses communicate which subsystem failed
+and are raised with actionable messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class FeasibilityError(ReproError):
+    """An allocation vector violated the simplex constraints (2)-(3)."""
+
+
+class CostFunctionError(ReproError):
+    """A cost function was queried outside its domain or is malformed."""
+
+
+class RootFindingError(ReproError):
+    """A root finder failed to bracket or converge."""
+
+
+class SolverError(ReproError):
+    """The instantaneous min-max solver could not produce a solution."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol received an unexpected or malformed message."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine or a simulation model reached a bad state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or algorithm was configured with invalid parameters."""

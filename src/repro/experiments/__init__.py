@@ -1,0 +1,25 @@
+"""One experiment module per figure/analysis of the paper (see DESIGN.md).
+
+===========================  =============================================
+Module                       Reproduces
+===========================  =============================================
+fig3_per_round_latency       Fig. 3 + round-40 headline reductions
+fig4_latency_ci              Fig. 4 (95% CI over realizations)
+fig5_cumulative_latency      Fig. 5 (cumulative latency, 95% CI)
+fig6to8_accuracy             Figs. 6-8 + time-to-95%-accuracy speedups
+fig9_worker_latency          Fig. 9 (per-worker latency by processor type)
+fig10_batch_size             Fig. 10 (per-worker batch sizes)
+fig11_utilization            Fig. 11 (time decomposition + overhead)
+complexity                   §IV-C message/byte complexity
+regret_experiment            Theorem 1 bound vs empirical regret
+ablations                    DESIGN.md §4 design-choice ablations
+===========================  =============================================
+
+Each module exposes ``run(scale) -> result`` and a printing ``main``.
+Use :data:`repro.experiments.config.QUICK` for a minutes-scale pass and
+:data:`repro.experiments.config.PAPER` for the full-size reproduction.
+"""
+
+from repro.experiments.config import ALL_ALGORITHMS, ONLINE_ALGORITHMS, PAPER, QUICK, paper_balancer
+
+__all__ = ["PAPER", "QUICK", "paper_balancer", "ALL_ALGORITHMS", "ONLINE_ALGORITHMS"]

@@ -1,0 +1,157 @@
+"""Ablations of DOLBIE's design choices (DESIGN.md §4).
+
+The paper motivates three design elements; each ablation removes one and
+measures the damage on the same environment:
+
+* **step-size rule (Eq. 7)** — replace the diminishing feasibility cap
+  with a fixed step size (feasible only because the exact per-round guard
+  clamps it), and with an aggressive full step ``alpha = 1``;
+* **risk-averse target (Eq. 4)** — replace ``x'`` (move only up to the
+  straggler's level set) with the naive "grab everything" target
+  ``x' = 1`` for every non-straggler;
+* **all-workers participation** — restrict assistance to the single
+  fastest worker, LB-BSP-style, quantifying how much of DOLBIE's speed
+  comes from simultaneous updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dolbie import Dolbie
+from repro.core.interface import RoundFeedback
+from repro.core.loop import run_online
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.reporting import print_table
+from repro.mlsim.environment import TrainingEnvironment
+
+__all__ = ["AblationResult", "run", "main"]
+
+
+class FixedStepDolbie(Dolbie):
+    """DOLBIE without Eq. (7): constant alpha, exact guard only."""
+
+    name = "DOLBIE[fixed-alpha]"
+
+    def __init__(self, num_workers: int, alpha: float = 0.001) -> None:
+        super().__init__(num_workers, alpha_1=alpha)
+        self._fixed_alpha = float(alpha)
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        super()._update(feedback)
+        self.step_rule.alpha = self._fixed_alpha  # undo the schedule
+
+
+class AggressiveDolbie(FixedStepDolbie):
+    """alpha = 1: jump all the way to x' (guarded for feasibility)."""
+
+    name = "DOLBIE[alpha=1]"
+
+    def __init__(self, num_workers: int) -> None:
+        super().__init__(num_workers, alpha=1.0)
+
+
+class GreedyTargetDolbie(Dolbie):
+    """x' = 1 for every non-straggler: no risk-averse level-set cap."""
+
+    name = "DOLBIE[greedy-x']"
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        x = self._allocation
+        s = feedback.straggler
+        alpha = self.step_rule.alpha
+        x_prime = np.ones_like(x)
+        x_prime[s] = x[s]
+        g = assistance_vector(x, x_prime, straggler=s)
+        shed = float(g[s])
+        if shed > 0.0:
+            alpha = min(alpha, x[s] / shed)
+        x_next = x - alpha * g
+        x_next[s] = 1.0 - (x_next.sum() - x_next[s])
+        if -1e-12 < x_next[s] < 0.0:
+            x_next[s] = 0.0
+        self.straggler_history.append(s)
+        self._allocation = x_next
+        self.step_rule.advance(x_next[s])
+
+
+class SingleHelperDolbie(Dolbie):
+    """Only the fastest worker assists (LB-BSP-style participation)."""
+
+    name = "DOLBIE[single-helper]"
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        x = self._allocation
+        s = feedback.straggler
+        alpha = self.step_rule.alpha
+        x_prime = acceptable_workloads(feedback.costs, x, feedback.global_cost, s)
+        helper = int(np.argmin(feedback.local_costs))
+        # Only the fastest worker keeps its risk-averse target; everyone
+        # else stays put, so a single worker assists per round.
+        x_prime = np.where(np.arange(x.size) == helper, x_prime, x)
+        x_prime[s] = x[s]
+        g = assistance_vector(x, x_prime, straggler=s)
+        shed = float(g[s])
+        if shed > 0.0:
+            alpha = min(alpha, x[s] / shed)
+        x_next = x - alpha * g
+        x_next[s] = 1.0 - (x_next.sum() - x_next[s])
+        if -1e-12 < x_next[s] < 0.0:
+            x_next[s] = 0.0
+        self.straggler_history.append(s)
+        self._allocation = x_next
+        self.step_rule.advance(x_next[s])
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    model: str
+    total_cost: dict[str, float]
+    final_latency: dict[str, float]
+
+
+def run(scale: ExperimentScale = PAPER, model: str = "ResNet18") -> AblationResult:
+    env = TrainingEnvironment(
+        model,
+        num_workers=scale.num_workers,
+        global_batch=scale.global_batch,
+        seed=scale.base_seed,
+    )
+    from repro.core.restart import RestartDolbie
+
+    variants = [
+        Dolbie(scale.num_workers, alpha_1=0.001),
+        FixedStepDolbie(scale.num_workers, alpha=0.001),
+        AggressiveDolbie(scale.num_workers),
+        GreedyTargetDolbie(scale.num_workers, alpha_1=0.001),
+        SingleHelperDolbie(scale.num_workers, alpha_1=0.001),
+        RestartDolbie(scale.num_workers, alpha_1=0.001),
+    ]
+    totals: dict[str, float] = {}
+    finals: dict[str, float] = {}
+    for variant in variants:
+        result = run_online(variant, env, scale.rounds)
+        totals[variant.name] = result.total_cost
+        finals[variant.name] = float(result.global_costs[-10:].mean())
+    return AblationResult(model=model, total_cost=totals, final_latency=finals)
+
+
+def main(scale: ExperimentScale = PAPER) -> AblationResult:
+    result = run(scale)
+    rows = [
+        [name, result.total_cost[name], result.final_latency[name] * 1e3]
+        for name in result.total_cost
+    ]
+    print_table(
+        f"Ablations — accumulated cost and final latency, {result.model}",
+        ["variant", "total_s", "final_ms"],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

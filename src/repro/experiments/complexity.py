@@ -1,0 +1,142 @@
+"""§IV-C — communication and computation complexity of the protocols.
+
+Runs the message-passing implementations of Algorithm 1 and Algorithm 2
+on the discrete-event substrate for a range of fleet sizes and counts
+real messages: master-worker must be exactly ``3N`` per round (O(N)) and
+fully-distributed exactly ``N^2 - 1`` (O(N^2)), while per-round
+computation per worker is O(1) in both. A second sweep times the
+centralized decision step of DOLBIE vs the projection-based OGD and the
+instantaneous solver OPT as N grows, reproducing the computation-
+complexity comparison (O(N) vs O(N log N)+gradient vs full solve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.experiments.config import ExperimentScale, PAPER, paper_balancer
+from repro.experiments.reporting import print_table
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+__all__ = [
+    "ComplexityResult",
+    "ComputeOverheadResult",
+    "run",
+    "run_compute_overhead",
+    "main",
+    "expected_master_worker",
+    "expected_fully_distributed",
+]
+
+
+def expected_master_worker(num_workers: int) -> int:
+    """Alg. 1 messages per round: N costs + N coords + (N-1) decisions + 1."""
+    return 3 * num_workers
+
+
+def expected_fully_distributed(num_workers: int) -> int:
+    """Alg. 2 messages per round: N(N-1) broadcasts + (N-1) decisions."""
+    return num_workers * num_workers - 1
+
+
+@dataclass(frozen=True)
+class ComplexityResult:
+    worker_counts: list[int]
+    messages_mw: list[float]  # per-round, measured
+    messages_fd: list[float]
+    bytes_mw: list[float]
+    bytes_fd: list[float]
+
+
+def run(scale: ExperimentScale = PAPER, rounds: int = 20) -> ComplexityResult:
+    counts = list(scale.complexity_worker_counts)
+    msgs_mw, msgs_fd, bytes_mw, bytes_fd = [], [], [], []
+    for n in counts:
+        process = RandomAffineProcess(
+            speeds=[1.0 + i for i in range(n)], sigma=0.1, seed=scale.base_seed
+        )
+        mw = MasterWorkerDolbie(n)
+        mw.run(process, rounds)
+        msgs_mw.append(mw.metrics.mean_messages_per_round())
+        bytes_mw.append(mw.metrics.bytes_total / rounds)
+        fd = FullyDistributedDolbie(n)
+        fd.run(process, rounds)
+        msgs_fd.append(fd.metrics.mean_messages_per_round())
+        bytes_fd.append(fd.metrics.bytes_total / rounds)
+    return ComplexityResult(
+        worker_counts=counts,
+        messages_mw=msgs_mw,
+        messages_fd=msgs_fd,
+        bytes_mw=bytes_mw,
+        bytes_fd=bytes_fd,
+    )
+
+
+@dataclass(frozen=True)
+class ComputeOverheadResult:
+    worker_counts: list[int]
+    seconds_per_round: dict[str, list[float]]  # algorithm -> per N
+
+
+def run_compute_overhead(
+    worker_counts: tuple[int, ...] = (30, 100, 300, 1000),
+    rounds: int = 30,
+    algorithms: tuple[str, ...] = ("DOLBIE", "OGD", "OPT"),
+    seed: int = 0,
+) -> ComputeOverheadResult:
+    """Measure mean decision+update wall-clock per round vs fleet size."""
+    per_algo: dict[str, list[float]] = {name: [] for name in algorithms}
+    for n in worker_counts:
+        process = RandomAffineProcess(
+            speeds=[1.0 + (i % 17) for i in range(n)], sigma=0.1, seed=seed
+        )
+        for name in algorithms:
+            balancer = paper_balancer(name, n)
+            result = run_online(balancer, process, rounds)
+            # Drop the first (warm-up) round from the timing average.
+            per_algo[name].append(float(result.decision_seconds[1:].mean()))
+    return ComputeOverheadResult(
+        worker_counts=list(worker_counts), seconds_per_round=per_algo
+    )
+
+
+def main(scale: ExperimentScale = PAPER) -> ComplexityResult:
+    result = run(scale)
+    rows = []
+    for i, n in enumerate(result.worker_counts):
+        rows.append(
+            [
+                n,
+                result.messages_mw[i],
+                expected_master_worker(n),
+                result.messages_fd[i],
+                expected_fully_distributed(n),
+                result.bytes_mw[i],
+                result.bytes_fd[i],
+            ]
+        )
+    print_table(
+        "§IV-C — per-round communication (measured vs analytic)",
+        ["N", "MW msgs", "3N", "FD msgs", "N^2-1", "MW bytes", "FD bytes"],
+        rows,
+    )
+    counts = tuple(min(n * 10, 1000) for n in scale.complexity_worker_counts[:3])
+    overhead = run_compute_overhead(worker_counts=counts)
+    rows = [
+        [n]
+        + [overhead.seconds_per_round[name][i] * 1e6 for name in overhead.seconds_per_round]
+        for i, n in enumerate(overhead.worker_counts)
+    ]
+    print_table(
+        "§IV-C — decision overhead per round vs N (microseconds)",
+        ["N"] + list(overhead.seconds_per_round),
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

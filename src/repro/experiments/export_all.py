@@ -1,0 +1,148 @@
+"""Export every experiment's data series to CSV files.
+
+``python -m repro export --out results/ --scale quick`` materializes the
+exact numbers behind each figure so external plotting tools (or the
+paper-comparison spreadsheet) can consume them. One CSV per experiment,
+long format, deterministic content per scale/seed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import (
+    complexity,
+    fig3_per_round_latency,
+    fig4_latency_ci,
+    fig5_cumulative_latency,
+    fig6to8_accuracy,
+    fig11_utilization,
+    regret_experiment,
+    sensitivity,
+)
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.experiments.reporting import save_csv
+
+__all__ = ["export_all"]
+
+
+def _export_fig3(scale: ExperimentScale, out: Path) -> Path:
+    result = fig3_per_round_latency.run(scale)
+    rows = [
+        [name, t + 1, float(series[t])]
+        for name, series in result.latency.items()
+        for t in range(len(series))
+    ]
+    return save_csv(out / "fig3_per_round_latency.csv",
+                    ["algorithm", "round", "latency_s"], rows)
+
+
+def _export_fig4(scale: ExperimentScale, out: Path) -> Path:
+    result = fig4_latency_ci.run(scale)
+    rows = [
+        [name, t + 1, float(result.mean[name][t]), float(result.ci95[name][t])]
+        for name in result.mean
+        for t in range(len(result.mean[name]))
+    ]
+    return save_csv(out / "fig4_latency_ci.csv",
+                    ["algorithm", "round", "mean_s", "ci95_s"], rows)
+
+
+def _export_fig5(scale: ExperimentScale, out: Path) -> Path:
+    result = fig5_cumulative_latency.run(scale)
+    rows = [
+        [name, total, ci] for name, (total, ci) in result.final_totals().items()
+    ]
+    return save_csv(out / "fig5_cumulative_totals.csv",
+                    ["algorithm", "total_s", "ci95_s"], rows)
+
+
+def _export_fig6to8(scale: ExperimentScale, out: Path) -> Path:
+    result = fig6to8_accuracy.run(scale, models=["ResNet18"])
+    rows = [
+        [model, name, seconds]
+        for model, times in result.time_to_target.items()
+        for name, seconds in times.items()
+    ]
+    return save_csv(out / "fig6to8_time_to_accuracy.csv",
+                    ["model", "algorithm", "seconds"], rows)
+
+
+def _export_fig11(scale: ExperimentScale, out: Path) -> Path:
+    result = fig11_utilization.run(scale)
+    rows = [
+        [name, comp["computation"], comp["communication"], comp["waiting"],
+         result.overhead[name].mean]
+        for name, comp in result.breakdown.items()
+    ]
+    return save_csv(
+        out / "fig11_utilization.csv",
+        ["algorithm", "compute_s", "comm_s", "waiting_s", "overhead_mean_s"],
+        rows,
+    )
+
+
+def _export_complexity(scale: ExperimentScale, out: Path) -> Path:
+    result = complexity.run(scale, rounds=10)
+    rows = [
+        [n, result.messages_mw[i], result.messages_fd[i],
+         result.bytes_mw[i], result.bytes_fd[i]]
+        for i, n in enumerate(result.worker_counts)
+    ]
+    return save_csv(out / "complexity_messages.csv",
+                    ["N", "mw_msgs", "fd_msgs", "mw_bytes", "fd_bytes"], rows)
+
+
+def _export_regret(scale: ExperimentScale, out: Path) -> Path:
+    result = regret_experiment.run(scale)
+    rows = [
+        ["horizon", p.horizon, p.num_workers, p.regret, p.bound, p.path_length]
+        for p in result.horizon_sweep
+    ] + [
+        ["workers", p.horizon, p.num_workers, p.regret, p.bound, p.path_length]
+        for p in result.worker_sweep
+    ]
+    return save_csv(out / "regret_vs_bound.csv",
+                    ["sweep", "T", "N", "regret", "bound", "path_length"], rows)
+
+
+def _export_sensitivity(scale: ExperimentScale, out: Path) -> Path:
+    result = sensitivity.run(scale)
+    rows = [
+        [name, sensitivity.SWEEPS[name][0], value, total]
+        for name, totals in result.totals.items()
+        for value, total in totals.items()
+    ]
+    return save_csv(out / "sensitivity.csv",
+                    ["algorithm", "hyperparameter", "value", "total_s"], rows)
+
+
+_EXPORTERS = {
+    "fig3": _export_fig3,
+    "fig4": _export_fig4,
+    "fig5": _export_fig5,
+    "fig6to8": _export_fig6to8,
+    "fig11": _export_fig11,
+    "complexity": _export_complexity,
+    "regret": _export_regret,
+    "sensitivity": _export_sensitivity,
+}
+
+
+def export_all(
+    out_dir: str | Path,
+    scale: ExperimentScale = QUICK,
+    only: list[str] | None = None,
+) -> list[Path]:
+    """Run the exporters and return the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = only if only is not None else sorted(_EXPORTERS)
+    written = []
+    for name in names:
+        if name not in _EXPORTERS:
+            raise KeyError(
+                f"unknown export {name!r}; known: {sorted(_EXPORTERS)}"
+            )
+        written.append(_EXPORTERS[name](scale, out))
+    return written

@@ -1,0 +1,71 @@
+"""Fig. 10 — per-worker batch size per round under each algorithm.
+
+The companion of Fig. 9: how many samples each worker is assigned over
+time. The paper's qualitative observations, all checked by the
+integration tests: GPUs end up with large batches, the Broadwell
+stragglers shrink toward near-zero, ABS oscillates, LB-BSP moves in
+Delta-sized staircase steps, and DOLBIE converges smoothly and quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.harness import train_all
+from repro.experiments.reporting import print_table
+from repro.mlsim.environment import TrainingEnvironment
+
+__all__ = ["Fig10Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    model: str
+    global_batch: int
+    worker_types: list[str]
+    batch_sizes: dict[str, np.ndarray]  # algorithm -> (T, N) samples
+
+
+def run(scale: ExperimentScale = PAPER, model: str = "ResNet18", seed: int | None = None) -> Fig10Result:
+    seed = seed if seed is not None else scale.base_seed
+    runs = train_all(model, scale, seed=seed)
+    env = TrainingEnvironment(
+        model,
+        num_workers=scale.num_workers,
+        global_batch=scale.global_batch,
+        seed=seed,
+    )
+    return Fig10Result(
+        model=model,
+        global_batch=scale.global_batch,
+        worker_types=env.processor_names(),
+        batch_sizes={name: run.batch_sizes.astype(float) for name, run in runs.items()},
+    )
+
+
+def main(scale: ExperimentScale = PAPER) -> Fig10Result:
+    result = run(scale)
+    types = np.array(result.worker_types)
+    horizon = len(next(iter(result.batch_sizes.values())))
+    sample_rounds = sorted({1, 10, 20, 40, horizon})
+    for name, sizes in result.batch_sizes.items():
+        rows = []
+        for ptype in sorted(set(result.worker_types)):
+            mask = types == ptype
+            rows.append(
+                [ptype] + [sizes[r - 1, mask].mean() for r in sample_rounds]
+            )
+        print_table(
+            f"Fig. 10 — mean batch size by processor type (samples of "
+            f"B={result.global_batch}), {name}, {result.model}",
+            ["type"] + [f"r{r}" for r in sample_rounds],
+            rows,
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fig. 4 — per-round latency with 95% CI over processor-sampling realizations.
+
+The paper re-samples the 30-worker fleet 100 times and plots the mean
+per-round latency of each algorithm with a 95% confidence band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.harness import stack_round_latency, sweep_realizations
+from repro.experiments.reporting import print_table
+from repro.utils.stats import mean_ci
+
+__all__ = ["Fig4Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    model: str
+    realizations: int
+    mean: dict[str, np.ndarray]  # algorithm -> (T,) seconds
+    ci95: dict[str, np.ndarray]  # algorithm -> (T,) half-width
+
+
+def run(scale: ExperimentScale = PAPER, model: str = "ResNet18") -> Fig4Result:
+    sweeps = sweep_realizations(model, scale)
+    mean: dict[str, np.ndarray] = {}
+    ci: dict[str, np.ndarray] = {}
+    for name, runs in sweeps.items():
+        latency = stack_round_latency(runs)  # (R, T)
+        mean[name], ci[name] = mean_ci(latency, axis=0)
+    return Fig4Result(
+        model=model, realizations=scale.realizations, mean=mean, ci95=ci
+    )
+
+
+def main(scale: ExperimentScale = PAPER) -> Fig4Result:
+    result = run(scale)
+    horizon = len(next(iter(result.mean.values())))
+    sample_rounds = sorted({1, 5, 10, 20, 40, horizon})
+    rows = []
+    for name in result.mean:
+        cells = [name]
+        for r in sample_rounds:
+            m = result.mean[name][r - 1] * 1e3
+            c = result.ci95[name][r - 1] * 1e3
+            cells.append(f"{m:.2f}±{c:.2f}")
+        rows.append(cells)
+    print_table(
+        f"Fig. 4 — per-round latency (ms, mean±95%CI over "
+        f"{result.realizations} realizations), {result.model}",
+        ["algorithm"] + [f"r{r}" for r in sample_rounds],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Fig. 5 — cumulative training latency with 95% CI.
+
+Companion of Fig. 4 (the paper shows both "with 95% CI, over 100
+realizations of processor sampling"): the accumulated wall-clock cost
+sum_{tau<=t} f_tau(x_tau) — the objective of problem (1) — including each
+balancer's own decision overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.harness import stack_cumulative_latency, sweep_realizations
+from repro.experiments.reporting import print_table
+from repro.utils.stats import mean_ci
+
+__all__ = ["Fig5Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    model: str
+    realizations: int
+    mean: dict[str, np.ndarray]  # (T,) cumulative seconds
+    ci95: dict[str, np.ndarray]
+
+    def final_totals(self) -> dict[str, tuple[float, float]]:
+        """Total accumulated latency at the horizon, per algorithm."""
+        return {
+            name: (float(self.mean[name][-1]), float(self.ci95[name][-1]))
+            for name in self.mean
+        }
+
+
+def run(scale: ExperimentScale = PAPER, model: str = "ResNet18") -> Fig5Result:
+    sweeps = sweep_realizations(model, scale)
+    mean: dict[str, np.ndarray] = {}
+    ci: dict[str, np.ndarray] = {}
+    for name, runs in sweeps.items():
+        cumulative = stack_cumulative_latency(runs)
+        mean[name], ci[name] = mean_ci(cumulative, axis=0)
+    return Fig5Result(
+        model=model, realizations=scale.realizations, mean=mean, ci95=ci
+    )
+
+
+def main(scale: ExperimentScale = PAPER) -> Fig5Result:
+    result = run(scale)
+    rows = [
+        [name, total, half]
+        for name, (total, half) in result.final_totals().items()
+    ]
+    print_table(
+        f"Fig. 5 — cumulative latency at horizon (s, mean / 95%CI over "
+        f"{result.realizations} realizations), {result.model}",
+        ["algorithm", "total_s", "ci95_s"],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

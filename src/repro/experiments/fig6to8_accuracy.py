@@ -1,0 +1,88 @@
+"""Figs. 6-8 — training accuracy vs wall-clock time (LeNet5/ResNet18/VGG16).
+
+The paper trains each model for 100 epochs and plots accuracy against
+wall-clock time, then quotes time-to-95%-training-accuracy speedups:
+"When training ResNet18 for 95% training accuracy, DOLBIE speeds up the
+training time by 78.1%, 67.4%, 46.9%, and 34.1% ... compared with EQU,
+OGD, LB-BSP, and ABS" and "the performance advantage of DOLBIE over
+LB-BSP increases from 27.6% to 83.2% when the ML task is changed from
+LeNet5 to VGG16".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.harness import reduction_vs, train_all
+from repro.experiments.reporting import print_table
+from repro.mlsim.trainer import TrainingRun
+
+__all__ = ["AccuracyResult", "run", "main", "TARGET_ACCURACY"]
+
+TARGET_ACCURACY = 0.95
+MODELS = ["LeNet5", "ResNet18", "VGG16"]
+SPEEDUP_BASELINES = ["EQU", "OGD", "LB-BSP", "ABS"]
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Accuracy-vs-time curves and time-to-accuracy per model."""
+
+    runs: dict[str, dict[str, TrainingRun]]  # model -> algorithm -> run
+    time_to_target: dict[str, dict[str, float]]  # model -> algorithm -> s
+    speedups: dict[str, dict[str, float]]  # model -> baseline -> percent
+
+
+def run(
+    scale: ExperimentScale = PAPER,
+    models: list[str] | None = None,
+    target: float | None = None,
+) -> AccuracyResult:
+    models = models if models is not None else list(MODELS)
+    target = target if target is not None else scale.accuracy_target
+    all_runs: dict[str, dict[str, TrainingRun]] = {}
+    times: dict[str, dict[str, float]] = {}
+    speedups: dict[str, dict[str, float]] = {}
+    for model in models:
+        runs = train_all(model, scale, rounds=scale.accuracy_rounds)
+        all_runs[model] = runs
+        times[model] = {
+            name: run.time_to_accuracy(target) for name, run in runs.items()
+        }
+        dolbie = times[model]["DOLBIE"]
+        speedups[model] = {
+            base: reduction_vs(dolbie, times[model][base])
+            for base in SPEEDUP_BASELINES
+            if base in times[model]
+        }
+    return AccuracyResult(runs=all_runs, time_to_target=times, speedups=speedups)
+
+
+def main(scale: ExperimentScale = PAPER) -> AccuracyResult:
+    result = run(scale)
+    target = scale.accuracy_target
+    for model, times in result.time_to_target.items():
+        rows = [[name, t] for name, t in times.items()]
+        print_table(
+            f"Figs. 6-8 — wall-clock seconds to {target:.0%} training "
+            f"accuracy, {model}",
+            ["algorithm", "seconds"],
+            rows,
+        )
+        rows = [
+            ["speedup %"] + [result.speedups[model].get(b, float("nan"))
+                              for b in SPEEDUP_BASELINES]
+        ]
+        print_table(
+            f"DOLBIE speedup to {target:.0%} accuracy, {model} "
+            "(paper ResNet18 at 95%: 78.1 / 67.4 / 46.9 / 34.1 %)",
+            ["vs"] + SPEEDUP_BASELINES,
+            rows,
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Fig. 9 — per-worker, per-round training latency under each algorithm.
+
+One subfigure per algorithm, one line per worker, colored by processor
+type: the paper shows the most powerful GPUs in green, Cascade Lake in
+orange and the straggling Broadwell in red. The reproduction reports the
+per-type latency trajectories and the convergence statistic the paper
+discusses — the spread between the fastest and slowest worker, which
+shrinks "much more quickly in DOLBIE".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, PAPER
+from repro.experiments.harness import train_all
+from repro.experiments.reporting import print_table
+from repro.mlsim.environment import TrainingEnvironment
+
+__all__ = ["Fig9Result", "run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    model: str
+    worker_types: list[str]
+    local_latency: dict[str, np.ndarray]  # algorithm -> (T, N) seconds
+    spread: dict[str, np.ndarray]  # algorithm -> (T,) max-min latency
+
+    def convergence_round(self, algorithm: str, tolerance: float = 0.25) -> int:
+        """First round from which the worker-latency spread stays below
+        ``tolerance`` x the *initial* spread; horizon+1 if never.
+
+        The initial spread (the equal-split heterogeneity gap) is the
+        natural yardstick: communication-time differences put a floor
+        under the absolute spread, so "converged" means the balancer has
+        closed most of the closable gap.
+        """
+        spread = self.spread[algorithm]
+        threshold = tolerance * float(spread[0])
+        below = spread <= threshold
+        for t in range(len(below)):
+            if below[t:].all():
+                return t + 1
+        return len(below) + 1
+
+
+def run(scale: ExperimentScale = PAPER, model: str = "ResNet18", seed: int | None = None) -> Fig9Result:
+    seed = seed if seed is not None else scale.base_seed
+    runs = train_all(model, scale, seed=seed)
+    env = TrainingEnvironment(
+        model,
+        num_workers=scale.num_workers,
+        global_batch=scale.global_batch,
+        seed=seed,
+    )
+    local = {name: run.local_latency for name, run in runs.items()}
+    spread = {
+        name: lat.max(axis=1) - lat.min(axis=1) for name, lat in local.items()
+    }
+    return Fig9Result(
+        model=model,
+        worker_types=env.processor_names(),
+        local_latency=local,
+        spread=spread,
+    )
+
+
+def main(scale: ExperimentScale = PAPER) -> Fig9Result:
+    result = run(scale)
+    types = np.array(result.worker_types)
+    sample_rounds = sorted({1, 10, 20, 40, len(next(iter(result.spread.values())))})
+    for name, lat in result.local_latency.items():
+        rows = []
+        for ptype in sorted(set(result.worker_types)):
+            mask = types == ptype
+            rows.append(
+                [ptype]
+                + [lat[r - 1, mask].mean() * 1e3 for r in sample_rounds]
+            )
+        print_table(
+            f"Fig. 9 — mean per-worker latency by processor type (ms), "
+            f"{name}, {result.model}",
+            ["type"] + [f"r{r}" for r in sample_rounds],
+            rows,
+        )
+    rows = [
+        [name, result.convergence_round(name)] for name in result.spread
+    ]
+    print_table(
+        "Fig. 9 — round at which worker latencies converge "
+        "(spread < 25% of round latency; lower is faster)",
+        ["algorithm", "round"],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Shared machinery for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.config import ALL_ALGORITHMS, ExperimentScale, paper_balancer
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer, TrainingRun
+
+__all__ = [
+    "train_all",
+    "sweep_realizations",
+    "reduction_vs",
+    "stack_round_latency",
+    "stack_cumulative_latency",
+]
+
+
+def train_all(
+    model: str,
+    scale: ExperimentScale,
+    rounds: int | None = None,
+    seed: int | None = None,
+    algorithms: Sequence[str] | None = None,
+) -> dict[str, TrainingRun]:
+    """Run every algorithm once on the same environment realization."""
+    algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
+    rounds = rounds if rounds is not None else scale.rounds
+    seed = seed if seed is not None else scale.base_seed
+    env = TrainingEnvironment(
+        model,
+        num_workers=scale.num_workers,
+        global_batch=scale.global_batch,
+        seed=seed,
+    )
+    trainer = SyncTrainer(env)
+    return {
+        name: trainer.train(paper_balancer(name, scale.num_workers), rounds)
+        for name in algorithms
+    }
+
+
+def sweep_realizations(
+    model: str,
+    scale: ExperimentScale,
+    rounds: int | None = None,
+    algorithms: Sequence[str] | None = None,
+) -> dict[str, list[TrainingRun]]:
+    """Run every algorithm over ``scale.realizations`` processor samplings.
+
+    Realization ``r`` uses seed ``base_seed + r`` for the environment, so
+    all algorithms inside one realization face identical costs (paired
+    comparison, as in the paper's Figs. 4-5).
+    """
+    algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
+    out: dict[str, list[TrainingRun]] = {name: [] for name in algorithms}
+    for r in range(scale.realizations):
+        runs = train_all(model, scale, rounds=rounds, seed=scale.base_seed + r,
+                         algorithms=algorithms)
+        for name, run in runs.items():
+            out[name].append(run)
+    return out
+
+
+def reduction_vs(value: float, baseline: float) -> float:
+    """Percentage reduction of ``value`` relative to ``baseline``."""
+    if baseline <= 0:
+        return float("nan")
+    return 100.0 * (1.0 - value / baseline)
+
+
+def stack_round_latency(runs: list[TrainingRun]) -> np.ndarray:
+    """(R, T) per-round latency across realizations."""
+    return np.stack([run.round_latency for run in runs])
+
+
+def stack_cumulative_latency(runs: list[TrainingRun]) -> np.ndarray:
+    """(R, T) cumulative wall-clock (incl. balancer overhead)."""
+    return np.stack([run.wall_clock for run in runs])

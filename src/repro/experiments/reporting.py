@@ -1,0 +1,107 @@
+"""Plain-text and CSV reporting for the experiment harness.
+
+Every experiment prints the same rows/series the paper's figures plot,
+as aligned ASCII tables (and optionally CSV files), so `EXPERIMENTS.md`
+can quote them directly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "save_csv", "format_series", "sparkline"]
+
+#: Eight-level block characters used by :func:`sparkline`.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in str_rows
+    )
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows, float_format))
+
+
+def save_csv(
+    path: str | Path, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write rows to ``path`` as CSV and return the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return out
+
+
+def format_series(name: str, values: Sequence[float], every: int = 10) -> str:
+    """Compact one-line rendering of a long series, sampled every k points."""
+    sampled = [f"{v:.4g}" for v in list(values)[::every]]
+    return f"{name}: " + " ".join(sampled)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a unicode block sparkline (terminal 'plot').
+
+    The series is resampled to ``width`` columns by block-averaging, then
+    quantized to eight block heights, min-to-max scaled. Constant series
+    render as a flat mid-level line.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        raise ValueError("cannot sparkline an empty series")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    n = len(series)
+    if n > width:
+        # Block-average down to `width` columns.
+        edges = [round(k * n / width) for k in range(width + 1)]
+        series = [
+            sum(series[a:b]) / max(b - a, 1)
+            for a, b in zip(edges, edges[1:])
+            if b > a
+        ]
+    lo, hi = min(series), max(series)
+    if hi - lo <= 1e-30:
+        return _SPARK_LEVELS[3] * len(series)
+    quantized = [
+        _SPARK_LEVELS[min(7, int(8 * (v - lo) / (hi - lo)))] for v in series
+    ]
+    return "".join(quantized)

@@ -1,0 +1,123 @@
+"""Save and load run trajectories (.npz).
+
+Experiments at paper scale take minutes; persisting the resulting
+:class:`~repro.core.loop.RunResult` / :class:`~repro.mlsim.trainer.TrainingRun`
+objects lets analysis and plotting iterate without re-running. The format
+is a plain ``numpy.savez_compressed`` archive with a metadata header, so
+archives remain readable without this library.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.loop import RunResult
+from repro.exceptions import ConfigurationError
+from repro.mlsim.trainer import TrainingRun
+
+__all__ = ["save_run", "load_run", "save_training_run", "load_training_run"]
+
+_RUN_FORMAT = "repro.RunResult.v1"
+_TRAINING_FORMAT = "repro.TrainingRun.v1"
+
+
+def save_run(run: RunResult, path: str | Path) -> Path:
+    """Persist a :class:`RunResult` to ``path`` (.npz)."""
+    out = Path(path)
+    if out.suffix != ".npz":
+        out = out.with_suffix(out.suffix + ".npz")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out,
+        format=np.array(_RUN_FORMAT),
+        algorithm=np.array(run.algorithm),
+        num_workers=np.array(run.num_workers),
+        horizon=np.array(run.horizon),
+        allocations=run.allocations,
+        local_costs=run.local_costs,
+        global_costs=run.global_costs,
+        stragglers=run.stragglers,
+        decision_seconds=run.decision_seconds,
+    )
+    return out
+
+
+def load_run(path: str | Path) -> RunResult:
+    """Load a :class:`RunResult` saved by :func:`save_run`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _RUN_FORMAT:
+            raise ConfigurationError(
+                f"{path} has format {fmt!r}, expected {_RUN_FORMAT!r}"
+            )
+        return RunResult(
+            algorithm=str(data["algorithm"]),
+            num_workers=int(data["num_workers"]),
+            horizon=int(data["horizon"]),
+            allocations=data["allocations"],
+            local_costs=data["local_costs"],
+            global_costs=data["global_costs"],
+            stragglers=data["stragglers"],
+            decision_seconds=data["decision_seconds"],
+        )
+
+
+def save_training_run(run: TrainingRun, path: str | Path) -> Path:
+    """Persist a :class:`TrainingRun` to ``path`` (.npz)."""
+    out = Path(path)
+    if out.suffix != ".npz":
+        out = out.with_suffix(out.suffix + ".npz")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        out,
+        format=np.array(_TRAINING_FORMAT),
+        algorithm=np.array(run.algorithm),
+        model=np.array(run.model),
+        num_workers=np.array(run.num_workers),
+        rounds=np.array(run.rounds),
+        global_batch=np.array(run.global_batch),
+        batch_fractions=run.batch_fractions,
+        batch_sizes=run.batch_sizes,
+        compute_time=run.compute_time,
+        comm_time=run.comm_time,
+        local_latency=run.local_latency,
+        round_latency=run.round_latency,
+        waiting_time=run.waiting_time,
+        stragglers=run.stragglers,
+        decision_seconds=run.decision_seconds,
+        wall_clock=run.wall_clock,
+        epochs=run.epochs,
+        accuracy=run.accuracy,
+    )
+    return out
+
+
+def load_training_run(path: str | Path) -> TrainingRun:
+    """Load a :class:`TrainingRun` saved by :func:`save_training_run`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _TRAINING_FORMAT:
+            raise ConfigurationError(
+                f"{path} has format {fmt!r}, expected {_TRAINING_FORMAT!r}"
+            )
+        return TrainingRun(
+            algorithm=str(data["algorithm"]),
+            model=str(data["model"]),
+            num_workers=int(data["num_workers"]),
+            rounds=int(data["rounds"]),
+            global_batch=int(data["global_batch"]),
+            batch_fractions=data["batch_fractions"],
+            batch_sizes=data["batch_sizes"],
+            compute_time=data["compute_time"],
+            comm_time=data["comm_time"],
+            local_latency=data["local_latency"],
+            round_latency=data["round_latency"],
+            waiting_time=data["waiting_time"],
+            stragglers=data["stragglers"],
+            decision_seconds=data["decision_seconds"],
+            wall_clock=data["wall_clock"],
+            epochs=data["epochs"],
+            accuracy=data["accuracy"],
+        )

@@ -1,0 +1,11 @@
+"""Instantaneous min-max solver (the OPT oracle and regret comparator)."""
+
+from repro.minmax.scipy_solver import solve_min_max_scipy
+from repro.minmax.solver import MinMaxSolution, evaluate_allocation, solve_min_max
+
+__all__ = [
+    "MinMaxSolution",
+    "evaluate_allocation",
+    "solve_min_max",
+    "solve_min_max_scipy",
+]

@@ -1,0 +1,88 @@
+"""Independent min-max solver built on scipy (cross-validation oracle).
+
+The level-bisection solver in :mod:`repro.minmax.solver` is exact for
+increasing costs but self-written; this module solves the same problem
+with :func:`scipy.optimize.minimize` (SLSQP on the epigraph form)
+
+    min_{x, z} z   s.t.  f_i(x_i) <= z,  sum x = 1,  x >= 0,
+
+so the test suite can cross-check the two implementations on smooth
+instances. SLSQP needs differentiable constraints and can stall on flat
+or kinked costs, so this solver is a *validation tool*, not the
+production oracle — the bisection solver needs only monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.costs.base import CostFunction
+from repro.exceptions import SolverError
+from repro.minmax.solver import MinMaxSolution, evaluate_allocation
+
+__all__ = ["solve_min_max_scipy"]
+
+
+def solve_min_max_scipy(
+    costs: Sequence[CostFunction],
+    tol: float = 1e-9,
+    max_iter: int = 500,
+) -> MinMaxSolution:
+    """Solve ``min_x max_i f_i(x_i)`` via SLSQP on the epigraph form."""
+    n = len(costs)
+    if n < 1:
+        raise SolverError("need at least one cost function")
+    if n == 1:
+        value = costs[0](1.0)
+        return MinMaxSolution(
+            allocation=np.array([1.0]), value=value, level=value, iterations=0
+        )
+
+    # Variables: (x_1..x_n, z). Start at the equal split with its max.
+    x0 = np.full(n, 1.0 / n)
+    _, z0, _ = evaluate_allocation(costs, x0)
+    start = np.concatenate([x0, [z0]])
+
+    def objective(v: np.ndarray) -> float:
+        return float(v[-1])
+
+    constraints = [
+        {"type": "eq", "fun": lambda v: float(v[:-1].sum() - 1.0)},
+    ]
+    for i, cost in enumerate(costs):
+        constraints.append(
+            {
+                "type": "ineq",
+                # z - f_i(x_i) >= 0; clamp into the domain for safety.
+                "fun": lambda v, i=i, c=cost: float(
+                    v[-1] - c(min(max(v[i], 0.0), c.x_max))
+                ),
+            }
+        )
+    bounds = [(0.0, 1.0)] * n + [(0.0, None)]
+
+    result = optimize.minimize(
+        objective,
+        start,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": max_iter, "ftol": tol},
+    )
+    if not result.success:
+        raise SolverError(f"SLSQP failed: {result.message}")
+    allocation = np.maximum(result.x[:-1], 0.0)
+    total = allocation.sum()
+    if total <= 0:
+        raise SolverError("SLSQP returned a degenerate allocation")
+    allocation = allocation / total
+    _, value, _ = evaluate_allocation(costs, allocation)
+    return MinMaxSolution(
+        allocation=allocation,
+        value=value,
+        level=float(result.x[-1]),
+        iterations=int(result.nit),
+    )

@@ -1,0 +1,48 @@
+"""Distributed-ML training simulator: the §VI evaluation substrate."""
+
+from repro.mlsim.dataset import SyntheticDataset, largest_remainder_split
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.learning import LearningCurve
+from repro.mlsim.models import (
+    LENET5,
+    MODEL_CATALOG,
+    RESNET18,
+    VGG16,
+    ModelProfile,
+    get_model,
+)
+from repro.mlsim.netenv import CommEnvironment
+from repro.mlsim.processors import (
+    PROCESSOR_CATALOG,
+    PROCESSOR_NAMES,
+    ProcessorSpec,
+    get_processor,
+    sample_fleet,
+)
+from repro.mlsim.tracefile import TraceEnvironment, TraceTable
+from repro.mlsim.traces import FluctuationTrace
+from repro.mlsim.trainer import SyncTrainer, TrainingRun
+
+__all__ = [
+    "ModelProfile",
+    "MODEL_CATALOG",
+    "LENET5",
+    "RESNET18",
+    "VGG16",
+    "get_model",
+    "ProcessorSpec",
+    "PROCESSOR_CATALOG",
+    "PROCESSOR_NAMES",
+    "get_processor",
+    "sample_fleet",
+    "FluctuationTrace",
+    "TraceTable",
+    "TraceEnvironment",
+    "CommEnvironment",
+    "TrainingEnvironment",
+    "SyntheticDataset",
+    "largest_remainder_split",
+    "LearningCurve",
+    "SyncTrainer",
+    "TrainingRun",
+]

@@ -1,0 +1,66 @@
+"""Synthetic CIFAR-10-like dataset bookkeeping.
+
+The balancers split each round's global batch ``B`` across workers; the
+dataset object tracks epochs (one epoch = one pass over the 50,000
+training samples of CIFAR-10) and converts fractional allocations into
+integer per-worker sample counts with the largest-remainder method, so
+the counts always sum exactly to ``B`` — the "all data samples are
+processed" constraint (2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SyntheticDataset", "largest_remainder_split"]
+
+
+def largest_remainder_split(fractions: np.ndarray, total: int) -> np.ndarray:
+    """Integer counts proportional to ``fractions`` summing to ``total``."""
+    frac = np.asarray(fractions, dtype=float)
+    if frac.ndim != 1 or frac.size == 0:
+        raise ConfigurationError("fractions must be a non-empty 1-D vector")
+    if np.any(frac < -1e-12):
+        raise ConfigurationError("fractions must be non-negative")
+    if total < 0:
+        raise ConfigurationError("total must be >= 0")
+    frac = np.maximum(frac, 0.0)
+    s = frac.sum()
+    if s <= 0:
+        raise ConfigurationError("fractions sum to zero")
+    ideal = frac / s * total
+    counts = np.floor(ideal).astype(int)
+    shortfall = total - int(counts.sum())
+    if shortfall > 0:
+        remainders = ideal - counts
+        # Largest remainders get the leftover samples; ties by index.
+        order = np.argsort(-remainders, kind="stable")
+        counts[order[:shortfall]] += 1
+    return counts
+
+
+class SyntheticDataset:
+    """CIFAR-10-shaped dataset: 50,000 train samples, 10 classes."""
+
+    def __init__(self, num_samples: int = 50_000, num_classes: int = 10) -> None:
+        if num_samples < 1 or num_classes < 2:
+            raise ConfigurationError("need >= 1 sample and >= 2 classes")
+        self.num_samples = int(num_samples)
+        self.num_classes = int(num_classes)
+
+    def epochs_after(self, samples_processed: float) -> float:
+        """Fractional epochs completed after processing that many samples."""
+        if samples_processed < 0:
+            raise ConfigurationError("samples_processed must be >= 0")
+        return samples_processed / self.num_samples
+
+    def rounds_per_epoch(self, global_batch: int) -> float:
+        if global_batch < 1:
+            raise ConfigurationError("global batch must be >= 1")
+        return self.num_samples / global_batch
+
+    def partition(self, fractions: np.ndarray, global_batch: int) -> np.ndarray:
+        """Integer per-worker batch sizes for this round."""
+        return largest_remainder_split(fractions, global_batch)

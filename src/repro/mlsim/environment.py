@@ -1,0 +1,107 @@
+"""The distributed-learning environment as a :class:`CostProcess`.
+
+Binds together the processor fleet, the per-worker speed fluctuation
+traces, and the communication environment into the per-round affine
+latency functions of §III-A:
+
+    f_{i,t}(b) = b * B / gamma_{i,t} + f^C_{i,t}
+
+so that any balancer (and the OPT oracle) can be driven against it with
+the ordinary online loop. The environment is deterministic per seed —
+round ``t`` always produces the same cost vector — and exposes the raw
+``speed_at`` / ``comm_at`` accessors the trainer uses for the per-worker
+time decomposition of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError
+from repro.mlsim.models import ModelProfile, get_model
+from repro.mlsim.netenv import CommEnvironment
+from repro.mlsim.processors import ProcessorSpec, sample_fleet
+from repro.mlsim.traces import FluctuationTrace
+
+__all__ = ["TrainingEnvironment"]
+
+
+class TrainingEnvironment(CostProcess):
+    """Per-round latency functions of a heterogeneous training fleet."""
+
+    def __init__(
+        self,
+        model: ModelProfile | str,
+        num_workers: int = 30,
+        global_batch: int = 256,
+        seed: int = 0,
+        fleet: Sequence[ProcessorSpec] | None = None,
+        speed_volatility: float = 0.03,
+        rate_volatility: float = 0.05,
+        payload_scale: float = 0.005,
+        base_latency: float = 0.001,
+        spike_probability: float = 0.006,
+    ) -> None:
+        super().__init__(num_workers)
+        if global_batch < 1:
+            raise ConfigurationError(f"global batch must be >= 1, got {global_batch}")
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.global_batch = int(global_batch)
+        self.seed = int(seed)
+        if fleet is None:
+            rng = np.random.default_rng(np.random.SeedSequence([seed, 0xF1EE7]))
+            fleet = sample_fleet(num_workers, rng)
+        if len(fleet) != num_workers:
+            raise ConfigurationError(
+                f"fleet has {len(fleet)} processors for {num_workers} workers"
+            )
+        self.fleet = list(fleet)
+        self.base_speeds = np.array(
+            [spec.throughput(self.model) for spec in self.fleet]
+        )
+        self._speed_traces = [
+            FluctuationTrace(
+                rho=0.9,
+                sigma=speed_volatility,
+                spike_probability=spike_probability,
+                spike_slowdown=(0.5, 0.8),
+                spike_mean_duration=4.0,
+                seed=seed * 7_368_787 + 31 * i + 11,
+            )
+            for i in range(num_workers)
+        ]
+        self.comm = CommEnvironment(
+            self.fleet,
+            self.model,
+            payload_scale=payload_scale,
+            base_latency=base_latency,
+            rate_volatility=rate_volatility,
+            seed=seed,
+        )
+
+    def speed_at(self, worker: int, t: int) -> float:
+        """Effective processing speed ``gamma_{i,t}`` in samples/second."""
+        return float(self.base_speeds[worker]) * self._speed_traces[worker].at(t)
+
+    def comm_at(self, worker: int, t: int) -> float:
+        """Communication time ``f^C_{i,t}`` in seconds."""
+        return self.comm.comm_time(worker, t)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        return [
+            AffineLatencyCost.from_system(
+                batch_size=self.global_batch,
+                speed=self.speed_at(i, t),
+                comm_time=self.comm_at(i, t),
+            )
+            for i in range(self.num_workers)
+        ]
+
+    def processor_names(self) -> list[str]:
+        """Device type of each worker (Figs. 9-10 color the lines by this)."""
+        return [spec.name for spec in self.fleet]

@@ -1,0 +1,68 @@
+"""Learning-curve model: training accuracy as a function of progress.
+
+Figs. 6-8 plot training accuracy against wall-clock time. The balancer
+does not change *what* is learned per round — every algorithm processes
+the same global batch ``B`` of samples per round with synchronous SGD —
+it changes only how long a round takes. Accuracy is therefore a function
+of epochs alone, shared across balancers, and the wall-clock axis is
+where they differ. We model it with the standard saturating exponential
+
+    acc(e) = plateau - (plateau - init) * exp(-rate * e)
+
+whose parameters live on each :class:`~repro.mlsim.models.ModelProfile`,
+plus small seeded SGD noise. The inverse (epochs needed to reach a target
+accuracy) gives the paper's "time to 95% training accuracy" statistics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mlsim.models import ModelProfile
+
+__all__ = ["LearningCurve"]
+
+
+class LearningCurve:
+    """Deterministic-plus-noise accuracy trajectory for one model."""
+
+    def __init__(
+        self, model: ModelProfile, noise_std: float = 0.003, seed: int = 0
+    ) -> None:
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+        self.model = model
+        self.noise_std = float(noise_std)
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, 0xACC]))
+
+    def mean_accuracy(self, epochs: float | np.ndarray) -> np.ndarray | float:
+        """Noise-free accuracy after ``epochs`` epochs."""
+        e = np.asarray(epochs, dtype=float)
+        if np.any(e < 0):
+            raise ConfigurationError("epochs must be >= 0")
+        m = self.model
+        acc = m.accuracy_plateau - (m.accuracy_plateau - m.accuracy_init) * np.exp(
+            -m.accuracy_rate * e
+        )
+        return float(acc) if np.isscalar(epochs) else acc
+
+    def accuracy(self, epochs: float) -> float:
+        """Accuracy with SGD noise, clipped to [init, 1]."""
+        mean = float(self.mean_accuracy(epochs))
+        noisy = mean + float(self._rng.normal(0.0, self.noise_std))
+        return min(max(noisy, self.model.accuracy_init), 1.0)
+
+    def epochs_to_accuracy(self, target: float) -> float:
+        """Epochs needed for the mean curve to reach ``target`` accuracy."""
+        m = self.model
+        if not m.accuracy_init <= target < m.accuracy_plateau:
+            raise ConfigurationError(
+                f"target {target} outside reachable range "
+                f"[{m.accuracy_init}, {m.accuracy_plateau})"
+            )
+        return -math.log(
+            (m.accuracy_plateau - target) / (m.accuracy_plateau - m.accuracy_init)
+        ) / m.accuracy_rate

@@ -1,0 +1,92 @@
+"""ML model profiles used by the §VI evaluation.
+
+The paper trains LeNet5, ResNet18, and VGG16 on CIFAR-10. A balancer
+only ever observes latencies, so what matters about each model is (i) its
+computational cost per sample, which sets the processing-time slope,
+(ii) its parameter size, which sets the gradient-transfer time, and
+(iii) the shape of its accuracy-vs-epoch curve for Figs. 6-8. FLOP and
+parameter counts follow the standard CIFAR-10 variants of each
+architecture (forward pass; the trainer charges ~3x for
+forward+backward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ModelProfile", "MODEL_CATALOG", "get_model", "LENET5", "RESNET18", "VGG16"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static description of one training workload."""
+
+    name: str
+    #: Forward-pass FLOPs per sample (CIFAR-10 input, 32x32x3).
+    flops_per_sample: float
+    #: Parameter count (gradient payload has the same cardinality).
+    num_parameters: int
+    #: Training-accuracy plateau of the fitted learning curve.
+    accuracy_plateau: float
+    #: Exponential rate of the learning curve (per epoch).
+    accuracy_rate: float
+    #: Accuracy at epoch zero (random 10-class guessing).
+    accuracy_init: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.flops_per_sample <= 0 or self.num_parameters <= 0:
+            raise ConfigurationError(f"{self.name}: FLOPs and params must be positive")
+        if not self.accuracy_init < self.accuracy_plateau <= 1.0:
+            raise ConfigurationError(f"{self.name}: need init < plateau <= 1")
+        if self.accuracy_rate <= 0:
+            raise ConfigurationError(f"{self.name}: accuracy rate must be positive")
+
+    @property
+    def param_bytes(self) -> float:
+        """Gradient/model payload in bytes (fp32)."""
+        return 4.0 * self.num_parameters
+
+    @property
+    def train_flops_per_sample(self) -> float:
+        """Forward + backward cost (standard ~3x forward heuristic)."""
+        return 3.0 * self.flops_per_sample
+
+
+LENET5 = ModelProfile(
+    name="LeNet5",
+    flops_per_sample=0.66e6,  # ~0.66 MFLOPs forward on 32x32
+    num_parameters=62_006,
+    accuracy_plateau=0.985,
+    accuracy_rate=0.055,  # reaches 95% train accuracy around epoch ~60
+)
+
+RESNET18 = ModelProfile(
+    name="ResNet18",
+    flops_per_sample=37.2e6,  # CIFAR-10 ResNet18 variant
+    num_parameters=11_173_962,
+    accuracy_plateau=0.999,
+    accuracy_rate=0.11,  # ~95% train accuracy around epoch ~28
+)
+
+VGG16 = ModelProfile(
+    name="VGG16",
+    flops_per_sample=313.0e6,  # CIFAR-10 VGG16 variant
+    num_parameters=134_301_514,
+    accuracy_plateau=0.998,
+    accuracy_rate=0.085,
+)
+
+MODEL_CATALOG: dict[str, ModelProfile] = {
+    m.name: m for m in (LENET5, RESNET18, VGG16)
+}
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by its paper name (case-insensitive)."""
+    for key, profile in MODEL_CATALOG.items():
+        if key.lower() == name.lower():
+            return profile
+    known = ", ".join(MODEL_CATALOG)
+    raise ConfigurationError(f"unknown model {name!r}; known: {known}")

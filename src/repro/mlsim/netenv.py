@@ -1,0 +1,75 @@
+"""Communication environment: per-worker gradient-transfer times.
+
+The paper's latency model (§III-A) charges each worker a communication
+term ``f^C_{i,t} = d_{i,t} / phi_{i,t}`` — transmitted model size over
+data rate. We keep that functional form with two measured-system
+refinements:
+
+* ``d`` is the *effective* gradient payload: ``param_bytes *
+  payload_scale``, where the default scale of 0.005 models the sharding /
+  mixed-precision / gradient-compression any practical parameter-server
+  deployment applies (without it, raw fp32 VGG16 gradients over 1 GbE
+  would swamp every compute effect — see DESIGN.md);
+* a constant ``base_latency`` for synchronization/RPC overhead.
+
+Rates fluctuate per worker over rounds via :class:`FluctuationTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.mlsim.models import ModelProfile
+from repro.mlsim.processors import ProcessorSpec
+from repro.mlsim.traces import FluctuationTrace
+
+__all__ = ["CommEnvironment"]
+
+
+class CommEnvironment:
+    """Time-varying communication times for a fleet of workers."""
+
+    def __init__(
+        self,
+        fleet: Sequence[ProcessorSpec],
+        model: ModelProfile,
+        payload_scale: float = 0.005,
+        base_latency: float = 0.001,
+        rate_volatility: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not fleet:
+            raise ConfigurationError("fleet must be non-empty")
+        if payload_scale <= 0 or payload_scale > 1:
+            raise ConfigurationError("payload_scale must lie in (0, 1]")
+        if base_latency < 0:
+            raise ConfigurationError("base_latency must be >= 0")
+        self.fleet = list(fleet)
+        self.model = model
+        self.payload_scale = float(payload_scale)
+        self.base_latency = float(base_latency)
+        self._traces = [
+            FluctuationTrace(
+                rho=0.85,
+                sigma=rate_volatility,
+                spike_probability=0.008,
+                spike_slowdown=(0.5, 0.8),
+                spike_mean_duration=3.0,
+                seed=seed * 1_000_003 + 17 * i + 5,
+            )
+            for i in range(len(self.fleet))
+        ]
+
+    @property
+    def payload_bits(self) -> float:
+        """Effective gradient payload on the wire, in bits."""
+        return 8.0 * self.model.param_bytes * self.payload_scale
+
+    def rate(self, worker: int, t: int) -> float:
+        """Data rate ``phi_{i,t}`` in bits/second."""
+        return self.fleet[worker].nic_bps * self._traces[worker].at(t)
+
+    def comm_time(self, worker: int, t: int) -> float:
+        """``f^C_{i,t} = d / phi_{i,t} + base_latency`` in seconds."""
+        return self.payload_bits / self.rate(worker, t) + self.base_latency

@@ -1,0 +1,126 @@
+"""Processor catalog: the five device types of the §VI testbed.
+
+The paper equips each of the 30 workers with one of five processors
+uniformly at random: NVIDIA Tesla V100, NVIDIA Tesla P100, NVIDIA T4,
+Intel Xeon Gold 6238 (Cascade Lake), and Intel E5-2683 v4 (Broadwell).
+We replace the physical devices with *measured-like throughput profiles*
+(training samples/second per model), chosen so the GPU:CPU heterogeneity
+ratio grows with model cost — ~15x for LeNet5 up to ~90x for VGG16 —
+which is the property that drives the paper's observation that DOLBIE's
+advantage "becomes more substantial as we go from LeNet5 to ResNet18 and
+then VGG16".
+
+Throughputs are derived from each device's sustainable training FLOPS
+(peak x an efficiency factor that shrinks for small models, which
+under-utilize wide GPUs) and are then fluctuated over time by
+:mod:`repro.mlsim.traces`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.mlsim.models import ModelProfile
+
+__all__ = [
+    "ProcessorSpec",
+    "PROCESSOR_CATALOG",
+    "PROCESSOR_NAMES",
+    "get_processor",
+    "sample_fleet",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One device type of the testbed."""
+
+    name: str
+    #: Sustainable training throughput in FLOPS at full efficiency.
+    sustained_flops: float
+    #: Efficiency on small models that cannot saturate the device.
+    small_model_efficiency: float
+    #: Typical NIC rate to the parameter server, bits/second.
+    nic_bps: float
+    #: Hard samples/second ceiling (data-loading / per-sample overhead).
+    max_throughput: float = 2.0e5
+
+    def __post_init__(self) -> None:
+        if self.sustained_flops <= 0 or self.nic_bps <= 0:
+            raise ConfigurationError(f"{self.name}: rates must be positive")
+        if not 0 < self.small_model_efficiency <= 1:
+            raise ConfigurationError(f"{self.name}: efficiency must lie in (0, 1]")
+        if self.max_throughput <= 0:
+            raise ConfigurationError(f"{self.name}: max_throughput must be positive")
+
+    def throughput(self, model: ModelProfile) -> float:
+        """Base training throughput (samples/second) for ``model``.
+
+        Devices lose efficiency on small models: a V100 running LeNet5 is
+        bottlenecked by kernel-launch and memory latency rather than
+        arithmetic, so its effective FLOPS is scaled by
+        ``small_model_efficiency`` blended by model size. A per-device
+        samples/second ceiling models the data-loading bound every worker
+        hits on tiny models.
+        """
+        # Blend factor: ~0 for tiny models, ->1 beyond ~100 MFLOPs/sample.
+        saturation = min(1.0, model.flops_per_sample / 100.0e6)
+        efficiency = self.small_model_efficiency + saturation * (
+            1.0 - self.small_model_efficiency
+        )
+        raw = self.sustained_flops * efficiency / model.train_flops_per_sample
+        return min(raw, self.max_throughput)
+
+
+# Sustained training FLOPS: roughly 20-30% of peak for the GPUs; for the
+# CPUs, the AVX-512 Cascade Lake node is a genuinely capable trainer while
+# the older AVX2 Broadwell is the fleet's slow tier. NICs: modern nodes on
+# 10 GbE, the Broadwell cluster on shared 1 GbE. samples/s ceilings model
+# the data-loading bound on tiny models.
+V100 = ProcessorSpec(
+    "Tesla V100", sustained_flops=4.2e12, small_model_efficiency=0.035,
+    nic_bps=10e9, max_throughput=2.0e5,
+)
+P100 = ProcessorSpec(
+    "Tesla P100", sustained_flops=2.6e12, small_model_efficiency=0.045,
+    nic_bps=10e9, max_throughput=1.5e5,
+)
+T4 = ProcessorSpec(
+    "Tesla T4", sustained_flops=1.6e12, small_model_efficiency=0.055,
+    nic_bps=10e9, max_throughput=1.0e5,
+)
+CASCADE_LAKE = ProcessorSpec(
+    "Xeon Gold 6238", sustained_flops=4.0e11, small_model_efficiency=0.5,
+    nic_bps=10e9, max_throughput=2.5e4,
+)
+BROADWELL = ProcessorSpec(
+    "E5-2683 v4", sustained_flops=0.5e11, small_model_efficiency=0.5,
+    nic_bps=1e9, max_throughput=1.2e4,
+)
+
+PROCESSOR_CATALOG: dict[str, ProcessorSpec] = {
+    p.name: p for p in (V100, P100, T4, CASCADE_LAKE, BROADWELL)
+}
+PROCESSOR_NAMES = list(PROCESSOR_CATALOG)
+
+
+def get_processor(name: str) -> ProcessorSpec:
+    try:
+        return PROCESSOR_CATALOG[name]
+    except KeyError:
+        known = ", ".join(PROCESSOR_CATALOG)
+        raise ConfigurationError(f"unknown processor {name!r}; known: {known}") from None
+
+
+def sample_fleet(
+    num_workers: int, rng: np.random.Generator
+) -> list[ProcessorSpec]:
+    """Assign each worker a processor uniformly at random (§VI-B)."""
+    if num_workers < 1:
+        raise ConfigurationError(f"need >= 1 worker, got {num_workers}")
+    specs = list(PROCESSOR_CATALOG.values())
+    picks = rng.integers(0, len(specs), size=num_workers)
+    return [specs[int(k)] for k in picks]

@@ -1,0 +1,140 @@
+"""Trace-driven environments: replay measured speeds and comm times.
+
+The paper runs "over the actual processing speed and the parameter
+transfer time among processors in each round" (§VI-B). Users with real
+measurements can drop them in here: a :class:`TraceTable` holds per-round
+per-worker processing speeds (samples/s) and communication times
+(seconds), round-trips through a plain CSV file, and replays as a
+:class:`~repro.costs.timevarying.CostProcess` via
+:class:`TraceEnvironment` — so every algorithm in the library runs on
+measured data unchanged. Rounds beyond the trace wrap around (periodic
+extension), so short traces still support long horizons.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TraceTable", "TraceEnvironment"]
+
+
+@dataclass(frozen=True)
+class TraceTable:
+    """Measured per-round, per-worker speeds and communication times."""
+
+    speeds: np.ndarray  # (T, N) samples/second
+    comm_times: np.ndarray  # (T, N) seconds
+
+    def __post_init__(self) -> None:
+        speeds = np.asarray(self.speeds, dtype=float)
+        comms = np.asarray(self.comm_times, dtype=float)
+        if speeds.ndim != 2 or speeds.shape != comms.shape:
+            raise ConfigurationError(
+                f"speeds {speeds.shape} and comm_times {comms.shape} must be "
+                "matching (T, N) matrices"
+            )
+        if speeds.shape[0] < 1 or speeds.shape[1] < 2:
+            raise ConfigurationError("need >= 1 round and >= 2 workers")
+        if np.any(speeds <= 0):
+            raise ConfigurationError("all speeds must be positive")
+        if np.any(comms < 0):
+            raise ConfigurationError("comm times must be >= 0")
+        object.__setattr__(self, "speeds", speeds)
+        object.__setattr__(self, "comm_times", comms)
+
+    @property
+    def rounds(self) -> int:
+        return int(self.speeds.shape[0])
+
+    @property
+    def num_workers(self) -> int:
+        return int(self.speeds.shape[1])
+
+    def save_csv(self, path: str | Path) -> Path:
+        """Write ``round, worker, speed, comm_time`` rows."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["round", "worker", "speed", "comm_time"])
+            for t in range(self.rounds):
+                for i in range(self.num_workers):
+                    writer.writerow(
+                        [t + 1, i, self.speeds[t, i], self.comm_times[t, i]]
+                    )
+        return out
+
+    @classmethod
+    def load_csv(cls, path: str | Path) -> "TraceTable":
+        """Read a table written by :meth:`save_csv` (or hand-authored)."""
+        cells: dict[tuple[int, int], tuple[float, float]] = {}
+        with Path(path).open() as handle:
+            reader = csv.DictReader(handle)
+            required = {"round", "worker", "speed", "comm_time"}
+            if reader.fieldnames is None or not required <= set(reader.fieldnames):
+                raise ConfigurationError(
+                    f"{path} must have columns {sorted(required)}"
+                )
+            for row in reader:
+                key = (int(row["round"]), int(row["worker"]))
+                cells[key] = (float(row["speed"]), float(row["comm_time"]))
+        if not cells:
+            raise ConfigurationError(f"{path} contains no data rows")
+        rounds = max(t for t, _ in cells)
+        workers = max(i for _, i in cells) + 1
+        speeds = np.empty((rounds, workers))
+        comms = np.empty((rounds, workers))
+        for t in range(1, rounds + 1):
+            for i in range(workers):
+                if (t, i) not in cells:
+                    raise ConfigurationError(
+                        f"{path} is missing round {t}, worker {i}"
+                    )
+                speeds[t - 1, i], comms[t - 1, i] = cells[(t, i)]
+        return cls(speeds=speeds, comm_times=comms)
+
+    @classmethod
+    def from_environment(cls, env, rounds: int) -> "TraceTable":
+        """Materialize any simulated environment into a trace (for export)."""
+        speeds = np.array(
+            [[env.speed_at(i, t) for i in range(env.num_workers)]
+             for t in range(1, rounds + 1)]
+        )
+        comms = np.array(
+            [[env.comm_at(i, t) for i in range(env.num_workers)]
+             for t in range(1, rounds + 1)]
+        )
+        return cls(speeds=speeds, comm_times=comms)
+
+
+class TraceEnvironment(CostProcess):
+    """Replay a :class:`TraceTable` as affine latency cost functions."""
+
+    def __init__(self, table: TraceTable, global_batch: int = 256) -> None:
+        super().__init__(table.num_workers)
+        if global_batch < 1:
+            raise ConfigurationError("global batch must be >= 1")
+        self.table = table
+        self.global_batch = int(global_batch)
+
+    def costs_at(self, t: int) -> list[CostFunction]:
+        if t < 1:
+            raise ConfigurationError(f"rounds are 1-based, got {t}")
+        row = (t - 1) % self.table.rounds  # periodic extension
+        return [
+            AffineLatencyCost.from_system(
+                batch_size=self.global_batch,
+                speed=self.table.speeds[row, i],
+                comm_time=self.table.comm_times[row, i],
+            )
+            for i in range(self.num_workers)
+        ]

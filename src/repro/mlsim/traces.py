@@ -1,0 +1,103 @@
+"""Time-varying fluctuation processes for speeds and data rates.
+
+The paper's testbed is non-dedicated: "the computation and communication
+capabilities of the workers may fluctuate over time" (§I). We model the
+multiplicative fluctuation of a base rate with two components:
+
+* a stationary AR(1) process on the log scale (smooth drift with
+  mean-reversion), and
+* occasional *contention events* — a co-located job arrives with some
+  probability per round and multiplies the rate by a slowdown factor for
+  a geometric-length burst — the mechanism behind transient stragglers.
+
+Each trace is deterministic in ``t`` after construction: traces
+pre-materialize lazily but cache, so online algorithms and the OPT oracle
+observe the same world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FluctuationTrace"]
+
+
+class FluctuationTrace:
+    """Multiplicative fluctuation ``m_t`` around 1.0 for one resource."""
+
+    def __init__(
+        self,
+        rho: float = 0.9,
+        sigma: float = 0.08,
+        spike_probability: float = 0.02,
+        spike_slowdown: tuple[float, float] = (0.3, 0.7),
+        spike_mean_duration: float = 5.0,
+        floor: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        """Create a trace.
+
+        Parameters
+        ----------
+        rho, sigma:
+            AR(1) coefficient and innovation volatility on the log scale.
+        spike_probability:
+            Per-round probability that a contention burst begins.
+        spike_slowdown:
+            Uniform range of the multiplicative slowdown during a burst.
+        spike_mean_duration:
+            Mean (geometric) burst length in rounds.
+        floor:
+            Hard lower bound on the multiplier, keeping rates positive.
+        """
+        if not 0 <= rho < 1:
+            raise ConfigurationError(f"rho must lie in [0, 1), got {rho}")
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        if not 0 <= spike_probability <= 1:
+            raise ConfigurationError("spike_probability must lie in [0, 1]")
+        lo, hi = spike_slowdown
+        if not 0 < lo <= hi <= 1:
+            raise ConfigurationError("spike_slowdown must satisfy 0 < lo <= hi <= 1")
+        if spike_mean_duration < 1:
+            raise ConfigurationError("spike_mean_duration must be >= 1")
+        if not 0 < floor < 1:
+            raise ConfigurationError("floor must lie in (0, 1)")
+        self.rho = float(rho)
+        self.sigma = float(sigma)
+        self.spike_probability = float(spike_probability)
+        self.spike_slowdown = (float(lo), float(hi))
+        self.spike_mean_duration = float(spike_mean_duration)
+        self.floor = float(floor)
+        self._rng = np.random.default_rng(seed)
+        self._values: list[float] = []
+        self._log_state = 0.0
+        self._spike_remaining = 0
+        self._spike_factor = 1.0
+
+    def _advance(self) -> float:
+        self._log_state = self.rho * self._log_state + self._rng.normal(
+            0.0, self.sigma
+        )
+        if self._spike_remaining > 0:
+            self._spike_remaining -= 1
+        else:
+            self._spike_factor = 1.0
+            if self._rng.random() < self.spike_probability:
+                lo, hi = self.spike_slowdown
+                self._spike_factor = float(self._rng.uniform(lo, hi))
+                self._spike_remaining = int(
+                    self._rng.geometric(1.0 / self.spike_mean_duration)
+                )
+        value = float(np.exp(self._log_state)) * self._spike_factor
+        return max(value, self.floor)
+
+    def at(self, t: int) -> float:
+        """Multiplier in round ``t`` (1-based); cached and replayable."""
+        if t < 1:
+            raise ConfigurationError(f"rounds are 1-based, got {t}")
+        while len(self._values) < t:
+            self._values.append(self._advance())
+        return self._values[t - 1]

@@ -1,0 +1,227 @@
+"""Synchronous data-parallel training simulator with full accounting.
+
+Reproduces the integration of Fig. 2: each training round is a batch-size
+tuning phase (the balancer's ``decide``/``update``) followed by a learning
+phase whose latency the environment determines. On top of the plain
+online loop this records everything the paper's figures need:
+
+* per-worker, per-round computation / communication / waiting time
+  (Fig. 9 and the Fig. 11 utilization decomposition),
+* per-worker batch sizes (Fig. 10),
+* cumulative wall-clock time and training accuracy (Figs. 6-8),
+* the balancer's own decision overhead (Fig. 11, lower panel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.interface import OnlineLoadBalancer, make_feedback
+from repro.exceptions import ConfigurationError
+from repro.mlsim.dataset import SyntheticDataset
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.learning import LearningCurve
+from repro.utils.timer import Stopwatch
+
+__all__ = ["TrainingRun", "SyncTrainer"]
+
+
+@dataclass
+class TrainingRun:
+    """Complete trajectory of one simulated training job."""
+
+    algorithm: str
+    model: str
+    num_workers: int
+    rounds: int
+    global_batch: int
+    batch_fractions: np.ndarray  # (T, N) fractions played
+    batch_sizes: np.ndarray  # (T, N) integer samples per worker
+    compute_time: np.ndarray  # (T, N) seconds
+    comm_time: np.ndarray  # (T, N) seconds
+    local_latency: np.ndarray  # (T, N) compute + comm
+    round_latency: np.ndarray  # (T,) max over workers
+    waiting_time: np.ndarray  # (T, N) barrier idle time
+    stragglers: np.ndarray  # (T,) int
+    decision_seconds: np.ndarray  # (T,) balancer overhead
+    wall_clock: np.ndarray  # (T,) cumulative seconds incl. overhead
+    epochs: np.ndarray  # (T,) fractional epochs completed
+    accuracy: np.ndarray  # (T,) training accuracy
+
+    @property
+    def total_time(self) -> float:
+        return float(self.wall_clock[-1])
+
+    def as_run_result(self):
+        """View this training run as a :class:`~repro.core.loop.RunResult`.
+
+        Lets the analysis toolkit (``repro.analysis.compare_runs``) and
+        the .npz round-trip helpers treat training runs and plain online
+        runs uniformly.
+        """
+        from repro.core.loop import RunResult
+
+        return RunResult(
+            algorithm=self.algorithm,
+            num_workers=self.num_workers,
+            horizon=self.rounds,
+            allocations=self.batch_fractions,
+            local_costs=self.local_latency,
+            global_costs=self.round_latency,
+            stragglers=self.stragglers,
+            decision_seconds=self.decision_seconds,
+        )
+
+    def time_to_accuracy(self, target: float) -> float:
+        """First wall-clock time at which accuracy reaches ``target``.
+
+        Returns ``inf`` when the run never reaches the target — callers
+        comparing algorithms must handle that explicitly.
+        """
+        reached = np.nonzero(self.accuracy >= target)[0]
+        if reached.size == 0:
+            return float("inf")
+        return float(self.wall_clock[reached[0]])
+
+    def utilization_breakdown(self) -> dict[str, float]:
+        """Mean seconds per worker per round: compute / comm / wait."""
+        return {
+            "computation": float(self.compute_time.mean()),
+            "communication": float(self.comm_time.mean()),
+            "waiting": float(self.waiting_time.mean()),
+        }
+
+    def mean_utilization(self) -> float:
+        """Fraction of the round a worker spends busy (not waiting)."""
+        busy = self.compute_time + self.comm_time
+        total = busy + self.waiting_time
+        return float((busy.sum()) / max(total.sum(), 1e-30))
+
+
+class SyncTrainer:
+    """Drive a balancer through simulated synchronous training."""
+
+    def __init__(
+        self,
+        environment: TrainingEnvironment,
+        dataset: SyntheticDataset | None = None,
+        curve: LearningCurve | None = None,
+        integer_batches: bool = False,
+        include_overhead_in_wallclock: bool = True,
+    ) -> None:
+        """``integer_batches`` quantizes workloads to whole samples (the
+        latency then uses the quantized counts, slightly off the revealed
+        affine cost — the measurement noise a real system has). The
+        default keeps latencies exactly consistent with the revealed cost
+        functions, which the invariants tests rely on."""
+        self.env = environment
+        self.dataset = dataset if dataset is not None else SyntheticDataset()
+        self.curve = (
+            curve
+            if curve is not None
+            else LearningCurve(environment.model, seed=environment.seed)
+        )
+        self.integer_batches = bool(integer_batches)
+        self.include_overhead_in_wallclock = bool(include_overhead_in_wallclock)
+
+    def train(self, balancer: OnlineLoadBalancer, rounds: int) -> TrainingRun:
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if balancer.num_workers != self.env.num_workers:
+            raise ConfigurationError(
+                f"balancer has {balancer.num_workers} workers, environment "
+                f"{self.env.num_workers}"
+            )
+        n = self.env.num_workers
+        big_b = self.env.global_batch
+
+        fractions = np.empty((rounds, n))
+        batches = np.empty((rounds, n), dtype=int)
+        compute = np.empty((rounds, n))
+        comm = np.empty((rounds, n))
+        local = np.empty((rounds, n))
+        round_latency = np.empty(rounds)
+        stragglers = np.empty(rounds, dtype=int)
+        overhead = np.empty(rounds)
+        accuracy = np.empty(rounds)
+
+        watch = Stopwatch()
+        samples_done = 0.0
+        for t in range(1, rounds + 1):
+            costs = self.env.costs_at(t)
+            with watch:
+                if balancer.requires_oracle:
+                    x_t = balancer.oracle_decide(costs)
+                else:
+                    x_t = balancer.decide()
+
+            b_int = self.dataset.partition(x_t, big_b)
+            if self.integer_batches:
+                effective = b_int / big_b
+            else:
+                effective = x_t
+            speeds = np.array([self.env.speed_at(i, t) for i in range(n)])
+            comm_t = np.array([self.env.comm_at(i, t) for i in range(n)])
+            compute_t = effective * big_b / speeds
+            local_t = compute_t + comm_t
+
+            # The balancer observes latencies exactly as §VI-A describes:
+            # the realized local costs plus the revealed affine functions.
+            feedback = make_feedback(t, x_t, costs)
+            if self.integer_batches:
+                # Overwrite the analytic costs with the quantized
+                # measurements while keeping the revealed functions.
+                feedback = type(feedback)(
+                    round_index=t,
+                    allocation=np.asarray(x_t, dtype=float).copy(),
+                    costs=costs,
+                    local_costs=local_t,
+                    global_cost=float(local_t.max()),
+                    straggler=int(np.argmax(local_t)),
+                )
+            else:
+                local_t = feedback.local_costs
+            with watch:
+                balancer.update(feedback)
+
+            fractions[t - 1] = feedback.allocation
+            batches[t - 1] = b_int
+            compute[t - 1] = compute_t
+            comm[t - 1] = comm_t
+            local[t - 1] = local_t
+            round_latency[t - 1] = feedback.global_cost
+            stragglers[t - 1] = feedback.straggler
+            overhead[t - 1] = watch.laps[-2] + watch.laps[-1]
+
+            samples_done += big_b
+            accuracy[t - 1] = self.curve.accuracy(
+                self.dataset.epochs_after(samples_done)
+            )
+
+        waiting = round_latency[:, None] - local
+        wall = np.cumsum(round_latency)
+        if self.include_overhead_in_wallclock:
+            wall = wall + np.cumsum(overhead)
+        epochs = np.arange(1, rounds + 1) * big_b / self.dataset.num_samples
+
+        return TrainingRun(
+            algorithm=balancer.name,
+            model=self.env.model.name,
+            num_workers=n,
+            rounds=rounds,
+            global_batch=big_b,
+            batch_fractions=fractions,
+            batch_sizes=batches,
+            compute_time=compute,
+            comm_time=comm,
+            local_latency=local,
+            round_latency=round_latency,
+            waiting_time=waiting,
+            stragglers=stragglers,
+            decision_seconds=overhead,
+            wall_clock=wall,
+            epochs=epochs,
+            accuracy=accuracy,
+        )

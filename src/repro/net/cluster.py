@@ -1,0 +1,138 @@
+"""The cluster: nodes + links + event engine + metrics.
+
+A :class:`Cluster` wires :class:`~repro.net.node.Node` objects into a
+full mesh (per-pair links can be overridden for heterogeneous topologies)
+and routes messages through the :class:`~repro.net.events.EventEngine`
+with the link's sampled delay. All message and byte counts flow into
+:class:`~repro.net.metrics.NetworkMetrics`, which the §IV-C complexity
+experiment reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ProtocolError, SimulationError
+from repro.net.events import EventEngine
+from repro.net.links import Link
+from repro.net.message import Message, scalar_payload_size
+from repro.net.metrics import NetworkMetrics
+from repro.net.node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A set of nodes communicating over simulated links."""
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        default_link: Link | None = None,
+        retransmit_timeout: float = 0.05,
+        max_retransmits: int = 30,
+    ) -> None:
+        """``retransmit_timeout``/``max_retransmits`` configure the
+        transport layer used over lossy links: a dropped frame is resent
+        after the timeout, up to the retry budget (then the send fails
+        loudly — protocols assume reliable rounds)."""
+        if len(nodes) == 0:
+            raise SimulationError("a cluster needs at least one node")
+        if retransmit_timeout <= 0 or max_retransmits < 0:
+            raise SimulationError("invalid transport parameters")
+        self.retransmit_timeout = float(retransmit_timeout)
+        self.max_retransmits = int(max_retransmits)
+        self._colocated: set[frozenset[int]] = set()
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate node ids: {sorted(ids)}")
+        self.engine = EventEngine()
+        self.metrics = NetworkMetrics()
+        self._nodes: dict[int, Node] = {}
+        self._links: dict[tuple[int, int], Link] = {}
+        self._default_link = default_link if default_link is not None else Link()
+        for node in nodes:
+            node.attach(self)
+            self._nodes[node.node_id] = node
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ProtocolError(f"unknown node id {node_id}") from None
+
+    def set_link(self, src: int, dst: int, link: Link) -> None:
+        """Override the link used for ``src -> dst`` messages."""
+        self.node(src), self.node(dst)  # validate endpoints
+        self._links[(src, dst)] = link
+
+    def colocate(self, a: int, b: int) -> None:
+        """Declare two nodes co-located on one machine.
+
+        Messages between them become in-process calls: delivered with
+        zero delay, never dropped, and **not counted** in the network
+        metrics — this models the paper's §IV-B1 option of "an elected
+        worker acts also as the master".
+        """
+        self.node(a), self.node(b)  # validate endpoints
+        if a == b:
+            raise ProtocolError("a node is trivially colocated with itself")
+        self._colocated.add(frozenset((a, b)))
+
+    def is_colocated(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._colocated
+
+    def link_for(self, src: int, dst: int) -> Link:
+        return self._links.get((src, dst), self._default_link)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Mapping[str, Any],
+        round_index: int = 0,
+    ) -> None:
+        """Route one message; delivery is scheduled on the event engine."""
+        if dst == src:
+            raise ProtocolError(f"node {src} attempted to message itself")
+        receiver = self.node(dst)
+        message = Message(
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=dict(payload),
+            size_bytes=scalar_payload_size(payload),
+            send_time=self.engine.now,
+            round_index=round_index,
+        )
+        if self.is_colocated(src, dst):
+            # In-process delivery: immediate, lossless, off the wire.
+            self.engine.schedule(0.0, lambda: receiver.deliver(message))
+            return
+        self.metrics.record(message)
+        link = self.link_for(src, dst)
+        # Transport layer: a dropped frame is retransmitted after the
+        # timeout; each attempt pays the link delay afresh. All attempts
+        # are counted in the metrics (they really cross the wire).
+        total_delay = 0.0
+        attempt = 0
+        while link.drops_frame():
+            attempt += 1
+            if attempt > self.max_retransmits:
+                raise SimulationError(
+                    f"message {tag!r} {src}->{dst} lost after "
+                    f"{self.max_retransmits} retransmissions"
+                )
+            self.metrics.record(message)  # the retransmitted frame
+            total_delay += self.retransmit_timeout  # sender's ack timer
+        total_delay += link.delay(message.size_bytes)
+        self.engine.schedule(total_delay, lambda: receiver.deliver(message))
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain all in-flight messages and callbacks."""
+        return self.engine.run(max_events=max_events)

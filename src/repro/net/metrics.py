@@ -1,0 +1,45 @@
+"""Communication accounting for the §IV-C complexity reproduction."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.net.message import Message
+
+__all__ = ["NetworkMetrics"]
+
+
+@dataclass
+class NetworkMetrics:
+    """Counts messages and bytes, totals and per round."""
+
+    messages_total: int = 0
+    bytes_total: int = 0
+    per_round_messages: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    per_round_bytes: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    per_pair_messages: dict[tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+
+    def record(self, message: Message) -> None:
+        self.messages_total += 1
+        self.bytes_total += message.size_bytes
+        self.per_round_messages[message.round_index] += 1
+        self.per_round_bytes[message.round_index] += message.size_bytes
+        self.per_pair_messages[(message.src, message.dst)] += 1
+
+    def messages_in_round(self, round_index: int) -> int:
+        return self.per_round_messages.get(round_index, 0)
+
+    def mean_messages_per_round(self) -> float:
+        if not self.per_round_messages:
+            return 0.0
+        return self.messages_total / len(self.per_round_messages)
+
+    def reset(self) -> None:
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.per_round_messages.clear()
+        self.per_round_bytes.clear()
+        self.per_pair_messages.clear()

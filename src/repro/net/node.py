@@ -1,0 +1,84 @@
+"""Nodes: message-handling endpoints attached to a cluster."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.exceptions import ProtocolError
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.cluster import Cluster
+
+__all__ = ["Node"]
+
+Handler = Callable[[Message], None]
+
+
+class Node:
+    """A process in the simulated system.
+
+    Protocol classes subclass or compose a ``Node`` and register one
+    handler per message tag. Unhandled tags raise — silent message drops
+    are protocol bugs.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self._handlers: dict[str, Handler] = {}
+        self._cluster: "Cluster | None" = None
+        self.received_count = 0
+        #: A failed (crashed) node silently discards everything delivered
+        #: to it, like a dead process behind a still-routable address.
+        self.failed = False
+
+    def attach(self, cluster: "Cluster") -> None:
+        if self._cluster is not None:
+            raise ProtocolError(f"node {self.node_id} is already attached")
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> "Cluster":
+        if self._cluster is None:
+            raise ProtocolError(f"node {self.node_id} is not attached to a cluster")
+        return self._cluster
+
+    def on(self, tag: str, handler: Handler) -> None:
+        """Register ``handler`` for messages with ``tag``."""
+        if tag in self._handlers:
+            raise ProtocolError(f"node {self.node_id}: duplicate handler for {tag!r}")
+        self._handlers[tag] = handler
+
+    def send(
+        self,
+        dst: int,
+        tag: str,
+        payload: Mapping[str, Any],
+        round_index: int = 0,
+    ) -> None:
+        """Send a scalar-payload message to ``dst``."""
+        self.cluster.send(self.node_id, dst, tag, payload, round_index)
+
+    def broadcast(
+        self,
+        tag: str,
+        payload: Mapping[str, Any],
+        round_index: int = 0,
+    ) -> None:
+        """Send to every other node (N-1 point-to-point messages)."""
+        for other in self.cluster.node_ids:
+            if other != self.node_id:
+                self.send(other, tag, payload, round_index)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the cluster when a message arrives."""
+        if self.failed:
+            return
+        handler = self._handlers.get(message.tag)
+        if handler is None:
+            raise ProtocolError(
+                f"node {self.node_id} has no handler for tag {message.tag!r} "
+                f"(from node {message.src})"
+            )
+        self.received_count += 1
+        handler(message)

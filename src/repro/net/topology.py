@@ -1,0 +1,109 @@
+"""Communication topologies for the fully-distributed protocol.
+
+Algorithm 2 as written assumes every worker can message every other
+worker directly. Real deployments often have restricted connectivity
+(racks, rings, sparse overlays). A :class:`Topology` describes who can
+talk to whom; the flooding layer of
+:class:`~repro.protocols.fully_distributed.FullyDistributedDolbie`
+disseminates the per-round broadcasts over any *connected* topology,
+reaching the same outcome at the cost of extra hops (messages scale with
+the edge count, latency with the diameter).
+
+Built on :mod:`networkx` for construction and connectivity/diameter
+queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An undirected, connected communication graph over worker ids 0..N-1."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        n = graph.number_of_nodes()
+        if n < 2:
+            raise ConfigurationError("a topology needs at least 2 nodes")
+        if set(graph.nodes) != set(range(n)):
+            raise ConfigurationError(
+                "topology nodes must be exactly 0..N-1, got "
+                f"{sorted(graph.nodes)}"
+            )
+        if not nx.is_connected(graph):
+            raise ConfigurationError(
+                "topology must be connected: the protocol floods over it"
+            )
+        self.graph = graph
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def complete(cls, n: int) -> "Topology":
+        """All-to-all (the paper's implicit assumption)."""
+        return cls(nx.complete_graph(n))
+
+    @classmethod
+    def ring(cls, n: int) -> "Topology":
+        return cls(nx.cycle_graph(n))
+
+    @classmethod
+    def star(cls, n: int, center: int = 0) -> "Topology":
+        """Hub-and-spoke around ``center``."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from((center, i) for i in range(n) if i != center)
+        return cls(graph)
+
+    @classmethod
+    def line(cls, n: int) -> "Topology":
+        return cls(nx.path_graph(n))
+
+    @classmethod
+    def random_connected(cls, n: int, p: float, seed: int = 0) -> "Topology":
+        """Erdos-Renyi G(n, p), resampled until connected (then a spanning
+        tree is added as a fallback for very small p)."""
+        if not 0 <= p <= 1:
+            raise ConfigurationError(f"edge probability must lie in [0, 1], got {p}")
+        for attempt in range(50):
+            graph = nx.gnp_random_graph(n, p, seed=seed + attempt)
+            if nx.is_connected(graph):
+                return cls(graph)
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        # Guarantee connectivity by threading a path through all nodes.
+        graph.add_edges_from((i, i + 1) for i in range(n - 1))
+        return cls(graph)
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]]) -> "Topology":
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        graph.add_edges_from(edges)
+        return cls(graph)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def neighbors(self, node: int) -> list[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def diameter(self) -> int:
+        return int(nx.diameter(self.graph))
+
+    def is_complete(self) -> bool:
+        n = self.num_nodes
+        return self.num_edges == n * (n - 1) // 2
+
+    def __repr__(self) -> str:
+        return f"Topology(n={self.num_nodes}, edges={self.num_edges})"

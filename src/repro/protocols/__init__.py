@@ -1,0 +1,7 @@
+"""DOLBIE as message-passing protocols on the network substrate (§IV-B)."""
+
+from repro.protocols.adapter import ProtocolBalancer
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+__all__ = ["MasterWorkerDolbie", "FullyDistributedDolbie", "ProtocolBalancer"]

@@ -1,0 +1,437 @@
+"""Algorithm 2: DOLBIE in the fully-distributed architecture, verbatim.
+
+No master: every worker broadcasts its local cost ``l_{i,t}`` and local
+step size ``alpha-bar_{i,t}`` (line 4), after which all workers
+*independently* agree on the global cost, the straggler (deterministic
+lowest-index tie-breaking, line 7) and the consensus step size
+``alpha_t = min_j alpha-bar_{j,t}`` (line 6) — no extra coordination
+messages are needed because the inputs are identical everywhere.
+
+Non-stragglers then update risk-aversely (line 8) and send their new
+decision *only to the straggler* (line 9) — the limited-information
+design of §IV-B2: a non-straggler never learns the other workers'
+decisions. The straggler closes the simplex constraint (line 12) and
+caps its own local step size by Eq. (8) (line 13).
+
+Per-round communication: ``N(N-1)`` broadcast messages plus ``N-1``
+decisions — the O(N^2) row of §IV-C.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interface import identify_straggler
+from repro.core.loop import RunResult
+from repro.core.step_size import feasibility_cap, initial_step_size
+from repro.costs.base import CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.net.cluster import Cluster
+from repro.net.links import Link
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.simplex.sampling import equal_split, is_feasible
+
+__all__ = ["FullyDistributedDolbie"]
+
+TAG_COST = "cost"
+TAG_DECISION = "decision"
+TAG_FLOOD = "flood"
+
+
+class _Peer(Node):
+    """One worker of Algorithm 2.
+
+    With ``neighbors=None`` the peer assumes the paper's implicit
+    all-to-all connectivity and messages everyone directly. With an
+    explicit neighbor list (a connected :class:`~repro.net.topology.
+    Topology`), per-round broadcasts and the decision unicasts are
+    *flooded*: every first-seen flood frame is ingested (if addressed to
+    this peer) and forwarded to all neighbors except the sender, with
+    (kind, origin) deduplication per round. The computed allocations are
+    identical; only message counts and virtual time grow.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        num_workers: int,
+        x_init: float,
+        alpha_bar: float,
+        neighbors: list[int] | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.num_workers = num_workers
+        self.x = float(x_init)
+        self.alpha_bar = float(alpha_bar)  # local step size (Eq. 8)
+        self.neighbors = list(neighbors) if neighbors is not None else None
+        self.cost_fn: CostFunction | None = None
+        self.local_cost: float | None = None
+        self.current_round = 0
+        self.is_straggler = False
+        self.global_cost: float | None = None
+        self.straggler_id: int | None = None
+        #: Workers this peer believes are alive (crash tolerance).
+        self.roster: set[int] = set(range(num_workers))
+        self.cost_timeout = 1.0
+        self._peer_costs: dict[int, tuple[float, float]] = {}
+        self._peer_decisions: dict[int, float] = {}
+        self._seen_floods: set[tuple[str, int]] = set()
+        self.on(TAG_COST, self._on_cost)
+        self.on(TAG_DECISION, self._on_decision)
+        self.on(TAG_FLOOD, self._on_flood)
+
+    def observe_round(
+        self,
+        round_index: int,
+        cost_fn: CostFunction,
+        arm_failure_detector: bool = False,
+    ) -> None:
+        """Lines 1-4: play, suffer, learn f, broadcast (l_i, alpha-bar_i).
+
+        ``arm_failure_detector`` schedules a timeout after which peers
+        whose cost broadcast never arrived are dropped from this peer's
+        roster (every surviving peer drops the same set, so the rosters
+        stay consistent without extra messages)."""
+        self.current_round = round_index
+        self.cost_fn = cost_fn
+        self.local_cost = cost_fn(self.x)
+        self.is_straggler = False
+        self.global_cost = None
+        self.straggler_id = None
+        self._peer_costs = {self.node_id: (self.local_cost, self.alpha_bar)}
+        self._peer_decisions = {}
+        self._seen_floods = {("cost", self.node_id)}
+        if arm_failure_detector:
+            self.cluster.engine.schedule(
+                self.cost_timeout, lambda r=round_index: self._on_cost_timeout(r)
+            )
+        if self.neighbors is None:
+            self.broadcast(
+                TAG_COST,
+                {"l": self.local_cost, "alpha_bar": self.alpha_bar},
+                round_index,
+            )
+        else:
+            self._flood(
+                kind="cost",
+                origin=self.node_id,
+                dst=-1,  # broadcast
+                body={"l": self.local_cost, "alpha_bar": self.alpha_bar},
+                round_index=round_index,
+                exclude=None,
+            )
+
+    # -- flooding over a restricted topology ------------------------------
+    def _flood(
+        self,
+        kind: str,
+        origin: int,
+        dst: int,
+        body: dict[str, float],
+        round_index: int,
+        exclude: int | None,
+    ) -> None:
+        assert self.neighbors is not None
+        payload = {"kind_is_cost": 1.0 if kind == "cost" else 0.0,
+                   "origin": float(origin), "dst": float(dst), **body}
+        for neighbor in self.neighbors:
+            if neighbor != exclude:
+                self.send(neighbor, TAG_FLOOD, payload, round_index)
+
+    def _on_flood(self, message: Message) -> None:
+        self._check_round(message)
+        kind = "cost" if message.payload["kind_is_cost"] == 1.0 else "decision"
+        origin = int(message.payload["origin"])
+        dst = int(message.payload["dst"])
+        key = (kind, origin)
+        if key in self._seen_floods:
+            return
+        self._seen_floods.add(key)
+        # Forward first so dissemination does not depend on local state.
+        body = {
+            k: v
+            for k, v in message.payload.items()
+            if k not in ("kind_is_cost", "origin", "dst")
+        }
+        self._flood(kind, origin, dst, body, message.round_index,
+                    exclude=message.src)
+        if kind == "cost":
+            self._ingest_cost(origin, float(body["l"]),
+                              float(body["alpha_bar"]), message.round_index)
+        elif dst == self.node_id:
+            self._ingest_decision(origin, float(body["x"]))
+
+    def _check_round(self, message: Message) -> None:
+        if message.round_index != self.current_round:
+            raise ProtocolError(
+                f"peer {self.node_id} got a round-{message.round_index} "
+                f"{message.tag!r} during round {self.current_round}"
+            )
+
+    def _on_cost(self, message: Message) -> None:
+        """Direct (complete-topology) cost broadcast."""
+        self._check_round(message)
+        if message.src in self._peer_costs:
+            raise ProtocolError(f"duplicate cost broadcast from peer {message.src}")
+        self._ingest_cost(
+            message.src,
+            float(message.payload["l"]),
+            float(message.payload["alpha_bar"]),
+            message.round_index,
+        )
+
+    def _ingest_cost(
+        self, origin: int, cost: float, alpha_bar: float, round_index: int
+    ) -> None:
+        """Lines 5-10: once all costs arrive, everyone decides locally."""
+        self._peer_costs[origin] = (cost, alpha_bar)
+        if len(self._peer_costs) < len(self.roster):
+            return
+        self._coordinate(round_index)
+
+    def _on_cost_timeout(self, round_index: int) -> None:
+        """Drop peers whose cost broadcast never arrived (crash tolerance).
+
+        Only supported on the complete topology: with flooding, a dead
+        relay could partition dissemination, which needs a routing layer
+        this substrate does not model."""
+        if round_index != self.current_round or self.global_cost is not None:
+            return
+        missing = self.roster - set(self._peer_costs)
+        if not missing:
+            return
+        if len(self.roster) - len(missing) < 2:
+            raise ProtocolError(
+                f"peer {self.node_id}: fewer than 2 peers responded in round "
+                f"{round_index} ({sorted(missing)} silent); cannot continue"
+            )
+        self.roster -= missing
+        self._coordinate(round_index)
+
+    def _coordinate(self, round_index: int) -> None:
+        ordered_ids = sorted(self._peer_costs)
+        costs = np.array([self._peer_costs[j][0] for j in ordered_ids])
+        alphas = np.array([self._peer_costs[j][1] for j in ordered_ids])
+        self.straggler_id = ordered_ids[identify_straggler(costs)]  # line 7
+        self.global_cost = float(costs.max())  # line 5
+        alpha = float(alphas.min())  # line 6 (consensus step size)
+
+        if self.node_id != self.straggler_id:
+            assert self.cost_fn is not None
+            x_prime = min(self.cost_fn.max_acceptable(self.global_cost), 1.0)
+            x_prime = max(x_prime, self.x)
+            self.x = self.x - alpha * (self.x - x_prime)  # line 8
+            if self.neighbors is None:
+                self.send(
+                    self.straggler_id, TAG_DECISION, {"x": self.x}, round_index
+                )  # line 9
+            else:
+                # Multi-hop unicast to the straggler via flooding.
+                self._seen_floods.add(("decision", self.node_id))
+                self._flood(
+                    kind="decision",
+                    origin=self.node_id,
+                    dst=self.straggler_id,
+                    body={"x": self.x},
+                    round_index=round_index,
+                    exclude=None,
+                )
+            # line 10: alpha-bar unchanged for non-stragglers.
+            if self.neighbors is None and self._peer_decisions:
+                raise ProtocolError(
+                    f"peer {self.node_id} buffered decisions but is not the straggler"
+                )
+        else:
+            self._maybe_close_round()
+
+    def _on_decision(self, message: Message) -> None:
+        """Lines 11-13 (straggler only).
+
+        With heterogeneous link delays a decision can overtake a cost
+        broadcast, arriving before this peer knows it is the straggler —
+        buffer it and validate once the straggler identity is resolved.
+        """
+        self._check_round(message)
+        if message.src in self._peer_decisions:
+            raise ProtocolError(f"duplicate decision from peer {message.src}")
+        self._ingest_decision(message.src, float(message.payload["x"]))
+
+    def _ingest_decision(self, origin: int, x_new: float) -> None:
+        self._peer_decisions[origin] = x_new
+        if self.straggler_id is None:
+            return  # straggler identity not yet known; buffered
+        if self.straggler_id != self.node_id:
+            raise ProtocolError(
+                f"peer {self.node_id} received a decision but is not the straggler"
+            )
+        self._maybe_close_round()
+
+    def _maybe_close_round(self) -> bool:
+        """Straggler: close the simplex once all live decisions are in."""
+        if len(self._peer_decisions) < len(self.roster) - 1:
+            return False
+        x_new = 1.0 - sum(self._peer_decisions.values())  # line 12
+        if x_new < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({x_new:.3e}); the verbatim "
+                "Eq. (8) cap was insufficient this round"
+            )
+        self.x = max(x_new, 0.0)
+        self.alpha_bar = min(
+            self.alpha_bar, feasibility_cap(self.x, len(self.roster))
+        )  # line 13 / Eq. (8)
+        return True
+
+
+class FullyDistributedDolbie:
+    """Run Algorithm 2 on the discrete-event network substrate."""
+
+    name = "DOLBIE/fully-distributed"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        alpha_1: float | None = None,
+        link: Link | None = None,
+        topology: "Topology | None" = None,
+    ) -> None:
+        """``topology`` restricts connectivity to a connected graph (see
+        :class:`repro.net.topology.Topology`); per-round information then
+        spreads by flooding instead of direct all-to-all sends. ``None``
+        keeps the paper's implicit complete graph."""
+        if num_workers < 2:
+            raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.topology = topology
+        if topology is not None and topology.num_nodes != num_workers:
+            raise ConfigurationError(
+                f"topology has {topology.num_nodes} nodes for "
+                f"{num_workers} workers"
+            )
+        x0 = (
+            equal_split(num_workers)
+            if initial_allocation is None
+            else np.asarray(initial_allocation, dtype=float)
+        )
+        if not is_feasible(x0) or x0.size != num_workers:
+            raise ConfigurationError("initial allocation must be feasible")
+        if alpha_1 is None:
+            alpha_1 = initial_step_size(x0)
+        self.peers = [
+            _Peer(
+                i,
+                num_workers,
+                x0[i],
+                alpha_1,
+                neighbors=None if topology is None else topology.neighbors(i),
+            )
+            for i in range(num_workers)
+        ]
+        self.cluster = Cluster(self.peers, default_link=link)
+        self._alive = [True] * num_workers
+
+    def crash_worker(self, worker: int) -> None:
+        """Silence ``worker`` from the next round on. Surviving peers'
+        failure detectors drop it consistently; its share folds into that
+        round's straggler. Only supported on the complete topology (a
+        dead relay could partition flooding dissemination)."""
+        if self.topology is not None:
+            raise ConfigurationError(
+                "crash tolerance requires the complete topology"
+            )
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(f"worker index {worker} out of range")
+        self._alive[worker] = False
+        self.peers[worker].failed = True
+
+    @property
+    def alive_workers(self) -> list[int]:
+        return [i for i in range(self.num_workers) if self._alive[i]]
+
+    @property
+    def allocation(self) -> np.ndarray:
+        return np.array([p.x for p in self.peers])
+
+    @property
+    def alpha(self) -> float:
+        """The consensus step size the *next* round will use."""
+        return min(p.alpha_bar for p in self.peers)
+
+    @property
+    def metrics(self):
+        return self.cluster.metrics
+
+    def run_round(
+        self, round_index: int, costs: Sequence[CostFunction]
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        if len(costs) != self.num_workers:
+            raise ConfigurationError(
+                f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
+            )
+        x_played = self.allocation
+        alive = [p for p in self.peers if self._alive[p.node_id]]
+        rosters_incomplete = any(
+            len(p.roster) > len(alive) for p in alive
+        )
+        for peer, cost_fn in zip(self.peers, costs):
+            if self._alive[peer.node_id]:
+                peer.observe_round(
+                    round_index, cost_fn,
+                    arm_failure_detector=rosters_incomplete,
+                )
+        if self.topology is None:
+            budget = 4 * self.num_workers * self.num_workers + 50
+        else:
+            # Flooding: each of ~2N disseminations crosses each edge at
+            # most twice in each direction.
+            budget = 16 * self.num_workers * (self.topology.num_edges + 1) + 50
+        self.cluster.run(max_events=budget)
+        alive_peers = [p for p in self.peers if self._alive[p.node_id]]
+        for peer in self.peers:
+            if not self._alive[peer.node_id]:
+                peer.x = 0.0  # share folded into the straggler's closure
+        local = np.array(
+            [
+                p.local_cost if self._alive[p.node_id] else np.nan
+                for p in self.peers
+            ]
+        )
+        straggler = alive_peers[0].straggler_id
+        global_cost = alive_peers[0].global_cost
+        assert straggler is not None and global_cost is not None
+        # Every surviving peer must have reached the same view.
+        for peer in alive_peers:
+            if peer.straggler_id != straggler or peer.global_cost != global_cost:
+                raise ProtocolError(
+                    f"peers disagree on the round outcome: peer {peer.node_id} "
+                    f"sees straggler {peer.straggler_id}, expected {straggler}"
+                )
+        return x_played, local, global_cost, straggler
+
+    def run(self, process: CostProcess, horizon: int) -> RunResult:
+        n = self.num_workers
+        allocations = np.empty((horizon, n))
+        local = np.empty((horizon, n))
+        global_costs = np.empty(horizon)
+        stragglers = np.empty(horizon, dtype=int)
+        for t in range(1, horizon + 1):
+            x, l, l_t, s_t = self.run_round(t, process.costs_at(t))
+            allocations[t - 1] = x
+            local[t - 1] = l
+            global_costs[t - 1] = l_t
+            stragglers[t - 1] = s_t
+        return RunResult(
+            algorithm=self.name,
+            num_workers=n,
+            horizon=horizon,
+            allocations=allocations,
+            local_costs=local,
+            global_costs=global_costs,
+            stragglers=stragglers,
+            decision_seconds=np.zeros(horizon),
+        )

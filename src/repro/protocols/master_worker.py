@@ -1,0 +1,363 @@
+"""Algorithm 1: DOLBIE in the master-worker architecture, verbatim.
+
+Every line of the paper's pseudo-code maps onto a message handler here:
+
+=====  ==========================================================
+Line   Implementation
+=====  ==========================================================
+1-3    environment evaluation in :meth:`MasterWorkerDolbie.run_round`
+4      worker sends ``cost`` {l_i} to the master
+9-11   master collects costs, computes l_t, identifies s_t
+12     master sends ``coord`` {l_t, alpha_t, is_straggler} to workers
+5-6    non-straggler computes x' (Eq. 4) and updates x (Eq. 5)
+7,13   non-straggler sends ``decision`` {x_{i,t+1}} to the master
+14-15  master closes the simplex (Eq. 6), sends ``assign`` to s_t
+16     master updates alpha via Eq. (7)
+=====  ==========================================================
+
+Only scalars cross the network — local cost values and workload
+decisions, never the cost *functions* — which is the paper's privacy
+claim, and the per-round message count is ``3N`` (the O(N) row of
+§IV-C), which the complexity experiment asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.interface import identify_straggler
+from repro.core.loop import RunResult
+from repro.core.step_size import feasibility_cap, initial_step_size
+from repro.costs.base import CostFunction
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.net.cluster import Cluster
+from repro.net.links import Link
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.simplex.sampling import equal_split, is_feasible
+
+__all__ = ["MasterWorkerDolbie"]
+
+TAG_COST = "cost"
+TAG_COORD = "coord"
+TAG_DECISION = "decision"
+TAG_ASSIGN = "assign"
+
+
+class _Worker(Node):
+    """A DOLBIE worker (Alg. 1, worker block)."""
+
+    def __init__(self, node_id: int, master_id: int, x_init: float) -> None:
+        super().__init__(node_id)
+        self.master_id = master_id
+        self.x = float(x_init)
+        self.cost_fn: CostFunction | None = None
+        self.local_cost: float | None = None
+        self.current_round = 0
+        self.on(TAG_COORD, self._on_coord)
+        self.on(TAG_ASSIGN, self._on_assign)
+
+    def observe_round(self, round_index: int, cost_fn: CostFunction) -> None:
+        """Lines 1-4: play x, suffer cost, learn f, report l to master."""
+        self.current_round = round_index
+        self.cost_fn = cost_fn
+        self.local_cost = cost_fn(self.x)
+        self.send(
+            self.master_id, TAG_COST, {"l": self.local_cost}, round_index
+        )
+
+    def _check_round(self, message: Message) -> None:
+        if message.round_index != self.current_round:
+            raise ProtocolError(
+                f"worker {self.node_id} got a round-{message.round_index} "
+                f"{message.tag!r} during round {self.current_round}"
+            )
+
+    def _on_coord(self, message: Message) -> None:
+        """Lines 5-7: receive (l_t, alpha_t, indicator); risk-averse update."""
+        self._check_round(message)
+        if self.cost_fn is None:  # pragma: no cover - defensive
+            raise ProtocolError(f"worker {self.node_id} has no cost function")
+        if not message.payload["is_straggler"]:
+            level = float(message.payload["l"])
+            alpha = float(message.payload["alpha"])
+            x_prime = min(self.cost_fn.max_acceptable(level), 1.0)
+            x_prime = max(x_prime, self.x)  # Lemma 1-ii up to bisection dust
+            self.x = self.x - alpha * (self.x - x_prime)  # Eq. (5)
+            self.send(self.master_id, TAG_DECISION, {"x": self.x}, message.round_index)
+        # The straggler waits for its assignment (line 8).
+
+    def _on_assign(self, message: Message) -> None:
+        """Line 8: the straggler receives x_{s,t+1} from the master."""
+        self._check_round(message)
+        self.x = float(message.payload["x"])
+
+
+class _Master(Node):
+    """The DOLBIE master (Alg. 1, master block).
+
+    Crash tolerance (extension): the master arms a timeout when the round
+    begins; if some workers' cost reports are still missing when it
+    fires, those workers are declared dead, dropped from the roster, and
+    the round proceeds with the survivors. The dead workers' shares fold
+    into the straggler's assignment for this round (Eq. 6 computes
+    ``1 - sum of survivors``, which automatically includes the orphaned
+    workload) and the normal risk-averse updates re-balance it over
+    subsequent rounds.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        worker_ids: Sequence[int],
+        alpha_1: float,
+        cost_timeout: float = 1.0,
+    ) -> None:
+        super().__init__(node_id)
+        self.worker_ids = list(worker_ids)
+        self.alpha = float(alpha_1)
+        self.cost_timeout = float(cost_timeout)
+        self.current_round = 0
+        self.global_cost: float | None = None
+        self.straggler: int | None = None
+        self._costs: dict[int, float] = {}
+        self._decisions: dict[int, float] = {}
+        self._coordinated = False
+        #: Workers declared dead (round they were dropped, per worker).
+        self.declared_dead: dict[int, int] = {}
+        self.on(TAG_COST, self._on_cost)
+        self.on(TAG_DECISION, self._on_decision)
+
+    def begin_round(self, round_index: int, arm_failure_detector: bool = True) -> None:
+        """Start a round; ``arm_failure_detector`` schedules the cost
+        timeout. The simulation driver disarms it on rounds where every
+        rostered worker is known to be healthy, so healthy rounds do not
+        pay the timeout in virtual time (a real master would keep it
+        armed and simply see it no-op)."""
+        self.current_round = round_index
+        self.global_cost = None
+        self.straggler = None
+        self._coordinated = False
+        self._costs.clear()
+        self._decisions.clear()
+        if arm_failure_detector:
+            self.cluster.engine.schedule(
+                self.cost_timeout, lambda r=round_index: self._on_cost_timeout(r)
+            )
+
+    def _on_cost_timeout(self, round_index: int) -> None:
+        """Declare silent workers dead and coordinate with the survivors."""
+        if round_index != self.current_round or self._coordinated:
+            return
+        missing = [w for w in self.worker_ids if w not in self._costs]
+        if not missing:  # pragma: no cover - coordination already imminent
+            return
+        if len(self.worker_ids) - len(missing) < 2:
+            raise ProtocolError(
+                f"round {round_index}: fewer than 2 workers responded "
+                f"({sorted(missing)} silent); cannot continue"
+            )
+        for worker_id in missing:
+            self.worker_ids.remove(worker_id)
+            self.declared_dead[worker_id] = round_index
+        self._coordinate(round_index)
+
+    def _on_cost(self, message: Message) -> None:
+        """Lines 9-12: collect costs, find the straggler, coordinate."""
+        if message.round_index != self.current_round:
+            raise ProtocolError(
+                f"master got a round-{message.round_index} cost in round "
+                f"{self.current_round}"
+            )
+        if message.src in self._costs:
+            raise ProtocolError(f"duplicate cost report from worker {message.src}")
+        if message.src not in self.worker_ids:
+            raise ProtocolError(
+                f"cost report from worker {message.src}, which was declared dead"
+            )
+        self._costs[message.src] = float(message.payload["l"])
+        if len(self._costs) < len(self.worker_ids):
+            return
+        self._coordinate(message.round_index)
+
+    def _coordinate(self, round_index: int) -> None:
+        self._coordinated = True
+        ordered = np.array([self._costs[w] for w in self.worker_ids])
+        straggler_pos = identify_straggler(ordered)
+        self.straggler = self.worker_ids[straggler_pos]
+        self.global_cost = float(ordered[straggler_pos])
+        for worker_id in self.worker_ids:
+            self.send(
+                worker_id,
+                TAG_COORD,
+                {
+                    "l": self.global_cost,
+                    "alpha": self.alpha,
+                    "is_straggler": worker_id == self.straggler,
+                },
+                round_index,
+            )
+
+    def _on_decision(self, message: Message) -> None:
+        """Lines 13-16: close the simplex, assign the straggler, cap alpha."""
+        if message.src == self.straggler:
+            raise ProtocolError("the straggler must not send a decision")
+        if message.src in self._decisions:
+            raise ProtocolError(f"duplicate decision from worker {message.src}")
+        self._decisions[message.src] = float(message.payload["x"])
+        if len(self._decisions) < len(self.worker_ids) - 1:
+            return
+        x_straggler = 1.0 - sum(
+            self._decisions[w] for w in self.worker_ids if w != self.straggler
+        )  # Eq. (6)
+        if x_straggler < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({x_straggler:.3e}); the "
+                "verbatim Eq. (7) cap was insufficient this round (see "
+                "Dolbie.exact_feasibility_guard)"
+            )
+        x_straggler = max(x_straggler, 0.0)
+        assert self.straggler is not None
+        self.send(self.straggler, TAG_ASSIGN, {"x": x_straggler}, message.round_index)
+        self.alpha = min(
+            self.alpha, feasibility_cap(x_straggler, len(self.worker_ids))
+        )  # Eq. (7)
+
+
+class MasterWorkerDolbie:
+    """Run Algorithm 1 on the discrete-event network substrate."""
+
+    name = "DOLBIE/master-worker"
+
+    def __init__(
+        self,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        alpha_1: float | None = None,
+        link: Link | None = None,
+        embedded_master: bool = False,
+        cost_timeout: float = 1.0,
+    ) -> None:
+        """``embedded_master`` realizes §IV-B1's "an elected worker acts
+        also as the master": the master process is co-located with worker
+        0, so their exchanges are in-process calls that never touch the
+        network (the per-round wire count drops from 3N to about
+        3(N-1)). ``cost_timeout`` (virtual seconds) is the master's
+        failure detector: a worker whose cost report is still missing
+        when it fires is declared dead and dropped (it must exceed the
+        worst-case link round trip)."""
+        if num_workers < 2:
+            raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+        self.num_workers = int(num_workers)
+        x0 = (
+            equal_split(num_workers)
+            if initial_allocation is None
+            else np.asarray(initial_allocation, dtype=float)
+        )
+        if not is_feasible(x0) or x0.size != num_workers:
+            raise ConfigurationError("initial allocation must be feasible")
+        if alpha_1 is None:
+            alpha_1 = initial_step_size(x0)
+        self.master_id = num_workers  # workers are 0..N-1
+        self.workers = [
+            _Worker(i, self.master_id, x0[i]) for i in range(num_workers)
+        ]
+        self.master = _Master(
+            self.master_id, list(range(num_workers)), alpha_1,
+            cost_timeout=cost_timeout,
+        )
+        self.cluster = Cluster([*self.workers, self.master], default_link=link)
+        self.embedded_master = bool(embedded_master)
+        if embedded_master:
+            self.cluster.colocate(0, self.master_id)
+        self._alive = [True] * num_workers
+
+    def crash_worker(self, worker: int) -> None:
+        """Silence ``worker`` from the next round on (it stops reporting).
+
+        The master's failure detector will declare it dead after
+        ``cost_timeout`` and fold its workload into that round's
+        straggler assignment; later rounds re-balance normally.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(f"worker index {worker} out of range")
+        self._alive[worker] = False
+        self.workers[worker].failed = True
+
+    @property
+    def alive_workers(self) -> list[int]:
+        return [i for i in range(self.num_workers) if self._alive[i]]
+
+    @property
+    def allocation(self) -> np.ndarray:
+        """The workload vector currently held across the workers."""
+        return np.array([w.x for w in self.workers])
+
+    @property
+    def alpha(self) -> float:
+        return self.master.alpha
+
+    @property
+    def metrics(self):
+        """Network metrics (message/byte counts) for §IV-C."""
+        return self.cluster.metrics
+
+    def run_round(
+        self, round_index: int, costs: Sequence[CostFunction]
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """Execute one full protocol round; returns (x_played, l, l_t, s_t)."""
+        if len(costs) != self.num_workers:
+            raise ConfigurationError(
+                f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
+            )
+        x_played = self.allocation
+        reporting = sum(
+            1 for w in self.master.worker_ids if self._alive[w]
+        )
+        self.master.begin_round(
+            round_index,
+            arm_failure_detector=reporting < len(self.master.worker_ids),
+        )
+        for worker, cost_fn in zip(self.workers, costs):
+            if self._alive[worker.node_id]:
+                worker.observe_round(round_index, cost_fn)
+        self.cluster.run(max_events=20 * self.num_workers + 100)
+        # Zero out the shares of workers the master declared dead: their
+        # workload was folded into this round's straggler assignment.
+        for worker_id in self.master.declared_dead:
+            self.workers[worker_id].x = 0.0
+        local = np.array(
+            [
+                w.local_cost if self._alive[w.node_id] else np.nan
+                for w in self.workers
+            ]
+        )
+        assert self.master.global_cost is not None and self.master.straggler is not None
+        return x_played, local, self.master.global_cost, self.master.straggler
+
+    def run(self, process: CostProcess, horizon: int) -> RunResult:
+        """Drive the protocol for ``horizon`` rounds; mirrors ``run_online``."""
+        n = self.num_workers
+        allocations = np.empty((horizon, n))
+        local = np.empty((horizon, n))
+        global_costs = np.empty(horizon)
+        stragglers = np.empty(horizon, dtype=int)
+        for t in range(1, horizon + 1):
+            x, l, l_t, s_t = self.run_round(t, process.costs_at(t))
+            allocations[t - 1] = x
+            local[t - 1] = l
+            global_costs[t - 1] = l_t
+            stragglers[t - 1] = s_t
+        return RunResult(
+            algorithm=self.name,
+            num_workers=n,
+            horizon=horizon,
+            allocations=allocations,
+            local_costs=local,
+            global_costs=global_costs,
+            stragglers=stragglers,
+            decision_seconds=np.zeros(horizon),
+        )

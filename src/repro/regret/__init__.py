@@ -1,0 +1,18 @@
+"""Dynamic-regret analysis (§V): regret, path length, Theorem 1 bound."""
+
+from repro.regret.bounds import lipschitz_over_rounds, theorem1_bound
+from repro.regret.dynamic import (
+    ComparatorTrajectory,
+    compute_comparators,
+    dynamic_regret,
+    path_length,
+)
+
+__all__ = [
+    "ComparatorTrajectory",
+    "compute_comparators",
+    "dynamic_regret",
+    "path_length",
+    "theorem1_bound",
+    "lipschitz_over_rounds",
+]

@@ -1,0 +1,76 @@
+"""Dynamic regret and path length (§V).
+
+The dynamic regret compares the algorithm's accumulated global cost with
+the sequence of *instantaneous minimizers*::
+
+    Reg_T^d = sum_t f_t(x_t) - sum_t f_t(x_t*),
+    x_t* in argmin_{x in F} f_t(x),
+
+and the regularity of the environment is captured by the path length
+``P_T = sum_{t=2}^T || x_{t-1}* - x_t* ||_2``. Both are computed exactly
+here, using the level-bisection oracle of :mod:`repro.minmax`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.costs.base import CostFunction
+from repro.minmax.solver import solve_min_max
+
+__all__ = ["ComparatorTrajectory", "compute_comparators", "dynamic_regret", "path_length"]
+
+
+@dataclass(frozen=True)
+class ComparatorTrajectory:
+    """The clairvoyant minimizer sequence and its per-round optimal values."""
+
+    allocations: np.ndarray  # (T, N)
+    values: np.ndarray  # (T,)
+
+    @property
+    def path_length(self) -> float:
+        return path_length(self.allocations)
+
+
+def compute_comparators(
+    costs_per_round: Sequence[Sequence[CostFunction]],
+    tol: float = 1e-10,
+) -> ComparatorTrajectory:
+    """Solve every round's instantaneous min-max problem."""
+    allocations = []
+    values = []
+    for costs in costs_per_round:
+        solution = solve_min_max(costs, tol=tol)
+        allocations.append(solution.allocation)
+        values.append(solution.value)
+    return ComparatorTrajectory(
+        allocations=np.asarray(allocations), values=np.asarray(values)
+    )
+
+
+def path_length(comparator_allocations: np.ndarray) -> float:
+    """``P_T = sum_{t >= 2} || x_{t-1}* - x_t* ||_2``."""
+    arr = np.asarray(comparator_allocations, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"expected (T, N) comparators, got shape {arr.shape}")
+    if arr.shape[0] < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(arr, axis=0), axis=1).sum())
+
+
+def dynamic_regret(
+    algorithm_costs: np.ndarray,
+    comparator_values: np.ndarray,
+) -> float:
+    """``Reg_T^d`` given per-round global costs and optimal values."""
+    algo = np.asarray(algorithm_costs, dtype=float)
+    opt = np.asarray(comparator_values, dtype=float)
+    if algo.shape != opt.shape:
+        raise ValueError(
+            f"cost series shapes differ: {algo.shape} vs {opt.shape}"
+        )
+    return float((algo - opt).sum())

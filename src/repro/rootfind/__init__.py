@@ -1,0 +1,12 @@
+"""Root finding for level inverses: bisection and Hansen-Patrick [30]."""
+
+from repro.rootfind.bisection import BisectionResult, bisect_increasing, expand_bracket
+from repro.rootfind.hansen_patrick import hansen_patrick, numeric_derivatives
+
+__all__ = [
+    "BisectionResult",
+    "bisect_increasing",
+    "expand_bracket",
+    "hansen_patrick",
+    "numeric_derivatives",
+]

@@ -1,0 +1,82 @@
+"""Bracketed bisection for monotone functions.
+
+§IV-A notes that x-tilde "can be found efficiently with function inverse or
+bisection search [30]". This module provides the generic machinery: root
+bracketing for increasing functions and a guarded bisection loop with both
+absolute-x and residual stopping criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import RootFindingError
+
+__all__ = ["BisectionResult", "bisect_increasing", "expand_bracket"]
+
+
+@dataclass(frozen=True)
+class BisectionResult:
+    """Outcome of a bisection solve."""
+
+    root: float
+    iterations: int
+    residual: float
+
+
+def expand_bracket(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    max_expansions: int = 60,
+    growth: float = 2.0,
+) -> tuple[float, float]:
+    """Grow ``[lo, hi]`` geometrically until ``func`` changes sign.
+
+    Requires ``func(lo) <= 0``; expands ``hi`` until ``func(hi) >= 0``.
+    Intended for increasing ``func`` (sign change guaranteed to persist).
+    """
+    if func(lo) > 0:
+        raise RootFindingError(f"func(lo={lo}) > 0: no root at or above lo")
+    width = max(hi - lo, 1e-12)
+    for _ in range(max_expansions):
+        if func(hi) >= 0:
+            return lo, hi
+        lo = hi
+        width *= growth
+        hi = hi + width
+    raise RootFindingError(
+        f"failed to bracket a root within {max_expansions} expansions (hi={hi})"
+    )
+
+
+def bisect_increasing(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    xtol: float = 1e-12,
+    max_iter: int = 200,
+) -> BisectionResult:
+    """Find ``sup { x in [lo, hi] : func(x) <= 0 }`` for increasing ``func``.
+
+    This is exactly the level-inverse needed by Eq. (4) with
+    ``func(x) = f(x) - level``. The returned point always satisfies
+    ``func(root) <= 0`` (one-sided), so feasibility is never overshot.
+    """
+    if hi < lo:
+        raise RootFindingError(f"empty interval [lo={lo}, hi={hi}]")
+    f_lo = func(lo)
+    if f_lo > 0:
+        raise RootFindingError(f"func(lo={lo})={f_lo} > 0: empty sublevel set")
+    if func(hi) <= 0:
+        return BisectionResult(root=hi, iterations=0, residual=func(hi))
+    iterations = 0
+    while hi - lo > xtol and iterations < max_iter:
+        mid = 0.5 * (lo + hi)
+        if func(mid) <= 0:
+            lo = mid
+        else:
+            hi = mid
+        iterations += 1
+    return BisectionResult(root=lo, iterations=iterations, residual=func(lo))

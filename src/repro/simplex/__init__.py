@@ -1,0 +1,27 @@
+"""Probability-simplex geometry: projection, sampling, feasibility."""
+
+from repro.simplex.projection import (
+    project_simplex,
+    project_simplex_michelot,
+    project_simplex_sort,
+    simplex_threshold,
+)
+from repro.simplex.sampling import (
+    clip_to_simplex,
+    dirichlet_simplex,
+    equal_split,
+    is_feasible,
+    uniform_simplex,
+)
+
+__all__ = [
+    "project_simplex",
+    "project_simplex_sort",
+    "project_simplex_michelot",
+    "simplex_threshold",
+    "uniform_simplex",
+    "dirichlet_simplex",
+    "equal_split",
+    "is_feasible",
+    "clip_to_simplex",
+]

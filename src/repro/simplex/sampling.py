@@ -1,0 +1,58 @@
+"""Sampling from and checking membership of the probability simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FeasibilityError
+
+__all__ = ["uniform_simplex", "dirichlet_simplex", "is_feasible", "equal_split", "clip_to_simplex"]
+
+
+def uniform_simplex(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample uniformly from the (n-1)-simplex via exponential spacings."""
+    if n < 1:
+        raise FeasibilityError(f"dimension must be >= 1, got {n}")
+    e = rng.exponential(1.0, size=n)
+    return e / e.sum()
+
+
+def dirichlet_simplex(
+    n: int, rng: np.random.Generator, concentration: float = 1.0
+) -> np.ndarray:
+    """Sample from a symmetric Dirichlet; low concentration gives spiky points."""
+    if concentration <= 0:
+        raise FeasibilityError("concentration must be positive")
+    return rng.dirichlet(np.full(n, concentration))
+
+
+def equal_split(n: int) -> np.ndarray:
+    """The EQU allocation 1/N per worker — every algorithm's initial point."""
+    if n < 1:
+        raise FeasibilityError(f"dimension must be >= 1, got {n}")
+    return np.full(n, 1.0 / n)
+
+
+def is_feasible(x: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when ``x`` satisfies constraints (2)-(3) within tolerance."""
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1 or arr.size == 0 or not np.all(np.isfinite(arr)):
+        return False
+    return bool(np.all(arr >= -atol) and abs(arr.sum() - 1.0) <= atol * max(1, arr.size))
+
+
+def clip_to_simplex(x: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Repair tiny numerical drift; reject anything beyond ``atol``.
+
+    DOLBIE guarantees feasibility *by design*; the only violations this
+    should ever see are floating-point dust, so larger errors are raised
+    instead of silently repaired.
+    """
+    arr = np.asarray(x, dtype=float)
+    if not is_feasible(arr, atol=atol):
+        raise FeasibilityError(
+            f"allocation violates the simplex beyond tolerance {atol}: sum={arr.sum()!r}, "
+            f"min={arr.min()!r}"
+        )
+    arr = np.maximum(arr, 0.0)
+    return arr / arr.sum()

@@ -1,0 +1,5 @@
+"""Executable versions of the paper's analytical results (§V)."""
+
+from repro.theory.lemmas import Lemma1Report, Lemma2Report, check_lemma1, check_lemma2
+
+__all__ = ["Lemma1Report", "Lemma2Report", "check_lemma1", "check_lemma2"]

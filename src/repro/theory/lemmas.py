@@ -1,0 +1,120 @@
+"""The paper's lemmas as executable checks.
+
+Theorem 1's proof rests on Lemma 1 (four structural properties of any
+feasible solution) and Lemma 2 (the per-round inequality linking the
+cost gap to the assistance vector). This module evaluates both on a
+concrete instance — cost functions plus a played allocation — so the
+proof's steps can be *tested*, instance by instance, rather than trusted.
+The property suite runs them on thousands of random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.costs.base import CostFunction
+from repro.exceptions import ConfigurationError
+from repro.minmax.solver import evaluate_allocation, solve_min_max
+from repro.simplex.sampling import is_feasible
+
+__all__ = ["Lemma1Report", "check_lemma1", "Lemma2Report", "check_lemma2"]
+
+#: Slack used when comparing quantities produced by bisection.
+_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class Lemma1Report:
+    """Evaluation of Lemma 1's four properties on one instance."""
+
+    i_straggler_dominates_optimal: bool  # x_{s,t} >= x*_{s,t}
+    ii_x_prime_dominates_x: bool  # x' >= x
+    iii_x_prime_dominates_optimal: bool  # x' >= x*
+    iv_inner_product_bound: bool  # sum (x-x')(x-x*) >= -(N-1)/4
+    inner_product_value: float
+
+    @property
+    def all_hold(self) -> bool:
+        return (
+            self.i_straggler_dominates_optimal
+            and self.ii_x_prime_dominates_x
+            and self.iii_x_prime_dominates_optimal
+            and self.iv_inner_product_bound
+        )
+
+
+def check_lemma1(
+    costs: Sequence[CostFunction],
+    allocation: np.ndarray,
+    optimal: np.ndarray | None = None,
+) -> Lemma1Report:
+    """Evaluate Lemma 1 for ``allocation`` against the instantaneous optimum.
+
+    ``optimal`` may be supplied to reuse a precomputed minimizer;
+    otherwise the exact level-bisection solver produces it.
+    """
+    x = np.asarray(allocation, dtype=float)
+    if not is_feasible(x):
+        raise ConfigurationError("allocation must be feasible")
+    if optimal is None:
+        optimal = solve_min_max(costs).allocation
+    x_star = np.asarray(optimal, dtype=float)
+
+    _, global_cost, straggler = evaluate_allocation(costs, x)
+    x_prime = acceptable_workloads(costs, x, global_cost, straggler)
+
+    n = x.size
+    inner = float(
+        sum(
+            (x[i] - x_prime[i]) * (x[i] - x_star[i])
+            for i in range(n)
+            if i != straggler
+        )
+    )
+    return Lemma1Report(
+        i_straggler_dominates_optimal=bool(
+            x[straggler] >= x_star[straggler] - _TOL
+        ),
+        ii_x_prime_dominates_x=bool((x_prime >= x - _TOL).all()),
+        iii_x_prime_dominates_optimal=bool((x_prime >= x_star - _TOL).all()),
+        iv_inner_product_bound=bool(inner >= -(n - 1) / 4.0 - _TOL),
+        inner_product_value=inner,
+    )
+
+
+@dataclass(frozen=True)
+class Lemma2Report:
+    """Evaluation of Lemma 2's inequality (Eq. 10) on one instance."""
+
+    lhs: float  # ((f_t(x) - f_t(x*)) / L)^2
+    rhs: float  # (N-1)/4 + G^T (x - x*)
+    holds: bool
+
+
+def check_lemma2(
+    costs: Sequence[CostFunction],
+    allocation: np.ndarray,
+    lipschitz: float,
+    optimal: np.ndarray | None = None,
+) -> Lemma2Report:
+    """Evaluate Eq. (10): ``((f_t(x)-f_t(x*))/L)^2 <= (N-1)/4 + G^T(x-x*)``."""
+    if lipschitz <= 0:
+        raise ConfigurationError("Lipschitz constant must be positive")
+    x = np.asarray(allocation, dtype=float)
+    if optimal is None:
+        optimal = solve_min_max(costs).allocation
+    x_star = np.asarray(optimal, dtype=float)
+
+    _, cost_x, straggler = evaluate_allocation(costs, x)
+    _, cost_star, _ = evaluate_allocation(costs, x_star)
+    x_prime = acceptable_workloads(costs, x, cost_x, straggler)
+    g = assistance_vector(x, x_prime, straggler)
+
+    n = x.size
+    lhs = ((cost_x - cost_star) / lipschitz) ** 2
+    rhs = (n - 1) / 4.0 + float(g @ (x - x_star))
+    return Lemma2Report(lhs=lhs, rhs=rhs, holds=bool(lhs <= rhs + _TOL))

@@ -1,0 +1,28 @@
+"""Shared utilities: RNG management, statistics, timing, validation."""
+
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.stats import (
+    confidence_interval,
+    mean_ci,
+    running_mean,
+    summarize,
+)
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "RngFactory",
+    "spawn_rng",
+    "confidence_interval",
+    "mean_ci",
+    "running_mean",
+    "summarize",
+    "Stopwatch",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+]

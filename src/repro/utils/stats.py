@@ -1,0 +1,98 @@
+"""Small statistics helpers used by the experiment harness.
+
+The paper reports per-round means with 95% confidence intervals over 100
+realizations (Figs. 4-5, 11); these helpers compute exactly those
+quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = ["confidence_interval", "mean_ci", "running_mean", "summarize", "Summary"]
+
+
+def confidence_interval(
+    samples: Sequence[float] | np.ndarray,
+    confidence: float = 0.95,
+    axis: int = 0,
+) -> np.ndarray:
+    """Half-width of the Student-t confidence interval of the mean.
+
+    Returns 0 for a single sample (no dispersion information) rather than
+    NaN so downstream plotting code never has to special-case it.
+    """
+    arr = np.asarray(samples, dtype=float)
+    n = arr.shape[axis]
+    if n <= 1:
+        return np.zeros(np.delete(arr.shape, axis))
+    sem = _scipy_stats.sem(arr, axis=axis)
+    t_crit = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    return np.nan_to_num(sem * t_crit)
+
+
+def mean_ci(
+    samples: Sequence[float] | np.ndarray,
+    confidence: float = 0.95,
+    axis: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean and CI half-width along ``axis`` (the realization axis)."""
+    arr = np.asarray(samples, dtype=float)
+    return arr.mean(axis=axis), confidence_interval(arr, confidence, axis)
+
+
+def running_mean(values: Sequence[float], window: int) -> np.ndarray:
+    """Trailing moving average with a warm-up that averages what exists."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    arr = np.asarray(values, dtype=float)
+    out = np.empty_like(arr)
+    csum = np.concatenate([[0.0], np.cumsum(arr)])
+    for i in range(len(arr)):
+        lo = max(0, i + 1 - window)
+        out[i] = (csum[i + 1] - csum[lo]) / (i + 1 - lo)
+    return out
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    ci95: float
+    count: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "ci95": self.ci95,
+            "count": float(self.count),
+        }
+
+
+def summarize(samples: Sequence[float] | np.ndarray) -> Summary:
+    """Summarize a 1-D sample; raises on empty input."""
+    arr = np.asarray(samples, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        ci95=float(confidence_interval(arr)),
+        count=int(arr.size),
+    )

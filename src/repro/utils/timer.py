@@ -1,0 +1,53 @@
+"""Wall-clock measurement of balancer decision overhead (Fig. 11, lower)."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Accumulating stopwatch built on ``time.perf_counter``.
+
+    Used to measure the per-round decision-making overhead of each load
+    balancing algorithm, the quantity reported in the lower panel of
+    Fig. 11 of the paper.
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the lap duration in seconds."""
+        if self._start is None:
+            raise RuntimeError("stopwatch is not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.total += lap
+        self.laps.append(lap)
+        return lap
+
+    @property
+    def mean_lap(self) -> float:
+        """Average lap duration; 0.0 before any lap completes."""
+        return self.total / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.laps.clear()
+        self._start = None

@@ -1,0 +1,56 @@
+"""Argument validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import FeasibilityError
+
+__all__ = ["check_fraction", "check_positive", "check_probability_vector"]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Require ``value`` in [0, 1] (or (0, 1) if not inclusive)."""
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")
+    return float(value)
+
+
+def check_probability_vector(
+    x: np.ndarray,
+    *,
+    atol: float = 1e-8,
+    name: str = "x",
+) -> np.ndarray:
+    """Validate that ``x`` lies on the probability simplex.
+
+    This enforces the feasibility constraints (2)-(3) of the paper:
+    non-negative entries summing to one (within ``atol``).
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 1:
+        raise FeasibilityError(f"{name} must be a 1-D vector, got shape {arr.shape}")
+    if arr.size == 0:
+        raise FeasibilityError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise FeasibilityError(
+            f"{name} has negative entries (min={arr.min():.3e}), violating constraint (3)"
+        )
+    total = float(arr.sum())
+    if abs(total - 1.0) > atol * max(1, arr.size):
+        raise FeasibilityError(
+            f"{name} sums to {total:.12f}, violating constraint (2)"
+        )
+    return arr

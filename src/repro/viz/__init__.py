@@ -1,0 +1,6 @@
+"""SVG figure rendering (no plotting dependencies)."""
+
+from repro.viz.figures import render_all
+from repro.viz.svg import LineChart, StackedBarChart, PALETTE
+
+__all__ = ["render_all", "LineChart", "StackedBarChart", "PALETTE"]

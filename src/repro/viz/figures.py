@@ -1,0 +1,139 @@
+"""Render the reproduced figures as SVG files.
+
+``python -m repro figures --out results/figures`` draws the paper's main
+plots from the experiment results: per-round latency (Fig. 3), the CI
+bands (Fig. 4), cumulative latency (Fig. 5), accuracy vs wall-clock
+(Fig. 7 panel), and the Fig. 11 time decomposition. Pure-SVG output —
+no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import (
+    fig3_per_round_latency,
+    fig4_latency_ci,
+    fig5_cumulative_latency,
+    fig6to8_accuracy,
+    fig11_utilization,
+)
+from repro.experiments.config import ExperimentScale, QUICK
+from repro.viz.svg import LineChart, StackedBarChart
+
+__all__ = ["render_all"]
+
+
+def render_fig3(scale: ExperimentScale, out: Path) -> Path:
+    result = fig3_per_round_latency.run(scale)
+    chart = LineChart(
+        title=f"Fig. 3 — per-round latency ({result.model}, one realization)",
+        xlabel="training round",
+        ylabel="latency (ms)",
+        log_y=True,
+    )
+    rounds = np.arange(1, result.rounds + 1)
+    for name, series in result.latency.items():
+        chart.add_series(name, rounds, series * 1e3)
+    return chart.save(out / "fig3_per_round_latency.svg")
+
+
+def render_fig4(scale: ExperimentScale, out: Path) -> Path:
+    result = fig4_latency_ci.run(scale)
+    chart = LineChart(
+        title=(
+            f"Fig. 4 — per-round latency, 95% CI over "
+            f"{result.realizations} realizations ({result.model})"
+        ),
+        xlabel="training round",
+        ylabel="latency (ms)",
+        log_y=True,
+    )
+    horizon = len(next(iter(result.mean.values())))
+    rounds = np.arange(1, horizon + 1)
+    for name in result.mean:
+        mean = result.mean[name] * 1e3
+        ci = result.ci95[name] * 1e3
+        chart.add_series(
+            name,
+            rounds,
+            mean,
+            band=(np.maximum(mean - ci, 1e-9), mean + ci),
+        )
+    return chart.save(out / "fig4_latency_ci.svg")
+
+
+def render_fig5(scale: ExperimentScale, out: Path) -> Path:
+    result = fig5_cumulative_latency.run(scale)
+    chart = LineChart(
+        title=f"Fig. 5 — cumulative latency ({result.model})",
+        xlabel="training round",
+        ylabel="accumulated seconds",
+    )
+    horizon = len(next(iter(result.mean.values())))
+    rounds = np.arange(1, horizon + 1)
+    for name in result.mean:
+        chart.add_series(name, rounds, result.mean[name])
+    return chart.save(out / "fig5_cumulative_latency.svg")
+
+
+def render_fig7(scale: ExperimentScale, out: Path) -> Path:
+    result = fig6to8_accuracy.run(scale, models=["ResNet18"])
+    runs = result.runs["ResNet18"]
+    chart = LineChart(
+        title="Fig. 7 — training accuracy vs wall-clock (ResNet18)",
+        xlabel="wall-clock seconds",
+        ylabel="training accuracy",
+    )
+    for name, run in runs.items():
+        # Thin the curve for a compact SVG.
+        step = max(1, run.rounds // 400)
+        chart.add_series(name, run.wall_clock[::step], run.accuracy[::step])
+    return chart.save(out / "fig7_accuracy_vs_time.svg")
+
+
+def render_fig11(scale: ExperimentScale, out: Path) -> Path:
+    result = fig11_utilization.run(scale)
+    chart = StackedBarChart(
+        title=f"Fig. 11 — mean time per worker per round ({result.model})",
+        xlabel="milliseconds",
+        segment_names=["computation", "communication", "waiting"],
+    )
+    for name, comp in result.breakdown.items():
+        chart.add_bar(
+            name,
+            [
+                comp["computation"] * 1e3,
+                comp["communication"] * 1e3,
+                comp["waiting"] * 1e3,
+            ],
+        )
+    return chart.save(out / "fig11_utilization.svg")
+
+
+_RENDERERS = {
+    "fig3": render_fig3,
+    "fig4": render_fig4,
+    "fig5": render_fig5,
+    "fig7": render_fig7,
+    "fig11": render_fig11,
+}
+
+
+def render_all(
+    out_dir: str | Path,
+    scale: ExperimentScale = QUICK,
+    only: list[str] | None = None,
+) -> list[Path]:
+    """Render the figure set and return the written paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    names = only if only is not None else sorted(_RENDERERS)
+    written = []
+    for name in names:
+        if name not in _RENDERERS:
+            raise KeyError(f"unknown figure {name!r}; known: {sorted(_RENDERERS)}")
+        written.append(_RENDERERS[name](scale, out))
+    return written

@@ -1,0 +1,344 @@
+"""Dependency-free SVG charts (matplotlib is not available offline).
+
+Two chart types cover every figure in the paper: multi-series line
+charts with optional shaded confidence bands (Figs. 3-8) and stacked
+horizontal bars (Fig. 11). Output is plain SVG 1.1 text, viewable in any
+browser and diff-friendly in version control.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LineChart", "StackedBarChart", "PALETTE"]
+
+#: Colorblind-safe categorical palette (Okabe-Ito).
+PALETTE = [
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # green
+    "#D55E00",  # vermilion
+    "#CC79A7",  # purple-pink
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+]
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = multiple * magnitude
+        if span / step <= target:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-12 * span:
+        ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.4g}"
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: list[float]
+    ys: list[float]
+    color: str
+    band_lo: list[float] | None = None
+    band_hi: list[float] | None = None
+
+
+class LineChart:
+    """A multi-series line chart with optional confidence bands."""
+
+    def __init__(
+        self,
+        title: str,
+        xlabel: str,
+        ylabel: str,
+        width: int = 720,
+        height: int = 420,
+        log_y: bool = False,
+    ) -> None:
+        if width < 200 or height < 150:
+            raise ConfigurationError("chart too small to draw")
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.width = width
+        self.height = height
+        self.log_y = log_y
+        self._series: list[_Series] = []
+
+    def add_series(
+        self,
+        name: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        band: tuple[Sequence[float], Sequence[float]] | None = None,
+        color: str | None = None,
+    ) -> None:
+        xs, ys = [float(v) for v in xs], [float(v) for v in ys]
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise ConfigurationError(
+                f"series {name!r} needs >= 2 matching points"
+            )
+        if self.log_y and any(v <= 0 for v in ys):
+            raise ConfigurationError(f"log-scale series {name!r} must be positive")
+        band_lo = band_hi = None
+        if band is not None:
+            band_lo = [float(v) for v in band[0]]
+            band_hi = [float(v) for v in band[1]]
+            if len(band_lo) != len(xs) or len(band_hi) != len(xs):
+                raise ConfigurationError(f"band of {name!r} must match xs")
+        self._series.append(
+            _Series(
+                name=name,
+                xs=xs,
+                ys=ys,
+                color=color or PALETTE[len(self._series) % len(PALETTE)],
+                band_lo=band_lo,
+                band_hi=band_hi,
+            )
+        )
+
+    # -- rendering --------------------------------------------------------
+    def _y_transform(self, value: float) -> float:
+        return math.log10(value) if self.log_y else value
+
+    def render(self) -> str:
+        if not self._series:
+            raise ConfigurationError("no series to plot")
+        margin_l, margin_r, margin_t, margin_b = 72, 150, 48, 56
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+
+        x_min = min(min(s.xs) for s in self._series)
+        x_max = max(max(s.xs) for s in self._series)
+        y_values = [
+            v
+            for s in self._series
+            for v in (s.ys + (s.band_lo or []) + (s.band_hi or []))
+        ]
+        if self.log_y:
+            y_values = [v for v in y_values if v > 0]
+        y_min, y_max = min(y_values), max(y_values)
+        if y_max == y_min:
+            y_max = y_min + 1.0
+        ty_min, ty_max = self._y_transform(y_min), self._y_transform(y_max)
+
+        def sx(x: float) -> float:
+            return margin_l + (x - x_min) / max(x_max - x_min, 1e-30) * plot_w
+
+        def sy(y: float) -> float:
+            ty = self._y_transform(max(y, y_min) if self.log_y else y)
+            return margin_t + plot_h - (ty - ty_min) / max(ty_max - ty_min, 1e-30) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{self.title}</text>',
+        ]
+        # Axes frame.
+        parts.append(
+            f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#444" stroke-width="1"/>'
+        )
+        # Ticks and gridlines.
+        for tick in _nice_ticks(x_min, x_max):
+            px = sx(tick)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{margin_t}" x2="{px:.1f}" '
+                f'y2="{margin_t + plot_h}" stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{margin_t + plot_h + 18}" '
+                f'text-anchor="middle" font-size="11">{_fmt(tick)}</text>'
+            )
+        y_ticks = (
+            [10**t for t in _nice_ticks(ty_min, ty_max)]
+            if self.log_y
+            else _nice_ticks(y_min, y_max)
+        )
+        for tick in y_ticks:
+            py = sy(tick)
+            parts.append(
+                f'<line x1="{margin_l}" y1="{py:.1f}" x2="{margin_l + plot_w}" '
+                f'y2="{py:.1f}" stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{margin_l - 8}" y="{py + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_fmt(tick)}</text>'
+            )
+        # Axis labels.
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2}" y="{self.height - 14}" '
+            f'text-anchor="middle" font-size="12">{self.xlabel}</text>'
+        )
+        parts.append(
+            f'<text x="20" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 20 {margin_t + plot_h / 2})">'
+            f"{self.ylabel}</text>"
+        )
+        # Bands first (under the lines).
+        for series in self._series:
+            if series.band_lo is None or series.band_hi is None:
+                continue
+            forward = " ".join(
+                f"{sx(x):.1f},{sy(hi):.1f}"
+                for x, hi in zip(series.xs, series.band_hi)
+            )
+            backward = " ".join(
+                f"{sx(x):.1f},{sy(lo):.1f}"
+                for x, lo in zip(reversed(series.xs), reversed(series.band_lo))
+            )
+            parts.append(
+                f'<polygon points="{forward} {backward}" fill="{series.color}" '
+                'opacity="0.15" stroke="none"/>'
+            )
+        # Lines.
+        for series in self._series:
+            points = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(series.xs, series.ys)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{series.color}" stroke-width="1.8"/>'
+            )
+        # Legend.
+        legend_x = margin_l + plot_w + 12
+        for k, series in enumerate(self._series):
+            ly = margin_t + 10 + 20 * k
+            parts.append(
+                f'<line x1="{legend_x}" y1="{ly}" x2="{legend_x + 22}" '
+                f'y2="{ly}" stroke="{series.color}" stroke-width="2.4"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 28}" y="{ly + 4}" font-size="12">'
+                f"{series.name}</text>"
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.render())
+        return out
+
+
+class StackedBarChart:
+    """Horizontal stacked bars (the Fig. 11 time decomposition)."""
+
+    def __init__(
+        self,
+        title: str,
+        xlabel: str,
+        segment_names: Sequence[str],
+        width: int = 720,
+        height: int = 420,
+    ) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.segment_names = list(segment_names)
+        self.width = width
+        self.height = height
+        self._bars: list[tuple[str, list[float]]] = []
+
+    def add_bar(self, label: str, segments: Sequence[float]) -> None:
+        values = [float(v) for v in segments]
+        if len(values) != len(self.segment_names):
+            raise ConfigurationError(
+                f"bar {label!r} needs {len(self.segment_names)} segments"
+            )
+        if any(v < 0 for v in values):
+            raise ConfigurationError("segments must be non-negative")
+        self._bars.append((label, values))
+
+    def render(self) -> str:
+        if not self._bars:
+            raise ConfigurationError("no bars to plot")
+        margin_l, margin_r, margin_t, margin_b = 110, 150, 48, 56
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        total_max = max(sum(values) for _, values in self._bars)
+        bar_h = plot_h / len(self._bars) * 0.6
+        gap = plot_h / len(self._bars)
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            'font-family="Helvetica, Arial, sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{self.title}</text>',
+        ]
+        for tick in _nice_ticks(0.0, total_max):
+            px = margin_l + tick / max(total_max, 1e-30) * plot_w
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{margin_t}" x2="{px:.1f}" '
+                f'y2="{margin_t + plot_h}" stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{margin_t + plot_h + 18}" '
+                f'text-anchor="middle" font-size="11">{_fmt(tick)}</text>'
+            )
+        for row, (label, values) in enumerate(self._bars):
+            y = margin_t + row * gap + (gap - bar_h) / 2
+            x_cursor = float(margin_l)
+            for seg, value in enumerate(values):
+                seg_w = value / max(total_max, 1e-30) * plot_w
+                parts.append(
+                    f'<rect x="{x_cursor:.1f}" y="{y:.1f}" width="{seg_w:.1f}" '
+                    f'height="{bar_h:.1f}" fill="{PALETTE[seg % len(PALETTE)]}"/>'
+                )
+                x_cursor += seg_w
+            parts.append(
+                f'<text x="{margin_l - 8}" y="{y + bar_h / 2 + 4:.1f}" '
+                f'text-anchor="end" font-size="12">{label}</text>'
+            )
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2}" y="{self.height - 14}" '
+            f'text-anchor="middle" font-size="12">{self.xlabel}</text>'
+        )
+        legend_x = margin_l + plot_w + 12
+        for k, name in enumerate(self.segment_names):
+            ly = margin_t + 10 + 20 * k
+            parts.append(
+                f'<rect x="{legend_x}" y="{ly - 8}" width="14" height="14" '
+                f'fill="{PALETTE[k % len(PALETTE)]}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 20}" y="{ly + 4}" font-size="12">{name}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.render())
+        return out

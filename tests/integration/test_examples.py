@@ -1,0 +1,69 @@
+"""Integration: the example scripts run end-to-end and print results."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "accumulated cost" in out
+    assert "DOLBIE" in out
+
+
+def test_fully_distributed_demo():
+    out = _run("fully_distributed_demo.py")
+    assert "master-worker matches reference:      True" in out
+    assert "fully-distributed matches reference:  True" in out
+
+
+def test_regret_analysis():
+    out = _run("regret_analysis.py")
+    assert "holds=True" in out
+    assert "holds=False" not in out
+
+
+def test_edge_offloading():
+    out = _run("edge_offloading.py")
+    assert "DOLBIE" in out and "OPT" in out
+
+
+@pytest.mark.slow
+def test_batch_size_tuning():
+    out = _run("batch_size_tuning.py", timeout=600)
+    assert "DOLBIE" in out
+    assert "inf" not in out.split("DOLBIE")[1].splitlines()[0]
+
+
+def test_elastic_fleet():
+    out = _run("elastic_fleet.py")
+    assert "simplex" in out
+    assert "worker 5 crashed" in out
+
+
+def test_trace_replay():
+    out = _run("trace_replay.py")
+    assert "comparison exported" in out
+    assert "best online algorithm" in out
+
+
+def test_fault_tolerance():
+    out = _run("fault_tolerance.py")
+    assert "worker 3 crashed" in out
+    assert "restarts" in out
+    assert "improvement under regime switching" in out

@@ -1,0 +1,178 @@
+"""Integration: every experiment module runs end-to-end at QUICK scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    complexity,
+    fig3_per_round_latency,
+    fig4_latency_ci,
+    fig5_cumulative_latency,
+    fig6to8_accuracy,
+    fig9_worker_latency,
+    fig10_batch_size,
+    fig11_utilization,
+    regret_experiment,
+)
+from repro.experiments.config import ALL_ALGORITHMS, QUICK
+
+
+class TestFig3(object):
+    def test_runs_and_reports_all_algorithms(self):
+        result = fig3_per_round_latency.run(QUICK)
+        assert set(result.latency) == set(ALL_ALGORITHMS)
+        for series in result.latency.values():
+            assert series.shape == (QUICK.rounds,)
+            assert (series > 0).all()
+
+    def test_headline_reductions_positive_vs_equ(self):
+        result = fig3_per_round_latency.run(QUICK)
+        assert result.reductions_at_40["EQU"] > 0
+
+
+class TestFig4And5(object):
+    def test_fig4_means_and_cis(self):
+        result = fig4_latency_ci.run(QUICK)
+        assert result.realizations == QUICK.realizations
+        for name in ALL_ALGORITHMS:
+            assert result.mean[name].shape == (QUICK.rounds,)
+            assert (result.ci95[name] >= 0).all()
+
+    def test_fig5_cumulative_is_monotone(self):
+        result = fig5_cumulative_latency.run(QUICK)
+        for name in ALL_ALGORITHMS:
+            assert (np.diff(result.mean[name]) > 0).all()
+        totals = result.final_totals()
+        assert totals["DOLBIE"][0] < totals["EQU"][0]
+
+
+class TestFig6to8(object):
+    def test_time_to_target_finite_and_ordered(self):
+        result = fig6to8_accuracy.run(QUICK, models=["ResNet18"])
+        times = result.time_to_target["ResNet18"]
+        assert all(math.isfinite(t) for t in times.values())
+        assert times["DOLBIE"] < times["EQU"]
+        assert times["OPT"] <= min(times.values()) + 1e-9
+
+    def test_speedups_quoted_against_all_baselines(self):
+        result = fig6to8_accuracy.run(QUICK, models=["ResNet18"])
+        assert set(result.speedups["ResNet18"]) == {"EQU", "OGD", "LB-BSP", "ABS"}
+
+
+class TestFig9And10(object):
+    def test_fig9_structures(self):
+        result = fig9_worker_latency.run(QUICK)
+        assert len(result.worker_types) == QUICK.num_workers
+        for name in ALL_ALGORITHMS:
+            assert result.local_latency[name].shape == (QUICK.rounds, QUICK.num_workers)
+            assert (result.spread[name] >= 0).all()
+
+    def test_fig9_dolbie_converges_before_equ(self):
+        result = fig9_worker_latency.run(QUICK)
+        assert result.convergence_round("DOLBIE") <= result.convergence_round("EQU")
+
+    def test_fig10_batch_sizes_sum_to_global_batch(self):
+        result = fig10_batch_size.run(QUICK)
+        for sizes in result.batch_sizes.values():
+            assert np.allclose(sizes.sum(axis=1), QUICK.global_batch)
+
+
+class TestFig11(object):
+    def test_breakdown_components(self):
+        result = fig11_utilization.run(QUICK)
+        for name in ALL_ALGORITHMS:
+            breakdown = result.breakdown[name]
+            assert set(breakdown) == {"computation", "communication", "waiting"}
+            assert all(v >= 0 for v in breakdown.values())
+
+    def test_dolbie_reduces_idle_time(self):
+        result = fig11_utilization.run(QUICK)
+        assert result.idle_reduction["EQU"] > 0
+
+    def test_overhead_statistics_present(self):
+        result = fig11_utilization.run(QUICK)
+        for name in ALL_ALGORITHMS:
+            assert result.overhead[name].mean > 0
+
+
+class TestComplexity(object):
+    def test_measured_matches_analytic(self):
+        result = complexity.run(QUICK, rounds=5)
+        for i, n in enumerate(result.worker_counts):
+            assert result.messages_mw[i] == complexity.expected_master_worker(n)
+            assert result.messages_fd[i] == complexity.expected_fully_distributed(n)
+
+    def test_fd_bytes_grow_quadratically(self):
+        result = complexity.run(QUICK, rounds=3)
+        n0, n1 = result.worker_counts[0], result.worker_counts[-1]
+        growth = result.bytes_fd[-1] / result.bytes_fd[0]
+        assert growth > (n1 / n0) ** 1.5  # clearly superlinear
+
+
+class TestRegret(object):
+    def test_bound_holds_everywhere(self):
+        result = regret_experiment.run(QUICK, horizons=(20, 50))
+        for point in result.horizon_sweep + result.worker_sweep:
+            assert point.regret <= point.bound
+
+    def test_path_length_reported(self):
+        result = regret_experiment.run(QUICK, horizons=(20,))
+        assert result.horizon_sweep[0].path_length >= 0
+
+
+class TestAblations(object):
+    def test_single_helper_is_clearly_worse(self):
+        result = ablations.run(QUICK)
+        assert (
+            result.total_cost["DOLBIE[single-helper]"]
+            > result.total_cost["DOLBIE"]
+        )
+
+    def test_all_variants_reported(self):
+        result = ablations.run(QUICK)
+        assert len(result.total_cost) == 6
+
+
+class TestComparativeRegret(object):
+    def test_dolbie_compares_favorably_with_ogd(self):
+        """§V: the paper positions DOLBIE against online gradient descent."""
+        comparison = regret_experiment.comparative_regret(
+            num_workers=8, horizon=120, seed=0
+        )
+        assert comparison.regret["DOLBIE"] < comparison.regret["OGD"]
+        assert comparison.regret["DOLBIE"] < comparison.regret["EQU"]
+
+    def test_all_requested_algorithms_reported(self):
+        comparison = regret_experiment.comparative_regret(
+            num_workers=6, horizon=60, algorithms=("DOLBIE", "EQU")
+        )
+        assert set(comparison.regret) == {"DOLBIE", "EQU"}
+
+
+class TestExperimentMains(object):
+    """Every experiment's printing entry point runs at QUICK scale."""
+
+    @pytest.mark.parametrize(
+        "module",
+        [fig4_latency_ci, fig5_cumulative_latency, fig9_worker_latency,
+         fig10_batch_size, fig11_utilization],
+        ids=lambda m: m.__name__.rsplit(".", 1)[-1],
+    )
+    def test_main_prints_tables(self, module, capsys):
+        module.main(QUICK)
+        out = capsys.readouterr().out
+        assert "DOLBIE" in out and "==" in out
+
+
+class TestHeadlineSweep(object):
+    def test_reductions_positive_across_seeds(self):
+        sweep = fig3_per_round_latency.headline_sweep(QUICK, num_seeds=3)
+        assert set(sweep) == {"EQU", "OGD", "LB-BSP", "ABS"}
+        # At quick scale, at least the EQU and OGD margins must be
+        # robustly positive across seeds.
+        for base in ("EQU", "OGD"):
+            mean, _std = sweep[base]
+            assert mean > 0

@@ -1,0 +1,68 @@
+"""Integration: the CSV exporter and the export CLI command."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import QUICK
+from repro.experiments.export_all import _EXPORTERS, export_all
+
+
+class TestExportAll:
+    def test_selected_exports_written(self, tmp_path):
+        paths = export_all(tmp_path, QUICK, only=["fig3", "complexity"])
+        assert len(paths) == 2
+        for path in paths:
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) > 1  # header + data
+
+    def test_fig3_long_format(self, tmp_path):
+        (path,) = export_all(tmp_path, QUICK, only=["fig3"])
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        algorithms = {row["algorithm"] for row in rows}
+        assert "DOLBIE" in algorithms and "OPT" in algorithms
+        per_algo = sum(1 for row in rows if row["algorithm"] == "DOLBIE")
+        assert per_algo == QUICK.rounds
+
+    def test_unknown_export_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_all(tmp_path, QUICK, only=["fig99"])
+
+    def test_exporter_registry_nonempty(self):
+        assert {"fig3", "fig4", "fig5", "fig11", "complexity", "regret",
+                "sensitivity", "fig6to8"} == set(_EXPORTERS)
+
+
+class TestExportCli:
+    def test_export_command(self, tmp_path, capsys):
+        code = main(
+            ["export", "--out", str(tmp_path), "--scale", "quick",
+             "--only", "complexity"]
+        )
+        assert code == 0
+        assert (tmp_path / "complexity_messages.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestEveryExporter:
+    @pytest.mark.parametrize("name", sorted(_EXPORTERS))
+    def test_exporter_writes_nonempty_csv(self, name, tmp_path):
+        from dataclasses import replace
+
+        tiny = replace(
+            QUICK,
+            realizations=2,
+            rounds=30,
+            accuracy_rounds=300,
+            accuracy_target=0.15,
+            complexity_worker_counts=(3, 5),
+        )
+        (path,) = export_all(tmp_path, tiny, only=[name])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) > 1
+        assert all(len(row) == len(rows[0]) for row in rows)

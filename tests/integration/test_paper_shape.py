@@ -1,0 +1,120 @@
+"""Integration: the paper's qualitative results hold on the simulator.
+
+These assertions encode the *shape* of §VI that the reproduction must
+preserve — who wins, roughly by how much, and the qualitative behaviours
+the paper describes for each algorithm — at a laptop-scale configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PAPER, paper_balancer
+from repro.experiments.harness import train_all
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer
+
+ROUNDS = 100
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def resnet_runs():
+    """All six algorithms on one ResNet18 realization at paper scale."""
+    return train_all("ResNet18", PAPER, rounds=ROUNDS, seed=SEED)
+
+
+class TestPerRoundLatencyShape(object):
+    def test_opt_lower_bounds_everyone(self, resnet_runs):
+        opt = resnet_runs["OPT"].round_latency
+        for name, run in resnet_runs.items():
+            if name != "OPT":
+                assert (run.round_latency >= opt - 1e-9).all()
+
+    def test_dolbie_beats_all_online_baselines_at_round_40(self, resnet_runs):
+        window = slice(35, 45)
+        dolbie = resnet_runs["DOLBIE"].round_latency[window].mean()
+        for name in ("EQU", "OGD", "LB-BSP", "ABS"):
+            assert dolbie < resnet_runs[name].round_latency[window].mean()
+
+    def test_dolbie_large_reduction_vs_equ(self, resnet_runs):
+        """Paper: 89.6% at round 40; require at least 60% on our substrate."""
+        window = slice(35, 45)
+        dolbie = resnet_runs["DOLBIE"].round_latency[window].mean()
+        equ = resnet_runs["EQU"].round_latency[window].mean()
+        assert dolbie < 0.4 * equ
+
+    def test_equ_is_worst_overall(self, resnet_runs):
+        equ = resnet_runs["EQU"].total_time
+        for name, run in resnet_runs.items():
+            if name != "EQU":
+                assert run.total_time < equ
+
+    def test_dolbie_converges_toward_opt(self, resnet_runs):
+        """Late-round DOLBIE latency within a small factor of OPT."""
+        dolbie = resnet_runs["DOLBIE"].round_latency[60:].mean()
+        opt = resnet_runs["OPT"].round_latency[60:].mean()
+        assert dolbie < 3.0 * opt
+
+    def test_abs_fluctuates_more_than_dolbie(self, resnet_runs):
+        """Paper: 'ABS shows a radical fluctuation'."""
+        abs_late = resnet_runs["ABS"].round_latency[40:]
+        dolbie_late = resnet_runs["DOLBIE"].round_latency[40:]
+        assert abs_late.std() > dolbie_late.std()
+
+    def test_lbbsp_moves_in_staircase_steps(self, resnet_runs):
+        """LB-BSP changes workloads only in Delta-sized steps (clamped at
+        the straggler's remaining workload), and only at transfer rounds."""
+        sizes = resnet_runs["LB-BSP"].batch_fractions
+        deltas = np.abs(np.diff(sizes, axis=0))
+        changed = deltas[deltas > 1e-12]
+        assert changed.size > 0
+        assert (changed <= 5.0 / 256.0 + 1e-9).all()
+        # Most steps are the full Delta.
+        assert (np.abs(changed - 5.0 / 256.0) < 1e-9).mean() > 0.5
+
+
+class TestIdleTimeShape(object):
+    def test_dolbie_has_least_idle_time_among_online(self, resnet_runs):
+        """Paper Fig. 11: DOLBIE cuts idle time vs every online baseline."""
+        dolbie = resnet_runs["DOLBIE"].waiting_time.mean()
+        for name in ("EQU", "OGD", "LB-BSP", "ABS"):
+            assert dolbie < resnet_runs[name].waiting_time.mean()
+
+    def test_opt_nearly_eliminates_waiting(self, resnet_runs):
+        opt = resnet_runs["OPT"]
+        assert opt.waiting_time.mean() < 0.3 * resnet_runs["EQU"].waiting_time.mean()
+
+
+class TestBatchSizeShape(object):
+    def test_dolbie_gives_gpus_more_work_than_cpus(self, resnet_runs):
+        env = TrainingEnvironment("ResNet18", num_workers=PAPER.num_workers,
+                                  global_batch=PAPER.global_batch, seed=SEED)
+        types = np.array(env.processor_names())
+        final = resnet_runs["DOLBIE"].batch_fractions[-1]
+        gpu = final[np.isin(types, ["Tesla V100", "Tesla P100", "Tesla T4"])].mean()
+        cpu = final[types == "E5-2683 v4"].mean()
+        assert gpu > 3 * cpu
+
+    def test_straggler_workload_shrinks_under_dolbie(self, resnet_runs):
+        run = resnet_runs["DOLBIE"]
+        first_straggler = run.stragglers[0]
+        assert (
+            run.batch_fractions[-1, first_straggler]
+            < run.batch_fractions[0, first_straggler]
+        )
+
+
+class TestModelSizeTrend(object):
+    @pytest.mark.parametrize("pair", [("LeNet5", "VGG16")])
+    def test_advantage_grows_with_model_size(self, pair):
+        """Paper: DOLBIE's advantage grows from LeNet5 to VGG16."""
+        small_model, large_model = pair
+        advantages = {}
+        for model in pair:
+            env = TrainingEnvironment(model, num_workers=PAPER.num_workers,
+                                      global_batch=PAPER.global_batch, seed=SEED)
+            trainer = SyncTrainer(env)
+            equ = trainer.train(paper_balancer("EQU", PAPER.num_workers), ROUNDS)
+            dolbie = trainer.train(paper_balancer("DOLBIE", PAPER.num_workers), ROUNDS)
+            advantages[model] = equ.total_time / dolbie.total_time
+        assert advantages[large_model] > advantages[small_model]

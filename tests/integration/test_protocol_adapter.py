@@ -1,0 +1,86 @@
+"""Integration: the trainer drives the real protocols end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ProtocolError
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer
+from repro.net.topology import Topology
+from repro.protocols import FullyDistributedDolbie, MasterWorkerDolbie, ProtocolBalancer
+
+
+class TestProtocolBalancer:
+    def test_trainer_over_master_worker_equals_reference(self):
+        env = TrainingEnvironment("ResNet18", num_workers=8, seed=3)
+        trainer = SyncTrainer(env)
+        reference = trainer.train(
+            Dolbie(8, alpha_1=0.005, exact_feasibility_guard=False), 40
+        )
+        adapted = trainer.train(
+            ProtocolBalancer(MasterWorkerDolbie(8, alpha_1=0.005)), 40
+        )
+        assert np.allclose(
+            reference.batch_fractions, adapted.batch_fractions, atol=1e-11
+        )
+        assert np.allclose(reference.round_latency, adapted.round_latency)
+
+    def test_run_online_over_fully_distributed_with_topology(self):
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.15, seed=6)
+        reference = run_online(
+            Dolbie(5, alpha_1=0.03, exact_feasibility_guard=False), process, 30
+        )
+        protocol = FullyDistributedDolbie(
+            5, alpha_1=0.03, topology=Topology.ring(5)
+        )
+        adapted = run_online(ProtocolBalancer(protocol), process, 30)
+        assert np.allclose(reference.allocations, adapted.allocations, atol=1e-11)
+
+    def test_adapter_name_reflects_protocol(self):
+        adapter = ProtocolBalancer(MasterWorkerDolbie(3))
+        assert adapter.name == "DOLBIE/master-worker"
+
+    def test_adapter_detects_out_of_band_advancement(self):
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=0)
+        protocol = MasterWorkerDolbie(3, alpha_1=0.05)
+        adapter = ProtocolBalancer(protocol)
+        from repro.core.interface import make_feedback
+
+        # Advance the protocol behind the adapter's back.
+        protocol.run_round(1, process.costs_at(1))
+        feedback = make_feedback(2, np.full(3, 1.0 / 3.0), process.costs_at(2))
+        with pytest.raises(ProtocolError):
+            adapter.update(feedback)
+
+
+class TestTrainingRunAsRunResult:
+    def test_fields_map_through(self):
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=1)
+        run = SyncTrainer(env).train(Dolbie(4, alpha_1=0.01), 15)
+        view = run.as_run_result()
+        assert view.horizon == run.rounds
+        assert np.array_equal(view.global_costs, run.round_latency)
+        assert np.array_equal(view.allocations, run.batch_fractions)
+
+    def test_analysis_toolkit_accepts_the_view(self):
+        from repro.analysis import compare_runs
+
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=1)
+        trainer = SyncTrainer(env)
+        runs = {
+            "DOLBIE": trainer.train(Dolbie(4, alpha_1=0.01), 15).as_run_result(),
+        }
+        summaries = compare_runs(runs)
+        assert summaries[0].algorithm == "DOLBIE"
+
+    def test_npz_roundtrip_of_the_view(self, tmp_path):
+        from repro.io import load_run, save_run
+
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=1)
+        run = SyncTrainer(env).train(Dolbie(4, alpha_1=0.01), 10)
+        path = save_run(run.as_run_result(), tmp_path / "view")
+        loaded = load_run(path)
+        assert np.array_equal(loaded.global_costs, run.round_latency)

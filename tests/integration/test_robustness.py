@@ -1,0 +1,88 @@
+"""Integration: protocols under lossy links, determinism, delayed feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.delayed import DelayedFeedback
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.experiments import fig3_per_round_latency
+from repro.experiments.config import QUICK
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer
+from repro.net.links import ConstantLatency, Link
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+
+class TestLossyLinkEquivalence:
+    """The transport layer must make packet loss invisible to the
+    algorithm: only virtual time and message counts may change."""
+
+    @pytest.mark.parametrize("loss", [0.05, 0.3])
+    def test_master_worker_identical_under_loss(self, loss):
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.2, seed=6)
+        reference = run_online(
+            Dolbie(5, alpha_1=0.04, exact_feasibility_guard=False), process, 40
+        )
+        rng = np.random.default_rng(0)
+        link = Link(ConstantLatency(0.001), loss_probability=loss, loss_rng=rng)
+        protocol = MasterWorkerDolbie(5, alpha_1=0.04, link=link)
+        result = protocol.run(process, 40)
+        assert np.allclose(reference.allocations, result.allocations, atol=1e-11)
+        assert protocol.metrics.messages_total > 40 * 15  # retransmissions
+
+    def test_fully_distributed_identical_under_loss(self):
+        process = RandomAffineProcess([1, 3, 9], sigma=0.2, seed=8)
+        reference = run_online(
+            Dolbie(3, alpha_1=0.05, exact_feasibility_guard=False), process, 30
+        )
+        rng = np.random.default_rng(2)
+        link = Link(ConstantLatency(0.002), loss_probability=0.2, loss_rng=rng)
+        protocol = FullyDistributedDolbie(3, alpha_1=0.05, link=link)
+        result = protocol.run(process, 30)
+        assert np.allclose(reference.allocations, result.allocations, atol=1e-11)
+
+    def test_loss_costs_virtual_time(self):
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=9)
+        rng = np.random.default_rng(3)
+        lossless = MasterWorkerDolbie(3, link=Link(ConstantLatency(0.001)))
+        lossy = MasterWorkerDolbie(
+            3,
+            link=Link(ConstantLatency(0.001), loss_probability=0.3, loss_rng=rng),
+        )
+        lossless.run(process, 20)
+        lossy.run(process, 20)
+        assert lossy.cluster.engine.now > lossless.cluster.engine.now
+
+
+class TestDeterminism:
+    def test_experiment_is_bit_reproducible(self):
+        a = fig3_per_round_latency.run(QUICK)
+        b = fig3_per_round_latency.run(QUICK)
+        for name in a.latency:
+            assert np.array_equal(a.latency[name], b.latency[name])
+
+    def test_trainer_is_bit_reproducible(self):
+        def one():
+            env = TrainingEnvironment("VGG16", num_workers=8, seed=11)
+            return SyncTrainer(env).train(Dolbie(8, alpha_1=0.001), 40)
+
+        a, b = one(), one()
+        assert np.array_equal(a.round_latency, b.round_latency)
+        assert np.array_equal(a.batch_fractions, b.batch_fractions)
+        assert np.array_equal(a.accuracy, b.accuracy)
+
+
+class TestDelayedFeedbackOnTrainingEnvironment:
+    def test_price_of_delay_is_monotone_ish(self):
+        """More feedback delay should not make training faster."""
+        env = TrainingEnvironment("ResNet18", num_workers=10, seed=5)
+        totals = []
+        for delay in (0, 2, 8):
+            balancer = DelayedFeedback(Dolbie(10, alpha_1=0.005), delay=delay)
+            result = run_online(balancer, env, 80)
+            totals.append(result.total_cost)
+        assert totals[0] <= totals[1] * 1.05  # small noise allowance
+        assert totals[0] < totals[2]

@@ -1,0 +1,50 @@
+"""Integration: moderate-scale sanity (beyond the paper's N = 30)."""
+
+import numpy as np
+
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.minmax.solver import solve_min_max
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+from repro.simplex.sampling import is_feasible
+
+
+def _speeds(n):
+    return [1.0 + (i % 23) for i in range(n)]
+
+
+class TestScale:
+    def test_dolbie_at_n300(self):
+        n = 300
+        process = RandomAffineProcess(_speeds(n), sigma=0.1, seed=0)
+        balancer = Dolbie(n)
+        result = run_online(balancer, process, 50)
+        assert is_feasible(result.allocations[-1], atol=1e-7)
+        assert result.global_costs[-1] < result.global_costs[0]
+
+    def test_master_worker_round_at_n200(self):
+        n = 200
+        process = RandomAffineProcess(_speeds(n), sigma=0.1, seed=1)
+        protocol = MasterWorkerDolbie(n)
+        protocol.run_round(1, process.costs_at(1))
+        assert protocol.metrics.messages_total == 3 * n
+
+    def test_fully_distributed_round_at_n100(self):
+        n = 100
+        process = RandomAffineProcess(_speeds(n), sigma=0.1, seed=2)
+        protocol = FullyDistributedDolbie(n)
+        protocol.run_round(1, process.costs_at(1))
+        assert protocol.metrics.messages_total == n * n - 1
+
+    def test_minmax_solver_at_n1000(self):
+        from repro.costs.affine import AffineLatencyCost
+
+        rng = np.random.default_rng(3)
+        costs = [
+            AffineLatencyCost(slope=s, intercept=c)
+            for s, c in zip(rng.uniform(0.1, 10, 1000), rng.uniform(0, 0.1, 1000))
+        ]
+        solution = solve_min_max(costs)
+        assert is_feasible(solution.allocation, atol=1e-6)

@@ -1,0 +1,51 @@
+"""Execute every code block of docs/tutorial.md so the tutorial cannot rot."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parents[2] / "docs" / "tutorial.md"
+
+
+def _code_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_blocks_execute_in_order(capsys):
+    blocks = _code_blocks(TUTORIAL.read_text())
+    assert len(blocks) >= 4, "tutorial structure changed; update this test"
+    namespace: dict = {}
+    for block in blocks:
+        exec(compile(block, str(TUTORIAL), "exec"), namespace)  # noqa: S102
+    out = capsys.readouterr().out
+    # The comparison table printed and contains the promised columns.
+    assert "algorithm" in out and "DOLBIE" in out and "FTR" in out
+
+
+def test_tutorial_promised_ordering():
+    """The 'expected shape' paragraph must actually hold."""
+    from repro.analysis import compare_runs
+    from repro.baselines import make_balancer
+    from repro.baselines.registry import register_algorithm, unregister_algorithm
+    from repro.core.loop import run_online
+
+    namespace: dict = {}
+    blocks = _code_blocks(TUTORIAL.read_text())
+    # Define the custom cost/process/algorithm (blocks 1-3), skipping the
+    # final print and cleanup blocks.
+    for block in blocks[:3]:
+        exec(compile(block, str(TUTORIAL), "exec"), namespace)  # noqa: S102
+    try:
+        process = namespace["CacheChurnProcess"](num_workers=6)
+        runs = {
+            name: run_online(make_balancer(name, 6), process, 120)
+            for name in ("EQU", "FTR", "DOLBIE", "OPT")
+        }
+        summaries = compare_runs(runs)
+        order = [s.algorithm for s in summaries]
+        assert order[0] == "OPT"
+        assert order.index("DOLBIE") < order.index("EQU")
+        assert order.index("FTR") < order.index("EQU")
+    finally:
+        unregister_algorithm("FTR")

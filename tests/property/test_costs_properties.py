@@ -1,0 +1,73 @@
+"""Property-based tests for the cost-function substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.nonlinear import ExponentialCost, LogCost, PowerLawCost
+from repro.mlsim.dataset import largest_remainder_split
+
+import numpy as np
+
+
+@st.composite
+def increasing_costs(draw):
+    family = draw(st.sampled_from(["affine", "power", "exp", "log"]))
+    a = draw(st.floats(0.01, 50.0))
+    c = draw(st.floats(0.0, 5.0))
+    if family == "affine":
+        return AffineLatencyCost(a, c)
+    if family == "power":
+        return PowerLawCost(a, draw(st.floats(0.2, 4.0)), c)
+    if family == "exp":
+        return ExponentialCost(a, draw(st.floats(0.1, 5.0)), c)
+    return LogCost(a, draw(st.floats(0.1, 5.0)), c)
+
+
+@given(increasing_costs())
+@settings(max_examples=150, deadline=None)
+def test_monotone_on_grid(cost):
+    assert cost.is_increasing(samples=64)
+
+
+@given(increasing_costs(), st.floats(0.0, 100.0))
+@settings(max_examples=200, deadline=None)
+def test_max_acceptable_is_within_level(cost, level):
+    x = cost.max_acceptable(level)
+    assert 0.0 <= x <= cost.x_max
+    if x > 0.0:
+        assert cost(x) <= level + 1e-6
+
+
+@given(increasing_costs(), st.floats(0.0, 100.0))
+@settings(max_examples=200, deadline=None)
+def test_max_acceptable_is_maximal(cost, level):
+    """Nothing strictly above x is still within the level (up to tol)."""
+    x = cost.max_acceptable(level)
+    if x < cost.x_max - 1e-6:
+        assert cost(min(x + 1e-5, cost.x_max)) >= level - 1e-6
+
+
+@given(increasing_costs(), st.floats(0.001, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_inverse_roundtrip(cost, x):
+    # Tolerance is relative in x: inverting f(x) = a*(x^p) + c with c >> a*x^p
+    # goes through catastrophic cancellation in (level - c), so the recovered
+    # point can be off by ~eps_machine * c / (a * p * x^(p-1)) in absolute terms.
+    x = min(x, cost.x_max)
+    level = cost(x)
+    recovered = cost.max_acceptable(level)
+    assert recovered >= x * (1.0 - 1e-2) - 1e-6
+
+
+@given(
+    st.lists(st.floats(0.0, 1.0), min_size=2, max_size=40).filter(
+        lambda v: sum(v) > 1e-6
+    ),
+    st.integers(0, 5000),
+)
+@settings(max_examples=200, deadline=None)
+def test_largest_remainder_always_exact(fractions, total):
+    counts = largest_remainder_split(np.array(fractions), total)
+    assert counts.sum() == total
+    assert (counts >= 0).all()

@@ -1,0 +1,139 @@
+"""Property-based tests for DOLBIE's core invariants (hypothesis).
+
+These check the paper's structural guarantees on *arbitrary* increasing
+cost environments, not just the affine ones of §VI:
+
+* feasibility by design (constraints 2-3 hold every round, no projection),
+* Lemma 1-ii (x' dominates x),
+* sum(G) = 0 (the assistance vector conserves total workload),
+* the step-size schedule is non-increasing (Eq. 7),
+* the straggler never gains workload.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dolbie import Dolbie
+from repro.core.interface import make_feedback
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.nonlinear import ExponentialCost, LogCost, PowerLawCost
+from repro.minmax.solver import evaluate_allocation
+from repro.simplex.sampling import is_feasible
+
+
+@st.composite
+def cost_vectors(draw, min_workers=2, max_workers=8):
+    """A vector of heterogeneous increasing costs of mixed families."""
+    n = draw(st.integers(min_workers, max_workers))
+    costs = []
+    for _ in range(n):
+        family = draw(st.sampled_from(["affine", "power", "exp", "log"]))
+        a = draw(st.floats(0.05, 10.0))
+        c = draw(st.floats(0.0, 1.0))
+        if family == "affine":
+            costs.append(AffineLatencyCost(a, c))
+        elif family == "power":
+            p = draw(st.floats(0.3, 3.0))
+            costs.append(PowerLawCost(a, p, c))
+        elif family == "exp":
+            k = draw(st.floats(0.2, 4.0))
+            costs.append(ExponentialCost(a, k, c))
+        else:
+            k = draw(st.floats(0.2, 4.0))
+            costs.append(LogCost(a, k, c))
+    return costs
+
+
+@st.composite
+def environments(draw, rounds=6):
+    """A fixed worker count with fresh random costs each round."""
+    n = draw(st.integers(2, 8))
+    per_round = []
+    for _ in range(rounds):
+        costs = draw(cost_vectors(min_workers=n, max_workers=n))
+        per_round.append(costs)
+    return n, per_round
+
+
+@given(environments(), st.floats(0.001, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_feasibility_by_design_on_arbitrary_costs(env, alpha_1):
+    n, per_round = env
+    balancer = Dolbie(n, alpha_1=alpha_1)
+    for t, costs in enumerate(per_round, start=1):
+        feedback = make_feedback(t, balancer.decide(), costs)
+        balancer.update(feedback)
+        assert is_feasible(balancer.allocation, atol=1e-7)
+
+
+@given(environments())
+@settings(max_examples=60, deadline=None)
+def test_alpha_schedule_non_increasing(env):
+    n, per_round = env
+    balancer = Dolbie(n)
+    for t, costs in enumerate(per_round, start=1):
+        balancer.update(make_feedback(t, balancer.decide(), costs))
+    history = balancer.alpha_history
+    assert all(b <= a + 1e-15 for a, b in zip(history, history[1:]))
+
+
+@given(environments())
+@settings(max_examples=60, deadline=None)
+def test_straggler_never_gains(env):
+    n, per_round = env
+    balancer = Dolbie(n, alpha_1=0.5)
+    for t, costs in enumerate(per_round, start=1):
+        before = balancer.allocation
+        feedback = make_feedback(t, before, costs)
+        balancer.update(feedback)
+        after = balancer.allocation
+        assert after[feedback.straggler] <= before[feedback.straggler] + 1e-12
+
+
+@given(cost_vectors())
+@settings(max_examples=100, deadline=None)
+def test_x_prime_dominates_allocation(costs):
+    """Lemma 1-ii on arbitrary increasing costs."""
+    n = len(costs)
+    x = np.full(n, 1.0 / n)
+    local, global_cost, straggler = evaluate_allocation(costs, x)
+    x_prime = acceptable_workloads(costs, x, global_cost, straggler)
+    assert (x_prime >= x - 1e-9).all()
+    assert x_prime[straggler] == x[straggler]
+    assert (x_prime <= 1.0 + 1e-12).all()
+
+
+@given(cost_vectors())
+@settings(max_examples=100, deadline=None)
+def test_x_prime_respects_level_set(costs):
+    """Taking x' exactly would not exceed the observed global cost."""
+    n = len(costs)
+    x = np.full(n, 1.0 / n)
+    _, global_cost, straggler = evaluate_allocation(costs, x)
+    x_prime = acceptable_workloads(costs, x, global_cost, straggler)
+    for i, cost in enumerate(costs):
+        if i == straggler:
+            continue
+        # Either x' is at the current allocation (cannot help) or its
+        # cost stays within the level.
+        assert (
+            cost(min(x_prime[i], cost.x_max)) <= global_cost + 1e-6
+            or x_prime[i] <= x[i] + 1e-9
+        )
+
+
+@given(cost_vectors())
+@settings(max_examples=100, deadline=None)
+def test_assistance_vector_conserves_workload(costs):
+    n = len(costs)
+    rng = np.random.default_rng(0)
+    x = rng.dirichlet(np.ones(n))
+    local, global_cost, straggler = evaluate_allocation(costs, x)
+    x_prime = acceptable_workloads(costs, x, global_cost, straggler)
+    g = assistance_vector(x, x_prime, straggler)
+    assert abs(g.sum()) < 1e-12
+    mask = np.arange(n) != straggler
+    assert (g[mask] <= 1e-12).all()
+    assert g[straggler] >= -1e-12

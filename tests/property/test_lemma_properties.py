@@ -1,0 +1,74 @@
+"""Property-based verification of Lemma 1 and Lemma 2 (hypothesis).
+
+The paper proves these for every feasible allocation and every vector of
+increasing cost functions; we check them on randomized instances drawn
+from several cost families, with randomized (not just equal-split)
+allocations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.nonlinear import ExponentialCost, LogCost, PowerLawCost
+from repro.minmax.solver import solve_min_max
+from repro.regret.bounds import lipschitz_over_rounds
+from repro.theory.lemmas import check_lemma1, check_lemma2
+
+
+@st.composite
+def instances(draw):
+    """(costs, allocation) with mixed cost families on 2..8 workers."""
+    n = draw(st.integers(2, 8))
+    costs = []
+    for _ in range(n):
+        family = draw(st.sampled_from(["affine", "power", "exp", "log"]))
+        a = draw(st.floats(0.05, 8.0))
+        c = draw(st.floats(0.0, 1.0))
+        if family == "affine":
+            costs.append(AffineLatencyCost(a, c))
+        elif family == "power":
+            costs.append(PowerLawCost(a, draw(st.floats(0.3, 3.0)), c))
+        elif family == "exp":
+            costs.append(ExponentialCost(a, draw(st.floats(0.2, 3.0)), c))
+        else:
+            costs.append(LogCost(a, draw(st.floats(0.2, 3.0)), c))
+    weights = draw(
+        st.lists(st.floats(0.01, 1.0), min_size=n, max_size=n)
+    )
+    allocation = np.array(weights) / sum(weights)
+    return costs, allocation
+
+
+@given(instances())
+@settings(max_examples=100, deadline=None)
+def test_lemma1_holds(instance):
+    costs, allocation = instance
+    report = check_lemma1(costs, allocation)
+    assert report.i_straggler_dominates_optimal
+    assert report.ii_x_prime_dominates_x
+    assert report.iii_x_prime_dominates_optimal
+    assert report.iv_inner_product_bound
+    assert report.all_hold
+
+
+@given(instances())
+@settings(max_examples=100, deadline=None)
+def test_lemma2_holds(instance):
+    costs, allocation = instance
+    lipschitz = lipschitz_over_rounds([costs])
+    report = check_lemma2(costs, allocation, lipschitz)
+    assert report.holds, (report.lhs, report.rhs)
+
+
+@given(instances())
+@settings(max_examples=50, deadline=None)
+def test_lemma1_tight_at_the_optimum(instance):
+    """At x = x*, property (i) holds with equality up to solver tolerance
+    and the inner product is non-negative (both factors align)."""
+    costs, _ = instance
+    optimal = solve_min_max(costs).allocation
+    report = check_lemma1(costs, optimal, optimal=optimal)
+    assert report.all_hold
+    assert report.inner_product_value >= -1e-7

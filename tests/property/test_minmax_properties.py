@@ -1,0 +1,61 @@
+"""Property-based tests for the instantaneous min-max solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.nonlinear import ExponentialCost, PowerLawCost
+from repro.minmax.solver import evaluate_allocation, solve_min_max
+from repro.simplex.sampling import is_feasible, uniform_simplex
+
+
+@st.composite
+def mixed_costs(draw):
+    n = draw(st.integers(2, 10))
+    costs = []
+    for _ in range(n):
+        family = draw(st.sampled_from(["affine", "power", "exp"]))
+        a = draw(st.floats(0.05, 10.0))
+        c = draw(st.floats(0.0, 0.5))
+        if family == "affine":
+            costs.append(AffineLatencyCost(a, c))
+        elif family == "power":
+            costs.append(PowerLawCost(a, draw(st.floats(0.4, 2.5)), c))
+        else:
+            costs.append(ExponentialCost(a, draw(st.floats(0.3, 3.0)), c))
+    return costs
+
+
+@given(mixed_costs())
+@settings(max_examples=80, deadline=None)
+def test_solution_is_feasible(costs):
+    sol = solve_min_max(costs)
+    assert is_feasible(sol.allocation, atol=1e-7)
+
+
+@given(mixed_costs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_solution_dominates_random_feasible_points(costs, seed):
+    sol = solve_min_max(costs)
+    rng = np.random.default_rng(seed)
+    for _ in range(20):
+        x = uniform_simplex(len(costs), rng)
+        _, value, _ = evaluate_allocation(costs, x)
+        assert sol.value <= value + 1e-6
+
+
+@given(mixed_costs())
+@settings(max_examples=80, deadline=None)
+def test_value_not_below_zero_load_floor(costs):
+    sol = solve_min_max(costs)
+    floor = max(c(0.0) for c in costs)
+    assert sol.value >= floor - 1e-9
+
+
+@given(mixed_costs())
+@settings(max_examples=50, deadline=None)
+def test_value_consistent_with_allocation(costs):
+    sol = solve_min_max(costs)
+    _, value, _ = evaluate_allocation(costs, sol.allocation)
+    assert value == sol.value

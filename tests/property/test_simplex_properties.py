@@ -1,0 +1,58 @@
+"""Property-based tests for simplex projection (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simplex.projection import project_simplex_michelot, project_simplex_sort
+from repro.simplex.sampling import is_feasible
+
+finite_vectors = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+@given(finite_vectors)
+@settings(max_examples=200, deadline=None)
+def test_projection_lands_on_simplex(v):
+    p = project_simplex_sort(v)
+    assert is_feasible(p, atol=1e-8)
+
+
+@given(finite_vectors)
+@settings(max_examples=200, deadline=None)
+def test_sort_and_michelot_agree(v):
+    assert np.allclose(
+        project_simplex_sort(v), project_simplex_michelot(v), atol=1e-9
+    )
+
+
+@given(finite_vectors)
+@settings(max_examples=100, deadline=None)
+def test_projection_is_idempotent(v):
+    p = project_simplex_sort(v)
+    assert np.allclose(project_simplex_sort(p), p, atol=1e-9)
+
+
+@given(finite_vectors, finite_vectors)
+@settings(max_examples=100, deadline=None)
+def test_projection_is_nonexpansive(u, v):
+    """||P(u) - P(v)|| <= ||u - v|| for projections onto convex sets."""
+    if u.shape != v.shape:
+        n = min(u.shape[0], v.shape[0])
+        u, v = u[:n], v[:n]
+    pu, pv = project_simplex_sort(u), project_simplex_sort(v)
+    assert np.linalg.norm(pu - pv) <= np.linalg.norm(u - v) + 1e-9
+
+
+@given(finite_vectors)
+@settings(max_examples=100, deadline=None)
+def test_projection_preserves_coordinate_order(v):
+    """Projection subtracts a common threshold: ordering is preserved."""
+    p = project_simplex_sort(v)
+    order = np.argsort(v, kind="stable")
+    sorted_p = p[order]
+    assert (np.diff(sorted_p) >= -1e-12).all()

@@ -1,0 +1,46 @@
+"""Property-based invariants of the training simulator (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.registry import make_balancer
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer
+
+
+@st.composite
+def training_setups(draw):
+    n = draw(st.integers(2, 10))
+    batch = draw(st.sampled_from([32, 100, 256]))
+    seed = draw(st.integers(0, 2**16))
+    model = draw(st.sampled_from(["LeNet5", "ResNet18", "VGG16"]))
+    algorithm = draw(st.sampled_from(["EQU", "DOLBIE", "ABS", "EG"]))
+    rounds = draw(st.integers(3, 20))
+    integer_batches = draw(st.booleans())
+    return n, batch, seed, model, algorithm, rounds, integer_batches
+
+
+@given(training_setups())
+@settings(max_examples=40, deadline=None)
+def test_training_run_invariants(setup):
+    n, batch, seed, model, algorithm, rounds, integer_batches = setup
+    env = TrainingEnvironment(model, num_workers=n, global_batch=batch, seed=seed)
+    trainer = SyncTrainer(env, integer_batches=integer_batches)
+    run = trainer.train(make_balancer(algorithm, n), rounds)
+
+    # Constraint (2): every sample of every round is assigned.
+    assert (run.batch_sizes.sum(axis=1) == batch).all()
+    assert np.allclose(run.batch_fractions.sum(axis=1), 1.0, atol=1e-7)
+    # Constraint (3): non-negative workloads.
+    assert (run.batch_fractions >= -1e-9).all()
+    # Accounting identities.
+    assert np.allclose(run.local_latency, run.compute_time + run.comm_time)
+    assert np.allclose(run.round_latency, run.local_latency.max(axis=1))
+    assert (run.waiting_time >= -1e-12).all()
+    # Wall clock strictly increases and accuracy stays in range.
+    assert (np.diff(run.wall_clock) > 0).all()
+    assert (run.accuracy >= 0.0).all() and (run.accuracy <= 1.0).all()
+    # The straggler column of waiting time is always zero.
+    for t in range(rounds):
+        assert run.waiting_time[t, run.stragglers[t]] <= 1e-12

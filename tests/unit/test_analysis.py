@@ -1,0 +1,183 @@
+"""Unit tests for the analysis package (metrics + comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import (
+    AlgorithmSummary,
+    compare_runs,
+    comparison_table,
+    export_comparison_csv,
+)
+from repro.analysis.metrics import (
+    convergence_round,
+    fluctuation_index,
+    gini,
+    imbalance,
+    jain_fairness,
+    oracle_ratio,
+    straggler_churn,
+)
+from repro.baselines import make_balancer
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+
+
+class TestImbalance:
+    def test_equal_costs_zero(self):
+        assert imbalance(np.full((3, 4), 2.0)) == pytest.approx([0.0] * 3)
+
+    def test_known_value(self):
+        result = imbalance(np.array([[1.0, 4.0]]))
+        assert result[0] == pytest.approx(0.75)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            imbalance(np.array([1.0, 2.0]))
+
+
+class TestJainFairness:
+    def test_equal_is_one(self):
+        assert jain_fairness(np.full(8, 3.0)) == pytest.approx(1.0)
+
+    def test_one_hot_is_one_over_n(self):
+        v = np.zeros(10)
+        v[0] = 1.0
+        assert jain_fairness(v) == pytest.approx(0.1)
+
+    def test_rowwise(self):
+        data = np.array([[1.0, 1.0], [1.0, 0.0]])
+        result = jain_fairness(data, axis=1)
+        assert result == pytest.approx([1.0, 0.5])
+
+
+class TestGini:
+    def test_equal_zero(self):
+        assert gini(np.full(10, 0.1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        v = np.zeros(100)
+        v[0] = 1.0
+        assert gini(v) > 0.95
+
+    def test_all_zero_is_zero(self):
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini(np.array([-1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            gini(np.array([]))
+
+
+class TestFluctuationIndex:
+    def test_constant_series_zero(self):
+        assert fluctuation_index(np.full(10, 3.0)) == 0.0
+
+    def test_oscillation_detected(self):
+        calm = np.full(20, 1.0)
+        wild = np.tile([1.0, 2.0], 10)
+        assert fluctuation_index(wild) > fluctuation_index(calm)
+
+    def test_skip_removes_transient(self):
+        series = np.concatenate([[10.0, 1.0], np.full(18, 1.0)])
+        assert fluctuation_index(series, skip=2) == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            fluctuation_index(np.array([1.0]))
+
+
+class TestConvergenceRound:
+    def test_immediately_converged(self):
+        assert convergence_round(np.full(10, 5.0)) == 1
+
+    def test_settles_midway(self):
+        series = np.concatenate([np.linspace(10, 1, 10), np.full(10, 1.0)])
+        assert 5 <= convergence_round(series, band=0.2) <= 11
+
+    def test_never_settles(self):
+        series = np.tile([1.0, 100.0], 10)
+        assert convergence_round(series, band=0.1) == 21
+
+    def test_best_reference(self):
+        series = np.array([5.0, 1.0, 1.0, 1.0])
+        assert convergence_round(series, band=0.2, reference="best") == 2
+
+    def test_unknown_reference(self):
+        with pytest.raises(ValueError):
+            convergence_round(np.array([1.0]), reference="median")
+
+
+class TestStragglerChurn:
+    def test_stable(self):
+        assert straggler_churn(np.full(10, 3)) == 0.0
+
+    def test_alternating(self):
+        assert straggler_churn(np.array([0, 1, 0, 1])) == 1.0
+
+    def test_single_round(self):
+        assert straggler_churn(np.array([2])) == 0.0
+
+
+class TestOracleRatio:
+    def test_optimal_play_is_one(self):
+        v = np.array([1.0, 2.0])
+        assert oracle_ratio(v, v) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            oracle_ratio(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_zero_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            oracle_ratio(np.array([1.0]), np.array([0.0]))
+
+
+@pytest.fixture(scope="module")
+def runs():
+    process = RandomAffineProcess([1, 2, 4, 8], sigma=0.15, seed=3)
+    out = {}
+    for name in ("EQU", "DOLBIE", "OPT"):
+        kwargs = {"alpha_1": 0.05} if name == "DOLBIE" else {}
+        out[name] = run_online(make_balancer(name, 4, **kwargs), process, 60)
+    return out
+
+
+class TestCompareRuns:
+    def test_sorted_by_total_cost(self, runs):
+        summaries = compare_runs(runs)
+        totals = [s.total_cost for s in summaries]
+        assert totals == sorted(totals)
+        assert summaries[0].algorithm == "OPT"
+
+    def test_oracle_ratio_of_opt_is_one(self, runs):
+        summaries = {s.algorithm: s for s in compare_runs(runs)}
+        assert summaries["OPT"].oracle_ratio == pytest.approx(1.0)
+        assert summaries["EQU"].oracle_ratio > summaries["DOLBIE"].oracle_ratio
+
+    def test_missing_oracle_yields_nan(self, runs):
+        partial = {k: v for k, v in runs.items() if k != "OPT"}
+        summaries = compare_runs(partial)
+        assert all(np.isnan(s.oracle_ratio) for s in summaries)
+
+    def test_mismatched_horizons_rejected(self, runs):
+        process = RandomAffineProcess([1, 2, 4, 8], seed=3)
+        other = run_online(make_balancer("EQU", 4), process, 10)
+        with pytest.raises(ValueError):
+            compare_runs({**runs, "short": other})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs({})
+
+    def test_table_and_csv(self, runs, tmp_path):
+        summaries = compare_runs(runs)
+        table = comparison_table(summaries)
+        assert "algorithm" in table and "DOLBIE" in table
+        path = export_comparison_csv(summaries, tmp_path / "cmp.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(summaries)
+        assert lines[0].split(",") == list(AlgorithmSummary.HEADERS)

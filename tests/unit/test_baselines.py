@@ -1,0 +1,229 @@
+"""Unit tests for the baseline algorithms (EQU, OGD, ABS, LB-BSP, OPT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abs_tuner import AdaptiveBatchSize
+from repro.baselines.equal import EqualAssignment
+from repro.baselines.lbbsp import LoadBalancedBSP
+from repro.baselines.ogd import OnlineGradientDescent, numeric_slope
+from repro.baselines.opt import DynamicOptimum
+from repro.baselines.registry import ALGORITHMS, PAPER_ALGORITHM_ORDER, make_balancer
+from repro.core.interface import make_feedback
+from repro.core.loop import run_online
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CallableCost
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.exceptions import ConfigurationError
+from repro.simplex.sampling import is_feasible
+
+
+def _feed(balancer, costs):
+    fb = make_feedback(balancer.round, balancer.decide(), costs)
+    balancer.update(fb)
+    return fb
+
+
+class TestEqual:
+    def test_never_moves(self):
+        b = EqualAssignment(4)
+        _feed(b, [AffineLatencyCost(s) for s in (1, 2, 3, 4)])
+        assert np.allclose(b.allocation, 0.25)
+
+
+class TestNumericSlope:
+    def test_affine_uses_exact_slope(self):
+        assert numeric_slope(AffineLatencyCost(3.5, 0.1), 0.5) == 3.5
+
+    def test_finite_difference_on_generic_cost(self):
+        f = CallableCost(lambda x: x**2)
+        assert numeric_slope(f, 0.5) == pytest.approx(1.0, abs=1e-4)
+
+    def test_boundary_handling(self):
+        f = CallableCost(lambda x: x**2)
+        assert numeric_slope(f, 1.0) == pytest.approx(2.0, abs=1e-4)
+        assert numeric_slope(f, 0.0) == pytest.approx(0.0, abs=1e-4)
+
+
+class TestOGD:
+    def test_only_straggler_coordinate_before_projection(self):
+        b = OnlineGradientDescent(3, learning_rate=0.01)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(1.0), AffineLatencyCost(9.0)]
+        _feed(b, costs)
+        x = b.allocation
+        # Straggler (2) lost mass; the projection spreads it uniformly.
+        assert x[2] < 1.0 / 3.0
+        assert x[0] == pytest.approx(x[1])
+        assert is_feasible(x)
+
+    def test_projection_counter(self):
+        b = OnlineGradientDescent(2)
+        _feed(b, [AffineLatencyCost(1.0), AffineLatencyCost(2.0)])
+        assert b.projection_count == 1
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            OnlineGradientDescent(2, learning_rate=0.0)
+
+    def test_converges_to_limit_cycle_near_optimum(self):
+        # A constant step size limit-cycles around the optimum 0.75; the
+        # cycle must stay within one step of it.
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(3.0)]
+        b = OnlineGradientDescent(2, learning_rate=0.05)
+        result = run_online(b, StaticCostProcess(costs), 300)
+        assert result.global_costs[-10:].mean() == pytest.approx(0.75, rel=0.1)
+        assert result.global_costs[-10:].max() <= 0.75 + 3 * 0.05
+
+
+class TestABS:
+    def test_updates_only_every_period(self):
+        b = AdaptiveBatchSize(2, period=3)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        for k in range(2):
+            _feed(b, costs)
+            assert np.allclose(b.allocation, 0.5)  # window not full yet
+        _feed(b, costs)
+        assert not np.allclose(b.allocation, 0.5)
+
+    def test_inverse_cost_proportionality(self):
+        b = AdaptiveBatchSize(2, period=1)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        _feed(b, costs)  # l = (0.5, 2.0) -> x proportional to (2, 0.5)
+        assert np.allclose(b.allocation, [0.8, 0.2])
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBatchSize(2, period=0)
+
+    def test_zero_cost_handled(self):
+        b = AdaptiveBatchSize(2, period=1)
+        costs = [AffineLatencyCost(0.0, 0.0), AffineLatencyCost(1.0)]
+        _feed(b, costs)
+        assert is_feasible(b.allocation)
+
+
+class TestLBBSP:
+    def test_no_transfer_before_patience(self):
+        b = LoadBalancedBSP(3, delta=0.05, patience=3)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        for _ in range(2):
+            _feed(b, costs)
+        assert np.allclose(b.allocation, 1.0 / 3.0)
+
+    def test_transfer_after_persistent_straggler(self):
+        b = LoadBalancedBSP(3, delta=0.05, patience=3)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        for _ in range(3):
+            _feed(b, costs)
+        x = b.allocation
+        assert x[2] == pytest.approx(1.0 / 3.0 - 0.05)
+        assert x[0] == pytest.approx(1.0 / 3.0 + 0.05)
+        assert b.transfer_rounds == [3]
+
+    def test_straggler_change_resets_streak(self):
+        b = LoadBalancedBSP(3, delta=0.05, patience=2)
+        slow_a = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        slow_b = [AffineLatencyCost(4.0), AffineLatencyCost(2.0), AffineLatencyCost(1.0)]
+        _feed(b, slow_a)
+        _feed(b, slow_b)  # straggler switches: streak restarts
+        _feed(b, slow_a)
+        assert np.allclose(b.allocation, 1.0 / 3.0)
+
+    def test_transfer_clamped_at_zero(self):
+        b = LoadBalancedBSP(
+            2,
+            initial_allocation=np.array([0.99, 0.01]),
+            delta=0.5,
+            patience=1,
+        )
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(500.0)]
+        _feed(b, costs)
+        x = b.allocation
+        assert x[1] == 0.0
+        assert x[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LoadBalancedBSP(2, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadBalancedBSP(2, patience=0)
+
+
+class TestOPT:
+    def test_oracle_flag(self):
+        assert DynamicOptimum(2).requires_oracle
+
+    def test_oracle_decision_is_optimal(self):
+        b = DynamicOptimum(2)
+        x = b.oracle_decide([AffineLatencyCost(1.0), AffineLatencyCost(3.0)])
+        assert np.allclose(x, [0.75, 0.25], atol=1e-6)
+        assert b.optimal_values[-1] == pytest.approx(0.75, abs=1e-6)
+
+    def test_tracks_changing_costs(self):
+        process = RandomAffineProcess([1.0, 2.0], sigma=0.5, seed=0)
+        result = run_online(DynamicOptimum(2), process, 20)
+        comparator_free = run_online(EqualAssignment(2), process, 20)
+        assert result.total_cost <= comparator_free.total_cost + 1e-9
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in ALGORITHMS:
+            balancer = make_balancer(name, 4)
+            assert balancer.num_workers == 4
+            assert balancer.name == name
+
+    def test_paper_order_covered_by_registry(self):
+        assert set(PAPER_ALGORITHM_ORDER) <= set(ALGORITHMS)
+        # The EG extension exists but is not part of the paper's figures.
+        assert "EG" in ALGORITHMS and "EG" not in PAPER_ALGORITHM_ORDER
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_balancer("SGD", 4)
+
+    def test_kwargs_forwarded(self):
+        b = make_balancer("DOLBIE", 4, alpha_1=0.123)
+        assert b.alpha == pytest.approx(0.123)
+        b = make_balancer("OGD", 4, learning_rate=0.5)
+        assert b.learning_rate == 0.5
+
+
+class TestRegisterAlgorithm:
+    def _make_custom(self):
+        from repro.baselines.equal import EqualAssignment
+
+        class Custom(EqualAssignment):
+            name = "CUSTOM"
+
+        return Custom
+
+    def test_register_and_construct(self):
+        from repro.baselines.registry import register_algorithm, unregister_algorithm
+
+        register_algorithm("CUSTOM", self._make_custom())
+        try:
+            balancer = make_balancer("CUSTOM", 4)
+            assert balancer.name == "CUSTOM"
+        finally:
+            unregister_algorithm("CUSTOM")
+        with pytest.raises(ConfigurationError):
+            make_balancer("CUSTOM", 4)
+
+    def test_duplicate_registration_requires_replace(self):
+        from repro.baselines.registry import register_algorithm
+
+        with pytest.raises(ConfigurationError):
+            register_algorithm("DOLBIE", self._make_custom())
+
+    def test_paper_algorithms_protected(self):
+        from repro.baselines.registry import unregister_algorithm
+
+        with pytest.raises(ConfigurationError):
+            unregister_algorithm("DOLBIE")
+
+    def test_bad_name_rejected(self):
+        from repro.baselines.registry import register_algorithm
+
+        with pytest.raises(ConfigurationError):
+            register_algorithm("", self._make_custom())

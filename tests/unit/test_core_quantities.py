@@ -1,0 +1,97 @@
+"""Unit tests for the risk-averse quantities x' and G (§IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import acceptable_workloads, assistance_vector
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CallableCost
+from repro.exceptions import ConfigurationError
+from repro.minmax.solver import evaluate_allocation
+
+
+def _setup(slopes, intercepts, x):
+    costs = [AffineLatencyCost(s, c) for s, c in zip(slopes, intercepts)]
+    x = np.asarray(x, dtype=float)
+    local, global_cost, straggler = evaluate_allocation(costs, x)
+    return costs, x, global_cost, straggler
+
+
+class TestAcceptableWorkloads:
+    def test_straggler_keeps_its_workload(self):
+        costs, x, l, s = _setup([1.0, 5.0], [0.0, 0.0], [0.5, 0.5])
+        x_prime = acceptable_workloads(costs, x, l, s)
+        assert s == 1
+        assert x_prime[s] == x[s]
+
+    def test_non_straggler_value_matches_formula(self):
+        # l = 2.5 (worker 1 at 0.5 * 5); worker 0: x~ = 2.5 / 1 = 2.5 -> 1.
+        costs, x, l, s = _setup([1.0, 5.0], [0.0, 0.0], [0.5, 0.5])
+        x_prime = acceptable_workloads(costs, x, l, s)
+        assert x_prime[0] == 1.0
+
+    def test_unclamped_value(self):
+        # l = 0.5 * 2 = 1.0 for straggler; worker 0 slope 4: x~ = 0.25.
+        costs, x, l, s = _setup([4.0, 2.0], [0.0, 0.0], [0.1, 0.5])
+        x_prime = acceptable_workloads(costs, x, l, s)
+        assert x_prime[0] == pytest.approx(0.25)
+
+    def test_dominates_current_allocation(self):
+        """Lemma 1-ii: x' >= x coordinate-wise."""
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            n = int(rng.integers(2, 10))
+            slopes = rng.uniform(0.1, 10, n)
+            intercepts = rng.uniform(0, 0.5, n)
+            x = rng.dirichlet(np.ones(n))
+            costs, x, l, s = _setup(slopes, intercepts, x)
+            x_prime = acceptable_workloads(costs, x, l, s)
+            assert (x_prime >= x - 1e-12).all()
+
+    def test_fast_path_matches_generic_bisection(self):
+        slopes, intercepts = [1.5, 3.0, 0.7], [0.05, 0.0, 0.2]
+        x = [0.3, 0.3, 0.4]
+        costs, xv, l, s = _setup(slopes, intercepts, x)
+        fast = acceptable_workloads(costs, xv, l, s)
+        generic_costs = [
+            CallableCost(lambda v, a=a, b=b: a * v + b)
+            for a, b in zip(slopes, intercepts)
+        ]
+        generic = acceptable_workloads(generic_costs, xv, l, s)
+        assert np.allclose(fast, generic, atol=1e-8)
+
+    def test_shape_mismatch(self):
+        costs, x, l, s = _setup([1.0, 2.0], [0.0, 0.0], [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            acceptable_workloads(costs, np.array([0.5, 0.3, 0.2]), l, s)
+
+    def test_bad_straggler_index(self):
+        costs, x, l, _ = _setup([1.0, 2.0], [0.0, 0.0], [0.5, 0.5])
+        with pytest.raises(ConfigurationError):
+            acceptable_workloads(costs, x, l, straggler=5)
+
+
+class TestAssistanceVector:
+    def test_sums_to_zero(self):
+        x = np.array([0.2, 0.3, 0.5])
+        x_prime = np.array([0.6, 0.7, 0.5])
+        g = assistance_vector(x, x_prime, straggler=2)
+        assert g.sum() == pytest.approx(0.0, abs=1e-15)
+
+    def test_signs(self):
+        """Non-stragglers have G <= 0 (they absorb), straggler G >= 0."""
+        x = np.array([0.2, 0.3, 0.5])
+        x_prime = np.array([0.6, 0.7, 0.5])
+        g = assistance_vector(x, x_prime, straggler=2)
+        assert g[0] == pytest.approx(-0.4)
+        assert g[1] == pytest.approx(-0.4)
+        assert g[2] == pytest.approx(0.8)
+
+    def test_no_gap_no_motion(self):
+        x = np.array([0.5, 0.5])
+        g = assistance_vector(x, x.copy(), straggler=0)
+        assert np.allclose(g, 0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            assistance_vector(np.array([0.5, 0.5]), np.array([0.5]), 0)

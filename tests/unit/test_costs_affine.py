@@ -1,0 +1,75 @@
+"""Unit tests for repro.costs.affine (the §III-A latency model)."""
+
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.exceptions import CostFunctionError
+
+
+class TestConstruction:
+    def test_value(self):
+        f = AffineLatencyCost(slope=2.0, intercept=0.5)
+        assert f(0.0) == 0.5
+        assert f(0.25) == 1.0
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(CostFunctionError):
+            AffineLatencyCost(slope=-1.0)
+
+    def test_rejects_negative_intercept(self):
+        with pytest.raises(CostFunctionError):
+            AffineLatencyCost(slope=1.0, intercept=-0.1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(CostFunctionError):
+            AffineLatencyCost(slope=float("nan"))
+
+
+class TestFromSystem:
+    def test_paper_quantities(self):
+        # f(x) = x * B / gamma + comm: B=256, gamma=512 -> slope 0.5
+        f = AffineLatencyCost.from_system(batch_size=256, speed=512, comm_time=0.1)
+        assert f.slope == pytest.approx(0.5)
+        assert f(1.0) == pytest.approx(0.6)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(CostFunctionError):
+            AffineLatencyCost.from_system(256, 0.0)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(CostFunctionError):
+            AffineLatencyCost.from_system(0, 10.0)
+
+
+class TestLevelInverse:
+    def test_closed_form(self):
+        f = AffineLatencyCost(slope=2.0, intercept=0.5)
+        # max{x : 2x + 0.5 <= 1.5} = 0.5
+        assert f.max_acceptable(1.5) == pytest.approx(0.5)
+
+    def test_level_below_intercept(self):
+        f = AffineLatencyCost(slope=1.0, intercept=0.5)
+        assert f.max_acceptable(0.4) == 0.0
+
+    def test_zero_slope_behaves_like_constant(self):
+        f = AffineLatencyCost(slope=0.0, intercept=0.5)
+        assert f.max_acceptable(0.6) == 1.0
+        assert f.max_acceptable(0.4) == 0.0
+
+    def test_matches_bisection(self):
+        f = AffineLatencyCost(slope=3.3, intercept=0.07)
+        g_inverse = f.level_inverse
+        f.level_inverse = lambda level: None  # force bisection
+        for level in (0.1, 0.5, 1.0, 3.0):
+            expected = min(max(g_inverse(level), 0.0), 1.0)
+            assert f.max_acceptable(level) == pytest.approx(expected, abs=1e-8)
+
+
+class TestLipschitz:
+    def test_exact_constant(self):
+        f = AffineLatencyCost(slope=7.25, intercept=1.0)
+        assert f.lipschitz == 7.25
+        assert f.lipschitz_estimate() == pytest.approx(7.25)
+
+    def test_repr(self):
+        assert "AffineLatencyCost" in repr(AffineLatencyCost(1.0, 0.0))

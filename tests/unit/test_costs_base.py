@@ -1,0 +1,144 @@
+"""Unit tests for repro.costs.base."""
+
+import math
+
+import pytest
+
+from repro.costs.base import CallableCost, ConstantCost, compose_max
+from repro.exceptions import CostFunctionError
+
+
+class TestCallableCost:
+    def test_evaluates_underlying_function(self):
+        f = CallableCost(lambda x: 2.0 * x + 1.0)
+        assert f(0.0) == 1.0
+        assert f(0.5) == 2.0
+        assert f(1.0) == 3.0
+
+    def test_domain_violation_raises(self):
+        f = CallableCost(lambda x: x)
+        with pytest.raises(CostFunctionError):
+            f(1.5)
+        with pytest.raises(CostFunctionError):
+            f(-0.5)
+
+    def test_tiny_dust_is_clamped_not_raised(self):
+        f = CallableCost(lambda x: x)
+        assert f(-1e-15) == 0.0
+        assert f(1.0 + 1e-15) == 1.0
+
+    def test_custom_domain(self):
+        f = CallableCost(lambda x: x, x_max=2.0)
+        assert f(2.0) == 2.0
+
+    def test_nonpositive_x_max_rejected(self):
+        with pytest.raises(CostFunctionError):
+            CallableCost(lambda x: x, x_max=0.0)
+
+    def test_analytic_inverse_used(self):
+        f = CallableCost(lambda x: x**2, inverse=lambda l: math.sqrt(l))
+        assert f.max_acceptable(0.25) == pytest.approx(0.5)
+
+    def test_repr_contains_label(self):
+        assert "mylabel" in repr(CallableCost(lambda x: x, label="mylabel"))
+
+
+class TestMaxAcceptable:
+    def test_bisection_matches_analytic(self):
+        analytic = CallableCost(lambda x: x**2, inverse=lambda l: math.sqrt(l))
+        bisected = CallableCost(lambda x: x**2)
+        for level in (0.01, 0.1, 0.5, 0.9):
+            assert bisected.max_acceptable(level) == pytest.approx(
+                analytic.max_acceptable(level), abs=1e-8
+            )
+
+    def test_level_below_floor_gives_zero(self):
+        f = CallableCost(lambda x: x + 1.0)
+        assert f.max_acceptable(0.5) == 0.0
+
+    def test_level_above_ceiling_gives_x_max(self):
+        f = CallableCost(lambda x: x)
+        assert f.max_acceptable(2.0) == 1.0
+
+    def test_result_never_exceeds_level(self):
+        f = CallableCost(lambda x: math.exp(3 * x) - 1)
+        for level in (0.1, 1.0, 5.0, 19.0):
+            x = f.max_acceptable(level)
+            assert f(x) <= level + 1e-9
+
+    def test_flat_region_returns_supremum(self):
+        # f is flat at 0.5 on [0.25, 0.75]: the sublevel set of 0.5 ends
+        # where the function finally exceeds the level.
+        def flat(x):
+            if x < 0.25:
+                return 2 * x
+            if x <= 0.75:
+                return 0.5
+            return 0.5 + 2 * (x - 0.75)
+
+        f = CallableCost(flat)
+        assert f.max_acceptable(0.5) == pytest.approx(0.75, abs=1e-8)
+
+
+class TestConstantCost:
+    def test_value_is_constant(self):
+        f = ConstantCost(3.0)
+        assert f(0.0) == f(0.5) == f(1.0) == 3.0
+
+    def test_level_inverse_full_or_empty(self):
+        f = ConstantCost(3.0)
+        assert f.max_acceptable(3.0) == 1.0
+        assert f.max_acceptable(2.9) == 0.0
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(CostFunctionError):
+            ConstantCost(-1.0)
+        with pytest.raises(CostFunctionError):
+            ConstantCost(float("nan"))
+
+    def test_lipschitz_estimate_zero(self):
+        assert ConstantCost(5.0).lipschitz_estimate() == 0.0
+
+
+class TestLipschitzEstimate:
+    def test_linear_function_exact(self):
+        f = CallableCost(lambda x: 4.0 * x)
+        assert f.lipschitz_estimate() == pytest.approx(4.0)
+
+    def test_convex_function_max_slope_at_right(self):
+        f = CallableCost(lambda x: x**2)
+        assert f.lipschitz_estimate(samples=1000) == pytest.approx(2.0, rel=0.01)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            CallableCost(lambda x: x).lipschitz_estimate(samples=1)
+
+
+class TestIsIncreasing:
+    def test_increasing_detected(self):
+        assert CallableCost(lambda x: x**3).is_increasing()
+
+    def test_decreasing_detected(self):
+        assert not CallableCost(lambda x: -x).is_increasing()
+
+    def test_constant_counts_as_increasing(self):
+        assert ConstantCost(1.0).is_increasing()
+
+
+class TestComposeMax:
+    def test_pointwise_maximum(self):
+        f = compose_max(
+            CallableCost(lambda x: x), CallableCost(lambda x: 0.5 + 0.1 * x)
+        )
+        assert f(0.0) == 0.5
+        assert f(1.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(CostFunctionError):
+            compose_max()
+
+    def test_domain_is_intersection(self):
+        f = compose_max(
+            CallableCost(lambda x: x, x_max=0.5), CallableCost(lambda x: x)
+        )
+        assert f.x_max == 0.5

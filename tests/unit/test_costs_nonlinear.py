@@ -1,0 +1,124 @@
+"""Unit tests for the non-linear cost families."""
+
+import math
+
+import pytest
+
+from repro.costs.nonlinear import (
+    ExponentialCost,
+    LogCost,
+    PiecewiseLinearCost,
+    PowerLawCost,
+    QueueingDelayCost,
+)
+from repro.exceptions import CostFunctionError
+
+
+class TestPowerLaw:
+    def test_value_and_inverse_roundtrip(self):
+        f = PowerLawCost(a=2.0, p=1.7, c=0.3)
+        for x in (0.1, 0.4, 0.9):
+            level = f(x)
+            assert f.max_acceptable(level) == pytest.approx(x, abs=1e-9)
+
+    def test_convex_and_concave_exponents(self):
+        convex = PowerLawCost(a=1.0, p=2.0)
+        concave = PowerLawCost(a=1.0, p=0.5)
+        assert convex.is_increasing() and concave.is_increasing()
+
+    def test_zero_scale_constant(self):
+        f = PowerLawCost(a=0.0, p=1.0, c=0.7)
+        assert f.max_acceptable(0.8) == 1.0
+
+    def test_level_below_offset(self):
+        f = PowerLawCost(a=1.0, p=2.0, c=0.5)
+        assert f.max_acceptable(0.4) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CostFunctionError):
+            PowerLawCost(a=-1.0, p=1.0)
+        with pytest.raises(CostFunctionError):
+            PowerLawCost(a=1.0, p=0.0)
+
+
+class TestExponential:
+    def test_zero_at_origin_plus_offset(self):
+        f = ExponentialCost(a=1.0, k=2.0, c=0.25)
+        assert f(0.0) == pytest.approx(0.25)
+
+    def test_inverse_roundtrip(self):
+        f = ExponentialCost(a=0.5, k=3.0, c=0.1)
+        for x in (0.05, 0.5, 0.95):
+            assert f.max_acceptable(f(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(CostFunctionError):
+            ExponentialCost(a=1.0, k=0.0)
+
+
+class TestLog:
+    def test_concave_increasing(self):
+        f = LogCost(a=1.0, k=5.0)
+        assert f.is_increasing()
+        # concavity: midpoint value above chord
+        assert f(0.5) > 0.5 * (f(0.0) + f(1.0))
+
+    def test_inverse_roundtrip(self):
+        f = LogCost(a=2.0, k=4.0, c=0.2)
+        for x in (0.1, 0.6, 1.0):
+            assert f.max_acceptable(f(x)) == pytest.approx(x, abs=1e-9)
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_knots(self):
+        f = PiecewiseLinearCost([0.0, 0.5, 1.0], [0.0, 0.2, 1.0])
+        assert f(0.0) == 0.0
+        assert f(0.25) == pytest.approx(0.1)
+        assert f(0.75) == pytest.approx(0.6)
+        assert f(1.0) == 1.0
+
+    def test_throughput_cliff_shape(self):
+        cliff = PiecewiseLinearCost([0.0, 0.6, 1.0], [0.0, 0.3, 3.0])
+        # slope jumps from 0.5 to 6.75 past the knee
+        assert cliff(0.61) - cliff(0.6) > 5 * (cliff(0.6) - cliff(0.59))
+
+    def test_bisection_inverse_consistent(self):
+        f = PiecewiseLinearCost([0.0, 0.3, 1.0], [0.1, 0.4, 0.9])
+        level = 0.4
+        x = f.max_acceptable(level)
+        assert f(x) <= level + 1e-9
+        assert f(min(x + 1e-6, 1.0)) >= level - 1e-9
+
+    def test_rejects_decreasing_knots(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([0.0, 1.0], [1.0, 0.5])
+
+    def test_rejects_missing_origin(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([0.1, 1.0], [0.0, 1.0])
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(CostFunctionError):
+            PiecewiseLinearCost([0.0], [0.0])
+
+
+class TestQueueingDelay:
+    def test_blows_up_near_saturation(self):
+        f = QueueingDelayCost(mu=2.0, lam=2.0)  # saturates at x=1
+        assert f(0.9) > 3 * f(0.3)
+
+    def test_inverse_roundtrip(self):
+        f = QueueingDelayCost(mu=3.0, lam=2.0, c=0.1)
+        for x in (0.1, 0.5, 0.9):
+            assert f.max_acceptable(f(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_domain_capped_below_saturation(self):
+        f = QueueingDelayCost(mu=1.0, lam=2.0)
+        assert f.x_max < 0.5  # saturation at mu/lam = 0.5
+        assert math.isfinite(f(f.x_max))
+
+    def test_invalid_rates(self):
+        with pytest.raises(CostFunctionError):
+            QueueingDelayCost(mu=0.0, lam=1.0)
+        with pytest.raises(CostFunctionError):
+            QueueingDelayCost(mu=1.0, lam=-1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the time-varying cost processes."""
+
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import (
+    DriftingAffineProcess,
+    PowerLawProcess,
+    RandomAffineProcess,
+    StaticCostProcess,
+    SwitchingProcess,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDeterminism:
+    """costs_at(t) must be replayable: the OPT oracle and the online
+    algorithms have to see the same world."""
+
+    @pytest.mark.parametrize(
+        "process",
+        [
+            RandomAffineProcess([1.0, 2.0, 3.0], sigma=0.2, comm_scale=0.1, seed=5),
+            DriftingAffineProcess([1.0, 2.0, 3.0], amplitude=0.3, seed=5),
+            PowerLawProcess([1.0, 2.0, 1.5], [1.0, 2.0, 0.5], seed=5),
+        ],
+    )
+    def test_costs_at_replayable(self, process):
+        for t in (1, 7, 30):
+            first = process.costs_at(t)
+            second = process.costs_at(t)
+            for f, g in zip(first, second):
+                for x in (0.0, 0.3, 1.0):
+                    assert f(x) == g(x)
+
+    def test_different_rounds_differ(self):
+        process = RandomAffineProcess([1.0, 2.0], sigma=0.3, seed=1)
+        a = process.costs_at(1)[0](0.5)
+        b = process.costs_at(2)[0](0.5)
+        assert a != b
+
+
+class TestStaticProcess:
+    def test_same_every_round(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0)]
+        process = StaticCostProcess(costs)
+        assert process.costs_at(1) == process.costs_at(99)
+
+    def test_needs_two_workers(self):
+        with pytest.raises(ConfigurationError):
+            StaticCostProcess([AffineLatencyCost(1.0)])
+
+
+class TestRandomAffine:
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ConfigurationError):
+            RandomAffineProcess([1.0, 0.0])
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            RandomAffineProcess([1.0, 2.0], sigma=-0.1)
+
+    def test_comm_scale_bounds_intercept(self):
+        process = RandomAffineProcess([1.0, 2.0], comm_scale=0.5, seed=0)
+        for t in range(1, 20):
+            for f in process.costs_at(t):
+                assert 0.0 <= f.intercept <= 0.5
+
+    def test_faster_worker_has_smaller_slope_on_average(self):
+        process = RandomAffineProcess([1.0, 10.0], sigma=0.1, seed=2)
+        slow = sum(process.costs_at(t)[0].slope for t in range(1, 50))
+        fast = sum(process.costs_at(t)[1].slope for t in range(1, 50))
+        assert fast < slow
+
+
+class TestDriftingAffine:
+    def test_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DriftingAffineProcess([1.0, 2.0], amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DriftingAffineProcess([1.0, 2.0], period=0.0)
+
+    def test_periodicity(self):
+        process = DriftingAffineProcess([1.0, 2.0], amplitude=0.5, period=10.0, seed=0)
+        a = process.costs_at(3)[0](1.0)
+        b = process.costs_at(13)[0](1.0)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_zero_amplitude_is_static(self):
+        process = DriftingAffineProcess([1.0, 2.0], amplitude=0.0, seed=0)
+        assert process.costs_at(1)[0](0.7) == process.costs_at(50)[0](0.7)
+
+
+class TestSwitching:
+    def _regimes(self):
+        a = [AffineLatencyCost(1.0), AffineLatencyCost(2.0)]
+        b = [AffineLatencyCost(5.0), AffineLatencyCost(0.5)]
+        return a, b
+
+    def test_alternates(self):
+        a, b = self._regimes()
+        process = SwitchingProcess(a, b, switch_every=3)
+        assert process.costs_at(1) == a
+        assert process.costs_at(3) == a
+        assert process.costs_at(4) == b
+        assert process.costs_at(7) == a
+
+    def test_rejects_mismatched_regimes(self):
+        a, b = self._regimes()
+        with pytest.raises(ConfigurationError):
+            SwitchingProcess(a, b[:1])
+
+    def test_rejects_bad_period(self):
+        a, b = self._regimes()
+        with pytest.raises(ConfigurationError):
+            SwitchingProcess(a, b, switch_every=0)
+
+
+class TestHorizonCosts:
+    def test_materializes_all_rounds(self):
+        process = RandomAffineProcess([1.0, 2.0], seed=0)
+        horizon = process.horizon_costs(12)
+        assert len(horizon) == 12
+        assert all(len(round_costs) == 2 for round_costs in horizon)

@@ -1,0 +1,72 @@
+"""Unit tests for the delayed-feedback wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.opt import DynamicOptimum
+from repro.core.delayed import DelayedFeedback
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.costs.affine import AffineLatencyCost
+from repro.exceptions import ConfigurationError
+from repro.simplex.sampling import is_feasible
+
+
+def _process(seed=0):
+    return RandomAffineProcess([1, 2, 4, 8], sigma=0.1, seed=seed)
+
+
+class TestZeroDelayIsIdentity:
+    def test_matches_unwrapped(self):
+        inner = Dolbie(4, alpha_1=0.05)
+        plain = Dolbie(4, alpha_1=0.05)
+        wrapped = DelayedFeedback(inner, delay=0)
+        a = run_online(wrapped, _process(), 40)
+        b = run_online(plain, _process(), 40)
+        assert np.allclose(a.allocations, b.allocations)
+
+
+class TestDelaySemantics:
+    def test_inner_state_is_frozen_for_delay_rounds(self):
+        inner = Dolbie(4, alpha_1=0.05)
+        wrapped = DelayedFeedback(inner, delay=3)
+        result = run_online(wrapped, _process(), 10)
+        # For the first `delay` rounds no feedback has reached the inner
+        # algorithm, so the played allocation is still the initial one.
+        for t in range(3):
+            assert np.allclose(result.allocations[t], 0.25)
+        assert not np.allclose(result.allocations[9], 0.25)
+
+    def test_name_reflects_delay(self):
+        assert DelayedFeedback(Dolbie(3), delay=2).name == "DOLBIE+delay2"
+
+    def test_feasibility_preserved_under_delay(self):
+        wrapped = DelayedFeedback(Dolbie(4, alpha_1=0.3), delay=5)
+        result = run_online(wrapped, _process(seed=7), 80)
+        for t in range(80):
+            assert is_feasible(result.allocations[t], atol=1e-8)
+
+    def test_delay_degrades_but_still_converges(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        process = StaticCostProcess(costs)
+        prompt = run_online(Dolbie(3, alpha_1=0.2), process, 150)
+        delayed = run_online(
+            DelayedFeedback(Dolbie(3, alpha_1=0.2), delay=4), process, 150
+        )
+        # The delayed variant still improves substantially over the
+        # equal split and lands near (within 50% of) the prompt variant's
+        # balance point, but pays a clear cumulative price for the delay.
+        assert delayed.global_costs[-1] < 0.6 * delayed.global_costs[0]
+        assert delayed.global_costs[-1] < 1.5 * prompt.global_costs[-1]
+        assert delayed.total_cost > prompt.total_cost
+
+
+class TestValidation:
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            DelayedFeedback(Dolbie(3), delay=-1)
+
+    def test_rejects_oracle_inner(self):
+        with pytest.raises(ConfigurationError):
+            DelayedFeedback(DynamicOptimum(3), delay=1)

@@ -1,0 +1,19 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.costs.base
+import repro.utils.rng
+
+MODULES = [repro, repro.costs.base, repro.utils.rng]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    if result.attempted == 0:
+        pytest.skip(f"{module.__name__} has no doctests")
+    assert result.failed == 0

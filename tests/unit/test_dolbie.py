@@ -1,0 +1,175 @@
+"""Unit tests for the DOLBIE algorithm (update rules 5-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dolbie import Dolbie
+from repro.core.interface import make_feedback
+from repro.core.loop import run_online
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import ConstantCost
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.exceptions import ConfigurationError, FeasibilityError, ReproError
+from repro.simplex.sampling import is_feasible
+
+
+def _one_round(balancer, costs):
+    feedback = make_feedback(balancer.round, balancer.decide(), costs)
+    balancer.update(feedback)
+    return feedback
+
+
+class TestHandComputedUpdate:
+    def test_two_worker_update(self):
+        """Hand-check Eqs. (5)-(6) on f1 = x, f2 = 4x, x = (0.5, 0.5)."""
+        balancer = Dolbie(2, alpha_1=0.1)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        _one_round(balancer, costs)
+        # l = 2.0, straggler = worker 1. x'_0 = min(2.0 / 1.0, 1) = 1.
+        # x_0' = 0.5 + 0.1 * (1 - 0.5) = 0.55; x_1 = 1 - 0.55 = 0.45.
+        assert balancer.allocation == pytest.approx([0.55, 0.45])
+
+    def test_step_size_updated_by_eq7(self):
+        balancer = Dolbie(2, alpha_1=0.1)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        _one_round(balancer, costs)
+        # N=2: cap = x_s / x_s = 1, so alpha stays 0.1.
+        assert balancer.alpha == pytest.approx(0.1)
+
+    def test_three_worker_update(self):
+        balancer = Dolbie(3, alpha_1=0.3)
+        costs = [
+            AffineLatencyCost(1.0),
+            AffineLatencyCost(2.0),
+            AffineLatencyCost(6.0),
+        ]
+        _one_round(balancer, costs)
+        # x = 1/3 each; l = 2.0 (worker 2). x'_0 = 1 (clamp), x'_1 = 1.
+        # x_0 = 1/3 + 0.3*(1 - 1/3) = 0.5333..., same x_1.
+        # x_2 = 1 - 2 * 0.53333 = -0.0666 -> the exact guard caps alpha at
+        # x_s / sum(gaps) = (1/3) / (4/3) = 0.25.
+        x = balancer.allocation
+        assert x[0] == pytest.approx(1.0 / 3.0 + 0.25 * (2.0 / 3.0))
+        assert x[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_straggler_never_gains(self):
+        balancer = Dolbie(3, alpha_1=0.2)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(1.5), AffineLatencyCost(9.0)]
+        before = balancer.allocation[2]
+        _one_round(balancer, costs)
+        assert balancer.allocation[2] <= before
+
+
+class TestFeasibilityByDesign:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_run_stays_on_simplex(self, seed):
+        process = RandomAffineProcess(
+            speeds=[1, 3, 9, 27], sigma=0.4, comm_scale=0.2, seed=seed
+        )
+        balancer = Dolbie(4, alpha_1=0.3)
+        result = run_online(balancer, process, 200)
+        for t in range(200):
+            assert is_feasible(result.allocations[t], atol=1e-7)
+
+    def test_exact_guard_handles_oversized_alpha(self):
+        """The verbatim Eq. (7) schedule is only safe when alpha_1 respects
+        the paper's initialization rule (alpha_1 <= cap(min_i x_{i,1})).
+        With a user-chosen larger alpha_1 and a tiny-workload straggler,
+        the exact per-round guard must keep the update feasible."""
+        balancer = Dolbie(
+            3,
+            initial_allocation=np.array([0.45, 0.45, 0.10]),
+            alpha_1=0.9,
+            exact_feasibility_guard=True,
+        )
+        _one_round(
+            balancer,
+            [AffineLatencyCost(0.1), AffineLatencyCost(0.1), ConstantCost(50.0)],
+        )
+        assert is_feasible(balancer.allocation, atol=1e-9)
+        assert balancer.allocation[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_verbatim_mode_raises_instead_of_silently_violating(self):
+        balancer = Dolbie(
+            3,
+            initial_allocation=np.array([0.45, 0.45, 0.10]),
+            alpha_1=0.9,
+            exact_feasibility_guard=False,
+        )
+        # The violation surfaces either as a FeasibilityError (allocation
+        # check) or a ConfigurationError (negative workload hits Eq. 7);
+        # both derive from ReproError and both are loud.
+        with pytest.raises(ReproError):
+            _one_round(
+                balancer,
+                [AffineLatencyCost(0.1), AffineLatencyCost(0.1), ConstantCost(50.0)],
+            )
+
+    def test_verbatim_mode_safe_under_paper_initialization(self):
+        """With alpha_1 from the paper's rule, Eq. (7) alone keeps every
+        round feasible: a straggler's workload only grows between its own
+        straggling turns, so the historical cap is always conservative."""
+        process = RandomAffineProcess(
+            speeds=[1, 3, 9, 27], sigma=0.5, comm_scale=0.3, seed=9
+        )
+        balancer = Dolbie(4, exact_feasibility_guard=False)  # derived alpha_1
+        result = run_online(balancer, process, 300)
+        for t in range(300):
+            assert is_feasible(result.allocations[t], atol=1e-7)
+
+
+class TestAlphaSchedule:
+    def test_alpha_history_non_increasing(self):
+        process = RandomAffineProcess([1, 2, 4, 8], sigma=0.3, seed=0)
+        balancer = Dolbie(4, alpha_1=0.2)
+        run_online(balancer, process, 100)
+        history = balancer.alpha_history
+        assert len(history) == 101
+        assert all(b <= a + 1e-15 for a, b in zip(history, history[1:]))
+
+    def test_default_alpha_from_paper_rule(self):
+        balancer = Dolbie(4)  # equal split 0.25
+        assert balancer.alpha == pytest.approx(0.25 / 2.25)
+
+
+class TestConvergence:
+    def test_static_costs_converge_to_balance(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        process = StaticCostProcess(costs)
+        balancer = Dolbie(3, alpha_1=0.3)
+        result = run_online(balancer, process, 300)
+        # Optimal equalized level: 1/x1 = ... -> x ~ (4/7, 2/7, 1/7), l* = 4/7.
+        assert result.global_costs[-1] == pytest.approx(4.0 / 7.0, rel=0.05)
+
+    def test_improves_over_equal_split(self):
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.1, seed=1)
+        balancer = Dolbie(5, alpha_1=0.1)
+        result = run_online(balancer, process, 150)
+        assert result.global_costs[-20:].mean() < 0.65 * result.global_costs[0]
+
+
+class TestHistoryRecording:
+    def test_history_only_when_enabled(self):
+        process = RandomAffineProcess([1, 2], seed=0)
+        on = Dolbie(2, alpha_1=0.1, record_history=True)
+        off = Dolbie(2, alpha_1=0.1, record_history=False)
+        run_online(on, process, 10)
+        run_online(off, process, 10)
+        assert len(on.x_prime_history) == 10
+        assert len(on.assistance_history) == 10
+        assert off.x_prime_history == []
+        assert len(off.straggler_history) == 10
+
+
+class TestValidation:
+    def test_needs_two_workers(self):
+        with pytest.raises(ConfigurationError):
+            Dolbie(1)
+
+    def test_rejects_infeasible_initial_allocation(self):
+        with pytest.raises(FeasibilityError):
+            Dolbie(3, initial_allocation=np.array([0.5, 0.6, 0.2]))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            Dolbie(3, alpha_1=-0.1)

@@ -1,0 +1,103 @@
+"""Unit tests for the edge-computing offloading scenario (§III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.edge.offloading import EdgeOffloadingScenario
+from repro.exceptions import ConfigurationError
+
+
+class TestScenarioConstruction:
+    def test_worker_count_is_servers_plus_one(self):
+        scenario = EdgeOffloadingScenario(num_servers=5, seed=0)
+        assert scenario.num_workers == 6
+        assert len(scenario.costs_at(1)) == 6
+
+    def test_explicit_rates(self):
+        scenario = EdgeOffloadingScenario(
+            num_servers=2,
+            server_rates=np.array([1.0, 2.0]),
+            uplink_mbps=np.array([50.0, 50.0]),
+            seed=0,
+        )
+        assert scenario.server_rates.tolist() == [1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EdgeOffloadingScenario(task_size_mbits=0.0)
+        with pytest.raises(ConfigurationError):
+            EdgeOffloadingScenario(background_load=1.0)
+        with pytest.raises(ConfigurationError):
+            EdgeOffloadingScenario(num_servers=2, server_rates=np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            EdgeOffloadingScenario(
+                num_servers=1, server_rates=np.array([-1.0]),
+            )
+
+
+class TestCostShapes:
+    def test_local_cost_linear_in_retained_fraction(self):
+        scenario = EdgeOffloadingScenario(num_servers=2, seed=1)
+        local = scenario.costs_at(1)[0]
+        assert local(0.0) == 0.0
+        assert local(0.8) == pytest.approx(2 * local(0.4))
+
+    def test_server_cost_zero_at_zero(self):
+        scenario = EdgeOffloadingScenario(num_servers=3, seed=1)
+        for cost in scenario.costs_at(1)[1:]:
+            assert cost(0.0) == 0.0
+
+    def test_server_cost_increasing_and_superlinear(self):
+        scenario = EdgeOffloadingScenario(num_servers=3, seed=1)
+        for cost in scenario.costs_at(1)[1:]:
+            assert cost.is_increasing(samples=64)
+            # queueing delay is convex: doubling load more than doubles cost
+            assert cost(0.8) > 2 * cost(0.4)
+
+    def test_costs_finite_on_whole_unit_interval(self):
+        """The steep linear extension keeps overshooting baselines alive."""
+        scenario = EdgeOffloadingScenario(num_servers=4, seed=2)
+        for t in (1, 5, 20):
+            for cost in scenario.costs_at(t):
+                assert np.isfinite(cost(1.0))
+
+    def test_deterministic_in_round(self):
+        scenario = EdgeOffloadingScenario(num_servers=2, seed=7)
+        a = [c(0.3) for c in scenario.costs_at(4)]
+        b = [c(0.3) for c in scenario.costs_at(4)]
+        assert a == b
+
+    def test_time_varying(self):
+        scenario = EdgeOffloadingScenario(num_servers=2, seed=7)
+        a = [c(0.3) for c in scenario.costs_at(1)]
+        b = [c(0.3) for c in scenario.costs_at(2)]
+        assert a != b
+
+
+class TestEffectiveServiceRate:
+    def test_reduced_by_background_load(self):
+        scenario = EdgeOffloadingScenario(
+            num_servers=2,
+            server_rates=np.array([2.0, 3.0]),
+            uplink_mbps=np.array([50.0, 50.0]),
+            background_load=0.4,
+            seed=0,
+        )
+        for s in (0, 1):
+            rate = scenario.effective_service_rate(s, 1)
+            assert 0 < rate < scenario.server_rates[s]
+
+    def test_zero_background_load_keeps_full_rate(self):
+        scenario = EdgeOffloadingScenario(
+            num_servers=1,
+            server_rates=np.array([2.0]),
+            uplink_mbps=np.array([50.0]),
+            background_load=0.0,
+            seed=0,
+        )
+        assert scenario.effective_service_rate(0, 5) == pytest.approx(2.0)
+
+    def test_bad_server_index(self):
+        scenario = EdgeOffloadingScenario(num_servers=2, seed=0)
+        with pytest.raises(ConfigurationError):
+            scenario.effective_service_rate(5, 1)

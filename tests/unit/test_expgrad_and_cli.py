@@ -1,0 +1,95 @@
+"""Unit tests for the EG extension baseline and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.expgrad import ExponentiatedGradient
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.core.interface import make_feedback
+from repro.core.loop import run_online
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.exceptions import ConfigurationError
+from repro.simplex.sampling import is_feasible
+
+
+class TestExponentiatedGradient:
+    def test_down_weights_expensive_workers(self):
+        b = ExponentiatedGradient(2, eta=1.0)
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        feedback = make_feedback(1, b.decide(), costs)
+        b.update(feedback)
+        x = b.allocation
+        assert x[0] > 0.5 > x[1]
+        assert is_feasible(x)
+
+    def test_floor_prevents_starvation(self):
+        b = ExponentiatedGradient(2, eta=5.0, floor=1e-4)
+        costs = [AffineLatencyCost(0.01), AffineLatencyCost(100.0)]
+        process = StaticCostProcess(costs)
+        result = run_online(b, process, 50)
+        assert result.allocations[-1].min() > 0
+
+    def test_improves_over_equal_split(self):
+        process = RandomAffineProcess([1, 2, 4, 8], sigma=0.1, seed=0)
+        result = run_online(ExponentiatedGradient(4, eta=0.5), process, 100)
+        assert result.global_costs[-10:].mean() < 0.7 * result.global_costs[0]
+
+    def test_feasible_always(self):
+        process = RandomAffineProcess([1, 5, 25], sigma=0.4, seed=2)
+        result = run_online(ExponentiatedGradient(3, eta=2.0), process, 80)
+        for t in range(80):
+            assert is_feasible(result.allocations[t], atol=1e-8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExponentiatedGradient(3, eta=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentiatedGradient(3, floor=0.5)
+
+
+class TestCli:
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "fig99"])
+
+    def test_experiment_registry_covers_all_figures(self):
+        assert {"fig3", "fig4", "fig5", "fig6to8", "fig9", "fig10", "fig11",
+                "complexity", "regret", "ablations", "edge",
+                "sensitivity"} == set(EXPERIMENTS)
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "DOLBIE" in out and "fig3" in out
+
+    def test_compare_command(self, capsys, tmp_path):
+        csv_path = tmp_path / "cmp.csv"
+        code = main(
+            [
+                "compare",
+                "--model", "ResNet18",
+                "--workers", "6",
+                "--rounds", "20",
+                "--algorithms", "EQU", "DOLBIE",
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DOLBIE" in out
+        assert csv_path.exists()
+
+    def test_experiment_command_quick(self, capsys):
+        assert main(["experiment", "complexity", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "per-round communication" in out
+
+    def test_figures_command(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--out", str(tmp_path), "--scale", "quick",
+             "--only", "fig3"]
+        )
+        assert code == 0
+        assert (tmp_path / "fig3_per_round_latency.svg").exists()

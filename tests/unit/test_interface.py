@@ -1,0 +1,102 @@
+"""Unit tests for the balancer interface and round feedback."""
+
+import numpy as np
+import pytest
+
+from repro.core.interface import (
+    OnlineLoadBalancer,
+    RoundFeedback,
+    identify_straggler,
+    make_feedback,
+)
+from repro.costs.affine import AffineLatencyCost
+from repro.exceptions import ConfigurationError, FeasibilityError
+from repro.simplex.sampling import equal_split
+
+
+class _Noop(OnlineLoadBalancer):
+    name = "noop"
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        pass
+
+
+class _Broken(OnlineLoadBalancer):
+    name = "broken"
+
+    def _update(self, feedback: RoundFeedback) -> None:
+        self._allocation = np.array([0.9, 0.9])
+
+
+class TestIdentifyStraggler:
+    def test_unique_maximum(self):
+        assert identify_straggler(np.array([1.0, 3.0, 2.0])) == 1
+
+    def test_tie_goes_to_lowest_index(self):
+        assert identify_straggler(np.array([2.0, 3.0, 3.0])) == 1
+        assert identify_straggler(np.array([3.0, 3.0, 3.0])) == 0
+
+
+class TestMakeFeedback:
+    def test_fields(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0)]
+        fb = make_feedback(3, np.array([0.4, 0.6]), costs)
+        assert fb.round_index == 3
+        assert np.allclose(fb.local_costs, [0.4, 1.2])
+        assert fb.global_cost == pytest.approx(1.2)
+        assert fb.straggler == 1
+
+    def test_allocation_is_copied(self):
+        x = np.array([0.5, 0.5])
+        fb = make_feedback(1, x, [AffineLatencyCost(1.0), AffineLatencyCost(1.0)])
+        x[0] = 99.0
+        assert fb.allocation[0] == 0.5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundFeedback(
+                round_index=1,
+                allocation=np.array([1.0]),
+                costs=[AffineLatencyCost(1.0), AffineLatencyCost(1.0)],
+                local_costs=np.array([1.0]),
+                global_cost=1.0,
+                straggler=0,
+            )
+
+
+class TestOnlineLoadBalancer:
+    def test_defaults_to_equal_split(self):
+        b = _Noop(5)
+        assert np.allclose(b.allocation, equal_split(5))
+
+    def test_allocation_property_returns_copy(self):
+        b = _Noop(3)
+        b.allocation[0] = 7.0
+        assert b.allocation[0] == pytest.approx(1.0 / 3.0)
+
+    def test_round_counter_advances(self):
+        b = _Noop(2)
+        fb = make_feedback(1, b.decide(), [AffineLatencyCost(1.0)] * 2)
+        b.update(fb)
+        assert b.round == 2
+
+    def test_infeasible_update_raises(self):
+        b = _Broken(2)
+        fb = make_feedback(1, b.decide(), [AffineLatencyCost(1.0)] * 2)
+        with pytest.raises(FeasibilityError):
+            b.update(fb)
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ConfigurationError):
+            _Noop(1)
+
+    def test_rejects_infeasible_initial(self):
+        with pytest.raises(FeasibilityError):
+            _Noop(2, initial_allocation=np.array([0.9, 0.9]))
+
+    def test_oracle_hook_not_implemented_by_default(self):
+        with pytest.raises(NotImplementedError):
+            _Noop(2).oracle_decide([AffineLatencyCost(1.0)] * 2)
+
+    def test_repr(self):
+        assert "N=2" in repr(_Noop(2))

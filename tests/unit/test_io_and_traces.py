@@ -1,0 +1,123 @@
+"""Unit tests for run serialization and trace-driven environments."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_balancer
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ConfigurationError
+from repro.io import load_run, load_training_run, save_run, save_training_run
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.tracefile import TraceEnvironment, TraceTable
+from repro.mlsim.trainer import SyncTrainer
+
+
+class TestRunRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=0)
+        run = run_online(make_balancer("DOLBIE", 3, alpha_1=0.05), process, 25)
+        path = save_run(run, tmp_path / "run")
+        assert path.suffix == ".npz"
+        loaded = load_run(path)
+        assert loaded.algorithm == run.algorithm
+        assert loaded.num_workers == run.num_workers
+        assert loaded.horizon == run.horizon
+        assert np.array_equal(loaded.allocations, run.allocations)
+        assert np.array_equal(loaded.global_costs, run.global_costs)
+        assert np.array_equal(loaded.stragglers, run.stragglers)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=0)
+        training = SyncTrainer(env).train(make_balancer("EQU", 4), 5)
+        path = save_training_run(training, tmp_path / "t.npz")
+        with pytest.raises(ConfigurationError):
+            load_run(path)
+
+
+class TestTrainingRunRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=1)
+        run = SyncTrainer(env).train(make_balancer("DOLBIE", 4, alpha_1=0.01), 12)
+        path = save_training_run(run, tmp_path / "training")
+        loaded = load_training_run(path)
+        assert loaded.model == "ResNet18"
+        assert loaded.global_batch == run.global_batch
+        assert np.array_equal(loaded.accuracy, run.accuracy)
+        assert np.array_equal(loaded.batch_sizes, run.batch_sizes)
+        assert loaded.time_to_accuracy(0.11) == run.time_to_accuracy(0.11)
+
+
+class TestTraceTable:
+    def _table(self):
+        rng = np.random.default_rng(0)
+        return TraceTable(
+            speeds=rng.uniform(100, 1000, size=(6, 3)),
+            comm_times=rng.uniform(0.001, 0.01, size=(6, 3)),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceTable(np.ones((3, 2)), np.ones((3, 3)))
+        with pytest.raises(ConfigurationError):
+            TraceTable(np.zeros((3, 2)), np.zeros((3, 2)))  # zero speed
+        with pytest.raises(ConfigurationError):
+            TraceTable(np.ones((3, 1)), np.ones((3, 1)))  # one worker
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = self._table()
+        path = table.save_csv(tmp_path / "trace.csv")
+        loaded = TraceTable.load_csv(path)
+        assert np.allclose(loaded.speeds, table.speeds)
+        assert np.allclose(loaded.comm_times, table.comm_times)
+
+    def test_load_rejects_missing_cells(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("round,worker,speed,comm_time\n1,0,100,0.01\n")
+        # Round 1 worker 1 missing for a 2-worker trace is undetectable
+        # (it looks like a 1-worker trace and fails the >=2 check).
+        with pytest.raises(ConfigurationError):
+            TraceTable.load_csv(path)
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ConfigurationError):
+            TraceTable.load_csv(path)
+
+    def test_from_environment(self):
+        env = TrainingEnvironment("ResNet18", num_workers=3, seed=2)
+        table = TraceTable.from_environment(env, rounds=5)
+        assert table.rounds == 5 and table.num_workers == 3
+        assert table.speeds[2, 1] == pytest.approx(env.speed_at(1, 3))
+
+
+class TestTraceEnvironment:
+    def test_replays_exact_costs(self):
+        env = TrainingEnvironment("ResNet18", num_workers=3, global_batch=128, seed=3)
+        table = TraceTable.from_environment(env, rounds=8)
+        replay = TraceEnvironment(table, global_batch=128)
+        for t in (1, 4, 8):
+            original = env.costs_at(t)
+            replayed = replay.costs_at(t)
+            for f, g in zip(original, replayed):
+                assert g(0.5) == pytest.approx(f(0.5), rel=1e-12)
+
+    def test_periodic_extension(self):
+        env = TrainingEnvironment("ResNet18", num_workers=3, seed=3)
+        table = TraceTable.from_environment(env, rounds=4)
+        replay = TraceEnvironment(table)
+        assert replay.costs_at(1)[0](0.3) == replay.costs_at(5)[0](0.3)
+
+    def test_algorithms_run_on_traces(self):
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=4)
+        table = TraceTable.from_environment(env, rounds=10)
+        replay = TraceEnvironment(table)
+        result = run_online(make_balancer("DOLBIE", 4, alpha_1=0.01), replay, 30)
+        assert result.horizon == 30
+
+    def test_rounds_one_based(self):
+        env = TrainingEnvironment("ResNet18", num_workers=3, seed=3)
+        replay = TraceEnvironment(TraceTable.from_environment(env, rounds=2))
+        with pytest.raises(ConfigurationError):
+            replay.costs_at(0)

@@ -1,0 +1,78 @@
+"""Unit tests for the online round loop and RunResult."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.equal import EqualAssignment
+from repro.baselines.opt import DynamicOptimum
+from repro.core.loop import run_online, run_online_costs
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.exceptions import ConfigurationError
+
+
+class TestRunOnline:
+    def test_shapes(self):
+        process = RandomAffineProcess([1.0, 2.0, 4.0], seed=0)
+        result = run_online(EqualAssignment(3), process, 17)
+        assert result.allocations.shape == (17, 3)
+        assert result.local_costs.shape == (17, 3)
+        assert result.global_costs.shape == (17,)
+        assert result.stragglers.shape == (17,)
+        assert result.decision_seconds.shape == (17,)
+        assert result.horizon == 17
+        assert result.algorithm == "EQU"
+
+    def test_global_cost_is_max_of_locals(self):
+        process = RandomAffineProcess([1.0, 5.0], seed=1)
+        result = run_online(EqualAssignment(2), process, 10)
+        assert np.allclose(result.global_costs, result.local_costs.max(axis=1))
+
+    def test_straggler_is_argmax(self):
+        process = RandomAffineProcess([1.0, 5.0], seed=1)
+        result = run_online(EqualAssignment(2), process, 10)
+        assert (result.stragglers == result.local_costs.argmax(axis=1)).all()
+
+    def test_oracle_algorithms_get_costs_in_advance(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(3.0)]
+        process = StaticCostProcess(costs)
+        result = run_online(DynamicOptimum(2), process, 5)
+        # OPT nails the optimum from round 1.
+        assert result.global_costs[0] == pytest.approx(0.75, abs=1e-6)
+
+    def test_zero_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_online_costs(EqualAssignment(2), [])
+
+    def test_cost_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_online_costs(EqualAssignment(2), [[AffineLatencyCost(1.0)]])
+
+
+class TestRunResult:
+    def _result(self):
+        process = RandomAffineProcess([1.0, 4.0], sigma=0.1, seed=2)
+        return run_online(EqualAssignment(2), process, 20)
+
+    def test_cumulative_cost(self):
+        result = self._result()
+        assert np.allclose(result.cumulative_cost, np.cumsum(result.global_costs))
+        assert result.total_cost == pytest.approx(result.global_costs.sum())
+
+    def test_waiting_time_non_negative(self):
+        result = self._result()
+        waiting = result.waiting_time()
+        assert (waiting >= -1e-12).all()
+        # The straggler itself never waits.
+        for t in range(result.horizon):
+            assert waiting[t, result.stragglers[t]] == pytest.approx(0.0)
+
+    def test_mean_waiting_time(self):
+        result = self._result()
+        assert result.mean_waiting_time() == pytest.approx(
+            result.waiting_time().mean()
+        )
+
+    def test_decision_overhead_positive(self):
+        result = self._result()
+        assert (result.decision_seconds > 0).all()

@@ -1,0 +1,93 @@
+"""Unit tests for lossy links and the transport-layer retransmission."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.cluster import Cluster
+from repro.net.links import ConstantLatency, Link
+from repro.net.node import Node
+
+
+def _pair(link, **cluster_kwargs):
+    a, b = Node(0), Node(1)
+    cluster = Cluster([a, b], default_link=link, **cluster_kwargs)
+    return cluster, a, b
+
+
+class TestLossyLink:
+    def test_loss_requires_rng(self):
+        with pytest.raises(SimulationError):
+            Link(loss_probability=0.5)
+
+    def test_loss_probability_validated(self):
+        with pytest.raises(SimulationError):
+            Link(loss_probability=1.0, loss_rng=np.random.default_rng(0))
+
+    def test_lossless_never_drops(self):
+        link = Link()
+        assert not any(link.drops_frame() for _ in range(100))
+
+    def test_drop_rate_matches_probability(self):
+        link = Link(loss_probability=0.3, loss_rng=np.random.default_rng(0))
+        drops = sum(link.drops_frame() for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+
+class TestRetransmission:
+    def test_every_message_still_delivered_over_lossy_link(self):
+        # The transport is reliable but not order-preserving (a dropped
+        # frame pays the retransmit timeout while later sends race ahead),
+        # like UDP-with-retries; round-synchronous protocols don't care.
+        rng = np.random.default_rng(1)
+        link = Link(ConstantLatency(0.01), loss_probability=0.4, loss_rng=rng)
+        cluster, a, b = _pair(link)
+        seen = []
+        b.on("x", lambda m: seen.append(m.payload["v"]))
+        for k in range(20):
+            a.send(1, "x", {"v": float(k)})
+        cluster.run()
+        assert sorted(seen) == [float(k) for k in range(20)]
+
+    def test_retransmissions_counted_in_metrics(self):
+        rng = np.random.default_rng(2)
+        link = Link(loss_probability=0.5, loss_rng=rng)
+        cluster, a, b = _pair(link)
+        b.on("x", lambda m: None)
+        for _ in range(50):
+            a.send(1, "x", {"v": 1.0})
+        cluster.run()
+        assert cluster.metrics.messages_total > 50
+
+    def test_retransmission_adds_delay(self):
+        class AlwaysDropTwice:
+            def __init__(self):
+                self.calls = 0
+
+            def random(self):
+                self.calls += 1
+                return 0.0 if self.calls <= 2 else 1.0
+
+        link = Link(ConstantLatency(0.0), loss_probability=0.5,
+                    loss_rng=AlwaysDropTwice())
+        cluster, a, b = _pair(link, retransmit_timeout=0.1)
+        times = []
+        b.on("x", lambda m: times.append(cluster.engine.now))
+        a.send(1, "x", {})
+        cluster.run()
+        assert times == [pytest.approx(0.2)]
+
+    def test_permanent_loss_raises(self):
+        class AlwaysDrop:
+            def random(self):
+                return 0.0
+
+        link = Link(loss_probability=0.5, loss_rng=AlwaysDrop())
+        cluster, a, b = _pair(link, max_retransmits=3)
+        b.on("x", lambda m: None)
+        with pytest.raises(SimulationError):
+            a.send(1, "x", {})
+
+    def test_invalid_transport_parameters(self):
+        with pytest.raises(SimulationError):
+            _pair(Link(), retransmit_timeout=0.0)

@@ -1,0 +1,124 @@
+"""Unit tests for dynamic membership (ElasticDolbie)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interface import make_feedback
+from repro.core.membership import (
+    ElasticDolbie,
+    add_worker_allocation,
+    remove_worker_allocation,
+)
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ConfigurationError, FeasibilityError
+from repro.simplex.sampling import is_feasible
+
+
+class TestRemoveWorkerAllocation:
+    def test_proportional_redistribution(self):
+        x = np.array([0.2, 0.3, 0.5])
+        out = remove_worker_allocation(x, 2)
+        assert np.allclose(out, [0.4, 0.6])
+
+    def test_result_feasible(self):
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            n = int(rng.integers(3, 12))
+            x = rng.dirichlet(np.ones(n))
+            out = remove_worker_allocation(x, int(rng.integers(0, n)))
+            assert is_feasible(out)
+            assert out.size == n - 1
+
+    def test_departing_monopolist(self):
+        x = np.array([0.0, 1.0, 0.0])
+        out = remove_worker_allocation(x, 1)
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_cannot_go_below_two(self):
+        with pytest.raises(ConfigurationError):
+            remove_worker_allocation(np.array([0.5, 0.5]), 0)
+
+    def test_bad_index(self):
+        with pytest.raises(ConfigurationError):
+            remove_worker_allocation(np.array([0.3, 0.3, 0.4]), 5)
+
+    def test_infeasible_input(self):
+        with pytest.raises(FeasibilityError):
+            remove_worker_allocation(np.array([0.9, 0.9, 0.9]), 0)
+
+
+class TestAddWorkerAllocation:
+    def test_default_share(self):
+        out = add_worker_allocation(np.array([0.5, 0.5]))
+        assert np.allclose(out, [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0])
+
+    def test_custom_share(self):
+        out = add_worker_allocation(np.array([0.5, 0.5]), share=0.2)
+        assert np.allclose(out, [0.4, 0.4, 0.2])
+
+    def test_result_feasible(self):
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            x = rng.dirichlet(np.ones(int(rng.integers(2, 10))))
+            out = add_worker_allocation(x, share=float(rng.uniform(0, 0.9)))
+            assert is_feasible(out)
+
+    def test_bad_share(self):
+        with pytest.raises(ConfigurationError):
+            add_worker_allocation(np.array([0.5, 0.5]), share=1.0)
+
+
+class TestElasticDolbie:
+    def _advance(self, balancer, speeds, rounds, start=1):
+        process = RandomAffineProcess(speeds, sigma=0.1, seed=0)
+        for t in range(start, start + rounds):
+            feedback = make_feedback(t, balancer.decide(), process.costs_at(t))
+            balancer.update(feedback)
+
+    def test_remove_then_continue(self):
+        balancer = ElasticDolbie(4, alpha_1=0.05)
+        self._advance(balancer, [1.0, 2.0, 4.0, 8.0], 10)
+        balancer.remove_worker(3)
+        assert balancer.num_workers == 3
+        assert is_feasible(balancer.allocation)
+        self._advance(balancer, [1.0, 2.0, 4.0], 10, start=11)
+        assert is_feasible(balancer.allocation)
+
+    def test_add_then_continue(self):
+        balancer = ElasticDolbie(3, alpha_1=0.05)
+        self._advance(balancer, [1.0, 2.0, 4.0], 10)
+        balancer.add_worker()
+        assert balancer.num_workers == 4
+        assert balancer.allocation[-1] == pytest.approx(0.25)
+        self._advance(balancer, [1.0, 2.0, 4.0, 8.0], 10, start=11)
+        assert is_feasible(balancer.allocation)
+
+    def test_alpha_never_increases_across_change(self):
+        balancer = ElasticDolbie(4, alpha_1=0.05)
+        self._advance(balancer, [1.0, 2.0, 4.0, 8.0], 15)
+        before = balancer.alpha
+        balancer.remove_worker(0)
+        assert balancer.alpha <= before + 1e-15
+
+    def test_histories_cleared_on_change(self):
+        balancer = ElasticDolbie(3, alpha_1=0.05, record_history=True)
+        self._advance(balancer, [1.0, 2.0, 4.0], 5)
+        assert balancer.x_prime_history
+        balancer.add_worker()
+        assert balancer.x_prime_history == []
+
+    def test_update_rule_intact_after_resize(self):
+        """After a membership change the update must still satisfy the
+        hand-computed Eq. (5)-(6) on the new fleet."""
+        balancer = ElasticDolbie(3, alpha_1=0.1)
+        balancer.remove_worker(2)
+        x0 = balancer.allocation
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        feedback = make_feedback(1, x0, costs)
+        balancer.update(feedback)
+        alpha = min(0.1, x0.min() / (0 + x0.min()))  # N=2 cap = 1 -> 0.1
+        level = feedback.global_cost
+        x_prime0 = min(level / 1.0, 1.0)
+        expected0 = x0[0] + alpha * (x_prime0 - x0[0])
+        assert balancer.allocation[0] == pytest.approx(expected0)

@@ -1,0 +1,158 @@
+"""Unit tests for the instantaneous min-max solver (the OPT oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CallableCost, ConstantCost
+from repro.costs.nonlinear import PowerLawCost
+from repro.exceptions import SolverError
+from repro.minmax.solver import evaluate_allocation, solve_min_max
+from repro.simplex.sampling import is_feasible, uniform_simplex
+
+
+class TestEvaluateAllocation:
+    def test_basic(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(3.0)]
+        local, global_cost, straggler = evaluate_allocation(
+            costs, np.array([0.5, 0.5])
+        )
+        assert np.allclose(local, [0.5, 1.5])
+        assert global_cost == 1.5
+        assert straggler == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        costs = [ConstantCost(1.0), ConstantCost(1.0), ConstantCost(1.0)]
+        _, _, straggler = evaluate_allocation(costs, np.array([0.2, 0.3, 0.5]))
+        assert straggler == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(SolverError):
+            evaluate_allocation([ConstantCost(1.0)], np.array([0.5, 0.5]))
+
+
+class TestSolveAffine:
+    def test_two_workers_analytic(self):
+        # f1 = x, f2 = 3x: optimum equalizes: x1 = 3/4, x2 = 1/4, value 3/4.
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(3.0)]
+        sol = solve_min_max(costs)
+        assert sol.value == pytest.approx(0.75, abs=1e-6)
+        assert np.allclose(sol.allocation, [0.75, 0.25], atol=1e-6)
+
+    def test_with_intercepts(self):
+        # f1 = x + 0.5, f2 = x: equalize x1 + 0.5 = x2 with x1 + x2 = 1
+        # -> x1 = 0.25, x2 = 0.75, value = 0.75
+        costs = [AffineLatencyCost(1.0, 0.5), AffineLatencyCost(1.0, 0.0)]
+        sol = solve_min_max(costs)
+        assert sol.value == pytest.approx(0.75, abs=1e-6)
+
+    def test_zero_load_floor_binds(self):
+        # Worker 2 pays 2.0 even with zero load; worker 1 can absorb all
+        # workload below that level, so the optimum is the floor.
+        costs = [AffineLatencyCost(1.0), ConstantCost(2.0)]
+        sol = solve_min_max(costs)
+        assert sol.value == pytest.approx(2.0, abs=1e-6)
+
+    def test_heterogeneous_thirty_workers(self):
+        rng = np.random.default_rng(0)
+        costs = [
+            AffineLatencyCost(slope=s, intercept=c)
+            for s, c in zip(rng.uniform(0.5, 20, 30), rng.uniform(0, 0.1, 30))
+        ]
+        sol = solve_min_max(costs)
+        assert is_feasible(sol.allocation)
+        # All realized costs are within tolerance of the level.
+        local, value, _ = evaluate_allocation(costs, sol.allocation)
+        assert value <= sol.level + 1e-6
+
+
+class TestSolveNonlinear:
+    def test_power_law(self):
+        costs = [PowerLawCost(1.0, 2.0), PowerLawCost(4.0, 2.0)]
+        # equalize x1^2 = 4 x2^2 -> x1 = 2 x2 -> x2 = 1/3.
+        sol = solve_min_max(costs)
+        assert np.allclose(sol.allocation, [2.0 / 3.0, 1.0 / 3.0], atol=1e-5)
+
+    def test_bisection_only_costs(self):
+        costs = [
+            CallableCost(lambda x: x**1.5),
+            CallableCost(lambda x: 2.0 * x + 0.01),
+        ]
+        sol = solve_min_max(costs)
+        assert is_feasible(sol.allocation)
+        _, value, _ = evaluate_allocation(costs, sol.allocation)
+        assert value == pytest.approx(sol.level, abs=1e-5)
+
+
+class TestSolveOptimality:
+    """The solver's value must lower-bound every feasible allocation."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_beats_random_feasible_points(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        costs = [
+            AffineLatencyCost(slope=s, intercept=c)
+            for s, c in zip(rng.uniform(0.1, 10, n), rng.uniform(0, 0.5, n))
+        ]
+        sol = solve_min_max(costs)
+        for _ in range(100):
+            x = uniform_simplex(n, rng)
+            _, value, _ = evaluate_allocation(costs, x)
+            assert sol.value <= value + 1e-7
+
+
+class TestEdgeCases:
+    def test_single_worker(self):
+        sol = solve_min_max([AffineLatencyCost(2.0, 0.1)])
+        assert sol.allocation[0] == 1.0
+        assert sol.value == pytest.approx(2.1)
+
+    def test_no_costs(self):
+        with pytest.raises(SolverError):
+            solve_min_max([])
+
+    def test_identical_workers_get_equal_split(self):
+        costs = [AffineLatencyCost(2.0) for _ in range(4)]
+        sol = solve_min_max(costs)
+        assert np.allclose(sol.allocation, 0.25, atol=1e-6)
+
+
+class TestScipyCrossCheck:
+    """The self-written level-bisection solver must agree with an
+    independent SLSQP epigraph formulation on smooth instances."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_affine_instances_agree(self, seed):
+        from repro.minmax.scipy_solver import solve_min_max_scipy
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 8))
+        costs = [
+            AffineLatencyCost(slope=s, intercept=c)
+            for s, c in zip(rng.uniform(0.2, 5, n), rng.uniform(0, 0.3, n))
+        ]
+        ours = solve_min_max(costs)
+        theirs = solve_min_max_scipy(costs)
+        assert ours.value == pytest.approx(theirs.value, rel=1e-4, abs=1e-6)
+
+    def test_power_law_instance_agrees(self):
+        from repro.minmax.scipy_solver import solve_min_max_scipy
+
+        costs = [PowerLawCost(1.0, 2.0, 0.1), PowerLawCost(3.0, 1.5, 0.0)]
+        ours = solve_min_max(costs)
+        theirs = solve_min_max_scipy(costs)
+        assert ours.value == pytest.approx(theirs.value, rel=1e-4)
+
+    def test_single_worker(self):
+        from repro.minmax.scipy_solver import solve_min_max_scipy
+
+        sol = solve_min_max_scipy([AffineLatencyCost(2.0, 0.1)])
+        assert sol.value == pytest.approx(2.1)
+
+    def test_empty_rejected(self):
+        from repro.minmax.scipy_solver import solve_min_max_scipy
+        from repro.exceptions import SolverError
+
+        with pytest.raises(SolverError):
+            solve_min_max_scipy([])

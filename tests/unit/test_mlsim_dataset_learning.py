@@ -1,0 +1,117 @@
+"""Unit tests for the dataset bookkeeping and learning-curve models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mlsim.dataset import SyntheticDataset, largest_remainder_split
+from repro.mlsim.learning import LearningCurve
+from repro.mlsim.models import LENET5, RESNET18, VGG16
+
+
+class TestLargestRemainderSplit:
+    def test_exact_sum(self):
+        fractions = np.array([0.3, 0.3, 0.4])
+        counts = largest_remainder_split(fractions, 10)
+        assert counts.sum() == 10
+
+    def test_proportionality_within_one(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(2, 40))
+            fractions = rng.dirichlet(np.ones(n))
+            total = int(rng.integers(1, 2000))
+            counts = largest_remainder_split(fractions, total)
+            assert counts.sum() == total
+            assert (counts >= 0).all()
+            ideal = fractions / fractions.sum() * total
+            assert np.max(np.abs(counts - ideal)) < 1.0 + 1e-9
+
+    def test_unnormalized_fractions_ok(self):
+        counts = largest_remainder_split(np.array([2.0, 2.0]), 5)
+        assert counts.sum() == 5
+
+    def test_zero_fraction_gets_zero_or_remainder(self):
+        counts = largest_remainder_split(np.array([1.0, 0.0]), 7)
+        assert counts[1] == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(np.array([-0.5, 1.5]), 10)
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(np.array([0.0, 0.0]), 10)
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split(np.array([1.0]), -1)
+
+
+class TestSyntheticDataset:
+    def test_cifar10_defaults(self):
+        ds = SyntheticDataset()
+        assert ds.num_samples == 50_000
+        assert ds.num_classes == 10
+
+    def test_epoch_accounting(self):
+        ds = SyntheticDataset()
+        assert ds.epochs_after(25_000) == 0.5
+        assert ds.rounds_per_epoch(256) == pytest.approx(50_000 / 256)
+
+    def test_partition_sums_to_batch(self):
+        ds = SyntheticDataset()
+        counts = ds.partition(np.array([0.5, 0.3, 0.2]), 256)
+        assert counts.sum() == 256
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset(num_samples=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset().epochs_after(-1.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticDataset().rounds_per_epoch(0)
+
+
+class TestLearningCurve:
+    def test_starts_at_random_guessing(self):
+        curve = LearningCurve(RESNET18, noise_std=0.0)
+        assert curve.mean_accuracy(0.0) == pytest.approx(RESNET18.accuracy_init)
+
+    def test_monotone_mean_curve(self):
+        curve = LearningCurve(VGG16, noise_std=0.0)
+        epochs = np.linspace(0, 100, 300)
+        acc = curve.mean_accuracy(epochs)
+        assert (np.diff(acc) >= 0).all()
+
+    def test_approaches_plateau(self):
+        curve = LearningCurve(LENET5, noise_std=0.0)
+        assert curve.mean_accuracy(1000.0) == pytest.approx(
+            LENET5.accuracy_plateau, abs=1e-6
+        )
+
+    def test_epochs_to_accuracy_inverse(self):
+        curve = LearningCurve(RESNET18, noise_std=0.0)
+        epochs = curve.epochs_to_accuracy(0.95)
+        assert curve.mean_accuracy(epochs) == pytest.approx(0.95, abs=1e-9)
+
+    def test_all_models_reach_95_percent(self):
+        """Figs. 6-8 quote 95% training accuracy for all three models."""
+        for model in (LENET5, RESNET18, VGG16):
+            epochs = LearningCurve(model).epochs_to_accuracy(0.95)
+            assert 0 < epochs < 100  # within the paper's 100-epoch budget
+
+    def test_noise_is_bounded_and_seeded(self):
+        a = LearningCurve(RESNET18, noise_std=0.01, seed=3)
+        b = LearningCurve(RESNET18, noise_std=0.01, seed=3)
+        values_a = [a.accuracy(e) for e in range(50)]
+        values_b = [b.accuracy(e) for e in range(50)]
+        assert values_a == values_b
+        assert all(RESNET18.accuracy_init <= v <= 1.0 for v in values_a)
+
+    def test_unreachable_target_rejected(self):
+        curve = LearningCurve(RESNET18)
+        with pytest.raises(ConfigurationError):
+            curve.epochs_to_accuracy(1.0)
+        with pytest.raises(ConfigurationError):
+            curve.epochs_to_accuracy(0.01)
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LearningCurve(RESNET18).mean_accuracy(-1.0)

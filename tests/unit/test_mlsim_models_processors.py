@@ -1,0 +1,120 @@
+"""Unit tests for model profiles and the processor catalog."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mlsim.models import LENET5, MODEL_CATALOG, RESNET18, VGG16, ModelProfile, get_model
+from repro.mlsim.processors import (
+    BROADWELL,
+    CASCADE_LAKE,
+    PROCESSOR_CATALOG,
+    T4,
+    V100,
+    ProcessorSpec,
+    get_processor,
+    sample_fleet,
+)
+
+
+class TestModelProfiles:
+    def test_catalog_has_paper_models(self):
+        assert set(MODEL_CATALOG) == {"LeNet5", "ResNet18", "VGG16"}
+
+    def test_size_ordering(self):
+        assert LENET5.num_parameters < RESNET18.num_parameters < VGG16.num_parameters
+        assert LENET5.flops_per_sample < RESNET18.flops_per_sample < VGG16.flops_per_sample
+
+    def test_param_bytes_fp32(self):
+        assert RESNET18.param_bytes == 4.0 * RESNET18.num_parameters
+
+    def test_train_flops_heuristic(self):
+        assert VGG16.train_flops_per_sample == pytest.approx(3 * VGG16.flops_per_sample)
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("resnet18") is RESNET18
+        assert get_model("VGG16") is VGG16
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            get_model("AlexNet")
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelProfile("x", flops_per_sample=0, num_parameters=10,
+                         accuracy_plateau=0.9, accuracy_rate=0.1)
+        with pytest.raises(ConfigurationError):
+            ModelProfile("x", flops_per_sample=1e6, num_parameters=10,
+                         accuracy_plateau=0.05, accuracy_rate=0.1)
+
+
+class TestProcessorCatalog:
+    def test_five_paper_processors(self):
+        assert len(PROCESSOR_CATALOG) == 5
+        assert "Tesla V100" in PROCESSOR_CATALOG
+        assert "E5-2683 v4" in PROCESSOR_CATALOG
+
+    def test_throughput_positive_for_all_pairs(self):
+        for spec in PROCESSOR_CATALOG.values():
+            for model in MODEL_CATALOG.values():
+                assert spec.throughput(model) > 0
+
+    def test_gpu_advantage_grows_with_model_size(self):
+        """The heterogeneity property behind the paper's Fig. 6-8 trend."""
+        ratios = [
+            V100.throughput(m) / BROADWELL.throughput(m)
+            for m in (LENET5, RESNET18, VGG16)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_broadwell_is_slow_tier_on_big_models(self):
+        for model in (RESNET18, VGG16):
+            slowest = min(
+                PROCESSOR_CATALOG.values(), key=lambda s: s.throughput(model)
+            )
+            assert slowest.name == "E5-2683 v4"
+
+    def test_v100_fastest_on_every_model(self):
+        for model in MODEL_CATALOG.values():
+            fastest = max(
+                PROCESSOR_CATALOG.values(), key=lambda s: s.throughput(model)
+            )
+            assert fastest.name == "Tesla V100"
+
+    def test_max_throughput_ceiling_binds_on_tiny_model(self):
+        assert CASCADE_LAKE.throughput(LENET5) == CASCADE_LAKE.max_throughput
+
+    def test_lookup(self):
+        assert get_processor("Tesla T4") is T4
+        with pytest.raises(ConfigurationError):
+            get_processor("TPUv4")
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorSpec("x", sustained_flops=0, small_model_efficiency=0.5, nic_bps=1e9)
+        with pytest.raises(ConfigurationError):
+            ProcessorSpec("x", sustained_flops=1e12, small_model_efficiency=1.5, nic_bps=1e9)
+
+
+class TestSampleFleet:
+    def test_size_and_membership(self):
+        fleet = sample_fleet(30, np.random.default_rng(0))
+        assert len(fleet) == 30
+        assert all(spec.name in PROCESSOR_CATALOG for spec in fleet)
+
+    def test_uniform_ish_distribution(self):
+        fleet = sample_fleet(5000, np.random.default_rng(1))
+        counts = {name: 0 for name in PROCESSOR_CATALOG}
+        for spec in fleet:
+            counts[spec.name] += 1
+        for count in counts.values():
+            assert 800 < count < 1200  # 1000 +- 20%
+
+    def test_reproducible(self):
+        a = sample_fleet(10, np.random.default_rng(3))
+        b = sample_fleet(10, np.random.default_rng(3))
+        assert [s.name for s in a] == [s.name for s in b]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            sample_fleet(0, np.random.default_rng(0))

@@ -1,0 +1,124 @@
+"""Unit tests for fluctuation traces, comm env, and the training env."""
+
+import numpy as np
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.exceptions import ConfigurationError
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.netenv import CommEnvironment
+from repro.mlsim.processors import BROADWELL, V100
+from repro.mlsim.models import RESNET18
+from repro.mlsim.traces import FluctuationTrace
+
+
+class TestFluctuationTrace:
+    def test_replayable(self):
+        trace = FluctuationTrace(seed=4)
+        values = [trace.at(t) for t in range(1, 50)]
+        again = [trace.at(t) for t in range(1, 50)]
+        assert values == again
+
+    def test_out_of_order_access(self):
+        trace = FluctuationTrace(seed=4)
+        late = trace.at(30)
+        early = trace.at(5)
+        assert trace.at(30) == late and trace.at(5) == early
+
+    def test_positive_and_floored(self):
+        trace = FluctuationTrace(sigma=1.0, spike_probability=0.5,
+                                 spike_slowdown=(0.3, 0.4), floor=0.05, seed=0)
+        values = [trace.at(t) for t in range(1, 500)]
+        assert min(values) >= 0.05
+
+    def test_zero_volatility_no_spikes_is_flat(self):
+        trace = FluctuationTrace(sigma=0.0, spike_probability=0.0, seed=0)
+        assert {round(trace.at(t), 12) for t in range(1, 20)} == {1.0}
+
+    def test_mean_reversion(self):
+        trace = FluctuationTrace(rho=0.9, sigma=0.1, spike_probability=0.0, seed=1)
+        values = np.array([trace.at(t) for t in range(1, 3000)])
+        assert abs(np.log(values).mean()) < 0.1
+
+    def test_spikes_slow_things_down(self):
+        calm = FluctuationTrace(sigma=0.0, spike_probability=0.0, seed=2)
+        spiky = FluctuationTrace(sigma=0.0, spike_probability=0.3,
+                                 spike_slowdown=(0.2, 0.4), seed=2)
+        calm_mean = np.mean([calm.at(t) for t in range(1, 300)])
+        spiky_mean = np.mean([spiky.at(t) for t in range(1, 300)])
+        assert spiky_mean < calm_mean
+
+    def test_rounds_one_based(self):
+        with pytest.raises(ConfigurationError):
+            FluctuationTrace().at(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FluctuationTrace(rho=1.0)
+        with pytest.raises(ConfigurationError):
+            FluctuationTrace(spike_slowdown=(0.0, 0.5))
+        with pytest.raises(ConfigurationError):
+            FluctuationTrace(floor=1.5)
+
+
+class TestCommEnvironment:
+    def test_comm_time_formula(self):
+        env = CommEnvironment([V100], RESNET18, payload_scale=0.01,
+                              base_latency=0.002, rate_volatility=0.0, seed=0)
+        expected = 8 * RESNET18.param_bytes * 0.01 / V100.nic_bps + 0.002
+        assert env.comm_time(0, 1) == pytest.approx(expected, rel=1e-6)
+
+    def test_slow_nic_pays_more(self):
+        env = CommEnvironment([V100, BROADWELL], RESNET18, rate_volatility=0.0, seed=0)
+        assert env.comm_time(1, 1) > env.comm_time(0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommEnvironment([], RESNET18)
+        with pytest.raises(ConfigurationError):
+            CommEnvironment([V100], RESNET18, payload_scale=0.0)
+
+
+class TestTrainingEnvironment:
+    def test_costs_are_affine_latency(self):
+        env = TrainingEnvironment("ResNet18", num_workers=6, seed=0)
+        costs = env.costs_at(1)
+        assert len(costs) == 6
+        assert all(isinstance(c, AffineLatencyCost) for c in costs)
+
+    def test_cost_matches_speed_and_comm(self):
+        env = TrainingEnvironment("ResNet18", num_workers=4, global_batch=128, seed=1)
+        cost = env.costs_at(3)[2]
+        assert cost.slope == pytest.approx(128.0 / env.speed_at(2, 3))
+        assert cost.intercept == pytest.approx(env.comm_at(2, 3))
+
+    def test_deterministic_per_seed(self):
+        a = TrainingEnvironment("VGG16", num_workers=5, seed=9)
+        b = TrainingEnvironment("VGG16", num_workers=5, seed=9)
+        assert a.processor_names() == b.processor_names()
+        assert a.costs_at(7)[0](0.5) == b.costs_at(7)[0](0.5)
+
+    def test_different_seeds_differ(self):
+        a = TrainingEnvironment("VGG16", num_workers=30, seed=1)
+        b = TrainingEnvironment("VGG16", num_workers=30, seed=2)
+        assert (
+            a.processor_names() != b.processor_names()
+            or a.costs_at(1)[0](0.5) != b.costs_at(1)[0](0.5)
+        )
+
+    def test_explicit_fleet(self):
+        env = TrainingEnvironment("LeNet5", num_workers=2, fleet=[V100, BROADWELL], seed=0)
+        assert env.processor_names() == ["Tesla V100", "E5-2683 v4"]
+
+    def test_fleet_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TrainingEnvironment("LeNet5", num_workers=3, fleet=[V100], seed=0)
+
+    def test_model_by_string_or_profile(self):
+        by_name = TrainingEnvironment("ResNet18", num_workers=3, seed=0)
+        by_profile = TrainingEnvironment(RESNET18, num_workers=3, seed=0)
+        assert by_name.model is by_profile.model
+
+    def test_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            TrainingEnvironment("ResNet18", num_workers=3, global_batch=0, seed=0)

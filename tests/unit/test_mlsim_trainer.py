@@ -1,0 +1,108 @@
+"""Unit tests for the synchronous training simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.equal import EqualAssignment
+from repro.core.dolbie import Dolbie
+from repro.exceptions import ConfigurationError
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.trainer import SyncTrainer
+
+
+@pytest.fixture()
+def trainer():
+    env = TrainingEnvironment("ResNet18", num_workers=6, global_batch=256, seed=0)
+    return SyncTrainer(env)
+
+
+class TestTrainingRun:
+    def test_shapes(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=20)
+        assert run.batch_fractions.shape == (20, 6)
+        assert run.batch_sizes.shape == (20, 6)
+        assert run.compute_time.shape == (20, 6)
+        assert run.round_latency.shape == (20,)
+        assert run.wall_clock.shape == (20,)
+        assert run.accuracy.shape == (20,)
+
+    def test_batch_sizes_sum_to_global_batch(self, trainer):
+        run = trainer.train(Dolbie(6, alpha_1=0.01), rounds=30)
+        assert (run.batch_sizes.sum(axis=1) == 256).all()
+
+    def test_local_latency_is_compute_plus_comm(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        assert np.allclose(run.local_latency, run.compute_time + run.comm_time)
+
+    def test_round_latency_is_max(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        assert np.allclose(run.round_latency, run.local_latency.max(axis=1))
+
+    def test_waiting_time_is_barrier_gap(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        assert np.allclose(
+            run.waiting_time, run.round_latency[:, None] - run.local_latency
+        )
+        assert (run.waiting_time >= -1e-12).all()
+
+    def test_wall_clock_monotone_and_includes_overhead(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=15)
+        assert (np.diff(run.wall_clock) > 0).all()
+        assert run.wall_clock[-1] >= run.round_latency.sum()
+
+    def test_wall_clock_without_overhead(self):
+        env = TrainingEnvironment("ResNet18", num_workers=4, seed=0)
+        trainer = SyncTrainer(env, include_overhead_in_wallclock=False)
+        run = trainer.train(EqualAssignment(4), rounds=5)
+        assert run.wall_clock[-1] == pytest.approx(run.round_latency.sum())
+
+    def test_epochs_accounting(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        assert run.epochs[-1] == pytest.approx(10 * 256 / 50_000)
+
+    def test_accuracy_increases_over_training(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=400)
+        assert run.accuracy[-1] > run.accuracy[0]
+
+    def test_time_to_accuracy(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=200)
+        target = float(run.accuracy[100])
+        t = run.time_to_accuracy(target)
+        assert 0 < t <= run.wall_clock[100] + 1e-9
+
+    def test_time_to_unreached_accuracy_is_inf(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=5)
+        assert run.time_to_accuracy(0.999) == float("inf")
+
+    def test_utilization_breakdown_keys(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        breakdown = run.utilization_breakdown()
+        assert set(breakdown) == {"computation", "communication", "waiting"}
+        assert all(v >= 0 for v in breakdown.values())
+
+    def test_mean_utilization_in_unit_interval(self, trainer):
+        run = trainer.train(EqualAssignment(6), rounds=10)
+        assert 0.0 < run.mean_utilization() <= 1.0
+
+
+class TestIntegerBatches:
+    def test_integer_mode_quantizes_latency(self):
+        env = TrainingEnvironment("ResNet18", num_workers=3, global_batch=10, seed=0)
+        trainer = SyncTrainer(env, integer_batches=True)
+        run = trainer.train(EqualAssignment(3), rounds=5)
+        # 10 samples over 3 workers: two get 3, one gets 4 -> latencies use
+        # the quantized counts, not the continuous 10/3.
+        expected = run.batch_sizes[0] / 10.0 * 10.0 / np.array(
+            [env.speed_at(i, 1) for i in range(3)]
+        ) + np.array([env.comm_at(i, 1) for i in range(3)])
+        assert np.allclose(run.local_latency[0], expected)
+
+
+class TestValidation:
+    def test_rounds_positive(self, trainer):
+        with pytest.raises(ConfigurationError):
+            trainer.train(EqualAssignment(6), rounds=0)
+
+    def test_worker_count_must_match(self, trainer):
+        with pytest.raises(ConfigurationError):
+            trainer.train(EqualAssignment(5), rounds=5)

@@ -1,0 +1,248 @@
+"""Unit tests for the Algorithm 1 / Algorithm 2 protocol implementations."""
+
+import numpy as np
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import StaticCostProcess
+from repro.exceptions import ConfigurationError
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+from repro.simplex.sampling import is_feasible
+
+
+def _costs():
+    return [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(6.0)]
+
+
+class TestMasterWorkerSingleRound:
+    def test_hand_computed_round(self):
+        protocol = MasterWorkerDolbie(3, alpha_1=0.1)
+        x_played, local, global_cost, straggler = protocol.run_round(1, _costs())
+        assert np.allclose(x_played, 1.0 / 3.0)
+        assert np.allclose(local, [1.0 / 3.0, 2.0 / 3.0, 2.0])
+        assert global_cost == pytest.approx(2.0)
+        assert straggler == 2
+        # x'_0 = x'_1 = 1 (clamped); non-stragglers move 0.1 of the gap.
+        x = protocol.allocation
+        assert x[0] == pytest.approx(1.0 / 3.0 + 0.1 * (2.0 / 3.0))
+        assert x[2] == pytest.approx(1.0 - 2.0 * x[0])
+
+    def test_alpha_updated_by_master(self):
+        protocol = MasterWorkerDolbie(3, alpha_1=0.1)
+        protocol.run_round(1, _costs())
+        x_s = protocol.allocation[2]
+        assert protocol.alpha == pytest.approx(min(0.1, x_s / (1.0 + x_s)))
+
+    def test_message_count_is_3n(self):
+        protocol = MasterWorkerDolbie(5)
+        protocol.run_round(1, [AffineLatencyCost(float(i + 1)) for i in range(5)])
+        assert protocol.metrics.messages_total == 15
+
+    def test_cost_count_validated(self):
+        protocol = MasterWorkerDolbie(3)
+        with pytest.raises(ConfigurationError):
+            protocol.run_round(1, _costs()[:2])
+
+    def test_needs_two_workers(self):
+        with pytest.raises(ConfigurationError):
+            MasterWorkerDolbie(1)
+
+    def test_feasible_over_many_rounds(self):
+        protocol = MasterWorkerDolbie(3, alpha_1=0.1)
+        result = protocol.run(StaticCostProcess(_costs()), 50)
+        for t in range(50):
+            assert is_feasible(result.allocations[t], atol=1e-9)
+
+
+class TestFullyDistributedSingleRound:
+    def test_matches_master_worker(self):
+        mw = MasterWorkerDolbie(3, alpha_1=0.1)
+        fd = FullyDistributedDolbie(3, alpha_1=0.1)
+        for t in range(1, 6):
+            mw.run_round(t, _costs())
+            fd.run_round(t, _costs())
+            assert np.allclose(mw.allocation, fd.allocation, atol=1e-12)
+
+    def test_message_count_is_n_squared_minus_one(self):
+        protocol = FullyDistributedDolbie(5)
+        protocol.run_round(1, [AffineLatencyCost(float(i + 1)) for i in range(5)])
+        assert protocol.metrics.messages_total == 24
+
+    def test_consensus_step_size_is_min(self):
+        protocol = FullyDistributedDolbie(3, alpha_1=0.2)
+        protocol.run_round(1, _costs())
+        # Only the straggler lowered its local alpha-bar; consensus = min.
+        alphas = [p.alpha_bar for p in protocol.peers]
+        assert protocol.alpha == min(alphas)
+        assert alphas[0] == alphas[1] == 0.2  # non-stragglers unchanged
+
+    def test_all_peers_agree_on_straggler(self):
+        protocol = FullyDistributedDolbie(4)
+        costs = [AffineLatencyCost(s) for s in (1.0, 5.0, 2.0, 3.0)]
+        _, _, _, straggler = protocol.run_round(1, costs)
+        assert straggler == 1
+        assert all(p.straggler_id == 1 for p in protocol.peers)
+
+    def test_non_stragglers_do_not_learn_others_decisions(self):
+        """§IV-B2 privacy: only the straggler receives decision messages."""
+        protocol = FullyDistributedDolbie(4)
+        costs = [AffineLatencyCost(s) for s in (1.0, 5.0, 2.0, 3.0)]
+        protocol.run_round(1, costs)
+        for peer in protocol.peers:
+            if peer.node_id != 1:
+                assert peer._peer_decisions == {}
+
+    def test_straggler_workload_non_negative(self):
+        protocol = FullyDistributedDolbie(3, alpha_1=0.1)
+        result = protocol.run(StaticCostProcess(_costs()), 50)
+        assert (result.allocations >= -1e-12).all()
+
+
+class TestEmbeddedMaster:
+    """§IV-B1: 'an elected worker acts also as the master'."""
+
+    def test_matches_external_controller_numerically(self):
+        external = MasterWorkerDolbie(3, alpha_1=0.1)
+        embedded = MasterWorkerDolbie(3, alpha_1=0.1, embedded_master=True)
+        for t in range(1, 8):
+            external.run_round(t, _costs())
+            embedded.run_round(t, _costs())
+            assert np.allclose(external.allocation, embedded.allocation, atol=1e-12)
+
+    def test_wire_message_count_drops_to_3n_minus_3(self):
+        n = 6
+        embedded = MasterWorkerDolbie(n, embedded_master=True)
+        embedded.run_round(1, [AffineLatencyCost(float(i + 1)) for i in range(n)])
+        # Worker 0's cost report, coord, and decision stay in-process.
+        assert embedded.metrics.messages_total == 3 * (n - 1)
+
+    def test_straggler_on_master_node_saves_the_assignment_message(self):
+        n = 3
+        embedded = MasterWorkerDolbie(n, embedded_master=True)
+        # Worker 0 is the straggler: its assign message is also local.
+        costs = [AffineLatencyCost(9.0), AffineLatencyCost(1.0), AffineLatencyCost(1.0)]
+        embedded.run_round(1, costs)
+        # cost: 2 remote; coord: 2 remote; decisions: 2 remote; assign: 0.
+        assert embedded.metrics.messages_total == 6
+
+
+class TestCrashTolerance:
+    """Extension: the master's failure detector (see _Master docstring)."""
+
+    def _run_until(self, protocol, process, start, stop):
+        for t in range(start, stop):
+            protocol.run_round(t, process.costs_at(t))
+
+    def test_crashed_worker_declared_dead_and_share_folded(self):
+        from repro.costs.timevarying import RandomAffineProcess
+
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.1, seed=0)
+        protocol = MasterWorkerDolbie(5, alpha_1=0.02)
+        self._run_until(protocol, process, 1, 6)
+        protocol.crash_worker(2)
+        protocol.run_round(6, process.costs_at(6))
+        assert protocol.master.declared_dead == {2: 6}
+        assert protocol.allocation[2] == 0.0
+        assert protocol.allocation.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_rebalancing_continues_after_crash(self):
+        from repro.costs.timevarying import RandomAffineProcess
+
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.1, seed=0)
+        protocol = MasterWorkerDolbie(5, alpha_1=0.02)
+        self._run_until(protocol, process, 1, 6)
+        protocol.crash_worker(2)
+        protocol.run_round(6, process.costs_at(6))
+        absorber = protocol.master.straggler  # took the orphaned share
+        absorbed_share = protocol.allocation[absorber]
+        self._run_until(protocol, process, 7, 30)
+        # The absorber (the slow straggler) sheds the orphaned share again.
+        assert protocol.allocation[absorber] < absorbed_share
+        assert protocol.allocation.sum() == pytest.approx(1.0, abs=1e-9)
+        assert protocol.allocation[2] == 0.0
+
+    def test_dead_worker_reports_nan_cost(self):
+        from repro.costs.timevarying import RandomAffineProcess
+
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=1)
+        protocol = MasterWorkerDolbie(3, alpha_1=0.05)
+        protocol.crash_worker(1)
+        _, local, _, _ = protocol.run_round(1, process.costs_at(1))
+        assert np.isnan(local[1])
+        assert not np.isnan(local[0])
+
+    def test_too_many_failures_raises(self):
+        from repro.costs.timevarying import RandomAffineProcess
+        from repro.exceptions import ProtocolError
+
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=1)
+        protocol = MasterWorkerDolbie(3, alpha_1=0.05)
+        protocol.crash_worker(0)
+        protocol.crash_worker(1)
+        with pytest.raises(ProtocolError):
+            protocol.run_round(1, process.costs_at(1))
+
+    def test_crash_validation(self):
+        from repro.exceptions import ConfigurationError
+
+        protocol = MasterWorkerDolbie(3)
+        with pytest.raises(ConfigurationError):
+            protocol.crash_worker(7)
+
+
+class TestFullyDistributedCrashTolerance:
+    """Extension: peer-side failure detectors (no single point of failure)."""
+
+    def test_survivors_drop_the_dead_peer_consistently(self):
+        from repro.costs.timevarying import RandomAffineProcess
+
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.1, seed=0)
+        protocol = FullyDistributedDolbie(5, alpha_1=0.02)
+        for t in range(1, 6):
+            protocol.run_round(t, process.costs_at(t))
+        protocol.crash_worker(2)
+        protocol.run_round(6, process.costs_at(6))
+        rosters = {
+            tuple(sorted(p.roster))
+            for p in protocol.peers
+            if protocol._alive[p.node_id]
+        }
+        assert rosters == {(0, 1, 3, 4)}
+        assert protocol.allocation[2] == 0.0
+        assert protocol.allocation.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_master_worker_crash_handling(self):
+        """Both architectures must fold the orphaned share identically."""
+        from repro.costs.timevarying import RandomAffineProcess
+
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.1, seed=0)
+        mw = MasterWorkerDolbie(5, alpha_1=0.02)
+        fd = FullyDistributedDolbie(5, alpha_1=0.02)
+        for t in range(1, 6):
+            mw.run_round(t, process.costs_at(t))
+            fd.run_round(t, process.costs_at(t))
+        mw.crash_worker(2)
+        fd.crash_worker(2)
+        for t in range(6, 12):
+            mw.run_round(t, process.costs_at(t))
+            fd.run_round(t, process.costs_at(t))
+        assert np.allclose(mw.allocation, fd.allocation, atol=1e-11)
+
+    def test_crash_with_topology_rejected(self):
+        from repro.net.topology import Topology
+
+        protocol = FullyDistributedDolbie(4, topology=Topology.ring(4))
+        with pytest.raises(ConfigurationError):
+            protocol.crash_worker(1)
+
+    def test_too_many_failures_raises(self):
+        from repro.costs.timevarying import RandomAffineProcess
+        from repro.exceptions import ProtocolError
+
+        process = RandomAffineProcess([1, 2, 4], sigma=0.1, seed=1)
+        protocol = FullyDistributedDolbie(3, alpha_1=0.05)
+        protocol.crash_worker(0)
+        protocol.crash_worker(1)
+        with pytest.raises(ProtocolError):
+            protocol.run_round(1, process.costs_at(1))

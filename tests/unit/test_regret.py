@@ -1,0 +1,114 @@
+"""Unit tests for the dynamic-regret machinery (§V)."""
+
+import numpy as np
+import pytest
+
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.base import CallableCost
+from repro.costs.timevarying import StaticCostProcess
+from repro.exceptions import ConfigurationError
+from repro.regret.bounds import lipschitz_over_rounds, theorem1_bound
+from repro.regret.dynamic import (
+    compute_comparators,
+    dynamic_regret,
+    path_length,
+)
+
+
+class TestPathLength:
+    def test_static_comparators_zero(self):
+        arr = np.tile(np.array([0.5, 0.5]), (10, 1))
+        assert path_length(arr) == 0.0
+
+    def test_known_value(self):
+        arr = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert path_length(arr) == pytest.approx(2 * np.sqrt(2.0))
+
+    def test_single_round(self):
+        assert path_length(np.array([[0.5, 0.5]])) == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            path_length(np.array([0.5, 0.5]))
+
+
+class TestDynamicRegret:
+    def test_zero_for_optimal_play(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert dynamic_regret(values, values) == 0.0
+
+    def test_positive_gap(self):
+        assert dynamic_regret(np.array([2.0, 2.0]), np.array([1.0, 1.5])) == 1.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dynamic_regret(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestComputeComparators:
+    def test_static_process(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(3.0)]
+        trajectory = compute_comparators(StaticCostProcess(costs).horizon_costs(5))
+        assert trajectory.values == pytest.approx([0.75] * 5, abs=1e-6)
+        assert trajectory.path_length == pytest.approx(0.0, abs=1e-6)
+
+    def test_shapes(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0)]
+        trajectory = compute_comparators([costs, costs, costs])
+        assert trajectory.allocations.shape == (3, 2)
+        assert trajectory.values.shape == (3,)
+
+
+class TestLipschitz:
+    def test_exact_for_affine(self):
+        rounds = [[AffineLatencyCost(2.0), AffineLatencyCost(5.0)]]
+        assert lipschitz_over_rounds(rounds) == 5.0
+
+    def test_estimate_for_generic(self):
+        rounds = [[CallableCost(lambda x: x**2)]]
+        assert lipschitz_over_rounds(rounds, samples=2000) == pytest.approx(2.0, rel=0.01)
+
+    def test_max_over_rounds(self):
+        rounds = [
+            [AffineLatencyCost(1.0)],
+            [AffineLatencyCost(9.0)],
+        ]
+        assert lipschitz_over_rounds(rounds) == 9.0
+
+
+class TestTheorem1Bound:
+    def test_formula(self):
+        # T=4, L=1, alpha constant 0.5, P_T=0, N=2:
+        # sum_t ((N-1)/2 + N*alpha)/2 = 4 * (0.5 + 1.0)/2 = 3
+        # bound = sqrt(4 * (1/0.5 + 0 + 3)) = sqrt(20)
+        bound = theorem1_bound(4, 1.0, [0.5] * 4, 0.0, 2)
+        assert bound == pytest.approx(np.sqrt(20.0))
+
+    def test_grows_with_path_length(self):
+        a = theorem1_bound(10, 1.0, [0.1] * 10, 0.0, 3)
+        b = theorem1_bound(10, 1.0, [0.1] * 10, 5.0, 3)
+        assert b > a
+
+    def test_degenerate_zero_alpha_is_infinite(self):
+        assert theorem1_bound(3, 1.0, [0.1, 0.1, 0.0], 0.0, 3) == float("inf")
+
+    def test_sublinear_in_workers(self):
+        """The paper's claim: the bound grows sublinearly in N."""
+        bounds = [
+            theorem1_bound(100, 1.0, [0.01] * 100, 1.0, n) for n in (10, 40, 160)
+        ]
+        # Quadrupling N should far less than quadruple the bound.
+        assert bounds[1] / bounds[0] < 3.0
+        assert bounds[2] / bounds[1] < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            theorem1_bound(0, 1.0, [], 0.0, 2)
+        with pytest.raises(ConfigurationError):
+            theorem1_bound(2, -1.0, [0.1, 0.1], 0.0, 2)
+        with pytest.raises(ConfigurationError):
+            theorem1_bound(2, 1.0, [0.1], 0.0, 2)  # too few alphas
+        with pytest.raises(ConfigurationError):
+            theorem1_bound(2, 1.0, [0.1, 1.5], 0.0, 2)
+        with pytest.raises(ConfigurationError):
+            theorem1_bound(2, 1.0, [0.1, 0.1], -1.0, 2)

@@ -1,0 +1,85 @@
+"""Unit tests for the adaptive-restart extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.core.restart import RestartDolbie
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import SwitchingProcess
+from repro.exceptions import ConfigurationError
+from repro.simplex.sampling import is_feasible
+
+
+def _regime_process(switch_every=40):
+    # Regime A: worker 2 slow; regime B: worker 0 slow — an abrupt swap.
+    a = [AffineLatencyCost(1.0), AffineLatencyCost(1.0), AffineLatencyCost(8.0)]
+    b = [AffineLatencyCost(8.0), AffineLatencyCost(1.0), AffineLatencyCost(1.0)]
+    return SwitchingProcess(a, b, switch_every=switch_every)
+
+
+class TestRestartBehaviour:
+    def test_restart_fires_on_regime_change(self):
+        balancer = RestartDolbie(3, restart_threshold=1.5, patience=2)
+        run_online(balancer, _regime_process(), 120)
+        assert len(balancer.restart_rounds) >= 1
+        # The first restart happens shortly after the first switch.
+        assert 40 <= balancer.restart_rounds[0] <= 60
+
+    def test_no_restart_on_static_environment(self):
+        from repro.costs.timevarying import StaticCostProcess
+
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(2.0), AffineLatencyCost(4.0)]
+        balancer = RestartDolbie(3)
+        run_online(balancer, StaticCostProcess(costs), 150)
+        assert balancer.restart_rounds == []
+
+    def test_restart_raises_alpha(self):
+        balancer = RestartDolbie(3, restart_threshold=1.5, patience=2)
+        process = _regime_process()
+        pre_alpha = None
+        for t in range(1, 121):
+            from repro.core.interface import make_feedback
+
+            feedback = make_feedback(t, balancer.decide(), process.costs_at(t))
+            if t == 40:
+                pre_alpha = balancer.alpha
+            balancer.update(feedback)
+            if balancer.restart_rounds and balancer.restart_rounds[0] == t:
+                assert balancer.alpha > pre_alpha
+                break
+        else:
+            pytest.fail("restart never fired")
+
+    def test_beats_plain_dolbie_under_regime_switching(self):
+        process = _regime_process(switch_every=50)
+        plain = run_online(Dolbie(3), process, 300)
+        restarted = run_online(RestartDolbie(3), process, 300)
+        assert restarted.total_cost < plain.total_cost
+
+    def test_stays_feasible(self):
+        process = _regime_process(switch_every=25)
+        balancer = RestartDolbie(3, restart_threshold=1.3, patience=1, cooldown=5)
+        result = run_online(balancer, process, 200)
+        for t in range(200):
+            assert is_feasible(result.allocations[t], atol=1e-8)
+
+    def test_cooldown_limits_restart_rate(self):
+        process = _regime_process(switch_every=10)
+        balancer = RestartDolbie(3, restart_threshold=1.2, patience=1, cooldown=15)
+        run_online(balancer, process, 200)
+        rounds = balancer.restart_rounds
+        assert all(b - a > 15 for a, b in zip(rounds, rounds[1:]))
+
+
+class TestValidation:
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            RestartDolbie(3, restart_threshold=1.0)
+
+    def test_patience_and_cooldown(self):
+        with pytest.raises(ConfigurationError):
+            RestartDolbie(3, patience=0)
+        with pytest.raises(ConfigurationError):
+            RestartDolbie(3, cooldown=-1)

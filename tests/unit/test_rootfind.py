@@ -1,0 +1,96 @@
+"""Unit tests for the root-finding substrate."""
+
+import math
+
+import pytest
+
+from repro.exceptions import RootFindingError
+from repro.rootfind.bisection import bisect_increasing, expand_bracket
+from repro.rootfind.hansen_patrick import hansen_patrick, numeric_derivatives
+
+
+class TestBisection:
+    def test_linear_root(self):
+        res = bisect_increasing(lambda x: x - 0.3, 0.0, 1.0)
+        assert res.root == pytest.approx(0.3, abs=1e-10)
+
+    def test_one_sided_result(self):
+        """The root is the sup of the sublevel set: func(root) <= 0."""
+        res = bisect_increasing(lambda x: x**3 - 0.1, 0.0, 1.0)
+        assert res.root**3 - 0.1 <= 1e-12
+
+    def test_whole_interval_feasible(self):
+        res = bisect_increasing(lambda x: x - 5.0, 0.0, 1.0)
+        assert res.root == 1.0
+        assert res.iterations == 0
+
+    def test_empty_sublevel_raises(self):
+        with pytest.raises(RootFindingError):
+            bisect_increasing(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_inverted_interval_raises(self):
+        with pytest.raises(RootFindingError):
+            bisect_increasing(lambda x: x, 1.0, 0.0)
+
+    def test_step_function(self):
+        res = bisect_increasing(lambda x: -1.0 if x < 0.7 else 1.0, 0.0, 1.0)
+        assert res.root == pytest.approx(0.7, abs=1e-9)
+
+    def test_iteration_count_bounded(self):
+        res = bisect_increasing(lambda x: x - 0.5, 0.0, 1.0, xtol=1e-12)
+        assert res.iterations <= 50
+
+
+class TestExpandBracket:
+    def test_expands_until_sign_change(self):
+        lo, hi = expand_bracket(lambda x: x - 100.0, 0.0, 1.0)
+        assert lo < 100.0 <= hi
+
+    def test_already_bracketed(self):
+        lo, hi = expand_bracket(lambda x: x - 0.5, 0.0, 1.0)
+        assert (lo, hi) == (0.0, 1.0)
+
+    def test_rejects_positive_lo(self):
+        with pytest.raises(RootFindingError):
+            expand_bracket(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_gives_up_eventually(self):
+        with pytest.raises(RootFindingError):
+            expand_bracket(lambda x: -1.0, 0.0, 1.0, max_expansions=5)
+
+
+class TestHansenPatrick:
+    @pytest.mark.parametrize("a", [0.0, -0.5, 1.0, 5.0])
+    def test_family_members_converge(self, a):
+        res = hansen_patrick(lambda x: x**2 - 0.49, 0.0, 1.0, a=a)
+        assert res.root == pytest.approx(0.7, abs=1e-8)
+
+    def test_exact_endpoint_roots(self):
+        assert hansen_patrick(lambda x: x, 0.0, 1.0).root == 0.0
+        assert hansen_patrick(lambda x: x - 1.0, 0.0, 1.0).root == 1.0
+
+    def test_unbracketed_raises(self):
+        with pytest.raises(RootFindingError):
+            hansen_patrick(lambda x: x + 1.0, 0.0, 1.0)
+
+    def test_with_analytic_derivatives(self):
+        res = hansen_patrick(
+            lambda x: math.exp(x) - 2.0,
+            0.0,
+            1.0,
+            deriv=lambda x: (math.exp(x), math.exp(x)),
+        )
+        assert res.root == pytest.approx(math.log(2.0), abs=1e-9)
+
+    def test_faster_than_bisection_on_smooth_function(self):
+        func = lambda x: x**3 - 0.2  # noqa: E731
+        hp = hansen_patrick(func, 0.0, 1.0, xtol=1e-12)
+        bi = bisect_increasing(func, 0.0, 1.0, xtol=1e-12)
+        assert hp.iterations < bi.iterations
+
+
+class TestNumericDerivatives:
+    def test_polynomial(self):
+        d1, d2 = numeric_derivatives(lambda x: x**2, 0.5)
+        assert d1 == pytest.approx(1.0, abs=1e-5)
+        assert d2 == pytest.approx(2.0, abs=1e-3)

@@ -1,0 +1,138 @@
+"""Unit tests for simplex projection and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeasibilityError
+from repro.simplex.projection import (
+    project_simplex,
+    project_simplex_michelot,
+    project_simplex_sort,
+    simplex_threshold,
+)
+from repro.simplex.sampling import (
+    clip_to_simplex,
+    dirichlet_simplex,
+    equal_split,
+    is_feasible,
+    uniform_simplex,
+)
+
+
+class TestProjectionCorrectness:
+    def test_already_feasible_is_fixed_point(self):
+        x = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_simplex_sort(x), x)
+        assert np.allclose(project_simplex_michelot(x), x)
+
+    def test_known_projection(self):
+        # Projection of (1, 0.5) onto the 1-simplex: shift by tau=0.25.
+        v = np.array([1.0, 0.5])
+        expected = np.array([0.75, 0.25])
+        assert np.allclose(project_simplex_sort(v), expected)
+
+    def test_negative_coordinates_clipped(self):
+        v = np.array([2.0, -5.0, -5.0])
+        p = project_simplex_sort(v)
+        assert np.allclose(p, [1.0, 0.0, 0.0])
+
+    def test_methods_agree_on_random_inputs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            v = rng.normal(size=rng.integers(1, 20)) * 10
+            assert np.allclose(
+                project_simplex_sort(v), project_simplex_michelot(v), atol=1e-10
+            )
+
+    def test_kkt_threshold(self):
+        rng = np.random.default_rng(1)
+        v = rng.normal(size=10)
+        tau = simplex_threshold(v)
+        p = np.maximum(v - tau, 0.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_custom_radius(self):
+        v = np.array([3.0, 1.0])
+        p = project_simplex_sort(v, radius=2.0)
+        assert p.sum() == pytest.approx(2.0)
+
+    def test_optimality_vs_random_feasible_points(self):
+        """The projection must be the closest feasible point."""
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=6)
+        p = project_simplex_sort(v)
+        for _ in range(200):
+            q = uniform_simplex(6, rng)
+            assert np.linalg.norm(v - p) <= np.linalg.norm(v - q) + 1e-12
+
+
+class TestProjectionValidation:
+    def test_rejects_matrix(self):
+        with pytest.raises(FeasibilityError):
+            project_simplex_sort(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(FeasibilityError):
+            project_simplex_sort(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(FeasibilityError):
+            project_simplex_sort(np.array([1.0, float("nan")]))
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(FeasibilityError):
+            project_simplex_sort(np.array([1.0]), radius=0.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            project_simplex(np.array([1.0]), method="gradient")
+
+
+class TestSampling:
+    def test_uniform_simplex_feasible(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 10, 100):
+            assert is_feasible(uniform_simplex(n, rng))
+
+    def test_dirichlet_feasible(self):
+        rng = np.random.default_rng(0)
+        assert is_feasible(dirichlet_simplex(8, rng, concentration=0.3))
+
+    def test_dirichlet_rejects_bad_concentration(self):
+        with pytest.raises(FeasibilityError):
+            dirichlet_simplex(3, np.random.default_rng(0), concentration=0.0)
+
+    def test_equal_split(self):
+        x = equal_split(4)
+        assert np.allclose(x, 0.25)
+
+    def test_equal_split_rejects_zero(self):
+        with pytest.raises(FeasibilityError):
+            equal_split(0)
+
+
+class TestFeasibility:
+    def test_accepts_simplex_point(self):
+        assert is_feasible(np.array([0.5, 0.5]))
+
+    def test_rejects_negative(self):
+        assert not is_feasible(np.array([1.5, -0.5]))
+
+    def test_rejects_wrong_sum(self):
+        assert not is_feasible(np.array([0.5, 0.6]))
+
+    def test_rejects_nan(self):
+        assert not is_feasible(np.array([0.5, float("nan")]))
+
+    def test_tolerance(self):
+        assert is_feasible(np.array([0.5, 0.5 + 1e-10]))
+
+    def test_clip_repairs_dust(self):
+        x = np.array([0.5, 0.5 - 1e-12, 1e-12])
+        repaired = clip_to_simplex(x)
+        assert repaired.sum() == pytest.approx(1.0)
+        assert (repaired >= 0).all()
+
+    def test_clip_rejects_real_violation(self):
+        with pytest.raises(FeasibilityError):
+            clip_to_simplex(np.array([0.7, 0.7]))

@@ -1,0 +1,81 @@
+"""Unit tests for the STATIC baseline and the sparkline renderer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.static_weighted import StaticWeighted
+from repro.core.interface import make_feedback
+from repro.core.loop import run_online
+from repro.costs.affine import AffineLatencyCost
+from repro.costs.timevarying import RandomAffineProcess, StaticCostProcess
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import sparkline
+
+
+class TestStaticWeighted:
+    def test_defaults_to_equal_split(self):
+        assert np.allclose(StaticWeighted(4).allocation, 0.25)
+
+    def test_weights_normalized(self):
+        b = StaticWeighted(3, weights=np.array([1.0, 2.0, 1.0]))
+        assert np.allclose(b.allocation, [0.25, 0.5, 0.25])
+
+    def test_never_moves(self):
+        b = StaticWeighted(2, weights=np.array([3.0, 1.0]))
+        fb = make_feedback(1, b.decide(), [AffineLatencyCost(1.0)] * 2)
+        b.update(fb)
+        assert np.allclose(b.allocation, [0.75, 0.25])
+
+    def test_profiled_static_beats_equ_but_loses_to_dolbie_under_dynamics(self):
+        from repro.baselines import make_balancer
+
+        speeds = [1.0, 2.0, 4.0, 8.0]
+        process = RandomAffineProcess(speeds, sigma=0.25, seed=4)
+        static = run_online(
+            StaticWeighted(4, weights=np.array(speeds)), process, 120
+        )
+        equ = run_online(make_balancer("EQU", 4), process, 120)
+        dolbie = run_online(make_balancer("DOLBIE", 4, alpha_1=0.05), process, 120)
+        assert static.total_cost < equ.total_cost
+        assert dolbie.global_costs[60:].sum() < static.global_costs[60:].sum()
+
+    def test_perfect_profile_is_optimal_for_static_linear_costs(self):
+        costs = [AffineLatencyCost(1.0), AffineLatencyCost(4.0)]
+        static = StaticWeighted(2, weights=np.array([4.0, 1.0]))
+        result = run_online(static, StaticCostProcess(costs), 10)
+        assert result.global_costs[0] == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticWeighted(2, weights=np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ConfigurationError):
+            StaticWeighted(2, weights=np.array([0.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            StaticWeighted(2, weights=np.array([-1.0, 2.0]))
+
+
+class TestSparkline:
+    def test_constant_series_flat(self):
+        line = sparkline([5.0] * 10)
+        assert len(set(line)) == 1
+        assert len(line) == 10
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline(list(range(8)), width=8)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_resampled_to_width(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1.0, 2.0], width=60)) == 2
+
+    def test_extremes_hit_first_and_last_level(self):
+        line = sparkline([0.0, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)

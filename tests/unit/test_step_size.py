@@ -1,0 +1,83 @@
+"""Unit tests for DOLBIE's step-size rule (Eqs. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.step_size import StepSizeRule, feasibility_cap, initial_step_size
+from repro.exceptions import ConfigurationError
+
+
+class TestFeasibilityCap:
+    def test_formula(self):
+        # x_s / (N - 2 + x_s) with N=30, x_s=1/30.
+        cap = feasibility_cap(1.0 / 30.0, 30)
+        assert cap == pytest.approx((1.0 / 30.0) / (28.0 + 1.0 / 30.0))
+
+    def test_two_workers_full_step(self):
+        assert feasibility_cap(0.5, 2) == 1.0
+        assert feasibility_cap(1e-9, 2) == 1.0
+
+    def test_zero_workload_freezes(self):
+        assert feasibility_cap(0.0, 30) == 0.0
+        assert feasibility_cap(0.0, 2) == 0.0
+
+    def test_monotone_in_workload(self):
+        caps = [feasibility_cap(x, 10) for x in (0.01, 0.1, 0.5, 1.0)]
+        assert caps == sorted(caps)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            feasibility_cap(0.5, 1)
+        with pytest.raises(ConfigurationError):
+            feasibility_cap(-0.1, 5)
+
+
+class TestInitialStepSize:
+    def test_paper_formula(self):
+        x = np.array([0.25, 0.25, 0.25, 0.25])
+        assert initial_step_size(x) == pytest.approx(0.25 / 2.25)
+
+    def test_uses_minimum_entry(self):
+        x = np.array([0.7, 0.1, 0.2])
+        assert initial_step_size(x) == pytest.approx(0.1 / 1.1)
+
+    def test_n30_equal_split_near_paper_alpha(self):
+        """The paper's explicit alpha_1 = 0.001 is just below the rule's
+        value for the N=30 equal split — the rule is consistent with it."""
+        x = np.full(30, 1.0 / 30.0)
+        assert 0.001 < initial_step_size(x) < 0.0013
+
+
+class TestStepSizeRule:
+    def test_explicit_alpha(self):
+        rule = StepSizeRule(5, alpha_1=0.01)
+        assert rule.alpha == 0.01
+
+    def test_derived_alpha(self):
+        rule = StepSizeRule(4, initial_allocation=np.full(4, 0.25))
+        assert rule.alpha == pytest.approx(0.25 / 2.25)
+
+    def test_requires_some_initializer(self):
+        with pytest.raises(ConfigurationError):
+            StepSizeRule(4)
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            StepSizeRule(4, alpha_1=1.5)
+
+    def test_advance_is_non_increasing(self):
+        rule = StepSizeRule(10, alpha_1=0.5)
+        values = [rule.advance(x) for x in (0.9, 0.05, 0.5, 0.01, 0.8)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_advance_applies_cap(self):
+        rule = StepSizeRule(10, alpha_1=0.5)
+        rule.advance(0.08)
+        assert rule.alpha == pytest.approx(feasibility_cap(0.08, 10))
+
+    def test_history_records_all_steps(self):
+        rule = StepSizeRule(10, alpha_1=0.5)
+        rule.advance(0.5)
+        rule.advance(0.1)
+        assert len(rule.history) == 3
+        assert rule.history[0] == 0.5

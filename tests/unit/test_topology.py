@@ -1,0 +1,134 @@
+"""Unit tests for communication topologies and the flooding protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.dolbie import Dolbie
+from repro.core.loop import run_online
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ConfigurationError
+from repro.net.links import Link, UniformLatency
+from repro.net.topology import Topology
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+
+class TestTopologyConstruction:
+    def test_complete(self):
+        topo = Topology.complete(5)
+        assert topo.num_edges == 10
+        assert topo.is_complete()
+        assert topo.diameter() == 1
+
+    def test_ring(self):
+        topo = Topology.ring(6)
+        assert topo.num_edges == 6
+        assert topo.diameter() == 3
+        assert topo.neighbors(0) == [1, 5]
+
+    def test_star(self):
+        topo = Topology.star(5, center=2)
+        assert topo.num_edges == 4
+        assert topo.neighbors(2) == [0, 1, 3, 4]
+        assert topo.diameter() == 2
+
+    def test_line(self):
+        topo = Topology.line(4)
+        assert topo.diameter() == 3
+        assert topo.neighbors(0) == [1]
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            topo = Topology.random_connected(10, 0.15, seed=seed)
+            assert topo.num_nodes == 10
+            topo.diameter()  # raises if disconnected
+
+    def test_from_edges(self):
+        topo = Topology.from_edges(3, [(0, 1), (1, 2)])
+        assert topo.neighbors(1) == [0, 2]
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.from_edges(4, [(0, 1), (2, 3)])
+
+    def test_rejects_wrong_node_labels(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ConfigurationError):
+            Topology(graph)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            Topology.complete(1)
+
+    def test_bad_edge_probability(self):
+        with pytest.raises(ConfigurationError):
+            Topology.random_connected(5, 1.5)
+
+
+class TestFloodingProtocol:
+    def _reference(self, n, process, horizon, alpha_1):
+        balancer = Dolbie(n, alpha_1=alpha_1, exact_feasibility_guard=False)
+        return run_online(balancer, process, horizon)
+
+    @pytest.mark.parametrize(
+        "make_topology",
+        [Topology.ring, Topology.star, Topology.line,
+         lambda n: Topology.random_connected(n, 0.3, seed=1)],
+    )
+    def test_identical_to_complete_graph(self, make_topology):
+        n, horizon, alpha_1 = 6, 25, 0.02
+        process = RandomAffineProcess(
+            [1.0, 2.0, 4.0, 8.0, 16.0, 32.0], sigma=0.2, seed=3
+        )
+        reference = self._reference(n, process, horizon, alpha_1)
+        protocol = FullyDistributedDolbie(
+            n, alpha_1=alpha_1, topology=make_topology(n)
+        )
+        result = protocol.run(process, horizon)
+        assert np.allclose(reference.allocations, result.allocations, atol=1e-11)
+
+    def test_identical_under_link_latency(self):
+        n, horizon, alpha_1 = 5, 20, 0.03
+        process = RandomAffineProcess([1, 2, 4, 8, 16], sigma=0.2, seed=7)
+        reference = self._reference(n, process, horizon, alpha_1)
+        rng = np.random.default_rng(4)
+        protocol = FullyDistributedDolbie(
+            n,
+            alpha_1=alpha_1,
+            topology=Topology.line(n),
+            link=Link(UniformLatency(0.001, 0.05, rng)),
+        )
+        result = protocol.run(process, horizon)
+        assert np.allclose(reference.allocations, result.allocations, atol=1e-11)
+
+    def test_flooding_costs_more_messages_than_complete(self):
+        n = 6
+        process = RandomAffineProcess([1.0 + i for i in range(n)], seed=0)
+        complete = FullyDistributedDolbie(n, alpha_1=0.02)
+        complete.run(process, 5)
+        ring = FullyDistributedDolbie(n, alpha_1=0.02, topology=Topology.ring(n))
+        ring.run(process, 5)
+        assert ring.metrics.messages_total > complete.metrics.messages_total
+
+    def test_flooding_costs_virtual_time_with_latency(self):
+        n = 6
+        process = RandomAffineProcess([1.0 + i for i in range(n)], seed=0)
+        link_rng = np.random.default_rng(0)
+
+        def fixed_link():
+            return Link(UniformLatency(0.01, 0.01, link_rng))
+
+        direct = FullyDistributedDolbie(n, alpha_1=0.02, link=fixed_link())
+        direct.run(process, 5)
+        line = FullyDistributedDolbie(
+            n, alpha_1=0.02, topology=Topology.line(n), link=fixed_link()
+        )
+        line.run(process, 5)
+        # Multi-hop dissemination takes ~diameter times longer.
+        assert line.cluster.engine.now > 2 * direct.cluster.engine.now
+
+    def test_topology_size_must_match(self):
+        with pytest.raises(ConfigurationError):
+            FullyDistributedDolbie(4, topology=Topology.ring(5))

@@ -1,0 +1,133 @@
+"""Unit tests for the utilities package."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeasibilityError
+from repro.utils.rng import RngFactory, spawn_rng
+from repro.utils.stats import confidence_interval, mean_ci, running_mean, summarize
+from repro.utils.timer import Stopwatch
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(5, "x").random(10)
+        b = spawn_rng(5, "x").random(10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        a = spawn_rng(5, "x").random(10)
+        b = spawn_rng(5, "y").random(10)
+        assert not (a == b).all()
+
+    def test_factory_replayable(self):
+        factory = RngFactory(9)
+        assert factory.make("speeds").random() == RngFactory(9).make("speeds").random()
+
+    def test_child_factories_independent(self):
+        base = RngFactory(9)
+        a = base.child("a").make("x").random()
+        b = base.child("b").make("x").random()
+        assert a != b
+
+
+class TestStats:
+    def test_ci_zero_for_single_sample(self):
+        assert confidence_interval([5.0]) == 0.0
+
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=30)
+            mean, half = mean_ci(sample)
+            if abs(mean - 10.0) <= half:
+                hits += 1
+        assert hits > 180  # ~95% coverage
+
+    def test_mean_ci_axis(self):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        mean, ci = mean_ci(data, axis=0)
+        assert mean.shape == (4,) and ci.shape == (4,)
+
+    def test_running_mean_warmup(self):
+        out = running_mean([2.0, 4.0, 6.0, 8.0], window=2)
+        assert out.tolist() == [2.0, 3.0, 5.0, 7.0]
+
+    def test_running_mean_bad_window(self):
+        with pytest.raises(ValueError):
+            running_mean([1.0], window=0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.median == 2.0
+        assert s.count == 3
+        assert set(s.as_dict()) == {"mean", "std", "min", "max", "median", "ci95", "count"}
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.002)
+        with watch:
+            time.sleep(0.002)
+        assert watch.total >= 0.004
+        assert len(watch.laps) == 2
+        assert watch.mean_lap == pytest.approx(watch.total / 2)
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.total == 0.0 and watch.laps == []
+        assert watch.mean_lap == 0.0
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive(2.0, "x") == 2.0
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(0.0, "x") == 0.0
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "x", inclusive=False)
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "x")
+
+    def test_check_probability_vector(self):
+        x = check_probability_vector(np.array([0.5, 0.5]))
+        assert x.sum() == 1.0
+        with pytest.raises(FeasibilityError):
+            check_probability_vector(np.array([0.7, 0.7]))
+        with pytest.raises(FeasibilityError):
+            check_probability_vector(np.array([[0.5, 0.5]]))
+        with pytest.raises(FeasibilityError):
+            check_probability_vector(np.array([1.2, -0.2]))

@@ -1,0 +1,141 @@
+"""Unit tests for the SVG chart renderer and figure pipeline."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.viz.svg import LineChart, StackedBarChart, _nice_ticks
+
+
+def _parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] >= 0.0 and ticks[-1] <= 10.0
+        assert len(ticks) >= 3
+
+    def test_small_range(self):
+        ticks = _nice_ticks(0.001, 0.0025)
+        assert all(0.001 <= t <= 0.0025 for t in ticks)
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)  # must not raise or loop forever
+
+
+class TestLineChart:
+    def _chart(self, log_y=False):
+        chart = LineChart("t", "x", "y", log_y=log_y)
+        chart.add_series("a", [1, 2, 3], [1.0, 2.0, 4.0])
+        chart.add_series("b", [1, 2, 3], [4.0, 2.0, 1.0],
+                         band=([3.5, 1.5, 0.5], [4.5, 2.5, 1.5]))
+        return chart
+
+    def test_renders_valid_xml(self):
+        root = _parse(self._chart().render())
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_and_legend(self):
+        svg = self._chart().render()
+        assert svg.count("<polyline") == 2
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_band_rendered_as_polygon(self):
+        assert "<polygon" in self._chart().render()
+
+    def test_log_scale(self):
+        svg = self._chart(log_y=True).render()
+        _parse(svg)  # still valid
+
+    def test_log_scale_rejects_nonpositive(self):
+        chart = LineChart("t", "x", "y", log_y=True)
+        with pytest.raises(ConfigurationError):
+            chart.add_series("a", [1, 2], [0.0, 1.0])
+
+    def test_save(self, tmp_path):
+        path = self._chart().save(tmp_path / "chart.svg")
+        assert path.exists()
+        _parse(path.read_text())
+
+    def test_validation(self):
+        chart = LineChart("t", "x", "y")
+        with pytest.raises(ConfigurationError):
+            chart.add_series("a", [1], [1.0])
+        with pytest.raises(ConfigurationError):
+            chart.add_series("a", [1, 2], [1.0, 2.0], band=([1.0], [2.0]))
+        with pytest.raises(ConfigurationError):
+            chart.render()  # no series
+
+    def test_numpy_inputs_accepted(self):
+        chart = LineChart("t", "x", "y")
+        chart.add_series("a", np.arange(5), np.linspace(0, 1, 5))
+        _parse(chart.render())
+
+
+class TestStackedBarChart:
+    def _chart(self):
+        chart = StackedBarChart("t", "ms", ["compute", "comm", "wait"])
+        chart.add_bar("EQU", [1.0, 0.5, 3.0])
+        chart.add_bar("DOLBIE", [1.0, 0.5, 0.2])
+        return chart
+
+    def test_valid_xml_with_bars(self):
+        svg = self._chart().render()
+        _parse(svg)
+        # 2 bars x 3 segments + 3 legend swatches + background.
+        assert svg.count("<rect") == 2 * 3 + 3 + 1
+
+    def test_validation(self):
+        chart = StackedBarChart("t", "ms", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            chart.add_bar("x", [1.0])
+        with pytest.raises(ConfigurationError):
+            chart.add_bar("x", [1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            chart.render()
+
+
+class TestFigurePipeline:
+    def test_render_selected_figures(self, tmp_path):
+        from repro.experiments.config import QUICK
+        from repro.viz.figures import render_all
+
+        paths = render_all(tmp_path, QUICK, only=["fig3", "fig11"])
+        assert len(paths) == 2
+        for path in paths:
+            assert path.suffix == ".svg"
+            _parse(path.read_text())
+
+    def test_unknown_figure(self, tmp_path):
+        from repro.experiments.config import QUICK
+        from repro.viz.figures import render_all
+
+        with pytest.raises(KeyError):
+            render_all(tmp_path, QUICK, only=["fig99"])
+
+
+class TestRemainingFigureRenderers:
+    def test_fig4_and_fig5_render(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments.config import QUICK
+        from repro.viz.figures import render_all
+
+        tiny = replace(QUICK, realizations=2, rounds=30)
+        paths = render_all(tmp_path, tiny, only=["fig4", "fig5"])
+        for path in paths:
+            _parse(path.read_text())
+
+    def test_fig7_renders(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.experiments.config import QUICK
+        from repro.viz.figures import render_all
+
+        tiny = replace(QUICK, accuracy_rounds=300, accuracy_target=0.15)
+        (path,) = render_all(tmp_path, tiny, only=["fig7"])
+        _parse(path.read_text())
