@@ -3,11 +3,14 @@
 Two failure modes a production balancer must survive, demonstrated on
 the message-passing protocols and the core algorithm:
 
-1. **Worker crash.** A worker goes silent mid-training. The failure
-   detector (master-side in Algorithm 1, peer-side in Algorithm 2)
-   declares it dead after a timeout, folds its workload into that
-   round's straggler, and the risk-averse updates re-balance the
-   orphaned share over the following rounds.
+1. **Worker crash (and recovery).** A worker goes silent mid-training.
+   The failure detector (master-side in Algorithm 1, peer-side in
+   Algorithm 2) declares it dead after a timeout, folds its workload
+   into that round's straggler, and the risk-averse updates re-balance
+   the orphaned share over the following rounds. When the process comes
+   back, ``rejoin_worker`` re-shards the live allocation and re-agrees
+   every roster (see ``examples/chaos_testing.py`` for randomized fault
+   soaks).
 2. **Regime change.** A worker slows persistently (a co-located job
    arrives). Plain DOLBIE tracks it at the crawl of its decayed step
    size; RestartDolbie detects the cost blow-up and re-arms Eq. (7).
@@ -46,10 +49,18 @@ def crash_demo() -> None:
                 f"round {t:>2}: latency {global_cost:.4f}s, straggler w{straggler}, "
                 f"allocation {np.round(protocol.allocation, 3)}"
             )
-    survivors = {tuple(sorted(p.roster)) for p in protocol.peers
-                 if protocol._alive[p.node_id]}
+    survivors = {tuple(sorted(protocol.peers[w].roster))
+                 for w in protocol.roster}
     print(f"surviving rosters (all agree): {survivors}")
-    print(f"workload still sums to {protocol.allocation.sum():.12f}\n")
+    live_share = protocol.allocation[protocol.roster].sum()
+    print(f"workload on the roster {protocol.roster} "
+          f"still sums to {live_share:.12f}")
+
+    protocol.rejoin_worker(3)
+    _, _, global_cost, _ = protocol.run_round(41, process.costs_at(41))
+    print(f"round 41: worker 3 re-joined with share "
+          f"{protocol.allocation[3]:.3f}; roster back to {protocol.roster}, "
+          f"latency {global_cost:.4f}s\n")
 
 
 def restart_demo() -> None:

@@ -1,0 +1,42 @@
+"""Deterministic chaos engineering for the DOLBIE protocols.
+
+The package has four layers:
+
+- :mod:`repro.chaos.faults` — the declarative :class:`FaultSchedule`
+  (scripted or seeded-random) and its JSON/YAML serialization;
+- :mod:`repro.chaos.injector` — :class:`ChaosInjector`, which applies a
+  schedule to a live protocol at round boundaries;
+- :mod:`repro.chaos.invariants` — the per-round correctness oracle;
+- :mod:`repro.chaos.soak` — :func:`run_soak`, hundreds of randomized
+  rounds with every invariant checked after every round.
+
+Everything is seeded: the same schedule seed reproduces the same fault
+sequence, drop pattern, and — therefore — bit-identical allocations.
+"""
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    load_schedule,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import (
+    RoundObservation,
+    assert_round_invariants,
+    check_round_invariants,
+)
+from repro.chaos.soak import SoakReport, run_soak
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "load_schedule",
+    "ChaosInjector",
+    "RoundObservation",
+    "assert_round_invariants",
+    "check_round_invariants",
+    "SoakReport",
+    "run_soak",
+]

@@ -1,0 +1,367 @@
+"""Declarative fault schedules: scripted and randomized failure sequences.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`
+records, each pinned to a round boundary. Schedules come from three
+places — hand-written scripts (:meth:`FaultSchedule.scripted`), a
+seeded randomized generator (:meth:`FaultSchedule.random`), or a
+JSON/YAML spec file (:func:`load_schedule`) — and are *pure data*: the
+:class:`~repro.chaos.injector.ChaosInjector` is what applies them to a
+protocol.
+
+Determinism guarantee: a schedule is fully determined by its inputs
+(``seed`` and rates for the randomized generator; the event list for
+scripted ones), and every downstream consumer of randomness (the loss
+burst's drop sampler) derives its generator from ``(schedule.seed,
+event round)``. Same seed, same schedule, same protocol, same cost
+process => bit-identical allocations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.net.topology import Topology, connected_components
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule", "load_schedule"]
+
+#: The fault vocabulary (see FaultEvent for per-kind semantics).
+FAULT_KINDS = ("crash", "rejoin", "slowdown", "degrade", "partition", "heal")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault, applied at the boundary *before* ``round_index`` runs.
+
+    ==========  =========================================================
+    kind        semantics
+    ==========  =========================================================
+    crash       every id in ``workers`` goes silent (process death)
+    rejoin      every id in ``workers`` is revived and re-admitted
+    slowdown    ``workers`` gain ``severity`` seconds of send/receive
+                delay for ``duration`` rounds (transient straggle)
+    degrade     every link drops frames with probability ``severity``
+                for ``duration`` rounds (loss burst; retransmits pay)
+    partition   the network splits: each tuple in ``groups`` becomes an
+                isolated island, unlisted nodes stay together
+    heal        the partition is removed; cut-off workers re-merge
+    ==========  =========================================================
+    """
+
+    round_index: int
+    kind: str
+    workers: tuple[int, ...] = ()
+    groups: tuple[tuple[int, ...], ...] = ()
+    duration: int = 1
+    severity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.round_index < 1:
+            raise ConfigurationError(
+                f"fault rounds are 1-based, got {self.round_index}"
+            )
+        if self.kind in ("crash", "rejoin", "slowdown") and not self.workers:
+            raise ConfigurationError(f"{self.kind} fault needs target workers")
+        if self.kind == "partition" and not self.groups:
+            raise ConfigurationError("partition fault needs groups")
+        if self.kind in ("slowdown", "degrade") and self.duration < 1:
+            raise ConfigurationError("duration must be >= 1 round")
+        if self.kind == "slowdown" and self.severity <= 0:
+            raise ConfigurationError("slowdown needs severity > 0 (seconds)")
+        if self.kind == "degrade" and not 0.0 < self.severity < 1.0:
+            raise ConfigurationError(
+                "degrade severity is a drop probability in (0, 1)"
+            )
+
+    def to_dict(self) -> dict:
+        record: dict = {"round": self.round_index, "kind": self.kind}
+        if self.workers:
+            record["workers"] = list(self.workers)
+        if self.groups:
+            record["groups"] = [list(g) for g in self.groups]
+        if self.kind in ("slowdown", "degrade"):
+            record["duration"] = self.duration
+            record["severity"] = self.severity
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "FaultEvent":
+        known = {"round", "kind", "workers", "groups", "duration", "severity"}
+        unknown = set(record) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault-event fields: {sorted(unknown)}"
+            )
+        return cls(
+            round_index=int(record["round"]),
+            kind=str(record["kind"]),
+            workers=tuple(int(w) for w in record.get("workers", ())),
+            groups=tuple(
+                tuple(int(w) for w in group) for group in record.get("groups", ())
+            ),
+            duration=int(record.get("duration", 1)),
+            severity=float(record.get("severity", 0.0)),
+        )
+
+
+class FaultSchedule:
+    """An immutable, round-indexed sequence of fault events."""
+
+    def __init__(
+        self, events: Iterable[FaultEvent], seed: int | None = None
+    ) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.round_index)
+        )
+        #: Seed the schedule was generated from (None for scripted ones);
+        #: also salts the loss-burst drop sampler for reproducibility.
+        self.seed = seed
+        self._by_round: dict[int, list[FaultEvent]] = {}
+        for event in self.events:
+            self._by_round.setdefault(event.round_index, []).append(event)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def scripted(cls, events: Sequence[FaultEvent]) -> "FaultSchedule":
+        return cls(events)
+
+    @classmethod
+    def random(
+        cls,
+        num_workers: int,
+        horizon: int,
+        seed: int,
+        *,
+        topology: Topology | None = None,
+        crash_rate: float = 0.02,
+        slowdown_rate: float = 0.05,
+        degrade_rate: float = 0.03,
+        partition_rate: float = 0.015,
+        min_active: int = 3,
+        max_outage: int = 8,
+        max_partition: int = 6,
+        max_slowdown_seconds: float = 0.03,
+        max_loss_probability: float = 0.25,
+    ) -> "FaultSchedule":
+        """A seeded randomized fault sequence that never kills the quorum.
+
+        Per-round, independent coin flips inject crashes (paired with a
+        scheduled rejoin 2..``max_outage`` rounds later), transient
+        slowdowns, loss bursts, and — when no partition is already
+        active — a network partition that heals within
+        ``max_partition`` rounds. Safety: an event is skipped (its coin
+        flip still consumed, so the sequence stays reproducible) if
+        applying it would leave the primary connected component of
+        ``topology`` (complete graph when ``None``) with fewer than
+        ``max(2, min_active)`` reachable live workers.
+        """
+        if num_workers < 3:
+            raise ConfigurationError(
+                f"chaos schedules need >= 3 workers, got {num_workers}"
+            )
+        if topology is not None and topology.num_nodes != num_workers:
+            raise ConfigurationError(
+                f"topology has {topology.num_nodes} nodes for {num_workers} workers"
+            )
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        crashed: set[int] = set()
+        pending_rejoins: dict[int, list[int]] = {}
+        minority: set[int] = set()
+        heal_round = 0
+
+        def primary_size(dead: set[int], island: set[int]) -> int:
+            alive = set(range(num_workers)) - dead
+
+            def neighbors(i: int) -> list[int]:
+                if topology is None:
+                    candidates: Iterable[int] = range(num_workers)
+                else:
+                    candidates = topology.neighbors(i)
+                return [
+                    j
+                    for j in candidates
+                    if j != i
+                    and j in alive
+                    and ((i in island) == (j in island))
+                ]
+
+            components = connected_components(alive, neighbors)
+            return max((len(c) for c in components), default=0)
+
+        floor = max(2, min_active)
+        for t in range(1, horizon + 1):
+            for worker in pending_rejoins.pop(t, []):
+                events.append(FaultEvent(t, "rejoin", workers=(worker,)))
+                crashed.discard(worker)
+            if minority and t >= heal_round:
+                events.append(FaultEvent(t, "heal"))
+                minority = set()
+            active = sorted(set(range(num_workers)) - crashed)
+            if (
+                not minority
+                and rng.random() < partition_rate
+                and len(active) >= floor + 1
+            ):
+                size = int(rng.integers(1, max(2, len(active) - floor)))
+                picked = set(
+                    int(w) for w in rng.choice(active, size=size, replace=False)
+                )
+                if primary_size(crashed, picked) >= floor:
+                    minority = picked
+                    heal_round = t + 1 + int(rng.integers(1, max_partition + 1))
+                    events.append(
+                        FaultEvent(t, "partition", groups=(tuple(sorted(picked)),))
+                    )
+            if rng.random() < crash_rate and active:
+                victim = int(rng.choice(active))
+                outage = int(rng.integers(2, max_outage + 1))
+                if (
+                    victim not in minority
+                    and primary_size(crashed | {victim}, minority) >= floor
+                ):
+                    crashed.add(victim)
+                    events.append(FaultEvent(t, "crash", workers=(victim,)))
+                    if t + outage <= horizon:
+                        pending_rejoins.setdefault(t + outage, []).append(victim)
+            if rng.random() < slowdown_rate and active:
+                slow = int(rng.choice(active))
+                events.append(
+                    FaultEvent(
+                        t,
+                        "slowdown",
+                        workers=(slow,),
+                        duration=int(rng.integers(1, 4)),
+                        severity=float(
+                            rng.uniform(0.2, 1.0) * max_slowdown_seconds
+                        ),
+                    )
+                )
+            if rng.random() < degrade_rate:
+                events.append(
+                    FaultEvent(
+                        t,
+                        "degrade",
+                        duration=int(rng.integers(1, 4)),
+                        severity=float(
+                            rng.uniform(0.2, 1.0) * max_loss_probability
+                        ),
+                    )
+                )
+        return cls(events, seed=seed)
+
+    # -- queries ----------------------------------------------------------
+    def events_at(self, round_index: int) -> list[FaultEvent]:
+        return list(self._by_round.get(round_index, []))
+
+    def counts(self) -> dict[str, int]:
+        """Event tally per kind (zero-filled over the vocabulary)."""
+        tally = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.events:
+            tally[event.kind] += 1
+        return tally
+
+    @property
+    def horizon(self) -> int:
+        """Last round any event touches (0 for an empty schedule)."""
+        return self.events[-1].round_index if self.events else 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        tally = {k: v for k, v in self.counts().items() if v}
+        return f"FaultSchedule({len(self.events)} events, {tally})"
+
+    # -- (de)serialization ------------------------------------------------
+    def to_spec(self) -> dict:
+        spec: dict = {"events": [event.to_dict() for event in self.events]}
+        if self.seed is not None:
+            spec["seed"] = self.seed
+        return spec
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_spec(), indent=indent)
+
+    @classmethod
+    def from_spec(cls, spec: Mapping) -> "FaultSchedule":
+        """Build a schedule from a spec dict.
+
+        Two shapes are accepted: ``{"events": [...], "seed": ...}`` for
+        scripted schedules, and ``{"random": {"num_workers": ...,
+        "horizon": ..., "seed": ..., <rates>}}`` which re-runs the
+        generator (same seed => same schedule).
+        """
+        if "random" in spec:
+            params = dict(spec["random"])
+            for required in ("num_workers", "horizon", "seed"):
+                if required not in params:
+                    raise ConfigurationError(
+                        f"random schedule spec needs {required!r}"
+                    )
+            topology = None
+            name = params.pop("topology", None)
+            if name is not None:
+                topology = _topology_by_name(name, int(params["num_workers"]))
+            return cls.random(
+                int(params.pop("num_workers")),
+                int(params.pop("horizon")),
+                int(params.pop("seed")),
+                topology=topology,
+                **params,
+            )
+        if "events" not in spec:
+            raise ConfigurationError(
+                "schedule spec needs an 'events' list or a 'random' block"
+            )
+        events = [FaultEvent.from_dict(record) for record in spec["events"]]
+        seed = spec.get("seed")
+        return cls(events, seed=None if seed is None else int(seed))
+
+
+def _topology_by_name(name: str, num_workers: int) -> Topology | None:
+    """Resolve the topology names used by specs and the CLI."""
+    builders = {
+        "complete": Topology.complete,
+        "ring": Topology.ring,
+        "star": Topology.star,
+        "line": Topology.line,
+    }
+    if name not in builders:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; expected one of {sorted(builders)}"
+        )
+    if name == "complete":
+        return None  # the protocols' native all-to-all mode
+    return builders[name](num_workers)
+
+
+def load_schedule(path: str | Path) -> FaultSchedule:
+    """Load a schedule spec from a ``.json`` or ``.yaml``/``.yml`` file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise ConfigurationError(
+                "YAML schedule specs need PyYAML; install it or use JSON"
+            ) from exc
+        spec = yaml.safe_load(text)
+    else:
+        spec = json.loads(text)
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(f"schedule spec in {path} must be a mapping")
+    return FaultSchedule.from_spec(spec)

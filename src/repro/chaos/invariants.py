@@ -1,0 +1,146 @@
+"""System invariants that must survive every chaos round.
+
+The checks encode what "the protocol is still correct" means under
+faults, independently of the allocation's optimality:
+
+1. **Simplex on the live roster.** The allocation sums to 1 over the
+   protocol's roster, every share is non-negative, and deposed workers
+   (dead or stalled) hold exactly 0.
+2. **Agreement.** Every rostered participant reached the same straggler
+   and global cost this round; in the fully-distributed architecture
+   every participant's local roster equals the controller's.
+3. **Liveness of the clock.** The round processed events and virtual
+   time strictly advanced (a round that moves no messages is a
+   deadlock in disguise; run soaks with positive link latency).
+4. **No silent drops.** Unhandled tags raise ``ProtocolError`` at the
+   node layer, so any swallowed exception would surface as a missing
+   round outcome — checked via the returned global cost/straggler.
+
+``check_round_invariants`` returns human-readable violation strings
+(empty list = healthy); :func:`assert_round_invariants` raises
+:class:`~repro.exceptions.InvariantViolation` instead, for use as a
+property-based testing oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvariantViolation
+
+__all__ = [
+    "RoundObservation",
+    "check_round_invariants",
+    "assert_round_invariants",
+]
+
+_ATOL = 1e-9
+
+
+class RoundObservation:
+    """Pre-round engine state to diff against after the round."""
+
+    def __init__(self, protocol) -> None:
+        engine = protocol.cluster.engine
+        self.time_before = engine.now
+        self.events_before = engine.processed_events
+
+
+def check_round_invariants(
+    protocol,
+    observation: RoundObservation,
+    round_index: int,
+    local: np.ndarray,
+    global_cost: float,
+    straggler: int,
+) -> list[str]:
+    """Check every invariant after ``run_round``; return violations."""
+    violations: list[str] = []
+    roster = list(protocol.roster)
+    allocation = np.asarray(protocol.allocation, dtype=float)
+    num_workers = allocation.size
+
+    def violated(message: str) -> None:
+        violations.append(f"round {round_index}: {message}")
+
+    # 1. simplex on the live roster
+    if not roster:
+        violated("empty roster")
+        return violations
+    live_sum = float(allocation[roster].sum())
+    if abs(live_sum - 1.0) > _ATOL:
+        violated(f"live allocation sums to {live_sum!r}, not 1")
+    if (allocation < -1e-12).any():
+        worst = int(np.argmin(allocation))
+        violated(f"worker {worst} holds negative share {allocation[worst]!r}")
+    for worker in range(num_workers):
+        if worker not in roster and allocation[worker] != 0.0:
+            violated(
+                f"deposed worker {worker} still holds {allocation[worker]!r}"
+            )
+
+    # 2. agreement on the round outcome and the roster
+    if straggler not in roster:
+        violated(f"straggler {straggler} is not on the roster {roster}")
+    if not np.isfinite(global_cost):
+        violated(f"global cost is not finite: {global_cost!r}")
+    peers = getattr(protocol, "peers", None)
+    if peers is not None:  # fully-distributed: per-peer replicated state
+        roster_set = set(roster)
+        for worker in roster:
+            peer = peers[worker]
+            if set(peer.roster) != roster_set:
+                violated(
+                    f"peer {worker} roster {sorted(peer.roster)} != {roster}"
+                )
+            if peer.straggler_id != straggler:
+                violated(
+                    f"peer {worker} disagrees on the straggler "
+                    f"({peer.straggler_id} vs {straggler})"
+                )
+            if peer.global_cost != global_cost:
+                violated(
+                    f"peer {worker} disagrees on the global cost "
+                    f"({peer.global_cost!r} vs {global_cost!r})"
+                )
+    else:  # master-worker: the master's view is authoritative
+        master = protocol.master
+        if master.straggler != straggler or master.global_cost != global_cost:
+            violated("master state disagrees with the round outcome")
+
+    # 3. the virtual clock advanced and events flowed
+    engine = protocol.cluster.engine
+    if engine.processed_events <= observation.events_before:
+        violated("round processed no events (deadlock?)")
+    if engine.now < observation.time_before:
+        violated("virtual time went backwards")
+    elif engine.now == observation.time_before:
+        violated(
+            "virtual time did not advance (run chaos soaks with links "
+            "of positive latency)"
+        )
+
+    # 4. every rostered worker produced a cost; nobody else did
+    local = np.asarray(local, dtype=float)
+    for worker in range(num_workers):
+        if worker in roster and not np.isfinite(local[worker]):
+            violated(f"rostered worker {worker} reported no cost")
+        if worker not in roster and np.isfinite(local[worker]):
+            violated(f"deposed worker {worker} reported a cost")
+    return violations
+
+
+def assert_round_invariants(
+    protocol,
+    observation: RoundObservation,
+    round_index: int,
+    local: np.ndarray,
+    global_cost: float,
+    straggler: int,
+) -> None:
+    """Raise :class:`InvariantViolation` when any invariant breaks."""
+    violations = check_round_invariants(
+        protocol, observation, round_index, local, global_cost, straggler
+    )
+    if violations:
+        raise InvariantViolation("; ".join(violations))

@@ -1,0 +1,147 @@
+"""Soak testing: hundreds of randomized rounds with per-round invariants.
+
+``run_soak`` turns the chaos layer into a property-based correctness
+tool: it drives a protocol through a fault schedule for many rounds,
+checks every invariant of :mod:`repro.chaos.invariants` after *each*
+round, and reports everything needed to (a) assert zero violations and
+(b) assert bit-identical reproducibility across runs with the same seed.
+
+A protocol exception mid-soak (e.g. a quorum wiped out by an unsafe
+hand-written schedule) is recorded as a violation, not propagated: a
+soak's job is to report, and ``raise_on_violation=True`` restores
+fail-fast behavior for use inside tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.chaos.faults import FaultSchedule
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import RoundObservation, check_round_invariants
+from repro.costs.timevarying import CostProcess
+from repro.exceptions import InvariantViolation, ReproError
+
+__all__ = ["SoakReport", "run_soak"]
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Everything a chaos soak observed."""
+
+    protocol_name: str
+    rounds_requested: int
+    rounds_completed: int
+    violations: tuple[tuple[int, str], ...]  # (round, description)
+    events_applied: int
+    event_counts: dict[str, int]
+    allocations: np.ndarray  # (rounds_completed, N) post-round allocations
+    global_costs: np.ndarray  # (rounds_completed,)
+    final_roster: tuple[int, ...]
+    virtual_time: float
+    messages_total: int
+    messages_blackholed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and (
+            self.rounds_completed == self.rounds_requested
+        )
+
+    @property
+    def cumulative_cost(self) -> float:
+        return float(self.global_costs.sum())
+
+    def summary(self) -> str:
+        """A compact multi-line report (what the CLI prints)."""
+        status = "PASS" if self.ok else "FAIL"
+        counts = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.event_counts.items())
+            if count
+        ) or "none"
+        lines = [
+            f"[{status}] {self.protocol_name}: "
+            f"{self.rounds_completed}/{self.rounds_requested} rounds, "
+            f"{self.events_applied} fault events ({counts})",
+            f"  cumulative latency {self.cumulative_cost:.4f}s over "
+            f"{self.virtual_time:.3f}s virtual time; "
+            f"{self.messages_total} messages "
+            f"({self.messages_blackholed} blackholed); "
+            f"final roster {list(self.final_roster)}",
+            f"  invariant violations: {len(self.violations)}",
+        ]
+        for round_index, description in self.violations[:10]:
+            lines.append(f"    round {round_index}: {description}")
+        if len(self.violations) > 10:
+            lines.append(f"    ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)
+
+
+def run_soak(
+    protocol_factory: Callable[[], object],
+    schedule: FaultSchedule,
+    process: CostProcess,
+    rounds: int,
+    *,
+    raise_on_violation: bool = False,
+) -> SoakReport:
+    """Soak ``rounds`` rounds of chaos and check invariants after each.
+
+    ``protocol_factory`` builds a *fresh* protocol (so one soak cannot
+    leak state into the next and two calls with identical inputs are
+    bit-identical); ``process`` supplies the per-round cost functions.
+    """
+    protocol = protocol_factory()
+    injector = ChaosInjector(protocol, schedule)
+    num_workers = protocol.num_workers
+    allocations = np.zeros((rounds, num_workers))
+    global_costs = np.zeros(rounds)
+    violations: list[tuple[int, str]] = []
+    completed = 0
+    for t in range(1, rounds + 1):
+        observation = RoundObservation(protocol)
+        try:
+            injector.apply(t)
+            _, local, global_cost, straggler = protocol.run_round(
+                t, process.costs_at(t)
+            )
+        except ReproError as exc:
+            if raise_on_violation:
+                raise
+            violations.append((t, f"{type(exc).__name__}: {exc}"))
+            break
+        round_violations = check_round_invariants(
+            protocol, observation, t, local, global_cost, straggler
+        )
+        if round_violations and raise_on_violation:
+            raise InvariantViolation("; ".join(round_violations))
+        violations.extend((t, message) for message in round_violations)
+        allocations[t - 1] = protocol.allocation
+        global_costs[t - 1] = global_cost
+        completed = t
+    metrics = protocol.metrics
+    return SoakReport(
+        protocol_name=getattr(protocol, "name", type(protocol).__name__),
+        rounds_requested=rounds,
+        rounds_completed=completed,
+        violations=tuple(violations),
+        events_applied=len(injector.applied),
+        event_counts=_tally(injector.applied),
+        allocations=allocations[:completed],
+        global_costs=global_costs[:completed],
+        final_roster=tuple(protocol.roster),
+        virtual_time=float(protocol.cluster.engine.now),
+        messages_total=metrics.messages_total,
+        messages_blackholed=metrics.messages_blackholed,
+    )
+
+
+def _tally(events: Sequence) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return counts

@@ -12,6 +12,10 @@ Commands
     Run the experiments and write every data series as CSV files.
 ``figures``
     Render the reproduced figures as dependency-free SVG files.
+``chaos``
+    Replay a fault schedule (``--spec`` JSON/YAML or seeded random)
+    against the protocol architectures and print the invariant-check
+    summary (exit 1 on any violation).
 ``list``
     Show available experiments, algorithms and models.
 """
@@ -38,6 +42,7 @@ from repro.experiments import (
     fig10_batch_size,
     fig11_utilization,
     regret_experiment,
+    resilience,
     sensitivity,
 )
 from repro.experiments.config import PAPER, QUICK, ExperimentScale, paper_balancer
@@ -60,6 +65,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], object]] = {
     "ablations": ablations.main,
     "edge": edge_scenario.main,
     "sensitivity": sensitivity.main,
+    "resilience": resilience.main,
 }
 
 _SCALES = {"quick": QUICK, "paper": PAPER}
@@ -109,6 +115,27 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--scale", choices=sorted(_SCALES), default="quick")
     figures.add_argument("--only", nargs="+", default=None)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a fault schedule against a protocol and check invariants",
+    )
+    chaos.add_argument(
+        "--spec", default=None,
+        help="JSON/YAML fault-schedule spec (see repro.chaos.faults); "
+        "omit to generate a random schedule from --seed",
+    )
+    chaos.add_argument(
+        "--protocol", choices=["mw", "fd", "both"], default="both",
+        help="mw = master-worker (§IV-B1), fd = fully-distributed (§IV-B2)",
+    )
+    chaos.add_argument(
+        "--topology", choices=["complete", "ring", "star", "line"],
+        default="ring", help="connectivity of the fully-distributed run",
+    )
+    chaos.add_argument("--workers", type=int, default=8)
+    chaos.add_argument("--rounds", type=int, default=200)
+    chaos.add_argument("--seed", type=int, default=0)
+
     sub.add_parser("list", help="show experiments, algorithms and models")
     return parser
 
@@ -150,6 +177,48 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.chaos import FaultSchedule, load_schedule, run_soak
+    from repro.chaos.faults import _topology_by_name
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import ConstantLatency, Link
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+    from repro.protocols.master_worker import MasterWorkerDolbie
+
+    topology = _topology_by_name(args.topology, args.workers)
+    if args.spec:
+        schedule = load_schedule(args.spec)
+        rounds = max(args.rounds, schedule.horizon)
+    else:
+        schedule = FaultSchedule.random(
+            args.workers, args.rounds, seed=args.seed, topology=topology
+        )
+        rounds = args.rounds
+    print(f"schedule: {schedule!r}")
+    process = RandomAffineProcess(
+        speeds=np.linspace(1.0, 2.0, args.workers), seed=args.seed
+    )
+    factories = {
+        "mw": lambda: MasterWorkerDolbie(
+            args.workers, link=Link(ConstantLatency(0.001))
+        ),
+        "fd": lambda: FullyDistributedDolbie(
+            args.workers,
+            link=Link(ConstantLatency(0.001)),
+            topology=topology,
+        ),
+    }
+    selected = ["mw", "fd"] if args.protocol == "both" else [args.protocol]
+    all_ok = True
+    for key in selected:
+        report = run_soak(factories[key], schedule, process, rounds)
+        print(report.summary())
+        all_ok = all_ok and report.ok
+    return 0 if all_ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
@@ -165,6 +234,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "export": _cmd_export,
         "figures": _cmd_figures,
+        "chaos": _cmd_chaos,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -36,5 +36,29 @@ class SimulationError(ReproError):
     """The discrete-event engine or a simulation model reached a bad state."""
 
 
+class TransportError(SimulationError):
+    """The transport layer gave up on a message (retransmit budget spent).
+
+    Carries the failed route so callers can tell *which* send died:
+    ``src``/``dst`` node ids, the message ``tag``, and ``attempts`` (the
+    number of retransmissions tried before giving up).
+    """
+
+    def __init__(self, src: int, dst: int, tag: str, attempts: int) -> None:
+        self.src = int(src)
+        self.dst = int(dst)
+        self.tag = str(tag)
+        self.attempts = int(attempts)
+        super().__init__(
+            f"message {self.tag!r} {self.src}->{self.dst} lost after "
+            f"{self.attempts} retransmissions"
+        )
+
+
 class ConfigurationError(ReproError):
     """An experiment or algorithm was configured with invalid parameters."""
+
+
+class InvariantViolation(ReproError):
+    """A chaos/soak run observed a broken system invariant (see
+    :mod:`repro.chaos.invariants`)."""

@@ -12,13 +12,14 @@ from repro.net.links import (
 from repro.net.message import Message, scalar_payload_size
 from repro.net.metrics import NetworkMetrics
 from repro.net.node import Node
-from repro.net.topology import Topology
+from repro.net.topology import Topology, connected_components
 
 __all__ = [
     "Cluster",
     "EventEngine",
     "Node",
     "Topology",
+    "connected_components",
     "Message",
     "scalar_payload_size",
     "NetworkMetrics",

@@ -6,13 +6,44 @@ and routes messages through the :class:`~repro.net.events.EventEngine`
 with the link's sampled delay. All message and byte counts flow into
 :class:`~repro.net.metrics.NetworkMetrics`, which the §IV-C complexity
 experiment reads.
+
+The transport contract
+----------------------
+``Cluster.send`` gives the protocols datagram-with-retries semantics:
+
+- **Reliable over lossy links.** A frame dropped by the link's loss
+  model is retransmitted after ``retransmit_timeout``; each attempt pays
+  the link delay afresh and is counted in the metrics. When
+  ``max_retransmits`` attempts are all lost the send fails loudly with
+  :class:`~repro.exceptions.TransportError` (carrying src/dst/tag and
+  the attempt count) — the protocols assume rounds eventually complete,
+  so a permanently-dead link is an error, not a silent drop.
+- **Not order-preserving.** A retransmitted frame can be overtaken by a
+  later send; round-synchronous protocols tolerate this.
+- **Partitions blackhole silently.** When a network partition (see
+  :meth:`set_partition`) separates ``src`` from ``dst``, the frame
+  vanishes *without* consuming the retransmit budget and without an
+  error: a partition outlives any retry budget, and the failure
+  detectors — not the transport — are responsible for noticing silence.
+  Blackholed frames are tallied in ``metrics.messages_blackholed``.
+- **Co-located nodes bypass the network entirely** (zero delay, no
+  loss, no partition, not counted): they model processes sharing one
+  machine.
+
+Chaos hooks (:mod:`repro.chaos` drives these): :meth:`set_partition` /
+:meth:`clear_partition` split the cluster into isolated groups,
+:meth:`set_extra_delay` slows one node's sends and receives (a
+transient straggler), and :meth:`set_frame_loss` overrides every link's
+loss model with a cluster-wide drop probability (a loss burst).
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-from repro.exceptions import ProtocolError, SimulationError
+import numpy as np
+
+from repro.exceptions import ProtocolError, SimulationError, TransportError
 from repro.net.events import EventEngine
 from repro.net.links import Link
 from repro.net.message import Message, scalar_payload_size
@@ -43,6 +74,12 @@ class Cluster:
         self.retransmit_timeout = float(retransmit_timeout)
         self.max_retransmits = int(max_retransmits)
         self._colocated: set[frozenset[int]] = set()
+        #: node id -> partition group (None: no partition in effect).
+        self._partition: dict[int, int] | None = None
+        #: node id -> extra seconds added to its sends and receives.
+        self._extra_delay: dict[int, float] = {}
+        #: cluster-wide frame-loss override: (probability, rng) or None.
+        self._loss_override: tuple[float, Any] | None = None
         ids = [node.node_id for node in nodes]
         if len(set(ids)) != len(ids):
             raise SimulationError(f"duplicate node ids: {sorted(ids)}")
@@ -89,6 +126,73 @@ class Cluster:
     def link_for(self, src: int, dst: int) -> Link:
         return self._links.get((src, dst), self._default_link)
 
+    # -- chaos hooks ------------------------------------------------------
+    def set_partition(self, groups: Sequence[Iterable[int]]) -> None:
+        """Split the cluster into isolated groups (a network partition).
+
+        ``groups`` lists disjoint sets of node ids; any node not listed
+        belongs to one shared implicit group (so ``[(2, 3)]`` cuts
+        workers 2-3 off from everyone else). Messages between different
+        groups are silently blackholed until :meth:`clear_partition`.
+        A new partition replaces the previous one.
+        """
+        mapping: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self.node(node_id)  # validate
+                if node_id in mapping:
+                    raise SimulationError(
+                        f"node {node_id} appears in two partition groups"
+                    )
+                mapping[node_id] = index
+        self._partition = mapping
+
+    def clear_partition(self) -> None:
+        """Heal the partition: every route works again."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def can_communicate(self, a: int, b: int) -> bool:
+        """True unless a partition separates ``a`` from ``b``."""
+        if self._partition is None:
+            return True
+        return self._partition.get(a, -1) == self._partition.get(b, -1)
+
+    def set_extra_delay(self, node_id: int, seconds: float) -> None:
+        """Add ``seconds`` to every send/receive of ``node_id`` (a
+        transient slowdown); ``0`` restores normal speed."""
+        self.node(node_id)  # validate
+        if seconds < 0:
+            raise SimulationError(f"extra delay must be >= 0, got {seconds}")
+        if seconds == 0.0:
+            self._extra_delay.pop(node_id, None)
+        else:
+            self._extra_delay[node_id] = float(seconds)
+
+    def set_frame_loss(
+        self, probability: float, rng: "np.random.Generator"
+    ) -> None:
+        """Override every link's loss model with a cluster-wide drop
+        probability (a loss burst); clear with :meth:`clear_frame_loss`."""
+        if not 0.0 <= probability < 1.0:
+            raise SimulationError(
+                f"loss probability must lie in [0, 1), got {probability}"
+            )
+        self._loss_override = (float(probability), rng)
+
+    def clear_frame_loss(self) -> None:
+        self._loss_override = None
+
+    def _frame_dropped(self, link: Link) -> bool:
+        """Sample one transmission attempt under the active loss regime."""
+        if self._loss_override is not None:
+            probability, rng = self._loss_override
+            return bool(rng.random() < probability)
+        return link.drops_frame()
+
     def send(
         self,
         src: int,
@@ -115,22 +219,26 @@ class Cluster:
             self.engine.schedule(0.0, lambda: receiver.deliver(message))
             return
         self.metrics.record(message)
+        if not self.can_communicate(src, dst):
+            # A partition blackholes the frame: no delivery, no error,
+            # no retransmissions — silence is the failure detectors' job.
+            self.metrics.messages_blackholed += 1
+            return
         link = self.link_for(src, dst)
         # Transport layer: a dropped frame is retransmitted after the
         # timeout; each attempt pays the link delay afresh. All attempts
         # are counted in the metrics (they really cross the wire).
         total_delay = 0.0
         attempt = 0
-        while link.drops_frame():
+        while self._frame_dropped(link):
             attempt += 1
             if attempt > self.max_retransmits:
-                raise SimulationError(
-                    f"message {tag!r} {src}->{dst} lost after "
-                    f"{self.max_retransmits} retransmissions"
-                )
+                raise TransportError(src, dst, tag, self.max_retransmits)
             self.metrics.record(message)  # the retransmitted frame
             total_delay += self.retransmit_timeout  # sender's ack timer
         total_delay += link.delay(message.size_bytes)
+        total_delay += self._extra_delay.get(src, 0.0)
+        total_delay += self._extra_delay.get(dst, 0.0)
         self.engine.schedule(total_delay, lambda: receiver.deliver(message))
 
     def run(self, max_events: int | None = None) -> int:

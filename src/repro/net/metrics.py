@@ -16,6 +16,8 @@ class NetworkMetrics:
 
     messages_total: int = 0
     bytes_total: int = 0
+    #: Frames sent into a network partition and lost (never delivered).
+    messages_blackholed: int = 0
     per_round_messages: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     per_round_bytes: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     per_pair_messages: dict[tuple[int, int], int] = field(
@@ -40,6 +42,7 @@ class NetworkMetrics:
     def reset(self) -> None:
         self.messages_total = 0
         self.bytes_total = 0
+        self.messages_blackholed = 0
         self.per_round_messages.clear()
         self.per_round_bytes.clear()
         self.per_pair_messages.clear()

@@ -15,13 +15,44 @@ queries.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 import networkx as nx
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "connected_components"]
+
+
+def connected_components(
+    nodes: Iterable[int], neighbors: Callable[[int], Iterable[int]]
+) -> list[set[int]]:
+    """Connected components of the graph induced on ``nodes``.
+
+    ``neighbors(i)`` yields candidate neighbors of ``i``; edges to nodes
+    outside ``nodes`` are ignored. This is the reachability primitive the
+    partition-aware protocols and the chaos scheduler share: given the
+    live node set and the effective (partition-respecting) adjacency, it
+    answers "who can still coordinate with whom this round".
+    Deterministic: components are discovered in ascending node order.
+    """
+    remaining = set(nodes)
+    components: list[set[int]] = []
+    for start in sorted(remaining):
+        if start not in remaining:
+            continue
+        component = {start}
+        frontier = [start]
+        remaining.discard(start)
+        while frontier:
+            current = frontier.pop()
+            for other in neighbors(current):
+                if other in remaining:
+                    remaining.discard(other)
+                    component.add(other)
+                    frontier.append(other)
+        components.append(component)
+    return components
 
 
 class Topology:

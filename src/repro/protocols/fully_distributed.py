@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.interface import identify_straggler
 from repro.core.loop import RunResult
+from repro.core.membership import add_worker_allocation
 from repro.core.step_size import feasibility_cap, initial_step_size
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
@@ -33,6 +34,7 @@ from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import Message
 from repro.net.node import Node
+from repro.net.topology import connected_components
 from repro.simplex.sampling import equal_split, is_feasible
 
 __all__ = ["FullyDistributedDolbie"]
@@ -196,9 +198,12 @@ class _Peer(Node):
     def _on_cost_timeout(self, round_index: int) -> None:
         """Drop peers whose cost broadcast never arrived (crash tolerance).
 
-        Only supported on the complete topology: with flooding, a dead
-        relay could partition dissemination, which needs a routing layer
-        this substrate does not model."""
+        Works on any topology because the controller only starts the
+        round on peers forming one connected component of the *effective*
+        graph (alive peers, partition-respecting edges): flooding reaches
+        every participant, so by the timeout each participant holds
+        exactly the participants' costs and all of them drop the same
+        silent set — rosters stay consistent without extra messages."""
         if round_index != self.current_round or self.global_cost is not None:
             return
         missing = self.roster - set(self._peer_costs)
@@ -334,24 +339,118 @@ class FullyDistributedDolbie:
         ]
         self.cluster = Cluster(self.peers, default_link=link)
         self._alive = [True] * num_workers
+        #: Alive peers currently unreachable from the primary component
+        #: (cut off by a partition or a dead relay); their shares are
+        #: folded into the straggler until the topology heals.
+        self._stalled: set[int] = set()
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on. Surviving peers'
         failure detectors drop it consistently; its share folds into that
-        round's straggler. Only supported on the complete topology (a
-        dead relay could partition flooding dissemination)."""
-        if self.topology is not None:
-            raise ConfigurationError(
-                "crash tolerance requires the complete topology"
-            )
+        round's straggler. On a sparse topology the survivors degrade to
+        the largest still-connected component (a crashed relay stalls the
+        peers it cut off — see :meth:`run_round`)."""
         if not 0 <= worker < self.num_workers:
             raise ConfigurationError(f"worker index {worker} out of range")
         self._alive[worker] = False
+        self._stalled.discard(worker)
         self.peers[worker].failed = True
+
+    def rejoin_worker(self, worker: int, share: float | None = None) -> None:
+        """Re-admit ``worker`` (crash recovery / partition heal).
+
+        Revives the process if it was dead and re-shards the workload:
+        the newcomer receives ``share`` (default ``1/(N+1)`` on the
+        post-join fleet) via :func:`repro.core.membership.
+        add_worker_allocation`'s proportional scaling, every live peer's
+        roster is re-agreed to include it, and its local step size is
+        re-capped by the Eq. (8) rule so its first update stays feasible.
+        If the peer is still unreachable (partition not yet healed) the
+        next round's reachability pass will stall it again.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(f"worker index {worker} out of range")
+        if self._alive[worker] and worker not in self._stalled:
+            raise ConfigurationError(f"worker {worker} is already active")
+        self._alive[worker] = True
+        self.peers[worker].failed = False
+        self._readmit(worker, share)
+
+    def _participants(self) -> list[int]:
+        """Peers expected to take part in the next round."""
+        return [
+            i
+            for i in range(self.num_workers)
+            if self._alive[i] and i not in self._stalled
+        ]
+
+    def _readmit(self, worker: int, share: float | None = None) -> None:
+        """Reshard the live allocation over ``participants + worker`` and
+        re-merge every participant's roster (the heal-side half of the
+        failure-detector protocol)."""
+        self._stalled.discard(worker)
+        incumbents = [i for i in self._participants() if i != worker]
+        if not incumbents:
+            raise ConfigurationError(
+                f"cannot rejoin worker {worker}: no live quorum to join"
+            )
+        if incumbents and all(
+            worker in self.peers[i].roster for i in incumbents
+        ):
+            return  # never dropped from the live rosters; shares intact
+        x_live = np.array([self.peers[i].x for i in incumbents])
+        # A peer that crashed or stalled at this same round boundary
+        # still holds its share (the failure detectors only fold it once
+        # a round runs), so the incumbents' mass can sum below 1; absorb
+        # any such residual proportionally before resharding.
+        total = float(x_live.sum())
+        if total > 1e-12:
+            x_live = x_live / total
+        else:  # pathological: the departed peers held ~all the workload
+            x_live = np.full(len(incumbents), 1.0 / len(incumbents))
+        x_new = add_worker_allocation(x_live, share)
+        for i, value in zip(incumbents, x_new[:-1]):
+            self.peers[i].x = float(value)
+        self.peers[worker].x = float(x_new[-1])
+        new_roster = set(incumbents) | {worker}
+        for i in new_roster:
+            self.peers[i].roster = set(new_roster)
+        consensus = min(self.peers[i].alpha_bar for i in incumbents)
+        cap = feasibility_cap(float(x_new[-1]), len(new_roster))
+        self.peers[worker].alpha_bar = min(consensus, cap)
+
+    def _reachable_components(self) -> list[set[int]]:
+        """Components of the effective graph: alive peers, restricted to
+        topology edges the current partition still allows."""
+        alive = {i for i in range(self.num_workers) if self._alive[i]}
+
+        def neighbors(i: int) -> list[int]:
+            if self.topology is None:
+                candidates: Sequence[int] = range(self.num_workers)
+            else:
+                candidates = self.topology.neighbors(i)
+            return [
+                j
+                for j in candidates
+                if j != i and j in alive and self.cluster.can_communicate(i, j)
+            ]
+
+        return connected_components(alive, neighbors)
 
     @property
     def alive_workers(self) -> list[int]:
+        """Peers whose process is running (may include peers stalled
+        behind a partition — see :attr:`roster` for the coordinating
+        quorum)."""
         return [i for i in range(self.num_workers) if self._alive[i]]
+
+    @property
+    def roster(self) -> list[int]:
+        """The quorum currently coordinating rounds: alive peers
+        reachable from the primary component. The allocation sums to 1
+        over exactly this set, and every listed peer's local roster
+        agrees with it after each completed round."""
+        return self._participants()
 
     @property
     def allocation(self) -> np.ndarray:
@@ -359,8 +458,9 @@ class FullyDistributedDolbie:
 
     @property
     def alpha(self) -> float:
-        """The consensus step size the *next* round will use."""
-        return min(p.alpha_bar for p in self.peers)
+        """The consensus step size the *next* round will use (the min
+        over the active quorum's local step sizes)."""
+        return min(self.peers[i].alpha_bar for i in self._participants())
 
     @property
     def metrics(self):
@@ -373,13 +473,35 @@ class FullyDistributedDolbie:
             raise ConfigurationError(
                 f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
             )
+        # -- membership resolution at the round boundary ------------------
+        # The round runs on the *primary* component of the effective
+        # graph (alive peers over partition-respecting edges): largest
+        # component, lowest peer id breaking ties. Stalled peers that
+        # became reachable again (partition healed) are re-admitted via
+        # resharding; alive peers that just became unreachable stall and
+        # have their shares folded by the participants' failure
+        # detectors during this round.
+        components = self._reachable_components()
+        primary = max(components, key=lambda c: (len(c), -min(c)))
+        if len(primary) < 2:
+            raise ProtocolError(
+                f"round {round_index}: the primary component has only "
+                f"{len(primary)} reachable peer(s) "
+                f"(components: {sorted(sorted(c) for c in components)}); "
+                "a partition or a dead relay left no quorum to continue"
+            )
+        for worker in sorted(self._stalled & primary):
+            self._readmit(worker)  # heal: re-merge roster and reshard
+        for worker in sorted(set(self.alive_workers) - primary):
+            self._stalled.add(worker)
+        participants = self._participants()
+        participant_set = set(participants)
         x_played = self.allocation
-        alive = [p for p in self.peers if self._alive[p.node_id]]
         rosters_incomplete = any(
-            len(p.roster) > len(alive) for p in alive
+            set(self.peers[i].roster) != participant_set for i in participants
         )
         for peer, cost_fn in zip(self.peers, costs):
-            if self._alive[peer.node_id]:
+            if peer.node_id in participant_set:
                 peer.observe_round(
                     round_index, cost_fn,
                     arm_failure_detector=rosters_incomplete,
@@ -391,21 +513,22 @@ class FullyDistributedDolbie:
             # most twice in each direction.
             budget = 16 * self.num_workers * (self.topology.num_edges + 1) + 50
         self.cluster.run(max_events=budget)
-        alive_peers = [p for p in self.peers if self._alive[p.node_id]]
         for peer in self.peers:
-            if not self._alive[peer.node_id]:
+            if peer.node_id not in participant_set:
                 peer.x = 0.0  # share folded into the straggler's closure
         local = np.array(
             [
-                p.local_cost if self._alive[p.node_id] else np.nan
+                p.local_cost if p.node_id in participant_set else np.nan
                 for p in self.peers
             ]
         )
-        straggler = alive_peers[0].straggler_id
-        global_cost = alive_peers[0].global_cost
+        first = self.peers[participants[0]]
+        straggler = first.straggler_id
+        global_cost = first.global_cost
         assert straggler is not None and global_cost is not None
-        # Every surviving peer must have reached the same view.
-        for peer in alive_peers:
+        # Every participating peer must have reached the same view.
+        for i in participants:
+            peer = self.peers[i]
             if peer.straggler_id != straggler or peer.global_cost != global_cost:
                 raise ProtocolError(
                     f"peers disagree on the round outcome: peer {peer.node_id} "

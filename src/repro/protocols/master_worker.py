@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.interface import identify_straggler
 from repro.core.loop import RunResult
+from repro.core.membership import add_worker_allocation
 from repro.core.step_size import feasibility_cap, initial_step_size
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
@@ -287,9 +288,52 @@ class MasterWorkerDolbie:
         self._alive[worker] = False
         self.workers[worker].failed = True
 
+    def rejoin_worker(self, worker: int, share: float | None = None) -> None:
+        """Re-admit ``worker`` to the fleet (crash recovery).
+
+        The newcomer is granted ``share`` of the workload (default
+        ``1/(N+1)`` on the post-join fleet) via the same proportional
+        resharding as :func:`repro.core.membership.add_worker_allocation`;
+        incumbents scale down to keep the simplex exact. The master's
+        step size is re-capped by the Eq. (7) rule on the new fleet so
+        the newcomer's first update cannot go infeasible. A worker that
+        crashed but was never declared dead (no round ran in between)
+        is simply revived with its old share.
+        """
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(f"worker index {worker} out of range")
+        roster = self.master.worker_ids
+        if worker in roster and self._alive[worker]:
+            raise ConfigurationError(f"worker {worker} is already active")
+        self._alive[worker] = True
+        self.workers[worker].failed = False
+        if worker in roster:
+            return  # crashed and revived within the same round boundary
+        live = sorted(roster)
+        x_live = np.array([self.workers[w].x for w in live])
+        x_new = add_worker_allocation(x_live, share)
+        for w, value in zip(live, x_new[:-1]):
+            self.workers[w].x = float(value)
+        self.workers[worker].x = float(x_new[-1])
+        roster.append(worker)
+        roster.sort()
+        self.master.declared_dead.pop(worker, None)
+        cap = feasibility_cap(float(x_new[-1]), len(roster))
+        self.master.alpha = min(self.master.alpha, cap)
+
     @property
     def alive_workers(self) -> list[int]:
+        """Workers whose process is running (may include workers the
+        master has partitioned away and declared dead — see
+        :attr:`roster` for the coordinating fleet)."""
         return [i for i in range(self.num_workers) if self._alive[i]]
+
+    @property
+    def roster(self) -> list[int]:
+        """The fleet the master currently coordinates: alive workers
+        that have not been declared dead. The allocation sums to 1 over
+        exactly this set."""
+        return sorted(self.master.worker_ids)
 
     @property
     def allocation(self) -> np.ndarray:
@@ -314,24 +358,37 @@ class MasterWorkerDolbie:
                 f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
             )
         x_played = self.allocation
-        reporting = sum(
-            1 for w in self.master.worker_ids if self._alive[w]
-        )
+        # A rostered worker is only responsive if its process runs AND no
+        # partition separates it from the master; otherwise the failure
+        # detector must be armed so its silence folds this round.
+        expected = list(self.master.worker_ids)
+        responsive = [
+            w
+            for w in expected
+            if self._alive[w] and self.cluster.can_communicate(w, self.master_id)
+        ]
         self.master.begin_round(
             round_index,
-            arm_failure_detector=reporting < len(self.master.worker_ids),
+            arm_failure_detector=len(responsive) < len(expected),
         )
         for worker, cost_fn in zip(self.workers, costs):
-            if self._alive[worker.node_id]:
+            # Workers previously declared dead (crashed, or cut off by a
+            # partition) stay out of the round until rejoin_worker
+            # re-admits them: a zombie's late report would be a protocol
+            # violation at the master.
+            if self._alive[worker.node_id] and worker.node_id in expected:
                 worker.observe_round(round_index, cost_fn)
         self.cluster.run(max_events=20 * self.num_workers + 100)
         # Zero out the shares of workers the master declared dead: their
         # workload was folded into this round's straggler assignment.
         for worker_id in self.master.declared_dead:
             self.workers[worker_id].x = 0.0
+        roster = set(self.master.worker_ids)
         local = np.array(
             [
-                w.local_cost if self._alive[w.node_id] else np.nan
+                w.local_cost
+                if self._alive[w.node_id] and w.node_id in roster
+                else np.nan
                 for w in self.workers
             ]
         )

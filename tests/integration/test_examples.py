@@ -65,5 +65,14 @@ def test_trace_replay():
 def test_fault_tolerance():
     out = _run("fault_tolerance.py")
     assert "worker 3 crashed" in out
+    assert "worker 3 re-joined" in out
     assert "restarts" in out
     assert "improvement under regime switching" in out
+
+
+def test_chaos_testing():
+    out = _run("chaos_testing.py")
+    assert "post-heal rosters (all agree)" in out
+    assert "[PASS]" in out
+    assert "invariant violations: 0" in out
+    assert "bit-identical allocations across runs: True" in out

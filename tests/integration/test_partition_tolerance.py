@@ -1,0 +1,169 @@
+"""Integration: network partitions, dead relays, and recovery paths."""
+
+import numpy as np
+import pytest
+
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.net.links import ConstantLatency, Link
+from repro.net.topology import Topology
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+LINK = lambda: Link(ConstantLatency(0.001))  # noqa: E731
+
+
+def _process(n, seed=0):
+    return RandomAffineProcess(speeds=np.linspace(1.0, 2.5, n), seed=seed)
+
+
+def _drive(protocol, process, rounds, start=1):
+    out = None
+    for t in range(start, start + rounds):
+        out = protocol.run_round(t, process.costs_at(t))
+    return out
+
+
+class TestClusterPartition:
+    def test_cross_group_frames_are_blackholed_not_retried(self):
+        protocol = MasterWorkerDolbie(4, link=LINK())
+        cluster = protocol.cluster
+        cluster.set_partition([(2, 3)])
+        assert not cluster.can_communicate(0, 2)
+        assert cluster.can_communicate(0, 1)
+        assert cluster.can_communicate(2, 3)
+        before = cluster.metrics.messages_blackholed
+        protocol.workers[2].send(protocol.master_id, "cost", {"l": 1.0}, 1)
+        # Silently dropped: no TransportError, the counter moved instead.
+        assert cluster.metrics.messages_blackholed == before + 1
+
+    def test_overlapping_groups_rejected(self):
+        cluster = MasterWorkerDolbie(4, link=LINK()).cluster
+        with pytest.raises(Exception, match="two partition groups"):
+            cluster.set_partition([(0, 1), (1, 2)])
+
+
+class TestMasterWorkerPartition:
+    def test_cut_workers_are_declared_dead_then_rejoin_on_heal(self):
+        protocol = MasterWorkerDolbie(5, link=LINK(), cost_timeout=0.05)
+        process = _process(5)
+        _drive(protocol, process, 3)
+        protocol.cluster.set_partition([(3, 4)])
+        _drive(protocol, process, 2, start=4)
+        assert protocol.roster == [0, 1, 2]
+        assert protocol.alive_workers == [0, 1, 2, 3, 4]  # zombies live on
+        assert protocol.allocation[[3, 4]].sum() == 0.0
+        assert protocol.allocation.sum() == pytest.approx(1.0)
+        protocol.cluster.clear_partition()
+        for w in (3, 4):
+            protocol.rejoin_worker(w)
+        _, _, global_cost, _ = _drive(protocol, process, 3, start=6)
+        assert protocol.roster == [0, 1, 2, 3, 4]
+        assert protocol.allocation.sum() == pytest.approx(1.0)
+        assert np.isfinite(global_cost)
+
+
+class TestFullyDistributedPartition:
+    def test_primary_component_continues_minority_stalls(self):
+        n = 6
+        protocol = FullyDistributedDolbie(
+            n, link=LINK(), topology=Topology.ring(n)
+        )
+        process = _process(n)
+        _drive(protocol, process, 3)
+        protocol.cluster.set_partition([(1, 2)])
+        _drive(protocol, process, 2, start=4)
+        assert protocol.roster == [0, 3, 4, 5]
+        assert protocol.allocation[[1, 2]].sum() == 0.0
+        live = protocol.allocation[protocol.roster]
+        assert live.sum() == pytest.approx(1.0)
+        # stalled peers did not observe the rounds they missed
+        assert protocol.peers[1].current_round < 5
+
+    def test_heal_remerges_rosters_and_reshards(self):
+        n = 6
+        protocol = FullyDistributedDolbie(
+            n, link=LINK(), topology=Topology.ring(n)
+        )
+        process = _process(n)
+        _drive(protocol, process, 2)
+        protocol.cluster.set_partition([(1, 2)])
+        _drive(protocol, process, 2, start=3)
+        protocol.cluster.clear_partition()
+        _drive(protocol, process, 2, start=5)
+        assert protocol.roster == list(range(n))
+        rosters = {tuple(sorted(protocol.peers[w].roster)) for w in range(n)}
+        assert rosters == {tuple(range(n))}
+        assert protocol.allocation.sum() == pytest.approx(1.0)
+        assert (protocol.allocation > 0).all()
+
+    def test_crash_during_flood_on_ring_degrades_to_survivors(self):
+        n = 5
+        protocol = FullyDistributedDolbie(
+            n, link=LINK(), topology=Topology.ring(n)
+        )
+        process = _process(n)
+        _drive(protocol, process, 2)
+        protocol.crash_worker(2)  # a relay on the ring
+        _drive(protocol, process, 2, start=3)
+        # Ring minus node 2 is still connected (a line): all survive.
+        assert protocol.roster == [0, 1, 3, 4]
+        assert protocol.allocation[protocol.roster].sum() == pytest.approx(1.0)
+
+    def test_crash_of_star_center_raises_instead_of_hanging(self):
+        n = 5
+        protocol = FullyDistributedDolbie(
+            n, link=LINK(), topology=Topology.star(n)
+        )
+        process = _process(n)
+        _drive(protocol, process, 2)
+        protocol.crash_worker(0)  # the hub: leaves n-1 isolated leaves
+        with pytest.raises(ProtocolError, match="primary component"):
+            protocol.run_round(3, process.costs_at(3))
+
+    def test_line_partition_isolating_one_end(self):
+        n = 5
+        protocol = FullyDistributedDolbie(
+            n, link=LINK(), topology=Topology.line(n)
+        )
+        process = _process(n)
+        _drive(protocol, process, 2)
+        protocol.cluster.set_partition([(4,)])
+        _drive(protocol, process, 2, start=3)
+        assert protocol.roster == [0, 1, 2, 3]
+        protocol.cluster.clear_partition()
+        _drive(protocol, process, 1, start=5)
+        assert protocol.roster == [0, 1, 2, 3, 4]
+
+
+class TestRejoinEdgeCases:
+    def test_rejoin_active_worker_rejected(self):
+        protocol = MasterWorkerDolbie(4, link=LINK())
+        with pytest.raises(ConfigurationError, match="already active"):
+            protocol.rejoin_worker(1)
+        fd = FullyDistributedDolbie(4, link=LINK())
+        with pytest.raises(ConfigurationError, match="already active"):
+            fd.rejoin_worker(1)
+
+    def test_rejoin_with_explicit_share(self):
+        protocol = MasterWorkerDolbie(4, link=LINK())
+        process = _process(4)
+        _drive(protocol, process, 2)
+        protocol.crash_worker(3)
+        _drive(protocol, process, 2, start=3)
+        protocol.rejoin_worker(3, share=0.4)
+        assert protocol.allocation[3] == pytest.approx(0.4)
+        assert protocol.allocation.sum() == pytest.approx(1.0)
+        _drive(protocol, process, 1, start=5)
+        assert protocol.roster == [0, 1, 2, 3]
+
+    def test_crash_then_rejoin_before_any_round_keeps_share(self):
+        protocol = FullyDistributedDolbie(4, link=LINK())
+        process = _process(4)
+        _drive(protocol, process, 2)
+        held = protocol.allocation[2]
+        protocol.crash_worker(2)
+        protocol.rejoin_worker(2)  # same boundary: never dropped
+        assert protocol.allocation[2] == pytest.approx(held)
+        _drive(protocol, process, 1, start=3)
+        assert protocol.roster == [0, 1, 2, 3]

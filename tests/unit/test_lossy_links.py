@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, TransportError
 from repro.net.cluster import Cluster
 from repro.net.links import ConstantLatency, Link
 from repro.net.node import Node
@@ -77,7 +77,7 @@ class TestRetransmission:
         cluster.run()
         assert times == [pytest.approx(0.2)]
 
-    def test_permanent_loss_raises(self):
+    def test_permanent_loss_raises_transport_error_with_context(self):
         class AlwaysDrop:
             def random(self):
                 return 0.0
@@ -85,8 +85,11 @@ class TestRetransmission:
         link = Link(loss_probability=0.5, loss_rng=AlwaysDrop())
         cluster, a, b = _pair(link, max_retransmits=3)
         b.on("x", lambda m: None)
-        with pytest.raises(SimulationError):
+        with pytest.raises(TransportError) as excinfo:
             a.send(1, "x", {})
+        err = excinfo.value
+        assert (err.src, err.dst, err.tag, err.attempts) == (0, 1, "x", 3)
+        assert isinstance(err, SimulationError)  # old handlers still catch
 
     def test_invalid_transport_parameters(self):
         with pytest.raises(SimulationError):

@@ -229,12 +229,40 @@ class TestFullyDistributedCrashTolerance:
             fd.run_round(t, process.costs_at(t))
         assert np.allclose(mw.allocation, fd.allocation, atol=1e-11)
 
-    def test_crash_with_topology_rejected(self):
+    def test_crash_on_ring_degrades_to_connected_survivors(self):
+        """A dead relay on a sparse topology no longer deadlocks: the
+        survivors (still connected once the ring loses one node) drop it
+        and keep the simplex closed."""
+        from repro.costs.timevarying import RandomAffineProcess
         from repro.net.topology import Topology
 
-        protocol = FullyDistributedDolbie(4, topology=Topology.ring(4))
-        with pytest.raises(ConfigurationError):
-            protocol.crash_worker(1)
+        process = RandomAffineProcess([1, 2, 4, 8], sigma=0.1, seed=3)
+        protocol = FullyDistributedDolbie(
+            4, alpha_1=0.02, topology=Topology.ring(4)
+        )
+        for t in range(1, 4):
+            protocol.run_round(t, process.costs_at(t))
+        protocol.crash_worker(1)
+        protocol.run_round(4, process.costs_at(4))
+        assert protocol.roster == [0, 2, 3]
+        assert protocol.allocation[1] == 0.0
+        assert protocol.allocation.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_crash_of_star_center_raises_clear_error(self):
+        """Killing the hub disconnects every spoke: no quorum remains,
+        which must be a loud ProtocolError rather than a hang."""
+        from repro.costs.timevarying import RandomAffineProcess
+        from repro.exceptions import ProtocolError
+        from repro.net.topology import Topology
+
+        process = RandomAffineProcess([1, 2, 4, 8], sigma=0.1, seed=3)
+        protocol = FullyDistributedDolbie(
+            4, alpha_1=0.02, topology=Topology.star(4)
+        )
+        protocol.run_round(1, process.costs_at(1))
+        protocol.crash_worker(0)
+        with pytest.raises(ProtocolError, match="primary component"):
+            protocol.run_round(2, process.costs_at(2))
 
     def test_too_many_failures_raises(self):
         from repro.costs.timevarying import RandomAffineProcess
