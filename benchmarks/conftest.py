@@ -10,14 +10,11 @@ printed tables use the same code paths as the paper-scale run
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 import pytest
 
-from repro.experiments.config import QUICK
-
-#: Benchmark scale: QUICK with fewer realizations to keep timings tight.
-BENCH = replace(QUICK, label="bench", realizations=3, rounds=50, accuracy_rounds=600)
+# The canonical benchmark scale lives next to the perf-regression suite
+# (`python -m repro bench`) so both harnesses time identical workloads.
+from repro.experiments.bench import BENCH
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,11 @@ Commands
     Run every algorithm on one training environment and print the
     cross-algorithm summary table (optionally ``--csv out.csv``).
 ``export``
-    Run the experiments and write every data series as CSV files.
+    Run the experiments and write every data series as CSV files
+    (``--jobs N`` fans realization sweeps over a process pool).
+``bench``
+    Run the engine benchmarks, write ``BENCH_results.json`` and fail on
+    speedup regressions against the committed baseline.
 ``figures``
     Render the reproduced figures as dependency-free SVG files.
 ``chaos``
@@ -82,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiment", help="run one paper experiment")
     exp.add_argument("id", choices=sorted(EXPERIMENTS))
     exp.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+    exp.add_argument(
+        "--jobs", type=int, default=None,
+        help="processes for realization sweeps (default: scale.jobs)",
+    )
 
     cmp_parser = sub.add_parser(
         "compare", help="run all algorithms on one environment and summarize"
@@ -107,6 +115,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", nargs="+", default=None,
         help="subset of exports (default: all)",
     )
+    export.add_argument(
+        "--jobs", type=int, default=None,
+        help="processes for realization sweeps (default: scale.jobs)",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run engine benchmarks and gate on speedup regressions"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_results.json", help="results file to write"
+    )
+    bench.add_argument(
+        "--baseline", default="BENCH_results.json",
+        help="committed baseline to compare against",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.3,
+        help="allowed fractional speedup drop before failing (default 0.3)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="single repetition per benchmark (CI smoke mode)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baseline with this run instead of comparing",
+    )
+    bench.add_argument("--jobs", type=int, default=1)
 
     figures = sub.add_parser(
         "figures", help="render the reproduced figures as SVG files"
@@ -141,7 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    EXPERIMENTS[args.id](_SCALES[args.scale])
+    scale = _SCALES[args.scale]
+    if args.jobs is not None:
+        from dataclasses import replace
+
+        scale = replace(scale, jobs=args.jobs)
+    EXPERIMENTS[args.id](scale)
     return 0
 
 
@@ -162,10 +203,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export_all import export_all
 
-    written = export_all(args.out, _SCALES[args.scale], only=args.only)
+    written = export_all(
+        args.out, _SCALES[args.scale], only=args.only, jobs=args.jobs
+    )
     for path in written:
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    return bench_main(
+        out=args.out,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+        quick=args.quick,
+        update_baseline=args.update_baseline,
+        jobs=args.jobs,
+    )
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -233,6 +289,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "compare": _cmd_compare,
         "export": _cmd_export,
+        "bench": _cmd_bench,
         "figures": _cmd_figures,
         "chaos": _cmd_chaos,
         "list": _cmd_list,

@@ -60,8 +60,10 @@ class Dolbie(OnlineLoadBalancer):
             ``min_i x_{i,1} / (N - 2 + min_i x_{i,1})``; the experiments
             use the explicit 0.001 of §VI-B.
         record_history:
-            Keep per-round ``x'`` and ``G`` vectors for analysis plots
-            (Fig. 10 needs the allocation trajectory).
+            Keep the per-round ``x'``/``G`` vectors and straggler indices
+            for analysis plots (Fig. 10 needs the allocation trajectory).
+            Off by default: long runs (the chaos soak, paper-scale sweeps)
+            would otherwise grow these lists without bound.
         exact_feasibility_guard:
             The Eq. (7) schedule keeps every round feasible *provided*
             ``alpha_1`` respects the paper's initialization rule (a
@@ -114,16 +116,19 @@ class Dolbie(OnlineLoadBalancer):
         # The straggler coordinate closes the simplex constraint exactly,
         # absorbing the accumulated floating-point error of the sum.
         x_next[s] = 1.0 - (x_next.sum() - x_next[s])
-        if -1e-12 < x_next[s] < 0.0:
-            # Floating-point dust from the exact cap; true violations
-            # (possible only with the guard disabled) are left in place so
-            # the base-class feasibility check surfaces them loudly.
+        if -1e-12 < x_next[s] < 1e-12:
+            # Floating-point dust from the exact cap (or from the closing
+            # sum — the distributed protocols accumulate the same sum in a
+            # different order, so both sides snap dust to exactly zero to
+            # stay on identical trajectories); true violations (possible
+            # only with the guard disabled) are left in place so the
+            # base-class feasibility check surfaces them loudly.
             x_next[s] = 0.0
 
         if self.record_history:
             self.x_prime_history.append(x_prime)
             self.assistance_history.append(g)
-        self.straggler_history.append(s)
+            self.straggler_history.append(s)
 
         self._allocation = x_next
         self.step_rule.advance(x_next[s])

@@ -97,7 +97,8 @@ class ElasticDolbie(Dolbie):
         )
 
     def _trim_histories(self) -> None:
-        # Per-worker history vectors are no longer aligned; clear them
-        # rather than serve misleading data.
+        # Per-worker history vectors (and straggler indices) are no longer
+        # aligned; clear them rather than serve misleading data.
         self.x_prime_history.clear()
         self.assistance_history.clear()
+        self.straggler_history.clear()

@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.costs.affine import AffineLatencyCost
+from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.exceptions import ConfigurationError
 
@@ -31,11 +32,18 @@ def _affine_fast_path(
     The level inverse of an affine latency cost is closed-form, so the
     whole vector is three numpy operations — this is what keeps DOLBIE's
     per-round decision in the tens of microseconds (Fig. 11, lower).
+    An :class:`AffineCostVector` (the materialized-environment
+    representation) supplies the slope/intercept arrays directly; object
+    lists pay one attribute-extraction pass first.
     """
-    if not all(type(c) is AffineLatencyCost for c in costs):
+    if isinstance(costs, AffineCostVector):
+        slopes = costs.slopes
+        intercepts = costs.intercepts
+    elif all(type(c) is AffineLatencyCost for c in costs):
+        slopes = np.array([c.slope for c in costs])
+        intercepts = np.array([c.intercept for c in costs])
+    else:
         return None
-    slopes = np.array([c.slope for c in costs])
-    intercepts = np.array([c.intercept for c in costs])
     with np.errstate(divide="ignore", invalid="ignore"):
         tilde = (global_cost - intercepts) / slopes
     tilde = np.where(slopes == 0.0, 1.0, tilde)

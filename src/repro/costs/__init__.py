@@ -1,6 +1,7 @@
 """Increasing cost functions and time-varying cost processes (§III)."""
 
 from repro.costs.affine import AffineLatencyCost
+from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CallableCost, ConstantCost, CostFunction, compose_max
 from repro.costs.nonlinear import (
     ExponentialCost,
@@ -24,6 +25,7 @@ __all__ = [
     "ConstantCost",
     "compose_max",
     "AffineLatencyCost",
+    "AffineCostVector",
     "PowerLawCost",
     "ExponentialCost",
     "LogCost",

@@ -73,7 +73,8 @@ class GreedyTargetDolbie(Dolbie):
         x_next[s] = 1.0 - (x_next.sum() - x_next[s])
         if -1e-12 < x_next[s] < 0.0:
             x_next[s] = 0.0
-        self.straggler_history.append(s)
+        if self.record_history:
+            self.straggler_history.append(s)
         self._allocation = x_next
         self.step_rule.advance(x_next[s])
 
@@ -101,7 +102,8 @@ class SingleHelperDolbie(Dolbie):
         x_next[s] = 1.0 - (x_next.sum() - x_next[s])
         if -1e-12 < x_next[s] < 0.0:
             x_next[s] = 0.0
-        self.straggler_history.append(s)
+        if self.record_history:
+            self.straggler_history.append(s)
         self._allocation = x_next
         self.step_rule.advance(x_next[s])
 

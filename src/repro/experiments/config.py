@@ -43,7 +43,16 @@ def paper_balancer(name: str, num_workers: int) -> OnlineLoadBalancer:
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """Sizing knobs shared by the experiment modules."""
+    """Sizing and execution knobs shared by the experiment modules.
+
+    The last three fields control the performance layer (see
+    ``docs/performance.md``): ``jobs`` fans realization sweeps out over a
+    process pool, ``materialize`` precomputes each environment's ``(T, N)``
+    cost traces once per (seed, model) and shares them across algorithms,
+    and ``include_overhead`` keeps the measured per-round decision time in
+    the wall-clock series (Fig. 11 needs it; set False for bitwise
+    reproducible exports, since measured time is inherently noisy).
+    """
 
     label: str
     num_workers: int = 30
@@ -54,6 +63,9 @@ class ExperimentScale:
     accuracy_target: float = 0.95  # "time to 95% training accuracy"
     complexity_worker_counts: tuple[int, ...] = (5, 10, 20, 30, 50)
     base_seed: int = 0
+    jobs: int = 1
+    materialize: bool = True
+    include_overhead: bool = True
 
 
 PAPER = ExperimentScale(label="paper")

@@ -8,6 +8,7 @@ long format, deterministic content per scale/seed.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments import (
@@ -133,10 +134,18 @@ def export_all(
     out_dir: str | Path,
     scale: ExperimentScale = QUICK,
     only: list[str] | None = None,
+    jobs: int | None = None,
 ) -> list[Path]:
-    """Run the exporters and return the written paths."""
+    """Run the exporters and return the written paths.
+
+    ``jobs`` overrides ``scale.jobs`` for every exporter whose experiment
+    sweeps realizations (they fan out over a process pool and merge in
+    seed order, so the CSV bytes are identical to a serial export).
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    if jobs is not None:
+        scale = replace(scale, jobs=jobs)
     names = only if only is not None else sorted(_EXPORTERS)
     written = []
     for name in names:

@@ -1,7 +1,24 @@
-"""Shared machinery for the per-figure experiment modules."""
+"""Shared machinery for the per-figure experiment modules.
+
+Two execution-layer optimizations live here (design notes in
+``docs/performance.md``):
+
+* **Shared materialized environments** — every algorithm inside one
+  realization replays the identical world, so :func:`train_all` builds
+  the :class:`~repro.mlsim.environment.TrainingEnvironment` once,
+  materializes its ``(T, N)`` cost traces (bit-identical to the
+  incremental accessors), and reuses that one
+  :class:`~repro.mlsim.materialized.MaterializedEnvironment` across all
+  algorithms instead of re-walking the fluctuation traces per algorithm.
+* **Parallel sweeps** — :func:`sweep_realizations` fans independent
+  realizations out over a ``ProcessPoolExecutor`` when ``jobs > 1``.
+  Results are merged in submission (seed) order, so serial and parallel
+  sweeps produce identical output for the same scale.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 import numpy as np
@@ -26,7 +43,13 @@ def train_all(
     seed: int | None = None,
     algorithms: Sequence[str] | None = None,
 ) -> dict[str, TrainingRun]:
-    """Run every algorithm once on the same environment realization."""
+    """Run every algorithm once on the same environment realization.
+
+    With ``scale.materialize`` (the default) the realization's cost
+    traces are precomputed once and shared by all algorithms; the
+    incremental path is kept for ``materialize=False`` (the benchmark
+    baseline and a debugging aid).
+    """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
     rounds = rounds if rounds is not None else scale.rounds
     seed = seed if seed is not None else scale.base_seed
@@ -36,11 +59,26 @@ def train_all(
         global_batch=scale.global_batch,
         seed=seed,
     )
-    trainer = SyncTrainer(env)
+    if scale.materialize:
+        env = env.materialize(rounds)
+    trainer = SyncTrainer(
+        env, include_overhead_in_wallclock=scale.include_overhead
+    )
     return {
         name: trainer.train(paper_balancer(name, scale.num_workers), rounds)
         for name in algorithms
     }
+
+
+def _run_realization(
+    model: str,
+    scale: ExperimentScale,
+    rounds: int | None,
+    seed: int,
+    algorithms: list[str],
+) -> dict[str, TrainingRun]:
+    """Picklable per-realization task for the process pool."""
+    return train_all(model, scale, rounds=rounds, seed=seed, algorithms=algorithms)
 
 
 def sweep_realizations(
@@ -48,18 +86,36 @@ def sweep_realizations(
     scale: ExperimentScale,
     rounds: int | None = None,
     algorithms: Sequence[str] | None = None,
+    jobs: int | None = None,
 ) -> dict[str, list[TrainingRun]]:
     """Run every algorithm over ``scale.realizations`` processor samplings.
 
     Realization ``r`` uses seed ``base_seed + r`` for the environment, so
     all algorithms inside one realization face identical costs (paired
     comparison, as in the paper's Figs. 4-5).
+
+    ``jobs`` (default ``scale.jobs``) > 1 distributes realizations over a
+    process pool. Each realization is an independent seeded world, and the
+    merge below iterates futures in submission order, so the result — and
+    any CSV derived from it — is identical to the serial sweep.
     """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
+    jobs = jobs if jobs is not None else scale.jobs
+    seeds = [scale.base_seed + r for r in range(scale.realizations)]
+    if jobs > 1 and len(seeds) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+            futures = [
+                pool.submit(_run_realization, model, scale, rounds, seed, algorithms)
+                for seed in seeds
+            ]
+            per_realization = [future.result() for future in futures]
+    else:
+        per_realization = [
+            train_all(model, scale, rounds=rounds, seed=seed, algorithms=algorithms)
+            for seed in seeds
+        ]
     out: dict[str, list[TrainingRun]] = {name: [] for name in algorithms}
-    for r in range(scale.realizations):
-        runs = train_all(model, scale, rounds=rounds, seed=scale.base_seed + r,
-                         algorithms=algorithms)
+    for runs in per_realization:
         for name, run in runs.items():
             out[name].append(run)
     return out

@@ -3,6 +3,7 @@
 from repro.mlsim.dataset import SyntheticDataset, largest_remainder_split
 from repro.mlsim.environment import TrainingEnvironment
 from repro.mlsim.learning import LearningCurve
+from repro.mlsim.materialized import MaterializedEnvironment
 from repro.mlsim.models import (
     LENET5,
     MODEL_CATALOG,
@@ -40,6 +41,7 @@ __all__ = [
     "TraceEnvironment",
     "CommEnvironment",
     "TrainingEnvironment",
+    "MaterializedEnvironment",
     "SyntheticDataset",
     "largest_remainder_split",
     "LearningCurve",

@@ -102,6 +102,31 @@ class TrainingEnvironment(CostProcess):
             for i in range(self.num_workers)
         ]
 
+    def materialize(self, horizon: int):
+        """Precompute rounds ``1..horizon`` as a :class:`MaterializedEnvironment`.
+
+        One pass over the per-worker fluctuation traces yields ``(T, N)``
+        speed and communication matrices whose entries are bit-identical
+        to :meth:`speed_at`/:meth:`comm_at` (same scalar IEEE operations,
+        applied elementwise). The returned environment serves ``costs_at``
+        as O(1) array slices — use it whenever the horizon is known up
+        front, and share it across algorithms replaying one realization.
+        """
+        from repro.mlsim.materialized import MaterializedEnvironment
+
+        multipliers = np.stack(
+            [trace.materialize(horizon) for trace in self._speed_traces], axis=1
+        )
+        speed_matrix = self.base_speeds[None, :] * multipliers
+        return MaterializedEnvironment(
+            model=self.model,
+            global_batch=self.global_batch,
+            seed=self.seed,
+            fleet=self.fleet,
+            speed_matrix=speed_matrix,
+            comm_matrix=self.comm.materialize(horizon),
+        )
+
     def processor_names(self) -> list[str]:
         """Device type of each worker (Figs. 9-10 color the lines by this)."""
         return [spec.name for spec in self.fleet]

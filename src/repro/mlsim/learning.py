@@ -55,6 +55,19 @@ class LearningCurve:
         noisy = mean + float(self._rng.normal(0.0, self.noise_std))
         return min(max(noisy, self.model.accuracy_init), 1.0)
 
+    def accuracy_series(self, epochs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`accuracy` over a whole trajectory of epochs.
+
+        Draws one noise sample per entry from the same generator, so the
+        result is bit-identical to calling :meth:`accuracy` sequentially
+        on each element (``Generator.normal(size=n)`` consumes the stream
+        exactly like ``n`` scalar draws).
+        """
+        e = np.asarray(epochs, dtype=float)
+        mean = np.asarray(self.mean_accuracy(e), dtype=float)
+        noisy = mean + self._rng.normal(0.0, self.noise_std, size=e.shape)
+        return np.minimum(np.maximum(noisy, self.model.accuracy_init), 1.0)
+
     def epochs_to_accuracy(self, target: float) -> float:
         """Epochs needed for the mean curve to reach ``target`` accuracy."""
         m = self.model

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.mlsim.models import ModelProfile
 from repro.mlsim.processors import ProcessorSpec
@@ -73,3 +75,17 @@ class CommEnvironment:
     def comm_time(self, worker: int, t: int) -> float:
         """``f^C_{i,t} = d / phi_{i,t} + base_latency`` in seconds."""
         return self.payload_bits / self.rate(worker, t) + self.base_latency
+
+    def materialize(self, horizon: int) -> np.ndarray:
+        """``(horizon, N)`` matrix of communication times for rounds 1..T.
+
+        Performs the same scalar operations as :meth:`comm_time`
+        (``payload / (nic * multiplier) + base``) elementwise, so entries
+        are bit-identical to the incremental accessor.
+        """
+        multipliers = np.stack(
+            [trace.materialize(horizon) for trace in self._traces], axis=1
+        )
+        nic = np.array([spec.nic_bps for spec in self.fleet], dtype=float)
+        rates = nic[None, :] * multipliers
+        return self.payload_bits / rates + self.base_latency

@@ -71,33 +71,67 @@ class FluctuationTrace:
         self.spike_slowdown = (float(lo), float(hi))
         self.spike_mean_duration = float(spike_mean_duration)
         self.floor = float(floor)
-        self._rng = np.random.default_rng(seed)
+        # Two independent substreams: the AR(1) innovations are drawn in
+        # one vectorized batch per extension, while the spike machinery
+        # consumes its stream conditionally step by step. Splitting them
+        # keeps the batch draw from perturbing the spike sequence.
+        self._rng_ar = np.random.default_rng(np.random.SeedSequence([seed, 0xA1]))
+        self._rng_spike = np.random.default_rng(np.random.SeedSequence([seed, 0x59]))
         self._values: list[float] = []
         self._log_state = 0.0
         self._spike_remaining = 0
         self._spike_factor = 1.0
 
-    def _advance(self) -> float:
-        self._log_state = self.rho * self._log_state + self._rng.normal(
-            0.0, self.sigma
-        )
-        if self._spike_remaining > 0:
-            self._spike_remaining -= 1
-        else:
-            self._spike_factor = 1.0
-            if self._rng.random() < self.spike_probability:
-                lo, hi = self.spike_slowdown
-                self._spike_factor = float(self._rng.uniform(lo, hi))
-                self._spike_remaining = int(
-                    self._rng.geometric(1.0 / self.spike_mean_duration)
-                )
-        value = float(np.exp(self._log_state)) * self._spike_factor
-        return max(value, self.floor)
+    def _extend(self, upto: int) -> None:
+        """Generate rounds ``len(cache)+1 .. upto`` into the cache.
+
+        Both :meth:`at` and :meth:`materialize` extend through here, so a
+        trace can be materialized and then still queried incrementally
+        (or vice versa) with bit-identical values.
+        """
+        k = upto - len(self._values)
+        if k <= 0:
+            return
+        innovations = self._rng_ar.normal(0.0, self.sigma, size=k)
+        log_states = np.empty(k)
+        state = self._log_state
+        rho = self.rho
+        for j in range(k):
+            state = rho * state + innovations[j]
+            log_states[j] = state
+        self._log_state = state
+        factors = np.empty(k)
+        rng = self._rng_spike
+        p = self.spike_probability
+        lo, hi = self.spike_slowdown
+        inv_duration = 1.0 / self.spike_mean_duration
+        for j in range(k):
+            if self._spike_remaining > 0:
+                self._spike_remaining -= 1
+            else:
+                self._spike_factor = 1.0
+                if rng.random() < p:
+                    self._spike_factor = float(rng.uniform(lo, hi))
+                    self._spike_remaining = int(rng.geometric(inv_duration))
+            factors[j] = self._spike_factor
+        values = np.maximum(np.exp(log_states) * factors, self.floor)
+        self._values.extend(values.tolist())
 
     def at(self, t: int) -> float:
         """Multiplier in round ``t`` (1-based); cached and replayable."""
         if t < 1:
             raise ConfigurationError(f"rounds are 1-based, got {t}")
-        while len(self._values) < t:
-            self._values.append(self._advance())
+        self._extend(t)
         return self._values[t - 1]
+
+    def materialize(self, horizon: int) -> np.ndarray:
+        """Multipliers for rounds ``1..horizon`` as one array.
+
+        Fills the same per-round cache :meth:`at` serves from (see
+        :meth:`_extend`), so mixing materialized and incremental access
+        is always consistent.
+        """
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self._extend(horizon)
+        return np.asarray(self._values[:horizon], dtype=float)

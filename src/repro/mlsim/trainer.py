@@ -19,10 +19,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.interface import OnlineLoadBalancer, make_feedback
-from repro.exceptions import ConfigurationError
-from repro.mlsim.dataset import SyntheticDataset
+from repro.exceptions import ConfigurationError, SolverError
+from repro.mlsim.dataset import SyntheticDataset, largest_remainder_split_rows
 from repro.mlsim.environment import TrainingEnvironment
 from repro.mlsim.learning import LearningCurve
+from repro.mlsim.materialized import MaterializedEnvironment
 from repro.utils.timer import Stopwatch
 
 __all__ = ["TrainingRun", "SyncTrainer"]
@@ -105,7 +106,7 @@ class SyncTrainer:
 
     def __init__(
         self,
-        environment: TrainingEnvironment,
+        environment: TrainingEnvironment | MaterializedEnvironment,
         dataset: SyntheticDataset | None = None,
         curve: LearningCurve | None = None,
         integer_batches: bool = False,
@@ -147,6 +148,30 @@ class SyncTrainer:
         overhead = np.empty(rounds)
         accuracy = np.empty(rounds)
 
+        # Materialized environments serve whole rounds as (N,) array rows;
+        # the incremental path is the verbatim per-round reference engine
+        # (partition, accuracy, and row assembly all inside the loop),
+        # against which the vectorized path is verified bit-identical —
+        # see tests/integration/test_materialization.
+        speed_row = getattr(self.env, "speed_row", None)
+        comm_row = getattr(self.env, "comm_row", None)
+        fast = speed_row is not None
+
+        if fast and balancer.requires_oracle:
+            prime = getattr(balancer, "prime", None)
+            if prime is not None:
+                # Clairvoyant balancers batch-solve the whole horizon in
+                # one pass; each round's oracle_decide verifies the
+                # revealed costs against the primed row, so this is pure
+                # acceleration (see DynamicOptimum.prime).
+                try:
+                    prime(
+                        self.env.slope_matrix[:rounds],
+                        self.env.comm_matrix[:rounds],
+                    )
+                except SolverError:
+                    pass  # exotic costs (zero slopes): solve per round
+
         watch = Stopwatch()
         samples_done = 0.0
         for t in range(1, rounds + 1):
@@ -157,13 +182,19 @@ class SyncTrainer:
                 else:
                     x_t = balancer.decide()
 
-            b_int = self.dataset.partition(x_t, big_b)
-            if self.integer_batches:
-                effective = b_int / big_b
+            if self.integer_batches or not fast:
+                # Quantization feeds back into the realized latencies, so
+                # the partition must happen inside the round; the fast
+                # path otherwise integerizes the whole run at the end.
+                b_int = self.dataset.partition(x_t, big_b)
+                batches[t - 1] = b_int
+            effective = b_int / big_b if self.integer_batches else x_t
+            if fast:
+                speeds = speed_row(t)
+                comm_t = comm_row(t)
             else:
-                effective = x_t
-            speeds = np.array([self.env.speed_at(i, t) for i in range(n)])
-            comm_t = np.array([self.env.comm_at(i, t) for i in range(n)])
+                speeds = np.array([self.env.speed_at(i, t) for i in range(n)])
+                comm_t = np.array([self.env.comm_at(i, t) for i in range(n)])
             compute_t = effective * big_b / speeds
             local_t = compute_t + comm_t
 
@@ -187,7 +218,6 @@ class SyncTrainer:
                 balancer.update(feedback)
 
             fractions[t - 1] = feedback.allocation
-            batches[t - 1] = b_int
             compute[t - 1] = compute_t
             comm[t - 1] = comm_t
             local[t - 1] = local_t
@@ -195,16 +225,25 @@ class SyncTrainer:
             stragglers[t - 1] = feedback.straggler
             overhead[t - 1] = watch.laps[-2] + watch.laps[-1]
 
-            samples_done += big_b
-            accuracy[t - 1] = self.curve.accuracy(
-                self.dataset.epochs_after(samples_done)
-            )
+            if not fast:
+                samples_done += big_b
+                accuracy[t - 1] = self.curve.accuracy(
+                    self.dataset.epochs_after(samples_done)
+                )
 
         waiting = round_latency[:, None] - local
         wall = np.cumsum(round_latency)
         if self.include_overhead_in_wallclock:
             wall = wall + np.cumsum(overhead)
         epochs = np.arange(1, rounds + 1) * big_b / self.dataset.num_samples
+        if fast:
+            # With exact fractional workloads the integer partition and
+            # the accuracy noise never feed back into the dynamics, so
+            # both collapse to one vectorized pass over the trajectory
+            # (bit-identical to the per-round reference calls).
+            if not self.integer_batches:
+                batches = largest_remainder_split_rows(fractions, big_b)
+            accuracy = self.curve.accuracy_series(epochs)
 
         return TrainingRun(
             algorithm=balancer.name,

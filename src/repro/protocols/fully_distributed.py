@@ -285,7 +285,10 @@ class _Peer(Node):
                 f"straggler workload went negative ({x_new:.3e}); the verbatim "
                 "Eq. (8) cap was insufficient this round"
             )
-        self.x = max(x_new, 0.0)
+        # Snap dust to exactly zero — mirrors the centralized reference,
+        # whose closing sum runs in a different order and would otherwise
+        # drift onto a different trajectory via straggler-tie flips.
+        self.x = x_new if x_new >= 1e-12 else 0.0
         self.alpha_bar = min(
             self.alpha_bar, feasibility_cap(self.x, len(self.roster))
         )  # line 13 / Eq. (8)

@@ -220,7 +220,10 @@ class _Master(Node):
                 "verbatim Eq. (7) cap was insufficient this round (see "
                 "Dolbie.exact_feasibility_guard)"
             )
-        x_straggler = max(x_straggler, 0.0)
+        # Snap dust to exactly zero, mirroring the centralized reference
+        # (whose closing sum runs in a different order), so both stay on
+        # identical trajectories instead of diverging via tie flips.
+        x_straggler = x_straggler if x_straggler >= 1e-12 else 0.0
         assert self.straggler is not None
         self.send(self.straggler, TAG_ASSIGN, {"x": x_straggler}, message.round_index)
         self.alpha = min(

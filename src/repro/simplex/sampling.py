@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.exceptions import FeasibilityError
@@ -36,9 +38,15 @@ def equal_split(n: int) -> np.ndarray:
 def is_feasible(x: np.ndarray, atol: float = 1e-8) -> bool:
     """True when ``x`` satisfies constraints (2)-(3) within tolerance."""
     arr = np.asarray(x, dtype=float)
-    if arr.ndim != 1 or arr.size == 0 or not np.all(np.isfinite(arr)):
+    if arr.ndim != 1 or arr.size == 0:
         return False
-    return bool(np.all(arr >= -atol) and abs(arr.sum() - 1.0) <= atol * max(1, arr.size))
+    # A single non-finite entry makes the IEEE-754 sum non-finite (inf
+    # stays inf, opposing infs give nan, nan propagates), so checking the
+    # sum covers element finiteness without a separate isfinite pass.
+    total = arr.sum()
+    if not math.isfinite(total):
+        return False
+    return bool(arr.min() >= -atol and abs(total - 1.0) <= atol * max(1, arr.size))
 
 
 def clip_to_simplex(x: np.ndarray, atol: float = 1e-8) -> np.ndarray:

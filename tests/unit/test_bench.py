@@ -1,0 +1,93 @@
+"""Unit tests for the perf-regression benchmark machinery."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    BENCH,
+    BenchmarkResult,
+    SCHEMA,
+    compare_to_baseline,
+    load_results,
+    write_results,
+)
+
+
+def _result(name="fig4", speedup=5.0):
+    return BenchmarkResult(
+        name=name,
+        incremental_s=1.0,
+        materialized_s=1.0 / speedup,
+        speedup=speedup,
+        rounds=1000,
+    )
+
+
+def _baseline(**speedups):
+    return {
+        "schema": SCHEMA,
+        "benchmarks": {
+            name: {"speedup": value} for name, value in speedups.items()
+        },
+    }
+
+
+class TestCompareToBaseline:
+    def test_passes_within_tolerance(self):
+        failures = compare_to_baseline(
+            [_result(speedup=4.0)], _baseline(fig4=5.0), tolerance=0.3
+        )
+        assert failures == []
+
+    def test_fails_below_tolerance(self):
+        failures = compare_to_baseline(
+            [_result(speedup=3.0)], _baseline(fig4=5.0), tolerance=0.3
+        )
+        assert len(failures) == 1
+        assert "fig4" in failures[0]
+
+    def test_improvements_always_pass(self):
+        failures = compare_to_baseline(
+            [_result(speedup=50.0)], _baseline(fig4=5.0), tolerance=0.0
+        )
+        assert failures == []
+
+    def test_missing_benchmark_reported(self):
+        failures = compare_to_baseline(
+            [_result(name="brand_new")], _baseline(fig4=5.0)
+        )
+        assert len(failures) == 1
+        assert "brand_new" in failures[0]
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline([_result()], _baseline(fig4=5.0), tolerance=1.0)
+        with pytest.raises(ValueError):
+            compare_to_baseline([_result()], _baseline(fig4=5.0), tolerance=-0.1)
+
+
+class TestResultsFile:
+    def test_round_trip(self, tmp_path):
+        path = write_results(
+            [_result(), _result(name="fig5", speedup=6.0)],
+            tmp_path / "BENCH_results.json",
+            BENCH,
+            jobs=2,
+        )
+        data = load_results(path)
+        assert data["schema"] == SCHEMA
+        assert data["jobs"] == 2
+        assert data["scale"]["rounds"] == BENCH.rounds
+        assert set(data["benchmarks"]) == {"fig4", "fig5"}
+        assert data["benchmarks"]["fig5"]["speedup"] == pytest.approx(6.0)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "benchmarks": {}}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_rounds_per_s(self):
+        result = _result(speedup=4.0)
+        assert result.rounds_per_s == pytest.approx(4000.0)

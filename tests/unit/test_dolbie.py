@@ -157,8 +157,12 @@ class TestHistoryRecording:
         run_online(off, process, 10)
         assert len(on.x_prime_history) == 10
         assert len(on.assistance_history) == 10
+        assert len(on.straggler_history) == 10
         assert off.x_prime_history == []
-        assert len(off.straggler_history) == 10
+        assert off.assistance_history == []
+        # The straggler log is gated too: unbounded growth in long runs
+        # (chaos soaks, paper-scale sweeps) was a memory leak.
+        assert off.straggler_history == []
 
 
 class TestValidation:

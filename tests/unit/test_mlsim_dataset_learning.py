@@ -115,3 +115,44 @@ class TestLearningCurve:
     def test_negative_epochs_rejected(self):
         with pytest.raises(ConfigurationError):
             LearningCurve(RESNET18).mean_accuracy(-1.0)
+
+
+class TestLargestRemainderSplitRows:
+    def test_rows_match_1d_splits_bitwise(self):
+        from repro.mlsim.dataset import largest_remainder_split_rows
+
+        rng = np.random.default_rng(5)
+        fractions = rng.dirichlet(np.ones(9), size=25)
+        counts = largest_remainder_split_rows(fractions, 257)
+        assert counts.sum(axis=1).tolist() == [257] * 25
+        for t in range(25):
+            assert np.array_equal(
+                counts[t], largest_remainder_split(fractions[t], 257)
+            )
+
+    def test_validation(self):
+        from repro.mlsim.dataset import largest_remainder_split_rows
+
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split_rows(np.ones(4), 10)  # not 2-D
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split_rows(np.array([[0.5, -0.5]]), 10)
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split_rows(np.array([[0.0, 0.0]]), 10)
+        with pytest.raises(ConfigurationError):
+            largest_remainder_split_rows(np.array([[0.5, 0.5]]), -1)
+
+
+class TestAccuracySeries:
+    def test_matches_sequential_accuracy_calls_bitwise(self):
+        epochs = np.linspace(0.1, 20.0, 60)
+        sequential = LearningCurve(RESNET18, noise_std=0.01, seed=4)
+        batched = LearningCurve(RESNET18, noise_std=0.01, seed=4)
+        expected = np.array([sequential.accuracy(e) for e in epochs])
+        assert np.array_equal(batched.accuracy_series(epochs), expected)
+
+    def test_series_is_clipped(self):
+        curve = LearningCurve(LENET5, noise_std=0.5, seed=0)
+        series = curve.accuracy_series(np.linspace(0.0, 200.0, 500))
+        assert (series >= LENET5.accuracy_init).all()
+        assert (series <= 1.0).all()
