@@ -15,6 +15,12 @@ faults, independently of the allocation's optimality:
 4. **No silent drops.** Unhandled tags raise ``ProtocolError`` at the
    node layer, so any swallowed exception would surface as a missing
    round outcome — checked via the returned global cost/straggler.
+5. **Chaos rounds take the reference path.** The batched fast path
+   (:mod:`repro.net.batch`) is only valid on healthy rounds; a round
+   that ran batched while chaos hooks were active or the roster was
+   degraded would silently skip the fault semantics, so the invariant
+   checker diffs the protocol's ``fast_rounds`` counter across the
+   round and flags it.
 
 ``check_round_invariants`` returns human-readable violation strings
 (empty list = healthy); :func:`assert_round_invariants` raises
@@ -44,6 +50,7 @@ class RoundObservation:
         engine = protocol.cluster.engine
         self.time_before = engine.now
         self.events_before = engine.processed_events
+        self.fast_rounds_before = getattr(protocol, "fast_rounds", 0)
 
 
 def check_round_invariants(
@@ -119,6 +126,22 @@ def check_round_invariants(
             "virtual time did not advance (run chaos soaks with links "
             "of positive latency)"
         )
+
+    # 5. the batched fast path only runs on healthy full-roster rounds
+    took_fast_path = (
+        getattr(protocol, "fast_rounds", 0) > observation.fast_rounds_before
+    )
+    if took_fast_path:
+        if protocol.cluster.chaos_active:
+            violated(
+                "the batched fast path ran while chaos hooks were active "
+                "(fault semantics would be skipped)"
+            )
+        if len(roster) < num_workers:
+            violated(
+                f"the batched fast path ran on a degraded roster "
+                f"({len(roster)}/{num_workers} workers)"
+            )
 
     # 4. every rostered worker produced a cost; nobody else did
     local = np.asarray(local, dtype=float)

@@ -142,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="overwrite the baseline with this run instead of comparing",
     )
+    bench.add_argument(
+        "--only", nargs="+", default=None,
+        help="run a named subset of benchmarks (e.g. proto_fd_n100); "
+        "the results file then holds just that subset, so pair with "
+        "a non-default --out",
+    )
     bench.add_argument("--jobs", type=int, default=1)
 
     figures = sub.add_parser(
@@ -221,6 +227,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
         update_baseline=args.update_baseline,
         jobs=args.jobs,
+        only=args.only,
     )
 
 

@@ -78,6 +78,21 @@ class AffineCostVector(Sequence[AffineLatencyCost]):
             validate=False,
         )
 
+    @classmethod
+    def coerce(cls, costs: Sequence) -> "AffineCostVector | None":
+        """``costs`` as an :class:`AffineCostVector` if representable.
+
+        Returns the input unchanged when it already is one, packs a list
+        of plain default-domain :class:`AffineLatencyCost` objects, and
+        returns ``None`` for anything else (callers then take a scalar
+        per-cost loop, which is bit-identical by construction).
+        """
+        if isinstance(costs, cls):
+            return costs
+        if all(type(c) is AffineLatencyCost and c.x_max == 1.0 for c in costs):
+            return cls.from_costs(costs)
+        return None
+
     def __len__(self) -> int:
         return self.slopes.size
 

@@ -20,12 +20,13 @@ baseline after intentional performance changes.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.experiments.config import QUICK, ExperimentScale
 
 __all__ = [
     "BENCH",
+    "PROTOCOL_SCALES",
     "BenchmarkResult",
     "run_benchmarks",
     "write_results",
@@ -164,6 +166,46 @@ def _bench_micro_minmax(scale: ExperimentScale, repetitions: int) -> BenchmarkRe
     return _paired("micro_minmax_solve", incremental, materialized, repetitions, rounds)
 
 
+#: Worker counts of the protocol-scaling suite; rounds per timed leg are
+#: scaled down with N so the event-engine reference leg stays bounded.
+PROTOCOL_SCALES = {30: 60, 100: 20, 300: 5}
+
+
+def _bench_protocol(arch: str, n: int, rounds: int, repetitions: int) -> BenchmarkResult:
+    """Protocol round loop: event-engine reference vs. batched fast path.
+
+    Both legs replay the identical seeded world (costs and link delays),
+    so the ratio isolates the delivery machinery — per-``Message`` heapq
+    events vs. struct-of-arrays phases (:mod:`repro.net.batch`).
+    """
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import Link, UniformLatency
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+    from repro.protocols.master_worker import MasterWorkerDolbie
+
+    speeds = [1.0 + (i % 23) for i in range(n)]
+    protocol_cls = {
+        "fd": FullyDistributedDolbie,
+        "mw": MasterWorkerDolbie,
+    }[arch]
+
+    def run(fast: bool) -> None:
+        process = RandomAffineProcess(
+            speeds, sigma=0.1, comm_scale=0.01, seed=n
+        )
+        link = Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+        protocol = protocol_cls(n, link=link, use_fast_path=fast)
+        protocol.run(process, rounds)
+
+    return _paired(
+        f"proto_{arch}_n{n}",
+        lambda: run(False),
+        lambda: run(True),
+        repetitions,
+        rounds,
+    )
+
+
 def _bench_figure(
     name: str,
     runner: Callable[[ExperimentScale], object],
@@ -188,18 +230,49 @@ def run_benchmarks(
     scale: ExperimentScale = BENCH,
     repetitions: int = 5,
     jobs: int = 1,
+    only: Sequence[str] | None = None,
 ) -> list[BenchmarkResult]:
-    """Run the full suite; ``repetitions=1`` is the CI ``--quick`` mode."""
+    """Run the suite; ``repetitions=1`` is the CI ``--quick`` mode.
+
+    ``only`` selects a subset by name (e.g. ``["proto_fd_n100"]``) —
+    handy when refreshing one baseline entry without re-timing the rest.
+    """
     from repro.experiments import fig4_latency_ci, fig5_cumulative_latency
 
     scale = replace(scale, jobs=jobs)
-    results = [
-        _bench_micro_costs_at(scale, repetitions),
-        _bench_micro_minmax(scale, repetitions),
-        _bench_figure("fig4", fig4_latency_ci.run, scale, repetitions),
-        _bench_figure("fig5", fig5_cumulative_latency.run, scale, repetitions),
+    suite: list[tuple[str, Callable[[], BenchmarkResult]]] = [
+        ("micro_costs_at", lambda: _bench_micro_costs_at(scale, repetitions)),
+        ("micro_minmax_solve", lambda: _bench_micro_minmax(scale, repetitions)),
+        (
+            "fig4",
+            lambda: _bench_figure("fig4", fig4_latency_ci.run, scale, repetitions),
+        ),
+        (
+            "fig5",
+            lambda: _bench_figure(
+                "fig5", fig5_cumulative_latency.run, scale, repetitions
+            ),
+        ),
     ]
-    return results
+    for arch in ("mw", "fd"):
+        for n, rounds in sorted(PROTOCOL_SCALES.items()):
+            suite.append(
+                (
+                    f"proto_{arch}_n{n}",
+                    lambda arch=arch, n=n, rounds=rounds: _bench_protocol(
+                        arch, n, rounds, repetitions
+                    ),
+                )
+            )
+    if only is not None:
+        unknown = set(only) - {name for name, _ in suite}
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"available: {[name for name, _ in suite]}"
+            )
+        suite = [(name, fn) for name, fn in suite if name in set(only)]
+    return [fn() for _, fn in suite]
 
 
 def write_results(
@@ -220,6 +293,13 @@ def write_results(
         "jobs": jobs,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # Machine context: speedup ratios transfer across hardware, but
+        # when a gate fails on a different runner this says what ran it.
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
         "benchmarks": {
             r.name: {
                 "incremental_s": round(r.incremental_s, 6),
@@ -283,8 +363,14 @@ def main(
     quick: bool = False,
     update_baseline: bool = False,
     jobs: int = 1,
+    only: Sequence[str] | None = None,
 ) -> int:
-    """Entry point behind ``python -m repro bench``; returns exit code."""
+    """Entry point behind ``python -m repro bench``; returns exit code.
+
+    ``only`` runs a named subset; the results file then holds just that
+    subset, so pair it with a non-default ``--out`` unless you mean to
+    rewrite the baseline.
+    """
     from repro.experiments.reporting import print_table
 
     # Read the committed baseline before (possibly) overwriting it: the
@@ -295,7 +381,7 @@ def main(
         baseline_data = load_results(baseline_path)
 
     repetitions = 1 if quick else 5
-    results = run_benchmarks(BENCH, repetitions=repetitions, jobs=jobs)
+    results = run_benchmarks(BENCH, repetitions=repetitions, jobs=jobs, only=only)
 
     print_table(
         f"Engine benchmarks — BENCH scale ({BENCH.realizations} realizations, "

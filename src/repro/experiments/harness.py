@@ -19,6 +19,7 @@ Two execution-layer optimizations live here (design notes in
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -28,12 +29,75 @@ from repro.mlsim.environment import TrainingEnvironment
 from repro.mlsim.trainer import SyncTrainer, TrainingRun
 
 __all__ = [
+    "RealizationSpec",
     "train_all",
     "sweep_realizations",
     "reduction_vs",
     "stack_round_latency",
     "stack_cumulative_latency",
 ]
+
+
+@dataclass(frozen=True)
+class RealizationSpec:
+    """Compact picklable description of one realization.
+
+    This is the *entire* IPC payload a pool worker receives: plain
+    scalars and strings, never an environment object. The worker rebuilds
+    the :class:`~repro.mlsim.environment.TrainingEnvironment` from the
+    config and seed and materializes the ``(T, N)`` cost traces locally,
+    so the (potentially large) matrices are computed where they are used
+    instead of being pickled across the process boundary.
+    """
+
+    model: str
+    num_workers: int
+    global_batch: int
+    rounds: int
+    seed: int
+    materialize: bool
+    include_overhead: bool
+    algorithms: tuple[str, ...]
+
+    @classmethod
+    def from_scale(
+        cls,
+        model: str,
+        scale: ExperimentScale,
+        rounds: int | None,
+        seed: int,
+        algorithms: Sequence[str],
+    ) -> "RealizationSpec":
+        return cls(
+            model=model,
+            num_workers=scale.num_workers,
+            global_batch=scale.global_batch,
+            rounds=rounds if rounds is not None else scale.rounds,
+            seed=seed,
+            materialize=scale.materialize,
+            include_overhead=scale.include_overhead,
+            algorithms=tuple(algorithms),
+        )
+
+    def run(self) -> dict[str, TrainingRun]:
+        """Build, (optionally) materialize, and train every algorithm."""
+        env = TrainingEnvironment(
+            self.model,
+            num_workers=self.num_workers,
+            global_batch=self.global_batch,
+            seed=self.seed,
+        )
+        if self.materialize:
+            env = env.materialize(self.rounds)
+        trainer = SyncTrainer(
+            env, include_overhead_in_wallclock=self.include_overhead
+        )
+        return {
+            name: trainer.train(
+                paper_balancer(name, self.num_workers), self.rounds
+            )
+            for name in self.algorithms
+        }
 
 
 def train_all(
@@ -51,34 +115,13 @@ def train_all(
     baseline and a debugging aid).
     """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
-    rounds = rounds if rounds is not None else scale.rounds
     seed = seed if seed is not None else scale.base_seed
-    env = TrainingEnvironment(
-        model,
-        num_workers=scale.num_workers,
-        global_batch=scale.global_batch,
-        seed=seed,
-    )
-    if scale.materialize:
-        env = env.materialize(rounds)
-    trainer = SyncTrainer(
-        env, include_overhead_in_wallclock=scale.include_overhead
-    )
-    return {
-        name: trainer.train(paper_balancer(name, scale.num_workers), rounds)
-        for name in algorithms
-    }
+    return RealizationSpec.from_scale(model, scale, rounds, seed, algorithms).run()
 
 
-def _run_realization(
-    model: str,
-    scale: ExperimentScale,
-    rounds: int | None,
-    seed: int,
-    algorithms: list[str],
-) -> dict[str, TrainingRun]:
-    """Picklable per-realization task for the process pool."""
-    return train_all(model, scale, rounds=rounds, seed=seed, algorithms=algorithms)
+def _run_spec(spec: RealizationSpec) -> dict[str, TrainingRun]:
+    """Pool entry point (module-level so it pickles by reference)."""
+    return spec.run()
 
 
 def sweep_realizations(
@@ -95,25 +138,30 @@ def sweep_realizations(
     comparison, as in the paper's Figs. 4-5).
 
     ``jobs`` (default ``scale.jobs``) > 1 distributes realizations over a
-    process pool. Each realization is an independent seeded world, and the
-    merge below iterates futures in submission order, so the result — and
-    any CSV derived from it — is identical to the serial sweep.
+    process pool. Each worker receives only a :class:`RealizationSpec`
+    (config + seed) and materializes its environment locally — no cost
+    matrices cross the IPC boundary. Serial and parallel sweeps execute
+    the identical specs, and the merge below iterates futures in
+    submission (seed) order, so every simulated series (round latency,
+    costs, accuracy) is byte-identical either way. The one exception is
+    measured balancer overhead (``decision_seconds`` and, with
+    ``scale.include_overhead``, ``wall_clock``): that is real stopwatch
+    time and varies run to run regardless of execution mode.
     """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
     jobs = jobs if jobs is not None else scale.jobs
-    seeds = [scale.base_seed + r for r in range(scale.realizations)]
-    if jobs > 1 and len(seeds) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
-            futures = [
-                pool.submit(_run_realization, model, scale, rounds, seed, algorithms)
-                for seed in seeds
-            ]
+    specs = [
+        RealizationSpec.from_scale(
+            model, scale, rounds, scale.base_seed + r, algorithms
+        )
+        for r in range(scale.realizations)
+    ]
+    if jobs > 1 and len(specs) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            futures = [pool.submit(_run_spec, spec) for spec in specs]
             per_realization = [future.result() for future in futures]
     else:
-        per_realization = [
-            train_all(model, scale, rounds=rounds, seed=seed, algorithms=algorithms)
-            for seed in seeds
-        ]
+        per_realization = [spec.run() for spec in specs]
     out: dict[str, list[TrainingRun]] = {name: [] for name in algorithms}
     for runs in per_realization:
         for name, run in runs.items():

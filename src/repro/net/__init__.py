@@ -1,5 +1,6 @@
 """Discrete-event network substrate for the distributed protocols."""
 
+from repro.net.batch import BatchedCluster
 from repro.net.cluster import Cluster
 from repro.net.events import EventEngine
 from repro.net.links import (
@@ -9,17 +10,19 @@ from repro.net.links import (
     LogNormalLatency,
     UniformLatency,
 )
-from repro.net.message import Message, scalar_payload_size
+from repro.net.message import FrameBatch, Message, scalar_payload_size
 from repro.net.metrics import NetworkMetrics
 from repro.net.node import Node
 from repro.net.topology import Topology, connected_components
 
 __all__ = [
+    "BatchedCluster",
     "Cluster",
     "EventEngine",
     "Node",
     "Topology",
     "connected_components",
+    "FrameBatch",
     "Message",
     "scalar_payload_size",
     "NetworkMetrics",

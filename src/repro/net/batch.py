@@ -1,0 +1,96 @@
+"""Phase-batched message delivery: the protocol layer's fast path.
+
+The event engine delivers one :class:`~repro.net.message.Message` at a
+time through a heapq and per-frame Python callbacks. For the protocols'
+*healthy* rounds that generality is wasted: every round is a fixed
+sequence of broadcast/gather phases whose frames are all sent over the
+same default link. :class:`BatchedCluster` delivers such a phase in one
+step — all link delays sampled as a single numpy draw, frames carried as
+struct-of-arrays (:class:`~repro.net.message.FrameBatch`), metrics and
+receive counts bumped in bulk — and lets the caller advance virtual time
+to the phase maximum afterwards.
+
+Bit-identity contract (same discipline as ``docs/performance.md``):
+
+- **Draw order.** A phase's frames must be listed in event-engine send
+  order; ``LatencyModel.sample_batch`` is bit-identical to sequential
+  scalar draws *and* leaves the generator in the same stream position,
+  so batched rounds and event-engine rounds can be mixed within one run
+  (the auto-fallback relies on this).
+- **Accounting.** Message/byte totals, per-round and per-pair counts,
+  ``received_count`` and ``processed_events`` advance exactly as the
+  per-frame path would advance them.
+- **Eligibility.** :meth:`Cluster.batch_eligible` guards the fast path:
+  any chaos hook (partition, extra delay, frame loss), per-pair link
+  override, co-location, lossy default link, or in-flight event disables
+  batching; the protocols then fall back to the event engine, whose
+  semantics are untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.net.cluster import Cluster
+from repro.net.message import FrameBatch
+
+__all__ = ["BatchedCluster"]
+
+
+class BatchedCluster:
+    """Phase-level batched delivery over a cluster's default link."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> Cluster:
+        return self._cluster
+
+    @property
+    def now(self) -> float:
+        return self._cluster.engine.now
+
+    def eligible(self) -> bool:
+        """True when batched delivery is observably identical to the
+        event engine (see :meth:`Cluster.batch_eligible`)."""
+        return self._cluster.batch_eligible()
+
+    def deliver(
+        self, batch: FrameBatch, send_times: float | np.ndarray
+    ) -> np.ndarray:
+        """Deliver one phase; returns each frame's arrival time.
+
+        ``send_times`` is a scalar (all frames sent together) or a
+        per-frame array. The link delays for the whole phase are sampled
+        as **one** draw in frame order — the caller must list frames in
+        event-engine send order so the generator consumes the stream
+        identically to per-frame sends. Metrics and the receivers'
+        ``received_count`` are updated in bulk; the caller advances the
+        clock via :meth:`finish_round` once the round's last phase is in.
+        """
+        if not self.eligible():
+            raise SimulationError(
+                "batched delivery requested while the cluster is not "
+                "batch-eligible (chaos hooks active or frames in flight)"
+            )
+        delays = self._cluster._default_link.delay_batch(
+            batch.count, batch.size_bytes
+        )
+        arrivals = np.asarray(send_times, dtype=float) + delays
+        self._cluster.metrics.record_batch(
+            batch.round_index, batch.count, batch.total_bytes, batch.pairs()
+        )
+        counts = np.bincount(batch.dst)
+        for dst in np.flatnonzero(counts):
+            self._cluster.node(int(dst)).received_count += int(counts[dst])
+        return arrivals
+
+    def finish_round(self, now: float, events: int) -> None:
+        """Advance virtual time to the round's last arrival and credit
+        the delivered frames as processed events, so batched rounds and
+        event-engine rounds report identical clock/event statistics."""
+        engine = self._cluster.engine
+        engine.advance_to(now)
+        engine.credit_events(events)

@@ -186,6 +186,36 @@ class Cluster:
     def clear_frame_loss(self) -> None:
         self._loss_override = None
 
+    @property
+    def chaos_active(self) -> bool:
+        """True while any chaos hook (partition, extra delay, frame-loss
+        override) is in effect."""
+        return (
+            self._partition is not None
+            or bool(self._extra_delay)
+            or self._loss_override is not None
+        )
+
+    def batch_eligible(self) -> bool:
+        """True when phase-batched delivery is observably identical to
+        per-frame delivery: no chaos hooks, no per-pair link overrides,
+        no co-located nodes, a lossless default link (no retransmits),
+        and an empty event queue (nothing in flight to interleave with).
+        """
+        return (
+            not self.chaos_active
+            and not self._links
+            and not self._colocated
+            and self._default_link.loss_probability == 0.0
+            and self.engine.pending == 0
+        )
+
+    def batched(self) -> "BatchedCluster":
+        """A phase-level batched view of this cluster (the fast path)."""
+        from repro.net.batch import BatchedCluster
+
+        return BatchedCluster(self)
+
     def _frame_dropped(self, link: Link) -> bool:
         """Sample one transmission attempt under the active loss regime."""
         if self._loss_override is not None:

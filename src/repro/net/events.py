@@ -32,11 +32,37 @@ class EventEngine:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` at ``now + delay`` (delay >= 0)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time`` without processing events.
+
+        Used by the batched fast path, which delivers a whole phase of
+        frames outside the queue and then advances virtual time to the
+        phase's last arrival.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot advance the clock backwards ({time} < {self._now})"
+            )
+        self._now = time
+
+    def credit_events(self, count: int) -> None:
+        """Account ``count`` events delivered outside the queue (the
+        batched fast path), keeping ``processed_events`` comparable
+        between batched and per-frame runs."""
+        if count < 0:
+            raise SimulationError(f"cannot credit {count} events")
+        self.processed_events += count
 
     def run(self, max_events: int | None = None) -> int:
         """Drain the queue; returns the number of events processed.
@@ -47,7 +73,9 @@ class EventEngine:
         while self._queue:
             if max_events is not None and processed >= max_events:
                 raise SimulationError(
-                    f"event budget of {max_events} exhausted; protocol livelock?"
+                    f"event budget of {max_events} exhausted; protocol livelock? "
+                    f"(queue depth {len(self._queue)}, virtual time "
+                    f"{self._now:.6f}, next event at t={self._queue[0][0]:.6f})"
                 )
             time, _seq, callback = heapq.heappop(self._queue)
             if time < self._now:  # pragma: no cover - heap guarantees order

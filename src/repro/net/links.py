@@ -23,6 +23,17 @@ class LatencyModel(abc.ABC):
     def sample(self) -> float:
         """Draw one propagation delay in seconds (>= 0)."""
 
+    def sample_batch(self, n: int) -> np.ndarray:
+        """Draw ``n`` propagation delays as one array.
+
+        Must be bit-identical to ``n`` sequential :meth:`sample` calls
+        *and* leave any underlying generator in the same stream position
+        (NumPy's ``Generator`` guarantees this for the distributions the
+        subclasses use), so batched and per-frame delivery can be mixed
+        freely within one run.
+        """
+        return np.array([self.sample() for _ in range(n)])
+
 
 class ConstantLatency(LatencyModel):
     """Fixed propagation delay."""
@@ -34,6 +45,9 @@ class ConstantLatency(LatencyModel):
 
     def sample(self) -> float:
         return self.seconds
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        return np.full(n, self.seconds)
 
 
 class UniformLatency(LatencyModel):
@@ -48,6 +62,9 @@ class UniformLatency(LatencyModel):
     def sample(self) -> float:
         return float(self._rng.uniform(self.low, self.high))
 
+    def sample_batch(self, n: int) -> np.ndarray:
+        return self._rng.uniform(self.low, self.high, n)
+
 
 class LogNormalLatency(LatencyModel):
     """Heavy-tailed delay: ``median * lognormal(0, sigma)``."""
@@ -60,6 +77,9 @@ class LogNormalLatency(LatencyModel):
 
     def sample(self) -> float:
         return self.median * float(self._rng.lognormal(0.0, self.sigma))
+
+    def sample_batch(self, n: int) -> np.ndarray:
+        return self.median * self._rng.lognormal(0.0, self.sigma, n)
 
 
 class Link:
@@ -100,6 +120,18 @@ class Link:
         if self.bandwidth_bps is not None:
             transmit = 8.0 * size_bytes / self.bandwidth_bps
         return self.latency.sample() + transmit
+
+    def delay_batch(self, n: int, size_bytes: int) -> np.ndarray:
+        """Delays for ``n`` equally-sized messages, sampled as one draw.
+
+        Bit-identical to ``n`` sequential :meth:`delay` calls and leaves
+        the latency model's generator in the same stream position (see
+        :meth:`LatencyModel.sample_batch`).
+        """
+        transmit = 0.0
+        if self.bandwidth_bps is not None:
+            transmit = 8.0 * size_bytes / self.bandwidth_bps
+        return self.latency.sample_batch(n) + transmit
 
     def drops_frame(self) -> bool:
         """Sample whether one transmission attempt is lost."""

@@ -8,10 +8,12 @@ unit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["Message", "scalar_payload_size", "SCALAR_BYTES"]
+import numpy as np
+
+__all__ = ["Message", "FrameBatch", "scalar_payload_size", "SCALAR_BYTES"]
 
 #: Wire size charged per scalar payload field.
 SCALAR_BYTES = 8
@@ -37,3 +39,39 @@ class Message:
     def __post_init__(self) -> None:
         if self.size_bytes < 0:
             raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+
+@dataclass(frozen=True)
+class FrameBatch:
+    """One protocol phase's frames as struct-of-arrays.
+
+    Instead of materializing per-frame :class:`Message` objects, a phase
+    carries its ``M`` same-tag frames as parallel columns: ``src``/``dst``
+    id arrays and one float array per scalar payload field. Frame order
+    is significant — it is the event-engine send order, which fixes both
+    the link-delay draw order and same-time delivery tie-breaking in the
+    batched fast path (:class:`repro.net.batch.BatchedCluster`).
+    """
+
+    tag: str
+    src: np.ndarray  #: (M,) sender ids, in send order
+    dst: np.ndarray  #: (M,) receiver ids, in send order
+    payload: Mapping[str, np.ndarray] = field(default_factory=dict)
+    round_index: int = 0
+
+    @property
+    def count(self) -> int:
+        return int(len(self.src))
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of each frame (all frames of a phase are equal-sized)."""
+        return SCALAR_BYTES * len(self.payload)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.size_bytes * self.count
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """Per-frame ``(src, dst)`` tuples, for per-pair metrics accounting."""
+        return [(int(s), int(d)) for s, d in zip(self.src, self.dst)]

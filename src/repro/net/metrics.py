@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.net.message import Message
 
@@ -30,6 +31,27 @@ class NetworkMetrics:
         self.per_round_messages[message.round_index] += 1
         self.per_round_bytes[message.round_index] += message.size_bytes
         self.per_pair_messages[(message.src, message.dst)] += 1
+
+    def record_batch(
+        self,
+        round_index: int,
+        messages: int,
+        bytes_total: int,
+        pairs: "Iterable[tuple[int, int]]",
+    ) -> None:
+        """Record a whole phase of same-round frames in bulk.
+
+        Equivalent to ``messages`` :meth:`record` calls: the totals and
+        per-round counters are bumped once, and each ``(src, dst)`` in
+        ``pairs`` (one entry per frame) gets one per-pair increment.
+        """
+        self.messages_total += messages
+        self.bytes_total += bytes_total
+        self.per_round_messages[round_index] += messages
+        self.per_round_bytes[round_index] += bytes_total
+        per_pair = self.per_pair_messages
+        for pair in pairs:
+            per_pair[pair] += 1
 
     def messages_in_round(self, round_index: int) -> int:
         return self.per_round_messages.get(round_index, 0)

@@ -27,12 +27,13 @@ from repro.core.interface import identify_straggler
 from repro.core.loop import RunResult
 from repro.core.membership import add_worker_allocation
 from repro.core.step_size import feasibility_cap, initial_step_size
+from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.net.cluster import Cluster
 from repro.net.links import Link
-from repro.net.message import Message
+from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
 from repro.net.topology import connected_components
 from repro.simplex.sampling import equal_split, is_feasible
@@ -307,11 +308,18 @@ class FullyDistributedDolbie:
         alpha_1: float | None = None,
         link: Link | None = None,
         topology: "Topology | None" = None,
+        use_fast_path: bool = True,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then
         spreads by flooding instead of direct all-to-all sends. ``None``
-        keeps the paper's implicit complete graph."""
+        keeps the paper's implicit complete graph.
+
+        ``use_fast_path`` enables the batched round-synchronous fast path
+        (:mod:`repro.net.batch`) on healthy all-to-all rounds; it is
+        bit-identical to the event engine and disabled automatically
+        whenever chaos hooks, dead peers, or a restricted topology are in
+        play (see :attr:`fast_rounds` / :attr:`fallback_rounds`)."""
         if num_workers < 2:
             raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
         self.num_workers = int(num_workers)
@@ -346,6 +354,11 @@ class FullyDistributedDolbie:
         #: (cut off by a partition or a dead relay); their shares are
         #: folded into the straggler until the topology heals.
         self._stalled: set[int] = set()
+        self.use_fast_path = bool(use_fast_path)
+        #: Rounds executed by the batched fast path / the event engine.
+        self.fast_rounds = 0
+        self.fallback_rounds = 0
+        self._fast_cache: tuple | None = None
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on. Surviving peers'
@@ -426,6 +439,10 @@ class FullyDistributedDolbie:
         """Components of the effective graph: alive peers, restricted to
         topology edges the current partition still allows."""
         alive = {i for i in range(self.num_workers) if self._alive[i]}
+        if self.topology is None and not self.cluster.partitioned and alive:
+            # Complete graph, no partition: any alive set is one component.
+            # Skips the O(N^2) traversal on every healthy round.
+            return [alive]
 
         def neighbors(i: int) -> list[int]:
             if self.topology is None:
@@ -469,6 +486,156 @@ class FullyDistributedDolbie:
     def metrics(self):
         return self.cluster.metrics
 
+    def _fast_eligible(self, participants: list[int]) -> bool:
+        """Whether this round can run on the batched fast path.
+
+        Requires the paper's implicit all-to-all connectivity, a full
+        healthy roster (no dead or stalled peers, every peer's local
+        roster complete), and a chaos-free cluster with no frames in
+        flight (:meth:`~repro.net.cluster.Cluster.batch_eligible`).
+        """
+        return (
+            self.use_fast_path
+            and self.topology is None
+            and len(participants) == self.num_workers
+            and all(len(p.roster) == self.num_workers for p in self.peers)
+            and self.cluster.batch_eligible()
+        )
+
+    def _fast_structures(self) -> tuple:
+        """Cached frame-order index structures for the batched phases.
+
+        Frame ``k`` of the cost broadcast is sender ``src[k]`` to receiver
+        ``dst[k]``, in the exact event-engine send order (peers in id
+        order, each broadcasting to ids ascending, skipping itself).
+        ``in_frames[j]`` lists the frame indices addressed to peer ``j``
+        in ascending order — ascending frame index doubles as the
+        event-engine's same-time delivery tie-break.
+        """
+        if self._fast_cache is None:
+            n = self.num_workers
+            ids = np.arange(n)
+            grid = np.tile(ids, (n, 1))
+            src = np.repeat(ids, n - 1)
+            dst = grid[grid != ids[:, None]]
+            # Row j of the same id-minus-self matrix is receiver j's
+            # senders (ascending), mirroring sender i's destinations.
+            senders = dst.reshape(n, n - 1)
+            # Frame from i to j sits at i*(n-1) + (j if j < i else j - 1).
+            offsets = np.where(ids[:, None] < senders, ids[:, None], ids[:, None] - 1)
+            in_frames = senders * (n - 1) + offsets
+            self._fast_cache = (self.cluster.batched(), src, dst, in_frames)
+        return self._fast_cache
+
+    def _run_round_fast(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One healthy round as two batched phases (Algorithm 2 verbatim).
+
+        Bit-identical to the event-engine round: link delays are drawn in
+        frame order (one draw per phase), per-peer completion events and
+        their (time, sequence) tie-breaks are reconstructed with array
+        ops, and the straggler's closing sum accumulates the decisions in
+        the same arrival order the event engine would insert them.
+        """
+        n = self.num_workers
+        peers = self.peers
+        batched, src, dst, in_frames = self._fast_structures()
+        t0 = self.cluster.engine.now
+        x = x_played
+        alphas = np.array([p.alpha_bar for p in peers])
+        vector = AffineCostVector.coerce(costs)
+        if vector is not None:
+            local = vector.values(x)
+        else:
+            local = np.array([fn(xi) for fn, xi in zip(costs, x)])
+
+        # Phase 1 (line 4): all-to-all (l_i, alpha-bar_i) broadcast.
+        cost_batch = FrameBatch(
+            TAG_COST, src, dst,
+            {"l": local[src], "alpha_bar": alphas[src]},
+            round_index,
+        )
+        arrivals = batched.deliver(cost_batch, t0)
+        arrivals_in = arrivals[in_frames]  # (n, n-1): per-receiver arrivals
+        completion = arrivals_in.max(axis=1)
+        # The completing event per peer: among tied last arrivals the
+        # event engine fires the highest-sequence (= frame index) last.
+        completing_frame = np.where(
+            arrivals_in == completion[:, None], in_frames, -1
+        ).max(axis=1)
+
+        # Lines 5-7: identical consensus at every peer.
+        straggler = int(identify_straggler(local))
+        global_cost = float(local.max())
+        alpha = float(alphas.min())
+
+        # Line 8: risk-averse update at the non-stragglers.
+        if vector is not None:
+            x_prime = np.minimum(vector.max_acceptable(global_cost), 1.0)
+        else:
+            x_prime = np.array(
+                [min(fn.max_acceptable(global_cost), 1.0) for fn in costs]
+            )
+        x_prime = np.maximum(x_prime, x)
+        x_new = x - alpha * (x - x_prime)
+
+        # Phase 2 (line 9): decisions to the straggler, sent the moment
+        # each non-straggler's completing event fires — frame order is
+        # completion order (time, then completing-event sequence).
+        non_stragglers = np.delete(np.arange(n), straggler)
+        send_order = np.lexsort(
+            (completing_frame[non_stragglers], completion[non_stragglers])
+        )
+        senders = non_stragglers[send_order]
+        decision_batch = FrameBatch(
+            TAG_DECISION, senders, np.full(n - 1, straggler),
+            {"x": x_new[senders]}, round_index,
+        )
+        decision_arrivals = batched.deliver(decision_batch, completion[senders])
+
+        # Lines 11-12: the straggler closes the simplex, accumulating the
+        # decisions in arrival order (ties by send sequence) exactly as
+        # the event engine inserts them into its dict.
+        arrival_order = np.lexsort((np.arange(n - 1), decision_arrivals))
+        ordered_senders = senders[arrival_order]
+        total = 0.0
+        for value in x_new[ordered_senders]:
+            total += value
+        x_close = 1.0 - total
+        if x_close < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({x_close:.3e}); the verbatim "
+                "Eq. (8) cap was insufficient this round"
+            )
+        x_close = float(x_close) if x_close >= 1e-12 else 0.0
+        x_new[straggler] = x_close
+
+        # Write the post-round state every peer would hold.
+        for i, peer in enumerate(peers):
+            peer.current_round = round_index
+            peer.cost_fn = costs[i]
+            peer.local_cost = float(local[i])
+            peer.is_straggler = False
+            peer.global_cost = global_cost
+            peer.straggler_id = straggler
+            peer.x = float(x_new[i])
+            peer._peer_decisions = {}
+        straggler_peer = peers[straggler]
+        straggler_peer._peer_decisions = {
+            int(j): float(x_new[j]) for j in ordered_senders
+        }
+        straggler_peer.alpha_bar = min(
+            straggler_peer.alpha_bar, feasibility_cap(straggler_peer.x, n)
+        )  # line 13 / Eq. (8)
+
+        final_now = max(float(arrivals.max()), float(decision_arrivals.max()))
+        batched.finish_round(final_now, arrivals.size + decision_arrivals.size)
+        return x_played, local, global_cost, straggler
+
     def run_round(
         self, round_index: int, costs: Sequence[CostFunction]
     ) -> tuple[np.ndarray, np.ndarray, float, int]:
@@ -500,6 +667,10 @@ class FullyDistributedDolbie:
         participants = self._participants()
         participant_set = set(participants)
         x_played = self.allocation
+        if self._fast_eligible(participants):
+            self.fast_rounds += 1
+            return self._run_round_fast(round_index, costs, x_played)
+        self.fallback_rounds += 1
         rosters_incomplete = any(
             set(self.peers[i].roster) != participant_set for i in participants
         )

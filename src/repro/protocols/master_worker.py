@@ -31,12 +31,13 @@ from repro.core.interface import identify_straggler
 from repro.core.loop import RunResult
 from repro.core.membership import add_worker_allocation
 from repro.core.step_size import feasibility_cap, initial_step_size
+from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.net.cluster import Cluster
 from repro.net.links import Link
-from repro.net.message import Message
+from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
 from repro.simplex.sampling import equal_split, is_feasible
 
@@ -244,6 +245,7 @@ class MasterWorkerDolbie:
         link: Link | None = None,
         embedded_master: bool = False,
         cost_timeout: float = 1.0,
+        use_fast_path: bool = True,
     ) -> None:
         """``embedded_master`` realizes §IV-B1's "an elected worker acts
         also as the master": the master process is co-located with worker
@@ -252,7 +254,13 @@ class MasterWorkerDolbie:
         3(N-1)). ``cost_timeout`` (virtual seconds) is the master's
         failure detector: a worker whose cost report is still missing
         when it fires is declared dead and dropped (it must exceed the
-        worst-case link round trip)."""
+        worst-case link round trip).
+
+        ``use_fast_path`` enables the batched round-synchronous fast path
+        (:mod:`repro.net.batch`) on healthy rounds; it is bit-identical
+        to the event engine and disabled automatically whenever chaos
+        hooks, dead workers, or an embedded master are in play (see
+        :attr:`fast_rounds` / :attr:`fallback_rounds`)."""
         if num_workers < 2:
             raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
         self.num_workers = int(num_workers)
@@ -278,6 +286,11 @@ class MasterWorkerDolbie:
         if embedded_master:
             self.cluster.colocate(0, self.master_id)
         self._alive = [True] * num_workers
+        self.use_fast_path = bool(use_fast_path)
+        #: Rounds executed by the batched fast path / the event engine.
+        self.fast_rounds = 0
+        self.fallback_rounds = 0
+        self._batched = None
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on (it stops reporting).
@@ -352,6 +365,146 @@ class MasterWorkerDolbie:
         """Network metrics (message/byte counts) for §IV-C."""
         return self.cluster.metrics
 
+    def _fast_eligible(self) -> bool:
+        """Whether this round can run on the batched fast path.
+
+        Requires the full roster healthy (nobody crashed or declared
+        dead) and a chaos-free cluster with no frames in flight; an
+        embedded master co-locates worker 0, which already disqualifies
+        the cluster (see :meth:`~repro.net.cluster.Cluster.batch_eligible`).
+        """
+        return (
+            self.use_fast_path
+            and all(self._alive)
+            and len(self.master.worker_ids) == self.num_workers
+            and self.cluster.batch_eligible()
+        )
+
+    def _run_round_fast(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One healthy round as four batched phases (Algorithm 1 verbatim).
+
+        Bit-identical to the event-engine round: link delays are drawn in
+        frame order (one draw per phase), the master coordinates at the
+        last cost arrival, decisions go out in coord-arrival order, and
+        the closing sum runs in ``worker_ids`` order exactly as the
+        master's Eq. (6) does.
+        """
+        n = self.num_workers
+        workers = self.workers
+        master = self.master
+        if self._batched is None:
+            self._batched = self.cluster.batched()
+        batched = self._batched
+        ids = np.arange(n)
+        master_col = np.full(n, self.master_id)
+        t0 = self.cluster.engine.now
+        x = x_played
+        vector = AffineCostVector.coerce(costs)
+        if vector is not None:
+            local = vector.values(x)
+        else:
+            local = np.array([fn(xi) for fn, xi in zip(costs, x)])
+
+        # Phase 1 (line 4): every worker reports its cost to the master.
+        cost_batch = FrameBatch(TAG_COST, ids, master_col, {"l": local}, round_index)
+        cost_arrivals = batched.deliver(cost_batch, t0)
+        coordinate_time = float(cost_arrivals.max())
+
+        # Lines 9-11: the master coordinates at the last cost arrival.
+        straggler = int(identify_straggler(local))
+        global_cost = float(local[straggler])
+        alpha = master.alpha
+
+        # Phase 2 (line 12): coord fan-out in worker_ids order.
+        coord_batch = FrameBatch(
+            TAG_COORD, master_col, ids,
+            {
+                "l": np.full(n, global_cost),
+                "alpha": np.full(n, alpha),
+                "is_straggler": (ids == straggler).astype(float),
+            },
+            round_index,
+        )
+        coord_arrivals = batched.deliver(coord_batch, coordinate_time)
+
+        # Lines 5-6: risk-averse update at the non-stragglers.
+        if vector is not None:
+            x_prime = np.minimum(vector.max_acceptable(global_cost), 1.0)
+        else:
+            x_prime = np.array(
+                [min(fn.max_acceptable(global_cost), 1.0) for fn in costs]
+            )
+        x_prime = np.maximum(x_prime, x)
+        x_new = x - alpha * (x - x_prime)
+
+        # Phase 3 (lines 7, 13): decisions return in coord-arrival order
+        # (ties by the coord frames' send sequence = worker order).
+        non_stragglers = np.delete(ids, straggler)
+        send_order = np.lexsort(
+            (non_stragglers, coord_arrivals[non_stragglers])
+        )
+        senders = non_stragglers[send_order]
+        decision_batch = FrameBatch(
+            TAG_DECISION, senders, np.full(n - 1, self.master_id),
+            {"x": x_new[senders]}, round_index,
+        )
+        decision_arrivals = batched.deliver(
+            decision_batch, coord_arrivals[senders]
+        )
+
+        # Lines 14-15: Eq. (6) closes the simplex in worker_ids order.
+        total = 0.0
+        for w in range(n):
+            if w != straggler:
+                total += x_new[w]
+        x_straggler = 1.0 - total
+        if x_straggler < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({x_straggler:.3e}); the "
+                "verbatim Eq. (7) cap was insufficient this round (see "
+                "Dolbie.exact_feasibility_guard)"
+            )
+        x_straggler = float(x_straggler) if x_straggler >= 1e-12 else 0.0
+
+        # Phase 4: the assignment, sent at the last decision arrival.
+        assign_batch = FrameBatch(
+            TAG_ASSIGN, np.array([self.master_id]), np.array([straggler]),
+            {"x": np.array([x_straggler])}, round_index,
+        )
+        assign_arrival = batched.deliver(
+            assign_batch, float(decision_arrivals.max())
+        )
+        master.alpha = min(master.alpha, feasibility_cap(x_straggler, n))  # Eq. (7)
+        x_new[straggler] = x_straggler
+
+        # Write the post-round state the event engine would leave behind.
+        cost_order = np.lexsort((ids, cost_arrivals))
+        decision_order = np.lexsort((np.arange(n - 1), decision_arrivals))
+        master.current_round = round_index
+        master._coordinated = True
+        master.global_cost = global_cost
+        master.straggler = straggler
+        master._costs = {int(w): float(local[w]) for w in cost_order}
+        master._decisions = {
+            int(w): float(x_new[w]) for w in senders[decision_order]
+        }
+        for i, worker in enumerate(workers):
+            worker.current_round = round_index
+            worker.cost_fn = costs[i]
+            worker.local_cost = float(local[i])
+            worker.x = float(x_new[i])
+
+        final_now = max(
+            float(assign_arrival[0]), float(coord_arrivals[straggler])
+        )
+        batched.finish_round(final_now, 3 * n)
+        return x_played, local, global_cost, straggler
+
     def run_round(
         self, round_index: int, costs: Sequence[CostFunction]
     ) -> tuple[np.ndarray, np.ndarray, float, int]:
@@ -361,6 +514,10 @@ class MasterWorkerDolbie:
                 f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
             )
         x_played = self.allocation
+        if self._fast_eligible():
+            self.fast_rounds += 1
+            return self._run_round_fast(round_index, costs, x_played)
+        self.fallback_rounds += 1
         # A rostered worker is only responsive if its process runs AND no
         # partition separates it from the master; otherwise the failure
         # detector must be armed so its silence folds this round.
@@ -381,7 +538,11 @@ class MasterWorkerDolbie:
             # violation at the master.
             if self._alive[worker.node_id] and worker.node_id in expected:
                 worker.observe_round(round_index, cost_fn)
-        self.cluster.run(max_events=20 * self.num_workers + 100)
+        # A healthy round delivers 3N frames (cost, coord, decision,
+        # assign) plus at most one failure-detector timeout; 4x headroom
+        # plus slack mirrors the fully-distributed computed budget.
+        budget = 4 * (3 * self.num_workers + 1) + 50
+        self.cluster.run(max_events=budget)
         # Zero out the shares of workers the master declared dead: their
         # workload was folded into this round's straggler assignment.
         for worker_id in self.master.declared_dead:

@@ -1,0 +1,245 @@
+"""Unit tests for the batched fast-path substrate (``repro.net.batch``).
+
+The fast path's contract is *bit*-identity with the event engine, which
+rests on three properties checked here: batched latency draws are
+element- and stream-identical to sequential scalar draws, bulk metrics
+accounting matches N scalar records, and eligibility goes False under
+every hook that would change observable behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net.batch import BatchedCluster
+from repro.net.cluster import Cluster
+from repro.net.events import EventEngine
+from repro.net.links import ConstantLatency, Link, LogNormalLatency, UniformLatency
+from repro.net.message import FrameBatch, Message, scalar_payload_size
+from repro.net.metrics import NetworkMetrics
+from repro.net.node import Node
+
+
+class TestSampleBatchStreamIdentity:
+    """sample_batch(n) == [sample()]*n element-wise AND leaves the RNG at
+    the same stream position, for every latency model."""
+
+    def test_constant(self):
+        model = ConstantLatency(0.25)
+        assert np.array_equal(model.sample_batch(5), np.full(5, 0.25))
+
+    def test_uniform(self):
+        a = UniformLatency(0.001, 0.01, np.random.default_rng(7))
+        b = UniformLatency(0.001, 0.01, np.random.default_rng(7))
+        batch = a.sample_batch(64)
+        scalars = np.array([b.sample() for _ in range(64)])
+        assert np.array_equal(batch, scalars)
+        # stream position: the *next* draw must also agree
+        assert a.sample() == b.sample()
+
+    def test_lognormal(self):
+        a = LogNormalLatency(0.005, 0.5, np.random.default_rng(11))
+        b = LogNormalLatency(0.005, 0.5, np.random.default_rng(11))
+        batch = a.sample_batch(64)
+        scalars = np.array([b.sample() for _ in range(64)])
+        assert np.array_equal(batch, scalars)
+        assert a.sample() == b.sample()
+
+    def test_mixed_batch_and_scalar_interleaving(self):
+        # Alternating batched and scalar draws must replay one long
+        # scalar stream — this is what lets fast and fallback rounds mix
+        # within a single run.
+        a = UniformLatency(0.0, 1.0, np.random.default_rng(3))
+        b = UniformLatency(0.0, 1.0, np.random.default_rng(3))
+        got = list(a.sample_batch(3)) + [a.sample()] + list(a.sample_batch(2))
+        want = [b.sample() for _ in range(6)]
+        assert got == want
+
+    def test_delay_batch_includes_transmission(self):
+        link = Link(ConstantLatency(0.01), bandwidth_bps=8_000.0)
+        delays = link.delay_batch(4, size_bytes=1_000)
+        # 8 * 1000 bits / 8000 bps = 1 s of serialization per frame
+        assert np.array_equal(delays, np.full(4, 0.01 + 1.0))
+
+    def test_delay_batch_matches_scalar_delay(self):
+        a = Link(LogNormalLatency(0.002, 0.3, np.random.default_rng(5)))
+        b = Link(LogNormalLatency(0.002, 0.3, np.random.default_rng(5)))
+        batch = a.delay_batch(16, size_bytes=24)
+        scalars = np.array([b.delay(24) for _ in range(16)])
+        assert np.array_equal(batch, scalars)
+
+
+class TestRecordBatch:
+    def test_matches_n_scalar_records(self):
+        a, b = NetworkMetrics(), NetworkMetrics()
+        pairs = [(0, 1), (1, 0), (0, 1), (2, 1)]
+        payload = {"l": 1.0, "alpha_bar": 0.5}
+        size = scalar_payload_size(payload)
+        for src, dst in pairs:
+            a.record(
+                Message(src=src, dst=dst, tag="cost", payload=payload,
+                        size_bytes=size, send_time=0.0, round_index=3)
+            )
+        b.record_batch(
+            round_index=3, messages=len(pairs),
+            bytes_total=size * len(pairs), pairs=pairs,
+        )
+        assert a.messages_total == b.messages_total
+        assert a.bytes_total == b.bytes_total
+        assert a.per_round_messages == b.per_round_messages
+        assert a.per_round_bytes == b.per_round_bytes
+        assert a.per_pair_messages == b.per_pair_messages
+
+
+class TestEventEngineExtensions:
+    def test_pending_tracks_queue_depth(self):
+        engine = EventEngine()
+        assert engine.pending == 0
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.pending == 2
+        engine.run()
+        assert engine.pending == 0
+
+    def test_advance_to_moves_clock_forward_only(self):
+        engine = EventEngine()
+        engine.advance_to(5.0)
+        assert engine.now == 5.0
+        with pytest.raises(SimulationError):
+            engine.advance_to(4.0)
+
+    def test_credit_events(self):
+        engine = EventEngine()
+        before = engine.processed_events
+        engine.credit_events(7)
+        assert engine.processed_events == before + 7
+        with pytest.raises(SimulationError):
+            engine.credit_events(-1)
+
+    def test_budget_error_reports_queue_state(self):
+        engine = EventEngine()
+
+        def reschedule():
+            engine.schedule(1.0, reschedule)
+
+        engine.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run(max_events=10)
+        text = str(excinfo.value)
+        assert "event budget of 10 exhausted" in text
+        assert "queue depth" in text
+        assert "virtual time" in text
+        assert "next event at t=" in text
+
+
+def _cluster(n=3, **kwargs):
+    nodes = [Node(i) for i in range(n)]
+    return Cluster(nodes, **kwargs)
+
+
+class TestBatchEligibility:
+    def test_eligible_by_default(self):
+        cluster = _cluster(default_link=Link(ConstantLatency(0.001)))
+        assert cluster.batch_eligible()
+        assert isinstance(cluster.batched(), BatchedCluster)
+
+    def test_partition_disables(self):
+        cluster = _cluster()
+        cluster.set_partition([[0, 1, 2]])  # trivial partition still counts
+        assert cluster.chaos_active
+        assert not cluster.batch_eligible()
+        cluster.clear_partition()
+        assert cluster.batch_eligible()
+
+    def test_extra_delay_disables(self):
+        cluster = _cluster()
+        cluster.set_extra_delay(1, 0.5)
+        assert not cluster.batch_eligible()
+        cluster.set_extra_delay(1, 0.0)
+        assert cluster.batch_eligible()
+
+    def test_frame_loss_override_disables_even_at_zero(self):
+        cluster = _cluster()
+        cluster.set_frame_loss(0.0, np.random.default_rng(0))
+        # probability 0 drops nothing, but the hook still draws from the
+        # rng per frame — skipping those draws would shift the stream.
+        assert not cluster.batch_eligible()
+        cluster.clear_frame_loss()
+        assert cluster.batch_eligible()
+
+    def test_per_pair_link_disables(self):
+        cluster = _cluster()
+        cluster.set_link(0, 1, Link(ConstantLatency(0.2)))
+        assert not cluster.batch_eligible()
+
+    def test_colocation_disables(self):
+        cluster = _cluster()
+        cluster.colocate(0, 1)
+        assert not cluster.batch_eligible()
+
+    def test_lossy_default_link_disables(self):
+        link = Link(ConstantLatency(0.001), loss_probability=0.1,
+                    loss_rng=np.random.default_rng(1))
+        cluster = _cluster(default_link=link)
+        assert not cluster.batch_eligible()
+
+    def test_pending_events_disable(self):
+        cluster = _cluster()
+        cluster.engine.schedule(1.0, lambda: None)
+        assert not cluster.batch_eligible()
+        cluster.engine.run()
+        assert cluster.batch_eligible()
+
+
+class TestBatchedDelivery:
+    def test_deliver_refuses_when_ineligible(self):
+        cluster = _cluster()
+        batched = cluster.batched()
+        cluster.set_extra_delay(0, 1.0)
+        batch = FrameBatch(
+            tag="cost", src=np.array([0]), dst=np.array([1]),
+            payload={"l": np.array([1.0])},
+        )
+        with pytest.raises(SimulationError):
+            batched.deliver(batch, send_times=np.array([0.0]))
+
+    def test_deliver_accounts_metrics_and_receipts(self):
+        cluster = _cluster(default_link=Link(ConstantLatency(0.01)))
+        batched = cluster.batched()
+        batch = FrameBatch(
+            tag="cost",
+            src=np.array([0, 1, 2]),
+            dst=np.array([1, 2, 0]),
+            payload={"l": np.array([1.0, 2.0, 3.0])},
+            round_index=4,
+        )
+        arrivals = batched.deliver(batch, send_times=np.zeros(3))
+        assert np.array_equal(arrivals, np.full(3, 0.01))
+        assert cluster.metrics.messages_total == 3
+        assert cluster.metrics.bytes_total == batch.total_bytes
+        assert cluster.metrics.per_round_messages[4] == 3
+        assert cluster.metrics.per_pair_messages[(0, 1)] == 1
+        for node_id in range(3):
+            assert cluster.node(node_id).received_count == 1
+
+    def test_finish_round_advances_clock_and_credits(self):
+        cluster = _cluster()
+        batched = cluster.batched()
+        events_before = cluster.engine.processed_events
+        batched.finish_round(now=2.5, events=9)
+        assert cluster.engine.now == 2.5
+        assert cluster.engine.processed_events == events_before + 9
+
+
+class TestFrameBatch:
+    def test_sizes_and_pairs(self):
+        batch = FrameBatch(
+            tag="coord",
+            src=np.array([3, 3]),
+            dst=np.array([0, 1]),
+            payload={"l": np.zeros(2), "alpha": np.zeros(2), "flag": np.zeros(2)},
+        )
+        assert batch.count == 2
+        assert batch.size_bytes == 24  # 3 scalar fields x 8 bytes
+        assert batch.total_bytes == 48
+        assert batch.pairs() == [(3, 0), (3, 1)]
