@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.chaos.faults import FaultEvent, FaultSchedule
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ChaosInjector"]
 
@@ -46,10 +47,27 @@ class ChaosInjector:
         self.protocol = protocol
         self.schedule = schedule
         self.applied: list[FaultEvent] = []
+        #: ``chaos.events{kind=...}`` counters, one per fault kind.
+        self.registry = MetricsRegistry()
         #: worker id -> round at which its slowdown expires.
         self._slow_until: dict[int, int] = {}
         #: round at which the active loss burst expires (0 = none).
         self._degrade_until = 0
+
+    @property
+    def events_applied(self) -> int:
+        """Total fault events actually applied so far."""
+        return int(self.registry.value("chaos.events_applied"))
+
+    @property
+    def event_counts(self) -> dict[str, int]:
+        """``{fault kind -> applied count}`` read from the registry."""
+        return {
+            str(kind): int(count)
+            for kind, count in sorted(
+                self.registry.series("chaos.events", "kind").items()
+            )
+        }
 
     @property
     def cluster(self):
@@ -63,11 +81,16 @@ class ChaosInjector:
         rejoins of already-active ones are skipped — a randomized
         schedule composed with manual interventions stays valid).
         """
+        # Stamp the cluster's fault records with the round about to run.
+        self.cluster.trace_round = round_index
         self._expire(round_index)
         applied: list[FaultEvent] = []
         for event in self.schedule.events_at(round_index):
             if self._apply_event(event, round_index):
                 applied.append(event)
+                self.registry.counter("chaos.events", kind=event.kind).inc()
+        if applied:
+            self.registry.counter("chaos.events_applied").inc(len(applied))
         self.applied.extend(applied)
         return applied
 

@@ -15,7 +15,7 @@ fail-fast behavior for use inside tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -129,8 +129,8 @@ def run_soak(
         rounds_requested=rounds,
         rounds_completed=completed,
         violations=tuple(violations),
-        events_applied=len(injector.applied),
-        event_counts=_tally(injector.applied),
+        events_applied=injector.events_applied,
+        event_counts=injector.event_counts,
         allocations=allocations[:completed],
         global_costs=global_costs[:completed],
         final_roster=tuple(protocol.roster),
@@ -138,10 +138,3 @@ def run_soak(
         messages_total=metrics.messages_total,
         messages_blackholed=metrics.messages_blackholed,
     )
-
-
-def _tally(events: Sequence) -> dict[str, int]:
-    counts: dict[str, int] = {}
-    for event in events:
-        counts[event.kind] = counts.get(event.kind, 0) + 1
-    return counts

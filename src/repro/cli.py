@@ -20,6 +20,13 @@ Commands
     Replay a fault schedule (``--spec`` JSON/YAML or seeded random)
     against the protocol architectures and print the invariant-check
     summary (exit 1 on any violation).
+``trace``
+    Record a canonical scenario as deterministic JSONL
+    (``trace record``), summarize a trace file (``trace show``), or
+    compare two traces field-by-field (``trace diff``, exit 1 when they
+    differ) — see ``docs/observability.md``.
+``profile``
+    Run an instrumented workload and print the per-span wall/CPU table.
 ``list``
     Show available experiments, algorithms and models.
 """
@@ -178,6 +185,60 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--rounds", type=int, default=200)
     chaos.add_argument("--seed", type=int, default=0)
 
+    trace = sub.add_parser(
+        "trace", help="record / inspect / diff structured round traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="record a canonical scenario as deterministic JSONL"
+    )
+    record.add_argument(
+        "scenario", choices=["mw", "fd", "loop", "trainer"],
+        help="mw/fd = protocol architectures, loop = centralized "
+        "reference, trainer = training simulator",
+    )
+    record.add_argument("--out", required=True, help="JSONL file to write")
+    record.add_argument(
+        "--engine", choices=["auto", "fast", "event"], default="auto",
+        help="protocol execution path (fast = batched, event = "
+        "discrete-event engine; ignored by loop/trainer)",
+    )
+    record.add_argument("--workers", type=int, default=None)
+    record.add_argument("--rounds", type=int, default=None)
+    record.add_argument("--seed", type=int, default=None)
+
+    show = trace_sub.add_parser("show", help="summarize a trace file")
+    show.add_argument("path", help="JSONL trace file")
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare two traces field-by-field (exit 1 on diff)"
+    )
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.add_argument(
+        "--include-header", action="store_true",
+        help="also compare the header records (engine/seed context)",
+    )
+    diff.add_argument(
+        "--out", default=None,
+        help="also write the diff summary to a file (CI artifact)",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="profile an instrumented workload (wall/CPU spans)"
+    )
+    profile.add_argument(
+        "scenario", choices=["mw", "fd", "loop", "trainer"], nargs="?",
+        default="mw",
+    )
+    profile.add_argument("--workers", type=int, default=30)
+    profile.add_argument("--rounds", type=int, default=100)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--engine", choices=["auto", "fast", "event"], default="auto",
+    )
+
     sub.add_parser("list", help="show experiments, algorithms and models")
     return parser
 
@@ -282,6 +343,93 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.io import load_trace, save_trace
+    from repro.obs import diff_traces
+    from repro.obs import scenarios
+
+    if args.trace_command == "record":
+        trace = scenarios.build_trace(
+            args.scenario,
+            engine=args.engine,
+            num_workers=args.workers or scenarios.GOLDEN_WORKERS,
+            rounds=args.rounds or scenarios.GOLDEN_ROUNDS,
+            seed=args.seed if args.seed is not None else scenarios.GOLDEN_SEED,
+        )
+        path = save_trace(trace, args.out)
+        print(f"wrote {path} ({len(trace.records)} records)")
+        return 0
+    if args.trace_command == "show":
+        trace = load_trace(args.path)
+        print(trace.summary())
+        return 0
+    # diff
+    left = load_trace(args.left)
+    right = load_trace(args.right)
+    diff = diff_traces(left, right, include_header=args.include_header)
+    summary = diff.summary()
+    print(summary)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(summary + "\n")
+        print(f"wrote {out}")
+    return 0 if diff.empty else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Profiler
+    from repro.obs import scenarios
+
+    profiler = Profiler()
+    if args.scenario in ("mw", "fd"):
+        from repro.protocols.fully_distributed import FullyDistributedDolbie
+        from repro.protocols.master_worker import MasterWorkerDolbie
+
+        cls = MasterWorkerDolbie if args.scenario == "mw" else FullyDistributedDolbie
+        protocol = cls(
+            args.workers,
+            alpha_1=0.001,
+            use_fast_path=args.engine != "event",
+            profiler=profiler,
+        )
+        protocol.run(
+            scenarios._cost_process(args.workers, args.seed), args.rounds
+        )
+        label = f"{protocol.name}: {protocol.fast_rounds} fast / " \
+                f"{protocol.fallback_rounds} event rounds"
+    elif args.scenario == "loop":
+        from repro.core.dolbie import Dolbie
+        from repro.core.loop import run_online
+
+        balancer = Dolbie(args.workers, alpha_1=0.001)
+        run_online(
+            balancer,
+            scenarios._cost_process(args.workers, args.seed),
+            args.rounds,
+            profiler=profiler,
+        )
+        label = balancer.name
+    else:  # trainer
+        from repro.core.dolbie import Dolbie
+        from repro.mlsim.environment import TrainingEnvironment
+        from repro.mlsim.trainer import SyncTrainer
+
+        env = TrainingEnvironment(
+            "ResNet18", num_workers=args.workers, seed=args.seed
+        )
+        SyncTrainer(env).train(
+            Dolbie(args.workers, alpha_1=0.001), args.rounds,
+            profiler=profiler,
+        )
+        label = "SyncTrainer/DOLBIE"
+    print(f"{label} — {args.workers} workers, {args.rounds} rounds")
+    print(profiler.summary_table())
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("experiments:", ", ".join(sorted(EXPERIMENTS)))
     print("algorithms: ", ", ".join(sorted(ALGORITHMS)))
@@ -299,6 +447,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "figures": _cmd_figures,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.interface import OnlineLoadBalancer, RoundFeedback
 from repro.core.quantities import acceptable_workloads, assistance_vector
 from repro.core.step_size import StepSizeRule
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Dolbie"]
 
@@ -46,6 +47,7 @@ class Dolbie(OnlineLoadBalancer):
         alpha_1: float | None = None,
         record_history: bool = False,
         exact_feasibility_guard: bool = True,
+        tracer: "Tracer | None" = None,
     ) -> None:
         """Create a DOLBIE controller.
 
@@ -76,6 +78,9 @@ class Dolbie(OnlineLoadBalancer):
             derivation is additionally enforced, making any alpha_1 in
             [0, 1] safe. Set False for strict equivalence with the
             verbatim message-passing protocols of :mod:`repro.protocols`.
+        tracer:
+            Optional :class:`repro.obs.Tracer`; when set, every update
+            emits an ``assistance`` record (alpha, shed total, x', G).
         """
         super().__init__(num_workers, initial_allocation)
         self.step_rule = StepSizeRule(
@@ -83,14 +88,34 @@ class Dolbie(OnlineLoadBalancer):
         )
         self.record_history = bool(record_history)
         self.exact_feasibility_guard = bool(exact_feasibility_guard)
+        self.tracer = tracer
         self.x_prime_history: list[np.ndarray] = []
         self.assistance_history: list[np.ndarray] = []
         self.straggler_history: list[int] = []
+        # Unlike the gated histories, straggler tallies are O(N) state, so
+        # they stay on unconditionally — soak-length runs included.
+        self.metrics = MetricsRegistry()
 
     @property
     def alpha(self) -> float:
         """The step size that will be used in the current round."""
         return self.step_rule.alpha
+
+    @property
+    def straggler_counts(self) -> dict[int, int]:
+        """How many rounds each worker has straggled (from the registry)."""
+        return {
+            int(worker): int(count)
+            for worker, count in self.metrics.series(
+                "dolbie.straggler_turns", "worker"
+            ).items()
+        }
+
+    def _record_straggler(self, straggler: int) -> None:
+        """Tally a straggling turn; append to history only when enabled."""
+        self.metrics.counter("dolbie.straggler_turns", worker=straggler).inc()
+        if self.record_history:
+            self.straggler_history.append(straggler)
 
     def _update(self, feedback: RoundFeedback) -> None:
         x = self._allocation
@@ -128,7 +153,21 @@ class Dolbie(OnlineLoadBalancer):
         if self.record_history:
             self.x_prime_history.append(x_prime)
             self.assistance_history.append(g)
-            self.straggler_history.append(s)
+        self._record_straggler(s)
+
+        if self.tracer is not None:
+            from repro.obs.records import AssistanceRecord, float_tuple
+
+            self.tracer.emit(
+                AssistanceRecord(
+                    round=feedback.round_index,
+                    straggler=int(s),
+                    alpha=float(alpha),
+                    shed_total=shed_total,
+                    x_prime=float_tuple(x_prime),
+                    assistance=float_tuple(g),
+                )
+            )
 
         self._allocation = x_next
         self.step_rule.advance(x_next[s])

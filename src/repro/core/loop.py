@@ -62,17 +62,30 @@ def run_online(
     balancer: OnlineLoadBalancer,
     process: CostProcess,
     horizon: int,
+    tracer: "Tracer | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> RunResult:
     """Run ``balancer`` against ``process`` for ``horizon`` rounds."""
     costs_per_round = [process.costs_at(t) for t in range(1, horizon + 1)]
-    return run_online_costs(balancer, costs_per_round)
+    return run_online_costs(
+        balancer, costs_per_round, tracer=tracer, profiler=profiler
+    )
 
 
 def run_online_costs(
     balancer: OnlineLoadBalancer,
     costs_per_round: Sequence[Sequence[CostFunction]],
+    tracer: "Tracer | None" = None,
+    profiler: "Profiler | None" = None,
 ) -> RunResult:
-    """Run against an explicit per-round list of cost vectors."""
+    """Run against an explicit per-round list of cost vectors.
+
+    ``tracer`` (see :mod:`repro.obs`) records one ``decision`` and one
+    ``straggler`` record per round; ``profiler`` aggregates the decide/
+    update laps the loop already times. Both default to ``None`` and
+    cost one pointer comparison per round when disabled — the contract
+    the ``obs_overhead`` benchmark gates.
+    """
     horizon = len(costs_per_round)
     if horizon == 0:
         raise ConfigurationError("horizon must be at least one round")
@@ -84,6 +97,8 @@ def run_online_costs(
     stragglers = np.empty(horizon, dtype=int)
     overhead = np.empty(horizon)
 
+    if tracer is not None:
+        tracer.header(balancer.name, n, horizon)
     watch = Stopwatch()
     for t, costs in enumerate(costs_per_round, start=1):
         if len(costs) != n:
@@ -104,6 +119,39 @@ def run_online_costs(
         global_costs[t - 1] = feedback.global_cost
         stragglers[t - 1] = feedback.straggler
         overhead[t - 1] = watch.laps[-2] + watch.laps[-1]
+
+        if tracer is not None:
+            from repro.obs.records import (
+                DecisionRecord,
+                StragglerRecord,
+                float_tuple,
+            )
+
+            tracer.emit(
+                DecisionRecord(
+                    round=t,
+                    allocation=float_tuple(feedback.allocation),
+                    local_costs=float_tuple(feedback.local_costs),
+                    global_cost=float(feedback.global_cost),
+                    straggler=int(feedback.straggler),
+                    next_allocation=float_tuple(balancer.allocation),
+                )
+            )
+            tracer.emit(
+                StragglerRecord(
+                    round=t,
+                    worker=int(feedback.straggler),
+                    cost=float(feedback.global_cost),
+                    waiting_total=float(
+                        (feedback.global_cost - feedback.local_costs).sum()
+                    ),
+                )
+            )
+
+    if profiler is not None:
+        for t in range(horizon):
+            profiler.record("loop.decide", watch.laps[2 * t])
+            profiler.record("loop.update", watch.laps[2 * t + 1])
 
     return RunResult(
         algorithm=balancer.name,

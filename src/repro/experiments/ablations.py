@@ -73,8 +73,7 @@ class GreedyTargetDolbie(Dolbie):
         x_next[s] = 1.0 - (x_next.sum() - x_next[s])
         if -1e-12 < x_next[s] < 0.0:
             x_next[s] = 0.0
-        if self.record_history:
-            self.straggler_history.append(s)
+        self._record_straggler(s)
         self._allocation = x_next
         self.step_rule.advance(x_next[s])
 
@@ -102,8 +101,7 @@ class SingleHelperDolbie(Dolbie):
         x_next[s] = 1.0 - (x_next.sum() - x_next[s])
         if -1e-12 < x_next[s] < 0.0:
             x_next[s] = 0.0
-        if self.record_history:
-            self.straggler_history.append(s)
+        self._record_straggler(s)
         self._allocation = x_next
         self.step_rule.advance(x_next[s])
 

@@ -1,14 +1,23 @@
-"""Save and load run trajectories (.npz).
+"""Save and load run artifacts (.npz trajectories, JSONL traces/metrics).
 
 Experiments at paper scale take minutes; persisting the resulting
 :class:`~repro.core.loop.RunResult` / :class:`~repro.mlsim.trainer.TrainingRun`
 objects lets analysis and plotting iterate without re-running. The format
 is a plain ``numpy.savez_compressed`` archive with a metadata header, so
 archives remain readable without this library.
+
+The observability layer's artifacts are line-oriented instead:
+:func:`save_trace` / :func:`load_trace` round-trip a
+:class:`~repro.obs.tracer.Trace` as **deterministic JSONL** (sorted
+keys, minimal separators, shortest round-trip float repr — one record
+per line), which is what makes committed golden traces byte-comparable
+across refactors. :func:`save_metrics` / :func:`load_metrics` do the
+same for a :class:`~repro.obs.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -17,7 +26,18 @@ from repro.core.loop import RunResult
 from repro.exceptions import ConfigurationError
 from repro.mlsim.trainer import TrainingRun
 
-__all__ = ["save_run", "load_run", "save_training_run", "load_training_run"]
+__all__ = [
+    "save_run",
+    "load_run",
+    "save_training_run",
+    "load_training_run",
+    "save_trace",
+    "load_trace",
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "save_metrics",
+    "load_metrics",
+]
 
 _RUN_FORMAT = "repro.RunResult.v1"
 _TRAINING_FORMAT = "repro.TrainingRun.v1"
@@ -121,3 +141,74 @@ def load_training_run(path: str | Path) -> TrainingRun:
             epochs=data["epochs"],
             accuracy=data["accuracy"],
         )
+
+
+# -- observability artifacts (deterministic JSONL) ------------------------
+
+def trace_to_jsonl(trace) -> str:
+    """Serialize a :class:`~repro.obs.tracer.Trace` to JSONL text.
+
+    One canonical JSON line per record, in emission order. The encoding
+    is deterministic — two traces serialize to identical bytes exactly
+    when :func:`repro.obs.diff.diff_traces` (with headers included)
+    reports them identical — so golden files diff cleanly under git.
+    """
+    from repro.obs.diff import canonical_line
+
+    return "".join(canonical_line(record) + "\n" for record in trace)
+
+
+def trace_from_jsonl(text: str):
+    """Inverse of :func:`trace_to_jsonl`."""
+    from repro.obs.records import record_from_dict
+    from repro.obs.tracer import Trace
+
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            ) from None
+        records.append(record_from_dict(payload))
+    return Trace(records)
+
+
+def save_trace(trace, path: str | Path) -> Path:
+    """Persist a trace as deterministic JSONL (``.jsonl``)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(trace_to_jsonl(trace))
+    return out
+
+
+def load_trace(path: str | Path):
+    """Load a trace saved by :func:`save_trace`."""
+    return trace_from_jsonl(Path(path).read_text())
+
+
+def save_metrics(registry, path: str | Path) -> Path:
+    """Persist a :class:`~repro.obs.metrics.MetricsRegistry` as JSONL."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in registry.to_records()
+    ]
+    out.write_text("".join(line + "\n" for line in lines))
+    return out
+
+
+def load_metrics(path: str | Path):
+    """Load a registry saved by :func:`save_metrics` (exact round-trip)."""
+    from repro.obs.metrics import MetricsRegistry
+
+    records = [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    return MetricsRegistry.from_records(records)

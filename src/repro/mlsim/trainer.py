@@ -127,7 +127,17 @@ class SyncTrainer:
         self.integer_batches = bool(integer_batches)
         self.include_overhead_in_wallclock = bool(include_overhead_in_wallclock)
 
-    def train(self, balancer: OnlineLoadBalancer, rounds: int) -> TrainingRun:
+    def train(
+        self,
+        balancer: OnlineLoadBalancer,
+        rounds: int,
+        tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
+    ) -> TrainingRun:
+        """``tracer``/``profiler`` attach the observability layer (see
+        :mod:`repro.obs`): one decision and one straggler record per
+        training round, plus decide/update timing spans. Both default to
+        ``None`` at zero cost — attaching them never changes the run."""
         if rounds < 1:
             raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
         if balancer.num_workers != self.env.num_workers:
@@ -172,6 +182,10 @@ class SyncTrainer:
                 except SolverError:
                     pass  # exotic costs (zero slopes): solve per round
 
+        if tracer is not None:
+            tracer.header(
+                balancer.name, n, rounds, model=self.env.model.name
+            )
         watch = Stopwatch()
         samples_done = 0.0
         for t in range(1, rounds + 1):
@@ -225,11 +239,44 @@ class SyncTrainer:
             stragglers[t - 1] = feedback.straggler
             overhead[t - 1] = watch.laps[-2] + watch.laps[-1]
 
+            if tracer is not None:
+                from repro.obs.records import (
+                    DecisionRecord,
+                    StragglerRecord,
+                    float_tuple,
+                )
+
+                tracer.emit(
+                    DecisionRecord(
+                        round=t,
+                        allocation=float_tuple(feedback.allocation),
+                        local_costs=float_tuple(local_t),
+                        global_cost=float(feedback.global_cost),
+                        straggler=int(feedback.straggler),
+                        next_allocation=float_tuple(balancer.allocation),
+                    )
+                )
+                tracer.emit(
+                    StragglerRecord(
+                        round=t,
+                        worker=int(feedback.straggler),
+                        cost=float(feedback.global_cost),
+                        waiting_total=float(
+                            (feedback.global_cost - local_t).sum()
+                        ),
+                    )
+                )
+
             if not fast:
                 samples_done += big_b
                 accuracy[t - 1] = self.curve.accuracy(
                     self.dataset.epochs_after(samples_done)
                 )
+
+        if profiler is not None:
+            for t in range(rounds):
+                profiler.record("trainer.decide", watch.laps[2 * t])
+                profiler.record("trainer.update", watch.laps[2 * t + 1])
 
         waiting = round_latency[:, None] - local
         wall = np.cumsum(round_latency)

@@ -85,6 +85,11 @@ class Cluster:
             raise SimulationError(f"duplicate node ids: {sorted(ids)}")
         self.engine = EventEngine()
         self.metrics = NetworkMetrics()
+        #: Optional :class:`repro.obs.Tracer`; when set, the chaos hooks
+        #: below emit one ``fault`` record per state change, stamped with
+        #: :attr:`trace_round` (the protocol keeps it current).
+        self.tracer = None
+        self.trace_round = 0
         self._nodes: dict[int, Node] = {}
         self._links: dict[tuple[int, int], Link] = {}
         self._default_link = default_link if default_link is not None else Link()
@@ -127,6 +132,29 @@ class Cluster:
         return self._links.get((src, dst), self._default_link)
 
     # -- chaos hooks ------------------------------------------------------
+    def _emit_fault(
+        self,
+        fault: str,
+        workers: Sequence[int] = (),
+        severity: float = 0.0,
+        groups: Sequence[Sequence[int]] = (),
+    ) -> None:
+        if self.tracer is None:
+            return
+        from repro.obs.records import FaultRecord
+
+        self.tracer.emit(
+            FaultRecord(
+                round=int(self.trace_round),
+                fault=fault,
+                workers=tuple(int(w) for w in workers),
+                severity=float(severity),
+                groups=tuple(
+                    tuple(int(w) for w in group) for group in groups
+                ),
+            )
+        )
+
     def set_partition(self, groups: Sequence[Iterable[int]]) -> None:
         """Split the cluster into isolated groups (a network partition).
 
@@ -146,10 +174,18 @@ class Cluster:
                     )
                 mapping[node_id] = index
         self._partition = mapping
+        if self.tracer is not None:
+            by_group: dict[int, list[int]] = {}
+            for node_id, index in sorted(mapping.items()):
+                by_group.setdefault(index, []).append(node_id)
+            self._emit_fault(
+                "partition", groups=[by_group[i] for i in sorted(by_group)]
+            )
 
     def clear_partition(self) -> None:
         """Heal the partition: every route works again."""
         self._partition = None
+        self._emit_fault("partition_heal")
 
     @property
     def partitioned(self) -> bool:
@@ -169,8 +205,10 @@ class Cluster:
             raise SimulationError(f"extra delay must be >= 0, got {seconds}")
         if seconds == 0.0:
             self._extra_delay.pop(node_id, None)
+            self._emit_fault("delay_clear", workers=[node_id])
         else:
             self._extra_delay[node_id] = float(seconds)
+            self._emit_fault("delay", workers=[node_id], severity=seconds)
 
     def set_frame_loss(
         self, probability: float, rng: "np.random.Generator"
@@ -182,9 +220,11 @@ class Cluster:
                 f"loss probability must lie in [0, 1), got {probability}"
             )
         self._loss_override = (float(probability), rng)
+        self._emit_fault("frame_loss", severity=probability)
 
     def clear_frame_loss(self) -> None:
         self._loss_override = None
+        self._emit_fault("frame_loss_clear")
 
     @property
     def chaos_active(self) -> bool:
@@ -252,7 +292,7 @@ class Cluster:
         if not self.can_communicate(src, dst):
             # A partition blackholes the frame: no delivery, no error,
             # no retransmissions — silence is the failure detectors' job.
-            self.metrics.messages_blackholed += 1
+            self.metrics.record_blackholed()
             return
         link = self.link_for(src, dst)
         # Transport layer: a dropped frame is retransmitted after the

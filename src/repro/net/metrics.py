@@ -1,36 +1,73 @@
-"""Communication accounting for the §IV-C complexity reproduction."""
+"""Communication accounting for the §IV-C complexity reproduction.
+
+Backed by a :class:`repro.obs.metrics.MetricsRegistry` (one labelled
+counter family per concept: totals, per-round, per-pair) instead of the
+ad-hoc tally dicts it once held. The public surface is unchanged —
+``messages_total`` and friends read as ints, the ``per_round_*`` /
+``per_pair_messages`` properties return plain snapshot dicts — so the
+complexity experiment and every existing assertion keep working, while
+``repro profile`` / :func:`repro.io.save_metrics` get the registry via
+:attr:`NetworkMetrics.registry`.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.net.message import Message
+from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["NetworkMetrics"]
 
 
-@dataclass
 class NetworkMetrics:
     """Counts messages and bytes, totals and per round."""
 
-    messages_total: int = 0
-    bytes_total: int = 0
-    #: Frames sent into a network partition and lost (never delivered).
-    messages_blackholed: int = 0
-    per_round_messages: dict[int, int] = field(default_factory=lambda: defaultdict(int))
-    per_round_bytes: dict[int, int] = field(default_factory=lambda: defaultdict(int))
-    per_pair_messages: dict[tuple[int, int], int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._init_handles()
 
+    def _init_handles(self) -> None:
+        # The hot path (one record() per frame) bumps cached handles
+        # directly; the registry stays the single source of truth.
+        self._messages_total = self.registry.counter("net.messages_total")
+        self._bytes_total = self.registry.counter("net.bytes_total")
+        self._blackholed = self.registry.counter("net.messages_blackholed")
+        self._round_messages: dict[int, Counter] = {}
+        self._round_bytes: dict[int, Counter] = {}
+        self._pair_messages: dict[tuple[int, int], Counter] = {}
+
+    def _round_handles(self, round_index: int) -> tuple[Counter, Counter]:
+        messages = self._round_messages.get(round_index)
+        if messages is None:
+            messages = self._round_messages[round_index] = self.registry.counter(
+                "net.round_messages", round=round_index
+            )
+            self._round_bytes[round_index] = self.registry.counter(
+                "net.round_bytes", round=round_index
+            )
+        return messages, self._round_bytes[round_index]
+
+    def _pair_handle(self, pair: tuple[int, int]) -> Counter:
+        counter = self._pair_messages.get(pair)
+        if counter is None:
+            counter = self._pair_messages[pair] = self.registry.counter(
+                "net.pair_messages", src=pair[0], dst=pair[1]
+            )
+        return counter
+
+    # -- recording (per frame / per phase) --------------------------------
     def record(self, message: Message) -> None:
-        self.messages_total += 1
-        self.bytes_total += message.size_bytes
-        self.per_round_messages[message.round_index] += 1
-        self.per_round_bytes[message.round_index] += message.size_bytes
-        self.per_pair_messages[(message.src, message.dst)] += 1
+        # Direct .value bumps skip Counter.inc's sign check; every
+        # increment here is a positive constant, so monotonicity holds
+        # by construction and the per-frame cost stays a few attribute
+        # stores.
+        self._messages_total.value += 1
+        self._bytes_total.value += message.size_bytes
+        round_messages, round_bytes = self._round_handles(message.round_index)
+        round_messages.value += 1
+        round_bytes.value += message.size_bytes
+        self._pair_handle((message.src, message.dst)).value += 1
 
     def record_batch(
         self,
@@ -45,26 +82,54 @@ class NetworkMetrics:
         per-round counters are bumped once, and each ``(src, dst)`` in
         ``pairs`` (one entry per frame) gets one per-pair increment.
         """
-        self.messages_total += messages
-        self.bytes_total += bytes_total
-        self.per_round_messages[round_index] += messages
-        self.per_round_bytes[round_index] += bytes_total
-        per_pair = self.per_pair_messages
+        self._messages_total.value += messages
+        self._bytes_total.value += bytes_total
+        round_messages, round_bytes = self._round_handles(round_index)
+        round_messages.value += messages
+        round_bytes.value += bytes_total
         for pair in pairs:
-            per_pair[pair] += 1
+            self._pair_handle(pair).value += 1
+
+    def record_blackholed(self, count: int = 1) -> None:
+        """Tally frames swallowed by a partition (never delivered)."""
+        self._blackholed.value += count
+
+    # -- reading (the historical public surface) --------------------------
+    @property
+    def messages_total(self) -> int:
+        return int(self._messages_total.value)
+
+    @property
+    def bytes_total(self) -> int:
+        return int(self._bytes_total.value)
+
+    @property
+    def messages_blackholed(self) -> int:
+        """Frames sent into a network partition and lost."""
+        return int(self._blackholed.value)
+
+    @property
+    def per_round_messages(self) -> dict[int, int]:
+        """Snapshot ``{round -> frames}`` (a plain dict, not a view)."""
+        return {r: int(c.value) for r, c in self._round_messages.items()}
+
+    @property
+    def per_round_bytes(self) -> dict[int, int]:
+        return {r: int(c.value) for r, c in self._round_bytes.items()}
+
+    @property
+    def per_pair_messages(self) -> dict[tuple[int, int], int]:
+        return {p: int(c.value) for p, c in self._pair_messages.items()}
 
     def messages_in_round(self, round_index: int) -> int:
-        return self.per_round_messages.get(round_index, 0)
+        counter = self._round_messages.get(round_index)
+        return 0 if counter is None else int(counter.value)
 
     def mean_messages_per_round(self) -> float:
-        if not self.per_round_messages:
+        if not self._round_messages:
             return 0.0
-        return self.messages_total / len(self.per_round_messages)
+        return self.messages_total / len(self._round_messages)
 
     def reset(self) -> None:
-        self.messages_total = 0
-        self.bytes_total = 0
-        self.messages_blackholed = 0
-        self.per_round_messages.clear()
-        self.per_round_bytes.clear()
-        self.per_pair_messages.clear()
+        self.registry.reset()
+        self._init_handles()

@@ -1,0 +1,64 @@
+"""Observability layer: structured tracing, metrics, profiling, diffing.
+
+Four pieces, designed to compose:
+
+- :mod:`repro.obs.records` / :mod:`repro.obs.tracer` — typed per-round
+  trace records and the zero-overhead-when-disabled recorder the round
+  loops emit into;
+- :mod:`repro.obs.metrics` — the labelled counter/gauge/histogram
+  registry backing :class:`repro.net.metrics.NetworkMetrics`, DOLBIE's
+  straggler tallies, and the chaos injector's event counts;
+- :mod:`repro.obs.profiler` — scoped wall/CPU timers behind
+  ``python -m repro profile``;
+- :mod:`repro.obs.diff` — the canonical field-by-field trace comparator
+  that turns committed golden traces into regression oracles.
+
+See ``docs/observability.md`` for the schema, naming conventions, and
+the golden-trace bless workflow.
+"""
+
+from repro.obs.diff import FieldDiff, TraceDiff, diff_traces
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profiler import Profiler, SpanStats
+from repro.obs.records import (
+    TRACE_SCHEMA,
+    AssistanceRecord,
+    DecisionRecord,
+    FaultRecord,
+    HeaderRecord,
+    MembershipRecord,
+    PhaseRecord,
+    StragglerRecord,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.obs.tracer import Trace, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "AssistanceRecord",
+    "Counter",
+    "DecisionRecord",
+    "FaultRecord",
+    "FieldDiff",
+    "Gauge",
+    "HeaderRecord",
+    "Histogram",
+    "MembershipRecord",
+    "MetricsRegistry",
+    "PhaseRecord",
+    "Profiler",
+    "SpanStats",
+    "StragglerRecord",
+    "Trace",
+    "TraceDiff",
+    "Tracer",
+    "diff_traces",
+    "record_from_dict",
+    "record_to_dict",
+]

@@ -1,0 +1,160 @@
+"""Trace-diff engine: canonicalize and compare two traces field-by-field.
+
+This is the test-side oracle of the observability layer: a committed
+golden trace plus :func:`diff_traces` turns any refactor of the round
+loop, the protocols, or the network substrate into a byte-level
+conformance check. It generalizes the pairwise bit-identity assertions
+the integration tests grew organically (event engine vs. fast path,
+centralized vs. distributed) into one reusable harness.
+
+Comparison is **byte-level by construction**: each field is rendered to
+its canonical JSON form (sorted keys, minimal separators, shortest
+round-trip float repr — exactly what :func:`repro.io.save_trace`
+writes) and the strings are compared. Two traces diff empty if and only
+if their JSONL serializations are identical, modulo the header record,
+which carries engine/seed context and is excluded by default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.records import HeaderRecord, record_to_dict
+from repro.obs.tracer import Trace
+
+__all__ = ["FieldDiff", "TraceDiff", "canonical_line", "diff_traces"]
+
+
+def canonical_line(record: Any) -> str:
+    """The canonical JSON line for one record (what JSONL files hold)."""
+    return json.dumps(
+        record_to_dict(record), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _canonical_value(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One mismatching field between aligned records."""
+
+    index: int  #: position in the (header-filtered) record stream
+    kind: str
+    round: int
+    field: str
+    left: str  #: canonical JSON of the left value
+    right: str
+
+    def __str__(self) -> str:
+        return (
+            f"record {self.index} ({self.kind}, round {self.round}) "
+            f"field {self.field!r}: {self.left} != {self.right}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """The full field-level difference between two traces."""
+
+    length_left: int
+    length_right: int
+    field_diffs: tuple[FieldDiff, ...]
+    records_compared: int
+
+    @property
+    def empty(self) -> bool:
+        """True when the traces are byte-identical (headers aside)."""
+        return (
+            not self.field_diffs and self.length_left == self.length_right
+        )
+
+    def __bool__(self) -> bool:
+        return not self.empty
+
+    def summary(self, max_lines: int = 20) -> str:
+        """Human-readable report (what ``repro trace diff`` prints)."""
+        if self.empty:
+            return (
+                f"traces identical: {self.records_compared} records, "
+                "0 differing fields"
+            )
+        lines = [
+            f"traces differ: {len(self.field_diffs)} differing field(s) "
+            f"across {self.records_compared} compared records"
+        ]
+        if self.length_left != self.length_right:
+            lines.append(
+                f"  record counts differ: {self.length_left} (left) vs "
+                f"{self.length_right} (right)"
+            )
+        for diff in self.field_diffs[:max_lines]:
+            lines.append(f"  {diff}")
+        if len(self.field_diffs) > max_lines:
+            lines.append(
+                f"  ... and {len(self.field_diffs) - max_lines} more"
+            )
+        return "\n".join(lines)
+
+
+def _payload_records(trace: Trace, include_header: bool) -> list[Any]:
+    if include_header:
+        return list(trace.records)
+    return [r for r in trace.records if not isinstance(r, HeaderRecord)]
+
+
+def diff_traces(
+    left: Trace,
+    right: Trace,
+    *,
+    include_header: bool = False,
+    max_diffs: int = 1000,
+) -> TraceDiff:
+    """Field-by-field comparison of two traces.
+
+    Records are aligned positionally (traces are ordered streams; a
+    skipped or reordered record *is* a divergence). ``include_header``
+    additionally compares the header records — off by default, because
+    the header legitimately differs between engines recording the same
+    decision stream. ``max_diffs`` bounds the collected field diffs; the
+    emptiness verdict is exact regardless.
+    """
+    lhs = _payload_records(left, include_header)
+    rhs = _payload_records(right, include_header)
+    diffs: list[FieldDiff] = []
+    compared = min(len(lhs), len(rhs))
+    for index in range(compared):
+        a, b = lhs[index], rhs[index]
+        dict_a, dict_b = record_to_dict(a), record_to_dict(b)
+        if dict_a == dict_b:
+            # Fast path; == on plain dicts is not byte-level for floats
+            # that compare equal but print differently (0.0 vs -0.0),
+            # so mismatches fall through to the canonical comparison.
+            if canonical_line(a) == canonical_line(b):
+                continue
+        round_index = dict_a.get("round", dict_b.get("round", 0))
+        for key in sorted(set(dict_a) | set(dict_b)):
+            if len(diffs) >= max_diffs:
+                break
+            val_a = _canonical_value(dict_a.get(key))
+            val_b = _canonical_value(dict_b.get(key))
+            if val_a != val_b:
+                diffs.append(
+                    FieldDiff(
+                        index=index,
+                        kind=dict_a.get("kind", dict_b.get("kind", "?")),
+                        round=int(round_index) if round_index is not None else 0,
+                        field=key,
+                        left=val_a,
+                        right=val_b,
+                    )
+                )
+    return TraceDiff(
+        length_left=len(lhs),
+        length_right=len(rhs),
+        field_diffs=tuple(diffs),
+        records_compared=compared,
+    )

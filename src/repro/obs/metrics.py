@@ -1,0 +1,281 @@
+"""Metrics registry: counters, gauges, and histograms with label sets.
+
+One :class:`MetricsRegistry` per subsystem replaces the ad-hoc tally
+dicts that used to live in :mod:`repro.net.metrics` and
+:mod:`repro.chaos`. A metric is identified by ``(name, labels)`` where
+labels are sorted key/value pairs, Prometheus-style; ``registry.counter
+("net.messages", round=3)`` returns the same :class:`Counter` object on
+every call, so hot paths can also cache the handle once and bump it
+directly with no lookup at all.
+
+Design constraints, enforced by the property tests:
+
+- **Counter monotonicity.** Counters only move up; a negative increment
+  raises. Gauges are the escape hatch for values that go both ways.
+- **Histogram merge associativity.** ``a.merge(b).merge(c)`` equals
+  ``a.merge(b.merge(c))`` for any same-bucket histograms, so sharded
+  runs (the sweep process pool) can combine observations in any order.
+- **Lossless JSONL round-trip.** ``registry -> JSONL -> registry`` is
+  the identity, label sets included (see :func:`repro.io.save_metrics`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+LabelsKey = tuple[tuple[str, Any], ...]
+
+#: Default histogram buckets: log-spaced seconds, micro- to kilo-scale.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0,
+)
+
+
+def _labels_key(labels: Mapping[str, Any]) -> LabelsKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    metric_type = "counter"
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {dict(self.labels)}, value={self.value})"
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "labels", "value")
+    metric_type = "gauge"
+
+    def __init__(self, name: str, labels: LabelsKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {dict(self.labels)}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-free, one count per bucket).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]`` but above
+    the previous bound; the final slot counts the overflow above the
+    last bound. ``sum``/``count`` track the exact total and population.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "sum", "count")
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram buckets must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine two same-bucket histograms into a new one.
+
+        Associative and commutative (bucket counts and sums are plain
+        additions), so shard results combine in any order.
+        """
+        if self.buckets != other.buckets:
+            raise ConfigurationError(
+                f"cannot merge histograms with buckets {self.buckets} "
+                f"and {other.buckets}"
+            )
+        merged = Histogram(self.name, self.labels, self.buckets)
+        merged.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        merged.sum = self.sum + other.sum
+        merged.count = self.count + other.count
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, {dict(self.labels)}, "
+            f"count={self.count}, sum={self.sum})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled counters, gauges, histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelsKey], Any] = {}
+
+    def _get_or_create(
+        self, cls: type, name: str, labels: Mapping[str, Any], **kwargs: Any
+    ) -> Any:
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r}{dict(labels)} already registered as "
+                f"{metric.metric_type}, not {cls.metric_type}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        metric = self._get_or_create(Histogram, name, labels, buckets=buckets)
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"histogram {name!r}{dict(labels)} already registered with "
+                f"buckets {metric.buckets}"
+            )
+        return metric
+
+    def get(self, name: str, **labels: Any) -> Any | None:
+        """The metric at ``(name, labels)``, or None if never created."""
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """A counter/gauge's value; ``default`` when absent."""
+        metric = self.get(name, **labels)
+        return default if metric is None else metric.value
+
+    def collect(self, prefix: str = "") -> Iterator[Any]:
+        """All metrics (optionally name-filtered), in sorted key order."""
+        for key in sorted(self._metrics, key=lambda k: (k[0], str(k[1]))):
+            if key[0].startswith(prefix):
+                yield self._metrics[key]
+
+    def series(self, name: str, label: str) -> dict[Any, float]:
+        """``{label value -> metric value}`` across one labelled family."""
+        out: dict[Any, float] = {}
+        for (metric_name, labels), metric in self._metrics.items():
+            if metric_name == name:
+                values = dict(labels)
+                if label in values:
+                    out[values[label]] = metric.value
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric (a fresh registry, same object)."""
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- serialization ----------------------------------------------------
+    def to_records(self) -> list[dict[str, Any]]:
+        """Plain-dict form, one record per metric, in sorted key order."""
+        records = []
+        for metric in self.collect():
+            record: dict[str, Any] = {
+                "name": metric.name,
+                "labels": {str(k): v for k, v in metric.labels},
+                "type": metric.metric_type,
+            }
+            if isinstance(metric, Histogram):
+                record["buckets"] = list(metric.buckets)
+                record["bucket_counts"] = list(metric.bucket_counts)
+                record["sum"] = metric.sum
+                record["count"] = metric.count
+            else:
+                record["value"] = metric.value
+            records.append(record)
+        return records
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[Mapping[str, Any]]
+    ) -> "MetricsRegistry":
+        """Inverse of :meth:`to_records` (exact, label sets included)."""
+        registry = cls()
+        for record in records:
+            name = record["name"]
+            labels = dict(record["labels"])
+            metric_type = record["type"]
+            if metric_type == "counter":
+                registry.counter(name, **labels).value = record["value"]
+            elif metric_type == "gauge":
+                registry.gauge(name, **labels).value = record["value"]
+            elif metric_type == "histogram":
+                hist = registry.histogram(
+                    name, buckets=record["buckets"], **labels
+                )
+                hist.bucket_counts = [int(c) for c in record["bucket_counts"]]
+                hist.sum = float(record["sum"])
+                hist.count = int(record["count"])
+            else:
+                raise ConfigurationError(
+                    f"unknown metric type {metric_type!r} in record {record}"
+                )
+        return registry

@@ -1,0 +1,110 @@
+"""Scoped wall/CPU profiling hooks for the hot paths.
+
+A :class:`Profiler` aggregates named spans: each ``with profiler.span
+("name")`` block adds one sample of wall-clock (``perf_counter``) and
+CPU (``process_time``) seconds to that name's running statistics.
+Instrumented components take ``profiler=None`` and guard every span
+with a ``None`` check, mirroring the tracer's zero-overhead-when-
+disabled contract. ``python -m repro profile`` drives a workload with a
+profiler attached and prints :meth:`Profiler.summary_table`.
+
+Pre-measured durations (the round loop already times decide/update via
+:class:`~repro.utils.timer.Stopwatch`) feed in through
+:meth:`Profiler.record`, so instrumentation never double-times a block.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["SpanStats", "Profiler"]
+
+
+@dataclass
+class SpanStats:
+    """Running aggregate of one named span."""
+
+    name: str
+    count: int = 0
+    wall_total: float = 0.0
+    cpu_total: float = 0.0
+    wall_min: float = float("inf")
+    wall_max: float = 0.0
+
+    def add(self, wall: float, cpu: float = 0.0) -> None:
+        self.count += 1
+        self.wall_total += wall
+        self.cpu_total += cpu
+        self.wall_min = min(self.wall_min, wall)
+        self.wall_max = max(self.wall_max, wall)
+
+    @property
+    def wall_mean(self) -> float:
+        return self.wall_total / self.count if self.count else 0.0
+
+
+@dataclass
+class Profiler:
+    """Named-span aggregator for wall and CPU time."""
+
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+
+    def _stats(self, name: str) -> SpanStats:
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats(name)
+        return stats
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanStats]:
+        """Time the enclosed block and add one sample to ``name``."""
+        stats = self._stats(name)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield stats
+        finally:
+            stats.add(
+                time.perf_counter() - wall0, time.process_time() - cpu0
+            )
+
+    def record(self, name: str, wall: float, cpu: float = 0.0) -> None:
+        """Add one externally-measured sample to ``name``."""
+        self._stats(name).add(wall, cpu)
+
+    def total_wall(self) -> float:
+        return sum(s.wall_total for s in self.spans.values())
+
+    def summary_table(self) -> str:
+        """Aligned per-span table, hottest first (what the CLI prints)."""
+        # Imported here: repro.experiments pulls in the algorithm stack,
+        # which the instrumented core modules must stay importable without.
+        from repro.experiments.reporting import format_table
+
+        rows = []
+        total = self.total_wall() or 1.0
+        ordered = sorted(
+            self.spans.values(), key=lambda s: s.wall_total, reverse=True
+        )
+        for stats in ordered:
+            rows.append(
+                [
+                    stats.name,
+                    stats.count,
+                    f"{stats.wall_total:.4f}",
+                    f"{stats.cpu_total:.4f}",
+                    f"{1e6 * stats.wall_mean:.1f}",
+                    f"{1e6 * stats.wall_max:.1f}",
+                    f"{100.0 * stats.wall_total / total:.1f}%",
+                ]
+            )
+        return format_table(
+            ["span", "calls", "wall_s", "cpu_s", "mean_us", "max_us", "share"],
+            rows,
+        )
+
+    def reset(self) -> None:
+        self.spans.clear()

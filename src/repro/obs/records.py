@@ -1,0 +1,225 @@
+"""Typed per-round trace records — the observability layer's schema.
+
+Every record is a frozen dataclass with a ``kind`` discriminator and
+plain-scalar/tuple fields, so records are hashable, comparable, and
+round-trip losslessly through the deterministic JSONL serialization in
+:mod:`repro.io`. The schema is deliberately *engine-independent*: the
+event-engine round loop and the batched fast path emit byte-identical
+records for the same seeded run, which is what lets the golden-trace
+tests treat a committed trace as a conformance oracle for both paths.
+
+Record kinds
+------------
+``header``
+    One per trace: schema version, algorithm, fleet size, run context.
+``decision``
+    One per round: the allocation played, the revealed local costs, the
+    global cost, the straggler, and the post-round allocation.
+``straggler``
+    One per round: who straggled, at what cost, and the total barrier
+    idle time the fleet paid waiting for it.
+``assistance``
+    DOLBIE's risk-averse update internals (Eqs. 4-7): step size, the
+    acceptable-workload targets ``x'`` and the assistance vector ``G``.
+``membership``
+    Fleet changes: crashes, rejoins, stalls, roster re-agreements.
+``fault``
+    Chaos events hitting the network substrate (partitions, slowdowns,
+    frame-loss bursts) as the cluster applies them.
+``phase``
+    Virtual-time span and event count of one named protocol phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RECORD_KINDS",
+    "HeaderRecord",
+    "DecisionRecord",
+    "StragglerRecord",
+    "AssistanceRecord",
+    "MembershipRecord",
+    "FaultRecord",
+    "PhaseRecord",
+    "record_to_dict",
+    "record_from_dict",
+    "float_tuple",
+    "int_tuple",
+]
+
+#: Trace schema version; bump on incompatible record-layout changes.
+TRACE_SCHEMA = 1
+
+
+def float_tuple(values: Iterable[Any]) -> tuple[float, ...]:
+    """Coerce an array/sequence to a plain tuple of Python floats."""
+    return tuple(float(v) for v in values)
+
+
+def int_tuple(values: Iterable[Any]) -> tuple[int, ...]:
+    """Coerce an array/sequence to a plain tuple of Python ints."""
+    return tuple(int(v) for v in values)
+
+
+@dataclass(frozen=True)
+class HeaderRecord:
+    """Run-level metadata; exactly one per trace, always first."""
+
+    kind: ClassVar[str] = "header"
+    schema: int
+    algorithm: str
+    num_workers: int
+    horizon: int
+    #: Free-form scalar context (seed, engine, topology, ...). Excluded
+    #: from trace diffs by default: two engines producing the same
+    #: decision stream legitimately differ here.
+    context: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One online round: play, reveal, suffer, update."""
+
+    kind: ClassVar[str] = "decision"
+    round: int
+    allocation: tuple[float, ...]
+    local_costs: tuple[float, ...]
+    global_cost: float
+    straggler: int
+    next_allocation: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class StragglerRecord:
+    """Who straggled and what the barrier cost the rest of the fleet."""
+
+    kind: ClassVar[str] = "straggler"
+    round: int
+    worker: int
+    cost: float
+    waiting_total: float
+
+
+@dataclass(frozen=True)
+class AssistanceRecord:
+    """DOLBIE's risk-averse transfer internals for one round."""
+
+    kind: ClassVar[str] = "assistance"
+    round: int
+    straggler: int
+    alpha: float
+    shed_total: float
+    x_prime: tuple[float, ...]
+    assistance: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MembershipRecord:
+    """A fleet change: crash, rejoin, stall, or roster re-agreement."""
+
+    kind: ClassVar[str] = "membership"
+    round: int
+    action: str
+    workers: tuple[int, ...]
+    roster: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """A chaos event applied to the network substrate."""
+
+    kind: ClassVar[str] = "fault"
+    round: int
+    fault: str
+    workers: tuple[int, ...] = ()
+    severity: float = 0.0
+    groups: tuple[tuple[int, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Virtual-time span of one named protocol phase."""
+
+    kind: ClassVar[str] = "phase"
+    round: int
+    phase: str
+    start: float
+    end: float
+    events: int
+
+
+#: kind -> record class, for deserialization.
+RECORD_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        HeaderRecord,
+        DecisionRecord,
+        StragglerRecord,
+        AssistanceRecord,
+        MembershipRecord,
+        FaultRecord,
+        PhaseRecord,
+    )
+}
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value to plain JSON-serializable Python types."""
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def record_to_dict(record: Any) -> dict[str, Any]:
+    """Serialize a record to a plain dict with a ``kind`` discriminator."""
+    cls = type(record)
+    if getattr(cls, "kind", None) not in RECORD_KINDS:
+        raise ConfigurationError(f"{cls.__name__} is not a trace record type")
+    payload = {name: _jsonable(value) for name, value in asdict(record).items()}
+    payload["kind"] = cls.kind
+    return payload
+
+
+def _coerce(value: Any, annotation: str) -> Any:
+    """Rebuild tuple-typed fields from the lists JSON hands back."""
+    if annotation.startswith("tuple[tuple[str, Any]"):
+        return tuple((str(k), v) for k, v in value)
+    if annotation.startswith("tuple[tuple[int"):
+        return tuple(int_tuple(group) for group in value)
+    if annotation.startswith("tuple[float"):
+        return float_tuple(value)
+    if annotation.startswith("tuple[int"):
+        return int_tuple(value)
+    return value
+
+
+def record_from_dict(payload: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`record_to_dict`."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = RECORD_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(f"unknown trace record kind {kind!r}")
+    known = {f.name: f for f in fields(cls)}
+    unknown = set(data) - set(known)
+    if unknown:
+        raise ConfigurationError(
+            f"{kind!r} record has unknown fields {sorted(unknown)}"
+        )
+    converted = {
+        name: _coerce(value, str(known[name].type))
+        for name, value in data.items()
+    }
+    return cls(**converted)

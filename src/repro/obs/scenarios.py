@@ -1,0 +1,148 @@
+"""Canonical seeded workloads for recording traces.
+
+One place defines the exact (seed, size, process) combinations that the
+``repro trace`` CLI records, the golden-trace regression tests replay,
+and ``tests/golden/regenerate.py`` blesses — so "the mw golden trace"
+means the same run everywhere. Every scenario is deterministic in its
+arguments: same inputs, byte-identical JSONL out.
+
+``engine`` selects the protocol execution path: ``"fast"`` forces the
+batched round-synchronous path, ``"event"`` forces the discrete-event
+engine, ``"auto"`` keeps the production per-round choice. The payload
+records are bit-identical across all three — that is the equivalence
+the golden tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.obs.tracer import Trace, Tracer
+
+__all__ = [
+    "SCENARIOS",
+    "GOLDEN_SEED",
+    "GOLDEN_WORKERS",
+    "GOLDEN_ROUNDS",
+    "build_trace",
+    "protocol_trace",
+    "loop_trace",
+    "trainer_trace",
+]
+
+#: Defaults of the committed golden traces (small enough to diff in git).
+GOLDEN_SEED = 7
+GOLDEN_WORKERS = 6
+GOLDEN_ROUNDS = 30
+
+
+def _cost_process(num_workers: int, seed: int):
+    from repro.costs.timevarying import RandomAffineProcess
+
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(1.0, 3.0, size=num_workers)
+    return RandomAffineProcess(speeds, sigma=0.2, comm_scale=0.01, seed=seed)
+
+
+def protocol_trace(
+    architecture: str = "mw",
+    engine: str = "auto",
+    num_workers: int = GOLDEN_WORKERS,
+    rounds: int = GOLDEN_ROUNDS,
+    seed: int = GOLDEN_SEED,
+) -> Trace:
+    """Record one protocol run (Algorithm 1 or 2) and return its trace."""
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+    from repro.protocols.master_worker import MasterWorkerDolbie
+
+    if architecture not in ("mw", "fd"):
+        raise ConfigurationError(
+            f"architecture must be 'mw' or 'fd', got {architecture!r}"
+        )
+    if engine not in ("auto", "fast", "event"):
+        raise ConfigurationError(
+            f"engine must be 'auto', 'fast' or 'event', got {engine!r}"
+        )
+    cls = MasterWorkerDolbie if architecture == "mw" else FullyDistributedDolbie
+    tracer = Tracer()
+    protocol = cls(
+        num_workers,
+        alpha_1=0.001,
+        use_fast_path=engine != "event",
+        tracer=tracer,
+    )
+    protocol.run(_cost_process(num_workers, seed), rounds)
+    if engine == "fast" and protocol.fallback_rounds:
+        raise ConfigurationError(
+            f"engine='fast' requested but {protocol.fallback_rounds} "
+            "round(s) fell back to the event engine"
+        )
+    return tracer.trace
+
+
+def loop_trace(
+    num_workers: int = GOLDEN_WORKERS,
+    rounds: int = GOLDEN_ROUNDS,
+    seed: int = GOLDEN_SEED,
+) -> Trace:
+    """Record the centralized reference (Dolbie + run_online)."""
+    from repro.core.dolbie import Dolbie
+    from repro.core.loop import run_online
+
+    tracer = Tracer()
+    balancer = Dolbie(num_workers, alpha_1=0.001, tracer=tracer)
+    run_online(
+        balancer, _cost_process(num_workers, seed), rounds, tracer=tracer
+    )
+    return tracer.trace
+
+
+def trainer_trace(
+    num_workers: int = GOLDEN_WORKERS,
+    rounds: int = GOLDEN_ROUNDS,
+    seed: int = GOLDEN_SEED,
+) -> Trace:
+    """Record a simulated training run (Fig. 2 integration)."""
+    from repro.core.dolbie import Dolbie
+    from repro.mlsim.environment import TrainingEnvironment
+    from repro.mlsim.trainer import SyncTrainer
+
+    env = TrainingEnvironment(
+        "ResNet18", num_workers=num_workers, global_batch=256, seed=seed
+    )
+    tracer = Tracer()
+    trainer = SyncTrainer(env)
+    trainer.train(Dolbie(num_workers, alpha_1=0.001), rounds, tracer=tracer)
+    return tracer.trace
+
+
+#: name -> builder taking (engine, num_workers, rounds, seed).
+SCENARIOS = {
+    "mw": lambda engine, n, rounds, seed: protocol_trace(
+        "mw", engine, n, rounds, seed
+    ),
+    "fd": lambda engine, n, rounds, seed: protocol_trace(
+        "fd", engine, n, rounds, seed
+    ),
+    "loop": lambda engine, n, rounds, seed: loop_trace(n, rounds, seed),
+    "trainer": lambda engine, n, rounds, seed: trainer_trace(n, rounds, seed),
+}
+
+
+def build_trace(
+    scenario: str,
+    engine: str = "auto",
+    num_workers: int = GOLDEN_WORKERS,
+    rounds: int = GOLDEN_ROUNDS,
+    seed: int = GOLDEN_SEED,
+) -> Trace:
+    """Build the named scenario's trace (the CLI/golden entry point)."""
+    try:
+        builder = SCENARIOS[scenario]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; choose from "
+            f"{sorted(SCENARIOS)}"
+        ) from None
+    return builder(engine, num_workers, rounds, seed)

@@ -1,0 +1,131 @@
+"""The structured trace recorder.
+
+A :class:`Tracer` is an in-memory, append-only sink for the typed
+records of :mod:`repro.obs.records`. Instrumented components accept an
+optional ``tracer`` argument defaulting to ``None``; every emission site
+is guarded by ``if tracer is not None``, so a run without a tracer pays
+exactly one pointer comparison per hook — the "zero overhead when
+disabled" contract that ``repro bench`` gates (see ``obs_overhead`` in
+:mod:`repro.experiments.bench`).
+
+The recorded :class:`Trace` serializes to deterministic JSONL via
+:func:`repro.io.save_trace` and is compared field-by-field by
+:mod:`repro.obs.diff` — the same machinery the golden-trace regression
+tests use as their oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.obs.records import RECORD_KINDS, TRACE_SCHEMA, HeaderRecord
+
+__all__ = ["Trace", "Tracer"]
+
+
+@dataclass
+class Trace:
+    """An ordered stream of trace records (header first, if any)."""
+
+    records: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.records)
+
+    @property
+    def header(self) -> HeaderRecord | None:
+        """The trace's header record, if one was emitted."""
+        for record in self.records:
+            if isinstance(record, HeaderRecord):
+                return record
+        return None
+
+    def by_kind(self, kind: str) -> list[Any]:
+        """All records of one kind, in emission order."""
+        if kind not in RECORD_KINDS:
+            raise ConfigurationError(f"unknown trace record kind {kind!r}")
+        return [r for r in self.records if type(r).kind == kind]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Record count per kind (insertion-ordered by first appearance)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            kind = type(record).kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def rounds(self) -> tuple[int, int]:
+        """(first, last) round index covered by round-carrying records."""
+        indices = [
+            r.round for r in self.records if not isinstance(r, HeaderRecord)
+        ]
+        if not indices:
+            return (0, 0)
+        return (min(indices), max(indices))
+
+    def summary(self) -> str:
+        """A compact human-readable description of the trace."""
+        head = self.header
+        lines = []
+        if head is not None:
+            context = ", ".join(f"{k}={v}" for k, v in head.context)
+            lines.append(
+                f"{head.algorithm}: N={head.num_workers}, "
+                f"horizon={head.horizon}"
+                + (f" ({context})" if context else "")
+            )
+        first, last = self.rounds()
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in self.kind_counts().items()
+        )
+        lines.append(
+            f"{len(self.records)} records over rounds {first}..{last}: "
+            f"{counts or 'empty'}"
+        )
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Append-only recorder the instrumented hot paths emit into."""
+
+    def __init__(self) -> None:
+        self.records: list[Any] = []
+
+    def emit(self, record: Any) -> None:
+        """Append one typed record (see :mod:`repro.obs.records`)."""
+        if getattr(type(record), "kind", None) not in RECORD_KINDS:
+            raise ConfigurationError(
+                f"{type(record).__name__} is not a trace record type"
+            )
+        self.records.append(record)
+
+    def header(
+        self,
+        algorithm: str,
+        num_workers: int,
+        horizon: int,
+        **context: Any,
+    ) -> None:
+        """Emit the run header (call once, before any round records)."""
+        self.emit(
+            HeaderRecord(
+                schema=TRACE_SCHEMA,
+                algorithm=str(algorithm),
+                num_workers=int(num_workers),
+                horizon=int(horizon),
+                context=tuple(sorted(context.items())),
+            )
+        )
+
+    @property
+    def trace(self) -> Trace:
+        """The recorded trace (a live view, not a copy)."""
+        return Trace(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -36,6 +36,7 @@ from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
 from repro.net.topology import connected_components
+from repro.protocols.tracing import emit_membership, emit_round
 from repro.simplex.sampling import equal_split, is_feasible
 
 __all__ = ["FullyDistributedDolbie"]
@@ -309,6 +310,8 @@ class FullyDistributedDolbie:
         link: Link | None = None,
         topology: "Topology | None" = None,
         use_fast_path: bool = True,
+        tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then
@@ -319,7 +322,11 @@ class FullyDistributedDolbie:
         (:mod:`repro.net.batch`) on healthy all-to-all rounds; it is
         bit-identical to the event engine and disabled automatically
         whenever chaos hooks, dead peers, or a restricted topology are in
-        play (see :attr:`fast_rounds` / :attr:`fallback_rounds`)."""
+        play (see :attr:`fast_rounds` / :attr:`fallback_rounds`).
+
+        ``tracer``/``profiler`` attach the observability layer (see
+        :mod:`repro.obs`); trace payloads are identical on both
+        execution paths."""
         if num_workers < 2:
             raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
         self.num_workers = int(num_workers)
@@ -359,6 +366,9 @@ class FullyDistributedDolbie:
         self.fast_rounds = 0
         self.fallback_rounds = 0
         self._fast_cache: tuple | None = None
+        self.tracer = tracer
+        self.profiler = profiler
+        self.cluster.tracer = tracer
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on. Surviving peers'
@@ -371,6 +381,10 @@ class FullyDistributedDolbie:
         self._alive[worker] = False
         self._stalled.discard(worker)
         self.peers[worker].failed = True
+        emit_membership(
+            self.tracer, self.cluster.trace_round, "crash", [worker],
+            self.roster,
+        )
 
     def rejoin_worker(self, worker: int, share: float | None = None) -> None:
         """Re-admit ``worker`` (crash recovery / partition heal).
@@ -391,6 +405,10 @@ class FullyDistributedDolbie:
         self._alive[worker] = True
         self.peers[worker].failed = False
         self._readmit(worker, share)
+        emit_membership(
+            self.tracer, self.cluster.trace_round, "rejoin", [worker],
+            self.roster,
+        )
 
     def _participants(self) -> list[int]:
         """Peers expected to take part in the next round."""
@@ -643,6 +661,14 @@ class FullyDistributedDolbie:
             raise ConfigurationError(
                 f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
             )
+        tracer = self.tracer
+        profiler = self.profiler
+        if tracer is not None:
+            self.cluster.trace_round = round_index
+            engine = self.cluster.engine
+            start_time = engine.now
+            start_events = engine.processed_events
+            roster_before = self.roster
         # -- membership resolution at the round boundary ------------------
         # The round runs on the *primary* component of the effective
         # graph (alive peers over partition-respecting edges): largest
@@ -669,8 +695,47 @@ class FullyDistributedDolbie:
         x_played = self.allocation
         if self._fast_eligible(participants):
             self.fast_rounds += 1
-            return self._run_round_fast(round_index, costs, x_played)
-        self.fallback_rounds += 1
+            if profiler is None:
+                result = self._run_round_fast(round_index, costs, x_played)
+            else:
+                with profiler.span("protocol.fast_round"):
+                    result = self._run_round_fast(round_index, costs, x_played)
+        else:
+            self.fallback_rounds += 1
+            if profiler is None:
+                result = self._run_round_event(
+                    round_index, costs, x_played, participants, participant_set
+                )
+            else:
+                with profiler.span("protocol.event_round"):
+                    result = self._run_round_event(
+                        round_index, costs, x_played, participants,
+                        participant_set,
+                    )
+        if tracer is not None:
+            roster_after = self.roster
+            if roster_after != roster_before:
+                emit_membership(
+                    tracer, round_index, "roster_change",
+                    sorted(set(roster_before) ^ set(roster_after)),
+                    roster_after,
+                )
+            emit_round(
+                tracer, round_index, result[0], result[1], result[2],
+                result[3], self.allocation, start_time, start_events,
+                self.cluster.engine,
+            )
+        return result
+
+    def _run_round_event(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+        participants: list[int],
+        participant_set: set[int],
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One round on the discrete-event engine (the general path)."""
         rosters_incomplete = any(
             set(self.peers[i].roster) != participant_set for i in participants
         )
@@ -712,6 +777,14 @@ class FullyDistributedDolbie:
 
     def run(self, process: CostProcess, horizon: int) -> RunResult:
         n = self.num_workers
+        if self.tracer is not None:
+            # Engine identity lives in the header only: payload records
+            # diff empty between the fast path and the event engine.
+            self.tracer.header(
+                self.name, n, horizon,
+                fast_path=self.use_fast_path,
+                topology="complete" if self.topology is None else "custom",
+            )
         allocations = np.empty((horizon, n))
         local = np.empty((horizon, n))
         global_costs = np.empty(horizon)

@@ -39,6 +39,7 @@ from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
+from repro.protocols.tracing import emit_membership, emit_round
 from repro.simplex.sampling import equal_split, is_feasible
 
 __all__ = ["MasterWorkerDolbie"]
@@ -246,6 +247,8 @@ class MasterWorkerDolbie:
         embedded_master: bool = False,
         cost_timeout: float = 1.0,
         use_fast_path: bool = True,
+        tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
     ) -> None:
         """``embedded_master`` realizes §IV-B1's "an elected worker acts
         also as the master": the master process is co-located with worker
@@ -260,7 +263,12 @@ class MasterWorkerDolbie:
         (:mod:`repro.net.batch`) on healthy rounds; it is bit-identical
         to the event engine and disabled automatically whenever chaos
         hooks, dead workers, or an embedded master are in play (see
-        :attr:`fast_rounds` / :attr:`fallback_rounds`)."""
+        :attr:`fast_rounds` / :attr:`fallback_rounds`).
+
+        ``tracer``/``profiler`` attach the observability layer (see
+        :mod:`repro.obs`): per-round decision/straggler/phase records,
+        membership and fault records, and per-path round timing spans.
+        Trace payloads are identical on both execution paths."""
         if num_workers < 2:
             raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
         self.num_workers = int(num_workers)
@@ -291,6 +299,9 @@ class MasterWorkerDolbie:
         self.fast_rounds = 0
         self.fallback_rounds = 0
         self._batched = None
+        self.tracer = tracer
+        self.profiler = profiler
+        self.cluster.tracer = tracer
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on (it stops reporting).
@@ -303,6 +314,10 @@ class MasterWorkerDolbie:
             raise ConfigurationError(f"worker index {worker} out of range")
         self._alive[worker] = False
         self.workers[worker].failed = True
+        emit_membership(
+            self.tracer, self.cluster.trace_round, "crash", [worker],
+            self.roster,
+        )
 
     def rejoin_worker(self, worker: int, share: float | None = None) -> None:
         """Re-admit ``worker`` to the fleet (crash recovery).
@@ -324,6 +339,10 @@ class MasterWorkerDolbie:
         self._alive[worker] = True
         self.workers[worker].failed = False
         if worker in roster:
+            emit_membership(
+                self.tracer, self.cluster.trace_round, "revive", [worker],
+                self.roster,
+            )
             return  # crashed and revived within the same round boundary
         live = sorted(roster)
         x_live = np.array([self.workers[w].x for w in live])
@@ -336,6 +355,10 @@ class MasterWorkerDolbie:
         self.master.declared_dead.pop(worker, None)
         cap = feasibility_cap(float(x_new[-1]), len(roster))
         self.master.alpha = min(self.master.alpha, cap)
+        emit_membership(
+            self.tracer, self.cluster.trace_round, "rejoin", [worker],
+            self.roster,
+        )
 
     @property
     def alive_workers(self) -> list[int]:
@@ -513,11 +536,51 @@ class MasterWorkerDolbie:
             raise ConfigurationError(
                 f"round {round_index}: {len(costs)} costs for {self.num_workers} workers"
             )
+        tracer = self.tracer
+        profiler = self.profiler
+        if tracer is not None:
+            self.cluster.trace_round = round_index
+            engine = self.cluster.engine
+            start_time = engine.now
+            start_events = engine.processed_events
+            roster_before = self.roster
         x_played = self.allocation
         if self._fast_eligible():
             self.fast_rounds += 1
-            return self._run_round_fast(round_index, costs, x_played)
-        self.fallback_rounds += 1
+            if profiler is None:
+                result = self._run_round_fast(round_index, costs, x_played)
+            else:
+                with profiler.span("protocol.fast_round"):
+                    result = self._run_round_fast(round_index, costs, x_played)
+        else:
+            self.fallback_rounds += 1
+            if profiler is None:
+                result = self._run_round_event(round_index, costs, x_played)
+            else:
+                with profiler.span("protocol.event_round"):
+                    result = self._run_round_event(round_index, costs, x_played)
+        if tracer is not None:
+            roster_after = self.roster
+            if roster_after != roster_before:
+                emit_membership(
+                    tracer, round_index, "declare_dead",
+                    sorted(set(roster_before) - set(roster_after)),
+                    roster_after,
+                )
+            emit_round(
+                tracer, round_index, result[0], result[1], result[2],
+                result[3], self.allocation, start_time, start_events,
+                self.cluster.engine,
+            )
+        return result
+
+    def _run_round_event(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One round on the discrete-event engine (the general path)."""
         # A rostered worker is only responsive if its process runs AND no
         # partition separates it from the master; otherwise the failure
         # detector must be armed so its silence folds this round.
@@ -562,6 +625,15 @@ class MasterWorkerDolbie:
     def run(self, process: CostProcess, horizon: int) -> RunResult:
         """Drive the protocol for ``horizon`` rounds; mirrors ``run_online``."""
         n = self.num_workers
+        if self.tracer is not None:
+            # Engine identity lives in the header only: the payload
+            # records must diff empty between the fast path and the
+            # event engine (headers are excluded by default).
+            self.tracer.header(
+                self.name, n, horizon,
+                fast_path=self.use_fast_path,
+                embedded_master=self.embedded_master,
+            )
         allocations = np.empty((horizon, n))
         local = np.empty((horizon, n))
         global_costs = np.empty(horizon)

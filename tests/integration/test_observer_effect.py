@@ -1,0 +1,105 @@
+"""No observer effect: attaching the observability layer never changes
+a run.
+
+Tracing and profiling are pure readers. For both protocol architectures,
+on both execution engines, and under a chaotic fault schedule, a run
+with a tracer + profiler attached must be bit-identical to the same
+seeded run without them — same allocations, same virtual time, same
+message accounting, and (the sharpest check) the same RNG stream
+position afterwards: instrumentation that drew even one random number,
+or reordered one draw, would shift the generator state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultSchedule, run_soak
+from repro.costs.timevarying import RandomAffineProcess
+from repro.net.links import Link, UniformLatency
+from repro.net.topology import Topology
+from repro.obs import Profiler, Tracer
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+N = 6
+ROUNDS = 40
+
+ARCHS = {"mw": MasterWorkerDolbie, "fd": FullyDistributedDolbie}
+
+
+def _run(arch: str, fast: bool, instrument: bool):
+    rng = np.random.default_rng(5)
+    tracer = Tracer() if instrument else None
+    profiler = Profiler() if instrument else None
+    protocol = ARCHS[arch](
+        N,
+        link=Link(UniformLatency(0.0005, 0.005, rng)),
+        use_fast_path=fast,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    process = RandomAffineProcess(
+        np.linspace(1.0, 2.5, N), sigma=0.2, comm_scale=0.01, seed=3
+    )
+    result = protocol.run(process, ROUNDS)
+    return protocol, result, rng.bit_generator.state, tracer, profiler
+
+
+@pytest.mark.parametrize("arch", ["mw", "fd"])
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "event"])
+def test_tracing_has_no_observer_effect(arch, fast):
+    plain_protocol, plain, plain_rng, _, _ = _run(arch, fast, False)
+    traced_protocol, traced, traced_rng, tracer, profiler = _run(
+        arch, fast, True
+    )
+    assert np.array_equal(plain.allocations, traced.allocations)
+    assert np.array_equal(plain.global_costs, traced.global_costs)
+    assert np.array_equal(plain.local_costs, traced.local_costs)
+    # Identical RNG stream position: instrumentation drew nothing.
+    assert plain_rng == traced_rng
+    assert (
+        plain_protocol.cluster.engine.now == traced_protocol.cluster.engine.now
+    )
+    assert (
+        plain_protocol.metrics.messages_total
+        == traced_protocol.metrics.messages_total
+    )
+    # And the instrumentation actually observed the run.
+    assert len(tracer.trace.by_kind("decision")) == ROUNDS
+    assert profiler.total_wall() > 0.0
+
+
+@pytest.mark.parametrize("arch", ["mw", "fd"])
+def test_tracing_has_no_observer_effect_under_chaos(arch):
+    topology = Topology.ring(N) if arch == "fd" else None
+    schedule = FaultSchedule.random(N, ROUNDS, seed=9, topology=topology)
+    process = RandomAffineProcess(np.linspace(1.0, 2.0, N), seed=11)
+    tracer = Tracer()
+
+    def factory(instrument):
+        def build():
+            kwargs = {"link": Link(UniformLatency(0.0005, 0.005,
+                                                  np.random.default_rng(5)))}
+            if arch == "fd":
+                kwargs["topology"] = Topology.ring(N)
+            if instrument:
+                kwargs["tracer"] = tracer
+            return ARCHS[arch](N, **kwargs)
+
+        return build
+
+    plain = run_soak(factory(False), schedule, process, ROUNDS)
+    traced = run_soak(factory(True), schedule, process, ROUNDS)
+    assert np.array_equal(plain.allocations, traced.allocations)
+    assert np.array_equal(plain.global_costs, traced.global_costs)
+    assert plain.virtual_time == traced.virtual_time
+    assert plain.messages_total == traced.messages_total
+    assert plain.messages_blackholed == traced.messages_blackholed
+    assert plain.events_applied == traced.events_applied
+    assert plain.violations == traced.violations == ()
+    # The chaos actually fired and the tracer saw it: fault records from
+    # the cluster plus membership records from crash/rejoin handling.
+    counts = tracer.trace.kind_counts()
+    assert counts.get("fault", 0) > 0
+    assert counts.get("membership", 0) > 0
+    assert counts["decision"] == ROUNDS

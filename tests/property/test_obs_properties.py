@@ -1,0 +1,219 @@
+"""Property-based contracts of the observability layer.
+
+Four laws the docs promise and the rest of the system leans on:
+
+1. Histogram merge is associative (sharded runs combine in any order).
+2. Counters are monotone under any sequence of valid increments.
+3. A registry's label sets survive the JSONL round-trip exactly.
+4. Every trace record survives the dict/JSON schema round-trip exactly.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.records import (
+    AssistanceRecord,
+    DecisionRecord,
+    FaultRecord,
+    HeaderRecord,
+    MembershipRecord,
+    PhaseRecord,
+    StragglerRecord,
+    record_from_dict,
+    record_to_dict,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+positive = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def bucket_bounds(draw):
+    bounds = draw(
+        st.lists(
+            st.floats(
+                min_value=1e-6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    return tuple(sorted(bounds))
+
+
+@st.composite
+def histograms(draw, buckets):
+    hist = Histogram("h", buckets=buckets)
+    for value in draw(st.lists(finite, max_size=30)):
+        hist.observe(value)
+    return hist
+
+
+@given(data=st.data(), bounds=bucket_bounds())
+@settings(max_examples=50, deadline=None)
+def test_histogram_merge_associative(data, bounds):
+    a = data.draw(histograms(bounds))
+    b = data.draw(histograms(bounds))
+    c = data.draw(histograms(bounds))
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.bucket_counts == right.bucket_counts
+    assert left.count == right.count
+    assert math.isclose(left.sum, right.sum, rel_tol=1e-12, abs_tol=1e-12)
+
+
+@given(st.lists(positive, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_counter_monotone_and_exact(increments):
+    registry = MetricsRegistry()
+    counter = registry.counter("events")
+    previous = counter.value
+    for amount in increments:
+        counter.inc(amount)
+        assert counter.value >= previous
+        previous = counter.value
+    assert math.isclose(
+        counter.value, math.fsum(increments), rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+label_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        max_size=8,
+    ),
+    st.booleans(),
+)
+label_sets = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",)),
+        min_size=1,
+        max_size=6,
+    ),
+    label_values,
+    max_size=3,
+)
+
+
+@given(
+    st.lists(
+        st.tuples(label_sets, st.floats(0.0, 100.0)),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_label_sets_round_trip_through_jsonl(entries):
+    registry = MetricsRegistry()
+    for labels, amount in entries:
+        registry.counter("m", **labels).inc(amount)
+    # Through actual JSON text, not just plain dicts — what save_metrics
+    # writes is what from_records must rebuild.
+    payload = json.loads(json.dumps(registry.to_records()))
+    clone = MetricsRegistry.from_records(payload)
+    assert clone.to_records() == registry.to_records()
+    for labels, _ in entries:
+        assert clone.get("m", **labels) is not None
+
+
+def _records(draw):
+    n = draw(st.integers(1, 6))
+    vec = st.tuples(*[finite] * n)
+    ivec = st.lists(st.integers(0, 50), max_size=n, unique=True).map(tuple)
+    round_index = draw(st.integers(1, 10_000))
+    kind = draw(st.sampled_from(
+        ["header", "decision", "straggler", "assistance", "membership",
+         "fault", "phase"]
+    ))
+    if kind == "header":
+        return HeaderRecord(
+            schema=1,
+            algorithm=draw(st.text(max_size=10)),
+            num_workers=n,
+            horizon=round_index,
+            context=tuple(
+                sorted(draw(st.dictionaries(
+                    st.text(
+                        alphabet=st.characters(
+                            whitelist_categories=("Ll",)
+                        ),
+                        min_size=1,
+                        max_size=5,
+                    ),
+                    st.one_of(st.integers(), st.booleans(), st.text(max_size=5)),
+                    max_size=3,
+                )).items())
+            ),
+        )
+    if kind == "decision":
+        return DecisionRecord(
+            round=round_index,
+            allocation=draw(vec),
+            local_costs=draw(vec),
+            global_cost=draw(finite),
+            straggler=draw(st.integers(0, n - 1)),
+            next_allocation=draw(vec),
+        )
+    if kind == "straggler":
+        return StragglerRecord(
+            round=round_index,
+            worker=draw(st.integers(0, n - 1)),
+            cost=draw(finite),
+            waiting_total=draw(finite),
+        )
+    if kind == "assistance":
+        return AssistanceRecord(
+            round=round_index,
+            straggler=draw(st.integers(0, n - 1)),
+            alpha=draw(finite),
+            shed_total=draw(finite),
+            x_prime=draw(vec),
+            assistance=draw(vec),
+        )
+    if kind == "membership":
+        return MembershipRecord(
+            round=round_index,
+            action=draw(st.sampled_from(["crash", "rejoin", "roster_change"])),
+            workers=draw(ivec),
+            roster=draw(ivec),
+        )
+    if kind == "fault":
+        return FaultRecord(
+            round=round_index,
+            fault=draw(st.sampled_from(["partition", "delay", "frame_loss"])),
+            workers=draw(ivec),
+            severity=draw(finite),
+            groups=tuple(
+                draw(st.lists(ivec, max_size=3))
+            ),
+        )
+    return PhaseRecord(
+        round=round_index,
+        phase=draw(st.sampled_from(["round", "gather", "scatter"])),
+        start=draw(finite),
+        end=draw(finite),
+        events=draw(st.integers(0, 10**6)),
+    )
+
+
+trace_records = st.composite(lambda draw: _records(draw))()
+
+
+@given(trace_records)
+@settings(max_examples=100, deadline=None)
+def test_trace_record_schema_round_trip(record):
+    payload = record_to_dict(record)
+    # Through JSON text: tuples become lists and must come back as tuples.
+    decoded = json.loads(json.dumps(payload))
+    assert record_from_dict(decoded) == record

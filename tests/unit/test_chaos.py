@@ -198,6 +198,30 @@ class TestChaosInjector:
             protocol.run_round(t, process.costs_at(t))
         assert [e.kind for e in injector.applied] == ["crash", "rejoin"]
         assert protocol.roster == [0, 1, 2, 3]
+        # The registry-backed tallies agree with the applied-event log
+        # (they replaced the ad-hoc counters SoakReport used to rebuild).
+        assert injector.events_applied == len(injector.applied)
+        assert injector.event_counts == {"crash": 1, "rejoin": 1}
+
+    def test_registry_tallies_match_applied_log(self):
+        protocol = MasterWorkerDolbie(4, link=LINK())
+        schedule = FaultSchedule.scripted([
+            FaultEvent(1, "slowdown", workers=(2,), duration=1, severity=0.01),
+            FaultEvent(2, "degrade", duration=1, severity=0.1),
+            FaultEvent(2, "partition", groups=((2, 3),)),
+            FaultEvent(3, "heal"),
+            FaultEvent(3, "crash", workers=(0,)),
+        ])
+        injector = ChaosInjector(protocol, schedule)
+        process = _process(4)
+        for t in range(1, 4):
+            injector.apply(t)
+            protocol.run_round(t, process.costs_at(t))
+        from collections import Counter as TallyCounter
+
+        expected = dict(TallyCounter(e.kind for e in injector.applied))
+        assert injector.event_counts == expected
+        assert injector.events_applied == len(injector.applied)
 
     def test_slowdown_expires_and_restores_delay(self):
         protocol = MasterWorkerDolbie(4, link=LINK())

@@ -164,6 +164,20 @@ class TestHistoryRecording:
         # (chaos soaks, paper-scale sweeps) was a memory leak.
         assert off.straggler_history == []
 
+    def test_straggler_counts_match_history_tally(self):
+        """The O(N) registry tally replaced the ad-hoc per-round log and
+        must agree with it exactly — and stay on when the log is off."""
+        from collections import Counter as TallyCounter
+
+        process = RandomAffineProcess([1, 2, 5], seed=3)
+        on = Dolbie(3, alpha_1=0.1, record_history=True)
+        off = Dolbie(3, alpha_1=0.1, record_history=False)
+        run_online(on, process, 25)
+        run_online(off, process, 25)
+        assert on.straggler_counts == dict(TallyCounter(on.straggler_history))
+        assert off.straggler_counts == on.straggler_counts
+        assert sum(off.straggler_counts.values()) == 25
+
 
 class TestValidation:
     def test_needs_two_workers(self):

@@ -1,0 +1,205 @@
+"""Unit tests for the metrics registry and its subsystem adopters."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_raises(self):
+        c = Counter("x")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add_move_both_ways(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.add(-2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_buckets_and_overflow(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.bucket_counts == [1, 1, 2]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_boundary_lands_in_lower_bucket(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_merge_requires_same_buckets(self):
+        a = Histogram("x", buckets=(1.0,))
+        b = Histogram("x", buckets=(2.0,))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_adds_everything(self):
+        a = Histogram("x", buckets=(1.0, 10.0))
+        b = Histogram("x", buckets=(1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        merged = a.merge(b)
+        assert merged.bucket_counts == [1, 1, 0]
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(5.5)
+        # Inputs are untouched (merge returns a new histogram).
+        assert a.count == 1 and b.count == 1
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("x", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits", worker=3) is reg.counter("hits", worker=3)
+        assert reg.counter("hits", worker=3) is not reg.counter("hits", worker=4)
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("msgs", src=0, dst=1)
+        b = reg.counter("msgs", dst=1, src=0)
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("lat", buckets=(1.0, 3.0))
+        assert reg.histogram("lat", buckets=(1.0, 2.0)).buckets == (1.0, 2.0)
+
+    def test_value_and_get_defaults(self):
+        reg = MetricsRegistry()
+        assert reg.get("absent") is None
+        assert reg.value("absent") == 0.0
+        assert reg.value("absent", default=7.0) == 7.0
+        reg.counter("present").inc(3)
+        assert reg.value("present") == 3.0
+
+    def test_series_extracts_label_family(self):
+        reg = MetricsRegistry()
+        reg.counter("straggler", worker=0).inc(4)
+        reg.counter("straggler", worker=2).inc(1)
+        reg.counter("other", worker=9).inc(5)
+        assert reg.series("straggler", "worker") == {0: 4.0, 2: 1.0}
+
+    def test_collect_prefix_filter_and_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b.two")
+        reg.counter("a.one")
+        reg.gauge("b.three")
+        names = [m.name for m in reg.collect("b.")]
+        assert names == ["b.three", "b.two"]
+
+    def test_reset_empties(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+        assert reg.value("x") == 0.0
+
+    def test_records_round_trip_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("c", worker=1).inc(5)
+        reg.gauge("g").set(-2.5)
+        h = reg.histogram("h", buckets=(0.1, 1.0), phase="round")
+        h.observe(0.05)
+        h.observe(5.0)
+        clone = MetricsRegistry.from_records(reg.to_records())
+        assert clone.to_records() == reg.to_records()
+        assert clone.value("c", worker=1) == 5.0
+        restored = clone.get("h", phase="round")
+        assert restored.bucket_counts == [1, 0, 1]
+        assert restored.buckets == (0.1, 1.0)
+
+    def test_from_records_unknown_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry.from_records(
+                [{"name": "x", "labels": {}, "type": "summary", "value": 1.0}]
+            )
+
+    def test_default_buckets_strictly_increasing(self):
+        assert all(
+            a < b for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+        )
+
+
+class TestNetworkMetricsOnRegistry:
+    """The net-layer facade keeps its old read API on the new registry."""
+
+    def test_record_updates_registry_series(self):
+        from repro.net.message import Message
+        from repro.net.metrics import NetworkMetrics
+
+        metrics = NetworkMetrics()
+        message = Message(
+            src=0, dst=1, tag="cost", payload={"a": 1.0},
+            size_bytes=8, send_time=0.0, round_index=3,
+        )
+        metrics.record(message)
+        metrics.record(message)
+        assert metrics.messages_total == 2
+        assert metrics.per_round_messages == {3: 2}
+        assert metrics.per_pair_messages[(0, 1)] == 2
+        assert metrics.registry.value("net.messages_total") == 2.0
+        assert metrics.registry.series("net.round_messages", "round") == {
+            3: 2.0
+        }
+
+    def test_blackhole_counter(self):
+        from repro.net.metrics import NetworkMetrics
+
+        metrics = NetworkMetrics()
+        metrics.record_blackholed()
+        metrics.record_blackholed(2)
+        assert metrics.messages_blackholed == 3
+
+    def test_reset_restores_fresh_state(self):
+        from repro.net.message import Message
+        from repro.net.metrics import NetworkMetrics
+
+        metrics = NetworkMetrics()
+        metrics.record(
+            Message(src=0, dst=1, tag="cost", payload={"a": 1.0},
+                    size_bytes=8, send_time=0.0, round_index=1)
+        )
+        metrics.reset()
+        assert metrics.messages_total == 0
+        assert metrics.per_round_messages == {}
+        assert metrics.per_pair_messages == {}
+        # Handles still work after reset.
+        metrics.record(
+            Message(src=1, dst=0, tag="cost", payload={"a": 1.0},
+                    size_bytes=8, send_time=0.0, round_index=2)
+        )
+        assert metrics.messages_total == 1

@@ -1,0 +1,274 @@
+"""Unit tests for trace records, the tracer, the diff engine, the
+profiler, the JSONL round-trip, and the ``repro trace``/``repro
+profile`` CLI surface."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    FieldDiff,
+    Profiler,
+    Trace,
+    Tracer,
+    diff_traces,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.obs.records import (
+    RECORD_KINDS,
+    TRACE_SCHEMA,
+    AssistanceRecord,
+    DecisionRecord,
+    FaultRecord,
+    HeaderRecord,
+    MembershipRecord,
+    PhaseRecord,
+    StragglerRecord,
+)
+
+
+def _decision(round_index=1, cost=2.0):
+    return DecisionRecord(
+        round=round_index,
+        allocation=(0.5, 0.5),
+        local_costs=(1.0, cost),
+        global_cost=cost,
+        straggler=1,
+        next_allocation=(0.6, 0.4),
+    )
+
+
+class TestRecords:
+    def test_every_kind_round_trips_through_dict(self):
+        samples = [
+            HeaderRecord(
+                schema=TRACE_SCHEMA,
+                algorithm="DOLBIE",
+                num_workers=3,
+                horizon=10,
+                context=(("fast_path", True), ("seed", 7)),
+            ),
+            _decision(),
+            StragglerRecord(round=2, worker=0, cost=1.5, waiting_total=0.7),
+            AssistanceRecord(
+                round=3,
+                straggler=1,
+                alpha=0.01,
+                shed_total=0.2,
+                x_prime=(0.4, 0.6),
+                assistance=(0.1, -0.1),
+            ),
+            MembershipRecord(
+                round=4, action="crash", workers=(2,), roster=(0, 1)
+            ),
+            FaultRecord(
+                round=5,
+                fault="partition",
+                severity=0.0,
+                groups=((0,), (1, 2)),
+            ),
+            PhaseRecord(round=6, phase="round", start=0.1, end=0.4, events=12),
+        ]
+        assert {type(s).kind for s in samples} == set(RECORD_KINDS)
+        for record in samples:
+            payload = record_to_dict(record)
+            assert payload["kind"] == type(record).kind
+            assert record_from_dict(payload) == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            record_from_dict({"kind": "nope"})
+        with pytest.raises(ConfigurationError):
+            record_to_dict(object())
+
+    def test_unknown_field_rejected(self):
+        payload = record_to_dict(
+            StragglerRecord(round=1, worker=0, cost=1.0, waiting_total=0.0)
+        )
+        payload["extra"] = 1
+        with pytest.raises(ConfigurationError):
+            record_from_dict(payload)
+
+
+class TestTracer:
+    def test_emit_and_header(self):
+        tracer = Tracer()
+        tracer.header("DOLBIE", 2, 5, seed=7)
+        tracer.emit(_decision())
+        trace = tracer.trace
+        assert len(tracer) == 2
+        assert trace.header.algorithm == "DOLBIE"
+        assert trace.header.context == (("seed", 7),)
+        assert trace.kind_counts() == {"header": 1, "decision": 1}
+
+    def test_emit_rejects_non_records(self):
+        tracer = Tracer()
+        with pytest.raises(ConfigurationError):
+            tracer.emit({"kind": "decision"})
+
+    def test_trace_helpers(self):
+        trace = Trace([_decision(1), _decision(4)])
+        assert trace.header is None
+        assert trace.rounds() == (1, 4)
+        assert len(trace.by_kind("decision")) == 2
+        assert trace.by_kind("fault") == []
+        with pytest.raises(ConfigurationError):
+            trace.by_kind("bogus")
+        assert "2 records over rounds 1..4" in trace.summary()
+
+    def test_empty_trace_summary(self):
+        assert "0 records" in Trace().summary()
+
+
+class TestDiff:
+    def test_identical_traces_diff_empty(self):
+        a = Trace([_decision(1), _decision(2)])
+        b = Trace([_decision(1), _decision(2)])
+        diff = diff_traces(a, b)
+        assert diff.empty
+        assert not diff
+        assert "identical" in diff.summary()
+
+    def test_field_level_mismatch_reported(self):
+        diff = diff_traces(
+            Trace([_decision(1, cost=2.0)]), Trace([_decision(1, cost=3.0)])
+        )
+        assert not diff.empty
+        fields = {d.field for d in diff.field_diffs}
+        assert fields == {"global_cost", "local_costs"}
+        assert all(isinstance(d, FieldDiff) for d in diff.field_diffs)
+        assert "round 1" in diff.summary()
+
+    def test_length_mismatch_is_a_diff(self):
+        diff = diff_traces(Trace([_decision(1)]), Trace([]))
+        assert not diff.empty
+        assert diff.length_left == 1 and diff.length_right == 0
+        assert "record counts differ" in diff.summary()
+
+    def test_headers_excluded_by_default(self):
+        left = Tracer()
+        left.header("DOLBIE", 2, 5, engine="event")
+        right = Tracer()
+        right.header("DOLBIE", 2, 5, engine="fast")
+        assert diff_traces(left.trace, right.trace).empty
+        assert not diff_traces(
+            left.trace, right.trace, include_header=True
+        ).empty
+
+    def test_nan_equals_nan(self):
+        nan = float("nan")
+        a = Trace([_decision(1, cost=nan)])
+        b = Trace([_decision(1, cost=nan)])
+        assert diff_traces(a, b).empty
+
+    def test_negative_zero_is_a_diff(self):
+        a = Trace(
+            [StragglerRecord(round=1, worker=0, cost=1.0, waiting_total=0.0)]
+        )
+        b = Trace(
+            [StragglerRecord(round=1, worker=0, cost=1.0, waiting_total=-0.0)]
+        )
+        diff = diff_traces(a, b)
+        assert not diff.empty
+        assert diff.field_diffs[0].field == "waiting_total"
+
+    def test_max_diffs_bounds_collection_not_verdict(self):
+        a = Trace([_decision(t) for t in range(1, 9)])
+        b = Trace([_decision(t, cost=9.0) for t in range(1, 9)])
+        diff = diff_traces(a, b, max_diffs=3)
+        assert len(diff.field_diffs) == 3
+        assert not diff.empty
+
+
+class TestJsonlRoundTrip:
+    def test_save_load_byte_identical(self, tmp_path):
+        from repro.io import load_trace, save_trace
+
+        tracer = Tracer()
+        tracer.header("DOLBIE", 2, 3, seed=1)
+        tracer.emit(_decision(1, cost=float("nan")))
+        tracer.emit(
+            FaultRecord(round=2, fault="partition", groups=((0,), (1,)))
+        )
+        path = save_trace(tracer.trace, tmp_path / "t.jsonl")
+        first = path.read_bytes()
+        restored = load_trace(path)
+        assert save_trace(restored, tmp_path / "u.jsonl").read_bytes() == first
+        assert diff_traces(
+            tracer.trace, restored, include_header=True
+        ).empty
+        # NaN survives the round trip as NaN, not as a string or None.
+        assert math.isnan(restored.by_kind("decision")[0].global_cost)
+
+
+class TestProfiler:
+    def test_span_and_record_aggregate(self):
+        profiler = Profiler()
+        with profiler.span("work"):
+            sum(range(1000))
+        profiler.record("work", 0.5)
+        profiler.record("other", 0.25, cpu=0.2)
+        work = profiler.spans["work"]
+        assert work.count == 2
+        assert work.wall_total >= 0.5
+        assert work.wall_mean == pytest.approx(work.wall_total / 2)
+        assert work.wall_max >= work.wall_min
+        assert profiler.spans["other"].cpu_total == pytest.approx(0.2)
+        assert profiler.total_wall() == pytest.approx(
+            work.wall_total + profiler.spans["other"].wall_total
+        )
+
+    def test_summary_table_and_reset(self):
+        profiler = Profiler()
+        profiler.record("alpha", 1.0)
+        table = profiler.summary_table()
+        assert "alpha" in table
+        profiler.reset()
+        assert profiler.spans == {}
+
+
+class TestCli:
+    def test_trace_record_show_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        left = tmp_path / "left.jsonl"
+        right = tmp_path / "right.jsonl"
+        common = ["--workers", "3", "--rounds", "4", "--seed", "1"]
+        assert main(["trace", "record", "loop", "--out", str(left)] + common) == 0
+        assert main(["trace", "record", "loop", "--out", str(right)] + common) == 0
+        assert main(["trace", "show", str(left)]) == 0
+        out_file = tmp_path / "diff.txt"
+        assert (
+            main(
+                ["trace", "diff", str(left), str(right), "--out", str(out_file)]
+            )
+            == 0
+        )
+        assert "identical" in out_file.read_text()
+        captured = capsys.readouterr().out
+        assert "records over rounds" in captured
+
+    def test_trace_diff_nonzero_on_mismatch(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(
+            ["trace", "record", "loop", "--out", str(a), "--workers", "3",
+             "--rounds", "4", "--seed", "1"]
+        ) == 0
+        assert main(
+            ["trace", "record", "loop", "--out", str(b), "--workers", "3",
+             "--rounds", "4", "--seed", "2"]
+        ) == 0
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        assert "traces differ" in capsys.readouterr().out
+
+    def test_profile_prints_span_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "loop", "--workers", "3", "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "loop.update" in out and "calls" in out
