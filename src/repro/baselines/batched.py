@@ -1,0 +1,367 @@
+"""Realization-stacked baseline policies for the stacked sweep engine.
+
+One class per scalar baseline, each advancing ``R`` independent
+realizations with ``(R, N)`` matrix arithmetic. Row ``r`` performs the
+same IEEE-754 operations, in the same order, as the scalar class on
+realization ``r`` — see :mod:`repro.core.batched` for the contract and
+the property tests that pin it per baseline.
+
+The batched classes carry only the state the sweep outputs need; scalar
+side channels kept for analysis (OGD's ``projection_count``, LB-BSP's
+``transfer_rounds``) are intentionally absent, since the stacked engine
+exists for throughput, not forensics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batched import BatchedDolbie, BatchedPolicy, BatchedRoundFeedback
+from repro.exceptions import ConfigurationError
+from repro.minmax.solver import solve_min_max_rows
+from repro.simplex.projection import project_simplex_rows
+from repro.simplex.sampling import equal_split
+
+__all__ = [
+    "BatchedEqual",
+    "BatchedStaticWeighted",
+    "BatchedOnlineGradientDescent",
+    "BatchedExponentiatedGradient",
+    "BatchedLoadBalancedBSP",
+    "BatchedAdaptiveBatchSize",
+    "BatchedDynamicOptimum",
+    "BATCHED_ALGORITHMS",
+    "make_batched",
+]
+
+#: Floor applied to cost observations so the ABS inverse stays finite
+#: (mirrors ``repro.baselines.abs_tuner._COST_FLOOR``).
+_COST_FLOOR = 1e-9
+
+
+class BatchedEqual(BatchedPolicy):
+    """Stacked EQU: every row replays the equal split each round."""
+
+    name = "EQU"
+
+    def __init__(self, num_realizations: int, num_workers: int, **_ignored: object) -> None:
+        super().__init__(num_realizations, num_workers, equal_split(num_workers))
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        self._allocations = np.tile(
+            equal_split(self.num_workers), (self.num_realizations, 1)
+        )
+
+
+class BatchedStaticWeighted(BatchedPolicy):
+    """Stacked STATIC: each row holds its profiled split forever."""
+
+    name = "STATIC"
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        if weights is None:
+            allocation = None
+        else:
+            arr = np.asarray(weights, dtype=float)
+            if arr.shape != (num_workers,):
+                raise ConfigurationError(
+                    f"need {num_workers} weights, got shape {arr.shape}"
+                )
+            if np.any(arr < 0) or arr.sum() <= 0:
+                raise ConfigurationError("weights must be >= 0 with positive sum")
+            allocation = arr / arr.sum()
+        super().__init__(num_realizations, num_workers, allocation)
+        self._fixed = self.allocations
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        self._allocations = self._fixed.copy()
+
+
+class BatchedOnlineGradientDescent(BatchedPolicy):
+    """Stacked projected OGD with max-subgradient feedback.
+
+    Affine costs make the straggler subgradient the revealed slope (the
+    scalar ``numeric_slope`` returns the Lipschitz constant for affine
+    costs), so each row is ``x - beta * slope_s * e_s`` followed by the
+    sort-based simplex projection — row-identical to the scalar class.
+    """
+
+    name = "OGD"
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        learning_rate: float = 0.001,
+    ) -> None:
+        super().__init__(num_realizations, num_workers, initial_allocation)
+        if learning_rate <= 0:
+            raise ConfigurationError(
+                f"learning rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = float(learning_rate)
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        rows = np.arange(self.num_realizations)
+        s = np.asarray(feedback.stragglers)
+        subgradient = np.zeros((self.num_realizations, self.num_workers))
+        subgradient[rows, s] = feedback.slopes[rows, s]
+        raw = self._allocations - self.learning_rate * subgradient
+        self._allocations = project_simplex_rows(raw)
+
+
+class BatchedExponentiatedGradient(BatchedPolicy):
+    """Stacked EG: multiplicative weights on normalized costs, per row."""
+
+    name = "EG"
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        eta: float = 0.5,
+        floor: float = 1e-6,
+    ) -> None:
+        super().__init__(num_realizations, num_workers, initial_allocation)
+        if eta <= 0:
+            raise ConfigurationError(f"eta must be positive, got {eta}")
+        if not 0 < floor < 1.0 / num_workers:
+            raise ConfigurationError(f"floor must lie in (0, 1/N), got {floor}")
+        self.eta = float(eta)
+        self.floor = float(floor)
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        normalized = feedback.local_costs / np.maximum(
+            feedback.global_costs, 1e-30
+        )[:, None]
+        weights = self._allocations * np.exp(-self.eta * normalized)
+        weights = np.maximum(weights, self.floor)
+        self._allocations = weights / weights.sum(axis=1)[:, None]
+
+
+class BatchedLoadBalancedBSP(BatchedPolicy):
+    """Stacked LB-BSP: the streak state machine, one counter per row.
+
+    ``_last_stragglers`` starts at the sentinel ``-1`` (never a valid
+    worker index), matching the scalar class's initial ``None``.
+    """
+
+    name = "LB-BSP"
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        delta: float = 5.0 / 256.0,
+        patience: int = 5,
+    ) -> None:
+        super().__init__(num_realizations, num_workers, initial_allocation)
+        if not 0 < delta < 1:
+            raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        self.delta = float(delta)
+        self.patience = int(patience)
+        self._streaks = np.zeros(num_realizations, dtype=int)
+        self._last_stragglers = np.full(num_realizations, -1, dtype=int)
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        fastest = np.argmin(np.asarray(feedback.local_costs, dtype=float), axis=1)
+        stragglers = np.asarray(feedback.stragglers)
+
+        # Degenerate ties (fastest == straggler): reset and stand pat.
+        tied = fastest == stragglers
+        self._streaks[tied] = 0
+        self._last_stragglers[tied] = stragglers[tied]
+
+        live = ~tied
+        changed = live & (stragglers != self._last_stragglers)
+        self._streaks[changed] = 0
+        self._last_stragglers[changed] = stragglers[changed]
+        self._streaks[live] += 1
+
+        fire = live & (self._streaks >= self.patience)
+        if not fire.any():
+            return
+        self._streaks[fire] = 0
+        rows = np.nonzero(fire)[0]
+        s = stragglers[rows]
+        f = fastest[rows]
+        x = self._allocations
+        transfer = np.minimum(self.delta, x[rows, s])
+        # fastest != straggler on firing rows, so the fancy-indexed
+        # read-modify-writes never alias.
+        x[rows, s] = x[rows, s] - transfer
+        x[rows, f] = x[rows, f] + transfer
+        self._allocations = x
+
+
+class BatchedAdaptiveBatchSize(BatchedPolicy):
+    """Stacked ABS: windowed inverse-mean-cost re-partitioning per row."""
+
+    name = "ABS"
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        period: int = 5,
+    ) -> None:
+        super().__init__(num_realizations, num_workers, initial_allocation)
+        if period < 1:
+            raise ConfigurationError(f"tuning period must be >= 1, got {period}")
+        self.period = int(period)
+        self._window_cost: list[np.ndarray] = []
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        self._window_cost.append(np.asarray(feedback.local_costs, dtype=float))
+        if len(self._window_cost) < self.period:
+            return
+        # (P, R, N) stacked window; the axis-0 mean reduces sequentially
+        # over the window per element exactly like the scalar (P, N) form.
+        mean_cost = np.maximum(
+            np.stack(self._window_cost).mean(axis=0), _COST_FLOOR
+        )
+        inverse = 1.0 / mean_cost
+        self._allocations = inverse / inverse.sum(axis=1)[:, None]
+        self._window_cost.clear()
+
+
+class BatchedDynamicOptimum(BatchedPolicy):
+    """Stacked OPT: batched waterfilling solves, whole-horizon primed.
+
+    :func:`repro.minmax.solver.solve_min_max_rows` is row-independent, so
+    solving many (realization, round) rows together is bit-identical to
+    the scalar oracle's horizon-primed per-realization rows. Like the
+    scalar :class:`~repro.baselines.opt.DynamicOptimum`, the stacked
+    engine primes the whole ``(R, T, N)`` horizon in one flattened solve;
+    each round's ``oracle_decide`` verifies the revealed costs against
+    the primed slab before using it, falling back to a live per-round
+    solve on any mismatch. Requires strictly positive slopes — the
+    stacked engine checks this upfront and falls back to the serial
+    sweep otherwise.
+    """
+
+    name = "OPT"
+    requires_oracle = True
+
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        initial_allocation: np.ndarray | None = None,
+        tol: float = 1e-10,
+    ) -> None:
+        super().__init__(num_realizations, num_workers, initial_allocation)
+        self.tol = float(tol)
+        #: (R,) optimal values per round (the regret comparator terms).
+        self.optimal_values: list[np.ndarray] = []
+        self._primed: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._primed_next = 0
+
+    def prime(self, slope_tensor: np.ndarray, intercept_tensor: np.ndarray) -> None:
+        """Batch-solve an ``(R, T, N)`` horizon in one flattened pass."""
+        slopes = np.asarray(slope_tensor, dtype=float)
+        intercepts = np.asarray(intercept_tensor, dtype=float)
+        if slopes.ndim != 3 or slopes.shape != intercepts.shape:
+            raise ConfigurationError(
+                "prime expects matching (R, T, N) slope/intercept tensors"
+            )
+        r, t, n = slopes.shape
+        allocations, values, _ = solve_min_max_rows(
+            np.ascontiguousarray(slopes).reshape(r * t, n),
+            np.ascontiguousarray(intercepts).reshape(r * t, n),
+            tol=self.tol,
+        )
+        self._primed = (
+            slopes,
+            intercepts,
+            allocations.reshape(r, t, n),
+            values.reshape(r, t),
+        )
+        self._primed_next = 0
+
+    def _primed_solution(
+        self, slopes: np.ndarray, intercepts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        if self._primed is None:
+            return None
+        primed_slopes, primed_intercepts, allocations, values = self._primed
+        i = self._primed_next
+        if i >= allocations.shape[1]:
+            return None
+        if not (
+            np.array_equal(slopes, primed_slopes[:, i, :])
+            and np.array_equal(intercepts, primed_intercepts[:, i, :])
+        ):
+            return None
+        self._primed_next = i + 1
+        return allocations[:, i, :], values[:, i]
+
+    def oracle_decide(self, slopes: np.ndarray, intercepts: np.ndarray) -> np.ndarray:
+        primed = self._primed_solution(slopes, intercepts)
+        if primed is not None:
+            allocations, values = primed
+            self._allocations = allocations
+            self.optimal_values.append(values)
+            return self.allocations
+        allocations, values, _ = solve_min_max_rows(slopes, intercepts, tol=self.tol)
+        self._allocations = allocations
+        self.optimal_values.append(values)
+        return self.allocations
+
+    def _update(self, feedback: BatchedRoundFeedback) -> None:
+        # All work happens in oracle_decide; nothing to learn afterwards.
+        return None
+
+
+#: Name -> batched constructor, mirroring ``repro.baselines.registry``.
+#: DOLBIE lives in :mod:`repro.core.batched` next to its scalar class.
+BATCHED_ALGORITHMS: dict[str, type] = {
+    "EQU": BatchedEqual,
+    "OGD": BatchedOnlineGradientDescent,
+    "ABS": BatchedAdaptiveBatchSize,
+    "LB-BSP": BatchedLoadBalancedBSP,
+    "DOLBIE": BatchedDolbie,
+    "OPT": BatchedDynamicOptimum,
+    "EG": BatchedExponentiatedGradient,
+    "STATIC": BatchedStaticWeighted,
+}
+
+
+def make_batched(
+    name: str,
+    num_realizations: int,
+    num_workers: int,
+    initial_allocation: np.ndarray | None = None,
+    **kwargs: object,
+) -> BatchedPolicy:
+    """Instantiate a batched policy by its scalar registry name.
+
+    Mirrors :func:`repro.baselines.registry.make_balancer`, including the
+    EQU/STATIC special case (they derive their own initial allocation).
+    Unlike the scalar registry this one is closed: the stacked engine
+    only engages for algorithms with a verified batched twin, so
+    user-registered scalar algorithms automatically take the serial path.
+    """
+    try:
+        ctor = BATCHED_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(BATCHED_ALGORITHMS))
+        raise ConfigurationError(
+            f"no batched policy for {name!r}; batched: {known}"
+        ) from None
+    if name in ("EQU", "STATIC"):
+        return ctor(num_realizations, num_workers, **kwargs)
+    return ctor(
+        num_realizations, num_workers, initial_allocation=initial_allocation, **kwargs
+    )

@@ -31,6 +31,7 @@ from repro.core.interface import OnlineLoadBalancer, RoundFeedback
 from repro.core.quantities import acceptable_workloads, assistance_vector
 from repro.core.step_size import StepSizeRule
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 __all__ = ["Dolbie"]
 
@@ -47,7 +48,7 @@ class Dolbie(OnlineLoadBalancer):
         alpha_1: float | None = None,
         record_history: bool = False,
         exact_feasibility_guard: bool = True,
-        tracer: "Tracer | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """Create a DOLBIE controller.
 

@@ -18,6 +18,8 @@ from repro.core.interface import OnlineLoadBalancer, make_feedback
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
 from repro.utils.timer import Stopwatch
 
 __all__ = ["RunResult", "run_online", "run_online_costs"]
@@ -62,8 +64,8 @@ def run_online(
     balancer: OnlineLoadBalancer,
     process: CostProcess,
     horizon: int,
-    tracer: "Tracer | None" = None,
-    profiler: "Profiler | None" = None,
+    tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
 ) -> RunResult:
     """Run ``balancer`` against ``process`` for ``horizon`` rounds."""
     costs_per_round = [process.costs_at(t) for t in range(1, horizon + 1)]
@@ -75,8 +77,8 @@ def run_online(
 def run_online_costs(
     balancer: OnlineLoadBalancer,
     costs_per_round: Sequence[Sequence[CostFunction]],
-    tracer: "Tracer | None" = None,
-    profiler: "Profiler | None" = None,
+    tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
 ) -> RunResult:
     """Run against an explicit per-round list of cost vectors.
 

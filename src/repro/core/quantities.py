@@ -18,7 +18,12 @@ from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.exceptions import ConfigurationError
 
-__all__ = ["acceptable_workloads", "assistance_vector"]
+__all__ = [
+    "acceptable_workloads",
+    "acceptable_workloads_rows",
+    "assistance_vector",
+    "assistance_vector_rows",
+]
 
 
 def _affine_fast_path(
@@ -89,6 +94,36 @@ def acceptable_workloads(
     return x_prime
 
 
+def acceptable_workloads_rows(
+    slopes: np.ndarray,
+    intercepts: np.ndarray,
+    allocations: np.ndarray,
+    global_costs: np.ndarray,
+    stragglers: np.ndarray,
+) -> np.ndarray:
+    """Row-wise affine :func:`acceptable_workloads` for ``R`` realizations.
+
+    Row ``r`` undergoes the same elementwise operations, in the same
+    order, as the single-round affine fast path with that row's costs and
+    straggler, so each row is bit-identical to the scalar call (the
+    batched-equivalence property tests pin this).
+    """
+    x = np.asarray(allocations, dtype=float)
+    slopes = np.asarray(slopes, dtype=float)
+    if x.ndim != 2 or x.shape != slopes.shape:
+        raise ConfigurationError(
+            f"allocations {x.shape} and slopes {slopes.shape} must be "
+            "matching (R, N) matrices"
+        )
+    rows = np.arange(x.shape[0])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tilde = (np.asarray(global_costs, dtype=float)[:, None] - intercepts) / slopes
+    tilde = np.where(slopes == 0.0, 1.0, tilde)
+    x_prime = np.clip(tilde, x, 1.0)
+    x_prime[rows, stragglers] = x[rows, stragglers]
+    return x_prime
+
+
 def assistance_vector(
     allocation: np.ndarray,
     x_prime: np.ndarray,
@@ -108,4 +143,26 @@ def assistance_vector(
     g = x - xp
     g[straggler] = 0.0
     g[straggler] = -g.sum()
+    return g
+
+
+def assistance_vector_rows(
+    allocations: np.ndarray,
+    x_prime: np.ndarray,
+    stragglers: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`assistance_vector` for ``R`` realizations.
+
+    Each row's straggler coordinate is zeroed before the closing sum, so
+    the per-row arithmetic (including the IEEE summation order of
+    ``sum(axis=1)``) matches the 1-D function exactly.
+    """
+    x = np.asarray(allocations, dtype=float)
+    xp = np.asarray(x_prime, dtype=float)
+    if x.shape != xp.shape or x.ndim != 2:
+        raise ConfigurationError("allocations and x_prime must be matching (R, N)")
+    rows = np.arange(x.shape[0])
+    g = x - xp
+    g[rows, stragglers] = 0.0
+    g[rows, stragglers] = -g.sum(axis=1)
     return g

@@ -15,7 +15,12 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["feasibility_cap", "initial_step_size", "StepSizeRule"]
+__all__ = [
+    "feasibility_cap",
+    "feasibility_cap_rows",
+    "initial_step_size",
+    "StepSizeRule",
+]
 
 
 def feasibility_cap(straggler_workload: float, num_workers: int) -> float:
@@ -35,6 +40,27 @@ def feasibility_cap(straggler_workload: float, num_workers: int) -> float:
     if denom <= 0.0:
         return 0.0
     return x_s / denom
+
+
+def feasibility_cap_rows(
+    straggler_workloads: np.ndarray, num_workers: int
+) -> np.ndarray:
+    """:func:`feasibility_cap` applied per realization row.
+
+    Entry ``r`` performs the identical branch structure and division as
+    the scalar function on ``straggler_workloads[r]``, so the result is
+    bit-identical per row.
+    """
+    if num_workers < 2:
+        raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+    x_s = np.asarray(straggler_workloads, dtype=float)
+    if (x_s < 0).any():
+        raise ConfigurationError(
+            f"straggler workloads must be >= 0, got min {x_s.min()!r}"
+        )
+    denom = num_workers - 2 + x_s
+    frozen = denom <= 0.0
+    return np.where(frozen, 0.0, x_s / np.where(frozen, 1.0, denom))
 
 
 def initial_step_size(initial_allocation: np.ndarray) -> float:

@@ -38,6 +38,7 @@ __all__ = [
     "BenchmarkResult",
     "run_benchmarks",
     "write_results",
+    "append_history",
     "load_results",
     "compare_to_baseline",
     "main",
@@ -314,6 +315,96 @@ def _bench_figure(
     )
 
 
+def _bench_stacked_sweep(
+    scale: ExperimentScale, repetitions: int
+) -> BenchmarkResult:
+    """Realization-stacked sweep engine vs. the per-realization loop.
+
+    A Fig. 4-shaped workload — many realizations, paper-length horizon —
+    where stacking has the most rows to amortize over. The serial leg
+    runs the classic one-realization-at-a-time sweep (``stacked=False``);
+    the stacked leg advances every realization in lockstep through the
+    batched policies (:mod:`repro.experiments.stacked`). The
+    materialization cache is warmed for every seed first so neither leg
+    pays the trace walk and the ratio isolates the engine itself.
+    """
+    from repro.experiments.config import ALL_ALGORITHMS
+    from repro.experiments.harness import sweep_realizations
+    from repro.mlsim.cache import materialize_cached
+    from repro.mlsim.environment import TrainingEnvironment
+
+    sweep_scale = replace(
+        scale, realizations=24, rounds=100, materialize=True, jobs=1
+    )
+    for r in range(sweep_scale.realizations):
+        env = TrainingEnvironment(
+            "ResNet18",
+            num_workers=sweep_scale.num_workers,
+            global_batch=sweep_scale.global_batch,
+            seed=sweep_scale.base_seed + r,
+        )
+        materialize_cached(env, sweep_scale.rounds)
+    serial_scale = replace(sweep_scale, stacked=False)
+    total_rounds = (
+        sweep_scale.rounds * sweep_scale.realizations * len(ALL_ALGORITHMS)
+    )
+    return _paired(
+        "sweep_fig4_stacked",
+        lambda: sweep_realizations("ResNet18", serial_scale),
+        lambda: sweep_realizations("ResNet18", sweep_scale),
+        repetitions,
+        total_rounds,
+    )
+
+
+def _bench_materialize_cache(repetitions: int) -> BenchmarkResult:
+    """Materialization cache: cold miss (trace walk + store) vs. warm hit.
+
+    Runs against a private temporary cache directory so the user's real
+    cache is untouched and the cold leg's :func:`repro.mlsim.cache.clear`
+    cannot evict anything else. A full-size fleet over a long horizon
+    makes the pure-Python trace walk dominate — exactly the cost a hit
+    replaces with one ``.npz`` read.
+    """
+    import tempfile
+
+    from repro.mlsim import cache as matcache
+    from repro.mlsim.environment import TrainingEnvironment
+
+    n, horizon = 30, 1000
+
+    def build_env() -> TrainingEnvironment:
+        return TrainingEnvironment(
+            "ResNet18", num_workers=n, global_batch=256, seed=123
+        )
+
+    def cold() -> None:
+        matcache.clear()
+        matcache.materialize_cached(build_env(), horizon)
+
+    def warm() -> None:
+        matcache.materialize_cached(build_env(), horizon)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        saved = {
+            key: os.environ.get(key) for key in ("REPRO_CACHE_DIR", "REPRO_CACHE")
+        }
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ["REPRO_CACHE"] = "1"
+        try:
+            cold()  # warm the code paths; the first timed warm leg must hit
+            result = _paired(
+                "materialize_cache", cold, warm, repetitions, horizon
+            )
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    return result
+
+
 def run_benchmarks(
     scale: ExperimentScale = BENCH,
     repetitions: int = 5,
@@ -341,6 +432,14 @@ def run_benchmarks(
             lambda: _bench_figure(
                 "fig5", fig5_cumulative_latency.run, scale, repetitions
             ),
+        ),
+        (
+            "sweep_fig4_stacked",
+            lambda: _bench_stacked_sweep(scale, repetitions),
+        ),
+        (
+            "materialize_cache",
+            lambda: _bench_materialize_cache(repetitions),
         ),
     ]
     for arch in ("mw", "fd"):
@@ -401,6 +500,57 @@ def write_results(
     }
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def append_history(
+    results: list[BenchmarkResult],
+    path: str | Path,
+    jobs: int = 1,
+) -> Path:
+    """Append one JSON line for this gated run to ``BENCH_history.jsonl``.
+
+    The results file is overwritten on every run; the history file is the
+    longitudinal record — one line per invocation with a UTC timestamp,
+    the git commit it ran at, and every benchmark's numbers — so speedup
+    drift across commits can be inspected without re-running old
+    revisions. Best-effort like the cache: an unwritable history file
+    never fails the bench.
+    """
+    import subprocess
+    from datetime import datetime, timezone
+
+    sha = None
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        sha = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        pass
+    line = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": sha,
+        "jobs": jobs,
+        "benchmarks": {
+            r.name: {
+                "incremental_s": round(r.incremental_s, 6),
+                "materialized_s": round(r.materialized_s, 6),
+                "speedup": round(r.speedup, 3),
+            }
+            for r in results
+        },
+    }
+    out = Path(path)
+    try:
+        with out.open("a") as handle:
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+    except OSError:
+        pass
     return out
 
 
@@ -486,6 +636,10 @@ def main(
     target = baseline_path if update_baseline else Path(out)
     written = write_results(results, target, BENCH, jobs=jobs)
     print(f"wrote {written}")
+    history = append_history(
+        results, written.parent / "BENCH_history.jsonl", jobs=jobs
+    )
+    print(f"appended run to {history}")
 
     gate_failures = [
         f"{r.name}: ratio {r.speedup:.3f}x exceeds hard ceiling "

@@ -45,13 +45,17 @@ def paper_balancer(name: str, num_workers: int) -> OnlineLoadBalancer:
 class ExperimentScale:
     """Sizing and execution knobs shared by the experiment modules.
 
-    The last three fields control the performance layer (see
+    The trailing fields control the performance layer (see
     ``docs/performance.md``): ``jobs`` fans realization sweeps out over a
     process pool, ``materialize`` precomputes each environment's ``(T, N)``
     cost traces once per (seed, model) and shares them across algorithms,
-    and ``include_overhead`` keeps the measured per-round decision time in
+    ``include_overhead`` keeps the measured per-round decision time in
     the wall-clock series (Fig. 11 needs it; set False for bitwise
-    reproducible exports, since measured time is inherently noisy).
+    reproducible exports, since measured time is inherently noisy),
+    ``stacked`` lets serial sweeps advance all realizations in lockstep
+    as one batched policy (bit-identical to the per-realization loop),
+    and ``cache`` persists materialized traces on disk under
+    ``~/.cache/repro`` so reruns skip the trace walk entirely.
     """
 
     label: str
@@ -66,6 +70,8 @@ class ExperimentScale:
     jobs: int = 1
     materialize: bool = True
     include_overhead: bool = True
+    stacked: bool = True
+    cache: bool = True
 
 
 PAPER = ExperimentScale(label="paper")

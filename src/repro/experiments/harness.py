@@ -18,6 +18,8 @@ Two execution-layer optimizations live here (design notes in
 
 from __future__ import annotations
 
+import logging
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
@@ -27,6 +29,8 @@ import numpy as np
 from repro.experiments.config import ALL_ALGORITHMS, ExperimentScale, paper_balancer
 from repro.mlsim.environment import TrainingEnvironment
 from repro.mlsim.trainer import SyncTrainer, TrainingRun
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "RealizationSpec",
@@ -58,6 +62,7 @@ class RealizationSpec:
     materialize: bool
     include_overhead: bool
     algorithms: tuple[str, ...]
+    cache: bool = True
 
     @classmethod
     def from_scale(
@@ -77,6 +82,7 @@ class RealizationSpec:
             materialize=scale.materialize,
             include_overhead=scale.include_overhead,
             algorithms=tuple(algorithms),
+            cache=scale.cache,
         )
 
     def run(self) -> dict[str, TrainingRun]:
@@ -88,7 +94,12 @@ class RealizationSpec:
             seed=self.seed,
         )
         if self.materialize:
-            env = env.materialize(self.rounds)
+            if self.cache:
+                from repro.mlsim.cache import materialize_cached
+
+                env = materialize_cached(env, self.rounds)
+            else:
+                env = env.materialize(self.rounds)
         trainer = SyncTrainer(
             env, include_overhead_in_wallclock=self.include_overhead
         )
@@ -138,18 +149,35 @@ def sweep_realizations(
     comparison, as in the paper's Figs. 4-5).
 
     ``jobs`` (default ``scale.jobs``) > 1 distributes realizations over a
-    process pool. Each worker receives only a :class:`RealizationSpec`
-    (config + seed) and materializes its environment locally — no cost
-    matrices cross the IPC boundary. Serial and parallel sweeps execute
-    the identical specs, and the merge below iterates futures in
-    submission (seed) order, so every simulated series (round latency,
-    costs, accuracy) is byte-identical either way. The one exception is
-    measured balancer overhead (``decision_seconds`` and, with
-    ``scale.include_overhead``, ``wall_clock``): that is real stopwatch
-    time and varies run to run regardless of execution mode.
+    process pool, clamped to ``os.cpu_count()`` — extra workers on an
+    oversubscribed box only fight for the same cores. Each worker
+    receives only a :class:`RealizationSpec` (config + seed) and
+    materializes its environment locally — no cost matrices cross the
+    IPC boundary.
+
+    Serial sweeps (``jobs == 1``) take the realization-stacked fast path
+    of :mod:`repro.experiments.stacked` whenever its preconditions hold
+    (materialized environments, every algorithm batched-supported),
+    falling back to the per-realization loop otherwise; set
+    ``scale.stacked = False`` to force the fallback. All three execution
+    modes run the identical simulated trajectories, so every simulated
+    series (round latency, costs, accuracy) is byte-identical across
+    them. The one exception is measured balancer overhead
+    (``decision_seconds`` and, with ``scale.include_overhead``,
+    ``wall_clock``): that is real stopwatch time and varies run to run
+    regardless of execution mode.
     """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
     jobs = jobs if jobs is not None else scale.jobs
+    available = os.cpu_count() or 1
+    if jobs > available:
+        logger.warning(
+            "requested jobs=%d exceeds cpu_count=%d; clamping to %d",
+            jobs,
+            available,
+            available,
+        )
+        jobs = available
     specs = [
         RealizationSpec.from_scale(
             model, scale, rounds, scale.base_seed + r, algorithms
@@ -161,6 +189,12 @@ def sweep_realizations(
             futures = [pool.submit(_run_spec, spec) for spec in specs]
             per_realization = [future.result() for future in futures]
     else:
+        if scale.stacked:
+            from repro.experiments.stacked import sweep_stacked
+
+            stacked = sweep_stacked(model, scale, rounds, algorithms)
+            if stacked is not None:
+                return stacked
         per_realization = [spec.run() for spec in specs]
     out: dict[str, list[TrainingRun]] = {name: [] for name in algorithms}
     for runs in per_realization:

@@ -24,6 +24,8 @@ from repro.mlsim.dataset import SyntheticDataset, largest_remainder_split_rows
 from repro.mlsim.environment import TrainingEnvironment
 from repro.mlsim.learning import LearningCurve
 from repro.mlsim.materialized import MaterializedEnvironment
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
 from repro.utils.timer import Stopwatch
 
 __all__ = ["TrainingRun", "SyncTrainer"]
@@ -131,8 +133,8 @@ class SyncTrainer:
         self,
         balancer: OnlineLoadBalancer,
         rounds: int,
-        tracer: "Tracer | None" = None,
-        profiler: "Profiler | None" = None,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
     ) -> TrainingRun:
         """``tracer``/``profiler`` attach the observability layer (see
         :mod:`repro.obs`): one decision and one straggler record per

@@ -181,15 +181,16 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, **labels: Any) -> Counter:
+    def counter(self, name: str, /, **labels: Any) -> Counter:
         return self._get_or_create(Counter, name, labels)
 
-    def gauge(self, name: str, **labels: Any) -> Gauge:
+    def gauge(self, name: str, /, **labels: Any) -> Gauge:
         return self._get_or_create(Gauge, name, labels)
 
     def histogram(
         self,
         name: str,
+        /,
         buckets: Sequence[float] = DEFAULT_BUCKETS,
         **labels: Any,
     ) -> Histogram:
@@ -201,11 +202,11 @@ class MetricsRegistry:
             )
         return metric
 
-    def get(self, name: str, **labels: Any) -> Any | None:
+    def get(self, name: str, /, **labels: Any) -> Any | None:
         """The metric at ``(name, labels)``, or None if never created."""
         return self._metrics.get((name, _labels_key(labels)))
 
-    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+    def value(self, name: str, /, default: float = 0.0, **labels: Any) -> float:
         """A counter/gauge's value; ``default`` when absent."""
         metric = self.get(name, **labels)
         return default if metric is None else metric.value

@@ -35,7 +35,9 @@ from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
-from repro.net.topology import connected_components
+from repro.net.topology import Topology, connected_components
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
 from repro.protocols.tracing import emit_membership, emit_round
 from repro.simplex.sampling import equal_split, is_feasible
 
@@ -308,10 +310,10 @@ class FullyDistributedDolbie:
         initial_allocation: np.ndarray | None = None,
         alpha_1: float | None = None,
         link: Link | None = None,
-        topology: "Topology | None" = None,
+        topology: Topology | None = None,
         use_fast_path: bool = True,
-        tracer: "Tracer | None" = None,
-        profiler: "Profiler | None" = None,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then

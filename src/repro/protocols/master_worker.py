@@ -39,6 +39,8 @@ from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
 from repro.net.node import Node
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import Tracer
 from repro.protocols.tracing import emit_membership, emit_round
 from repro.simplex.sampling import equal_split, is_feasible
 
@@ -247,8 +249,8 @@ class MasterWorkerDolbie:
         embedded_master: bool = False,
         cost_timeout: float = 1.0,
         use_fast_path: bool = True,
-        tracer: "Tracer | None" = None,
-        profiler: "Profiler | None" = None,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         """``embedded_master`` realizes §IV-B1's "an elected worker acts
         also as the master": the master process is co-located with worker

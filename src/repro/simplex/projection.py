@@ -23,6 +23,7 @@ from repro.exceptions import FeasibilityError
 __all__ = [
     "project_simplex",
     "project_simplex_sort",
+    "project_simplex_rows",
     "project_simplex_michelot",
     "simplex_threshold",
 ]
@@ -59,6 +60,35 @@ def project_simplex_sort(v: np.ndarray, radius: float = 1.0) -> np.ndarray:
     arr = _validate_input(v, radius)
     tau = simplex_threshold(arr, radius)
     return np.maximum(arr - tau, 0.0)
+
+
+def project_simplex_rows(v: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Row-wise :func:`project_simplex_sort` for an ``(R, N)`` matrix.
+
+    Each row runs the identical sort / cumulative-sum / threshold
+    arithmetic as the 1-D function, so rows are bit-identical to scalar
+    projections (the batched-policy equivalence tests pin this). The
+    first column of the threshold condition is always true (``u_max -
+    (u_max - radius) = radius > 0``), so every row has a valid pivot.
+    """
+    arr = np.asarray(v, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise FeasibilityError(
+            f"expected a non-empty (R, N) matrix, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise FeasibilityError("input matrix contains non-finite entries")
+    if radius <= 0:
+        raise FeasibilityError(f"simplex radius must be positive, got {radius}")
+    n = arr.shape[1]
+    u = np.sort(arr, axis=1)[:, ::-1]
+    cssv = np.cumsum(u, axis=1) - radius
+    ks = np.arange(1, n + 1)
+    cond = u - cssv / ks > 0
+    rho = n - np.argmax(cond[:, ::-1], axis=1)
+    rows = np.arange(arr.shape[0])
+    tau = cssv[rows, rho - 1] / rho
+    return np.maximum(arr - tau[:, None], 0.0)
 
 
 def project_simplex_michelot(v: np.ndarray, radius: float = 1.0) -> np.ndarray:

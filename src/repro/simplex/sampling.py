@@ -8,7 +8,14 @@ import numpy as np
 
 from repro.exceptions import FeasibilityError
 
-__all__ = ["uniform_simplex", "dirichlet_simplex", "is_feasible", "equal_split", "clip_to_simplex"]
+__all__ = [
+    "uniform_simplex",
+    "dirichlet_simplex",
+    "is_feasible",
+    "is_feasible_rows",
+    "equal_split",
+    "clip_to_simplex",
+]
 
 
 def uniform_simplex(n: int, rng: np.random.Generator) -> np.ndarray:
@@ -47,6 +54,28 @@ def is_feasible(x: np.ndarray, atol: float = 1e-8) -> bool:
     if not math.isfinite(total):
         return False
     return bool(arr.min() >= -atol and abs(total - 1.0) <= atol * max(1, arr.size))
+
+
+def is_feasible_rows(x: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Per-row :func:`is_feasible` for an ``(R, N)`` matrix of allocations.
+
+    Returns a boolean mask with one verdict per row, applying the same
+    sum/min/tolerance tests as the 1-D check (non-finite entries poison
+    the row sum, so the finiteness test rides on the sum here too; a NaN
+    row min fails every comparison, covering the remaining NaN cases).
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim != 2 or arr.size == 0:
+        raise FeasibilityError(
+            f"expected a non-empty (R, N) matrix, got shape {arr.shape}"
+        )
+    totals = arr.sum(axis=1)
+    with np.errstate(invalid="ignore"):
+        return (
+            np.isfinite(totals)
+            & (arr.min(axis=1) >= -atol)
+            & (np.abs(totals - 1.0) <= atol * max(1, arr.shape[1]))
+        )
 
 
 def clip_to_simplex(x: np.ndarray, atol: float = 1e-8) -> np.ndarray:

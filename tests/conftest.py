@@ -1,0 +1,26 @@
+"""Suite-wide fixtures.
+
+The materialization cache (:mod:`repro.mlsim.cache`) defaults to
+``~/.cache/repro``; pointing it at a per-session temp directory keeps
+the test suite hermetic — runs neither read a developer's warm cache
+(which could mask a trace-generation regression behind stale hits) nor
+leave entries behind.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_materialization_cache(tmp_path_factory: pytest.TempPathFactory):
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous

@@ -135,6 +135,16 @@ class TestTrainingRunBitIdentity:
 
 
 class TestParallelSweepDeterminism:
+    @pytest.fixture(autouse=True)
+    def _pretend_two_cores(self, monkeypatch):
+        # sweep_realizations clamps jobs to os.cpu_count(); on a 1-core CI
+        # runner that would silently turn the jobs=2 legs into serial
+        # sweeps and these tests would compare an execution mode against
+        # itself. Two ProcessPoolExecutor workers run fine on one core.
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 2)
+
     def test_serial_and_parallel_sweeps_identical(self):
         serial = sweep_realizations("ResNet18", SMALL, jobs=1)
         parallel = sweep_realizations("ResNet18", SMALL, jobs=2)

@@ -1,0 +1,197 @@
+"""Property-based bit-identity of the batched (realization-stacked) policies.
+
+For every algorithm with a batched twin, advancing ``R`` stacked
+realizations through the :class:`~repro.core.batched.BatchedPolicy` must
+reproduce the scalar per-realization trajectories *exactly* (``==``, not
+``allclose``): row ``r`` of each batched update performs the identical
+IEEE-754 operations, in the identical order, as the scalar class on
+realization ``r`` alone. This is the contract that lets
+:func:`repro.experiments.harness.sweep_realizations` switch between the
+stacked fast path and the per-realization loop without changing one
+output byte.
+
+The worlds cover random simplex starting points, positive-slope affine
+costs drawn per (realization, round, worker), and degenerate rounds
+where every worker reveals the same cost function — from an equal start
+these force exact straggler ties, exercising the lowest-index argmax
+tie-break and LB-BSP's fastest-equals-straggler reset in both paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batched import BATCHED_ALGORITHMS, make_batched
+from repro.baselines.registry import make_balancer
+from repro.core.batched import BatchedRoundFeedback, identify_stragglers_rows
+from repro.core.interface import make_feedback
+from repro.costs.affine_vector import AffineCostVector
+
+#: Small hyperparameters so the state machines (ABS window, LB-BSP
+#: patience) actually fire within the short property horizons.
+ALGO_KWARGS = {
+    "EQU": {},
+    "STATIC": {},
+    "OGD": {"learning_rate": 0.001},
+    "EG": {"eta": 0.5},
+    "LB-BSP": {"delta": 5.0 / 256.0, "patience": 2},
+    "ABS": {"period": 2},
+    "DOLBIE": {"alpha_1": 0.001},
+    "OPT": {},
+}
+
+
+@st.composite
+def worlds(draw):
+    n = draw(st.integers(2, 6))
+    num_r = draw(st.integers(1, 4))
+    horizon = draw(st.integers(2, 8))
+    seed = draw(st.integers(0, 2**16))
+    # Rounds where all workers (and all realizations) share one cost
+    # function — degenerate straggler ties from any symmetric state.
+    ties = draw(
+        st.lists(st.booleans(), min_size=horizon, max_size=horizon)
+    )
+    if draw(st.booleans()):
+        x0 = None  # equal split: guarantees exact ties on tie rounds
+    else:
+        weights = np.array(
+            [draw(st.floats(0.01, 10.0)) for _ in range(n)]
+        )
+        x0 = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    # Strictly positive slopes so the batched waterfilling oracle is
+    # applicable (the stacked engine checks exactly this precondition).
+    slopes = rng.uniform(0.05, 50.0, size=(num_r, horizon, n))
+    intercepts = rng.uniform(0.0, 10.0, size=(num_r, horizon, n))
+    for t, tied in enumerate(ties):
+        if tied:
+            slopes[:, t, :] = slopes[0, t, 0]
+            intercepts[:, t, :] = intercepts[0, t, 0]
+    return x0, slopes, intercepts
+
+
+def _run_scalar(name, x0, slopes, intercepts):
+    """Trajectory of the scalar policy on one (T, N) realization."""
+    horizon, n = slopes.shape
+    policy = make_balancer(
+        name, n, initial_allocation=x0, **ALGO_KWARGS[name]
+    )
+    if policy.requires_oracle:
+        policy.prime(slopes, intercepts)
+    trajectory = np.empty((horizon, n))
+    for t in range(1, horizon + 1):
+        costs = AffineCostVector(slopes[t - 1], intercepts[t - 1])
+        if policy.requires_oracle:
+            x_t = policy.oracle_decide(costs)
+        else:
+            x_t = policy.decide()
+        feedback = make_feedback(t, x_t, costs)
+        policy.update(feedback)
+        trajectory[t - 1] = feedback.allocation
+    return trajectory
+
+
+def _run_batched(name, x0, slopes, intercepts):
+    """Trajectory of the batched policy on the full (R, T, N) stack."""
+    num_r, horizon, n = slopes.shape
+    policy = make_batched(
+        name, num_r, n, initial_allocation=x0, **ALGO_KWARGS[name]
+    )
+    if policy.requires_oracle:
+        policy.prime(slopes, intercepts)
+    rows = np.arange(num_r)
+    trajectory = np.empty((num_r, horizon, n))
+    for t in range(1, horizon + 1):
+        slopes_t = slopes[:, t - 1, :]
+        intercepts_t = intercepts[:, t - 1, :]
+        if policy.requires_oracle:
+            x_t = policy.oracle_decide(slopes_t, intercepts_t)
+        else:
+            x_t = policy.decide()
+        # Same evaluation AffineCostVector.values performs per row.
+        local = (
+            slopes_t * np.minimum(np.maximum(x_t, 0.0), 1.0) + intercepts_t
+        )
+        stragglers = identify_stragglers_rows(local)
+        policy.update(
+            BatchedRoundFeedback(
+                round_index=t,
+                allocations=x_t,
+                slopes=slopes_t,
+                intercepts=intercepts_t,
+                local_costs=local,
+                global_costs=local[rows, stragglers],
+                stragglers=stragglers,
+            )
+        )
+        trajectory[:, t - 1, :] = x_t
+    return trajectory
+
+
+@pytest.mark.parametrize("name", sorted(BATCHED_ALGORITHMS))
+@given(worlds())
+@settings(max_examples=25, deadline=None)
+def test_batched_rows_are_bit_identical_to_scalar(name, world):
+    x0, slopes, intercepts = world
+    batched = _run_batched(name, x0, slopes, intercepts)
+    for r in range(slopes.shape[0]):
+        scalar = _run_scalar(name, x0, slopes[r], intercepts[r])
+        assert np.array_equal(batched[r], scalar), (
+            f"{name}: realization {r} diverged from the scalar trajectory"
+        )
+
+
+@given(worlds())
+@settings(max_examples=25, deadline=None)
+def test_batched_dolbie_alpha_schedule_matches_scalar(world):
+    """The (R,) schedule state itself is bit-identical, not just x."""
+    x0, slopes, intercepts = world
+    num_r, horizon, n = slopes.shape
+    batched = make_batched(
+        "DOLBIE", num_r, n, initial_allocation=x0, **ALGO_KWARGS["DOLBIE"]
+    )
+    scalars = [
+        make_balancer(
+            "DOLBIE", n, initial_allocation=x0, **ALGO_KWARGS["DOLBIE"]
+        )
+        for _ in range(num_r)
+    ]
+    rows = np.arange(num_r)
+    for t in range(1, horizon + 1):
+        slopes_t = slopes[:, t - 1, :]
+        intercepts_t = intercepts[:, t - 1, :]
+        x_t = batched.decide()
+        local = (
+            slopes_t * np.minimum(np.maximum(x_t, 0.0), 1.0) + intercepts_t
+        )
+        stragglers = identify_stragglers_rows(local)
+        batched.update(
+            BatchedRoundFeedback(
+                round_index=t,
+                allocations=x_t,
+                slopes=slopes_t,
+                intercepts=intercepts_t,
+                local_costs=local,
+                global_costs=local[rows, stragglers],
+                stragglers=stragglers,
+            )
+        )
+        for r, scalar in enumerate(scalars):
+            costs = AffineCostVector(slopes[r, t - 1], intercepts[r, t - 1])
+            scalar.update(make_feedback(t, scalar.decide(), costs))
+            assert batched.alpha[r] == scalar.alpha
+            assert np.array_equal(batched.allocations[r], scalar.allocation)
+
+
+def test_all_equal_costs_tie_every_round():
+    """Fully degenerate world: one cost function for everyone, always."""
+    num_r, horizon, n = 3, 6, 4
+    slopes = np.full((num_r, horizon, n), 2.0)
+    intercepts = np.full((num_r, horizon, n), 0.25)
+    for name in sorted(BATCHED_ALGORITHMS):
+        batched = _run_batched(name, None, slopes, intercepts)
+        scalar = _run_scalar(name, None, slopes[0], intercepts[0])
+        for r in range(num_r):
+            assert np.array_equal(batched[r], scalar), name

@@ -8,6 +8,7 @@ from repro.experiments.bench import (
     BENCH,
     BenchmarkResult,
     SCHEMA,
+    append_history,
     compare_to_baseline,
     load_results,
     write_results,
@@ -91,3 +92,23 @@ class TestResultsFile:
     def test_rounds_per_s(self):
         result = _result(speedup=4.0)
         assert result.rounds_per_s == pytest.approx(4000.0)
+
+
+class TestHistory:
+    def test_each_run_appends_one_json_line(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history([_result(speedup=4.0)], path, jobs=1)
+        append_history([_result(speedup=5.0)], path, jobs=2)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["benchmarks"]["fig4"]["speedup"] == pytest.approx(4.0)
+        assert second["benchmarks"]["fig4"]["speedup"] == pytest.approx(5.0)
+        assert second["jobs"] == 2
+        for entry in (first, second):
+            assert "timestamp" in entry
+            assert "git_sha" in entry  # present even when git is unavailable
+
+    def test_unwritable_history_is_silent(self, tmp_path):
+        target = tmp_path / "not-a-dir" / "BENCH_history.jsonl"
+        append_history([_result()], target)  # must not raise

@@ -1,0 +1,178 @@
+"""Unit tests of the on-disk materialization cache (:mod:`repro.mlsim.cache`).
+
+Covers the operational contract: stable content-addressed keys, version
+bumps invalidating every old entry, corrupted entries healing themselves,
+LRU pruning to the size cap, and the ``REPRO_CACHE=0`` bypass. Every test
+points ``REPRO_CACHE_DIR`` at its own temp directory so nothing leaks
+between tests or into a developer's real cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlsim import cache
+from repro.mlsim.environment import TrainingEnvironment
+from repro.mlsim.materialized import MaterializedEnvironment
+
+
+def _env(seed: int = 7, num_workers: int = 4) -> TrainingEnvironment:
+    return TrainingEnvironment(
+        "ResNet18", num_workers=num_workers, global_batch=64, seed=seed
+    )
+
+
+@pytest.fixture(autouse=True)
+def _private_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    return tmp_path
+
+
+class TestCacheKey:
+    def test_identical_configs_hash_identically(self):
+        assert cache.cache_key(_env(), 10) == cache.cache_key(_env(), 10)
+
+    def test_key_is_hex_sha256(self):
+        key = cache.cache_key(_env(), 10)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            lambda: cache.cache_key(_env(seed=8), 10),
+            lambda: cache.cache_key(_env(num_workers=5), 10),
+            lambda: cache.cache_key(_env(), 11),
+        ],
+    )
+    def test_any_config_change_changes_the_key(self, other):
+        assert cache.cache_key(_env(), 10) != other()
+
+    def test_version_bump_invalidates_every_key(self, monkeypatch):
+        before = cache.cache_key(_env(), 10)
+        monkeypatch.setattr(cache, "CACHE_VERSION", cache.CACHE_VERSION + 1)
+        assert cache.cache_key(_env(), 10) != before
+
+    def test_fingerprint_is_json_canonical(self):
+        import json
+
+        fingerprint = cache.environment_fingerprint(_env(), 10)
+        round_tripped = json.loads(json.dumps(fingerprint))
+        assert round_tripped == fingerprint
+
+
+class TestStoreLoad:
+    def test_round_trip_is_bit_identical(self):
+        speed = np.random.default_rng(0).uniform(1.0, 9.0, size=(12, 4))
+        comm = np.random.default_rng(1).uniform(0.0, 1.0, size=(12, 4))
+        cache.store_matrices("k" * 64, speed, comm)
+        loaded = cache.load_matrices("k" * 64)
+        assert loaded is not None
+        assert np.array_equal(loaded[0], speed)
+        assert np.array_equal(loaded[1], comm)
+
+    def test_missing_entry_returns_none(self):
+        assert cache.load_matrices("f" * 64) is None
+
+    def test_corrupted_entry_is_unlinked_and_reloaded_as_miss(self, tmp_path):
+        cache.store_matrices("c" * 64, np.ones((3, 2)), np.ones((3, 2)))
+        entry = tmp_path / f"mat-{'c' * 64}.npz"
+        assert entry.exists()
+        entry.write_bytes(b"not an npz archive")
+        assert cache.load_matrices("c" * 64) is None
+        assert not entry.exists()  # self-healed: the bad entry is gone
+
+    def test_shape_mismatched_entry_is_dropped(self, tmp_path):
+        entry = tmp_path / f"mat-{'s' * 64}.npz"
+        with entry.open("wb") as handle:
+            np.savez(handle, speed=np.ones((3, 2)), comm=np.ones((4, 2)))
+        assert cache.load_matrices("s" * 64) is None
+        assert not entry.exists()
+
+    def test_store_into_unwritable_dir_is_silent(self, monkeypatch, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "nested"))
+        # Must not raise: the cache is an accelerator, not a dependency.
+        cache.store_matrices("a" * 64, np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestPrune:
+    def _store(self, key_char: str, mtime: float, tmp_path) -> None:
+        cache.store_matrices(key_char * 64, np.ones((8, 8)), np.ones((8, 8)))
+        import os
+
+        os.utime(tmp_path / f"mat-{key_char * 64}.npz", (mtime, mtime))
+
+    def test_oldest_entries_removed_first(self, tmp_path):
+        self._store("a", 1_000.0, tmp_path)
+        self._store("b", 2_000.0, tmp_path)
+        self._store("c", 3_000.0, tmp_path)
+        size = (tmp_path / f"mat-{'a' * 64}.npz").stat().st_size
+        removed = cache.prune(max_bytes=2 * size)
+        assert removed == 1
+        assert not (tmp_path / f"mat-{'a' * 64}.npz").exists()
+        assert (tmp_path / f"mat-{'b' * 64}.npz").exists()
+        assert (tmp_path / f"mat-{'c' * 64}.npz").exists()
+
+    def test_within_budget_removes_nothing(self, tmp_path):
+        self._store("a", 1_000.0, tmp_path)
+        assert cache.prune(max_bytes=1 << 30) == 0
+        assert (tmp_path / f"mat-{'a' * 64}.npz").exists()
+
+    def test_hits_refresh_lru_position(self, tmp_path):
+        self._store("a", 1_000.0, tmp_path)
+        self._store("b", 2_000.0, tmp_path)
+        assert cache.load_matrices("a" * 64) is not None  # touch
+        size = (tmp_path / f"mat-{'b' * 64}.npz").stat().st_size
+        cache.prune(max_bytes=size)
+        # "a" was touched by the hit, so "b" is now the LRU victim.
+        assert (tmp_path / f"mat-{'a' * 64}.npz").exists()
+        assert not (tmp_path / f"mat-{'b' * 64}.npz").exists()
+
+    def test_clear_removes_everything(self, tmp_path):
+        self._store("a", 1_000.0, tmp_path)
+        self._store("b", 2_000.0, tmp_path)
+        assert cache.clear() == 2
+        assert not list(tmp_path.glob("mat-*.npz"))
+
+
+class TestMaterializeCached:
+    def test_miss_then_hit_are_bit_identical_to_fresh(self, tmp_path):
+        horizon = 15
+        fresh = _env().materialize(horizon)
+        missed = cache.materialize_cached(_env(), horizon)
+        assert list(tmp_path.glob("mat-*.npz"))  # the miss stored an entry
+        hit = cache.materialize_cached(_env(), horizon)
+        for rebuilt in (missed, hit):
+            assert isinstance(rebuilt, MaterializedEnvironment)
+            assert np.array_equal(rebuilt.speed_matrix, fresh.speed_matrix)
+            assert np.array_equal(rebuilt.comm_matrix, fresh.comm_matrix)
+            assert np.array_equal(rebuilt.slope_matrix, fresh.slope_matrix)
+
+    def test_corrupted_entry_recomputes_transparently(self, tmp_path):
+        horizon = 10
+        cache.materialize_cached(_env(), horizon)
+        (entry,) = tmp_path.glob("mat-*.npz")
+        entry.write_bytes(b"garbage")
+        rebuilt = cache.materialize_cached(_env(), horizon)
+        fresh = _env().materialize(horizon)
+        assert np.array_equal(rebuilt.speed_matrix, fresh.speed_matrix)
+        # The recompute re-stored a good entry under the same key.
+        assert cache.load_matrices(cache.cache_key(_env(), horizon)) is not None
+
+    def test_repro_cache_0_bypasses_the_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache.cache_enabled()
+        rebuilt = cache.materialize_cached(_env(), 10)
+        assert not list(tmp_path.glob("mat-*.npz"))
+        fresh = _env().materialize(10)
+        assert np.array_equal(rebuilt.speed_matrix, fresh.speed_matrix)
+
+    def test_horizon_mismatch_never_serves_a_short_entry(self, tmp_path):
+        cache.materialize_cached(_env(), 5)
+        longer = cache.materialize_cached(_env(), 9)
+        assert longer.speed_matrix.shape[0] == 9

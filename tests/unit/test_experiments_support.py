@@ -49,6 +49,40 @@ class TestHarnessHelpers:
         assert reduction_vs(100.0, 100.0) == 0.0
         assert np.isnan(reduction_vs(1.0, 0.0))
 
+    def test_jobs_clamped_to_cpu_count_with_warning(self, monkeypatch, caplog):
+        import logging
+        from dataclasses import replace
+
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 1)
+        tiny = replace(
+            QUICK, num_workers=4, rounds=3, realizations=2, stacked=False
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            sweeps = harness.sweep_realizations(
+                "ResNet18", tiny, algorithms=["EQU"], jobs=8
+            )
+        assert len(sweeps["EQU"]) == tiny.realizations
+        assert any(
+            "jobs=8 exceeds cpu_count=1" in record.getMessage()
+            for record in caplog.records
+        )
+
+    def test_jobs_within_cpu_count_stays_quiet(self, monkeypatch, caplog):
+        import logging
+        from dataclasses import replace
+
+        import repro.experiments.harness as harness
+
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 8)
+        tiny = replace(
+            QUICK, num_workers=4, rounds=3, realizations=1, stacked=False
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            harness.sweep_realizations("ResNet18", tiny, algorithms=["EQU"], jobs=2)
+        assert not caplog.records
+
 
 class TestReporting:
     def test_format_table_alignment(self):
