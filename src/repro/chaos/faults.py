@@ -31,7 +31,9 @@ from repro.net.topology import Topology, connected_components
 __all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule", "load_schedule"]
 
 #: The fault vocabulary (see FaultEvent for per-kind semantics).
-FAULT_KINDS = ("crash", "rejoin", "slowdown", "degrade", "partition", "heal")
+FAULT_KINDS = (
+    "crash", "rejoin", "slowdown", "degrade", "partition", "heal", "restart",
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,10 @@ class FaultEvent:
     partition   the network splits: each tuple in ``groups`` becomes an
                 isolated island, unlisted nodes stay together
     heal        the partition is removed; cut-off workers re-merge
+    restart     every id in ``workers`` checkpoints its round ledger,
+                dies with crash semantics, and rejoins ``duration``
+                rounds later restored from that snapshot (a rolling
+                restart, not a cold crash: the ledger prefix survives)
     ==========  =========================================================
     """
 
@@ -69,11 +75,11 @@ class FaultEvent:
             raise ConfigurationError(
                 f"fault rounds are 1-based, got {self.round_index}"
             )
-        if self.kind in ("crash", "rejoin", "slowdown") and not self.workers:
+        if self.kind in ("crash", "rejoin", "slowdown", "restart") and not self.workers:
             raise ConfigurationError(f"{self.kind} fault needs target workers")
         if self.kind == "partition" and not self.groups:
             raise ConfigurationError("partition fault needs groups")
-        if self.kind in ("slowdown", "degrade") and self.duration < 1:
+        if self.kind in ("slowdown", "degrade", "restart") and self.duration < 1:
             raise ConfigurationError("duration must be >= 1 round")
         if self.kind == "slowdown" and self.severity <= 0:
             raise ConfigurationError("slowdown needs severity > 0 (seconds)")
@@ -91,6 +97,8 @@ class FaultEvent:
         if self.kind in ("slowdown", "degrade"):
             record["duration"] = self.duration
             record["severity"] = self.severity
+        elif self.kind == "restart":
+            record["duration"] = self.duration
         return record
 
     @classmethod
@@ -143,6 +151,7 @@ class FaultSchedule:
         *,
         topology: Topology | None = None,
         crash_rate: float = 0.02,
+        restart_rate: float = 0.02,
         slowdown_rate: float = 0.05,
         degrade_rate: float = 0.03,
         partition_rate: float = 0.015,
@@ -155,7 +164,8 @@ class FaultSchedule:
         """A seeded randomized fault sequence that never kills the quorum.
 
         Per-round, independent coin flips inject crashes (paired with a
-        scheduled rejoin 2..``max_outage`` rounds later), transient
+        scheduled rejoin 2..``max_outage`` rounds later), rolling
+        restarts (ledger preserved, back after 1-3 rounds), transient
         slowdowns, loss bursts, and — when no partition is already
         active — a network partition that heals within
         ``max_partition`` rounds. Safety: an event is skipped (its coin
@@ -176,6 +186,7 @@ class FaultSchedule:
         events: list[FaultEvent] = []
         crashed: set[int] = set()
         pending_rejoins: dict[int, list[int]] = {}
+        pending_restart_backs: dict[int, list[int]] = {}
         minority: set[int] = set()
         heal_round = 0
 
@@ -202,6 +213,10 @@ class FaultSchedule:
         for t in range(1, horizon + 1):
             for worker in pending_rejoins.pop(t, []):
                 events.append(FaultEvent(t, "rejoin", workers=(worker,)))
+                crashed.discard(worker)
+            # Restarted workers rejoin implicitly (the injector revives
+            # them with their ledger restored) — no rejoin event.
+            for worker in pending_restart_backs.pop(t, []):
                 crashed.discard(worker)
             if minority and t >= heal_round:
                 events.append(FaultEvent(t, "heal"))
@@ -233,6 +248,24 @@ class FaultSchedule:
                     events.append(FaultEvent(t, "crash", workers=(victim,)))
                     if t + outage <= horizon:
                         pending_rejoins.setdefault(t + outage, []).append(victim)
+            if rng.random() < restart_rate and active:
+                victim = int(rng.choice(active))
+                downtime = int(rng.integers(1, 4))
+                if (
+                    victim not in minority
+                    and victim not in crashed  # may have crashed this round
+                    and t + downtime <= horizon
+                    and primary_size(crashed | {victim}, minority) >= floor
+                ):
+                    crashed.add(victim)
+                    events.append(
+                        FaultEvent(
+                            t, "restart", workers=(victim,), duration=downtime
+                        )
+                    )
+                    pending_restart_backs.setdefault(
+                        t + downtime, []
+                    ).append(victim)
             if rng.random() < slowdown_rate and active:
                 slow = int(rng.choice(active))
                 events.append(
@@ -258,6 +291,64 @@ class FaultSchedule:
                     )
                 )
         return cls(events, seed=seed)
+
+    @classmethod
+    def rolling_restart(
+        cls,
+        num_workers: int,
+        horizon: int,
+        *,
+        start: int = 5,
+        interval: int = 3,
+        downtime: int = 2,
+        workers: Sequence[int] | None = None,
+        cycles: int = 1,
+    ) -> "FaultSchedule":
+        """A staggered restart sweep over the fleet (the ops "rolling
+        restart" pattern: one worker at a time, wait for it to rejoin,
+        move to the next).
+
+        Starting at round ``start``, every ``interval`` rounds the next
+        worker in ``workers`` (default: all of them, ascending) takes a
+        ``restart`` fault with ``downtime`` rounds of outage; after the
+        last worker the sweep repeats ``cycles`` times. Restarts whose
+        rejoin would land past ``horizon`` are not scheduled.
+        """
+        if num_workers < 3:
+            raise ConfigurationError(
+                f"chaos schedules need >= 3 workers, got {num_workers}"
+            )
+        if start < 1 or interval < 1 or downtime < 1 or cycles < 1:
+            raise ConfigurationError(
+                "start, interval, downtime and cycles must all be >= 1"
+            )
+        if interval <= downtime:
+            raise ConfigurationError(
+                f"interval ({interval}) must exceed downtime ({downtime}): "
+                "a worker must be back before the next one restarts"
+            )
+        targets = (
+            tuple(range(num_workers)) if workers is None else tuple(workers)
+        )
+        for worker in targets:
+            if not 0 <= worker < num_workers:
+                raise ConfigurationError(
+                    f"restart target {worker} out of range for "
+                    f"{num_workers} workers"
+                )
+        events = []
+        t = start
+        for _ in range(cycles):
+            for worker in targets:
+                if t + downtime > horizon:
+                    return cls(events)
+                events.append(
+                    FaultEvent(
+                        t, "restart", workers=(worker,), duration=downtime
+                    )
+                )
+                t += interval
+        return cls(events)
 
     # -- queries ----------------------------------------------------------
     def events_at(self, round_index: int) -> list[FaultEvent]:

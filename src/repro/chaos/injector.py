@@ -38,7 +38,8 @@ class ChaosInjector:
         ``alive_workers``, ``roster``, ``crash_worker`` and
         ``rejoin_worker``)."""
         for attr in ("cluster", "alive_workers", "roster",
-                     "crash_worker", "rejoin_worker"):
+                     "crash_worker", "rejoin_worker",
+                     "worker_ledger", "restore_worker_ledger"):
             if not hasattr(protocol, attr):
                 raise ConfigurationError(
                     f"protocol {type(protocol).__name__} lacks {attr!r}; "
@@ -53,6 +54,12 @@ class ChaosInjector:
         self._slow_until: dict[int, int] = {}
         #: round at which the active loss burst expires (0 = none).
         self._degrade_until = 0
+        #: round -> workers whose restart completes at that boundary.
+        self._pending_restarts: dict[int, list[int]] = {}
+        #: worker id -> the ledger prefix it checkpointed before dying.
+        #: Entries live from the restart fault until the worker is back
+        #: (or until a plain crash/rejoin invalidates the restart).
+        self.restart_prefixes: dict[int, tuple] = {}
 
     @property
     def events_applied(self) -> int:
@@ -84,6 +91,7 @@ class ChaosInjector:
         # Stamp the cluster's fault records with the round about to run.
         self.cluster.trace_round = round_index
         self._expire(round_index)
+        self._complete_restarts(round_index)
         applied: list[FaultEvent] = []
         for event in self.schedule.events_at(round_index):
             if self._apply_event(event, round_index):
@@ -104,6 +112,21 @@ class ChaosInjector:
             self.cluster.clear_frame_loss()
             self._degrade_until = 0
 
+    def _complete_restarts(self, round_index: int) -> None:
+        """Bring restarted workers back, ledger restored from snapshot."""
+        for worker in self._pending_restarts.pop(round_index, []):
+            prefix = self.restart_prefixes.pop(worker, ())
+            if worker in self.protocol.alive_workers:
+                # A rejoin event got there first; the restart is moot.
+                continue
+            self.protocol.rejoin_worker(worker)
+            # The point of a restart (vs. a cold crash): the worker's
+            # replica of the round ledger survives in its snapshot.
+            self.protocol.restore_worker_ledger(worker, prefix)
+            # Re-register the preserved prefix so the ledger invariant
+            # can keep checking it against the authority after rejoin.
+            self.restart_prefixes[worker] = prefix
+
     def _apply_event(self, event: FaultEvent, round_index: int) -> bool:
         kind = event.kind
         if kind == "crash":
@@ -112,6 +135,10 @@ class ChaosInjector:
             ]
             for worker in targets:
                 self.protocol.crash_worker(worker)
+                # A cold crash loses the process memory — any snapshot a
+                # previous restart preserved no longer describes the
+                # (now empty) replica.
+                self.restart_prefixes.pop(worker, None)
             return bool(targets)
         if kind == "rejoin":
             targets = [
@@ -121,6 +148,22 @@ class ChaosInjector:
             ]
             for worker in targets:
                 self.protocol.rejoin_worker(worker)
+                self.restart_prefixes.pop(worker, None)
+            return bool(targets)
+        if kind == "restart":
+            targets = [
+                w for w in event.workers if w in self.protocol.alive_workers
+            ]
+            for worker in targets:
+                # Checkpoint the worker's ledger replica *before* the
+                # process dies, then crash it like any other failure.
+                self.restart_prefixes[worker] = tuple(
+                    self.protocol.worker_ledger(worker).entries
+                )
+                self.protocol.crash_worker(worker)
+                self._pending_restarts.setdefault(
+                    round_index + event.duration, []
+                ).append(worker)
             return bool(targets)
         if kind == "slowdown":
             for worker in event.workers:

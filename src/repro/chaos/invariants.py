@@ -21,6 +21,12 @@ faults, independently of the allocation's optimality:
    degraded would silently skip the fault semantics, so the invariant
    checker diffs the protocol's ``fast_rounds`` counter across the
    round and flags it.
+6. **Ledger prefix consistency.** The authoritative round ledger
+   recorded this round's outcome, and every rostered worker's replica
+   is a prefix-consistent extension of it — including workers that came
+   back from a ``restart`` fault, whose replicas must begin with the
+   exact prefix they checkpointed before dying (pass the injector's
+   ``restart_prefixes`` so the checker can pin them).
 
 ``check_round_invariants`` returns human-readable violation strings
 (empty list = healthy); :func:`assert_round_invariants` raises
@@ -60,6 +66,7 @@ def check_round_invariants(
     local: np.ndarray,
     global_cost: float,
     straggler: int,
+    restart_prefixes: dict[int, tuple] | None = None,
 ) -> list[str]:
     """Check every invariant after ``run_round``; return violations."""
     violations: list[str] = []
@@ -150,6 +157,38 @@ def check_round_invariants(
             violated(f"rostered worker {worker} reported no cost")
         if worker not in roster and np.isfinite(local[worker]):
             violated(f"deposed worker {worker} reported a cost")
+
+    # 6. the round ledger agrees and every replica extends it
+    ledger = getattr(protocol, "ledger", None)
+    if ledger is not None:
+        from repro.core.ledger import prefix_consistency_violations
+
+        entry = ledger.entry_for(round_index)
+        if entry is None:
+            violated("the authoritative ledger has no entry for this round")
+        else:
+            if (
+                entry.straggler != int(straggler)
+                or entry.global_cost != float(global_cost)
+                or set(entry.roster) != set(roster)
+            ):
+                violated(
+                    "the authoritative ledger entry disagrees with the "
+                    f"round outcome ({entry})"
+                )
+            prefixes = restart_prefixes or {}
+            for worker in roster:
+                replica = protocol.worker_ledger(worker)
+                problems = prefix_consistency_violations(
+                    replica, ledger, preserved_prefix=prefixes.get(worker),
+                )
+                for problem in problems:
+                    violated(f"worker {worker} ledger replica: {problem}")
+                if replica.entry_for(round_index) is None:
+                    violated(
+                        f"worker {worker} ledger replica is missing this "
+                        "round"
+                    )
     return violations
 
 
@@ -160,10 +199,12 @@ def assert_round_invariants(
     local: np.ndarray,
     global_cost: float,
     straggler: int,
+    restart_prefixes: dict[int, tuple] | None = None,
 ) -> None:
     """Raise :class:`InvariantViolation` when any invariant breaks."""
     violations = check_round_invariants(
-        protocol, observation, round_index, local, global_cost, straggler
+        protocol, observation, round_index, local, global_cost, straggler,
+        restart_prefixes=restart_prefixes,
     )
     if violations:
         raise InvariantViolation("; ".join(violations))

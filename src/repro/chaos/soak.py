@@ -10,6 +10,12 @@ A protocol exception mid-soak (e.g. a quorum wiped out by an unsafe
 hand-written schedule) is recorded as a violation, not propagated: a
 soak's job is to report, and ``raise_on_violation=True`` restores
 fail-fast behavior for use inside tests.
+
+Soaks are durable: pass ``checkpoint_every`` and a
+:class:`~repro.ckpt.store.CheckpointStore` and the full soak state —
+protocol, injector bookkeeping, accumulated report arrays, recorded
+trace — is snapshotted at round boundaries; ``resume_from`` continues a
+killed soak bit-identically (the kill-resume CI job pins exactly this).
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from repro.chaos.faults import FaultSchedule
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.invariants import RoundObservation, check_round_invariants
 from repro.costs.timevarying import CostProcess
-from repro.exceptions import InvariantViolation, ReproError
+from repro.exceptions import CheckpointError, InvariantViolation, ReproError
 
 __all__ = ["SoakReport", "run_soak"]
 
@@ -44,6 +50,7 @@ class SoakReport:
     virtual_time: float
     messages_total: int
     messages_blackholed: int
+    resumed_from: int | None = None  # checkpointed round a resume started at
 
     @property
     def ok(self) -> bool:
@@ -63,10 +70,15 @@ class SoakReport:
             for kind, count in sorted(self.event_counts.items())
             if count
         ) or "none"
+        resumed = (
+            f" (resumed from round {self.resumed_from})"
+            if self.resumed_from is not None
+            else ""
+        )
         lines = [
             f"[{status}] {self.protocol_name}: "
             f"{self.rounds_completed}/{self.rounds_requested} rounds, "
-            f"{self.events_applied} fault events ({counts})",
+            f"{self.events_applied} fault events ({counts}){resumed}",
             f"  cumulative latency {self.cumulative_cost:.4f}s over "
             f"{self.virtual_time:.3f}s virtual time; "
             f"{self.messages_total} messages "
@@ -81,6 +93,67 @@ class SoakReport:
         return "\n".join(lines)
 
 
+def _soak_snapshot(
+    protocol, injector, schedule, rounds, t,
+    allocations, global_costs, violations,
+):
+    from repro.ckpt.snapshot import Snapshot
+    from repro.ckpt.state import capture_injector, capture_protocol
+    from repro.obs.diff import canonical_line
+
+    tracer = getattr(protocol, "tracer", None)
+    return Snapshot(
+        kind="soak",
+        round_index=t,
+        config={"schedule": schedule.to_spec(), "rounds": int(rounds)},
+        state={
+            "protocol": capture_protocol(protocol),
+            "injector": capture_injector(injector),
+            "allocations": np.asarray(allocations[:t]),
+            "global_costs": np.asarray(global_costs[:t]),
+            "violations": [[int(r), str(m)] for r, m in violations],
+            "trace": (
+                None
+                if tracer is None
+                else [canonical_line(r) for r in tracer.records]
+            ),
+        },
+    )
+
+
+def _restore_soak(protocol, injector, schedule, snapshot,
+                  allocations, global_costs):
+    import json
+
+    from repro.ckpt.state import restore_injector, restore_protocol
+    from repro.obs.records import record_from_dict
+
+    if snapshot.kind != "soak":
+        raise CheckpointError(
+            f"soak resume needs a 'soak' snapshot, got {snapshot.kind!r}"
+        )
+    if snapshot.config["schedule"] != schedule.to_spec():
+        raise CheckpointError(
+            "the snapshot was taken under a different fault schedule; "
+            "resuming it here would not reproduce the original soak"
+        )
+    restore_protocol(protocol, snapshot.state["protocol"])
+    restore_injector(injector, snapshot.state["injector"])
+    completed = int(snapshot.round_index)
+    allocations[:completed] = np.asarray(snapshot.state["allocations"])
+    global_costs[:completed] = np.asarray(snapshot.state["global_costs"])
+    violations = [
+        (int(r), str(m)) for r, m in snapshot.state["violations"]
+    ]
+    trace_lines = snapshot.state["trace"]
+    tracer = getattr(protocol, "tracer", None)
+    if trace_lines is not None and tracer is not None:
+        tracer.records.clear()
+        for line in trace_lines:
+            tracer.records.append(record_from_dict(json.loads(line)))
+    return completed, violations
+
+
 def run_soak(
     protocol_factory: Callable[[], object],
     schedule: FaultSchedule,
@@ -88,13 +161,27 @@ def run_soak(
     rounds: int,
     *,
     raise_on_violation: bool = False,
+    checkpoint_every: int = 0,
+    checkpoint_store=None,
+    resume_from=None,
+    round_hook: Callable[[int, object], None] | None = None,
 ) -> SoakReport:
     """Soak ``rounds`` rounds of chaos and check invariants after each.
 
     ``protocol_factory`` builds a *fresh* protocol (so one soak cannot
     leak state into the next and two calls with identical inputs are
     bit-identical); ``process`` supplies the per-round cost functions.
+
+    ``checkpoint_every=K`` (with a ``checkpoint_store``) snapshots the
+    full soak state after rounds K, 2K, ...; ``resume_from`` takes such
+    a :class:`~repro.ckpt.snapshot.Snapshot` and continues it — the
+    factory must rebuild the same configuration the original soak ran
+    (guarded by comparing the snapshot's schedule spec). ``round_hook``
+    runs after each round's bookkeeping (the CLI's ``--kill-at-round``
+    uses it to die *after* the checkpoint is on disk).
     """
+    if checkpoint_every and checkpoint_store is None:
+        raise CheckpointError("checkpoint_every requires a checkpoint_store")
     protocol = protocol_factory()
     injector = ChaosInjector(protocol, schedule)
     num_workers = protocol.num_workers
@@ -102,7 +189,14 @@ def run_soak(
     global_costs = np.zeros(rounds)
     violations: list[tuple[int, str]] = []
     completed = 0
-    for t in range(1, rounds + 1):
+    resumed_from = None
+    if resume_from is not None:
+        completed, violations = _restore_soak(
+            protocol, injector, schedule, resume_from,
+            allocations, global_costs,
+        )
+        resumed_from = completed
+    for t in range(completed + 1, rounds + 1):
         observation = RoundObservation(protocol)
         try:
             injector.apply(t)
@@ -115,7 +209,8 @@ def run_soak(
             violations.append((t, f"{type(exc).__name__}: {exc}"))
             break
         round_violations = check_round_invariants(
-            protocol, observation, t, local, global_cost, straggler
+            protocol, observation, t, local, global_cost, straggler,
+            restart_prefixes=injector.restart_prefixes,
         )
         if round_violations and raise_on_violation:
             raise InvariantViolation("; ".join(round_violations))
@@ -123,6 +218,15 @@ def run_soak(
         allocations[t - 1] = protocol.allocation
         global_costs[t - 1] = global_cost
         completed = t
+        if checkpoint_every and t % checkpoint_every == 0:
+            checkpoint_store.save(
+                _soak_snapshot(
+                    protocol, injector, schedule, rounds, t,
+                    allocations, global_costs, violations,
+                )
+            )
+        if round_hook is not None:
+            round_hook(t, protocol)
     metrics = protocol.metrics
     return SoakReport(
         protocol_name=getattr(protocol, "name", type(protocol).__name__),
@@ -137,4 +241,5 @@ def run_soak(
         virtual_time=float(protocol.cluster.engine.now),
         messages_total=metrics.messages_total,
         messages_blackholed=metrics.messages_blackholed,
+        resumed_from=resumed_from,
     )

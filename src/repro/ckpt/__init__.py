@@ -1,0 +1,83 @@
+"""Durable checkpoint/resume for protocol runs, chaos soaks, and sweeps.
+
+The package snapshots the *full* run state — protocol (allocations,
+step sizes, membership, round ledgers), the network substrate (virtual
+clock, metrics, chaos hooks, every link RNG), the chaos injector, and
+the trace recorded so far — into a versioned, SHA-256-fingerprinted,
+atomically-written JSON file. Resume is **bit-identical**: a run
+checkpointed at round ``t`` and resumed produces the same trace, CSVs,
+and RNG stream positions as an uninterrupted run (pinned by the
+``repro trace diff`` machinery and the integration tests).
+
+Layers:
+
+- :mod:`repro.ckpt.codec` — canonical tagged-JSON encoding (ndarrays,
+  sets, non-string-keyed dicts) and SHA-256 fingerprints;
+- :mod:`repro.ckpt.state` — capture/restore of every live object
+  (RNGs by bit-generator state, engine clock, cluster, protocols,
+  fluctuation traces, the chaos injector);
+- :mod:`repro.ckpt.snapshot` — the versioned :class:`Snapshot`
+  envelope;
+- :mod:`repro.ckpt.store` — :class:`CheckpointStore`:
+  ``save``/``load``/``latest``/``prune`` over atomically-written,
+  self-healing files (same idioms as the materialization cache);
+- :mod:`repro.ckpt.runner` — checkpointed protocol runs and resume
+  (what ``repro ckpt save/resume`` drives).
+
+See ``docs/checkpointing.md`` for the snapshot schema and the
+versioning/compat policy.
+"""
+
+from repro.ckpt.codec import canonical_dumps, fingerprint, from_jsonable, to_jsonable
+from repro.ckpt.runner import (
+    resume_run,
+    run_result_to_csv,
+    run_with_checkpoints,
+)
+from repro.ckpt.snapshot import SNAPSHOT_VERSION, Snapshot
+from repro.ckpt.state import (
+    capture_cluster,
+    capture_engine,
+    capture_fluctuation_trace,
+    capture_injector,
+    capture_link,
+    capture_protocol,
+    capture_rng,
+    restore_cluster,
+    restore_engine,
+    restore_fluctuation_trace,
+    restore_injector,
+    restore_link,
+    restore_protocol,
+    restore_rng,
+    rng_from_state,
+)
+from repro.ckpt.store import CheckpointStore
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "CheckpointStore",
+    "canonical_dumps",
+    "fingerprint",
+    "to_jsonable",
+    "from_jsonable",
+    "capture_rng",
+    "restore_rng",
+    "rng_from_state",
+    "capture_engine",
+    "restore_engine",
+    "capture_link",
+    "restore_link",
+    "capture_cluster",
+    "restore_cluster",
+    "capture_protocol",
+    "restore_protocol",
+    "capture_fluctuation_trace",
+    "restore_fluctuation_trace",
+    "capture_injector",
+    "restore_injector",
+    "run_with_checkpoints",
+    "resume_run",
+    "run_result_to_csv",
+]

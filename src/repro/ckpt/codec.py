@@ -1,0 +1,115 @@
+"""Canonical tagged-JSON codec for checkpoint payloads.
+
+Snapshots must satisfy two properties plain JSON does not give us:
+
+* **Exactness.** RNG positions, float64 arrays, and virtual-time
+  floats must survive a round-trip bit-for-bit. Arrays are therefore
+  encoded as base64 of their raw little-endian bytes (never decimal
+  text); scalar floats rely on Python's shortest-round-trip repr,
+  which *is* exact for float64.
+* **Canonical bytes.** Two snapshots of identical state must be
+  byte-identical files, so encoding sorts everything: JSON keys,
+  set elements, and the entries of non-string-keyed dicts. That is
+  what makes the SHA-256 fingerprint meaningful and the
+  serialize→restore→serialize identity testable.
+
+Tags (a one-key wrapper dict each, so they cannot collide with real
+payload keys unless a payload deliberately fakes one):
+
+- ``{"__ndarray__": {"dtype", "shape", "data"}}`` — any numpy array;
+- ``{"__set__": [...]}`` — a set, elements sorted;
+- ``{"__pairs__": [[k, v], ...]}`` — a dict whose keys are not all
+  strings (int- or tuple-keyed), entries sorted by encoded key.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+__all__ = ["to_jsonable", "from_jsonable", "canonical_dumps", "fingerprint"]
+
+
+def _pair_sort_key(encoded_key: Any) -> str:
+    return json.dumps(encoded_key, sort_keys=True, separators=(",", ":"))
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Encode ``obj`` into plain JSON types plus the tags above."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, np.generic):
+        return to_jsonable(obj.item())
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": {
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+            }
+        }
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        encoded = [to_jsonable(item) for item in obj]
+        return {"__set__": sorted(encoded, key=_pair_sort_key)}
+    if isinstance(obj, dict):
+        if all(isinstance(key, str) for key in obj):
+            return {key: to_jsonable(value) for key, value in obj.items()}
+        pairs = [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda pair: _pair_sort_key(pair[0]))
+        return {"__pairs__": pairs}
+    raise CheckpointError(
+        f"cannot encode {type(obj).__name__} into a checkpoint payload"
+    )
+
+
+def _hashable(value: Any) -> Any:
+    """Decoded set elements / dict keys: lists become tuples."""
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    return value
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Exact inverse of :func:`to_jsonable` (tuples come back as
+    lists except inside set elements and dict keys, where hashability
+    requires tuples)."""
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            if "__ndarray__" in obj:
+                meta = obj["__ndarray__"]
+                arr = np.frombuffer(
+                    base64.b64decode(meta["data"]), dtype=np.dtype(meta["dtype"])
+                )
+                return arr.reshape(tuple(meta["shape"])).copy()
+            if "__set__" in obj:
+                return {_hashable(from_jsonable(v)) for v in obj["__set__"]}
+            if "__pairs__" in obj:
+                return {
+                    _hashable(from_jsonable(k)): from_jsonable(v)
+                    for k, v in obj["__pairs__"]
+                }
+        return {key: from_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [from_jsonable(item) for item in obj]
+    return obj
+
+
+def canonical_dumps(payload: Any) -> str:
+    """The canonical JSON text of an already-:func:`to_jsonable` payload."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``payload``."""
+    return hashlib.sha256(
+        canonical_dumps(to_jsonable(payload)).encode("utf-8")
+    ).hexdigest()

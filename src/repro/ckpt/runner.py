@@ -1,0 +1,262 @@
+"""Checkpointed protocol runs and bit-identical resume.
+
+``run_with_checkpoints`` replays exactly the run the trace scenarios in
+:mod:`repro.obs.scenarios` define (same factory arguments, same cost
+process, same header), but drives the round loop manually so it can
+drop a :class:`~repro.ckpt.snapshot.Snapshot` into a
+:class:`~repro.ckpt.store.CheckpointStore` every K rounds.
+``resume_run`` rebuilds a factory-fresh protocol from the snapshot's
+``config`` block, rehydrates it through
+:func:`repro.ckpt.state.restore_protocol`, replays the stored trace
+prefix into a fresh tracer, and continues the remaining rounds. The
+contract — pinned by the integration tests with ``repro trace diff``
+and byte-compared CSVs — is that the merged resumed run is
+indistinguishable from an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+import numpy as np
+
+from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.state import capture_protocol, restore_protocol
+from repro.ckpt.store import CheckpointStore
+from repro.core.loop import RunResult
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.obs.diff import canonical_line
+from repro.obs.records import record_from_dict
+from repro.obs.tracer import Trace, Tracer
+
+__all__ = [
+    "build_process",
+    "build_protocol",
+    "run_with_checkpoints",
+    "resume_run",
+    "run_result_to_csv",
+]
+
+
+def build_process(num_workers: int, seed: int):
+    """The scenarios' cost process — stateless in (seed, t), so resume
+    needs only (num_workers, seed) to regenerate it exactly."""
+    from repro.costs.timevarying import RandomAffineProcess
+
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(1.0, 3.0, size=num_workers)
+    return RandomAffineProcess(speeds, sigma=0.2, comm_scale=0.01, seed=seed)
+
+
+def build_protocol(
+    architecture: str,
+    engine: str,
+    num_workers: int,
+    tracer: Tracer | None = None,
+):
+    """The scenarios' protocol factory (same arguments as
+    :func:`repro.obs.scenarios.protocol_trace`)."""
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+    from repro.protocols.master_worker import MasterWorkerDolbie
+
+    if architecture not in ("mw", "fd"):
+        raise ConfigurationError(
+            f"architecture must be 'mw' or 'fd', got {architecture!r}"
+        )
+    if engine not in ("auto", "fast", "event"):
+        raise ConfigurationError(
+            f"engine must be 'auto', 'fast' or 'event', got {engine!r}"
+        )
+    cls = MasterWorkerDolbie if architecture == "mw" else FullyDistributedDolbie
+    return cls(
+        num_workers,
+        alpha_1=0.001,
+        use_fast_path=engine != "event",
+        tracer=tracer,
+    )
+
+
+def _emit_header(protocol, tracer: Tracer, horizon: int) -> None:
+    """The exact header ``protocol.run`` would have emitted."""
+    if hasattr(protocol, "master"):
+        tracer.header(
+            protocol.name, protocol.num_workers, horizon,
+            fast_path=protocol.use_fast_path,
+            embedded_master=protocol.embedded_master,
+        )
+    else:
+        tracer.header(
+            protocol.name, protocol.num_workers, horizon,
+            fast_path=protocol.use_fast_path,
+            topology="complete" if protocol.topology is None else "custom",
+        )
+
+
+def _result_prefix_state(
+    allocations, local, global_costs, stragglers, completed: int
+) -> dict:
+    return {
+        "allocations": np.asarray(allocations[:completed]),
+        "local_costs": np.asarray(local[:completed]),
+        "global_costs": np.asarray(global_costs[:completed]),
+        "stragglers": np.asarray(stragglers[:completed]),
+    }
+
+
+def _make_result(protocol, horizon, allocations, local, global_costs,
+                 stragglers) -> RunResult:
+    return RunResult(
+        algorithm=protocol.name,
+        num_workers=protocol.num_workers,
+        horizon=horizon,
+        allocations=allocations,
+        local_costs=local,
+        global_costs=global_costs,
+        stragglers=stragglers,
+        decision_seconds=np.zeros(horizon),
+    )
+
+
+def run_with_checkpoints(
+    architecture: str,
+    engine: str,
+    num_workers: int,
+    rounds: int,
+    seed: int,
+    *,
+    store: CheckpointStore | None = None,
+    checkpoint_every: int = 0,
+    checkpoint_at: Iterable[int] = (),
+) -> tuple[Trace, RunResult]:
+    """One scenario run, snapshotting at the requested round boundaries.
+
+    ``checkpoint_every=K`` checkpoints after rounds K, 2K, ...;
+    ``checkpoint_at`` adds explicit rounds. Returns the (trace, result)
+    pair an uninterrupted :func:`protocol_trace`-style run produces.
+    """
+    checkpoint_rounds = {int(t) for t in checkpoint_at}
+    if checkpoint_every:
+        checkpoint_rounds.update(
+            range(checkpoint_every, rounds + 1, checkpoint_every)
+        )
+    if checkpoint_rounds and store is None:
+        raise CheckpointError("checkpoint rounds requested without a store")
+
+    tracer = Tracer()
+    protocol = build_protocol(architecture, engine, num_workers, tracer)
+    process = build_process(num_workers, seed)
+    config = {
+        "architecture": architecture,
+        "engine": engine,
+        "num_workers": int(num_workers),
+        "rounds": int(rounds),
+        "seed": int(seed),
+    }
+
+    n = num_workers
+    allocations = np.empty((rounds, n))
+    local = np.empty((rounds, n))
+    global_costs = np.empty(rounds)
+    stragglers = np.empty(rounds, dtype=int)
+    _emit_header(protocol, tracer, rounds)
+    for t in range(1, rounds + 1):
+        x, l, l_t, s_t = protocol.run_round(t, process.costs_at(t))
+        allocations[t - 1] = x
+        local[t - 1] = l
+        global_costs[t - 1] = l_t
+        stragglers[t - 1] = s_t
+        if t in checkpoint_rounds:
+            snapshot = Snapshot(
+                kind="run",
+                round_index=t,
+                config=config,
+                state={
+                    "protocol": capture_protocol(protocol),
+                    "results": _result_prefix_state(
+                        allocations, local, global_costs, stragglers, t
+                    ),
+                    "trace": [canonical_line(r) for r in tracer.records],
+                },
+            )
+            store.save(snapshot)
+    result = _make_result(
+        protocol, rounds, allocations, local, global_costs, stragglers
+    )
+    return tracer.trace, result
+
+
+def resume_run(
+    snapshot: Snapshot, rounds: int | None = None
+) -> tuple[Trace, RunResult]:
+    """Continue a checkpointed run to ``rounds`` (default: the horizon
+    the original run was launched with).
+
+    The returned trace and result cover the *whole* run — stored prefix
+    plus resumed suffix — and are bit-identical to an uninterrupted run
+    of the same configuration.
+    """
+    if snapshot.kind != "run":
+        raise CheckpointError(
+            f"resume_run needs a 'run' snapshot, got {snapshot.kind!r}"
+        )
+    config = snapshot.config
+    total_rounds = int(config["rounds"] if rounds is None else rounds)
+    completed = int(snapshot.round_index)
+    if total_rounds < completed:
+        raise CheckpointError(
+            f"cannot resume to round {total_rounds}: the snapshot already "
+            f"covers {completed} round(s)"
+        )
+
+    tracer = Tracer()
+    protocol = build_protocol(
+        str(config["architecture"]),
+        str(config["engine"]),
+        int(config["num_workers"]),
+        tracer,
+    )
+    restore_protocol(protocol, snapshot.state["protocol"])
+    for line in snapshot.state["trace"]:
+        tracer.records.append(record_from_dict(json.loads(line)))
+    process = build_process(int(config["num_workers"]), int(config["seed"]))
+
+    n = int(config["num_workers"])
+    allocations = np.empty((total_rounds, n))
+    local = np.empty((total_rounds, n))
+    global_costs = np.empty(total_rounds)
+    stragglers = np.empty(total_rounds, dtype=int)
+    prefix = snapshot.state["results"]
+    allocations[:completed] = np.asarray(prefix["allocations"])
+    local[:completed] = np.asarray(prefix["local_costs"])
+    global_costs[:completed] = np.asarray(prefix["global_costs"])
+    stragglers[:completed] = np.asarray(prefix["stragglers"])
+    for t in range(completed + 1, total_rounds + 1):
+        x, l, l_t, s_t = protocol.run_round(t, process.costs_at(t))
+        allocations[t - 1] = x
+        local[t - 1] = l
+        global_costs[t - 1] = l_t
+        stragglers[t - 1] = s_t
+    result = _make_result(
+        protocol, total_rounds, allocations, local, global_costs, stragglers
+    )
+    return tracer.trace, result
+
+
+def run_result_to_csv(result: RunResult) -> str:
+    """Deterministic CSV of a run trajectory (``repr`` floats, so equal
+    trajectories produce byte-identical files)."""
+    n = result.num_workers
+    header = "round,straggler,global_cost," + ",".join(
+        f"x{i}" for i in range(n)
+    )
+    lines = [header]
+    for t in range(result.horizon):
+        cells = [
+            str(t + 1),
+            str(int(result.stragglers[t])),
+            repr(float(result.global_costs[t])),
+        ]
+        cells.extend(repr(float(v)) for v in result.allocations[t])
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,108 @@
+"""The versioned, fingerprinted snapshot envelope.
+
+A snapshot file is a single line of deterministic JSON::
+
+    {"fingerprint": "<sha256>", "config": ..., "kind": "run",
+     "round_index": 50, "state": ..., "version": 1}
+
+``fingerprint`` is the SHA-256 of the canonical encoding of every
+*other* field, so any bit flip in the file (or a partial write that
+somehow survived the atomic-rename protocol) is detected on load.
+``config`` pins the factory arguments the run was built from; resume
+refuses a snapshot whose config does not match what it is asked to
+rebuild. ``state`` is the tagged-JSON payload produced by
+:mod:`repro.ckpt.state`.
+
+Versioning policy (see ``docs/checkpointing.md``): the schema version
+is bumped on any incompatible change to the state layout; loaders
+reject snapshots from other versions rather than guessing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ckpt.codec import canonical_dumps, from_jsonable, to_jsonable
+
+SNAPSHOT_VERSION = 1
+
+__all__ = ["SNAPSHOT_VERSION", "Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One durable checkpoint of a run at a round boundary.
+
+    ``kind`` distinguishes what produced it (``"run"`` for plain
+    protocol runs, ``"soak"`` for chaos soaks, ``"sweep"`` for sweep
+    manifests); ``round_index`` is the last fully completed round.
+    """
+
+    kind: str
+    round_index: int
+    config: dict[str, Any]
+    state: dict[str, Any]
+    version: int = SNAPSHOT_VERSION
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "version": int(self.version),
+            "kind": str(self.kind),
+            "round_index": int(self.round_index),
+            "config": to_jsonable(self.config),
+            "state": to_jsonable(self.state),
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical encoding of the payload."""
+        return hashlib.sha256(
+            canonical_dumps(self._payload()).encode("utf-8")
+        ).hexdigest()
+
+    def to_bytes(self) -> bytes:
+        """Deterministic single-line JSON, fingerprint included.
+
+        The payload is serialized exactly once: the digest covers the
+        canonical (sorted-key) encoding of the fingerprint-less
+        envelope, and the fingerprint field is spliced in front rather
+        than re-serializing the whole payload. ``from_bytes`` pops the
+        field and re-derives the same canonical text, so verification
+        is independent of where the field sits in the file.
+        """
+        body = canonical_dumps(self._payload())
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        return f'{{"fingerprint":"{digest}",{body[1:]}\n'.encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Snapshot":
+        """Decode and verify; raises ``ValueError`` on corruption or a
+        version mismatch (the store treats both as self-healable)."""
+        envelope = json.loads(raw.decode("utf-8"))
+        if not isinstance(envelope, dict):
+            raise ValueError("snapshot envelope is not a JSON object")
+        stored_digest = envelope.pop("fingerprint", None)
+        actual_digest = hashlib.sha256(
+            canonical_dumps(envelope).encode("utf-8")
+        ).hexdigest()
+        if stored_digest != actual_digest:
+            raise ValueError(
+                f"snapshot fingerprint mismatch: file says {stored_digest!r}, "
+                f"content hashes to {actual_digest!r}"
+            )
+        version = envelope.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot schema version {version!r} is not supported "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        return cls(
+            kind=str(envelope["kind"]),
+            round_index=int(envelope["round_index"]),
+            config=from_jsonable(envelope["config"]),
+            state=from_jsonable(envelope["state"]),
+            version=int(version),
+        )

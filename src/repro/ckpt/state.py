@@ -1,0 +1,584 @@
+"""Capture/restore of every live object a run's future depends on.
+
+The restore model is **rebuild + rehydrate**: the resuming process
+reconstructs the run's objects through the same factory that built the
+original (same constructor arguments — the snapshot's ``config`` block
+pins them), then these functions pour the durable state back in. That
+keeps cost *functions*, topologies, and handler wiring out of the
+snapshot entirely: only state that evolves round-over-round is stored.
+
+What is deliberately **not** captured (each skip has a proof):
+
+- per-round transient protocol dicts *are* captured — they are cheap
+  and make ``capture(restore(capture(x)))`` exactly idempotent — but
+  the caches derived from configuration (``_fast_cache``, ``_batched``)
+  are not: they are pure functions of the rebuilt objects;
+- cost processes: pure functions of ``(seed, t)``, no internal state;
+- :class:`~repro.utils.rng.RngFactory`: seeds only, no stream state;
+- the event engine's tie-break counter: checkpoints are only legal at
+  round boundaries, where the queue is empty — the counter can restart
+  at zero because tie-breaks only order events *within* a drain.
+
+Every RNG is captured as its bit generator's state dict
+(``generator.bit_generator.state``), which NumPy defines as an exact,
+JSON-able description of the stream position.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.ledger import LedgerEntry, RoundLedger
+from repro.exceptions import CheckpointError
+from repro.net.links import (
+    ConstantLatency,
+    LatencyModel,
+    Link,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "capture_rng",
+    "restore_rng",
+    "rng_from_state",
+    "capture_engine",
+    "restore_engine",
+    "capture_latency",
+    "restore_latency",
+    "capture_link",
+    "restore_link",
+    "capture_cluster",
+    "restore_cluster",
+    "capture_protocol",
+    "restore_protocol",
+    "capture_fluctuation_trace",
+    "restore_fluctuation_trace",
+    "capture_injector",
+    "restore_injector",
+]
+
+
+# -- RNG streams ----------------------------------------------------------
+def capture_rng(generator: np.random.Generator) -> dict:
+    """The generator's exact stream position (bit-generator state)."""
+    return copy.deepcopy(generator.bit_generator.state)
+
+
+def restore_rng(generator: np.random.Generator, state: Mapping) -> None:
+    """Rewind/advance ``generator`` to a captured stream position."""
+    name = state.get("bit_generator")
+    if name != type(generator.bit_generator).__name__:
+        raise CheckpointError(
+            f"RNG state is for bit generator {name!r}, live generator "
+            f"uses {type(generator.bit_generator).__name__!r}"
+        )
+    generator.bit_generator.state = copy.deepcopy(dict(state))
+
+
+def rng_from_state(state: Mapping) -> np.random.Generator:
+    """A fresh generator positioned at a captured stream state."""
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None:
+        raise CheckpointError(f"unknown bit generator {name!r}")
+    bit_generator = cls()
+    bit_generator.state = copy.deepcopy(dict(state))
+    return np.random.Generator(bit_generator)
+
+
+# -- event engine ---------------------------------------------------------
+def capture_engine(engine) -> dict:
+    """Clock + event accounting; only legal at a round boundary."""
+    if engine.pending != 0:
+        raise CheckpointError(
+            f"cannot checkpoint with {engine.pending} event(s) in flight; "
+            "checkpoints are only taken at round boundaries"
+        )
+    return {
+        "now": float(engine.now),
+        "processed_events": int(engine.processed_events),
+    }
+
+
+def restore_engine(engine, state: Mapping) -> None:
+    if engine.pending != 0:
+        raise CheckpointError(
+            "cannot restore into an engine with events in flight"
+        )
+    engine._now = float(state["now"])
+    engine.processed_events = int(state["processed_events"])
+
+
+# -- links and latency models ---------------------------------------------
+def capture_latency(model: LatencyModel) -> dict:
+    if isinstance(model, ConstantLatency):
+        return {"kind": "constant", "seconds": model.seconds}
+    if isinstance(model, UniformLatency):
+        return {
+            "kind": "uniform",
+            "low": model.low,
+            "high": model.high,
+            "rng": capture_rng(model._rng),
+        }
+    if isinstance(model, LogNormalLatency):
+        return {
+            "kind": "lognormal",
+            "median": model.median,
+            "sigma": model.sigma,
+            "rng": capture_rng(model._rng),
+        }
+    raise CheckpointError(
+        f"cannot checkpoint latency model {type(model).__name__}"
+    )
+
+
+def restore_latency(model: LatencyModel, state: Mapping) -> None:
+    captured = capture_latency(model)
+    for key, value in state.items():
+        if key == "rng":
+            continue
+        if captured.get(key) != value:
+            raise CheckpointError(
+                f"latency model mismatch on {key!r}: snapshot has "
+                f"{value!r}, live model has {captured.get(key)!r}"
+            )
+    if "rng" in state:
+        restore_rng(model._rng, state["rng"])
+
+
+def capture_link(link: Link) -> dict:
+    state: dict = {
+        "latency": capture_latency(link.latency),
+        "bandwidth_bps": link.bandwidth_bps,
+        "loss_probability": link.loss_probability,
+    }
+    if link._loss_rng is not None:
+        state["loss_rng"] = capture_rng(link._loss_rng)
+    return state
+
+
+def restore_link(link: Link, state: Mapping) -> None:
+    if (
+        link.bandwidth_bps != state["bandwidth_bps"]
+        or link.loss_probability != state["loss_probability"]
+    ):
+        raise CheckpointError(
+            "link configuration mismatch between snapshot and live link"
+        )
+    restore_latency(link.latency, state["latency"])
+    if "loss_rng" in state:
+        if link._loss_rng is None:
+            raise CheckpointError("snapshot has a loss RNG, live link has none")
+        restore_rng(link._loss_rng, state["loss_rng"])
+
+
+# -- cluster --------------------------------------------------------------
+def capture_cluster(cluster) -> dict:
+    """The network substrate: clock, chaos hooks, RNGs, metrics, nodes."""
+    partition = cluster._partition
+    loss_override = cluster._loss_override
+    return {
+        "engine": capture_engine(cluster.engine),
+        "trace_round": int(cluster.trace_round),
+        "partition": (
+            None
+            if partition is None
+            else {int(node): int(group) for node, group in partition.items()}
+        ),
+        "extra_delay": {
+            int(node): float(seconds)
+            for node, seconds in cluster._extra_delay.items()
+        },
+        "loss_override": (
+            None
+            if loss_override is None
+            else {
+                "probability": float(loss_override[0]),
+                "rng": capture_rng(loss_override[1]),
+            }
+        ),
+        "default_link": capture_link(cluster._default_link),
+        "links": [
+            [int(src), int(dst), capture_link(link)]
+            for (src, dst), link in sorted(cluster._links.items())
+        ],
+        "metrics": cluster.metrics.registry.to_records(),
+        "nodes": [
+            [
+                int(node_id),
+                {
+                    "received_count": int(node.received_count),
+                    "failed": bool(node.failed),
+                },
+            ]
+            for node_id, node in sorted(cluster._nodes.items())
+        ],
+    }
+
+
+def restore_cluster(cluster, state: Mapping) -> None:
+    restore_engine(cluster.engine, state["engine"])
+    cluster.trace_round = int(state["trace_round"])
+    partition = state["partition"]
+    cluster._partition = (
+        None
+        if partition is None
+        else {int(node): int(group) for node, group in partition.items()}
+    )
+    cluster._extra_delay = {
+        int(node): float(seconds)
+        for node, seconds in state["extra_delay"].items()
+    }
+    loss_override = state["loss_override"]
+    cluster._loss_override = (
+        None
+        if loss_override is None
+        else (
+            float(loss_override["probability"]),
+            rng_from_state(loss_override["rng"]),
+        )
+    )
+    restore_link(cluster._default_link, state["default_link"])
+    stored_links = {(int(s), int(d)): ls for s, d, ls in state["links"]}
+    if set(stored_links) != set(cluster._links):
+        raise CheckpointError(
+            "per-pair link overrides differ between snapshot and live cluster"
+        )
+    for key, link_state in stored_links.items():
+        restore_link(cluster._links[key], link_state)
+    cluster.metrics.registry = MetricsRegistry.from_records(state["metrics"])
+    cluster.metrics._init_handles()
+    for node_id, node_state in state["nodes"]:
+        node = cluster._nodes.get(int(node_id))
+        if node is None:
+            raise CheckpointError(f"snapshot mentions unknown node {node_id}")
+        node.received_count = int(node_state["received_count"])
+        node.failed = bool(node_state["failed"])
+
+
+# -- protocols ------------------------------------------------------------
+def _pack_replica(entries, auth_entries, by_round: dict) -> list:
+    """Encode a replica's entries against the authoritative entry list.
+
+    Healthy replicas are (unions of) contiguous slices of the
+    authoritative ledger, so re-encoding every entry per replica would
+    make snapshots grow as O(workers x rounds). Instead each replica is
+    a list of ``{"span": [start, end]}`` runs into the authoritative
+    list, with any divergent entry kept inline as ``{"entry": ...}`` so
+    a corrupted replica is still captured faithfully. Protocols append
+    the *same* entry object to the authoritative ledger and the
+    replicas, so the match test is usually a pointer comparison.
+    """
+    packed: list = []
+    run_start = run_end = None
+
+    def flush() -> None:
+        nonlocal run_start, run_end
+        if run_start is not None:
+            packed.append({"span": [run_start, run_end]})
+            run_start = run_end = None
+
+    for entry in entries:
+        position = by_round.get(entry.round_index)
+        if position is not None and (
+            auth_entries[position] is entry or auth_entries[position] == entry
+        ):
+            if run_end == position:
+                run_end = position + 1
+            else:
+                flush()
+                run_start, run_end = position, position + 1
+        else:
+            flush()
+            packed.append({"entry": entry.to_dict()})
+    flush()
+    return packed
+
+
+def _unpack_replica(packed: list, authoritative: list) -> list:
+    records: list = []
+    for item in packed:
+        if "span" in item:
+            start, end = item["span"]
+            records.extend(authoritative[int(start):int(end)])
+        else:
+            records.append(item["entry"])
+    return records
+
+
+def _ledgers_state(protocol) -> dict:
+    auth_entries = tuple(protocol.ledger)
+    by_round = {
+        entry.round_index: position
+        for position, entry in enumerate(auth_entries)
+    }
+    return {
+        "ledger": [entry.to_dict() for entry in auth_entries],
+        "worker_ledgers": {
+            int(worker): _pack_replica(ledger, auth_entries, by_round)
+            for worker, ledger in sorted(protocol._worker_ledgers.items())
+        },
+    }
+
+
+def _restore_ledgers(protocol, state: Mapping) -> None:
+    authoritative = state["ledger"]
+    protocol.ledger = RoundLedger.from_records(authoritative)
+    protocol._worker_ledgers = {
+        int(worker): RoundLedger.from_records(
+            _unpack_replica(packed, authoritative)
+        )
+        for worker, packed in state["worker_ledgers"].items()
+    }
+
+
+def capture_protocol(protocol) -> dict:
+    """Dispatch on architecture (both DOLBIE protocols supported)."""
+    if hasattr(protocol, "master"):
+        return _capture_master_worker(protocol)
+    if hasattr(protocol, "peers"):
+        return _capture_fully_distributed(protocol)
+    raise CheckpointError(
+        f"cannot checkpoint protocol {type(protocol).__name__}"
+    )
+
+
+def restore_protocol(protocol, state: Mapping) -> None:
+    architecture = state.get("architecture")
+    if architecture == "master-worker":
+        _restore_master_worker(protocol, state)
+    elif architecture == "fully-distributed":
+        _restore_fully_distributed(protocol, state)
+    else:
+        raise CheckpointError(f"unknown architecture {architecture!r}")
+
+
+def _check_shape(protocol, state: Mapping, architecture: str) -> None:
+    if not hasattr(protocol, "master" if architecture == "master-worker" else "peers"):
+        raise CheckpointError(
+            f"snapshot is for the {architecture} architecture, live "
+            f"protocol is {type(protocol).__name__}"
+        )
+    if int(state["num_workers"]) != protocol.num_workers:
+        raise CheckpointError(
+            f"snapshot has {state['num_workers']} workers, live protocol "
+            f"has {protocol.num_workers}"
+        )
+
+
+def _capture_master_worker(protocol) -> dict:
+    master = protocol.master
+    return {
+        "architecture": "master-worker",
+        "num_workers": int(protocol.num_workers),
+        "alive": [bool(a) for a in protocol._alive],
+        "fast_rounds": int(protocol.fast_rounds),
+        "fallback_rounds": int(protocol.fallback_rounds),
+        "master": {
+            "worker_ids": [int(w) for w in master.worker_ids],
+            "alpha": float(master.alpha),
+            "current_round": int(master.current_round),
+            "global_cost": master.global_cost,
+            "straggler": master.straggler,
+            "coordinated": bool(master._coordinated),
+            "declared_dead": {
+                int(w): int(r) for w, r in master.declared_dead.items()
+            },
+            "costs": {int(w): float(v) for w, v in master._costs.items()},
+            "decisions": {
+                int(w): float(v) for w, v in master._decisions.items()
+            },
+        },
+        "workers": [
+            {
+                "x": float(worker.x),
+                "local_cost": worker.local_cost,
+                "current_round": int(worker.current_round),
+            }
+            for worker in protocol.workers
+        ],
+        **_ledgers_state(protocol),
+        "cluster": capture_cluster(protocol.cluster),
+    }
+
+
+def _restore_master_worker(protocol, state: Mapping) -> None:
+    _check_shape(protocol, state, "master-worker")
+    protocol._alive = [bool(a) for a in state["alive"]]
+    protocol.fast_rounds = int(state["fast_rounds"])
+    protocol.fallback_rounds = int(state["fallback_rounds"])
+    master_state = state["master"]
+    master = protocol.master
+    master.worker_ids = [int(w) for w in master_state["worker_ids"]]
+    master.alpha = float(master_state["alpha"])
+    master.current_round = int(master_state["current_round"])
+    master.global_cost = master_state["global_cost"]
+    master.straggler = master_state["straggler"]
+    master._coordinated = bool(master_state["coordinated"])
+    master.declared_dead = {
+        int(w): int(r) for w, r in master_state["declared_dead"].items()
+    }
+    master._costs = {int(w): float(v) for w, v in master_state["costs"].items()}
+    master._decisions = {
+        int(w): float(v) for w, v in master_state["decisions"].items()
+    }
+    for worker, worker_state in zip(protocol.workers, state["workers"]):
+        worker.x = float(worker_state["x"])
+        worker.local_cost = worker_state["local_cost"]
+        worker.current_round = int(worker_state["current_round"])
+    _restore_ledgers(protocol, state)
+    restore_cluster(protocol.cluster, state["cluster"])
+
+
+def _capture_fully_distributed(protocol) -> dict:
+    return {
+        "architecture": "fully-distributed",
+        "num_workers": int(protocol.num_workers),
+        "alive": [bool(a) for a in protocol._alive],
+        "stalled": sorted(int(w) for w in protocol._stalled),
+        "fast_rounds": int(protocol.fast_rounds),
+        "fallback_rounds": int(protocol.fallback_rounds),
+        "peers": [
+            {
+                "x": float(peer.x),
+                "alpha_bar": float(peer.alpha_bar),
+                "local_cost": peer.local_cost,
+                "current_round": int(peer.current_round),
+                "is_straggler": bool(peer.is_straggler),
+                "global_cost": peer.global_cost,
+                "straggler_id": peer.straggler_id,
+                "roster": sorted(int(w) for w in peer.roster),
+                "peer_costs": {
+                    int(w): [float(cost), float(alpha)]
+                    for w, (cost, alpha) in peer._peer_costs.items()
+                },
+                "peer_decisions": {
+                    int(w): float(v) for w, v in peer._peer_decisions.items()
+                },
+                "seen_floods": sorted(
+                    [str(kind), int(origin)]
+                    for kind, origin in peer._seen_floods
+                ),
+            }
+            for peer in protocol.peers
+        ],
+        **_ledgers_state(protocol),
+        "cluster": capture_cluster(protocol.cluster),
+    }
+
+
+def _restore_fully_distributed(protocol, state: Mapping) -> None:
+    _check_shape(protocol, state, "fully-distributed")
+    protocol._alive = [bool(a) for a in state["alive"]]
+    protocol._stalled = {int(w) for w in state["stalled"]}
+    protocol.fast_rounds = int(state["fast_rounds"])
+    protocol.fallback_rounds = int(state["fallback_rounds"])
+    for peer, peer_state in zip(protocol.peers, state["peers"]):
+        peer.x = float(peer_state["x"])
+        peer.alpha_bar = float(peer_state["alpha_bar"])
+        peer.local_cost = peer_state["local_cost"]
+        peer.current_round = int(peer_state["current_round"])
+        peer.is_straggler = bool(peer_state["is_straggler"])
+        peer.global_cost = peer_state["global_cost"]
+        peer.straggler_id = peer_state["straggler_id"]
+        peer.roster = {int(w) for w in peer_state["roster"]}
+        peer._peer_costs = {
+            int(w): (float(pair[0]), float(pair[1]))
+            for w, pair in peer_state["peer_costs"].items()
+        }
+        peer._peer_decisions = {
+            int(w): float(v) for w, v in peer_state["peer_decisions"].items()
+        }
+        peer._seen_floods = {
+            (str(kind), int(origin))
+            for kind, origin in peer_state["seen_floods"]
+        }
+    _restore_ledgers(protocol, state)
+    restore_cluster(protocol.cluster, state["cluster"])
+
+
+# -- fluctuation traces (mlsim) -------------------------------------------
+def capture_fluctuation_trace(trace) -> dict:
+    """An :class:`repro.mlsim.traces.FluctuationTrace`'s mutable walk."""
+    return {
+        "values": np.asarray(trace._values, dtype=float),
+        "log_state": float(trace._log_state),
+        "spike_remaining": int(trace._spike_remaining),
+        "spike_factor": float(trace._spike_factor),
+        "rng_ar": capture_rng(trace._rng_ar),
+        "rng_spike": capture_rng(trace._rng_spike),
+    }
+
+
+def restore_fluctuation_trace(trace, state: Mapping) -> None:
+    trace._values = [float(v) for v in np.asarray(state["values"])]
+    trace._log_state = float(state["log_state"])
+    trace._spike_remaining = int(state["spike_remaining"])
+    trace._spike_factor = float(state["spike_factor"])
+    restore_rng(trace._rng_ar, state["rng_ar"])
+    restore_rng(trace._rng_spike, state["rng_spike"])
+
+
+# -- chaos injector -------------------------------------------------------
+def capture_injector(injector) -> dict:
+    """The injector's transient-fault bookkeeping and counters.
+
+    ``restart_prefixes`` pin a full ledger prefix per restarted worker,
+    which is almost always a slice of the protocol's authoritative
+    ledger — so they are span-packed against it exactly like the
+    replica ledgers (O(1) per prefix instead of O(rounds)).
+    """
+    auth_entries = tuple(injector.protocol.ledger)
+    by_round = {
+        entry.round_index: position
+        for position, entry in enumerate(auth_entries)
+    }
+    return {
+        "slow_until": {
+            int(w): int(r) for w, r in injector._slow_until.items()
+        },
+        "degrade_until": int(injector._degrade_until),
+        "registry": injector.registry.to_records(),
+        "applied": [event.to_dict() for event in injector.applied],
+        "pending_restarts": {
+            int(r): [int(w) for w in workers]
+            for r, workers in injector._pending_restarts.items()
+        },
+        "restart_prefixes": {
+            int(w): _pack_replica(entries, auth_entries, by_round)
+            for w, entries in injector.restart_prefixes.items()
+        },
+    }
+
+
+def restore_injector(injector, state: Mapping) -> None:
+    """Inverse of :func:`capture_injector`. Must run *after* the
+    protocol is restored: the span-packed restart prefixes expand
+    against the restored authoritative ledger."""
+    from repro.chaos.faults import FaultEvent
+
+    injector._slow_until = {
+        int(w): int(r) for w, r in state["slow_until"].items()
+    }
+    injector._degrade_until = int(state["degrade_until"])
+    injector.registry = MetricsRegistry.from_records(state["registry"])
+    injector.applied = [
+        FaultEvent.from_dict(record) for record in state["applied"]
+    ]
+    injector._pending_restarts = {
+        int(r): [int(w) for w in workers]
+        for r, workers in state["pending_restarts"].items()
+    }
+    authoritative = injector.protocol.ledger.to_records()
+    injector.restart_prefixes = {
+        int(w): tuple(
+            LedgerEntry.from_dict(r)
+            for r in _unpack_replica(packed, authoritative)
+        )
+        for w, packed in state["restart_prefixes"].items()
+    }

@@ -1,0 +1,105 @@
+"""On-disk checkpoint store: atomic writes, self-healing reads.
+
+One directory per run; one file per checkpointed round, named
+``ckpt-<round:08d>.json`` so lexicographic order equals round order.
+Writes go through :func:`repro.utils.atomic.atomic_write` in strict
+mode (fsync + rename; a failed write *raises* — unlike the
+materialization cache, losing a checkpoint silently would defeat the
+whole subsystem). Reads go through
+:func:`repro.utils.atomic.self_healing_load`: a corrupt or truncated
+file is unlinked and treated as absent, and :meth:`latest` simply
+falls back to the newest *intact* checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.ckpt.snapshot import Snapshot
+from repro.utils.atomic import atomic_write, self_healing_load
+
+__all__ = ["CheckpointStore"]
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})\.json$")
+
+
+class CheckpointStore:
+    """save/load/latest/prune over one run's checkpoint directory."""
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, round_index: int) -> Path:
+        return self.directory / f"ckpt-{int(round_index):08d}.json"
+
+    def save(self, snapshot: Snapshot) -> Path:
+        """Atomically persist ``snapshot``; returns its path."""
+        path = self.path_for(snapshot.round_index)
+        raw = snapshot.to_bytes()
+        atomic_write(path, lambda handle: handle.write(raw))
+        return path
+
+    def load(self, round_index: int) -> Snapshot | None:
+        """The snapshot for ``round_index``, or None if absent/corrupt
+        (a corrupt file is unlinked on the way out)."""
+        return self_healing_load(
+            self.path_for(round_index),
+            lambda path: Snapshot.from_bytes(path.read_bytes()),
+        )
+
+    def rounds(self) -> list[int]:
+        """Round indices with a checkpoint file, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for name in os.listdir(self.directory):
+            match = _CKPT_RE.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self) -> Snapshot | None:
+        """The newest intact snapshot, skipping over corrupt files."""
+        for round_index in reversed(self.rounds()):
+            snapshot = self.load(round_index)
+            if snapshot is not None:
+                return snapshot
+        return None
+
+    def prune(self, keep_last: int = 3) -> list[Path]:
+        """Drop all but the newest ``keep_last`` checkpoints; returns
+        the removed paths."""
+        if keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
+        removed = []
+        doomed = self.rounds()[:-keep_last] if keep_last else self.rounds()
+        for round_index in doomed:
+            path = self.path_for(round_index)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            removed.append(path)
+        return removed
+
+    def inspect(self, round_index: int | None = None) -> dict[str, Any] | None:
+        """A human-oriented summary of one snapshot (the latest when
+        ``round_index`` is None); None when nothing intact exists."""
+        if round_index is None:
+            snapshot = self.latest()
+        else:
+            snapshot = self.load(round_index)
+        if snapshot is None:
+            return None
+        return {
+            "path": str(self.path_for(snapshot.round_index)),
+            "version": snapshot.version,
+            "kind": snapshot.kind,
+            "round_index": snapshot.round_index,
+            "fingerprint": snapshot.fingerprint,
+            "config": snapshot.config,
+            "state_keys": sorted(snapshot.state),
+        }

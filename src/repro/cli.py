@@ -17,9 +17,16 @@ Commands
 ``figures``
     Render the reproduced figures as dependency-free SVG files.
 ``chaos``
-    Replay a fault schedule (``--spec`` JSON/YAML or seeded random)
-    against the protocol architectures and print the invariant-check
-    summary (exit 1 on any violation).
+    Replay a fault schedule (``--spec`` JSON/YAML, seeded random, or
+    the built-in ``--scenario rolling-restart``) against the protocol
+    architectures and print the invariant-check summary (exit 1 on any
+    violation). ``--checkpoint-every K --checkpoint-dir D`` makes the
+    soak durable; ``--resume`` continues a killed soak bit-identically.
+``ckpt``
+    Checkpoint a canonical protocol run at round boundaries
+    (``ckpt save``), summarize a checkpoint directory (``ckpt
+    inspect``), or resume a checkpointed run to its full horizon
+    (``ckpt resume``) — see ``docs/checkpointing.md``.
 ``trace``
     Record a canonical scenario as deterministic JSONL
     (``trace record``), summarize a trace file (``trace show``), or
@@ -96,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--jobs", type=int, default=None,
         help="processes for realization sweeps (default: scale.jobs)",
+    )
+    exp.add_argument(
+        "--checkpoint-dir", default=None,
+        help="persist finished sweep realizations here and resume an "
+        "interrupted sweep from them (see docs/checkpointing.md)",
     )
 
     cmp_parser = sub.add_parser(
@@ -184,6 +196,96 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=8)
     chaos.add_argument("--rounds", type=int, default=200)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--scenario", choices=["random", "rolling-restart"], default="random",
+        help="random = seeded mixed faults; rolling-restart = staggered "
+        "restart sweep over the fleet (ignored when --spec is given)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="K",
+        help="snapshot the full soak state every K rounds "
+        "(requires --checkpoint-dir)",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for soak checkpoints (see docs/checkpointing.md)",
+    )
+    chaos.add_argument(
+        "--resume", action="store_true",
+        help="resume from the latest intact checkpoint in --checkpoint-dir",
+    )
+    chaos.add_argument(
+        "--kill-at-round", type=int, default=0, metavar="T",
+        help="SIGKILL this process right after round T's checkpoint is "
+        "durable (the CI kill-resume smoke uses this)",
+    )
+    chaos.add_argument(
+        "--trace-out", default=None,
+        help="record the soak's structured trace and write it as JSONL",
+    )
+
+    ckpt = sub.add_parser(
+        "ckpt",
+        help="checkpoint / inspect / resume protocol runs (repro.ckpt)",
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+
+    ckpt_save = ckpt_sub.add_parser(
+        "save", help="run a scenario and checkpoint it at round boundaries"
+    )
+    ckpt_save.add_argument("--dir", required=True, help="checkpoint directory")
+    ckpt_save.add_argument(
+        "--architecture", choices=["mw", "fd"], default="mw"
+    )
+    ckpt_save.add_argument(
+        "--engine", choices=["auto", "fast", "event"], default="auto"
+    )
+    ckpt_save.add_argument("--workers", type=int, default=None)
+    ckpt_save.add_argument("--rounds", type=int, default=None)
+    ckpt_save.add_argument("--seed", type=int, default=None)
+    ckpt_save.add_argument(
+        "--every", type=int, default=0, metavar="K",
+        help="checkpoint every K rounds",
+    )
+    ckpt_save.add_argument(
+        "--at", type=int, nargs="+", default=[], metavar="T",
+        help="additionally checkpoint after these rounds",
+    )
+    ckpt_save.add_argument(
+        "--trace-out", default=None, help="also write the run's trace JSONL"
+    )
+    ckpt_save.add_argument(
+        "--csv-out", default=None, help="also write the trajectory CSV"
+    )
+
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect", help="summarize a checkpoint directory"
+    )
+    ckpt_inspect.add_argument("--dir", required=True)
+    ckpt_inspect.add_argument(
+        "--round", type=int, default=None,
+        help="inspect this round's snapshot (default: the latest)",
+    )
+
+    ckpt_resume = ckpt_sub.add_parser(
+        "resume", help="resume a checkpointed run to its full horizon"
+    )
+    ckpt_resume.add_argument("--dir", required=True)
+    ckpt_resume.add_argument(
+        "--round", type=int, default=None,
+        help="resume from this round's snapshot (default: the latest)",
+    )
+    ckpt_resume.add_argument(
+        "--rounds", type=int, default=None,
+        help="run to this horizon (default: the original run's)",
+    )
+    ckpt_resume.add_argument(
+        "--trace-out", default=None,
+        help="write the merged (prefix + resumed) trace JSONL",
+    )
+    ckpt_resume.add_argument(
+        "--csv-out", default=None, help="write the merged trajectory CSV"
+    )
 
     trace = sub.add_parser(
         "trace", help="record / inspect / diff structured round traces"
@@ -244,11 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     scale = _SCALES[args.scale]
     if args.jobs is not None:
-        from dataclasses import replace
-
         scale = replace(scale, jobs=args.jobs)
+    if args.checkpoint_dir is not None:
+        scale = replace(scale, checkpoint_dir=args.checkpoint_dir)
     EXPERIMENTS[args.id](scale)
     return 0
 
@@ -308,6 +412,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.chaos.faults import _topology_by_name
     from repro.costs.timevarying import RandomAffineProcess
     from repro.net.links import ConstantLatency, Link
+    from repro.obs.tracer import Tracer
     from repro.protocols.fully_distributed import FullyDistributedDolbie
     from repro.protocols.master_worker import MasterWorkerDolbie
 
@@ -315,32 +420,168 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.spec:
         schedule = load_schedule(args.spec)
         rounds = max(args.rounds, schedule.horizon)
+    elif args.scenario == "rolling-restart":
+        schedule = FaultSchedule.rolling_restart(args.workers, args.rounds)
+        rounds = args.rounds
     else:
         schedule = FaultSchedule.random(
             args.workers, args.rounds, seed=args.seed, topology=topology
         )
         rounds = args.rounds
+    durable = bool(
+        args.checkpoint_every or args.checkpoint_dir or args.resume
+        or args.kill_at_round or args.trace_out
+    )
+    if durable and args.protocol == "both":
+        print(
+            "chaos: checkpoint/trace options need a single protocol "
+            "(--protocol mw or fd)",
+            file=sys.stderr,
+        )
+        return 2
+    store = None
+    if args.checkpoint_dir:
+        from repro.ckpt import CheckpointStore
+
+        store = CheckpointStore(args.checkpoint_dir)
+    if (args.checkpoint_every or args.resume or args.kill_at_round) and store is None:
+        print(
+            "chaos: --checkpoint-every/--resume/--kill-at-round need "
+            "--checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    resume_from = None
+    if args.resume:
+        resume_from = store.latest()
+        if resume_from is None:
+            print(
+                f"chaos: no intact checkpoint under {args.checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"resuming from round {resume_from.round_index}")
+    round_hook = None
+    if args.kill_at_round:
+        import os
+        import signal
+
+        def round_hook(t: int, _protocol) -> None:
+            if t == args.kill_at_round:
+                # The checkpoint for round t is already durable; dying
+                # here is exactly the failure the resume path must
+                # survive bit-identically.
+                os.kill(os.getpid(), signal.SIGKILL)
+
     print(f"schedule: {schedule!r}")
     process = RandomAffineProcess(
         speeds=np.linspace(1.0, 2.0, args.workers), seed=args.seed
     )
+    trace_sink: list[Tracer] = []
+
+    def _with_tracer(build):
+        def factory():
+            protocol = build()
+            if args.trace_out:
+                protocol.tracer = Tracer()
+                protocol.cluster.tracer = protocol.tracer
+                trace_sink.append(protocol.tracer)
+            return protocol
+
+        return factory
+
     factories = {
-        "mw": lambda: MasterWorkerDolbie(
-            args.workers, link=Link(ConstantLatency(0.001))
+        "mw": _with_tracer(
+            lambda: MasterWorkerDolbie(
+                args.workers, link=Link(ConstantLatency(0.001))
+            )
         ),
-        "fd": lambda: FullyDistributedDolbie(
-            args.workers,
-            link=Link(ConstantLatency(0.001)),
-            topology=topology,
+        "fd": _with_tracer(
+            lambda: FullyDistributedDolbie(
+                args.workers,
+                link=Link(ConstantLatency(0.001)),
+                topology=topology,
+            )
         ),
     }
     selected = ["mw", "fd"] if args.protocol == "both" else [args.protocol]
     all_ok = True
     for key in selected:
-        report = run_soak(factories[key], schedule, process, rounds)
+        report = run_soak(
+            factories[key], schedule, process, rounds,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_store=store,
+            resume_from=resume_from,
+            round_hook=round_hook,
+        )
         print(report.summary())
         all_ok = all_ok and report.ok
+    if args.trace_out and trace_sink:
+        from repro.io import save_trace
+
+        path = save_trace(trace_sink[-1].trace, args.trace_out)
+        print(f"wrote {path}")
     return 0 if all_ok else 1
+
+
+def _cmd_ckpt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.ckpt import CheckpointStore, resume_run, run_with_checkpoints
+    from repro.obs import scenarios
+
+    store = CheckpointStore(args.dir)
+    if args.ckpt_command == "save":
+        trace, result = run_with_checkpoints(
+            args.architecture,
+            args.engine,
+            args.workers or scenarios.GOLDEN_WORKERS,
+            args.rounds or scenarios.GOLDEN_ROUNDS,
+            args.seed if args.seed is not None else scenarios.GOLDEN_SEED,
+            store=store,
+            checkpoint_every=args.every,
+            checkpoint_at=args.at,
+        )
+        for round_index in store.rounds():
+            print(f"checkpoint: {store.path_for(round_index)}")
+        _write_run_outputs(trace, result, args.trace_out, args.csv_out)
+        return 0
+    if args.ckpt_command == "inspect":
+        summary = store.inspect(args.round)
+        if summary is None:
+            print(f"no intact checkpoint under {args.dir}", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    # resume
+    snapshot = store.latest() if args.round is None else store.load(args.round)
+    if snapshot is None:
+        print(f"no intact checkpoint under {args.dir}", file=sys.stderr)
+        return 1
+    print(f"resuming {snapshot.kind!r} run from round {snapshot.round_index}")
+    trace, result = resume_run(snapshot, rounds=args.rounds)
+    print(
+        f"completed {result.horizon} rounds "
+        f"({result.horizon - snapshot.round_index} resumed)"
+    )
+    _write_run_outputs(trace, result, args.trace_out, args.csv_out)
+    return 0
+
+
+def _write_run_outputs(trace, result, trace_out, csv_out) -> None:
+    from pathlib import Path
+
+    from repro.ckpt import run_result_to_csv
+    from repro.io import save_trace
+
+    if trace_out:
+        path = save_trace(trace, trace_out)
+        print(f"wrote {path}")
+    if csv_out:
+        out = Path(csv_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(run_result_to_csv(result))
+        print(f"wrote {out}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -447,6 +688,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "figures": _cmd_figures,
         "chaos": _cmd_chaos,
+        "ckpt": _cmd_ckpt,
         "trace": _cmd_trace,
         "profile": _cmd_profile,
         "list": _cmd_list,

@@ -8,6 +8,11 @@ from repro.core.interface import (
     identify_straggler,
     make_feedback,
 )
+from repro.core.ledger import (
+    LedgerEntry,
+    RoundLedger,
+    prefix_consistency_violations,
+)
 from repro.core.membership import (
     ElasticDolbie,
     add_worker_allocation,
@@ -30,6 +35,9 @@ __all__ = [
     "assistance_vector",
     "add_worker_allocation",
     "remove_worker_allocation",
+    "LedgerEntry",
+    "RoundLedger",
+    "prefix_consistency_violations",
     "StepSizeRule",
     "feasibility_cap",
     "initial_step_size",

@@ -62,3 +62,8 @@ class ConfigurationError(ReproError):
 class InvariantViolation(ReproError):
     """A chaos/soak run observed a broken system invariant (see
     :mod:`repro.chaos.invariants`)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be captured, restored, or matched to the
+    run it claims to resume (see :mod:`repro.ckpt`)."""

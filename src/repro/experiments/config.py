@@ -56,6 +56,11 @@ class ExperimentScale:
     as one batched policy (bit-identical to the per-realization loop),
     and ``cache`` persists materialized traces on disk under
     ``~/.cache/repro`` so reruns skip the trace walk entirely.
+
+    ``checkpoint_dir`` makes realization sweeps durable: every finished
+    realization is persisted there and an interrupted sweep resumes
+    from the completed set instead of starting over (see
+    ``docs/checkpointing.md``).
     """
 
     label: str
@@ -72,6 +77,7 @@ class ExperimentScale:
     include_overhead: bool = True
     stacked: bool = True
     cache: bool = True
+    checkpoint_dir: str | None = None
 
 
 PAPER = ExperimentScale(label="paper")

@@ -34,6 +34,7 @@ logger = logging.getLogger(__name__)
 
 __all__ = [
     "RealizationSpec",
+    "SweepCheckpoint",
     "train_all",
     "sweep_realizations",
     "reduction_vs",
@@ -135,12 +136,116 @@ def _run_spec(spec: RealizationSpec) -> dict[str, TrainingRun]:
     return spec.run()
 
 
+class SweepCheckpoint:
+    """Realization-granular durability for :func:`sweep_realizations`.
+
+    Each finished realization's :class:`TrainingRun` per algorithm is
+    persisted as ``real-<seed>/<algorithm>.npz`` plus an atomically
+    rewritten ``manifest.json`` listing the completed seeds. The
+    manifest carries a fingerprint of the sweep configuration (model,
+    sizing, algorithm list), so resuming under a *different*
+    configuration is refused instead of silently mixing trajectories.
+
+    Note the scope of the guarantee: the simulated series are
+    byte-identical between a resumed and an uninterrupted sweep, but the
+    stopwatch-measured overhead fields (``decision_seconds`` and, with
+    ``include_overhead``, ``wall_clock``) are real time and never
+    reproduce exactly — same caveat as the execution modes above.
+    """
+
+    def __init__(self, directory, config: dict) -> None:
+        from pathlib import Path
+
+        from repro.ckpt.codec import fingerprint
+
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint(config)
+        self.config = config
+
+    @property
+    def manifest_path(self):
+        return self.directory / "manifest.json"
+
+    def completed_seeds(self) -> set[int]:
+        """Seeds with a durable realization (empty on first run)."""
+        import json
+
+        from repro.exceptions import CheckpointError
+        from repro.utils.atomic import self_healing_load
+
+        manifest = self_healing_load(
+            self.manifest_path, lambda path: json.loads(path.read_text())
+        )
+        if manifest is None:
+            return set()
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"sweep checkpoint at {self.directory} was written under a "
+                "different configuration; point --checkpoint-dir somewhere "
+                "fresh or delete it"
+            )
+        return {int(seed) for seed in manifest.get("completed", [])}
+
+    def _realization_dir(self, seed: int):
+        return self.directory / f"real-{int(seed):08d}"
+
+    def load_realization(
+        self, seed: int, algorithms: Sequence[str]
+    ) -> dict[str, TrainingRun] | None:
+        """The persisted runs for ``seed``, or None if any file is
+        missing/corrupt (the realization then simply recomputes)."""
+        import zipfile
+
+        from repro.exceptions import ConfigurationError
+        from repro.io import load_training_run
+        from repro.utils.atomic import CORRUPT_ERRORS, self_healing_load
+
+        runs: dict[str, TrainingRun] = {}
+        for name in algorithms:
+            run = self_healing_load(
+                self._realization_dir(seed) / f"{name}.npz",
+                load_training_run,
+                corrupt_errors=CORRUPT_ERRORS
+                + (ConfigurationError, zipfile.BadZipFile),
+            )
+            if run is None:
+                return None
+            runs[name] = run
+        return runs
+
+    def save_realization(
+        self, seed: int, runs: dict[str, TrainingRun]
+    ) -> None:
+        import json
+
+        from repro.io import save_training_run
+        from repro.utils.atomic import atomic_write
+
+        for name, run in runs.items():
+            save_training_run(run, self._realization_dir(seed) / f"{name}.npz")
+        completed = sorted(self.completed_seeds() | {int(seed)})
+        manifest = json.dumps(
+            {
+                "fingerprint": self.fingerprint,
+                "config": self.config,
+                "completed": completed,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        atomic_write(
+            self.manifest_path,
+            lambda handle: handle.write(manifest.encode("utf-8")),
+        )
+
+
 def sweep_realizations(
     model: str,
     scale: ExperimentScale,
     rounds: int | None = None,
     algorithms: Sequence[str] | None = None,
     jobs: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> dict[str, list[TrainingRun]]:
     """Run every algorithm over ``scale.realizations`` processor samplings.
 
@@ -166,6 +271,14 @@ def sweep_realizations(
     (``decision_seconds`` and, with ``scale.include_overhead``,
     ``wall_clock``): that is real stopwatch time and varies run to run
     regardless of execution mode.
+
+    ``checkpoint_dir`` (default ``scale.checkpoint_dir``) makes the
+    sweep durable at realization granularity via
+    :class:`SweepCheckpoint`: finished realizations persist as ``.npz``
+    files and an interrupted sweep resumes from the completed set. The
+    stacked fast path is skipped while checkpointing (it has no
+    per-realization boundary), so a checkpointed sweep runs the
+    per-realization loop — same simulated series either way.
     """
     algorithms = list(algorithms) if algorithms is not None else list(ALL_ALGORITHMS)
     jobs = jobs if jobs is not None else scale.jobs
@@ -184,20 +297,61 @@ def sweep_realizations(
         )
         for r in range(scale.realizations)
     ]
-    if jobs > 1 and len(specs) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-            futures = [pool.submit(_run_spec, spec) for spec in specs]
-            per_realization = [future.result() for future in futures]
+    checkpoint_dir = (
+        checkpoint_dir if checkpoint_dir is not None else scale.checkpoint_dir
+    )
+    checkpoint = None
+    restored: dict[int, dict[str, TrainingRun]] = {}
+    if checkpoint_dir is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_dir,
+            {
+                "model": model,
+                "num_workers": scale.num_workers,
+                "global_batch": scale.global_batch,
+                "rounds": specs[0].rounds if specs else rounds,
+                "realizations": scale.realizations,
+                "base_seed": scale.base_seed,
+                "algorithms": list(algorithms),
+            },
+        )
+        for seed in checkpoint.completed_seeds():
+            runs = checkpoint.load_realization(seed, algorithms)
+            if runs is not None:
+                restored[seed] = runs
+        if restored:
+            logger.info(
+                "sweep resume: %d/%d realizations restored from %s",
+                len(restored), len(specs), checkpoint_dir,
+            )
+    pending = [spec for spec in specs if spec.seed not in restored]
+    computed: dict[int, dict[str, TrainingRun]] = {}
+    if jobs > 1 and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                spec.seed: pool.submit(_run_spec, spec) for spec in pending
+            }
+            for seed, future in futures.items():
+                computed[seed] = future.result()
+                if checkpoint is not None:
+                    checkpoint.save_realization(seed, computed[seed])
     else:
-        if scale.stacked:
+        # The stacked fast path advances every realization at once, so
+        # it has no per-realization boundary to checkpoint at; use it
+        # only when the whole sweep runs in one piece.
+        if scale.stacked and checkpoint is None:
             from repro.experiments.stacked import sweep_stacked
 
             stacked = sweep_stacked(model, scale, rounds, algorithms)
             if stacked is not None:
                 return stacked
-        per_realization = [spec.run() for spec in specs]
+        for spec in pending:
+            computed[spec.seed] = spec.run()
+            if checkpoint is not None:
+                checkpoint.save_realization(spec.seed, computed[spec.seed])
     out: dict[str, list[TrainingRun]] = {name: [] for name in algorithms}
-    for runs in per_realization:
+    for spec in specs:
+        runs = restored.get(spec.seed) or computed[spec.seed]
         for name, run in runs.items():
             out[name].append(run)
     return out

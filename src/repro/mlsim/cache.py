@@ -39,10 +39,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 
 import numpy as np
+
+from repro.utils.atomic import atomic_write, self_healing_load
 
 __all__ = [
     "CACHE_VERSION",
@@ -141,31 +142,27 @@ def _entry_path(key: str) -> Path:
     return cache_dir() / f"mat-{key}.npz"
 
 
+def _load_entry(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    with np.load(path) as data:
+        speed = np.asarray(data["speed"], dtype=float)
+        comm = np.asarray(data["comm"], dtype=float)
+    if speed.ndim != 2 or speed.shape != comm.shape:
+        raise ValueError(f"inconsistent cached shapes {speed.shape}/{comm.shape}")
+    return speed, comm
+
+
 def load_matrices(key: str) -> tuple[np.ndarray, np.ndarray] | None:
     """Load ``(speed, comm)`` for ``key``; self-heal corrupt entries."""
     path = _entry_path(key)
-    try:
-        with np.load(path) as data:
-            speed = np.asarray(data["speed"], dtype=float)
-            comm = np.asarray(data["comm"], dtype=float)
-        if speed.ndim != 2 or speed.shape != comm.shape:
-            raise ValueError(f"inconsistent cached shapes {speed.shape}/{comm.shape}")
-    except FileNotFoundError:
-        return None
-    except (OSError, ValueError, KeyError, EOFError):
-        # Truncated download, disk corruption, stale layout: drop the
-        # entry and let the caller recompute it.
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    loaded = self_healing_load(path, _load_entry)
+    if loaded is None:
         return None
     # Touch so LRU pruning sees the entry as recently used.
     try:
         os.utime(path)
     except OSError:
         pass
-    return speed, comm
+    return loaded
 
 
 def store_matrices(key: str, speed: np.ndarray, comm: np.ndarray) -> None:
@@ -175,25 +172,13 @@ def store_matrices(key: str, speed: np.ndarray, comm: np.ndarray) -> None:
     correctness dependency, so a read-only or full disk must not break
     the sweep that tried to populate it.
     """
-    directory = cache_dir()
-    try:
-        directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=f"mat-{key}.", suffix=".tmp", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, speed=speed, comm=comm)
-            os.replace(tmp_name, _entry_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-    except OSError:
-        return
-    prune(cache_max_bytes())
+    stored = atomic_write(
+        _entry_path(key),
+        lambda handle: np.savez(handle, speed=speed, comm=comm),
+        swallow_errors=True,
+    )
+    if stored:
+        prune(cache_max_bytes())
 
 
 def prune(max_bytes: int) -> int:

@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.interface import identify_straggler
+from repro.core.ledger import LedgerEntry, RoundLedger
 from repro.core.loop import RunResult
 from repro.core.membership import add_worker_allocation
 from repro.core.step_size import feasibility_cap, initial_step_size
@@ -304,6 +305,14 @@ class MasterWorkerDolbie:
         self.tracer = tracer
         self.profiler = profiler
         self.cluster.tracer = tracer
+        #: Authoritative round ledger (one entry per completed round) and
+        #: each worker's replica of it. A crash wipes the worker's
+        #: replica — process memory is gone — while a checkpointed
+        #: *restart* restores it (see :mod:`repro.core.ledger`).
+        self.ledger = RoundLedger()
+        self._worker_ledgers: dict[int, RoundLedger] = {
+            i: RoundLedger() for i in range(num_workers)
+        }
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on (it stops reporting).
@@ -316,6 +325,8 @@ class MasterWorkerDolbie:
             raise ConfigurationError(f"worker index {worker} out of range")
         self._alive[worker] = False
         self.workers[worker].failed = True
+        # Process memory is gone: the worker's ledger replica dies with it.
+        self._worker_ledgers[worker] = RoundLedger()
         emit_membership(
             self.tracer, self.cluster.trace_round, "crash", [worker],
             self.roster,
@@ -361,6 +372,17 @@ class MasterWorkerDolbie:
             self.tracer, self.cluster.trace_round, "rejoin", [worker],
             self.roster,
         )
+
+    def worker_ledger(self, worker: int) -> RoundLedger:
+        """``worker``'s replica of the round ledger."""
+        return self._worker_ledgers[worker]
+
+    def restore_worker_ledger(
+        self, worker: int, entries: Sequence[LedgerEntry]
+    ) -> None:
+        """Reload ``worker``'s ledger replica from a checkpoint (the
+        restart fault's recovery path; a plain rejoin starts empty)."""
+        self._worker_ledgers[worker] = RoundLedger(entries)
 
     @property
     def alive_workers(self) -> list[int]:
@@ -561,6 +583,15 @@ class MasterWorkerDolbie:
             else:
                 with profiler.span("protocol.event_round"):
                     result = self._run_round_event(round_index, costs, x_played)
+        entry = LedgerEntry(
+            round_index=round_index,
+            straggler=int(result[3]),
+            global_cost=float(result[2]),
+            roster=tuple(self.roster),
+        )
+        self.ledger.append(entry)
+        for worker in entry.roster:
+            self._worker_ledgers[worker].append(entry)
         if tracer is not None:
             roster_after = self.roster
             if roster_after != roster_before:

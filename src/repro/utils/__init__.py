@@ -1,5 +1,6 @@
-"""Shared utilities: RNG management, statistics, timing, validation."""
+"""Shared utilities: RNG management, statistics, timing, validation, atomic IO."""
 
+from repro.utils.atomic import atomic_write, self_healing_load
 from repro.utils.rng import RngFactory, spawn_rng
 from repro.utils.stats import (
     confidence_interval,
@@ -15,6 +16,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write",
+    "self_healing_load",
     "RngFactory",
     "spawn_rng",
     "confidence_interval",

@@ -1,0 +1,110 @@
+"""Atomic file writes and corrupt-entry self-healing.
+
+Two on-disk stores need the same durability idioms: the materialization
+cache (:mod:`repro.mlsim.cache`) and the checkpoint store
+(:mod:`repro.ckpt.store`). Both write entries that must never be
+observed half-written (a reader racing a writer, or a crash mid-write)
+and both must survive corrupt entries (truncated files, stale layouts)
+by healing rather than crashing. The patterns live here once:
+
+* :func:`atomic_write` — write to a ``mkstemp`` temp file in the target
+  directory, ``fsync``, then ``os.replace`` into place. Readers observe
+  either the old entry or the complete new one, never a partial write;
+  concurrent writers of the same key race to an identical file.
+* :func:`self_healing_load` — run a loader, and on any recognizable
+  corruption delete the entry and report a miss so the caller
+  recomputes it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, BinaryIO, Callable
+
+__all__ = ["atomic_write", "self_healing_load", "CORRUPT_ERRORS"]
+
+#: Exception types that mean "this entry is corrupt, not absent":
+#: truncated downloads, disk corruption, stale layouts, bad JSON.
+CORRUPT_ERRORS: tuple[type[BaseException], ...] = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    json.JSONDecodeError,
+)
+
+
+def atomic_write(
+    path: Path,
+    writer: Callable[[BinaryIO], None],
+    *,
+    fsync: bool = True,
+    swallow_errors: bool = False,
+) -> bool:
+    """Atomically write ``path`` via ``writer(handle)``.
+
+    The payload goes to a temp file in ``path``'s directory (created if
+    missing) and is ``os.replace``'d into place, optionally after an
+    ``fsync`` so the rename never outruns the data on a crash. The temp
+    file is always cleaned up on failure.
+
+    With ``swallow_errors`` an :class:`OSError` (read-only or full
+    disk) is absorbed and ``False`` returned — the mode for stores that
+    are accelerators, never correctness dependencies. Without it the
+    error propagates, which is what a durability-critical store wants.
+    Returns ``True`` when the entry landed.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                writer(handle)
+                if fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        if swallow_errors:
+            return False
+        raise
+    return True
+
+
+def self_healing_load(
+    path: Path,
+    loader: Callable[[Path], Any],
+    *,
+    corrupt_errors: tuple[type[BaseException], ...] = CORRUPT_ERRORS,
+) -> Any:
+    """Run ``loader(path)``, deleting the entry on corruption.
+
+    Returns the loader's value, or ``None`` when the entry is absent
+    (:class:`FileNotFoundError`) or corrupt — in which case the file is
+    unlinked first so the next write starts clean. The loader signals
+    corruption by raising any of ``corrupt_errors`` (it may validate
+    shapes/schemas and raise :class:`ValueError` itself).
+    """
+    path = Path(path)
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        return None
+    except corrupt_errors:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None

@@ -1,0 +1,109 @@
+"""Bit-identical checkpoint/resume across engines and architectures.
+
+The ISSUE-level acceptance check: a fig4-scale run (N=30) checkpointed
+at t=50 and resumed must produce the *same* trace (headers included),
+the same result arrays, and the same CSV bytes as the uninterrupted
+run — on both engines and both protocol architectures. A separate test
+drives the CLI through a real SIGKILL and asserts the resumed trace
+file is byte-equivalent.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ckpt import CheckpointStore, resume_run, run_with_checkpoints
+from repro.ckpt.runner import run_result_to_csv
+from repro.exceptions import CheckpointError
+from repro.obs.diff import diff_traces
+
+WORKERS, ROUNDS, CHECKPOINT_AT, SEED = 30, 100, 50, 5
+
+
+@pytest.mark.parametrize("architecture", ["mw", "fd"])
+@pytest.mark.parametrize("engine", ["fast", "event"])
+def test_resume_is_bit_identical(tmp_path, architecture, engine):
+    store = CheckpointStore(tmp_path)
+    full_trace, full = run_with_checkpoints(
+        architecture, engine, WORKERS, ROUNDS, SEED,
+        store=store, checkpoint_at=[CHECKPOINT_AT],
+    )
+    snapshot = store.load(CHECKPOINT_AT)
+    assert snapshot.round_index == CHECKPOINT_AT
+    resumed_trace, resumed = resume_run(snapshot)
+
+    diff = diff_traces(full_trace, resumed_trace, include_header=True)
+    assert diff.empty, diff.summary()
+    assert np.array_equal(full.allocations, resumed.allocations)
+    assert np.array_equal(full.global_costs, resumed.global_costs)
+    assert np.array_equal(full.stragglers, resumed.stragglers)
+    assert run_result_to_csv(full) == run_result_to_csv(resumed)
+
+
+def test_resume_refuses_shorter_horizon(tmp_path):
+    store = CheckpointStore(tmp_path)
+    run_with_checkpoints(
+        "mw", "fast", 6, 20, SEED, store=store, checkpoint_at=[10],
+    )
+    with pytest.raises(CheckpointError, match="already covers"):
+        resume_run(store.load(10), rounds=5)
+
+
+def test_checkpoints_without_store_rejected():
+    with pytest.raises(CheckpointError, match="without a store"):
+        run_with_checkpoints("mw", "fast", 6, 20, SEED, checkpoint_every=10)
+
+
+def _run_cli(args, cwd, expect_kill=False):
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+    if expect_kill:
+        assert proc.returncode == -signal.SIGKILL or proc.returncode == 137, (
+            proc.returncode, proc.stderr
+        )
+    else:
+        assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def test_cli_kill_resume_trace_is_byte_identical(tmp_path):
+    """SIGKILL a checkpointed soak mid-run, resume it, and diff traces."""
+    soak = [
+        "chaos", "--protocol", "mw", "--workers", "5", "--rounds", "30",
+        "--scenario", "rolling-restart",
+    ]
+    _run_cli(
+        [*soak, "--checkpoint-every", "10", "--checkpoint-dir", "ck",
+         "--kill-at-round", "20", "--trace-out", "dead.jsonl"],
+        tmp_path, expect_kill=True,
+    )
+    assert sorted(p.name for p in (tmp_path / "ck").iterdir()) == [
+        "ckpt-00000010.json", "ckpt-00000020.json",
+    ]
+    resumed = _run_cli(
+        [*soak, "--checkpoint-dir", "ck", "--resume",
+         "--trace-out", "resumed.jsonl"],
+        tmp_path,
+    )
+    assert "resuming from round 20" in resumed.stdout
+    assert "[PASS]" in resumed.stdout
+    _run_cli([*soak, "--trace-out", "clean.jsonl"], tmp_path)
+
+    from repro.io import load_trace
+
+    diff = diff_traces(
+        load_trace(tmp_path / "clean.jsonl"),
+        load_trace(tmp_path / "resumed.jsonl"),
+        include_header=True,
+    )
+    assert diff.empty, diff.summary()

@@ -1,0 +1,90 @@
+"""Durable realization sweeps: interrupt, resume, and verify identity.
+
+``sweep_realizations(..., checkpoint_dir=...)`` persists every finished
+realization; a rerun (after a crash, or with more realizations) loads
+the completed set instead of recomputing, and the merged result is
+byte-identical to an uncheckpointed sweep. The manifest pins the sweep
+configuration by fingerprint so a checkpoint directory cannot silently
+serve results for a different experiment.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.experiments.config import QUICK
+from repro.experiments.harness import sweep_realizations
+
+SMALL = replace(
+    QUICK,
+    num_workers=5,
+    rounds=15,
+    realizations=3,
+    include_overhead=False,
+)
+
+EXACT_FIELDS = ["round_latency", "stragglers", "batch_fractions", "accuracy"]
+
+
+def _assert_identical(first, second):
+    assert first.keys() == second.keys()
+    for name in first:
+        for run_a, run_b in zip(first[name], second[name]):
+            for field in EXACT_FIELDS:
+                assert np.array_equal(
+                    getattr(run_a, field), getattr(run_b, field)
+                ), (name, field)
+
+
+def test_checkpointed_sweep_matches_plain_sweep(tmp_path):
+    plain = sweep_realizations("ResNet18", SMALL)
+    durable = sweep_realizations(
+        "ResNet18", SMALL, checkpoint_dir=str(tmp_path)
+    )
+    _assert_identical(plain, durable)
+
+
+def test_interrupted_sweep_resumes_from_completed(tmp_path):
+    import json
+    import shutil
+
+    sweep_realizations("ResNet18", SMALL, checkpoint_dir=str(tmp_path))
+    # Simulate a sweep killed mid-run: two realizations lose their
+    # durable files, the manifest survives. The rerun must restore the
+    # intact realization and recompute only the missing ones.
+    realization_dirs = sorted(tmp_path.glob("real-*"))
+    assert len(realization_dirs) == SMALL.realizations
+    for doomed in realization_dirs[1:]:
+        shutil.rmtree(doomed)
+    resumed = sweep_realizations(
+        "ResNet18", SMALL, checkpoint_dir=str(tmp_path)
+    )
+    plain = sweep_realizations("ResNet18", SMALL)
+    _assert_identical(plain, resumed)
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert len(manifest["completed"]) == SMALL.realizations
+
+
+def test_mismatched_config_is_rejected(tmp_path):
+    sweep_realizations("ResNet18", SMALL, checkpoint_dir=str(tmp_path))
+    different = replace(SMALL, rounds=SMALL.rounds + 1)
+    with pytest.raises(CheckpointError, match="different configuration"):
+        sweep_realizations(
+            "ResNet18", different, checkpoint_dir=str(tmp_path)
+        )
+
+
+def test_corrupt_realization_is_recomputed(tmp_path):
+    sweep_realizations("ResNet18", SMALL, checkpoint_dir=str(tmp_path))
+    # Truncate one saved algorithm file: the loader must treat the whole
+    # realization as a miss and recompute it, not crash.
+    victims = sorted(tmp_path.glob("real-*/DOLBIE.npz"))
+    assert victims
+    victims[0].write_bytes(b"not an npz")
+    resumed = sweep_realizations(
+        "ResNet18", SMALL, checkpoint_dir=str(tmp_path)
+    )
+    plain = sweep_realizations("ResNet18", SMALL)
+    _assert_identical(plain, resumed)

@@ -1,0 +1,112 @@
+"""Unit tests for the shared atomic-write / self-healing idioms."""
+
+import os
+
+import pytest
+
+from repro.utils.atomic import CORRUPT_ERRORS, atomic_write, self_healing_load
+
+
+class TestAtomicWrite:
+    def test_content_lands_and_returns_true(self, tmp_path):
+        path = tmp_path / "entry.json"
+        assert atomic_write(path, lambda h: h.write(b"payload")) is True
+        assert path.read_bytes() == b"payload"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "entry.bin"
+        assert atomic_write(path, lambda h: h.write(b"x")) is True
+        assert path.read_bytes() == b"x"
+
+    def test_replaces_existing_entry(self, tmp_path):
+        path = tmp_path / "entry"
+        atomic_write(path, lambda h: h.write(b"old"))
+        atomic_write(path, lambda h: h.write(b"new"))
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_file_left_after_writer_failure(self, tmp_path):
+        path = tmp_path / "entry"
+
+        def writer(handle):
+            handle.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(path, writer)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_strict_mode_propagates_os_errors(self, tmp_path):
+        target = tmp_path / "dir-as-file"
+        target.mkdir()
+        # os.replace of a file over a non-empty directory fails.
+        (target / "occupied").write_bytes(b"")
+        with pytest.raises(OSError):
+            atomic_write(target, lambda h: h.write(b"x"))
+
+    def test_swallow_mode_absorbs_os_errors(self, tmp_path):
+        target = tmp_path / "dir-as-file"
+        target.mkdir()
+        (target / "occupied").write_bytes(b"")
+        assert (
+            atomic_write(target, lambda h: h.write(b"x"), swallow_errors=True)
+            is False
+        )
+
+    def test_fsync_disabled_still_writes(self, tmp_path):
+        path = tmp_path / "entry"
+        assert atomic_write(path, lambda h: h.write(b"y"), fsync=False)
+        assert path.read_bytes() == b"y"
+
+
+class TestSelfHealingLoad:
+    def test_returns_loader_value(self, tmp_path):
+        path = tmp_path / "entry"
+        path.write_bytes(b"42")
+        assert self_healing_load(path, lambda p: int(p.read_bytes())) == 42
+
+    def test_absent_entry_is_a_miss(self, tmp_path):
+        loader = lambda p: p.read_bytes()
+        assert self_healing_load(tmp_path / "nope", loader) is None
+
+    def test_corrupt_entry_is_unlinked(self, tmp_path):
+        path = tmp_path / "entry"
+        path.write_bytes(b"garbage")
+
+        def loader(p):
+            raise ValueError("not a snapshot")
+
+        assert self_healing_load(path, loader) is None
+        assert not path.exists()
+
+    def test_custom_corrupt_errors(self, tmp_path):
+        path = tmp_path / "entry"
+        path.write_bytes(b"garbage")
+
+        class Stale(Exception):
+            pass
+
+        def loader(p):
+            raise Stale()
+
+        with pytest.raises(Stale):
+            self_healing_load(path, loader)
+        assert path.exists()
+        assert (
+            self_healing_load(
+                path, loader, corrupt_errors=CORRUPT_ERRORS + (Stale,)
+            )
+            is None
+        )
+        assert not path.exists()
+
+    def test_non_corrupt_exceptions_propagate(self, tmp_path):
+        path = tmp_path / "entry"
+        path.write_bytes(b"fine")
+
+        def loader(p):
+            raise ZeroDivisionError()
+
+        with pytest.raises(ZeroDivisionError):
+            self_healing_load(path, loader)
+        assert path.exists()

@@ -1,0 +1,224 @@
+"""Unit tests for the ``restart`` fault, rolling-restart schedules, the
+ledger prefix-consistency invariant, and the chaos CLI exit codes."""
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import FaultEvent, FaultSchedule
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.invariants import RoundObservation, check_round_invariants
+from repro.cli import main
+from repro.core.ledger import RoundLedger
+from repro.costs.timevarying import RandomAffineProcess
+from repro.exceptions import ConfigurationError
+from repro.net.links import ConstantLatency, Link
+from repro.protocols.master_worker import MasterWorkerDolbie
+
+
+def _protocol(n=5):
+    return MasterWorkerDolbie(n, link=Link(ConstantLatency(0.001)))
+
+
+def _process(n=5, seed=3):
+    return RandomAffineProcess(speeds=np.linspace(1.0, 2.0, n), seed=seed)
+
+
+class TestRestartEvent:
+    def test_needs_target_workers(self):
+        with pytest.raises(ConfigurationError, match="target workers"):
+            FaultEvent(5, "restart")
+
+    def test_needs_positive_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultEvent(5, "restart", workers=(1,), duration=0)
+
+    def test_dict_roundtrip_keeps_duration(self):
+        event = FaultEvent(5, "restart", workers=(1, 2), duration=3)
+        record = event.to_dict()
+        assert record["duration"] == 3
+        assert FaultEvent.from_dict(record) == event
+
+
+class TestRollingRestartSchedule:
+    def test_staggered_one_worker_at_a_time(self):
+        schedule = FaultSchedule.rolling_restart(5, 40)
+        assert all(e.kind == "restart" for e in schedule.events)
+        assert all(len(e.workers) == 1 for e in schedule.events)
+        # Every worker restarts exactly once, in ascending stagger.
+        assert [e.workers[0] for e in schedule.events] == [0, 1, 2, 3, 4]
+        rounds = [e.round_index for e in schedule.events]
+        assert rounds == sorted(rounds)
+        # Each worker is back before the next one goes down.
+        for left, right in zip(schedule.events, schedule.events[1:]):
+            assert left.round_index + left.duration <= right.round_index
+
+    def test_cycles_repeat_the_sweep(self):
+        schedule = FaultSchedule.rolling_restart(3, 100, cycles=2)
+        assert [e.workers[0] for e in schedule.events] == [0, 1, 2, 0, 1, 2]
+
+    def test_horizon_clips_unfinishable_restarts(self):
+        schedule = FaultSchedule.rolling_restart(5, 12)
+        for event in schedule.events:
+            assert event.round_index + event.duration <= 12
+
+    def test_custom_targets(self):
+        schedule = FaultSchedule.rolling_restart(6, 40, workers=(4, 1))
+        assert [e.workers[0] for e in schedule.events] == [4, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match=">= 3 workers"):
+            FaultSchedule.rolling_restart(2, 40)
+        with pytest.raises(ConfigurationError, match="must exceed downtime"):
+            FaultSchedule.rolling_restart(5, 40, interval=2, downtime=2)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            FaultSchedule.rolling_restart(5, 40, workers=(7,))
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            FaultSchedule.rolling_restart(5, 40, start=0)
+
+
+class TestInjectorRestart:
+    def test_restart_preserves_ledger_prefix(self):
+        protocol = _protocol()
+        schedule = FaultSchedule.scripted(
+            [FaultEvent(4, "restart", workers=(2,), duration=2)]
+        )
+        injector = ChaosInjector(protocol, schedule)
+        process = _process()
+        for t in range(1, 9):
+            injector.apply(t)
+            protocol.run_round(t, process.costs_at(t))
+        # The pre-crash prefix (rounds 1-3) is pinned for the invariant.
+        assert 2 in injector.restart_prefixes
+        prefix = injector.restart_prefixes[2]
+        assert [e.round_index for e in prefix] == [1, 2, 3]
+        # The replica starts with the preserved prefix, has a gap for
+        # the downtime, and extends with post-rejoin rounds.
+        replica = protocol.worker_ledger(2)
+        held = [e.round_index for e in replica]
+        assert held[:3] == [1, 2, 3]
+        assert 4 not in held and 5 not in held
+        assert held[3:] == [6, 7, 8]
+
+    def test_worker_is_down_during_restart(self):
+        protocol = _protocol()
+        schedule = FaultSchedule.scripted(
+            [FaultEvent(4, "restart", workers=(2,), duration=2)]
+        )
+        injector = ChaosInjector(protocol, schedule)
+        process = _process()
+        down, up = [], []
+        for t in range(1, 9):
+            injector.apply(t)
+            protocol.run_round(t, process.costs_at(t))
+            (down if 2 not in protocol.roster else up).append(t)
+        assert down == [4, 5]
+        assert injector.event_counts["restart"] == 1
+
+    def test_plain_crash_drops_the_prefix(self):
+        protocol = _protocol()
+        schedule = FaultSchedule.scripted([
+            FaultEvent(3, "restart", workers=(2,), duration=2),
+            FaultEvent(7, "crash", workers=(2,)),
+            FaultEvent(8, "rejoin", workers=(2,)),
+        ])
+        injector = ChaosInjector(protocol, schedule)
+        process = _process()
+        for t in range(1, 10):
+            injector.apply(t)
+            protocol.run_round(t, process.costs_at(t))
+        # The crash wiped process memory: no preserved prefix remains,
+        # and the replica only covers post-rejoin rounds.
+        assert 2 not in injector.restart_prefixes
+        assert [e.round_index for e in protocol.worker_ledger(2)] == [8, 9]
+
+
+class TestLedgerInvariant:
+    def _run_round(self, protocol, process, t):
+        observation = RoundObservation(protocol)
+        _, local, global_cost, straggler = protocol.run_round(
+            t, process.costs_at(t)
+        )
+        return observation, local, global_cost, straggler
+
+    def test_healthy_round_passes(self):
+        protocol, process = _protocol(), _process()
+        obs, local, cost, straggler = self._run_round(protocol, process, 1)
+        assert check_round_invariants(protocol, obs, 1, local, cost, straggler) == []
+
+    def test_missing_authoritative_entry_is_caught(self):
+        protocol, process = _protocol(), _process()
+        obs, local, cost, straggler = self._run_round(protocol, process, 1)
+        protocol.ledger = RoundLedger()
+        violations = check_round_invariants(
+            protocol, obs, 1, local, cost, straggler
+        )
+        assert any("no entry for this round" in v for v in violations)
+
+    def test_tampered_replica_is_caught(self):
+        protocol, process = _protocol(), _process()
+        obs, local, cost, straggler = self._run_round(protocol, process, 1)
+        entry = protocol.worker_ledger(3).entries[0]
+        protocol.restore_worker_ledger(
+            3, [type(entry)(
+                round_index=1, straggler=entry.straggler,
+                global_cost=entry.global_cost + 1.0, roster=entry.roster,
+            )]
+        )
+        violations = check_round_invariants(
+            protocol, obs, 1, local, cost, straggler
+        )
+        assert any("ledger replica" in v for v in violations)
+
+    def test_restart_prefix_loss_is_caught(self):
+        protocol, process = _protocol(), _process()
+        for t in (1, 2):
+            obs, local, cost, straggler = self._run_round(protocol, process, t)
+        prefix = protocol.ledger.entries[:1]
+        # Pretend worker 3 restarted but came back with round 1 dropped.
+        protocol.restore_worker_ledger(3, protocol.ledger.entries[1:])
+        violations = check_round_invariants(
+            protocol, obs, 2, local, cost, straggler,
+            restart_prefixes={3: prefix},
+        )
+        assert any("pre-crash ledger prefix" in v for v in violations)
+
+
+class TestChaosCliExitCodes:
+    def test_passing_soak_exits_zero(self, capsys):
+        code = main([
+            "chaos", "--protocol", "mw", "--workers", "4",
+            "--rounds", "12", "--seed", "3",
+        ])
+        assert code == 0
+        assert "[PASS]" in capsys.readouterr().out
+
+    def test_violating_soak_exits_nonzero(self, tmp_path, capsys):
+        # Crashing the whole fleet breaks the quorum: the soak records
+        # the protocol error as a violation and the CLI must report
+        # failure through its exit code.
+        spec = tmp_path / "killall.json"
+        spec.write_text(
+            '{"events": [{"round": 3, "kind": "crash",'
+            ' "workers": [0, 1, 2, 3]}]}'
+        )
+        code = main([
+            "chaos", "--protocol", "mw", "--workers", "4",
+            "--rounds", "8", "--spec", str(spec),
+        ])
+        assert code == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_durable_options_require_single_protocol(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--protocol", "both", "--workers", "4", "--rounds", "8",
+            "--checkpoint-every", "4", "--checkpoint-dir", str(tmp_path),
+        ])
+        assert code == 2
+
+    def test_resume_without_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--protocol", "mw", "--workers", "4", "--rounds", "8",
+            "--checkpoint-dir", str(tmp_path), "--resume",
+        ])
+        assert code == 2
+        assert "no intact checkpoint" in capsys.readouterr().err

@@ -1,0 +1,215 @@
+"""Unit tests for the checkpoint codec, snapshot envelope, and store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt.codec import (
+    canonical_dumps,
+    fingerprint,
+    from_jsonable,
+    to_jsonable,
+)
+from repro.ckpt.snapshot import SNAPSHOT_VERSION, Snapshot
+from repro.ckpt.state import _pack_replica, _unpack_replica
+from repro.ckpt.store import CheckpointStore
+from repro.core.ledger import LedgerEntry
+from repro.exceptions import CheckpointError
+
+
+class TestCodec:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert from_jsonable(to_jsonable(value)) == value
+
+    def test_numpy_scalars_become_python(self):
+        assert to_jsonable(np.int64(4)) == 4
+        assert to_jsonable(np.float64(0.1)) == 0.1
+
+    @pytest.mark.parametrize("dtype", ["f8", "i8", "u4", "f4", "bool"])
+    def test_ndarray_roundtrip_is_exact(self, dtype):
+        rng = np.random.default_rng(3)
+        arr = (rng.uniform(-1e9, 1e9, size=(3, 5)) * 1.0).astype(dtype)
+        back = from_jsonable(to_jsonable(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_ndarray_bits_survive(self):
+        # Values plain decimal text would mangle.
+        arr = np.array([0.1, 1e-308, np.pi, -0.0, np.inf])
+        back = from_jsonable(to_jsonable(arr))
+        assert arr.tobytes() == back.tobytes()
+
+    def test_set_roundtrip_and_canonical_order(self):
+        value = {3, 1, 2}
+        assert from_jsonable(to_jsonable(value)) == value
+        assert to_jsonable({1, 2, 3}) == to_jsonable({3, 2, 1})
+
+    def test_int_keyed_dict_roundtrip(self):
+        value = {2: "b", 10: "a", 1: [1, 2]}
+        assert from_jsonable(to_jsonable(value)) == value
+        assert canonical_dumps(to_jsonable(value)) == canonical_dumps(
+            to_jsonable({10: "a", 1: [1, 2], 2: "b"})
+        )
+
+    def test_tuple_keyed_dict_roundtrip(self):
+        value = {(0, 1): 0.5, (2, 3): 0.25}
+        assert from_jsonable(to_jsonable(value)) == value
+
+    def test_nested_structures(self):
+        value = {"a": [{1: {2.5}}, np.arange(3)], "b": ({"x": None},)}
+        back = from_jsonable(to_jsonable(value))
+        assert back["a"][0] == {1: {2.5}}
+        assert np.array_equal(back["a"][1], np.arange(3))
+        assert back["b"] == [{"x": None}]  # tuples come back as lists
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(CheckpointError):
+            to_jsonable(object())
+
+    def test_fingerprint_is_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+
+def _snapshot(round_index=5, **state):
+    return Snapshot(
+        kind="run",
+        round_index=round_index,
+        config={"seed": 3},
+        state=state or {"x": np.linspace(0.0, 1.0, 7), "roster": {0, 1}},
+    )
+
+
+class TestSnapshot:
+    def test_bytes_roundtrip(self):
+        snap = _snapshot()
+        back = Snapshot.from_bytes(snap.to_bytes())
+        assert back.kind == "run"
+        assert back.round_index == 5
+        assert back.config == {"seed": 3}
+        assert np.array_equal(back.state["x"], snap.state["x"])
+        assert back.state["roster"] == {0, 1}
+
+    def test_serialize_restore_serialize_is_identity(self):
+        data = _snapshot().to_bytes()
+        assert Snapshot.from_bytes(data).to_bytes() == data
+
+    def test_single_line_with_leading_fingerprint(self):
+        data = _snapshot().to_bytes()
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert data.startswith(b'{"fingerprint":"')
+        envelope = json.loads(data)
+        assert envelope["fingerprint"] == _snapshot().fingerprint
+
+    def test_tampered_payload_detected(self):
+        data = _snapshot().to_bytes()
+        tampered = data.replace(b'"seed":3', b'"seed":4')
+        assert tampered != data
+        with pytest.raises(ValueError, match="fingerprint"):
+            Snapshot.from_bytes(tampered)
+
+    def test_version_mismatch_rejected(self):
+        alien = Snapshot(
+            kind="run", round_index=1, config={}, state={},
+            version=SNAPSHOT_VERSION + 1,
+        )
+        with pytest.raises(ValueError, match="version"):
+            Snapshot.from_bytes(alien.to_bytes())
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            Snapshot.from_bytes(b"[1, 2]\n")
+
+
+class TestCheckpointStore:
+    def test_save_load_latest_rounds(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.latest() is None
+        for t in (10, 20, 30):
+            store.save(_snapshot(round_index=t))
+        assert store.rounds() == [10, 20, 30]
+        assert store.latest().round_index == 30
+        assert store.load(20).round_index == 20
+        assert store.load(99) is None
+
+    def test_corrupt_latest_is_skipped_and_healed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_snapshot(round_index=10))
+        store.save(_snapshot(round_index=20))
+        store.path_for(20).write_bytes(b'{"broken": true}\n')
+        latest = store.latest()
+        assert latest.round_index == 10
+        assert not store.path_for(20).exists()  # healed
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for t in (10, 20, 30, 40):
+            store.save(_snapshot(round_index=t))
+        store.prune(keep_last=2)
+        assert store.rounds() == [30, 40]
+
+    def test_inspect_summary(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_snapshot(round_index=10))
+        summary = store.inspect(10)
+        assert summary["round_index"] == 10
+        assert summary["kind"] == "run"
+        assert summary["version"] == SNAPSHOT_VERSION
+        assert "x" in summary["state_keys"]
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "README.txt").write_text("not a checkpoint")
+        store = CheckpointStore(tmp_path)
+        store.save(_snapshot(round_index=10))
+        assert store.rounds() == [10]
+
+
+def _entries(*rounds):
+    return tuple(
+        LedgerEntry(
+            round_index=t, straggler=0, global_cost=float(t), roster=(0, 1)
+        )
+        for t in rounds
+    )
+
+
+class TestReplicaPacking:
+    def test_full_replica_is_one_span(self):
+        auth = _entries(1, 2, 3, 4)
+        by_round = {e.round_index: i for i, e in enumerate(auth)}
+        packed = _pack_replica(auth, auth, by_round)
+        assert packed == [{"span": [0, 4]}]
+        records = [e.to_dict() for e in auth]
+        assert _unpack_replica(packed, records) == records
+
+    def test_gap_becomes_two_spans(self):
+        auth = _entries(1, 2, 3, 4, 5)
+        by_round = {e.round_index: i for i, e in enumerate(auth)}
+        replica = (auth[0], auth[1], auth[4])  # down for rounds 3-4
+        packed = _pack_replica(replica, auth, by_round)
+        assert packed == [{"span": [0, 2]}, {"span": [4, 5]}]
+        records = [e.to_dict() for e in auth]
+        assert _unpack_replica(packed, records) == [
+            e.to_dict() for e in replica
+        ]
+
+    def test_divergent_entry_kept_inline(self):
+        auth = _entries(1, 2, 3)
+        by_round = {e.round_index: i for i, e in enumerate(auth)}
+        rogue = LedgerEntry(
+            round_index=2, straggler=1, global_cost=99.0, roster=(0, 1)
+        )
+        replica = (auth[0], rogue, auth[2])
+        packed = _pack_replica(replica, auth, by_round)
+        assert packed == [
+            {"span": [0, 1]},
+            {"entry": rogue.to_dict()},
+            {"span": [2, 3]},
+        ]
+        records = [e.to_dict() for e in auth]
+        assert _unpack_replica(packed, records) == [
+            e.to_dict() for e in replica
+        ]

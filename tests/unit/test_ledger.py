@@ -1,0 +1,95 @@
+"""Unit tests for round ledgers and prefix consistency."""
+
+import pytest
+
+from repro.core.ledger import (
+    LedgerEntry,
+    RoundLedger,
+    prefix_consistency_violations,
+)
+
+
+def _entry(t, straggler=0, cost=1.0, roster=(0, 1, 2)):
+    return LedgerEntry(
+        round_index=t, straggler=straggler, global_cost=cost,
+        roster=tuple(roster),
+    )
+
+
+class TestLedgerEntry:
+    def test_dict_roundtrip(self):
+        entry = _entry(7, straggler=2, cost=3.25, roster=(0, 2))
+        assert LedgerEntry.from_dict(entry.to_dict()) == entry
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _entry(1).round_index = 2
+
+
+class TestRoundLedger:
+    def test_append_only_strictly_increasing(self):
+        ledger = RoundLedger()
+        ledger.append(_entry(1))
+        ledger.append(_entry(3))  # gaps are fine (the worker was down)
+        with pytest.raises(ValueError):
+            ledger.append(_entry(3))
+        with pytest.raises(ValueError):
+            ledger.append(_entry(2))
+
+    def test_entry_for(self):
+        ledger = RoundLedger([_entry(1), _entry(3)])
+        assert ledger.entry_for(3) == _entry(3)
+        assert ledger.entry_for(2) is None
+        assert ledger.entry_for(99) is None
+
+    def test_last_round_and_len(self):
+        assert RoundLedger().last_round is None
+        ledger = RoundLedger([_entry(1), _entry(2)])
+        assert ledger.last_round == 2
+        assert len(ledger) == 2
+
+    def test_records_roundtrip(self):
+        ledger = RoundLedger([_entry(1), _entry(4, straggler=1)])
+        assert RoundLedger.from_records(ledger.to_records()) == ledger
+
+
+class TestPrefixConsistency:
+    def test_identical_replica_is_consistent(self):
+        authority = RoundLedger([_entry(t) for t in range(1, 6)])
+        replica = RoundLedger(authority.entries)
+        assert prefix_consistency_violations(replica, authority) == []
+
+    def test_gaps_are_fine(self):
+        authority = RoundLedger([_entry(t) for t in range(1, 6)])
+        replica = RoundLedger([_entry(1), _entry(2), _entry(5)])
+        assert prefix_consistency_violations(replica, authority) == []
+
+    def test_unknown_round_is_flagged(self):
+        authority = RoundLedger([_entry(1)])
+        replica = RoundLedger([_entry(1), _entry(2)])
+        problems = prefix_consistency_violations(replica, authority)
+        assert any("unknown to the authority" in p for p in problems)
+
+    def test_disagreement_is_flagged(self):
+        authority = RoundLedger([_entry(1, cost=1.0)])
+        replica = RoundLedger([_entry(1, cost=2.0)])
+        problems = prefix_consistency_violations(replica, authority)
+        assert any("disagrees with authority at round 1" in p for p in problems)
+
+    def test_preserved_prefix_enforced(self):
+        authority = RoundLedger([_entry(t) for t in range(1, 6)])
+        prefix = authority.entries[:2]
+        kept = RoundLedger([_entry(1), _entry(2), _entry(5)])
+        assert (
+            prefix_consistency_violations(
+                kept, authority, preserved_prefix=prefix
+            )
+            == []
+        )
+        # A restart that silently dropped its pre-crash history is a
+        # violation even though the surviving entries agree.
+        dropped = RoundLedger([_entry(5)])
+        problems = prefix_consistency_violations(
+            dropped, authority, preserved_prefix=prefix
+        )
+        assert any("lost its pre-crash ledger prefix" in p for p in problems)
