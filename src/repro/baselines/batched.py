@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, as_float
 from repro.core.batched import BatchedDolbie, BatchedPolicy, BatchedRoundFeedback
 from repro.exceptions import ConfigurationError
 from repro.minmax.solver import solve_min_max_rows
@@ -44,12 +45,21 @@ class BatchedEqual(BatchedPolicy):
 
     name = "EQU"
 
-    def __init__(self, num_realizations: int, num_workers: int, **_ignored: object) -> None:
-        super().__init__(num_realizations, num_workers, equal_split(num_workers))
+    def __init__(
+        self,
+        num_realizations: int,
+        num_workers: int,
+        backend: "str | ArrayBackend | None" = None,
+        **_ignored: object,
+    ) -> None:
+        super().__init__(
+            num_realizations, num_workers, equal_split(num_workers),
+            backend=backend,
+        )
 
     def _update(self, feedback: BatchedRoundFeedback) -> None:
-        self._allocations = np.tile(
-            equal_split(self.num_workers), (self.num_realizations, 1)
+        self._allocations = self.backend.asarray(
+            np.tile(equal_split(self.num_workers), (self.num_realizations, 1))
         )
 
 
@@ -63,6 +73,7 @@ class BatchedStaticWeighted(BatchedPolicy):
         num_realizations: int,
         num_workers: int,
         weights: np.ndarray | None = None,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         if weights is None:
             allocation = None
@@ -75,7 +86,7 @@ class BatchedStaticWeighted(BatchedPolicy):
             if np.any(arr < 0) or arr.sum() <= 0:
                 raise ConfigurationError("weights must be >= 0 with positive sum")
             allocation = arr / arr.sum()
-        super().__init__(num_realizations, num_workers, allocation)
+        super().__init__(num_realizations, num_workers, allocation, backend=backend)
         self._fixed = self.allocations
 
     def _update(self, feedback: BatchedRoundFeedback) -> None:
@@ -99,8 +110,11 @@ class BatchedOnlineGradientDescent(BatchedPolicy):
         num_workers: int,
         initial_allocation: np.ndarray | None = None,
         learning_rate: float = 0.001,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         if learning_rate <= 0:
             raise ConfigurationError(
                 f"learning rate must be positive, got {learning_rate}"
@@ -110,7 +124,9 @@ class BatchedOnlineGradientDescent(BatchedPolicy):
     def _update(self, feedback: BatchedRoundFeedback) -> None:
         rows = np.arange(self.num_realizations)
         s = np.asarray(feedback.stragglers)
-        subgradient = np.zeros((self.num_realizations, self.num_workers))
+        subgradient = self.backend.zeros(
+            (self.num_realizations, self.num_workers)
+        )
         subgradient[rows, s] = feedback.slopes[rows, s]
         raw = self._allocations - self.learning_rate * subgradient
         self._allocations = project_simplex_rows(raw)
@@ -128,8 +144,11 @@ class BatchedExponentiatedGradient(BatchedPolicy):
         initial_allocation: np.ndarray | None = None,
         eta: float = 0.5,
         floor: float = 1e-6,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         if eta <= 0:
             raise ConfigurationError(f"eta must be positive, got {eta}")
         if not 0 < floor < 1.0 / num_workers:
@@ -162,8 +181,11 @@ class BatchedLoadBalancedBSP(BatchedPolicy):
         initial_allocation: np.ndarray | None = None,
         delta: float = 5.0 / 256.0,
         patience: int = 5,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         if not 0 < delta < 1:
             raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
         if patience < 1:
@@ -174,7 +196,7 @@ class BatchedLoadBalancedBSP(BatchedPolicy):
         self._last_stragglers = np.full(num_realizations, -1, dtype=int)
 
     def _update(self, feedback: BatchedRoundFeedback) -> None:
-        fastest = np.argmin(np.asarray(feedback.local_costs, dtype=float), axis=1)
+        fastest = np.argmin(as_float(feedback.local_costs), axis=1)
         stragglers = np.asarray(feedback.stragglers)
 
         # Degenerate ties (fastest == straggler): reset and stand pat.
@@ -215,15 +237,18 @@ class BatchedAdaptiveBatchSize(BatchedPolicy):
         num_workers: int,
         initial_allocation: np.ndarray | None = None,
         period: int = 5,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         if period < 1:
             raise ConfigurationError(f"tuning period must be >= 1, got {period}")
         self.period = int(period)
         self._window_cost: list[np.ndarray] = []
 
     def _update(self, feedback: BatchedRoundFeedback) -> None:
-        self._window_cost.append(np.asarray(feedback.local_costs, dtype=float))
+        self._window_cost.append(as_float(feedback.local_costs))
         if len(self._window_cost) < self.period:
             return
         # (P, R, N) stacked window; the axis-0 mean reduces sequentially
@@ -260,8 +285,11 @@ class BatchedDynamicOptimum(BatchedPolicy):
         num_workers: int,
         initial_allocation: np.ndarray | None = None,
         tol: float = 1e-10,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         self.tol = float(tol)
         #: (R,) optimal values per round (the regret comparator terms).
         self.optimal_values: list[np.ndarray] = []
@@ -270,8 +298,8 @@ class BatchedDynamicOptimum(BatchedPolicy):
 
     def prime(self, slope_tensor: np.ndarray, intercept_tensor: np.ndarray) -> None:
         """Batch-solve an ``(R, T, N)`` horizon in one flattened pass."""
-        slopes = np.asarray(slope_tensor, dtype=float)
-        intercepts = np.asarray(intercept_tensor, dtype=float)
+        slopes = as_float(slope_tensor)
+        intercepts = as_float(intercept_tensor)
         if slopes.ndim != 3 or slopes.shape != intercepts.shape:
             raise ConfigurationError(
                 "prime expects matching (R, T, N) slope/intercept tensors"

@@ -27,6 +27,17 @@ faults, independently of the allocation's optimality:
    back from a ``restart`` fault, whose replicas must begin with the
    exact prefix they checkpointed before dying (pass the injector's
    ``restart_prefixes`` so the checker can pin them).
+7. **Tree overlay consistency.** When the round ran the hierarchical
+   aggregation path (``tree_rounds`` advanced), the overlay the
+   protocol used must be a valid partition of the live roster — every
+   rostered worker in exactly one shard, heads the lowest member of
+   their shard, parent links acyclic — and must equal the
+   deterministic rebuild from the same roster (every survivor derives
+   the identical overlay without communication, the tree analogue of
+   roster agreement). Tree rounds are *allowed* on a degraded roster:
+   unlike the flat batched path, the overlay is rebuilt from whatever
+   quorum survives, so invariant 5's full-roster requirement applies
+   only to flat fast rounds. Chaos hooks still disqualify both paths.
 
 ``check_round_invariants`` returns human-readable violation strings
 (empty list = healthy); :func:`assert_round_invariants` raises
@@ -57,6 +68,7 @@ class RoundObservation:
         self.time_before = engine.now
         self.events_before = engine.processed_events
         self.fast_rounds_before = getattr(protocol, "fast_rounds", 0)
+        self.tree_rounds_before = getattr(protocol, "tree_rounds", 0)
 
 
 def check_round_invariants(
@@ -134,9 +146,14 @@ def check_round_invariants(
             "of positive latency)"
         )
 
-    # 5. the batched fast path only runs on healthy full-roster rounds
+    # 5. the batched fast path only runs on healthy rounds; the *flat*
+    # variant additionally requires the full roster (tree rounds rebuild
+    # the overlay from the surviving quorum, so degradation is fine).
     took_fast_path = (
         getattr(protocol, "fast_rounds", 0) > observation.fast_rounds_before
+    )
+    took_tree_path = (
+        getattr(protocol, "tree_rounds", 0) > observation.tree_rounds_before
     )
     if took_fast_path:
         if protocol.cluster.chaos_active:
@@ -144,11 +161,32 @@ def check_round_invariants(
                 "the batched fast path ran while chaos hooks were active "
                 "(fault semantics would be skipped)"
             )
-        if len(roster) < num_workers:
+        if len(roster) < num_workers and not took_tree_path:
             violated(
                 f"the batched fast path ran on a degraded roster "
                 f"({len(roster)}/{num_workers} workers)"
             )
+
+    # 7. tree rounds used a valid, deterministically-rebuildable overlay
+    if took_tree_path:
+        tree = getattr(protocol, "last_tree", None)
+        if tree is None:
+            violated("a tree round ran but the protocol kept no overlay")
+        else:
+            for problem in tree.validate(sorted(roster)):
+                violated(f"aggregation tree: {problem}")
+            from repro.net.aggtree import AggregationTree
+
+            rebuilt = AggregationTree.build(
+                sorted(roster),
+                shard_size=tree.shard_size,
+                branching=tree.branching,
+            )
+            if rebuilt.shards != tree.shards:
+                violated(
+                    "aggregation tree is not the deterministic rebuild of "
+                    "the live roster (survivors would disagree on shards)"
+                )
 
     # 4. every rostered worker produced a cost; nobody else did
     local = np.asarray(local, dtype=float)

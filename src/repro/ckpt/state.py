@@ -435,7 +435,59 @@ def _restore_master_worker(protocol, state: Mapping) -> None:
     restore_cluster(protocol.cluster, state["cluster"])
 
 
+def _restore_aggregation(protocol, agg: Mapping | None) -> None:
+    """Verify aggregation-layer identity and rebuild the last overlay.
+
+    Pre-aggregation snapshots (``agg is None``) restore into flat
+    protocols unchanged. Otherwise the snapshot's mode/shard
+    parameters/backend must match the live protocol — a tree snapshot
+    restored into a flat protocol (or onto a different dtype) would
+    silently change the arithmetic of every subsequent round. The
+    overlay is rebuilt from its recorded membership and cross-checked
+    shard-for-shard, exercising the determinism the protocol relies on.
+    """
+    protocol._tree_cache = None
+    protocol.last_tree = None
+    if agg is None:
+        return
+    live = (
+        str(getattr(protocol, "aggregation", "flat")),
+        getattr(protocol, "shard_size", None),
+        int(getattr(protocol, "branching", 4)),
+        str(protocol.backend.name) if hasattr(protocol, "backend") else "numpy64",
+    )
+    snap = (
+        str(agg["mode"]),
+        agg["shard_size"] if agg["shard_size"] is None else int(agg["shard_size"]),
+        int(agg["branching"]),
+        str(agg["backend"]),
+    )
+    if snap != live:
+        raise CheckpointError(
+            f"snapshot aggregation config {snap} does not match the live "
+            f"protocol's {live} (mode, shard_size, branching, backend)"
+        )
+    last = agg.get("last_tree")
+    if last is not None:
+        from repro.net.aggtree import AggregationTree
+
+        members = [int(w) for shard in last["shards"] for w in shard]
+        rebuilt = AggregationTree.build(
+            members,
+            shard_size=int(last["shard_size"]),
+            branching=int(last["branching"]),
+        )
+        recorded = tuple(tuple(int(w) for w in s) for s in last["shards"])
+        if rebuilt.shards != recorded:
+            raise CheckpointError(
+                "snapshot aggregation tree is not the deterministic "
+                "rebuild of its own membership (corrupt snapshot?)"
+            )
+        protocol.last_tree = rebuilt
+
+
 def _capture_fully_distributed(protocol) -> dict:
+    last_tree = getattr(protocol, "last_tree", None)
     return {
         "architecture": "fully-distributed",
         "num_workers": int(protocol.num_workers),
@@ -443,6 +495,29 @@ def _capture_fully_distributed(protocol) -> dict:
         "stalled": sorted(int(w) for w in protocol._stalled),
         "fast_rounds": int(protocol.fast_rounds),
         "fallback_rounds": int(protocol.fallback_rounds),
+        "tree_rounds": int(getattr(protocol, "tree_rounds", 0)),
+        # Aggregation-layer identity: mode/overlay parameters plus the
+        # last overlay's shard membership. The overlay itself is a pure
+        # function of (roster, shard_size, branching), so restore
+        # *rebuilds* it and verifies the membership matches rather than
+        # trusting (or needing) a serialized tree object.
+        "aggregation": {
+            "mode": str(getattr(protocol, "aggregation", "flat")),
+            "shard_size": getattr(protocol, "shard_size", None),
+            "branching": int(getattr(protocol, "branching", 4)),
+            "backend": str(protocol.backend.name)
+            if hasattr(protocol, "backend")
+            else "numpy64",
+            "last_tree": None
+            if last_tree is None
+            else {
+                "shard_size": int(last_tree.shard_size),
+                "branching": int(last_tree.branching),
+                "shards": [
+                    [int(w) for w in shard] for shard in last_tree.shards
+                ],
+            },
+        },
         "peers": [
             {
                 "x": float(peer.x),
@@ -478,6 +553,12 @@ def _restore_fully_distributed(protocol, state: Mapping) -> None:
     protocol._stalled = {int(w) for w in state["stalled"]}
     protocol.fast_rounds = int(state["fast_rounds"])
     protocol.fallback_rounds = int(state["fallback_rounds"])
+    protocol.tree_rounds = int(state.get("tree_rounds", 0))
+    _restore_aggregation(protocol, state.get("aggregation"))
+    # Identical rosters share one frozenset (the O(N) construction
+    # contract of _Peer — rosters are rebound, never mutated, so one
+    # object per distinct roster is safe and keeps restore O(N)).
+    shared_rosters: dict[tuple, frozenset] = {}
     for peer, peer_state in zip(protocol.peers, state["peers"]):
         peer.x = float(peer_state["x"])
         peer.alpha_bar = float(peer_state["alpha_bar"])
@@ -486,7 +567,10 @@ def _restore_fully_distributed(protocol, state: Mapping) -> None:
         peer.is_straggler = bool(peer_state["is_straggler"])
         peer.global_cost = peer_state["global_cost"]
         peer.straggler_id = peer_state["straggler_id"]
-        peer.roster = {int(w) for w in peer_state["roster"]}
+        roster_key = tuple(int(w) for w in peer_state["roster"])
+        peer.roster = shared_rosters.setdefault(
+            roster_key, frozenset(roster_key)
+        )
         peer._peer_costs = {
             int(w): (float(pair[0]), float(pair[1]))
             for w, pair in peer_state["peer_costs"].items()

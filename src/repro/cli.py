@@ -50,6 +50,7 @@ from repro.baselines.registry import ALGORITHMS
 from repro.core.loop import RunResult, run_online
 from repro.experiments import (
     ablations,
+    aggregation_experiment,
     complexity,
     edge_scenario,
     fig3_per_round_latency,
@@ -80,6 +81,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], object]] = {
     "fig11": fig11_utilization.main,
     "complexity": complexity.main,
     "regret": regret_experiment.main,
+    "aggregation": aggregation_experiment.main,
     "ablations": ablations.main,
     "edge": edge_scenario.main,
     "sensitivity": sensitivity.main,

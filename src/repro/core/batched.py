@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, as_float, get_backend
 from repro.core.quantities import acceptable_workloads_rows, assistance_vector_rows
 from repro.core.step_size import feasibility_cap_rows, initial_step_size
 from repro.exceptions import ConfigurationError, FeasibilityError
@@ -44,7 +45,7 @@ def identify_stragglers_rows(local_costs: np.ndarray) -> np.ndarray:
     like the 1-D call, so degenerate all-equal rows pick worker 0 in both
     paths.
     """
-    return np.argmax(np.asarray(local_costs, dtype=float), axis=1)
+    return np.argmax(as_float(local_costs), axis=1)
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,7 @@ class BatchedPolicy(abc.ABC):
         num_realizations: int,
         num_workers: int,
         initial_allocation: np.ndarray | None = None,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         if num_realizations < 1:
             raise ConfigurationError(
@@ -112,9 +114,13 @@ class BatchedPolicy(abc.ABC):
             )
         self.num_realizations = int(num_realizations)
         self.num_workers = int(num_workers)
+        #: Array backend of the (R, N) state (:mod:`repro.backend`);
+        #: numpy64 (the default) reproduces the historical float64
+        #: arithmetic bit for bit.
+        self.backend = get_backend(backend)
         if initial_allocation is None:
             initial_allocation = equal_split(self.num_workers)
-        x0 = np.asarray(initial_allocation, dtype=float)
+        x0 = self.backend.asarray(initial_allocation)
         if x0.ndim == 1:
             x0 = np.tile(x0, (self.num_realizations, 1))
         x0 = x0.copy()
@@ -186,12 +192,15 @@ class BatchedDolbie(BatchedPolicy):
         initial_allocation: np.ndarray | None = None,
         alpha_1: float | None = None,
         exact_feasibility_guard: bool = True,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
-        super().__init__(num_realizations, num_workers, initial_allocation)
+        super().__init__(
+            num_realizations, num_workers, initial_allocation, backend=backend
+        )
         if alpha_1 is None:
             # Per-row paper initialization. All rows share x_1 in the sweep
             # harness, but per-row derivation keeps the class general.
-            alphas = np.array(
+            alphas = self.backend.asarray(
                 [initial_step_size(row) for row in self._allocations]
             )
         else:
@@ -199,7 +208,7 @@ class BatchedDolbie(BatchedPolicy):
                 raise ConfigurationError(
                     f"alpha_1 must lie in [0, 1], got {alpha_1}"
                 )
-            alphas = np.full(self.num_realizations, float(alpha_1))
+            alphas = self.backend.full(self.num_realizations, float(alpha_1))
         #: (R,) schedule step sizes — the Eq. (7) state, pre-guard.
         self._alpha = alphas
         self.exact_feasibility_guard = bool(exact_feasibility_guard)

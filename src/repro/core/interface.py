@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import as_float
 from repro.costs.base import CostFunction
 from repro.exceptions import ConfigurationError, FeasibilityError
 from repro.minmax.solver import evaluate_allocation
@@ -38,7 +39,9 @@ def identify_straggler(local_costs: np.ndarray) -> int:
     every node of the fully-distributed protocol agree on ``s_t`` without
     extra communication.
     """
-    return int(np.argmax(np.asarray(local_costs, dtype=float)))
+    # as_float keeps a float32 backend's costs in float32 (the argmax
+    # index is dtype-invariant anyway; this just avoids a hot-path copy).
+    return int(np.argmax(as_float(local_costs)))
 
 
 @dataclass(frozen=True)

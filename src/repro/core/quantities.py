@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import as_float
 from repro.costs.affine import AffineLatencyCost
 from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
@@ -108,8 +109,10 @@ def acceptable_workloads_rows(
     straggler, so each row is bit-identical to the scalar call (the
     batched-equivalence property tests pin this).
     """
-    x = np.asarray(allocations, dtype=float)
-    slopes = np.asarray(slopes, dtype=float)
+    # as_float keeps a float32 backend's matrices in float32; float64
+    # input is passed through untouched (the historical behavior).
+    x = as_float(allocations)
+    slopes = as_float(slopes)
     if x.ndim != 2 or x.shape != slopes.shape:
         raise ConfigurationError(
             f"allocations {x.shape} and slopes {slopes.shape} must be "
@@ -117,7 +120,7 @@ def acceptable_workloads_rows(
         )
     rows = np.arange(x.shape[0])
     with np.errstate(divide="ignore", invalid="ignore"):
-        tilde = (np.asarray(global_costs, dtype=float)[:, None] - intercepts) / slopes
+        tilde = (as_float(global_costs)[:, None] - intercepts) / slopes
     tilde = np.where(slopes == 0.0, 1.0, tilde)
     x_prime = np.clip(tilde, x, 1.0)
     x_prime[rows, stragglers] = x[rows, stragglers]
@@ -157,8 +160,8 @@ def assistance_vector_rows(
     the per-row arithmetic (including the IEEE summation order of
     ``sum(axis=1)``) matches the 1-D function exactly.
     """
-    x = np.asarray(allocations, dtype=float)
-    xp = np.asarray(x_prime, dtype=float)
+    x = as_float(allocations)
+    xp = as_float(x_prime)
     if x.shape != xp.shape or x.ndim != 2:
         raise ConfigurationError("allocations and x_prime must be matching (R, N)")
     rows = np.arange(x.shape[0])

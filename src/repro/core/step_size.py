@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import as_float
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -53,7 +54,7 @@ def feasibility_cap_rows(
     """
     if num_workers < 2:
         raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
-    x_s = np.asarray(straggler_workloads, dtype=float)
+    x_s = as_float(straggler_workloads)  # dtype-preserving for float32 rows
     if (x_s < 0).any():
         raise ConfigurationError(
             f"straggler workloads must be >= 0, got min {x_s.min()!r}"

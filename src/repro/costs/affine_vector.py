@@ -25,6 +25,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.backend import as_float
 from repro.costs.affine import AffineLatencyCost
 from repro.costs.base import DEFAULT_TOL
 from repro.exceptions import CostFunctionError
@@ -43,8 +44,11 @@ class AffineCostVector(Sequence[AffineLatencyCost]):
         intercepts: np.ndarray,
         validate: bool = True,
     ) -> None:
-        slopes = np.asarray(slopes, dtype=float)
-        intercepts = np.asarray(intercepts, dtype=float)
+        # Dtype-generic: float32/float64 input keeps its precision (the
+        # array-backend plumbing relies on this); anything else lands on
+        # float64 exactly as the historical dtype=float coercion did.
+        slopes = as_float(slopes)
+        intercepts = np.asarray(intercepts, dtype=slopes.dtype)
         if slopes.ndim != 1 or slopes.shape != intercepts.shape:
             raise CostFunctionError(
                 f"slopes {slopes.shape} and intercepts {intercepts.shape} "
@@ -122,7 +126,7 @@ class AffineCostVector(Sequence[AffineLatencyCost]):
         Raises outside the tolerance-padded domain and clamps inside it,
         exactly like :meth:`CostFunction.__call__` does per element.
         """
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=self.slopes.dtype)
         if x.shape != self.slopes.shape:
             raise CostFunctionError(
                 f"allocation shape {x.shape} != costs shape {self.slopes.shape}"
@@ -146,6 +150,21 @@ class AffineCostVector(Sequence[AffineLatencyCost]):
         caps = np.minimum(np.maximum(tilde, 0.0), 1.0)
         caps = np.where(self._f_at_one <= level, 1.0, caps)
         return np.where(self.intercepts > level, 0.0, caps)
+
+    def astype(self, dtype) -> "AffineCostVector":
+        """A copy of this vector in ``dtype`` (no-op object reuse on match).
+
+        The float32 backend path converts the environment's (float64)
+        revealed costs once per round through here; all later arithmetic
+        then runs natively in the backend dtype.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self.slopes.dtype:
+            return self
+        return AffineCostVector(
+            self.slopes.astype(dtype), self.intercepts.astype(dtype),
+            validate=False,
+        )
 
     def zero_load_floor(self) -> float:
         """``max_i f_i(0)`` — the solver's lower bisection bracket."""

@@ -67,3 +67,8 @@ class InvariantViolation(ReproError):
 class CheckpointError(ReproError):
     """A checkpoint could not be captured, restored, or matched to the
     run it claims to resume (see :mod:`repro.ckpt`)."""
+
+
+class BackendError(ReproError):
+    """An array backend was misconfigured or a hot-path array left the
+    backend's dtype (a silent upcast/downcast — see :mod:`repro.backend`)."""

@@ -1,0 +1,225 @@
+"""Flat vs. hierarchical aggregation — the regret price of O(N) messaging.
+
+The tree overlay (:mod:`repro.net.aggtree`) computes the *identical*
+consensus triple as flat all-to-all — max/min/lowest-index-argmax are
+associative-commutative-idempotent, so regrouping cannot change them —
+but the straggler's closing SUM of the non-straggler decisions is
+accumulated in tree order (shard partials, then up-tree) instead of
+roster order. Floating-point addition is not associative, so trajectories
+may diverge by rounding dust that the closed-loop dynamics then amplify
+or damp. This experiment measures that divergence where it matters:
+
+* per-round global cost of flat vs. tree (vs. tree on float32) on the
+  same seeded world — identical costs, identical link delays;
+* the dynamic regret of each variant against the same clairvoyant
+  comparator sequence, and the *regret gap* tree - flat;
+* the measured messages per round, confirming the ``N(N-1)`` -> ``~3N``
+  reduction that motivates tolerating the gap at all.
+
+The observed gaps (allocation deviation ~1e-16 per round at float64,
+regret gap orders of magnitude below the regret itself) are what
+``docs/performance.md`` documents as the accuracy budget of ``tree``
+mode; the integration tests pin the tolerance.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.costs.timevarying import DriftingAffineProcess
+from repro.experiments.config import QUICK, ExperimentScale
+from repro.experiments.reporting import print_table
+from repro.net.links import ConstantLatency, Link
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+from repro.regret.dynamic import compute_comparators, dynamic_regret
+
+__all__ = ["AggregationComparison", "run", "write_csv", "render_figure", "main"]
+
+#: Variant name -> (aggregation mode, backend name).
+VARIANTS = {
+    "flat": ("flat", "numpy64"),
+    "tree": ("tree", "numpy64"),
+    "tree-f32": ("tree", "numpy32"),
+}
+
+
+@dataclass(frozen=True)
+class AggregationComparison:
+    """Flat/tree trajectories on one seeded world, plus their gaps."""
+
+    num_workers: int
+    horizon: int
+    branching: int
+    shard_size: int | None
+    global_costs: dict[str, np.ndarray]  #: variant -> (T,) realized max cost
+    regret: dict[str, float]  #: variant -> dynamic regret
+    messages_per_round: dict[str, float]  #: variant -> measured mean
+    max_allocation_gap: dict[str, float]  #: variant -> max |x - x_flat|
+    tree_rounds: dict[str, int]  #: variant -> rounds on the tree path
+
+    @property
+    def regret_gap(self) -> float:
+        """Tree regret minus flat regret (the price of O(N) messaging)."""
+        return self.regret["tree"] - self.regret["flat"]
+
+
+def _one_variant(
+    aggregation: str,
+    backend: str,
+    num_workers: int,
+    horizon: int,
+    seed: int,
+    shard_size: int | None,
+    branching: int,
+):
+    """Run one variant on the seeded world shared by all variants."""
+    speeds = [
+        1.0 + 3.0 * (i / max(num_workers - 1, 1)) for i in range(num_workers)
+    ]
+    process = DriftingAffineProcess(
+        speeds, amplitude=0.25, period=40.0, seed=seed
+    )
+    # Constant latency keeps the delay sequence trivially identical
+    # across variants (a seeded RNG would be consumed in a different
+    # order by the different message counts).
+    protocol = FullyDistributedDolbie(
+        num_workers,
+        link=Link(ConstantLatency(0.001)),
+        aggregation=aggregation,
+        shard_size=shard_size,
+        branching=branching,
+        backend=backend,
+    )
+    result = protocol.run(process, horizon)
+    return result, protocol
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    num_workers: int = 120,
+    horizon: int = 60,
+    shard_size: int | None = None,
+    branching: int = 4,
+) -> AggregationComparison:
+    """Run every variant on the same world and compute the gaps."""
+    seed = scale.base_seed
+    results = {}
+    protocols = {}
+    for name, (aggregation, backend) in VARIANTS.items():
+        results[name], protocols[name] = _one_variant(
+            aggregation, backend, num_workers, horizon, seed,
+            shard_size, branching,
+        )
+    speeds = [
+        1.0 + 3.0 * (i / max(num_workers - 1, 1)) for i in range(num_workers)
+    ]
+    costs_per_round = DriftingAffineProcess(
+        speeds, amplitude=0.25, period=40.0, seed=seed
+    ).horizon_costs(horizon)
+    comparators = compute_comparators(costs_per_round)
+    flat_alloc = results["flat"].allocations
+    return AggregationComparison(
+        num_workers=num_workers,
+        horizon=horizon,
+        branching=branching,
+        shard_size=shard_size,
+        global_costs={
+            name: result.global_costs for name, result in results.items()
+        },
+        regret={
+            name: dynamic_regret(result.global_costs, comparators.values)
+            for name, result in results.items()
+        },
+        messages_per_round={
+            name: protocol.metrics.messages_total / horizon
+            for name, protocol in protocols.items()
+        },
+        max_allocation_gap={
+            name: float(np.abs(result.allocations - flat_alloc).max())
+            for name, result in results.items()
+        },
+        tree_rounds={
+            name: int(getattr(protocol, "tree_rounds", 0))
+            for name, protocol in protocols.items()
+        },
+    )
+
+
+def write_csv(comparison: AggregationComparison, path: str | Path) -> Path:
+    """Per-round global costs of every variant, one row per round."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    names = list(comparison.global_costs)
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["round", *names])
+        for t in range(comparison.horizon):
+            writer.writerow(
+                [t + 1]
+                + [repr(float(comparison.global_costs[n][t])) for n in names]
+            )
+    return out
+
+
+def render_figure(
+    comparison: AggregationComparison, path: str | Path
+) -> Path:
+    """Global-cost trajectories plus the |tree - flat| gap, one SVG."""
+    from repro.viz.svg import LineChart
+
+    chart = LineChart(
+        title=(
+            f"Flat vs. tree aggregation — global cost and divergence "
+            f"(N={comparison.num_workers})"
+        ),
+        xlabel="round",
+        ylabel="global cost / abs gap",
+        log_y=True,
+    )
+    rounds = np.arange(1, comparison.horizon + 1)
+    flat = comparison.global_costs["flat"]
+    for name, series in comparison.global_costs.items():
+        chart.add_series(name, rounds, np.maximum(series, 1e-30))
+    for name in ("tree", "tree-f32"):
+        gap = np.abs(comparison.global_costs[name] - flat)
+        chart.add_series(
+            f"|{name} - flat|", rounds, np.maximum(gap, 1e-30)
+        )
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    return chart.save(out)
+
+
+def main(scale: ExperimentScale = QUICK) -> AggregationComparison:
+    comparison = run(scale)
+    rows = [
+        [
+            name,
+            comparison.regret[name],
+            comparison.regret[name] - comparison.regret["flat"],
+            f"{comparison.messages_per_round[name]:.0f}",
+            f"{comparison.max_allocation_gap[name]:.3e}",
+            comparison.tree_rounds[name],
+        ]
+        for name in comparison.global_costs
+    ]
+    print_table(
+        f"Aggregation comparison (N={comparison.num_workers}, "
+        f"T={comparison.horizon}, branching={comparison.branching})",
+        ["variant", "regret", "regret gap", "msgs/round", "max |x-x_flat|",
+         "tree rounds"],
+        rows,
+    )
+    write_csv(comparison, Path("results/paper/aggregation_regret.csv"))
+    render_figure(
+        comparison, Path("results/figures/aggregation_regret.svg")
+    )
+    return comparison
+
+
+if __name__ == "__main__":
+    main()

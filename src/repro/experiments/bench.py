@@ -349,6 +349,18 @@ def _bench_ckpt_overhead(repetitions: int) -> BenchmarkResult:
 #: scaled down with N so the event-engine reference leg stays bounded.
 PROTOCOL_SCALES = {30: 60, 100: 20, 300: 5}
 
+#: Worker counts of the hierarchical-aggregation suite; the reference leg
+#: here is the *flat batched* fast path (not the event engine), so larger
+#: N stays affordable. Rounds shrink with N to bound the O(N^2)-message
+#: flat leg.
+TREE_SCALES = {1000: 10, 3000: 3}
+
+#: Completion-only scale: one tree round at N=10,000 must finish. The
+#: flat leg would move ~10^8 messages per round, so there is nothing
+#: sane to ratio against — the entry records throughput with speedup
+#: pinned to 1.0 and gates only on completing.
+TREE_SMOKE_N = 10_000
+
 
 def _bench_protocol(arch: str, n: int, rounds: int, repetitions: int) -> BenchmarkResult:
     """Protocol round loop: event-engine reference vs. batched fast path.
@@ -382,6 +394,70 @@ def _bench_protocol(arch: str, n: int, rounds: int, repetitions: int) -> Benchma
         lambda: run(True),
         repetitions,
         rounds,
+    )
+
+
+def _make_tree_run(n: int, rounds: int) -> Callable[[str], None]:
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import Link, UniformLatency
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+    speeds = [1.0 + (i % 23) for i in range(n)]
+
+    def run(aggregation: str) -> None:
+        process = RandomAffineProcess(
+            speeds, sigma=0.1, comm_scale=0.01, seed=n
+        )
+        link = Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+        protocol = FullyDistributedDolbie(
+            n, link=link, aggregation=aggregation
+        )
+        protocol.run(process, rounds)
+        if aggregation == "tree" and protocol.tree_rounds != rounds:
+            raise RuntimeError(
+                f"tree leg fell back to the event engine "
+                f"({protocol.tree_rounds}/{rounds} tree rounds)"
+            )
+
+    return run
+
+
+def _bench_protocol_tree(n: int, rounds: int, repetitions: int) -> BenchmarkResult:
+    """FD round loop at scale: flat batched all-to-all vs. aggregation tree.
+
+    Unlike :func:`_bench_protocol` the reference leg is already the
+    batched fast path — the ratio isolates what the hierarchical overlay
+    buys on top of vectorized delivery by cutting per-round messages
+    from ``N(N-1)`` to ``~3N``.
+    """
+    run = _make_tree_run(n, rounds)
+    return _paired(
+        f"proto_fd_tree_n{n}",
+        lambda: run("flat"),
+        lambda: run("tree"),
+        repetitions,
+        rounds,
+    )
+
+
+def _bench_protocol_tree_smoke(repetitions: int) -> BenchmarkResult:
+    """N=10,000 completion smoke: one tree round must finish.
+
+    Records the tree leg's wall-clock in both columns (speedup 1.0), so
+    the baseline comparison can never flag it — the gate is that the
+    round completes at all, plus the absolute throughput left in the
+    history for drift inspection.
+    """
+    rounds = 1
+    run = _make_tree_run(TREE_SMOKE_N, rounds)
+    times = [_time_once(lambda: run("tree")) for _ in range(max(1, min(repetitions, 2)))]
+    best = min(times)
+    return BenchmarkResult(
+        name=f"proto_fd_tree_n{TREE_SMOKE_N}",
+        incremental_s=best,
+        materialized_s=best,
+        speedup=1.0,
+        rounds=rounds,
     )
 
 
@@ -543,6 +619,21 @@ def run_benchmarks(
                     ),
                 )
             )
+    for n, rounds in sorted(TREE_SCALES.items()):
+        suite.append(
+            (
+                f"proto_fd_tree_n{n}",
+                lambda n=n, rounds=rounds: _bench_protocol_tree(
+                    n, rounds, repetitions
+                ),
+            )
+        )
+    suite.append(
+        (
+            f"proto_fd_tree_n{TREE_SMOKE_N}",
+            lambda: _bench_protocol_tree_smoke(repetitions),
+        )
+    )
     if only is not None:
         unknown = set(only) - {name for name, _ in suite}
         if unknown:
@@ -627,6 +718,13 @@ def append_history(
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_sha": sha,
         "jobs": jobs,
+        # Same machine context as the results file: history lines from
+        # different runners must be distinguishable when eyeballing drift.
+        "machine": {
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
         "benchmarks": {
             r.name: {
                 "incremental_s": round(r.incremental_s, 6),

@@ -24,6 +24,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import as_float
 from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.exceptions import SolverError
@@ -138,8 +139,11 @@ def solve_min_max_rows(
     compute costs); returns ``(allocations (T, N), values (T,), levels
     (T,))``.
     """
-    slopes = np.asarray(slope_matrix, dtype=float)
-    intercepts = np.asarray(intercept_matrix, dtype=float)
+    # Dtype-generic: float32 matrices solve natively in float32 (the
+    # array-backend plumbing relies on this); everything else lands on
+    # float64 exactly as the historical dtype=float coercion did.
+    slopes = as_float(slope_matrix)
+    intercepts = np.asarray(intercept_matrix, dtype=slopes.dtype)
     if slopes.ndim != 2 or slopes.shape != intercepts.shape:
         raise SolverError("slope and intercept matrices must share a 2-D shape")
     if slopes.shape[1] < 2:
@@ -157,7 +161,7 @@ def solve_min_max_rows(
     saturation = np.take_along_axis(saturation, order, axis=1)
     inv_slopes = 1.0 / np.take_along_axis(slopes, order, axis=1)
     weighted = np.take_along_axis(intercepts, order, axis=1) * inv_slopes
-    zeros = np.zeros((rows_t, 1))
+    zeros = np.zeros((rows_t, 1), dtype=slopes.dtype)
     suffix_inv = np.concatenate(
         (np.cumsum(inv_slopes[:, ::-1], axis=1)[:, ::-1], zeros), axis=1
     )

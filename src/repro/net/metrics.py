@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.net.message import Message
 from repro.obs.metrics import Counter, MetricsRegistry
 
@@ -89,6 +91,41 @@ class NetworkMetrics:
         round_bytes.value += bytes_total
         for pair in pairs:
             self._pair_handle(pair).value += 1
+
+    def record_batch_arrays(
+        self,
+        round_index: int,
+        messages: int,
+        bytes_total: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+    ) -> None:
+        """:meth:`record_batch` for struct-of-arrays frame batches.
+
+        Identical accounting — same counter values *and* the same counter
+        creation order (first occurrence in frame order, so registry
+        snapshots stay byte-comparable) — but each unique ``(src, dst)``
+        pair costs one Python dict hit instead of one per frame. At
+        N=10,000 a flat phase carries ~10^8 frames over ~10^8 pairs and
+        stays loop-bound either way, but the tree phases (~N frames over
+        ~N pairs, heavily repeated head destinations) drop to O(unique).
+        """
+        self._messages_total.value += messages
+        self._bytes_total.value += bytes_total
+        round_messages, round_bytes = self._round_handles(round_index)
+        round_messages.value += messages
+        round_bytes.value += bytes_total
+        if messages == 0:
+            return
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        keys = (src << 32) | dst
+        _, first, counts = np.unique(keys, return_index=True, return_counts=True)
+        order = np.argsort(first, kind="stable")  # first-occurrence order
+        for k in order.tolist():
+            i = int(first[k])
+            pair = (int(src[i]), int(dst[i]))
+            self._pair_handle(pair).value += int(counts[k])
 
     def record_blackholed(self, count: int = 1) -> None:
         """Tally frames swallowed by a partition (never delivered)."""

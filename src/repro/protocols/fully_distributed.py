@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.core.interface import identify_straggler
 from repro.core.ledger import LedgerEntry, RoundLedger
 from repro.core.loop import RunResult
@@ -32,6 +33,7 @@ from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError, ProtocolError
+from repro.net.aggtree import AggregationTree, segment_reduce
 from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
@@ -69,6 +71,7 @@ class _Peer(Node):
         x_init: float,
         alpha_bar: float,
         neighbors: list[int] | None = None,
+        roster: "frozenset[int] | None" = None,
     ) -> None:
         super().__init__(node_id)
         self.num_workers = num_workers
@@ -81,8 +84,15 @@ class _Peer(Node):
         self.is_straggler = False
         self.global_cost: float | None = None
         self.straggler_id: int | None = None
-        #: Workers this peer believes are alive (crash tolerance).
-        self.roster: set[int] = set(range(num_workers))
+        #: Workers this peer believes are alive (crash tolerance). The
+        #: protocol passes ONE shared frozenset to all N peers — building
+        #: N private ``set(range(N))`` copies was the construction-time
+        #: O(N^2) wall at N=10,000. Roster changes always *rebind* (the
+        #: ``-=`` below makes a new frozenset), never mutate in place, so
+        #: sharing is safe.
+        self.roster: "set[int] | frozenset[int]" = (
+            roster if roster is not None else frozenset(range(num_workers))
+        )
         self.cost_timeout = 1.0
         self._peer_costs: dict[int, tuple[float, float]] = {}
         self._peer_decisions: dict[int, float] = {}
@@ -315,6 +325,10 @@ class FullyDistributedDolbie:
         use_fast_path: bool = True,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        aggregation: str = "flat",
+        shard_size: int | None = None,
+        branching: int = 4,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then
@@ -327,11 +341,51 @@ class FullyDistributedDolbie:
         whenever chaos hooks, dead peers, or a restricted topology are in
         play (see :attr:`fast_rounds` / :attr:`fallback_rounds`).
 
+        ``aggregation`` selects the round's exchange pattern. ``"flat"``
+        (default) is the paper's all-to-all broadcast — the bit-pinned
+        reference. ``"tree"`` shards the roster and exchanges aggregates
+        over a ``branching``-ary tree of shard heads
+        (:mod:`repro.net.aggtree`): O(N) frames per round instead of
+        O(N^2), identical consensus outcomes (exact semilattice
+        reductions), a differently-associated decision sum (regret impact
+        measured, see ``docs/performance.md``). Tree rounds run on the
+        batched fast path only; rounds that are not batch-eligible
+        (chaos, inconsistent rosters) degrade to the flat event engine.
+        ``shard_size`` defaults to ~sqrt(N).
+
+        ``backend`` picks the float dtype of the fast paths'
+        array arithmetic once, at config time (:mod:`repro.backend`):
+        ``"numpy64"`` (default, bit-identical to the historical code) or
+        ``"numpy32"``. Event-engine fallback rounds always compute in
+        float64 — the backend governs the vectorized paths only.
+
         ``tracer``/``profiler`` attach the observability layer (see
         :mod:`repro.obs`); trace payloads are identical on both
         execution paths."""
         if num_workers < 2:
             raise ConfigurationError(f"need >= 2 workers, got {num_workers}")
+        if aggregation not in ("flat", "tree"):
+            raise ConfigurationError(
+                f"aggregation must be 'flat' or 'tree', got {aggregation!r}"
+            )
+        if aggregation == "tree" and topology is not None:
+            raise ConfigurationError(
+                "tree aggregation assumes the complete graph; combine it "
+                "with topology=None (flooding over a sparse topology "
+                "already avoids all-to-all sends)"
+            )
+        self.aggregation = aggregation
+        self.shard_size = None if shard_size is None else int(shard_size)
+        self.branching = int(branching)
+        if self.shard_size is not None and self.shard_size < 2:
+            raise ConfigurationError(
+                f"shard_size must be >= 2, got {self.shard_size}"
+            )
+        if self.branching < 2:
+            raise ConfigurationError(
+                f"branching must be >= 2, got {self.branching}"
+            )
+        self.backend = get_backend(backend)
         self.num_workers = int(num_workers)
         self.topology = topology
         if topology is not None and topology.num_nodes != num_workers:
@@ -348,6 +402,7 @@ class FullyDistributedDolbie:
             raise ConfigurationError("initial allocation must be feasible")
         if alpha_1 is None:
             alpha_1 = initial_step_size(x0)
+        full_roster = frozenset(range(num_workers))  # shared, never mutated
         self.peers = [
             _Peer(
                 i,
@@ -355,6 +410,7 @@ class FullyDistributedDolbie:
                 x0[i],
                 alpha_1,
                 neighbors=None if topology is None else topology.neighbors(i),
+                roster=full_roster,
             )
             for i in range(num_workers)
         ]
@@ -368,7 +424,15 @@ class FullyDistributedDolbie:
         #: Rounds executed by the batched fast path / the event engine.
         self.fast_rounds = 0
         self.fallback_rounds = 0
+        #: Rounds that used hierarchical (tree) aggregation — a subset of
+        #: :attr:`fast_rounds`.
+        self.tree_rounds = 0
         self._fast_cache: tuple | None = None
+        self._tree_cache: tuple | None = None
+        #: The overlay used by the most recent tree round (``None`` until
+        #: one runs) — the chaos invariant checker revalidates it against
+        #: the roster after every round.
+        self.last_tree: AggregationTree | None = None
         self.tracer = tracer
         self.profiler = profiler
         self.cluster.tracer = tracer
@@ -470,9 +534,11 @@ class FullyDistributedDolbie:
         for i, value in zip(incumbents, x_new[:-1]):
             self.peers[i].x = float(value)
         self.peers[worker].x = float(x_new[-1])
-        new_roster = set(incumbents) | {worker}
+        new_roster = frozenset(incumbents) | {worker}
         for i in new_roster:
-            self.peers[i].roster = set(new_roster)
+            # One shared frozenset (rebound, never mutated, on later
+            # divergence) — assigning N private copies is O(N^2).
+            self.peers[i].roster = new_roster
         consensus = min(self.peers[i].alpha_bar for i in incumbents)
         cap = feasibility_cap(float(x_new[-1]), len(new_roster))
         self.peers[worker].alpha_bar = min(consensus, cap)
@@ -538,11 +604,61 @@ class FullyDistributedDolbie:
         """
         return (
             self.use_fast_path
+            and self.aggregation == "flat"
             and self.topology is None
             and len(participants) == self.num_workers
             and all(len(p.roster) == self.num_workers for p in self.peers)
             and self.cluster.batch_eligible()
         )
+
+    def _tree_eligible(self, participants: list[int]) -> bool:
+        """Whether this round can run hierarchical (tree) aggregation.
+
+        Unlike the flat fast path, the tree tolerates a *degraded* roster
+        — the overlay is rebuilt from whatever quorum survives — but it
+        still needs agreement: every participant's local roster must
+        equal the participant set (a pending failure detection runs one
+        flat event-engine round first, which is also what re-agrees the
+        rosters), and the cluster must be batch-eligible (no chaos hooks,
+        nothing in flight). Roster agreement is checked by length — O(1)
+        per peer, the same proxy the flat fast path uses — which is
+        sound because rosters only ever change collectively (timeout
+        shrink, readmit rebind).
+        """
+        return (
+            self.use_fast_path
+            and self.aggregation == "tree"
+            and self.topology is None
+            and len(participants) >= 2
+            and all(
+                len(self.peers[i].roster) == len(participants)
+                for i in participants
+            )
+            and self.cluster.batch_eligible()
+        )
+
+    def _tree_structures(self, participants: list[int]) -> tuple:
+        """Cached overlay + index arrays for the current roster.
+
+        Rebuilt (deterministically, from the sorted roster alone — every
+        peer could do the same locally) whenever membership changes; see
+        :class:`repro.net.aggtree.AggregationTree`.
+        """
+        key = tuple(participants)
+        if self._tree_cache is None or self._tree_cache[0] != key:
+            tree = AggregationTree.build(key, self.shard_size, self.branching)
+            parts = np.array(key)
+            shard_sizes = np.array([len(s) for s in tree.shards])
+            # Segment starts of the *full* shards (head included) within
+            # participant order, and each member's shard index.
+            full_offsets = np.concatenate(([0], np.cumsum(shard_sizes)[:-1]))
+            member_counts = shard_sizes - 1
+            member_shard = np.repeat(np.arange(tree.num_shards), member_counts)
+            self._tree_cache = (
+                key, tree, parts, full_offsets, member_shard,
+                self.cluster.batched(),
+            )
+        return self._tree_cache
 
     def _fast_structures(self) -> tuple:
         """Cached frame-order index structures for the batched phases.
@@ -585,15 +701,21 @@ class FullyDistributedDolbie:
         """
         n = self.num_workers
         peers = self.peers
+        backend = self.backend
         batched, src, dst, in_frames = self._fast_structures()
         t0 = self.cluster.engine.now
-        x = x_played
-        alphas = np.array([p.alpha_bar for p in peers])
+        # Protocol payload arithmetic runs in the backend dtype (float64
+        # by default, where every operation below is bit-identical to the
+        # historical code); virtual time and link delays stay float64.
+        x = backend.asarray(x_played)
+        alphas = backend.asarray([p.alpha_bar for p in peers])
         vector = AffineCostVector.coerce(costs)
         if vector is not None:
+            vector = vector.astype(backend.dtype)
             local = vector.values(x)
         else:
-            local = np.array([fn(xi) for fn, xi in zip(costs, x)])
+            local = backend.asarray([fn(xi) for fn, xi in zip(costs, x)])
+        backend.ensure(local, "local costs")
 
         # Phase 1 (line 4): all-to-all (l_i, alpha-bar_i) broadcast.
         cost_batch = FrameBatch(
@@ -619,11 +741,12 @@ class FullyDistributedDolbie:
         if vector is not None:
             x_prime = np.minimum(vector.max_acceptable(global_cost), 1.0)
         else:
-            x_prime = np.array(
+            x_prime = backend.asarray(
                 [min(fn.max_acceptable(global_cost), 1.0) for fn in costs]
             )
         x_prime = np.maximum(x_prime, x)
         x_new = x - alpha * (x - x_prime)
+        backend.ensure(x_new, "updated allocation")
 
         # Phase 2 (line 9): decisions to the straggler, sent the moment
         # each non-straggler's completing event fires — frame order is
@@ -644,7 +767,7 @@ class FullyDistributedDolbie:
         # the event engine inserts them into its dict.
         arrival_order = np.lexsort((np.arange(n - 1), decision_arrivals))
         ordered_senders = senders[arrival_order]
-        total = 0.0
+        total = backend.dtype.type(0.0)
         for value in x_new[ordered_senders]:
             total += value
         x_close = 1.0 - total
@@ -676,7 +799,262 @@ class FullyDistributedDolbie:
 
         final_now = max(float(arrivals.max()), float(decision_arrivals.max()))
         batched.finish_round(final_now, arrivals.size + decision_arrivals.size)
-        return x_played, local, global_cost, straggler
+        # Results/traces are reporting infrastructure: always float64 (a
+        # no-op pass-through on the default backend).
+        return x_played, np.asarray(local, dtype=float), global_cost, straggler
+
+    def _run_round_fast_tree(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+        participants: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """One round with hierarchical (tree) aggregation — O(N) frames.
+
+        Phases (all delivered batched, one vectorized delay draw each, in
+        deterministic frame order):
+
+        A. members -> shard heads: ``(l_i, alpha-bar_i)`` reports;
+        B. heads -> parents, deepest level first: subtree consensus
+           aggregates ``(max l, straggler candidate, min alpha-bar)``;
+        C. root -> heads, top level first: the agreed global triple;
+        D. heads -> members: the triple, fanned out;
+        E. non-straggler members -> heads: updated decisions;
+        F. heads -> parents: subtree decision *partial sums*;
+        G. root -> straggler: the grand total (skipped if the root is the
+           straggler), which closes the simplex.
+
+        The consensus quantities are exact semilattice reductions, so
+        steps B/C compute bit-for-bit what the flat broadcast computes
+        (asserted below; pinned by the property suite). Only the decision
+        sum's association differs — the measured tree-vs-flat trajectory
+        gap. A send fires the moment its inputs are in: per-frame send
+        times thread head readiness through the levels, so virtual time
+        reflects the tree's O(log) sequential depth.
+        """
+        n = self.num_workers
+        peers = self.peers
+        backend = self.backend
+        _, tree, parts, full_offsets, member_shard, batched = (
+            self._tree_structures(participants)
+        )
+        m = tree.num_shards
+        t0 = self.cluster.engine.now
+        x = backend.asarray(x_played)
+        alphas = backend.asarray([p.alpha_bar for p in peers])
+        vector = AffineCostVector.coerce(costs)
+        if vector is not None:
+            vector = vector.astype(backend.dtype)
+            local = vector.values(x)
+        else:
+            local = backend.asarray([fn(xi) for fn, xi in zip(costs, x)])
+        backend.ensure(local, "local costs")
+
+        # Lines 5-7 on the participant quorum. These flat reductions ARE
+        # the tree reductions — max/min/lowest-index-argmax are exact
+        # under any combination order (see repro.net.aggtree) — and the
+        # root's accumulated aggregates are asserted against them below.
+        local_p = local[parts]
+        straggler = int(parts[identify_straggler(local_p)])
+        global_cost = float(local_p.max())
+        alpha = float(alphas[parts].min())
+
+        # Phase A: member cost reports to their shard head.
+        member_ids = tree.member_ids
+        member_head = tree.member_head
+        events = 0
+        final_now = t0
+        if member_ids.size:
+            report = FrameBatch(
+                TAG_COST, member_ids, member_head,
+                {"l": local[member_ids], "alpha_bar": alphas[member_ids]},
+                round_index,
+            )
+            report_arrivals = batched.deliver(report, t0)
+            events += report_arrivals.size
+            final_now = max(final_now, float(report_arrivals.max()))
+            head_ready = np.maximum(
+                segment_reduce(
+                    np.maximum, report_arrivals, tree.member_offsets, -np.inf
+                ),
+                t0,
+            )
+        else:
+            head_ready = np.full(m, t0)
+
+        # Subtree consensus aggregates (the up-tree frame payloads).
+        ordered_local = local[parts]
+        acc_max = segment_reduce(np.maximum, ordered_local, full_offsets, -np.inf)
+        acc_alpha = segment_reduce(np.minimum, alphas[parts], full_offsets, np.inf)
+        acc_arg = np.empty(m, dtype=int)
+        ends = np.append(full_offsets[1:], ordered_local.size)
+        for i in range(m):
+            segment = ordered_local[full_offsets[i] : ends[i]]
+            # First max within the segment = lowest worker id (sorted).
+            acc_arg[i] = parts[full_offsets[i] + int(np.argmax(segment))]
+
+        # Phase B: aggregates climb the head tree, deepest level first. A
+        # child's subtree aggregate is final before its level sends
+        # because its own children sit one level deeper.
+        up_ready = head_ready.copy()
+        for level in tree.levels[:0:-1]:
+            payload = {
+                "l_max": acc_max[level],
+                "straggler": acc_arg[level].astype(float),
+                "alpha_min": acc_alpha[level],
+            }
+            batch = FrameBatch(
+                TAG_COST, tree.heads[level], tree.heads[tree.parent[level]],
+                payload, round_index,
+            )
+            arrivals = batched.deliver(batch, up_ready[level])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            for k, i in enumerate(level.tolist()):
+                p = int(tree.parent[i])
+                if acc_max[i] > acc_max[p] or (
+                    acc_max[i] == acc_max[p] and acc_arg[i] < acc_arg[p]
+                ):
+                    acc_max[p] = acc_max[i]
+                    acc_arg[p] = acc_arg[i]
+                if acc_alpha[i] < acc_alpha[p]:
+                    acc_alpha[p] = acc_alpha[i]
+                if arrivals[k] > up_ready[p]:
+                    up_ready[p] = arrivals[k]
+        assert (
+            float(acc_max[0]) == global_cost
+            and int(acc_arg[0]) == straggler
+            and float(acc_alpha[0]) == alpha
+        ), "tree aggregation diverged from the flat reduction"
+
+        # Phase C: the global triple descends the head tree.
+        down_ready = np.full(m, np.inf)
+        down_ready[0] = up_ready[0]
+        for level in tree.levels[1:]:
+            payload = {
+                "l_max": backend.full(level.size, global_cost),
+                "straggler": np.full(level.size, float(straggler)),
+                "alpha_min": backend.full(level.size, alpha),
+            }
+            batch = FrameBatch(
+                TAG_COST, tree.heads[tree.parent[level]], tree.heads[level],
+                payload, round_index,
+            )
+            arrivals = batched.deliver(batch, down_ready[tree.parent[level]])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            down_ready[level] = arrivals
+
+        # Phase D: heads fan the triple out to their members.
+        if member_ids.size:
+            payload = {
+                "l_max": backend.full(member_ids.size, global_cost),
+                "straggler": np.full(member_ids.size, float(straggler)),
+                "alpha_min": backend.full(member_ids.size, alpha),
+            }
+            batch = FrameBatch(
+                TAG_COST, member_head, member_ids, payload, round_index
+            )
+            member_know = batched.deliver(batch, down_ready[member_shard])
+            events += member_know.size
+            final_now = max(final_now, float(member_know.max()))
+        else:
+            member_know = np.empty(0)
+
+        # Line 8 at every non-straggler (vectorized; the straggler's slot
+        # is overwritten by the closure below).
+        if vector is not None:
+            x_prime = np.minimum(vector.max_acceptable(global_cost), 1.0)
+        else:
+            x_prime = backend.asarray(
+                [min(fn.max_acceptable(global_cost), 1.0) for fn in costs]
+            )
+        x_prime = np.maximum(x_prime, x)
+        x_new = x - alpha * (x - x_prime)
+        backend.ensure(x_new, "updated allocation")
+
+        # Phase E: member decisions to their heads (straggler excluded).
+        sender_mask = member_ids != straggler
+        sum_ready = down_ready.copy()  # heads' own decisions ready on D
+        if sender_mask.any():
+            e_src = member_ids[sender_mask]
+            batch = FrameBatch(
+                TAG_DECISION, e_src, member_head[sender_mask],
+                {"x": x_new[e_src]}, round_index,
+            )
+            arrivals = batched.deliver(batch, member_know[sender_mask])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            np.maximum.at(sum_ready, member_shard[sender_mask], arrivals)
+
+        # Phase F: decision partial sums climb the head tree in the
+        # documented hierarchical order (see AggregationTree.decision_sums
+        # — THE summation-association difference vs. the flat protocol).
+        acc_sum = tree.decision_sums(x_new, exclude=straggler)
+        backend.ensure(acc_sum, "decision partial sums")
+        for level in tree.levels[:0:-1]:
+            batch = FrameBatch(
+                TAG_DECISION, tree.heads[level],
+                tree.heads[tree.parent[level]],
+                {"x": acc_sum[level]}, round_index,
+            )
+            arrivals = batched.deliver(batch, sum_ready[level])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            np.maximum.at(sum_ready, tree.parent[level], arrivals)
+
+        # Phase G + line 12: the grand total reaches the straggler.
+        total = acc_sum[0]
+        if straggler != tree.root:
+            batch = FrameBatch(
+                TAG_DECISION, np.array([tree.root]), np.array([straggler]),
+                {"x": np.array([total])}, round_index,
+            )
+            arrivals = batched.deliver(batch, float(sum_ready[0]))
+            events += 1
+            final_now = max(final_now, float(arrivals.max()))
+        x_close = 1.0 - total
+        if x_close < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({x_close:.3e}); the "
+                "verbatim Eq. (8) cap was insufficient this round"
+            )
+        x_close = float(x_close) if x_close >= 1e-12 else 0.0
+        x_new = np.asarray(x_new, dtype=float)
+
+        # Write the post-round state every peer would hold. Only the
+        # quorum participated; a non-participant's share was folded into
+        # the straggler by the closure (exactly like the event path).
+        participant_set = set(participants)
+        local64 = np.full(n, np.nan)
+        local64[parts] = np.asarray(local, dtype=float)[parts]
+        for i in participants:
+            peer = peers[i]
+            peer.current_round = round_index
+            peer.cost_fn = costs[i]
+            peer.local_cost = float(local64[i])
+            peer.is_straggler = False
+            peer.global_cost = global_cost
+            peer.straggler_id = straggler
+            peer.x = float(x_new[i])
+            peer._peer_decisions = {}
+        for peer in peers:
+            if peer.node_id not in participant_set:
+                peer.x = 0.0
+        straggler_peer = peers[straggler]
+        straggler_peer.x = x_close
+        # Limited information, sharpened: the straggler learns only the
+        # aggregate sum, not individual decisions, so its decision buffer
+        # stays empty (vs. the flat protocol's N-1 entries).
+        straggler_peer.alpha_bar = min(
+            straggler_peer.alpha_bar,
+            feasibility_cap(x_close, len(participants)),
+        )  # line 13 / Eq. (8)
+
+        batched.finish_round(final_now, events)
+        self.last_tree = tree
+        return x_played, local64, global_cost, straggler
 
     def run_round(
         self, round_index: int, costs: Sequence[CostFunction]
@@ -717,7 +1095,19 @@ class FullyDistributedDolbie:
         participants = self._participants()
         participant_set = set(participants)
         x_played = self.allocation
-        if self._fast_eligible(participants):
+        if self._tree_eligible(participants):
+            self.fast_rounds += 1
+            self.tree_rounds += 1
+            if profiler is None:
+                result = self._run_round_fast_tree(
+                    round_index, costs, x_played, participants
+                )
+            else:
+                with profiler.span("protocol.tree_round"):
+                    result = self._run_round_fast_tree(
+                        round_index, costs, x_played, participants
+                    )
+        elif self._fast_eligible(participants):
             self.fast_rounds += 1
             if profiler is None:
                 result = self._run_round_fast(round_index, costs, x_played)

@@ -1,0 +1,125 @@
+"""Property tests: hierarchical aggregation equals flat reduction.
+
+The protocol's consensus quantities (max cost, min alpha, lowest-index
+argmax straggler) are semilattice reductions — associative, commutative,
+idempotent — so regrouping them over *any* shard layout and branching
+factor must equal the flat reduction **bitwise, in any dtype**. These
+properties are what let the tree fast path assert (not approximate) its
+agreement with the flat protocol.
+
+The decision-phase SUM is the one non-associative reduction: the tree's
+fixed hierarchical order is a different summation order than flat
+accumulation, so float64/float32 results agree only to rounding. The
+property pins the documented tolerance: the divergence of two summation
+orders of ``n`` terms is classically bounded by ``~n * eps * sum|v|``;
+we assert within ``4 n eps sum|v|`` of the sorted-order reference in the
+value dtype, which holds with large slack for any association order.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.aggtree import AggregationTree
+
+
+@st.composite
+def tree_cases(draw, max_workers=64):
+    """A random roster (possibly sparse ids), shard size and branching."""
+    n = draw(st.integers(min_value=2, max_value=max_workers))
+    universe = draw(st.integers(min_value=n, max_value=2 * max_workers))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe - 1),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    shard_size = draw(st.integers(min_value=2, max_value=max(2, n)))
+    branching = draw(st.integers(min_value=2, max_value=8))
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=universe,
+            max_size=universe,
+        )
+    )
+    return sorted(ids), shard_size, branching, np.asarray(values)
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=tree_cases(), dtype=st.sampled_from([np.float64, np.float32]))
+def test_semilattice_reductions_are_bitwise_exact(case, dtype):
+    ids, shard_size, branching, values = case
+    values = values.astype(dtype)
+    tree = AggregationTree.build(ids, shard_size=shard_size, branching=branching)
+    flat = values[np.asarray(ids)]
+    assert tree.reduce_max(values) == flat.max()
+    assert tree.reduce_min(values) == flat.min()
+    # lowest-index argmax: flat reference picks the first maximum among
+    # the sorted participant ids
+    expected = ids[int(np.argmax(flat))]
+    assert tree.reduce_argmax(values) == expected
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=tree_cases())
+def test_tree_is_pure_function_of_roster(case):
+    ids, shard_size, branching, _ = case
+    a = AggregationTree.build(ids, shard_size=shard_size, branching=branching)
+    b = AggregationTree.build(
+        list(reversed(ids)), shard_size=shard_size, branching=branching
+    )
+    assert a.shards == b.shards
+    assert np.array_equal(a.parent, b.parent)
+    assert a.validate(ids) == []
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    case=tree_cases(),
+    dtype=st.sampled_from([np.float64, np.float32]),
+    data=st.data(),
+)
+def test_decision_sum_within_documented_tolerance(case, dtype, data):
+    ids, shard_size, branching, values = case
+    values = values.astype(dtype)
+    tree = AggregationTree.build(ids, shard_size=shard_size, branching=branching)
+    exclude = data.draw(st.sampled_from(ids))
+    total = tree.tree_sum(values, exclude=exclude)
+    kept = np.asarray([w for w in ids if w != exclude], dtype=int)
+    flat = values[kept]
+    # Reference in float64 regardless of dtype; tolerance is the classic
+    # n*eps*sum|v| bound for reassociated summation, with a 4x margin.
+    reference = float(np.sort(flat.astype(np.float64)).sum())
+    eps = float(np.finfo(dtype).eps)
+    bound = 4.0 * max(flat.size, 1) * eps * float(np.abs(flat).sum() + 1.0)
+    assert abs(total - reference) <= bound
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=tree_cases())
+def test_float64_decision_sum_matches_shard_order_reference(case):
+    """The hierarchical order is *deterministic*: recomputing it by a
+    literal walk of the documented order reproduces it bit for bit."""
+    ids, shard_size, branching, values = case
+    tree = AggregationTree.build(ids, shard_size=shard_size, branching=branching)
+    sums = tree.decision_sums(values)
+    # literal re-walk: shard partials ascending, then levels bottom-up
+    acc = []
+    for shard in tree.shards:
+        total = np.float64(0.0)
+        for w in shard:
+            total = total + values[w]
+        acc.append(total)
+    for level in tree.levels[:0:-1]:
+        for i in level.tolist():
+            p = int(tree.parent[i])
+            acc[p] = acc[p] + acc[i]
+    assert float(sums[0]) == float(acc[0])

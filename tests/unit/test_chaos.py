@@ -289,7 +289,9 @@ class TestInvariantChecker:
 
     def test_roster_disagreement_is_caught(self):
         protocol, obs, local, global_cost, straggler = self._clean_round()
-        protocol.peers[2].roster.discard(0)
+        # Rosters are shared frozensets (rebound, never mutated), so the
+        # corruption must rebind this peer's reference.
+        protocol.peers[2].roster = protocol.peers[2].roster - {0}
         violations = check_round_invariants(
             protocol, obs, 1, local, global_cost, straggler
         )

@@ -91,6 +91,76 @@ class TestRecordBatch:
         assert a.per_pair_messages == b.per_pair_messages
 
 
+class TestRecordBatchArrays:
+    def test_matches_pairwise_record_batch(self):
+        rng = np.random.default_rng(9)
+        src = rng.integers(0, 40, size=500)
+        dst = rng.integers(0, 40, size=500)
+        a, b = NetworkMetrics(), NetworkMetrics()
+        a.record_batch(
+            round_index=2, messages=500, bytes_total=12_000,
+            pairs=zip(src.tolist(), dst.tolist()),
+        )
+        b.record_batch_arrays(
+            round_index=2, messages=500, bytes_total=12_000,
+            src=src, dst=dst,
+        )
+        assert a.messages_total == b.messages_total
+        assert a.bytes_total == b.bytes_total
+        assert a.per_round_messages == b.per_round_messages
+        assert a.per_pair_messages == b.per_pair_messages
+
+    def test_counter_creation_order_matches_first_occurrence(self):
+        # The registry snapshot order is observable; the vectorized path
+        # must create per-pair counters in the order pairs first appear,
+        # exactly like the scalar loop does.
+        src = np.array([3, 0, 3, 1, 0])
+        dst = np.array([1, 2, 1, 0, 2])
+        a, b = NetworkMetrics(), NetworkMetrics()
+        a.record_batch(
+            round_index=1, messages=5, bytes_total=50,
+            pairs=zip(src.tolist(), dst.tolist()),
+        )
+        b.record_batch_arrays(
+            round_index=1, messages=5, bytes_total=50, src=src, dst=dst
+        )
+        assert list(a.per_pair_messages) == list(b.per_pair_messages)
+
+    def test_empty_batch_is_noop_for_pairs(self):
+        metrics = NetworkMetrics()
+        metrics.record_batch_arrays(
+            round_index=1, messages=0, bytes_total=0,
+            src=np.array([], dtype=int), dst=np.array([], dtype=int),
+        )
+        assert metrics.per_pair_messages == {}
+
+
+class TestGroupByDestination:
+    def test_matches_python_grouping(self):
+        from repro.net.batch import group_by_destination
+
+        rng = np.random.default_rng(4)
+        dst = rng.integers(0, 12, size=200)
+        values = rng.uniform(size=200)
+        unique, groups = group_by_destination(dst, values)
+        reference: dict[int, list[float]] = {}
+        for d, v in zip(dst.tolist(), values.tolist()):
+            reference.setdefault(d, []).append(v)
+        assert unique.tolist() == sorted(reference)
+        for d, group in zip(unique.tolist(), groups):
+            # stable: each destination's values keep frame order
+            assert group.tolist() == reference[d]
+
+    def test_empty_input(self):
+        from repro.net.batch import group_by_destination
+
+        unique, groups = group_by_destination(
+            np.array([], dtype=int), np.array([])
+        )
+        assert unique.size == 0
+        assert groups == []
+
+
 class TestEventEngineExtensions:
     def test_pending_tracks_queue_depth(self):
         engine = EventEngine()
