@@ -445,9 +445,21 @@ def _restore_aggregation(protocol, agg: Mapping | None) -> None:
     silently change the arithmetic of every subsequent round. The
     overlay is rebuilt from its recorded membership and cross-checked
     shard-for-shard, exercising the determinism the protocol relies on.
+
+    ``shard_threads`` is captured for provenance but deliberately NOT
+    part of the identity tuple: the compiled round is bit-identical at
+    any thread count, so resuming a 1-thread snapshot on an 8-thread
+    protocol (or vice versa) is a legal — and tested — configuration
+    change. The backend name IS identity: ``compiled`` vs ``numpy64``
+    would not change results either, but it changes which caches and
+    code paths the restored run trusts, so a mismatch fails loudly.
     """
     protocol._tree_cache = None
     protocol.last_tree = None
+    if hasattr(protocol, "_invalidate_compiled_round"):
+        # The restored peers/ledgers are new state behind the compiled
+        # round's mirrors and bound replica methods.
+        protocol._invalidate_compiled_round()
     if agg is None:
         return
     live = (
@@ -508,6 +520,9 @@ def _capture_fully_distributed(protocol) -> dict:
             "backend": str(protocol.backend.name)
             if hasattr(protocol, "backend")
             else "numpy64",
+            # Informational (not restore-checked): any thread count is
+            # bit-identical, see _restore_aggregation.
+            "shard_threads": int(getattr(protocol, "shard_threads", 1)),
             "last_tree": None
             if last_tree is None
             else {

@@ -74,6 +74,19 @@ class RoundLedger:
             )
         self._entries.append(entry)
 
+    def replicate(self, entry: LedgerEntry) -> None:
+        """Append ``entry`` without the monotonicity check.
+
+        For replica fan-out of an entry the *authoritative* ledger just
+        validated (the compiled tree round appends one entry to N
+        replicas per round; re-running the check N times is pure
+        overhead). Callers must only pass entries that
+        :meth:`append` on the authoritative ledger accepted for the
+        same round — the replica stays strictly round-ordered because
+        it receives a subsequence of an ordered stream.
+        """
+        self._entries.append(entry)
+
     @property
     def entries(self) -> tuple[LedgerEntry, ...]:
         return tuple(self._entries)

@@ -81,10 +81,31 @@ class BenchmarkResult:
     materialized_s: float  #: best wall-clock of the vectorized engine
     speedup: float  #: ratio of the two best wall-clocks
     rounds: int  #: total algorithm-rounds executed per timed leg
+    #: process peak RSS (bytes) sampled right after this benchmark ran —
+    #: a high-water mark, so the first benchmark to allocate a big
+    #: working set dominates every later entry. 0 when unavailable.
+    peak_rss_bytes: int = 0
 
     @property
     def rounds_per_s(self) -> float:
         return self.rounds / self.materialized_s
+
+
+def _peak_rss_bytes() -> int:
+    """Process-lifetime peak resident set size in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; other
+    platforms (or a missing ``resource`` module) report 0 rather than
+    guessing.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024
 
 
 def _time_once(fn: Callable[[], object]) -> float:
@@ -355,11 +376,19 @@ PROTOCOL_SCALES = {30: 60, 100: 20, 300: 5}
 #: flat leg.
 TREE_SCALES = {1000: 10, 3000: 3}
 
-#: Completion-only scale: one tree round at N=10,000 must finish. The
-#: flat leg would move ~10^8 messages per round, so there is nothing
-#: sane to ratio against — the entry records throughput with speedup
-#: pinned to 1.0 and gates only on completing.
-TREE_SMOKE_N = 10_000
+#: Compiled-kernel scale: at N=10,000 the flat leg would move ~10^8
+#: messages per round, so the reference here is the *python tree* path —
+#: the ratio isolates what the compiled backend (fused kernels + frame
+#: plans + slim round bookkeeping) buys over the already-batched tree
+#: round. Protocol construction happens outside the timed legs.
+TREE_COMPILED_N, TREE_COMPILED_ROUNDS = 10_000, 2
+
+#: Completion-only scale: one *compiled* tree round at N=100,000 must
+#: finish in bounded time. There is nothing sane to ratio against at
+#: this size — the entry records throughput with speedup pinned to 1.0
+#: and gates on completing within :data:`TREE_SMOKE_BUDGET_S` seconds.
+TREE_SMOKE_N = 100_000
+TREE_SMOKE_BUDGET_S = 10.0
 
 
 def _bench_protocol(arch: str, n: int, rounds: int, repetitions: int) -> BenchmarkResult:
@@ -440,20 +469,116 @@ def _bench_protocol_tree(n: int, rounds: int, repetitions: int) -> BenchmarkResu
     )
 
 
-def _bench_protocol_tree_smoke(repetitions: int) -> BenchmarkResult:
-    """N=10,000 completion smoke: one tree round must finish.
+def _bench_protocol_tree_compiled(
+    n: int, rounds: int, repetitions: int
+) -> BenchmarkResult:
+    """Compiled FD tree round vs. the python tree path at large N.
 
-    Records the tree leg's wall-clock in both columns (speedup 1.0), so
-    the baseline comparison can never flag it — the gate is that the
-    round completes at all, plus the absolute throughput left in the
-    history for drift inspection.
+    Both legs replay the identical seeded world through pre-packed
+    :class:`~repro.costs.affine_vector.AffineCostVector` rounds (coerce
+    is a pass-through, so cost construction never enters the timing) on
+    protocols built *outside* the timed legs — at N=10,000 construction
+    would otherwise dominate two rounds and squash the ratio. Each timed
+    invocation continues its protocol's round counter, cycling the
+    precomputed cost rounds; the two legs stay in lockstep because they
+    see the same cost sequence in the same order.
     """
-    rounds = 1
-    run = _make_tree_run(TREE_SMOKE_N, rounds)
-    times = [_time_once(lambda: run("tree")) for _ in range(max(1, min(repetitions, 2)))]
+    from repro.costs.affine_vector import AffineCostVector
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import Link, UniformLatency
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+    speeds = [1.0 + (i % 23) for i in range(n)]
+    process = RandomAffineProcess(speeds, sigma=0.1, comm_scale=0.01, seed=n)
+    vectors = [
+        AffineCostVector.coerce(process.costs_at(t)) for t in range(1, rounds + 1)
+    ]
+
+    def make_leg(backend: str) -> Callable[[], None]:
+        link = Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+        protocol = FullyDistributedDolbie(
+            n, link=link, aggregation="tree", backend=backend
+        )
+        state = {"t": 0}
+
+        def leg() -> None:
+            for _ in range(rounds):
+                state["t"] += 1
+                protocol.run_round(
+                    state["t"], vectors[(state["t"] - 1) % len(vectors)]
+                )
+            if protocol.tree_rounds != state["t"]:
+                raise RuntimeError(
+                    f"{backend} leg fell off the tree path "
+                    f"({protocol.tree_rounds}/{state['t']} tree rounds)"
+                )
+
+        return leg
+
+    python_leg = make_leg("numpy64")
+    compiled_leg = make_leg("compiled")
+    compiled_leg()  # warm: first compiled round builds the frame plans
+    python_leg()
+    return _paired(
+        f"proto_fd_tree_n{n}", python_leg, compiled_leg, repetitions, rounds
+    )
+
+
+def _bench_protocol_tree_smoke(repetitions: int) -> BenchmarkResult:
+    """N=100,000 completion smoke: one *compiled* tree round must finish.
+
+    Records the round's wall-clock in both columns (speedup 1.0), so the
+    baseline comparison can never flag it — the gates are that the round
+    completes at all and does so within :data:`TREE_SMOKE_BUDGET_S`
+    seconds. Per-pair message accounting is disabled for the run
+    (``REPRO_PAIR_METRICS=0``): at this N the per-pair counter dict is
+    pure overhead with no consumer, and the smoke pins the protocol's
+    memory story, which ``peak_rss_bytes`` records. Protocol
+    construction (100k peers, the aggregation tree, the frame plans)
+    happens outside the timed window; the timing is the round itself.
+    """
+    from repro.costs.affine_vector import AffineCostVector
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import Link, UniformLatency
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+    n, rounds = TREE_SMOKE_N, 1
+    saved = os.environ.get("REPRO_PAIR_METRICS")
+    os.environ["REPRO_PAIR_METRICS"] = "0"
+    try:
+        speeds = [1.0 + (i % 23) for i in range(n)]
+        process = RandomAffineProcess(speeds, sigma=0.1, comm_scale=0.01, seed=n)
+        vector = AffineCostVector.coerce(process.costs_at(1))
+        link = Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+        protocol = FullyDistributedDolbie(
+            n, link=link, aggregation="tree", backend="compiled"
+        )
+        state = {"t": 0}
+
+        def one_round() -> None:
+            state["t"] += 1
+            protocol.run_round(state["t"], vector)
+
+        one_round()  # untimed: builds the compiled structures + plans
+        times = [_time_once(one_round) for _ in range(max(1, min(repetitions, 2)))]
+        if protocol.tree_rounds != state["t"]:
+            raise RuntimeError(
+                f"n{n} smoke fell off the tree path "
+                f"({protocol.tree_rounds}/{state['t']} tree rounds)"
+            )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PAIR_METRICS", None)
+        else:
+            os.environ["REPRO_PAIR_METRICS"] = saved
     best = min(times)
+    if best > TREE_SMOKE_BUDGET_S:
+        raise RuntimeError(
+            f"n{n} compiled tree round took {best:.1f}s "
+            f"(budget {TREE_SMOKE_BUDGET_S:.0f}s)"
+        )
     return BenchmarkResult(
-        name=f"proto_fd_tree_n{TREE_SMOKE_N}",
+        name=f"proto_fd_tree_n{n}",
         incremental_s=best,
         materialized_s=best,
         speedup=1.0,
@@ -630,6 +755,14 @@ def run_benchmarks(
         )
     suite.append(
         (
+            f"proto_fd_tree_n{TREE_COMPILED_N}",
+            lambda: _bench_protocol_tree_compiled(
+                TREE_COMPILED_N, TREE_COMPILED_ROUNDS, repetitions
+            ),
+        )
+    )
+    suite.append(
+        (
             f"proto_fd_tree_n{TREE_SMOKE_N}",
             lambda: _bench_protocol_tree_smoke(repetitions),
         )
@@ -642,7 +775,11 @@ def run_benchmarks(
                 f"available: {[name for name, _ in suite]}"
             )
         suite = [(name, fn) for name, fn in suite if name in set(only)]
-    return [fn() for _, fn in suite]
+    # Stamp each result with the process peak RSS observed right after
+    # it ran: memory regressions (a path that suddenly materializes all
+    # ~3N frames again) show up in the results/history files alongside
+    # the wall-clock they would eventually also ruin.
+    return [replace(fn(), peak_rss_bytes=_peak_rss_bytes()) for _, fn in suite]
 
 
 def write_results(
@@ -676,6 +813,7 @@ def write_results(
                 "materialized_s": round(r.materialized_s, 6),
                 "speedup": round(r.speedup, 3),
                 "rounds_per_s": round(r.rounds_per_s, 1),
+                "peak_rss_bytes": int(r.peak_rss_bytes),
             }
             for r in results
         },
@@ -730,6 +868,7 @@ def append_history(
                 "incremental_s": round(r.incremental_s, 6),
                 "materialized_s": round(r.materialized_s, 6),
                 "speedup": round(r.speedup, 3),
+                "peak_rss_bytes": int(r.peak_rss_bytes),
             }
             for r in results
         },
@@ -814,10 +953,12 @@ def main(
     print_table(
         f"Engine benchmarks — BENCH scale ({BENCH.realizations} realizations, "
         f"{BENCH.rounds} rounds), best of {repetitions}",
-        ["benchmark", "incremental_s", "materialized_s", "speedup", "rounds/s"],
+        ["benchmark", "incremental_s", "materialized_s", "speedup", "rounds/s",
+         "peak_rss_mb"],
         [
             [r.name, f"{r.incremental_s:.3f}", f"{r.materialized_s:.3f}",
-             f"{r.speedup:.2f}x", f"{r.rounds_per_s:.0f}"]
+             f"{r.speedup:.2f}x", f"{r.rounds_per_s:.0f}",
+             f"{r.peak_rss_bytes / 2**20:.0f}"]
             for r in results
         ],
     )

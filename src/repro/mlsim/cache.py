@@ -62,8 +62,9 @@ __all__ = [
 
 #: Bump when the trace-generation arithmetic or the entry layout changes;
 #: every previously stored entry becomes unreachable (and is eventually
-#: pruned by the size cap).
-CACHE_VERSION = 1
+#: pruned by the size cap). Version 2 added the storage dtype to the
+#: fingerprint (entries are stored in the backend's dtype).
+CACHE_VERSION = 2
 
 #: Default size cap for the cache directory.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -93,7 +94,7 @@ def cache_max_bytes() -> int:
         return DEFAULT_MAX_BYTES
 
 
-def environment_fingerprint(env, horizon: int) -> dict:
+def environment_fingerprint(env, horizon: int, backend=None) -> dict:
     """Canonical JSON-able description of what determines the matrices.
 
     Everything the trace generation depends on goes in: the model (its
@@ -102,11 +103,18 @@ def environment_fingerprint(env, horizon: int) -> dict:
     parameters. Two environments with equal fingerprints produce
     bit-identical ``(T, N)`` matrices, because the generators are seeded
     pure functions of these values.
+
+    The *storage dtype* of the requested backend is part of the key —
+    not the backend name, so backends sharing a dtype (``numpy64`` and
+    ``compiled``) share cache entries.
     """
+    from repro.backend import get_backend
+
     trace = env._speed_traces[0]
     comm_trace = env.comm._traces[0]
     return {
         "version": CACHE_VERSION,
+        "dtype": str(np.dtype(get_backend(backend).dtype)),
         "model": env.model.name,
         "num_workers": env.num_workers,
         "global_batch": env.global_batch,
@@ -130,10 +138,12 @@ def environment_fingerprint(env, horizon: int) -> dict:
     }
 
 
-def cache_key(env, horizon: int) -> str:
+def cache_key(env, horizon: int, backend=None) -> str:
     """Stable SHA-256 hex digest of the environment fingerprint."""
     canonical = json.dumps(
-        environment_fingerprint(env, horizon), sort_keys=True, separators=(",", ":")
+        environment_fingerprint(env, horizon, backend),
+        sort_keys=True,
+        separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -143,9 +153,11 @@ def _entry_path(key: str) -> Path:
 
 
 def _load_entry(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    # Preserve the stored dtype: entries are written in the backend's
+    # storage dtype, and the dtype is part of the cache key.
     with np.load(path) as data:
-        speed = np.asarray(data["speed"], dtype=float)
-        comm = np.asarray(data["comm"], dtype=float)
+        speed = np.asarray(data["speed"])
+        comm = np.asarray(data["comm"])
     if speed.ndim != 2 or speed.shape != comm.shape:
         raise ValueError(f"inconsistent cached shapes {speed.shape}/{comm.shape}")
     return speed, comm
@@ -228,25 +240,32 @@ def clear() -> int:
     return removed
 
 
-def materialize_cached(env, horizon: int):
-    """``env.materialize(horizon)`` through the on-disk cache.
+def materialize_cached(env, horizon: int, backend=None):
+    """``env.materialize(horizon, backend)`` through the on-disk cache.
 
     On a hit the :class:`~repro.mlsim.materialized.MaterializedEnvironment`
     is rebuilt from the stored matrices — bit-identical to a fresh
-    materialization. On a miss (or with the cache disabled) the traces
-    are materialized normally and, when enabled, persisted for next
-    time. The environment object itself (fleet, model, seeds) is always
-    built live; only the expensive trace walk is cached.
+    materialization (the stored arrays are already in the backend's
+    dtype; the rebuild cast is a no-op). On a miss (or with the cache
+    disabled) the traces are materialized normally and, when enabled,
+    persisted for next time. The environment object itself (fleet,
+    model, seeds) is always built live; only the expensive trace walk
+    is cached.
     """
+    from repro.backend import get_backend
     from repro.mlsim.materialized import MaterializedEnvironment
 
+    resolved = get_backend(backend)
     if not cache_enabled():
-        return env.materialize(horizon)
-    key = cache_key(env, horizon)
+        return env.materialize(horizon, backend=resolved)
+    key = cache_key(env, horizon, resolved)
     cached = load_matrices(key)
     if cached is not None:
         speed, comm = cached
-        if speed.shape == (int(horizon), env.num_workers):
+        if (
+            speed.shape == (int(horizon), env.num_workers)
+            and speed.dtype == resolved.dtype
+        ):
             return MaterializedEnvironment(
                 model=env.model,
                 global_batch=env.global_batch,
@@ -254,7 +273,8 @@ def materialize_cached(env, horizon: int):
                 fleet=env.fleet,
                 speed_matrix=speed,
                 comm_matrix=comm,
+                backend=resolved,
             )
-    materialized = env.materialize(horizon)
+    materialized = env.materialize(horizon, backend=resolved)
     store_matrices(key, materialized.speed_matrix, materialized.comm_matrix)
     return materialized

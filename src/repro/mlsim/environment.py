@@ -102,7 +102,7 @@ class TrainingEnvironment(CostProcess):
             for i in range(self.num_workers)
         ]
 
-    def materialize(self, horizon: int):
+    def materialize(self, horizon: int, backend=None):
         """Precompute rounds ``1..horizon`` as a :class:`MaterializedEnvironment`.
 
         One pass over the per-worker fluctuation traces yields ``(T, N)``
@@ -111,6 +111,11 @@ class TrainingEnvironment(CostProcess):
         applied elementwise). The returned environment serves ``costs_at``
         as O(1) array slices — use it whenever the horizon is known up
         front, and share it across algorithms replaying one realization.
+
+        ``backend`` (a name or :class:`~repro.backend.ArrayBackend`)
+        selects the storage dtype of the materialized matrices; the
+        traces are always generated in float64 and cast once. Default
+        is the process-wide backend (``REPRO_BACKEND`` / numpy64).
         """
         from repro.mlsim.materialized import MaterializedEnvironment
 
@@ -125,6 +130,7 @@ class TrainingEnvironment(CostProcess):
             fleet=self.fleet,
             speed_matrix=speed_matrix,
             comm_matrix=self.comm.materialize(horizon),
+            backend=backend,
         )
 
     def processor_names(self) -> list[str]:

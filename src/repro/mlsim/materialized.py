@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, get_backend
 from repro.costs.affine_vector import AffineCostVector
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError
@@ -54,9 +55,15 @@ class MaterializedEnvironment(CostProcess):
         fleet,
         speed_matrix: np.ndarray,
         comm_matrix: np.ndarray,
+        backend: str | ArrayBackend | None = None,
     ) -> None:
-        speed_matrix = np.asarray(speed_matrix, dtype=float)
-        comm_matrix = np.asarray(comm_matrix, dtype=float)
+        # Traces are always *generated* in float64 (the incremental path's
+        # arithmetic); the backend cast happens exactly once, here, so a
+        # cache rebuild from stored backend-dtype matrices is a no-op cast
+        # and stays bit-identical to a fresh materialization.
+        self.backend = get_backend(backend)
+        speed_matrix = np.asarray(speed_matrix).astype(self.backend.dtype, copy=False)
+        comm_matrix = np.asarray(comm_matrix).astype(self.backend.dtype, copy=False)
         if speed_matrix.ndim != 2 or speed_matrix.shape != comm_matrix.shape:
             raise ConfigurationError(
                 f"speed matrix {speed_matrix.shape} and comm matrix "
@@ -71,7 +78,8 @@ class MaterializedEnvironment(CostProcess):
         self.speed_matrix = speed_matrix
         self.comm_matrix = comm_matrix
         # Slope of the revealed affine cost: B / gamma_{i,t}. Same
-        # float64 division AffineLatencyCost.from_system performs.
+        # division AffineLatencyCost.from_system performs (in the
+        # backend dtype, after the one-time cast above).
         self.slope_matrix = self.global_batch / speed_matrix
         self._vectors: list[AffineCostVector | None] = [None] * self.horizon
 

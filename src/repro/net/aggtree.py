@@ -280,6 +280,21 @@ class AggregationTree:
         order = np.lexsort((best_id, -best_value))
         return int(best_id[order[0]])
 
+    def up_order(self) -> np.ndarray:
+        """Shard indices in up-tree combine order, as one flat int64 array.
+
+        Deepest level first, ascending shard index within a level —
+        exactly the iteration order of :meth:`_tree_combine` and
+        :meth:`decision_sums`, flattened so the compiled kernels
+        (:func:`repro.backend.kernels.combine_up_consensus` /
+        :func:`~repro.backend.kernels.combine_up_sums`) can replay it as
+        a single loop. Empty for a single-level (root-only) tree.
+        """
+        below_root = self.levels[:0:-1]
+        if not below_root:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(below_root).astype(np.int64)
+
     def _tree_combine(self, partial: np.ndarray, ufunc: np.ufunc):
         """Combine per-shard partials bottom-up along the parent links."""
         acc = partial.copy()

@@ -10,6 +10,23 @@ struct-of-arrays (:class:`~repro.net.message.FrameBatch`), metrics and
 receive counts bumped in bulk — and lets the caller advance virtual time
 to the phase maximum afterwards.
 
+Two refinements ride on the same contract:
+
+- **Streaming chunks.** ``deliver(..., chunk_frames=K)`` processes the
+  batch as zero-copy slices of at most ``K`` frames, so an N=100,000
+  phase never holds more than one chunk of per-frame intermediates.
+  Chunked delivery is bit-identical to one-shot delivery: per-chunk
+  delay draws are stream-identical to a single draw (``sample_batch``
+  splits are stable — pinned by the mixed-interleaving test), chunk
+  accounting sums to the phase totals, and per-pair counters are still
+  created in frame order.
+- **Delivery plans.** A :class:`DeliveryPlan` precomputes everything a
+  repeating ``(src, dst)`` frame layout implies — counts, bytes, the
+  per-receiver bump list, the per-pair counter handles — so the
+  compiled tree round pays O(unique pairs) cached bumps per phase
+  instead of an ``np.unique`` pass, with identical observable
+  accounting.
+
 Bit-identity contract (same discipline as ``docs/performance.md``):
 
 - **Draw order.** A phase's frames must be listed in event-engine send
@@ -29,13 +46,40 @@ Bit-identity contract (same discipline as ``docs/performance.md``):
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.net.cluster import Cluster
-from repro.net.message import FrameBatch
+from repro.net.message import FrameBatch, SCALAR_BYTES
 
-__all__ = ["BatchedCluster", "group_by_destination"]
+__all__ = [
+    "BatchedCluster",
+    "DeliveryPlan",
+    "group_by_destination",
+    "default_chunk_frames",
+    "DEFAULT_CHUNK_FRAMES",
+]
+
+#: Default streaming-chunk size for phase delivery. Small enough that a
+#: chunk's per-frame intermediates stay cache-resident, large enough
+#: that phases below N~65k keep their historical one-shot path.
+DEFAULT_CHUNK_FRAMES = 65536
+
+#: Env override for :func:`default_chunk_frames` (``0`` disables
+#: chunking entirely).
+CHUNK_ENV = "REPRO_BATCH_CHUNK"
+
+
+def default_chunk_frames() -> int | None:
+    """The streaming chunk size: ``$REPRO_BATCH_CHUNK`` or the default
+    (``None`` — unchunked — when the env var is ``0`` or negative)."""
+    raw = os.environ.get(CHUNK_ENV)
+    if raw is None:
+        return DEFAULT_CHUNK_FRAMES
+    value = int(raw)
+    return value if value > 0 else None
 
 
 def group_by_destination(
@@ -81,23 +125,50 @@ class BatchedCluster:
         return self._cluster.batch_eligible()
 
     def deliver(
-        self, batch: FrameBatch, send_times: float | np.ndarray
+        self,
+        batch: FrameBatch,
+        send_times: float | np.ndarray,
+        chunk_frames: int | None = None,
     ) -> np.ndarray:
         """Deliver one phase; returns each frame's arrival time.
 
         ``send_times`` is a scalar (all frames sent together) or a
         per-frame array. The link delays for the whole phase are sampled
-        as **one** draw in frame order — the caller must list frames in
-        event-engine send order so the generator consumes the stream
-        identically to per-frame sends. Metrics and the receivers'
-        ``received_count`` are updated in bulk; the caller advances the
-        clock via :meth:`finish_round` once the round's last phase is in.
+        in frame order — the caller must list frames in event-engine
+        send order so the generator consumes the stream identically to
+        per-frame sends. Metrics and the receivers' ``received_count``
+        are updated in bulk; the caller advances the clock via
+        :meth:`finish_round` once the round's last phase is in.
+
+        ``chunk_frames`` streams the batch as zero-copy slices of at
+        most that many frames (see the module docstring; ``None`` keeps
+        the historical one-shot delivery). Chunking changes peak memory
+        only — arrivals, metrics, and RNG stream position are
+        bit-identical.
         """
         if not self.eligible():
             raise SimulationError(
                 "batched delivery requested while the cluster is not "
                 "batch-eligible (chaos hooks active or frames in flight)"
             )
+        if chunk_frames is None or batch.count <= chunk_frames:
+            return self._deliver_frames(batch, send_times)
+        scalar_send = np.ndim(send_times) == 0
+        if not scalar_send:
+            send_times = np.asarray(send_times, dtype=float)
+        arrivals = np.empty(batch.count, dtype=float)
+        for lo, sub in batch.chunks(chunk_frames):
+            hi = lo + sub.count
+            arrivals[lo:hi] = self._deliver_frames(
+                sub, send_times if scalar_send else send_times[lo:hi]
+            )
+        return arrivals
+
+    def _deliver_frames(
+        self, batch: FrameBatch, send_times: float | np.ndarray
+    ) -> np.ndarray:
+        """One-shot delivery of ``batch`` (the eligibility check already
+        ran)."""
         delays = self._cluster._default_link.delay_batch(
             batch.count, batch.size_bytes
         )
@@ -115,6 +186,13 @@ class BatchedCluster:
             node(dst).received_count += group.size
         return arrivals
 
+    def plan(
+        self, src: np.ndarray, dst: np.ndarray, payload_fields: int
+    ) -> "DeliveryPlan":
+        """Precompute a :class:`DeliveryPlan` for a repeating phase
+        layout (same ``src``/``dst`` arrays every round)."""
+        return DeliveryPlan(self, src, dst, payload_fields)
+
     def finish_round(self, now: float, events: int) -> None:
         """Advance virtual time to the round's last arrival and credit
         the delivered frames as processed events, so batched rounds and
@@ -122,3 +200,136 @@ class BatchedCluster:
         engine = self._cluster.engine
         engine.advance_to(now)
         engine.credit_events(events)
+
+
+class DeliveryPlan:
+    """Cached delivery accounting for a phase whose frame layout repeats.
+
+    The compiled tree round delivers the same ``(src, dst)`` arrays every
+    round (the overlay is fixed until membership changes), so everything
+    :meth:`BatchedCluster.deliver` derives from them per call — frame
+    count, wire bytes, the unique-pair histogram in first-occurrence
+    order, the per-receiver bump list — is computed once here. A plan
+    delivery then costs one delay draw plus O(unique pairs + receivers)
+    cached counter bumps, with accounting **identical** to
+    ``deliver`` on an equivalent :class:`FrameBatch`: same totals, same
+    per-pair values, same counter creation order, same ``received_count``
+    advances, same RNG stream consumption.
+
+    Payload *values* are never materialized: batched delivery is
+    payload-oblivious (only the field count enters the wire size), so a
+    plan carries ``payload_fields`` instead of arrays — this is what
+    "streaming FrameBatch construction" means for the compiled path,
+    where ~3N frames per round exist only as this plan's columns.
+
+    ``deliver(..., drop=k)`` delivers the layout minus frame ``k`` (the
+    straggler's suppressed decision in phase E): ``count - 1`` delay
+    draws against the caller's masked send times, the dropped frame's
+    pair and receiver bumps withheld. The dropped frame's pair must be
+    unique within the batch (true for member->head layouts, where every
+    member is a distinct pair) so counter creation order still matches
+    the eager masked path.
+
+    Plans hold references to the cluster's node objects and metric
+    counters; they die with the protocol's overlay cache on any
+    membership change, and re-resolve their counter handles when the
+    metrics object is reset (:attr:`NetworkMetrics.pair_epoch`).
+    """
+
+    def __init__(
+        self,
+        batched: BatchedCluster,
+        src: np.ndarray,
+        dst: np.ndarray,
+        payload_fields: int,
+    ) -> None:
+        self._batched = batched
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape:
+            raise ValueError(
+                f"src/dst shape mismatch: {self.src.shape} vs {self.dst.shape}"
+            )
+        self.count = int(self.src.size)
+        self.size_bytes = SCALAR_BYTES * int(payload_fields)
+        cluster = batched.cluster
+        # Per-receiver bumps, ascending destination (the order the
+        # one-shot path applies them; addition is commutative but keep
+        # it anyway for strict attribute-write parity).
+        unique_dst, groups = group_by_destination(self.dst, self.dst)
+        self._recv = [
+            (cluster.node(int(d)), int(g.size))
+            for d, g in zip(unique_dst.tolist(), groups)
+        ]
+        # Unique (src, dst) pairs in first-occurrence frame order — the
+        # counter creation order record_batch_arrays uses — plus each
+        # frame's entry index (for drop=).
+        if self.count:
+            keys = (self.src << 32) | self.dst
+            _, first, inverse, counts = np.unique(
+                keys, return_index=True, return_inverse=True, return_counts=True
+            )
+            order = np.argsort(first, kind="stable")
+            rank = np.empty(order.size, dtype=np.int64)
+            rank[order] = np.arange(order.size)
+            self._frame_entry = rank[inverse]
+            self._pairs = [
+                ((int(self.src[first[k]]), int(self.dst[first[k]])), int(counts[k]))
+                for k in order.tolist()
+            ]
+        else:
+            self._frame_entry = np.empty(0, dtype=np.int64)
+            self._pairs = []
+        self._pair_counters: list = [None] * len(self._pairs)
+        self._pair_epoch = -1
+
+    def deliver(
+        self,
+        round_index: int,
+        send_times: float | np.ndarray,
+        drop: int | None = None,
+    ) -> np.ndarray:
+        """Deliver the planned phase; returns per-frame arrival times.
+
+        With ``drop=k``, ``send_times`` must already exclude frame ``k``
+        (length ``count - 1`` or scalar) and the returned arrivals are
+        for the remaining frames in order.
+        """
+        batched = self._batched
+        if not batched.eligible():
+            raise SimulationError(
+                "batched delivery requested while the cluster is not "
+                "batch-eligible (chaos hooks active or frames in flight)"
+            )
+        cluster = batched.cluster
+        count = self.count if drop is None else self.count - 1
+        delays = cluster._default_link.delay_batch(count, self.size_bytes)
+        arrivals = np.asarray(send_times, dtype=float) + delays
+        metrics = cluster.metrics
+        metrics.record_totals(round_index, count, count * self.size_bytes)
+        if metrics.pair_accounting and count:
+            self._bump_pairs(metrics, drop)
+        for node, bump in self._recv:
+            node.received_count += bump
+        if drop is not None:
+            cluster.node(int(self.dst[drop])).received_count -= 1
+        return arrivals
+
+    def _bump_pairs(self, metrics, drop: int | None) -> None:
+        if self._pair_epoch != metrics.pair_epoch:
+            # Metrics were reset: stale counter objects; re-resolve
+            # lazily (creation order = first bump order, like the eager
+            # path rebuilding its registry).
+            self._pair_counters = [None] * len(self._pairs)
+            self._pair_epoch = metrics.pair_epoch
+        drop_entry = -1 if drop is None else int(self._frame_entry[drop])
+        counters = self._pair_counters
+        for entry, (pair, bump) in enumerate(self._pairs):
+            if entry == drop_entry:
+                bump -= 1
+                if bump == 0:
+                    continue  # never create a handle the eager path wouldn't
+            counter = counters[entry]
+            if counter is None:
+                counter = counters[entry] = metrics._pair_handle(pair)
+            counter.value += bump

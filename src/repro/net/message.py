@@ -75,3 +75,37 @@ class FrameBatch:
     def pairs(self) -> list[tuple[int, int]]:
         """Per-frame ``(src, dst)`` tuples, for per-pair metrics accounting."""
         return [(int(s), int(d)) for s, d in zip(self.src, self.dst)]
+
+    def slice(self, lo: int, hi: int) -> "FrameBatch":
+        """Frames ``[lo, hi)`` as a zero-copy view batch.
+
+        Column arrays are numpy views into this batch's arrays — no
+        frame data is duplicated — and frame order (hence delay-draw
+        order and tie-breaking) is preserved.
+        """
+        return FrameBatch(
+            tag=self.tag,
+            src=self.src[lo:hi],
+            dst=self.dst[lo:hi],
+            payload={name: column[lo:hi] for name, column in self.payload.items()},
+            round_index=self.round_index,
+        )
+
+    def chunks(self, chunk_frames: int):
+        """Iterate the batch as contiguous view slices of at most
+        ``chunk_frames`` frames each (the streaming-delivery unit: at
+        N=100,000 a phase is processed without ever holding more than
+        one chunk's worth of per-frame intermediates).
+
+        Yields ``(lo, sub_batch)`` with ``lo`` the chunk's first frame
+        index. A batch no larger than ``chunk_frames`` yields itself.
+        """
+        if chunk_frames < 1:
+            raise ValueError(f"chunk_frames must be >= 1, got {chunk_frames}")
+        count = self.count
+        if count <= chunk_frames:
+            if count:
+                yield 0, self
+            return
+        for lo in range(0, count, chunk_frames):
+            yield lo, self.slice(lo, min(lo + chunk_frames, count))

@@ -12,6 +12,7 @@ complexity experiment and every existing assertion keep working, while
 
 from __future__ import annotations
 
+import os
 from typing import Iterable
 
 import numpy as np
@@ -21,12 +22,27 @@ from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["NetworkMetrics"]
 
+#: Env knob: ``REPRO_PAIR_METRICS=0`` disables per-(src, dst) counters.
+#: Totals and per-round counts stay exact; only the per-pair breakdown —
+#: O(unique pairs) Python counter objects, ~3N of them for a tree round,
+#: the dominant accounting cost at N=100,000 — is skipped. Read once per
+#: :class:`NetworkMetrics` construction.
+PAIR_METRICS_ENV = "REPRO_PAIR_METRICS"
+
 
 class NetworkMetrics:
     """Counts messages and bytes, totals and per round."""
 
-    def __init__(self) -> None:
+    def __init__(self, pair_accounting: bool | None = None) -> None:
         self.registry = MetricsRegistry()
+        if pair_accounting is None:
+            pair_accounting = os.environ.get(PAIR_METRICS_ENV, "1") != "0"
+        #: Whether per-(src, dst) counters are maintained (default yes).
+        self.pair_accounting = bool(pair_accounting)
+        #: Bumped on :meth:`reset` — cached per-pair counter handles
+        #: held outside this object (``repro.net.batch.DeliveryPlan``)
+        #: revalidate against it before bumping.
+        self.pair_epoch = 0
         self._init_handles()
 
     def _init_handles(self) -> None:
@@ -69,7 +85,8 @@ class NetworkMetrics:
         round_messages, round_bytes = self._round_handles(message.round_index)
         round_messages.value += 1
         round_bytes.value += message.size_bytes
-        self._pair_handle((message.src, message.dst)).value += 1
+        if self.pair_accounting:
+            self._pair_handle((message.src, message.dst)).value += 1
 
     def record_batch(
         self,
@@ -89,8 +106,9 @@ class NetworkMetrics:
         round_messages, round_bytes = self._round_handles(round_index)
         round_messages.value += messages
         round_bytes.value += bytes_total
-        for pair in pairs:
-            self._pair_handle(pair).value += 1
+        if self.pair_accounting:
+            for pair in pairs:
+                self._pair_handle(pair).value += 1
 
     def record_batch_arrays(
         self,
@@ -115,7 +133,7 @@ class NetworkMetrics:
         round_messages, round_bytes = self._round_handles(round_index)
         round_messages.value += messages
         round_bytes.value += bytes_total
-        if messages == 0:
+        if messages == 0 or not self.pair_accounting:
             return
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
@@ -126,6 +144,23 @@ class NetworkMetrics:
             i = int(first[k])
             pair = (int(src[i]), int(dst[i]))
             self._pair_handle(pair).value += int(counts[k])
+
+    def record_totals(
+        self, round_index: int, messages: int, bytes_total: int
+    ) -> None:
+        """Bump the totals and per-round counters only.
+
+        The per-pair half of a phase's accounting is handled separately
+        by callers that cache their pair handles across rounds
+        (:class:`repro.net.batch.DeliveryPlan` — same counter objects,
+        same creation order, same values as :meth:`record_batch_arrays`,
+        without the per-round ``np.unique`` pass).
+        """
+        self._messages_total.value += messages
+        self._bytes_total.value += bytes_total
+        round_messages, round_bytes = self._round_handles(round_index)
+        round_messages.value += messages
+        round_bytes.value += bytes_total
 
     def record_blackholed(self, count: int = 1) -> None:
         """Tally frames swallowed by a partition (never delivered)."""
@@ -169,4 +204,5 @@ class NetworkMetrics:
 
     def reset(self) -> None:
         self.registry.reset()
+        self.pair_epoch += 1  # invalidates externally cached pair handles
         self._init_handles()

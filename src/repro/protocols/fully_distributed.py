@@ -19,11 +19,14 @@ decisions — the O(N^2) row of §IV-C.
 
 from __future__ import annotations
 
-from typing import Sequence
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.backend import ArrayBackend, get_backend
+from repro.backend import kernels
 from repro.core.interface import identify_straggler
 from repro.core.ledger import LedgerEntry, RoundLedger
 from repro.core.loop import RunResult
@@ -34,6 +37,7 @@ from repro.costs.base import CostFunction
 from repro.costs.timevarying import CostProcess
 from repro.exceptions import ConfigurationError, ProtocolError
 from repro.net.aggtree import AggregationTree, segment_reduce
+from repro.net.batch import BatchedCluster, DeliveryPlan, default_chunk_frames
 from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
@@ -49,6 +53,10 @@ __all__ = ["FullyDistributedDolbie"]
 TAG_COST = "cost"
 TAG_DECISION = "decision"
 TAG_FLOOD = "flood"
+
+#: Env default for the compiled tree round's shard thread count (the
+#: ``shard_threads`` constructor parameter wins when passed).
+SHARD_THREADS_ENV = "REPRO_SHARD_THREADS"
 
 
 class _Peer(Node):
@@ -310,6 +318,131 @@ class _Peer(Node):
         return True
 
 
+class _CompiledTreeRound:
+    """Everything the compiled tree round precomputes for one roster.
+
+    Built once per membership epoch (keyed by the participant tuple,
+    like ``_tree_cache``) and reused every round until the protocol's
+    ``_membership_dirty`` flag forces a resync or a roster change forces
+    a rebuild. Holds three kinds of state:
+
+    - **Index arrays** (int64, contiguous — the layout the njit kernels
+      expect): participant order, shard segment bounds, member->shard
+      maps, the up-tree combine order.
+    - **Delivery plans** (:class:`repro.net.batch.DeliveryPlan`) for
+      every fixed-layout phase — A (member reports, 2 payload fields),
+      B/C (per-level consensus frames, 3 fields), D (member fan-out, 3
+      fields), E (member decisions, 1 field), F (per-level partial sums,
+      1 field). Payload values are never materialized; the plans carry
+      only the accounting the eager path would produce.
+    - **Mirrors and buffers**: float64 copies of every peer's ``x`` /
+      ``alpha_bar`` (so a clean round never scans N Python objects), the
+      per-shard reduction outputs, and bound ``replicate`` methods of
+      the participants' ledger replicas.
+    """
+
+    def __init__(
+        self, protocol: "FullyDistributedDolbie", participants: Sequence[int]
+    ) -> None:
+        self.key = tuple(participants)
+        self.participants = list(participants)
+        self.roster_tuple = self.key
+        tree = AggregationTree.build(
+            self.key, protocol.shard_size, protocol.branching
+        )
+        self.tree = tree
+        n = protocol.num_workers
+        m = tree.num_shards
+        self.m = m
+        self.parts = np.ascontiguousarray(tree.participants, dtype=np.int64)
+        self.n_parts = int(self.parts.size)
+        part_set = set(self.key)
+        self.nonparticipants = np.array(
+            [i for i in range(n) if i not in part_set], dtype=np.int64
+        )
+        shard_sizes = np.array([len(s) for s in tree.shards], dtype=np.int64)
+        self.full_offsets = np.concatenate(
+            ([0], np.cumsum(shard_sizes)[:-1])
+        ).astype(np.int64)
+        self.ends = self.full_offsets + shard_sizes
+        self.member_ids = np.ascontiguousarray(tree.member_ids, dtype=np.int64)
+        self.member_head = np.ascontiguousarray(
+            tree.member_head, dtype=np.int64
+        )
+        self.member_offsets = np.ascontiguousarray(
+            tree.member_offsets, dtype=np.int64
+        )
+        self.member_shard = np.repeat(
+            np.arange(m, dtype=np.int64), shard_sizes - 1
+        )
+        self.order = tree.up_order()
+        self.parent64 = np.ascontiguousarray(tree.parent, dtype=np.int64)
+        self.root = tree.root
+        self.root_arr = np.array([tree.root])
+        heads = np.ascontiguousarray(tree.heads, dtype=np.int64)
+        batched = protocol.cluster.batched()
+        self.batched = batched
+        if self.member_ids.size:
+            self.plan_a: DeliveryPlan | None = batched.plan(
+                self.member_ids, self.member_head, 2
+            )
+            self.plan_d: DeliveryPlan | None = batched.plan(
+                self.member_head, self.member_ids, 3
+            )
+            self.plan_e: DeliveryPlan | None = batched.plan(
+                self.member_ids, self.member_head, 1
+            )
+        else:
+            self.plan_a = self.plan_d = self.plan_e = None
+        #: (level, parent-of-level, consensus plan, partial-sum plan) per
+        #: up-tree level, deepest first — phase B's and F's shared walk.
+        self.up_levels: list[
+            tuple[np.ndarray, np.ndarray, DeliveryPlan, DeliveryPlan]
+        ] = []
+        for level in tree.levels[:0:-1]:
+            lvl = np.ascontiguousarray(level, dtype=np.int64)
+            par = self.parent64[lvl]
+            self.up_levels.append(
+                (
+                    lvl,
+                    par,
+                    batched.plan(heads[lvl], heads[par], 3),
+                    batched.plan(heads[lvl], heads[par], 1),
+                )
+            )
+        #: (level, parent-of-level, plan) per down-tree level, top first
+        #: — phase C's walk.
+        self.down_levels: list[
+            tuple[np.ndarray, np.ndarray, DeliveryPlan]
+        ] = []
+        for level in tree.levels[1:]:
+            lvl = np.ascontiguousarray(level, dtype=np.int64)
+            par = self.parent64[lvl]
+            self.down_levels.append(
+                (lvl, par, batched.plan(heads[par], heads[lvl], 3))
+            )
+        dtype = protocol.backend.dtype
+        self.out_max = np.empty(m, dtype=dtype)
+        self.out_arg = np.empty(m, dtype=np.int64)
+        self.out_alpha = np.empty(m, dtype=dtype)
+        self.acc_sum = np.empty(m, dtype=dtype)
+        self.x_arr = np.empty(n, dtype=float)
+        self.alpha_arr = np.empty(n, dtype=float)
+        #: Bound unchecked-append methods of the participants' ledger
+        #: replicas (validated once on the authoritative ledger per
+        #: round; see :meth:`repro.core.ledger.RoundLedger.replicate`).
+        self.replicas: list[Callable] = [
+            protocol._worker_ledgers[i].replicate for i in self.participants
+        ]
+
+    def resync(self, peers: "list[_Peer]") -> None:
+        """Refresh the x/alpha mirrors from live peer state (needed
+        whenever a non-compiled round or a membership event touched the
+        peers since the last compiled round)."""
+        self.x_arr[:] = [p.x for p in peers]
+        self.alpha_arr[:] = [p.alpha_bar for p in peers]
+
+
 class FullyDistributedDolbie:
     """Run Algorithm 2 on the discrete-event network substrate."""
 
@@ -329,6 +462,7 @@ class FullyDistributedDolbie:
         shard_size: int | None = None,
         branching: int = 4,
         backend: "str | ArrayBackend | None" = None,
+        shard_threads: int | None = None,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then
@@ -358,6 +492,19 @@ class FullyDistributedDolbie:
         ``"numpy64"`` (default, bit-identical to the historical code) or
         ``"numpy32"``. Event-engine fallback rounds always compute in
         float64 — the backend governs the vectorized paths only.
+        ``"compiled"`` keeps float64 arithmetic but routes healthy tree
+        rounds through the fused kernels of
+        :mod:`repro.backend.kernels` plus cached delivery plans — bit-
+        identical to the python tree path (same traces, same ledgers,
+        same metrics), just faster and without materializing the ~3N
+        per-round frames.
+
+        ``shard_threads`` (default ``$REPRO_SHARD_THREADS`` or 1) splits
+        the compiled round's per-shard kernels across a persistent
+        thread pool. Each thread writes a disjoint shard range, so any
+        thread count is bit-identical to serial; actual parallelism
+        requires numba (the njit kernels release the GIL — the numpy
+        fallbacks keep threading correct but not faster).
 
         ``tracer``/``profiler`` attach the observability layer (see
         :mod:`repro.obs`); trace payloads are identical on both
@@ -386,6 +533,16 @@ class FullyDistributedDolbie:
                 f"branching must be >= 2, got {self.branching}"
             )
         self.backend = get_backend(backend)
+        if shard_threads is None:
+            raw = os.environ.get(SHARD_THREADS_ENV)
+            shard_threads = int(raw) if raw else 1
+        self.shard_threads = int(shard_threads)
+        if self.shard_threads < 1:
+            raise ConfigurationError(
+                f"shard_threads must be >= 1, got {self.shard_threads}"
+            )
+        self._shard_pool: ThreadPoolExecutor | None = None
+        self._chunk_frames = default_chunk_frames()
         self.num_workers = int(num_workers)
         self.topology = topology
         if topology is not None and topology.num_nodes != num_workers:
@@ -429,6 +586,15 @@ class FullyDistributedDolbie:
         self.tree_rounds = 0
         self._fast_cache: tuple | None = None
         self._tree_cache: tuple | None = None
+        #: The compiled tree round's per-roster cache, and whether its
+        #: mirrors/invariants can be trusted. ``_membership_dirty`` is
+        #: cleared only at the end of a successful compiled tree round;
+        #: every other way peer state can change (event/flat rounds,
+        #: crash/rejoin/readmit, ledger restore, checkpoint restore)
+        #: sets it back, which routes the next round through the full
+        #: membership-resolution path.
+        self._compiled_cache: _CompiledTreeRound | None = None
+        self._membership_dirty = True
         #: The overlay used by the most recent tree round (``None`` until
         #: one runs) — the chaos invariant checker revalidates it against
         #: the roster after every round.
@@ -456,6 +622,7 @@ class FullyDistributedDolbie:
         self._alive[worker] = False
         self._stalled.discard(worker)
         self.peers[worker].failed = True
+        self._invalidate_compiled_round()
         # Process memory is gone: the peer's ledger replica dies with it.
         self._worker_ledgers[worker] = RoundLedger()
         emit_membership(
@@ -481,6 +648,7 @@ class FullyDistributedDolbie:
             raise ConfigurationError(f"worker {worker} is already active")
         self._alive[worker] = True
         self.peers[worker].failed = False
+        self._invalidate_compiled_round()
         self._readmit(worker, share)
         emit_membership(
             self.tracer, self.cluster.trace_round, "rejoin", [worker],
@@ -497,6 +665,18 @@ class FullyDistributedDolbie:
         """Reload ``worker``'s ledger replica from a checkpoint (the
         restart fault's recovery path; a plain rejoin starts empty)."""
         self._worker_ledgers[worker] = RoundLedger(entries)
+        # The compiled cache holds bound methods of the old replica.
+        self._invalidate_compiled_round()
+
+    def _invalidate_compiled_round(self) -> None:
+        """Drop the compiled round's cache and mark its mirrors stale.
+
+        Called on every mutation the compiled round does not itself
+        perform — crash/rejoin/restore change the roster or replace a
+        ledger replica the cache holds bound methods of; ``_readmit``
+        rewrites allocations and step sizes behind the mirrors."""
+        self._membership_dirty = True
+        self._compiled_cache = None
 
     def _participants(self) -> list[int]:
         """Peers expected to take part in the next round."""
@@ -510,6 +690,7 @@ class FullyDistributedDolbie:
         """Reshard the live allocation over ``participants + worker`` and
         re-merge every participant's roster (the heal-side half of the
         failure-detector protocol)."""
+        self._invalidate_compiled_round()
         self._stalled.discard(worker)
         incumbents = [i for i in self._participants() if i != worker]
         if not incumbents:
@@ -685,6 +866,284 @@ class FullyDistributedDolbie:
             self._fast_cache = (self.cluster.batched(), src, dst, in_frames)
         return self._fast_cache
 
+    def _compiled_structures(
+        self, participants: list[int]
+    ) -> _CompiledTreeRound:
+        """The compiled round's per-roster cache (rebuilt on membership
+        change, like ``_tree_cache``)."""
+        cc = self._compiled_cache
+        if cc is None or cc.key != tuple(participants):
+            cc = self._compiled_cache = _CompiledTreeRound(self, participants)
+        return cc
+
+    def _map_ranges(self, total: int, fn) -> None:
+        """Run ``fn(lo, hi)`` over a partition of ``range(total)``.
+
+        With ``shard_threads == 1`` this is one direct ``fn(0, total)``
+        call. Otherwise the ranges are dispatched to the persistent
+        shard pool and joined. Every kernel passed here writes only its
+        own ``[lo, hi)`` output rows, so the merged result is the same
+        bytes for any thread count — the deterministic shard-ordered
+        merge is the disjointness of the ranges. Parallel *speed* needs
+        numba (the njit kernels release the GIL); without it the numpy
+        fallbacks still run correctly, just serialized by the GIL.
+        """
+        threads = self.shard_threads
+        if threads <= 1 or total <= 1:
+            fn(0, total)
+            return
+        if self._shard_pool is None:
+            self._shard_pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-shard"
+            )
+        bounds = np.linspace(0, total, min(threads, total) + 1).astype(int)
+        futures = [
+            self._shard_pool.submit(fn, int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        for future in futures:
+            future.result()
+
+    def _run_round_tree_compiled(
+        self,
+        round_index: int,
+        costs: Sequence[CostFunction],
+        x_played: np.ndarray,
+        participants: list[int],
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        """The tree round on the compiled backend — same phases A-G as
+        :meth:`_run_round_fast_tree`, bit-identical observables.
+
+        What changes is purely mechanical: payload packing, the shard
+        reductions, and the documented-order decision sums run as fused
+        kernels (:mod:`repro.backend.kernels`) over preallocated flat
+        buffers, optionally split across shard threads; deliveries go
+        through cached :class:`~repro.net.batch.DeliveryPlan` objects,
+        so no FrameBatch — and none of the ~3N per-round payload
+        columns — is ever materialized. Every delay draw, metric bump,
+        arrival time, and peer/ledger write matches the python tree
+        path (pinned by the integration trace-diff test and the kernel
+        property suite).
+
+        Peer writes are slimmed to the fields any later code path can
+        observe before the next round rewrites them (``current_round``,
+        ``global_cost``, ``straggler_id``, ``x``, the straggler's
+        ``alpha_bar`` cap — what the chaos invariants, the public
+        properties, and the next round's inputs read). Fields the
+        python tree path also rewrites every round but nothing reads
+        between rounds (``cost_fn``, ``local_cost``, ``is_straggler``,
+        ``_peer_decisions``) are skipped; an event-engine fallback
+        round re-initializes all of them via ``observe_round`` before
+        use.
+        """
+        n = self.num_workers
+        peers = self.peers
+        backend = self.backend
+        cc = self._compiled_structures(participants)
+        if self._membership_dirty:
+            cc.resync(peers)
+        m = cc.m
+        parts = cc.parts
+        t0 = self.cluster.engine.now
+        x = backend.asarray(x_played)
+        alphas = cc.alpha_arr
+        vector = AffineCostVector.coerce(costs)
+        if vector is not None:
+            vector = vector.astype(backend.dtype)
+            local = vector.values(x)
+        else:
+            local = backend.asarray([fn(xi) for fn, xi in zip(costs, x)])
+        backend.ensure(local, "local costs")
+
+        # Participant-ordered views (phase A payloads + reduction input).
+        ordered_local = np.empty(cc.n_parts, dtype=local.dtype)
+        ordered_alpha = np.empty(cc.n_parts, dtype=alphas.dtype)
+        self._map_ranges(
+            cc.n_parts,
+            lambda lo, hi: (
+                kernels.gather(local, parts, ordered_local, lo, hi),
+                kernels.gather(alphas, parts, ordered_alpha, lo, hi),
+            ),
+        )
+
+        # Lines 5-7 as flat reductions, kept (cheap) to cross-check the
+        # tree combine exactly like the python tree path does.
+        straggler = int(parts[identify_straggler(ordered_local)])
+        global_cost = float(ordered_local.max())
+        alpha = float(ordered_alpha.min())
+
+        # Phase A: member cost reports to their shard head.
+        events = 0
+        final_now = t0
+        if cc.plan_a is not None:
+            report_arrivals = cc.plan_a.deliver(round_index, t0)
+            events += report_arrivals.size
+            final_now = max(final_now, float(report_arrivals.max()))
+            head_ready = np.maximum(
+                segment_reduce(
+                    np.maximum, report_arrivals, cc.member_offsets, -np.inf
+                ),
+                t0,
+            )
+        else:
+            head_ready = np.full(m, t0)
+
+        # Per-shard consensus + up-tree semilattice combine (phase B's
+        # aggregates), fused.
+        out_max, out_arg, out_alpha = cc.out_max, cc.out_arg, cc.out_alpha
+        self._map_ranges(
+            m,
+            lambda lo, hi: kernels.shard_consensus(
+                ordered_local, ordered_alpha, parts, cc.full_offsets,
+                cc.ends, out_max, out_arg, out_alpha, lo, hi,
+            ),
+        )
+        kernels.combine_up_consensus(
+            out_max, out_arg, out_alpha, cc.order, cc.parent64
+        )
+        assert (
+            float(out_max[0]) == global_cost
+            and int(out_arg[0]) == straggler
+            and float(out_alpha[0]) == alpha
+        ), "tree aggregation diverged from the flat reduction"
+
+        # Phase B: aggregates climb the head tree, deepest level first.
+        up_ready = head_ready.copy()
+        for level, parent_lv, plan_b, _plan_f in cc.up_levels:
+            arrivals = plan_b.deliver(round_index, up_ready[level])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            kernels.scatter_max(up_ready, parent_lv, arrivals)
+
+        # Phase C: the global triple descends the head tree.
+        down_ready = np.full(m, np.inf)
+        down_ready[0] = up_ready[0]
+        for level, parent_lv, plan_c in cc.down_levels:
+            arrivals = plan_c.deliver(round_index, down_ready[parent_lv])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            down_ready[level] = arrivals
+
+        # Phase D: heads fan the triple out to their members.
+        if cc.plan_d is not None:
+            member_know = cc.plan_d.deliver(
+                round_index,
+                kernels.phase_d_sendtimes(down_ready, cc.member_shard),
+            )
+            events += member_know.size
+            final_now = max(final_now, float(member_know.max()))
+        else:
+            member_know = np.empty(0)
+
+        # Line 8 at every non-straggler (vectorized, same as python).
+        if vector is not None:
+            x_prime = np.minimum(vector.max_acceptable(global_cost), 1.0)
+        else:
+            x_prime = backend.asarray(
+                [min(fn.max_acceptable(global_cost), 1.0) for fn in costs]
+            )
+        x_prime = np.maximum(x_prime, x)
+        x_new = x - alpha * (x - x_prime)
+        backend.ensure(x_new, "updated allocation")
+
+        # Phase E: member decisions to their heads (straggler excluded;
+        # plan delivery with drop= draws count-1 delays against the
+        # masked send times, exactly like the python path's masked
+        # batch).
+        sum_ready = down_ready.copy()  # heads' own decisions ready on D
+        if cc.plan_e is not None:
+            member_ids = cc.member_ids
+            drop = int(np.searchsorted(member_ids, straggler))
+            if not (
+                drop < member_ids.size
+                and int(member_ids[drop]) == straggler
+            ):
+                drop = -1
+            if member_ids.size - (1 if drop >= 0 else 0) > 0:
+                if drop >= 0:
+                    arrivals = cc.plan_e.deliver(
+                        round_index, np.delete(member_know, drop), drop=drop
+                    )
+                    shard_idx = np.delete(cc.member_shard, drop)
+                else:
+                    arrivals = cc.plan_e.deliver(round_index, member_know)
+                    shard_idx = cc.member_shard
+                events += arrivals.size
+                final_now = max(final_now, float(arrivals.max()))
+                kernels.scatter_max(sum_ready, shard_idx, arrivals)
+
+        # Phase F: documented-order decision sums + up-tree frames.
+        ordered_x = np.empty(cc.n_parts, dtype=x_new.dtype)
+        self._map_ranges(
+            cc.n_parts,
+            lambda lo, hi: kernels.gather(x_new, parts, ordered_x, lo, hi),
+        )
+        exclude_pos = int(np.searchsorted(parts, straggler))
+        acc_sum = cc.acc_sum
+        self._map_ranges(
+            m,
+            lambda lo, hi: kernels.shard_decision_sums(
+                ordered_x, cc.full_offsets, cc.ends, exclude_pos, acc_sum,
+                lo, hi,
+            ),
+        )
+        kernels.combine_up_sums(acc_sum, cc.order, cc.parent64)
+        backend.ensure(acc_sum, "decision partial sums")
+        for level, parent_lv, _plan_b, plan_f in cc.up_levels:
+            arrivals = plan_f.deliver(round_index, sum_ready[level])
+            events += arrivals.size
+            final_now = max(final_now, float(arrivals.max()))
+            kernels.scatter_max(sum_ready, parent_lv, arrivals)
+
+        # Phase G + line 12: the grand total reaches the straggler.
+        total = acc_sum[0]
+        if straggler != cc.root:
+            batch = FrameBatch(
+                TAG_DECISION, cc.root_arr, np.array([straggler]),
+                {"x": np.array([total])}, round_index,
+            )
+            arrivals = cc.batched.deliver(batch, float(sum_ready[0]))
+            events += 1
+            final_now = max(final_now, float(arrivals.max()))
+        raw, x_close = kernels.phase_g_close(total)
+        if raw < -1e-9:
+            raise ProtocolError(
+                f"straggler workload went negative ({raw:.3e}); the "
+                "verbatim Eq. (8) cap was insufficient this round"
+            )
+
+        # Post-round state: the final allocation and the slim peer
+        # writes (see the docstring for why the write set is reduced).
+        x_new = np.asarray(x_new, dtype=float)
+        x_new[straggler] = x_close
+        if cc.nonparticipants.size:
+            # Non-participants' shares were folded into the straggler;
+            # their peers already hold x == 0.0 from the (dirty) round
+            # that removed them, so only the mirror needs the zeros.
+            x_new[cc.nonparticipants] = 0.0
+        local64 = np.full(n, np.nan)
+        local64[parts] = np.asarray(ordered_local, dtype=float)
+        x_list = x_new.tolist()
+        for i in cc.participants:
+            peer = peers[i]
+            peer.current_round = round_index
+            peer.global_cost = global_cost
+            peer.straggler_id = straggler
+            peer.x = x_list[i]
+        straggler_peer = peers[straggler]
+        straggler_peer.alpha_bar = min(
+            straggler_peer.alpha_bar,
+            feasibility_cap(x_close, len(participants)),
+        )  # line 13 / Eq. (8)
+        cc.x_arr = x_new  # owned: x_list copied the values out
+        cc.alpha_arr[straggler] = straggler_peer.alpha_bar
+
+        cc.batched.finish_round(final_now, events)
+        self.last_tree = cc.tree
+        self._membership_dirty = False
+        return x_played, local64, global_cost, straggler
+
     def _run_round_fast(
         self,
         round_index: int,
@@ -723,7 +1182,9 @@ class FullyDistributedDolbie:
             {"l": local[src], "alpha_bar": alphas[src]},
             round_index,
         )
-        arrivals = batched.deliver(cost_batch, t0)
+        arrivals = batched.deliver(
+            cost_batch, t0, chunk_frames=self._chunk_frames
+        )
         arrivals_in = arrivals[in_frames]  # (n, n-1): per-receiver arrivals
         completion = arrivals_in.max(axis=1)
         # The completing event per peer: among tied last arrivals the
@@ -760,7 +1221,9 @@ class FullyDistributedDolbie:
             TAG_DECISION, senders, np.full(n - 1, straggler),
             {"x": x_new[senders]}, round_index,
         )
-        decision_arrivals = batched.deliver(decision_batch, completion[senders])
+        decision_arrivals = batched.deliver(
+            decision_batch, completion[senders], chunk_frames=self._chunk_frames
+        )
 
         # Lines 11-12: the straggler closes the simplex, accumulating the
         # decisions in arrival order (ties by send sequence) exactly as
@@ -871,7 +1334,9 @@ class FullyDistributedDolbie:
                 {"l": local[member_ids], "alpha_bar": alphas[member_ids]},
                 round_index,
             )
-            report_arrivals = batched.deliver(report, t0)
+            report_arrivals = batched.deliver(
+                report, t0, chunk_frames=self._chunk_frames
+            )
             events += report_arrivals.size
             final_now = max(final_now, float(report_arrivals.max()))
             head_ready = np.maximum(
@@ -956,7 +1421,10 @@ class FullyDistributedDolbie:
             batch = FrameBatch(
                 TAG_COST, member_head, member_ids, payload, round_index
             )
-            member_know = batched.deliver(batch, down_ready[member_shard])
+            member_know = batched.deliver(
+                batch, down_ready[member_shard],
+                chunk_frames=self._chunk_frames,
+            )
             events += member_know.size
             final_now = max(final_now, float(member_know.max()))
         else:
@@ -983,7 +1451,10 @@ class FullyDistributedDolbie:
                 TAG_DECISION, e_src, member_head[sender_mask],
                 {"x": x_new[e_src]}, round_index,
             )
-            arrivals = batched.deliver(batch, member_know[sender_mask])
+            arrivals = batched.deliver(
+                batch, member_know[sender_mask],
+                chunk_frames=self._chunk_frames,
+            )
             events += arrivals.size
             final_now = max(final_now, float(arrivals.max()))
             np.maximum.at(sum_ready, member_shard[sender_mask], arrivals)
@@ -1079,35 +1550,68 @@ class FullyDistributedDolbie:
         # resharding; alive peers that just became unreachable stall and
         # have their shares folded by the participants' failure
         # detectors during this round.
-        components = self._reachable_components()
-        primary = max(components, key=lambda c: (len(c), -min(c)))
-        if len(primary) < 2:
-            raise ProtocolError(
-                f"round {round_index}: the primary component has only "
-                f"{len(primary)} reachable peer(s) "
-                f"(components: {sorted(sorted(c) for c in components)}); "
-                "a partition or a dead relay left no quorum to continue"
-            )
-        for worker in sorted(self._stalled & primary):
-            self._readmit(worker)  # heal: re-merge roster and reshard
-        for worker in sorted(set(self.alive_workers) - primary):
-            self._stalled.add(worker)
-        participants = self._participants()
-        participant_set = set(participants)
-        x_played = self.allocation
-        if self._tree_eligible(participants):
+        # Clean compiled route: when the previous round was a compiled
+        # tree round and nothing touched membership, chaos, or peer
+        # state since (``_membership_dirty`` is the single gate — every
+        # mutation path sets it), the membership resolution and the O(N)
+        # eligibility/allocation scans are skipped outright. Sound
+        # because with no chaos hooks, no partition, and no stalled
+        # peers the primary component and the rosters are exactly what
+        # the cached round left them; ``batch_eligible`` still runs (it
+        # also covers frames in flight).
+        cc = self._compiled_cache
+        if (
+            cc is not None
+            and not self._membership_dirty
+            and self.backend.compiled
+            and self.use_fast_path
+            and self.aggregation == "tree"
+            and not self._stalled
+            and self.cluster.batch_eligible()
+        ):
+            participants = cc.participants
+            x_played = cc.x_arr.copy()
+            route = "tree"
+        else:
+            components = self._reachable_components()
+            primary = max(components, key=lambda c: (len(c), -min(c)))
+            if len(primary) < 2:
+                raise ProtocolError(
+                    f"round {round_index}: the primary component has only "
+                    f"{len(primary)} reachable peer(s) "
+                    f"(components: {sorted(sorted(c) for c in components)}); "
+                    "a partition or a dead relay left no quorum to continue"
+                )
+            for worker in sorted(self._stalled & primary):
+                self._readmit(worker)  # heal: re-merge roster and reshard
+            for worker in sorted(set(self.alive_workers) - primary):
+                self._stalled.add(worker)
+            participants = self._participants()
+            participant_set = set(participants)
+            x_played = self.allocation
+            if self._tree_eligible(participants):
+                route = "tree"
+            elif self._fast_eligible(participants):
+                route = "fast"
+            else:
+                route = "event"
+        if route == "tree":
             self.fast_rounds += 1
             self.tree_rounds += 1
+            runner = (
+                self._run_round_tree_compiled
+                if self.backend.compiled
+                else self._run_round_fast_tree
+            )
             if profiler is None:
-                result = self._run_round_fast_tree(
-                    round_index, costs, x_played, participants
-                )
+                result = runner(round_index, costs, x_played, participants)
             else:
                 with profiler.span("protocol.tree_round"):
-                    result = self._run_round_fast_tree(
+                    result = runner(
                         round_index, costs, x_played, participants
                     )
-        elif self._fast_eligible(participants):
+        elif route == "fast":
+            self._membership_dirty = True  # peer state diverges from cc
             self.fast_rounds += 1
             if profiler is None:
                 result = self._run_round_fast(round_index, costs, x_played)
@@ -1115,6 +1619,7 @@ class FullyDistributedDolbie:
                 with profiler.span("protocol.fast_round"):
                     result = self._run_round_fast(round_index, costs, x_played)
         else:
+            self._membership_dirty = True  # peer state diverges from cc
             self.fallback_rounds += 1
             if profiler is None:
                 result = self._run_round_event(
@@ -1126,15 +1631,37 @@ class FullyDistributedDolbie:
                         round_index, costs, x_played, participants,
                         participant_set,
                     )
-        entry = LedgerEntry(
-            round_index=round_index,
-            straggler=int(result[3]),
-            global_cost=float(result[2]),
-            roster=tuple(self.roster),
-        )
-        self.ledger.append(entry)
-        for worker in entry.roster:
-            self._worker_ledgers[worker].append(entry)
+        if (
+            route == "tree"
+            and self.backend.compiled
+            and not self._membership_dirty
+        ):
+            # Compiled round completed: the roster is the cached tuple
+            # by the clean-route invariant, and the replicas take the
+            # authoritative-validated entry via their cached unchecked
+            # appends (same entry object, same ledgers, ~10x cheaper at
+            # N=10,000 than N validated appends).
+            cc = self._compiled_cache
+            assert cc is not None
+            entry = LedgerEntry(
+                round_index=round_index,
+                straggler=int(result[3]),
+                global_cost=float(result[2]),
+                roster=cc.roster_tuple,
+            )
+            self.ledger.append(entry)
+            for replicate in cc.replicas:
+                replicate(entry)
+        else:
+            entry = LedgerEntry(
+                round_index=round_index,
+                straggler=int(result[3]),
+                global_cost=float(result[2]),
+                roster=tuple(self.roster),
+            )
+            self.ledger.append(entry)
+            for worker in entry.roster:
+                self._worker_ledgers[worker].append(entry)
         if tracer is not None:
             roster_after = self.roster
             if roster_after != roster_before:

@@ -1,0 +1,200 @@
+"""Integration tests for the compiled FD tree round.
+
+The ``compiled`` backend replaces the python tree round's per-phase
+numpy with fused kernels, frame plans, and slim round bookkeeping — and
+the contract that makes it a backend (not a fork) is observational
+equivalence: **bit-identical** traces, ledgers, metrics, and virtual
+clock against the python tree path on float64, at any shard thread
+count. These tests pin that contract end to end, plus the chaos and
+checkpoint stories: compiled tree rounds under a fault schedule keep
+every invariant (including invariant 7, overlay consistency), and the
+aggregation config round-trips through snapshots with backend mismatch
+rejected loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import FaultSchedule
+from repro.chaos.soak import run_soak
+from repro.ckpt.state import capture_protocol, restore_protocol
+from repro.costs.timevarying import DriftingAffineProcess
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.net.links import ConstantLatency, Link, UniformLatency
+from repro.obs import Tracer, diff_traces
+from repro.protocols.fully_distributed import (
+    SHARD_THREADS_ENV,
+    FullyDistributedDolbie,
+)
+
+
+def _process(n, seed=0):
+    speeds = [1.0 + 3.0 * (i / max(n - 1, 1)) for i in range(n)]
+    return DriftingAffineProcess(speeds, amplitude=0.25, period=40.0, seed=seed)
+
+
+def _protocol(n, **kwargs):
+    link = kwargs.pop(
+        "link", Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+    )
+    return FullyDistributedDolbie(
+        n, link=link, aggregation="tree", **kwargs
+    )
+
+
+def _assert_observationally_equal(a, b, result_a, result_b):
+    assert np.array_equal(result_a.allocations, result_b.allocations)
+    assert np.array_equal(result_a.global_costs, result_b.global_costs)
+    assert np.array_equal(result_a.stragglers, result_b.stragglers)
+    assert np.array_equal(
+        result_a.local_costs, result_b.local_costs, equal_nan=True
+    )
+    assert a.ledger == b.ledger
+    for i in range(a.num_workers):
+        assert a.worker_ledger(i) == b.worker_ledger(i)
+    assert a.metrics.messages_total == b.metrics.messages_total
+    assert a.metrics.bytes_total == b.metrics.bytes_total
+    assert a.metrics.per_pair_messages == b.metrics.per_pair_messages
+    assert a.cluster.engine.now == b.cluster.engine.now
+    assert a.cluster.engine.processed_events == b.cluster.engine.processed_events
+    assert [p.x for p in a.peers] == [p.x for p in b.peers]
+    assert [p.alpha_bar for p in a.peers] == [p.alpha_bar for p in b.peers]
+
+
+class TestCompiledBitIdentity:
+    def test_trace_diff_empty_and_ledgers_equal_at_n1000(self):
+        n, horizon = 1000, 4
+        runs = {}
+        for backend in ("numpy64", "compiled"):
+            tracer = Tracer()
+            protocol = _protocol(n, backend=backend, tracer=tracer)
+            runs[backend] = (
+                protocol, protocol.run(_process(n), horizon), tracer
+            )
+            assert protocol.tree_rounds == horizon
+        python_p, python_r, python_t = runs["numpy64"]
+        compiled_p, compiled_r, compiled_t = runs["compiled"]
+        diff = diff_traces(python_t.trace, compiled_t.trace)
+        assert diff.empty, diff.summary()
+        _assert_observationally_equal(
+            python_p, compiled_p, python_r, compiled_r
+        )
+
+    def test_membership_churn_reconverges_to_identical_state(self):
+        # Crash + rejoin forces the compiled round off its clean route
+        # (membership dirty) and back on; the python path must be
+        # matched bit for bit through the whole episode.
+        n, seed = 60, 3
+        runs = {}
+        for backend in ("numpy64", "compiled"):
+            protocol = _protocol(n, backend=backend, shard_size=8)
+            process = _process(n, seed=seed)
+            outcomes = []
+            for t in range(1, 16):
+                if t == 4:
+                    protocol.crash_worker(17)
+                    protocol.crash_worker(0)  # a shard head
+                if t == 9:
+                    protocol.rejoin_worker(17)
+                x, _, cost, straggler = protocol.run_round(
+                    t, process.costs_at(t)
+                )
+                outcomes.append((tuple(x), cost, straggler))
+            runs[backend] = (protocol, outcomes)
+        assert runs["numpy64"][1] == runs["compiled"][1]
+        assert runs["numpy64"][0].ledger == runs["compiled"][0].ledger
+        assert runs["compiled"][0].tree_rounds > 0
+
+
+class TestParallelShards:
+    @pytest.mark.parametrize("threads", [2, 3, 7])
+    def test_any_thread_count_is_bit_identical_to_serial(self, threads):
+        n, horizon = 200, 6
+        serial = _protocol(n, backend="compiled", shard_threads=1)
+        threaded = _protocol(n, backend="compiled", shard_threads=threads)
+        result_serial = serial.run(_process(n), horizon)
+        result_threaded = threaded.run(_process(n), horizon)
+        _assert_observationally_equal(
+            serial, threaded, result_serial, result_threaded
+        )
+
+    def test_env_default_and_validation(self, monkeypatch):
+        monkeypatch.setenv(SHARD_THREADS_ENV, "4")
+        assert _protocol(10, backend="compiled").shard_threads == 4
+        monkeypatch.delenv(SHARD_THREADS_ENV)
+        assert _protocol(10, backend="compiled").shard_threads == 1
+        with pytest.raises(ConfigurationError, match="shard_threads"):
+            _protocol(10, backend="compiled", shard_threads=0)
+
+
+class TestChaosSoak:
+    N = 12
+    ROUNDS = 160
+
+    def _factory(self, backend):
+        def factory():
+            return FullyDistributedDolbie(
+                self.N,
+                link=Link(ConstantLatency(0.001)),
+                aggregation="tree",
+                shard_size=4,
+                backend=backend,
+            )
+
+        return factory
+
+    def test_compiled_tree_soak_keeps_all_invariants(self):
+        # run_soak checks every invariant after every round — including
+        # invariant 7 (overlay consistency) on the rounds that took the
+        # tree path under the compiled backend.
+        schedule = FaultSchedule.random(self.N, self.ROUNDS, seed=42)
+        process = _process(self.N, seed=11)
+        compiled = run_soak(
+            self._factory("compiled"), schedule, process, self.ROUNDS
+        )
+        assert compiled.ok, compiled.summary()
+        assert compiled.rounds_completed == self.ROUNDS
+        assert compiled.violations == ()
+        # and the soak trajectory equals the python backend's, so chaos
+        # handling (fallback rounds, resharding) diverged nowhere
+        python = run_soak(
+            self._factory("numpy64"), schedule, process, self.ROUNDS
+        )
+        assert np.array_equal(compiled.allocations, python.allocations)
+        assert np.array_equal(compiled.global_costs, python.global_costs)
+
+
+class TestCheckpointRoundTrip:
+    def _advance(self, protocol, process, start, stop):
+        for t in range(start, stop):
+            protocol.run_round(t, process.costs_at(t))
+
+    def test_compiled_parallel_config_round_trips(self):
+        n = 24
+        protocol = _protocol(
+            n, backend="compiled", shard_size=5, shard_threads=3
+        )
+        process = _process(n)
+        self._advance(protocol, process, 1, 6)
+        state = capture_protocol(protocol)
+        assert state["aggregation"]["backend"] == "compiled"
+        assert state["aggregation"]["shard_threads"] == 3
+
+        # shard_threads is informational, not identity: any thread count
+        # restores (the compiled round is bit-identical at all counts)
+        replica = _protocol(
+            n, backend="compiled", shard_size=5, shard_threads=1
+        )
+        restore_protocol(replica, state)
+        self._advance(protocol, process, 6, 10)
+        self._advance(replica, _process(n), 6, 10)
+        assert np.array_equal(replica.allocation, protocol.allocation)
+        assert replica.ledger == protocol.ledger
+
+    def test_backend_mismatch_is_rejected(self):
+        n = 12
+        protocol = _protocol(n, backend="compiled", shard_size=4)
+        self._advance(protocol, _process(n), 1, 3)
+        state = capture_protocol(protocol)
+        with pytest.raises(CheckpointError, match="aggregation config"):
+            restore_protocol(_protocol(n, shard_size=4), state)

@@ -109,3 +109,51 @@ class TestNep50Foundation:
         assert (x * 0.5).dtype == np.float32
         assert np.maximum(x, 0.0).dtype == np.float32
         assert np.where(x > 0.5, x, 0.0).dtype == np.float32
+
+
+class TestCompiledBackend:
+    def test_registry_entry(self):
+        import numpy as np
+
+        from repro.backend import BACKENDS, get_backend
+
+        compiled = get_backend("compiled")
+        assert compiled is BACKENDS["compiled"]
+        assert compiled.compiled is True
+        assert compiled.dtype == np.dtype(np.float64)
+        # the plain backends report compiled=False
+        assert get_backend("numpy64").compiled is False
+        assert get_backend("numpy32").compiled is False
+
+    def test_explicit_compiled_is_always_honored(self):
+        from repro.backend import get_backend
+
+        assert get_backend("compiled").name == "compiled"
+
+    def test_env_compiled_without_numba_warns_once_and_falls_back(
+        self, monkeypatch, caplog
+    ):
+        import logging
+
+        import repro.backend as backend_mod
+        from repro.backend.kernels import HAVE_NUMBA
+
+        if HAVE_NUMBA:
+            pytest.skip("numba present: env compiled resolves for real")
+        monkeypatch.setenv("REPRO_BACKEND", "compiled")
+        monkeypatch.setattr(backend_mod, "_warned_compiled_fallback", False)
+        with caplog.at_level(logging.WARNING, logger="repro.backend"):
+            first = backend_mod.get_backend()
+            second = backend_mod.get_backend()
+        assert first.name == "numpy64" and second.name == "numpy64"
+        warnings = [
+            r for r in caplog.records if "falling back" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # one-shot latch
+
+    def test_unknown_name_lists_available_backends(self):
+        from repro.backend import get_backend
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError, match="compiled.*numpy32.*numpy64"):
+            get_backend("cuda")

@@ -112,3 +112,33 @@ class TestHistory:
     def test_unwritable_history_is_silent(self, tmp_path):
         target = tmp_path / "not-a-dir" / "BENCH_history.jsonl"
         append_history([_result()], target)  # must not raise
+
+
+class TestPeakRss:
+    def test_helper_reports_positive_bytes_on_posix(self):
+        from repro.experiments.bench import _peak_rss_bytes
+
+        peak = _peak_rss_bytes()
+        # this test process has certainly used more than 10 MB
+        assert peak > 10 * 1024 * 1024
+
+    def test_results_and_history_carry_peak_rss(self, tmp_path):
+        result = BenchmarkResult(
+            name="fig4",
+            incremental_s=1.0,
+            materialized_s=0.5,
+            speedup=2.0,
+            rounds=10,
+            peak_rss_bytes=123_456_789,
+        )
+        data = load_results(
+            write_results([result], tmp_path / "r.json", BENCH, jobs=1)
+        )
+        assert data["benchmarks"]["fig4"]["peak_rss_bytes"] == 123_456_789
+        history = tmp_path / "h.jsonl"
+        append_history([result], history, jobs=1)
+        line = json.loads(history.read_text())
+        assert line["benchmarks"]["fig4"]["peak_rss_bytes"] == 123_456_789
+
+    def test_default_is_zero_for_hand_built_results(self):
+        assert _result().peak_rss_bytes == 0

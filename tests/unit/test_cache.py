@@ -176,3 +176,42 @@ class TestMaterializeCached:
         cache.materialize_cached(_env(), 5)
         longer = cache.materialize_cached(_env(), 9)
         assert longer.speed_matrix.shape[0] == 9
+
+
+class TestDtypeKeys:
+    def test_dtype_is_part_of_the_fingerprint(self):
+        env = _env()
+        fp64 = cache.environment_fingerprint(env, 10, "numpy64")
+        fp32 = cache.environment_fingerprint(env, 10, "numpy32")
+        assert fp64["dtype"] == "float64" and fp32["dtype"] == "float32"
+        assert cache.cache_key(env, 10, "numpy64") != cache.cache_key(
+            env, 10, "numpy32"
+        )
+
+    def test_compiled_shares_entries_with_numpy64(self):
+        # the key hashes the dtype, not the backend name: compiled is
+        # float64, so it reuses numpy64's stored matrices
+        env = _env()
+        assert cache.cache_key(env, 10, "compiled") == cache.cache_key(
+            env, 10, "numpy64"
+        )
+        assert cache.cache_key(env, 10) == cache.cache_key(env, 10, "numpy64")
+
+    def test_float32_round_trip_preserves_dtype(self):
+        env = _env()
+        first = cache.materialize_cached(env, 5, backend="numpy32")
+        assert first.speed_matrix.dtype == np.float32
+        hit = cache.materialize_cached(_env(), 5, backend="numpy32")
+        assert hit.speed_matrix.dtype == np.float32
+        assert np.array_equal(hit.speed_matrix, first.speed_matrix)
+        assert np.array_equal(hit.slope_matrix, first.slope_matrix)
+
+    def test_dtypes_do_not_collide_on_disk(self):
+        env = _env()
+        m32 = cache.materialize_cached(env, 5, backend="numpy32")
+        m64 = cache.materialize_cached(_env(), 5, backend="numpy64")
+        assert m32.speed_matrix.dtype == np.float32
+        assert m64.speed_matrix.dtype == np.float64
+        # the float64 entry equals a fresh float64 materialization bitwise
+        fresh = _env().materialize(5)
+        assert np.array_equal(m64.speed_matrix, fresh.speed_matrix)

@@ -93,3 +93,28 @@ class TestPrefixConsistency:
             dropped, authority, preserved_prefix=prefix
         )
         assert any("lost its pre-crash ledger prefix" in p for p in problems)
+
+
+class TestReplicate:
+    def test_replicate_appends_without_validation(self):
+        authority = RoundLedger()
+        replica = RoundLedger()
+        for t in (1, 2, 5):
+            entry = LedgerEntry(t, straggler=0, global_cost=1.0, roster=(0, 1))
+            authority.append(entry)  # validates
+            replica.replicate(entry)  # unchecked fan-out of the same entry
+        assert replica == authority
+        assert prefix_consistency_violations(replica, authority) == []
+
+    def test_replicated_subsequence_stays_consistent(self):
+        # A replica that missed rounds (worker was down) receives a
+        # subsequence of the authoritative stream — still valid.
+        authority = RoundLedger()
+        replica = RoundLedger()
+        for t in range(1, 6):
+            entry = LedgerEntry(t, straggler=t % 2, global_cost=float(t), roster=(0, 1))
+            authority.append(entry)
+            if t not in (2, 3):
+                replica.replicate(entry)
+        assert prefix_consistency_violations(replica, authority) == []
+        assert len(replica) == 3

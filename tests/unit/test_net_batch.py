@@ -313,3 +313,215 @@ class TestFrameBatch:
         assert batch.size_bytes == 24  # 3 scalar fields x 8 bytes
         assert batch.total_bytes == 48
         assert batch.pairs() == [(3, 0), (3, 1)]
+
+
+def _phase_cluster(n=6, seed=7):
+    nodes = [Node(i) for i in range(n)]
+    rng = np.random.default_rng(seed)
+    return Cluster(nodes, default_link=Link(UniformLatency(0.001, 0.01, rng)))
+
+
+def _phase_batch(round_index=3):
+    # 7 frames, repeated pairs, out-of-order destinations — enough
+    # structure to distinguish per-frame from per-pair accounting.
+    return FrameBatch(
+        tag="cost",
+        src=np.array([1, 2, 3, 1, 4, 2, 5]),
+        dst=np.array([0, 0, 1, 0, 1, 0, 2]),
+        payload={
+            "l": np.arange(7, dtype=float),
+            "alpha": np.arange(7, dtype=float) / 8,
+        },
+        round_index=round_index,
+    )
+
+
+class TestFrameBatchChunks:
+    def test_chunk_boundary_frames_reassemble_exactly(self):
+        batch = _phase_batch()
+        chunks = list(batch.chunks(3))
+        assert [(lo, sub.count) for lo, sub in chunks] == [(0, 3), (3, 3), (6, 1)]
+        assert np.array_equal(
+            np.concatenate([sub.src for _, sub in chunks]), batch.src
+        )
+        assert np.array_equal(
+            np.concatenate([sub.payload["l"] for _, sub in chunks]),
+            batch.payload["l"],
+        )
+        for _, sub in chunks:
+            assert sub.tag == batch.tag and sub.round_index == batch.round_index
+            assert sub.size_bytes == batch.size_bytes
+            # zero-copy: chunk columns are views of the parent arrays
+            assert sub.src.base is batch.src
+
+    def test_single_frame_chunks(self):
+        batch = _phase_batch()
+        chunks = list(batch.chunks(1))
+        assert len(chunks) == batch.count
+        assert all(sub.count == 1 for _, sub in chunks)
+        assert [lo for lo, _ in chunks] == list(range(batch.count))
+
+    def test_chunk_size_larger_than_batch_yields_batch_itself(self):
+        batch = _phase_batch()
+        chunks = list(batch.chunks(batch.count * 10))
+        assert len(chunks) == 1
+        lo, sub = chunks[0]
+        assert lo == 0 and sub is batch
+
+    def test_invalid_chunk_size_raises(self):
+        with pytest.raises(ValueError):
+            list(_phase_batch().chunks(0))
+
+    def test_default_chunk_frames_env(self, monkeypatch):
+        from repro.net.batch import CHUNK_ENV, DEFAULT_CHUNK_FRAMES, default_chunk_frames
+
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        assert default_chunk_frames() == DEFAULT_CHUNK_FRAMES
+        monkeypatch.setenv(CHUNK_ENV, "100")
+        assert default_chunk_frames() == 100
+        monkeypatch.setenv(CHUNK_ENV, "0")
+        assert default_chunk_frames() is None
+
+
+class TestChunkedDelivery:
+    """deliver(chunk_frames=K) is bit-identical to one-shot delivery."""
+
+    def _deliver(self, chunk_frames, send_times):
+        cluster = _phase_cluster()
+        batched = cluster.batched()
+        batch = _phase_batch()
+        arrivals = batched.deliver(batch, send_times, chunk_frames=chunk_frames)
+        next_draw = cluster._default_link.delay_batch(1, 8)[0]
+        return cluster, arrivals, next_draw
+
+    @pytest.mark.parametrize("send_times", [0.25, np.linspace(0.0, 0.6, 7)])
+    @pytest.mark.parametrize("chunk_frames", [1, 2, 3, 100])
+    def test_bit_identical_to_one_shot(self, chunk_frames, send_times):
+        ref_cluster, ref_arrivals, ref_draw = self._deliver(None, send_times)
+        cluster, arrivals, draw = self._deliver(chunk_frames, send_times)
+        assert np.array_equal(arrivals, ref_arrivals)
+        # RNG stream position: the next draw agrees
+        assert draw == ref_draw
+        assert cluster.metrics.messages_total == ref_cluster.metrics.messages_total
+        assert cluster.metrics.bytes_total == ref_cluster.metrics.bytes_total
+        assert (
+            cluster.metrics.per_round_messages
+            == ref_cluster.metrics.per_round_messages
+        )
+        # Per-pair values AND counter creation order
+        assert list(cluster.metrics.per_pair_messages.items()) == list(
+            ref_cluster.metrics.per_pair_messages.items()
+        )
+        for i in range(6):
+            assert (
+                cluster.node(i).received_count
+                == ref_cluster.node(i).received_count
+            )
+
+
+class TestDeliveryPlan:
+    """Plan delivery matches eager FrameBatch delivery bit for bit."""
+
+    def _eager(self, batch, send_times):
+        cluster = _phase_cluster()
+        batched = cluster.batched()
+        arrivals = batched.deliver(batch, send_times)
+        return cluster, arrivals
+
+    def _planned(self, batch, send_times, drop=None):
+        cluster = _phase_cluster()
+        batched = cluster.batched()
+        plan = batched.plan(batch.src, batch.dst, len(batch.payload))
+        arrivals = plan.deliver(batch.round_index, send_times, drop=drop)
+        return cluster, arrivals, plan
+
+    def _assert_parity(self, eager_cluster, plan_cluster):
+        assert (
+            plan_cluster.metrics.messages_total
+            == eager_cluster.metrics.messages_total
+        )
+        assert plan_cluster.metrics.bytes_total == eager_cluster.metrics.bytes_total
+        assert (
+            plan_cluster.metrics.per_round_messages
+            == eager_cluster.metrics.per_round_messages
+        )
+        assert list(plan_cluster.metrics.per_pair_messages.items()) == list(
+            eager_cluster.metrics.per_pair_messages.items()
+        )
+        for i in range(6):
+            assert (
+                plan_cluster.node(i).received_count
+                == eager_cluster.node(i).received_count
+            )
+
+    def test_accounting_parity_with_eager_delivery(self):
+        batch = _phase_batch()
+        send_times = np.linspace(0.0, 0.6, batch.count)
+        eager_cluster, eager_arrivals = self._eager(batch, send_times)
+        plan_cluster, plan_arrivals, _ = self._planned(batch, send_times)
+        assert np.array_equal(plan_arrivals, eager_arrivals)
+        self._assert_parity(eager_cluster, plan_cluster)
+        # Same RNG stream consumption: next draw agrees
+        assert (
+            plan_cluster._default_link.delay_batch(1, 8)[0]
+            == eager_cluster._default_link.delay_batch(1, 8)[0]
+        )
+
+    def test_repeat_rounds_accumulate_like_eager(self):
+        batch = _phase_batch()
+        eager_cluster, _ = self._eager(batch, 0.0)
+        eager_cluster.batched().deliver(
+            FrameBatch(batch.tag, batch.src, batch.dst, batch.payload, 4), 1.0
+        )
+        plan_cluster, _, plan = self._planned(batch, 0.0)
+        plan.deliver(4, 1.0)
+        self._assert_parity(eager_cluster, plan_cluster)
+
+    def test_drop_matches_eager_masked_delivery(self):
+        # Member->head layout: every frame is a distinct (src, dst) pair,
+        # the precondition for drop=.
+        src = np.array([1, 2, 3, 4, 5])
+        dst = np.array([0, 0, 0, 3, 3])
+        payload = {"x": np.arange(5, dtype=float)}
+        send = np.linspace(0.0, 1.0, 5)
+        drop = 2
+        masked = FrameBatch(
+            "decision", np.delete(src, drop), np.delete(dst, drop),
+            {"x": np.delete(payload["x"], drop)}, 6,
+        )
+        eager_cluster, eager_arrivals = self._eager(masked, np.delete(send, drop))
+        plan_cluster = _phase_cluster()
+        plan = plan_cluster.batched().plan(src, dst, 1)
+        plan_arrivals = plan.deliver(6, np.delete(send, drop), drop=drop)
+        assert np.array_equal(plan_arrivals, eager_arrivals)
+        self._assert_parity(eager_cluster, plan_cluster)
+
+    def test_metrics_reset_revalidates_pair_handles(self):
+        batch = _phase_batch()
+        plan_cluster, _, plan = self._planned(batch, 0.0)
+        plan_cluster.metrics.reset()
+        plan.deliver(5, 0.0)
+        eager_cluster, _ = self._eager(batch, 0.0)
+        assert list(plan_cluster.metrics.per_pair_messages.items()) == list(
+            eager_cluster.metrics.per_pair_messages.items()
+        )
+
+    def test_pair_accounting_disabled_skips_pair_dict(self):
+        cluster = _phase_cluster()
+        cluster.metrics.pair_accounting = False
+        plan = cluster.batched().plan(np.array([1]), np.array([0]), 1)
+        plan.deliver(1, 0.0)
+        assert cluster.metrics.per_pair_messages == {}
+        assert cluster.metrics.messages_total == 1
+
+    def test_shape_mismatch_raises(self):
+        cluster = _phase_cluster()
+        with pytest.raises(ValueError):
+            cluster.batched().plan(np.array([1, 2]), np.array([0]), 1)
+
+    def test_ineligible_cluster_refuses(self):
+        cluster = _phase_cluster()
+        plan = cluster.batched().plan(np.array([1]), np.array([0]), 1)
+        cluster.set_extra_delay(0, 1.0)
+        with pytest.raises(SimulationError):
+            plan.deliver(1, 0.0)
