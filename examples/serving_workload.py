@@ -1,0 +1,93 @@
+"""Serving workload: route an open-loop request trace, compare tail latency.
+
+A heterogeneous 6-worker fleet (speeds spread 6x) serves an open-loop
+Poisson arrival trace at 85% of fleet capacity. Four routing policies
+see the *identical* requests and service draws, so every latency
+difference is pure routing:
+
+* ``wrr``    — static weighted round-robin (knows the speeds, never adapts)
+* ``dolbie`` — DOLBIE retunes the routing weights each control period
+* ``jsq``    — join-shortest-queue (an oracle: global instantaneous state)
+* ``p2c``    — power-of-two-choices (two probes per request)
+
+The second half switches to a bursty trace and kills the slowest worker
+mid-run, showing the fault invariant: its dispatch count freezes at the
+crash, stranded requests fail, and the survivors absorb the traffic.
+
+Run:  python examples/serving_workload.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving import (
+    ServingSimulator,
+    WorkerCrash,
+    make_arrivals,
+    make_policy,
+)
+
+NUM_WORKERS = 6
+REQUESTS = 30_000
+SEED = 42
+
+MU = np.linspace(0.5, 3.0, NUM_WORKERS)  # requests/s per worker
+RATE = 0.85 * float(MU.sum())
+
+
+def run_policy(name: str, arrival: str = "poisson", crashes=()) -> ServingSimulator:
+    simulator = ServingSimulator(
+        make_arrivals(arrival, RATE, seed=SEED),
+        make_policy(name, NUM_WORKERS, MU, seed=SEED),
+        MU,
+        seed=SEED,
+        quantile_mode="exact",
+        crashes=crashes,
+    )
+    simulator.run(REQUESTS)
+    return simulator
+
+
+def main() -> None:
+    print(
+        f"fleet: N={NUM_WORKERS}, speeds {MU[0]:.1f}..{MU[-1]:.1f} req/s, "
+        f"poisson arrivals at {RATE:.1f} req/s ({REQUESTS} requests)\n"
+    )
+    print(f"{'policy':>8}  {'p50':>7}  {'p99':>7}  {'p999':>8}  {'SLO att.':>8}")
+    summaries = {}
+    for name in ("wrr", "dolbie", "jsq", "p2c"):
+        summary = run_policy(name).summary()
+        summaries[name] = summary
+        print(
+            f"{name:>8}  {summary.p50:>7.3f}  {summary.p99:>7.3f}  "
+            f"{summary.p999:>8.3f}  {100 * summary.slo_attainment:>7.2f}%"
+        )
+    gap = summaries["wrr"].p99 - summaries["dolbie"].p99
+    print(f"\nonline adaptation buys {gap:+.3f}s of p99 over static weights")
+
+    crash_time = 0.4 * REQUESTS / RATE  # mid-trace, while queues are busy
+    simulator = run_policy(
+        "dolbie", arrival="bursty", crashes=[WorkerCrash(crash_time, 0)]
+    )
+    summary = simulator.summary()
+    frozen = simulator.death_dispatch[0]
+    print(
+        f"\non a bursty trace, worker 0 crashed at t={crash_time:.0f}s: "
+        f"{summary.failed} stranded requests failed, "
+        f"{summary.completed} completed"
+    )
+    print(
+        f"dispatch count frozen at {frozen} "
+        f"(final: {int(simulator.dispatched[0])} — no post-crash routing)"
+    )
+    weights = simulator.effective_weights()
+    print(
+        "surviving weights: ["
+        + ", ".join(f"{w:.3f}" for w in weights)
+        + f"] (sum {weights.sum():.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

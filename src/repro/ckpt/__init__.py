@@ -36,6 +36,7 @@ from repro.ckpt.runner import (
 )
 from repro.ckpt.snapshot import SNAPSHOT_VERSION, Snapshot
 from repro.ckpt.state import (
+    capture_arrivals,
     capture_cluster,
     capture_engine,
     capture_fluctuation_trace,
@@ -43,6 +44,8 @@ from repro.ckpt.state import (
     capture_link,
     capture_protocol,
     capture_rng,
+    capture_serving,
+    restore_arrivals,
     restore_cluster,
     restore_engine,
     restore_fluctuation_trace,
@@ -50,6 +53,7 @@ from repro.ckpt.state import (
     restore_link,
     restore_protocol,
     restore_rng,
+    restore_serving,
     rng_from_state,
 )
 from repro.ckpt.store import CheckpointStore
@@ -77,6 +81,10 @@ __all__ = [
     "restore_fluctuation_trace",
     "capture_injector",
     "restore_injector",
+    "capture_arrivals",
+    "restore_arrivals",
+    "capture_serving",
+    "restore_serving",
     "run_with_checkpoints",
     "resume_run",
     "run_result_to_csv",

@@ -60,6 +60,10 @@ __all__ = [
     "restore_fluctuation_trace",
     "capture_injector",
     "restore_injector",
+    "capture_arrivals",
+    "restore_arrivals",
+    "capture_serving",
+    "restore_serving",
 ]
 
 
@@ -621,6 +625,35 @@ def restore_fluctuation_trace(trace, state: Mapping) -> None:
     trace._spike_factor = float(state["spike_factor"])
     restore_rng(trace._rng_ar, state["rng_ar"])
     restore_rng(trace._rng_spike, state["rng_spike"])
+
+
+# -- serving workload -----------------------------------------------------
+def capture_arrivals(process) -> dict:
+    """An :class:`repro.serving.arrivals.ArrivalProcess`'s stream state.
+
+    Thin indirection over the process's own ``capture_state`` so serving
+    snapshots plug into the checkpoint subsystem alongside every other
+    ``capture_*`` family.
+    """
+    return process.capture_state()
+
+
+def restore_arrivals(process, state: Mapping) -> None:
+    process.restore_state(state)
+
+
+def capture_serving(simulator) -> dict:
+    """A :class:`repro.serving.dispatcher.ServingSimulator` snapshot.
+
+    Only legal between chunks: the vectorized Lindley recursion's float
+    association depends on the segment layout, so resuming mid-chunk
+    would re-associate sums and break bit-identity.
+    """
+    return simulator.capture_state()
+
+
+def restore_serving(simulator, state: Mapping) -> None:
+    simulator.restore_state(state)
 
 
 # -- chaos injector -------------------------------------------------------

@@ -32,6 +32,11 @@ Commands
     (``trace record``), summarize a trace file (``trace show``), or
     compare two traces field-by-field (``trace diff``, exit 1 when they
     differ) — see ``docs/observability.md``.
+``serve``
+    Run the open-loop serving dispatcher on a seeded arrival trace:
+    one or more routing policies over a heterogeneous fleet, reporting
+    p50/p99/p999 latency and SLO attainment (optionally the JSONL
+    serving trace) — see ``docs/serving.md``.
 ``profile``
     Run an instrumented workload and print the per-span wall/CPU table.
 ``list``
@@ -63,6 +68,7 @@ from repro.experiments import (
     regret_experiment,
     resilience,
     sensitivity,
+    serving_experiment,
 )
 from repro.experiments.config import PAPER, QUICK, ExperimentScale, paper_balancer
 from repro.mlsim.environment import TrainingEnvironment
@@ -86,6 +92,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale], object]] = {
     "edge": edge_scenario.main,
     "sensitivity": sensitivity.main,
     "resilience": resilience.main,
+    "serving": serving_experiment.main,
 }
 
 _SCALES = {"quick": QUICK, "paper": PAPER}
@@ -298,9 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
         "record", help="record a canonical scenario as deterministic JSONL"
     )
     record.add_argument(
-        "scenario", choices=["mw", "fd", "loop", "trainer"],
+        "scenario", choices=["mw", "fd", "loop", "trainer", "serving"],
         help="mw/fd = protocol architectures, loop = centralized "
-        "reference, trainer = training simulator",
+        "reference, trainer = training simulator, serving = open-loop "
+        "dispatcher",
     )
     record.add_argument("--out", required=True, help="JSONL file to write")
     record.add_argument(
@@ -327,6 +335,39 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--out", default=None,
         help="also write the diff summary to a file (CI artifact)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the open-loop serving dispatcher and report tail latency",
+    )
+    serve.add_argument(
+        "--policy", nargs="+", default=["dolbie"],
+        help="routing policies to run (or 'all'); see docs/serving.md",
+    )
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument("--requests", type=int, default=50_000)
+    serve.add_argument(
+        "--arrival", choices=["poisson", "bursty", "diurnal"],
+        default="poisson",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--control-period", type=float, default=None,
+        help="seconds between weight updates (default: ~25N arrivals)",
+    )
+    serve.add_argument(
+        "--slo", type=float, default=None,
+        help="latency SLO in seconds (default: 3x the equalized sojourn)",
+    )
+    serve.add_argument(
+        "--quantiles", choices=["sketch", "exact"], default="sketch",
+        help="sketch = bounded-memory streaming summary, exact = full sort",
+    )
+    serve.add_argument(
+        "--trace-out", default=None,
+        help="write the serving trace (per-period records) as JSONL; "
+        "with multiple policies, the policy name is suffixed to the stem",
     )
 
     profile = sub.add_parser(
@@ -622,6 +663,88 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if diff.empty else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.reporting import print_table
+    from repro.experiments.serving_experiment import fleet_service_rates
+    from repro.io import save_trace
+    from repro.obs.tracer import Tracer
+    from repro.serving import (
+        SERVING_POLICIES,
+        ServingSimulator,
+        make_arrivals,
+        make_policy,
+    )
+
+    policies = list(args.policy)
+    if policies == ["all"]:
+        policies = sorted(SERVING_POLICIES)
+    unknown = [name for name in policies if name not in SERVING_POLICIES]
+    if unknown:
+        print(
+            f"serve: unknown policies {unknown}; choose from "
+            f"{sorted(SERVING_POLICIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    mu = fleet_service_rates(args.workers)
+    rate = 0.85 * float(mu.sum())
+    rows = []
+    slo = None
+    for name in policies:
+        arrivals = make_arrivals(args.arrival, rate, seed=args.seed)
+        tracer = Tracer() if args.trace_out else None
+        if tracer is not None:
+            tracer.header(
+                "serving",
+                args.workers,
+                args.requests,
+                seed=args.seed,
+                policy=name,
+                arrivals=args.arrival,
+            )
+        simulator = ServingSimulator(
+            arrivals,
+            make_policy(name, args.workers, mu, seed=args.seed),
+            mu,
+            seed=args.seed,
+            control_period=args.control_period,
+            slo=args.slo,
+            quantile_mode=args.quantiles,
+            tracer=tracer,
+        )
+        summary = simulator.run(args.requests)
+        slo = summary.slo
+        rows.append(
+            [
+                name,
+                f"{summary.p50:.3f}",
+                f"{summary.p99:.3f}",
+                f"{summary.p999:.3f}",
+                f"{summary.mean_latency:.3f}",
+                f"{100.0 * summary.slo_attainment:.2f}%",
+                summary.completed,
+                summary.failed,
+            ]
+        )
+        if tracer is not None:
+            out = Path(args.trace_out)
+            if len(policies) > 1:
+                out = out.with_name(f"{out.stem}-{name}{out.suffix}")
+            path = save_trace(tracer.trace, out)
+            print(f"wrote {path}")
+    print_table(
+        f"serving: N={args.workers}, {args.requests} {args.arrival} "
+        f"requests at rate {rate:.2f}/s, SLO={slo:.2f}s "
+        f"({args.quantiles} quantiles)",
+        ["policy", "p50", "p99", "p999", "mean", "SLO att.", "completed",
+         "failed"],
+        rows,
+    )
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import Profiler
     from repro.obs import scenarios
@@ -692,6 +815,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "ckpt": _cmd_ckpt,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
         "list": _cmd_list,
     }

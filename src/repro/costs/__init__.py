@@ -9,6 +9,7 @@ from repro.costs.nonlinear import (
     PiecewiseLinearCost,
     PowerLawCost,
     QueueingDelayCost,
+    SaturatingQueueingCost,
 )
 from repro.costs.timevarying import (
     CostProcess,
@@ -31,6 +32,7 @@ __all__ = [
     "LogCost",
     "PiecewiseLinearCost",
     "QueueingDelayCost",
+    "SaturatingQueueingCost",
     "CostProcess",
     "StaticCostProcess",
     "RandomAffineProcess",

@@ -13,7 +13,13 @@ costs:
 * :class:`PiecewiseLinearCost` — increasing splines, models throughput
   cliffs (e.g. memory pressure past a knee);
 * :class:`QueueingDelayCost` — M/M/1-style ``x / (mu - lam * x)`` sharp
-  blow-up near saturation, the classic edge-server execution-delay model.
+  blow-up near saturation, the classic edge-server execution-delay model;
+* :class:`SaturatingQueueingCost` — the same M/M/1 sojourn curve below a
+  saturation knee, continued linearly above it, so the cost is defined on
+  the whole simplex. The serving control plane evaluates costs at
+  whatever allocation the routing policy actually played — possibly past
+  a worker's stability region — and needs a finite (huge, steep) value
+  there instead of a domain error.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ __all__ = [
     "LogCost",
     "PiecewiseLinearCost",
     "QueueingDelayCost",
+    "SaturatingQueueingCost",
 ]
 
 
@@ -191,3 +198,60 @@ class QueueingDelayCost(CostFunction):
 
     def __repr__(self) -> str:
         return f"QueueingDelayCost(mu={self.mu:.4g}, lam={self.lam:.4g}, c={self.c:.4g})"
+
+
+class SaturatingQueueingCost(CostFunction):
+    """M/M/1 sojourn delay with a finite linear extension past saturation.
+
+    Below the knee ``x_knee = knee * mu / lam`` this is exactly
+    :class:`QueueingDelayCost`: ``f(x) = 1 / (mu - lam x) + c``. At the
+    knee the curve continues as the tangent line, whose slope
+    ``lam / (mu - lam x_knee)^2`` is enormous for ``knee`` close to 1 —
+    so an overloaded worker looks catastrophically (but finitely)
+    expensive rather than raising a domain error. ``f`` is C^1,
+    strictly increasing, and defined on all of ``[0, x_max]``, which is
+    what the serving control plane needs: the measured allocation can
+    sit anywhere on the simplex, including past a slow worker's
+    stability region.
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        lam: float,
+        c: float = 0.0,
+        x_max: float = 1.0,
+        knee: float = 0.95,
+    ) -> None:
+        if mu <= 0 or lam <= 0:
+            raise CostFunctionError("mu and lam must be positive")
+        if c < 0:
+            raise CostFunctionError("c must be non-negative")
+        if not 0 < knee < 1:
+            raise CostFunctionError(f"knee must lie in (0, 1), got {knee}")
+        self.mu, self.lam, self.c = float(mu), float(lam), float(c)
+        self.x_max = float(x_max)
+        self.x_knee = knee * self.mu / self.lam
+        denom_knee = self.mu - self.lam * self.x_knee  # = (1 - knee) * mu
+        self.f_knee = 1.0 / denom_knee
+        self.slope = self.lam / denom_knee**2
+
+    def value(self, x: float) -> float:
+        if x < self.x_knee:
+            return 1.0 / (self.mu - self.lam * x) + self.c
+        return self.f_knee + self.slope * (x - self.x_knee) + self.c
+
+    def level_inverse(self, level: float) -> float:
+        gap = level - self.c
+        if gap <= 0:
+            return 0.0
+        if gap < self.f_knee:
+            # 1/(mu - lam x) = gap  =>  x = (mu - 1/gap) / lam
+            return (self.mu - 1.0 / gap) / self.lam
+        return self.x_knee + (gap - self.f_knee) / self.slope
+
+    def __repr__(self) -> str:
+        return (
+            f"SaturatingQueueingCost(mu={self.mu:.4g}, lam={self.lam:.4g}, "
+            f"c={self.c:.4g}, x_knee={self.x_knee:.4g})"
+        )

@@ -1,0 +1,219 @@
+"""Request-level serving comparison: tail latency per routing policy.
+
+The round-based experiments ask "what is the worst per-round cost?";
+this one asks the serving question — "what latency does the slowest 1%
+of *requests* see?" — on an open-loop arrival trace routed across a
+heterogeneous fleet (service rates spread ~6x, total load 85% of fleet
+capacity). Every policy sees the *identical* arrival trace and the
+identical per-request service draws (both come from dedicated
+substreams, and routing itself consumes no randomness for the
+weight-based policies), so latency differences are pure routing.
+
+Policies: static weighted round-robin (knows the speeds, never adapts),
+DOLBIE tuning the weights once per control period from measured-rate
+M/M/1 cost curves, and the state-based serving classics JSQ and
+power-of-two-choices. The headline comparison is DOLBIE vs WRR: both
+start from the same speed-proportional weights, so the p99 gap is
+exactly what online min-max adaptation buys at equal prior knowledge.
+At quick scale the full FD message-passing protocol rides along as the
+control plane (``dolbie-fd``) to pin the end-to-end distributed path.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.config import QUICK, ExperimentScale
+from repro.experiments.reporting import print_table
+from repro.obs.records import ServingPeriodRecord
+from repro.obs.tracer import Tracer
+from repro.serving import ServingSimulator, ServingSummary, make_arrivals, make_policy
+
+__all__ = ["ServingComparison", "run", "write_csv", "render_figure", "main"]
+
+#: Policies compared at each scale. The FD protocol control plane is
+#: quick-scale only: at 1M requests its per-period message passing
+#: dominates wall clock without changing the story (same update rule).
+QUICK_POLICIES = ("wrr", "dolbie", "dolbie-fd", "jsq", "p2c")
+PAPER_POLICIES = ("wrr", "dolbie", "jsq", "p2c")
+
+
+def fleet_service_rates(num_workers: int) -> np.ndarray:
+    """The heterogeneous-speed fleet: service rates spread ~6x."""
+    return np.linspace(0.5, 3.0, num_workers)
+
+
+@dataclass(frozen=True)
+class ServingComparison:
+    """Every policy's tail metrics on one seeded arrival trace."""
+
+    num_workers: int
+    requests: int
+    arrival: str
+    rate: float
+    slo: float
+    summaries: dict[str, ServingSummary]  #: policy -> end-of-run metrics
+    period_p99: dict[str, np.ndarray]  #: policy -> per-period exact p99
+
+    @property
+    def p99_gap(self) -> float:
+        """WRR p99 minus DOLBIE p99 — what online adaptation buys."""
+        return self.summaries["wrr"].p99 - self.summaries["dolbie"].p99
+
+
+def run_policy(
+    policy_name: str,
+    num_workers: int,
+    requests: int,
+    *,
+    arrival: str = "poisson",
+    seed: int = 0,
+    quantile_mode: str = "sketch",
+    chunk_size: int | None = None,
+    trace_periods: bool = True,
+) -> tuple[ServingSummary, np.ndarray]:
+    """One policy on the seeded trace; returns (summary, per-period p99)."""
+    mu = fleet_service_rates(num_workers)
+    rate = 0.85 * float(mu.sum())
+    arrivals = make_arrivals(arrival, rate, seed=seed)
+    tracer = Tracer() if trace_periods else None
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+    simulator = ServingSimulator(
+        arrivals,
+        make_policy(policy_name, num_workers, mu, seed=seed),
+        mu,
+        seed=seed,
+        quantile_mode=quantile_mode,
+        tracer=tracer,
+        **kwargs,
+    )
+    summary = simulator.run(requests)
+    if tracer is None:
+        return summary, np.empty(0)
+    p99 = np.array(
+        [
+            record.p99
+            for record in tracer.trace.records
+            if isinstance(record, ServingPeriodRecord)
+        ]
+    )
+    return summary, p99
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    num_workers: int | None = None,
+    requests: int | None = None,
+    arrival: str = "poisson",
+    policies: tuple[str, ...] | None = None,
+    quantile_mode: str = "sketch",
+) -> ServingComparison:
+    """Run every policy on the same seeded trace and collect tail stats."""
+    quick = scale.label == "quick"
+    if num_workers is None:
+        num_workers = 8 if quick else 32
+    if requests is None:
+        requests = 20_000 if quick else 1_000_000
+    if policies is None:
+        policies = QUICK_POLICIES if quick else PAPER_POLICIES
+    mu = fleet_service_rates(num_workers)
+    rate = 0.85 * float(mu.sum())
+    summaries: dict[str, ServingSummary] = {}
+    period_p99: dict[str, np.ndarray] = {}
+    for name in policies:
+        summaries[name], period_p99[name] = run_policy(
+            name,
+            num_workers,
+            requests,
+            arrival=arrival,
+            seed=scale.base_seed,
+            quantile_mode=quantile_mode,
+        )
+    return ServingComparison(
+        num_workers=num_workers,
+        requests=requests,
+        arrival=arrival,
+        rate=rate,
+        slo=next(iter(summaries.values())).slo,
+        summaries=summaries,
+        period_p99=period_p99,
+    )
+
+
+def write_csv(comparison: ServingComparison, path: str | Path) -> Path:
+    """Per-control-period exact p99 of every policy, one row per period."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    names = list(comparison.period_p99)
+    periods = min(len(series) for series in comparison.period_p99.values())
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["period", *names])
+        for t in range(periods):
+            writer.writerow(
+                [t + 1]
+                + [repr(float(comparison.period_p99[n][t])) for n in names]
+            )
+    return out
+
+
+def render_figure(comparison: ServingComparison, path: str | Path) -> Path:
+    """Per-period p99 trajectories — adaptation visible as decay."""
+    from repro.viz.svg import LineChart
+
+    chart = LineChart(
+        title=(
+            f"Serving tail latency per control period "
+            f"(N={comparison.num_workers}, {comparison.arrival} arrivals, "
+            f"{comparison.requests} requests)"
+        ),
+        xlabel="control period",
+        ylabel="p99 latency (s)",
+        log_y=True,
+    )
+    for name, series in comparison.period_p99.items():
+        if series.size == 0:
+            continue
+        periods = np.arange(1, series.size + 1)
+        chart.add_series(name, periods, np.maximum(series, 1e-9))
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    return chart.save(out)
+
+
+def main(scale: ExperimentScale = QUICK) -> ServingComparison:
+    comparison = run(scale)
+    rows = [
+        [
+            name,
+            f"{s.p50:.3f}",
+            f"{s.p99:.3f}",
+            f"{s.p999:.3f}",
+            f"{s.mean_latency:.3f}",
+            f"{100.0 * s.slo_attainment:.2f}%",
+            s.completed,
+        ]
+        for name, s in comparison.summaries.items()
+    ]
+    print_table(
+        f"Serving comparison (N={comparison.num_workers}, "
+        f"{comparison.requests} {comparison.arrival} requests, "
+        f"SLO={comparison.slo:.2f}s)",
+        ["policy", "p50", "p99", "p999", "mean", "SLO att.", "completed"],
+        rows,
+    )
+    print(
+        f"p99 gap (wrr - dolbie): {comparison.p99_gap:+.3f}s "
+        f"({'DOLBIE ahead' if comparison.p99_gap > 0 else 'WRR ahead'})"
+    )
+    write_csv(comparison, Path("results/paper/serving_p99.csv"))
+    render_figure(comparison, Path("results/figures/serving_p99.svg"))
+    return comparison
+
+
+if __name__ == "__main__":
+    main()

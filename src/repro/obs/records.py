@@ -28,6 +28,12 @@ Record kinds
     frame-loss bursts) as the cluster applies them.
 ``phase``
     Virtual-time span and event count of one named protocol phase.
+``serving_period``
+    One control period of the open-loop serving dispatcher: arrivals,
+    completions, the routing weights in force, per-worker dispatch
+    counts, and the period's exact latency stats.
+``serving_summary``
+    End-of-run serving metrics: tail quantiles and SLO attainment.
 """
 
 from __future__ import annotations
@@ -49,6 +55,8 @@ __all__ = [
     "MembershipRecord",
     "FaultRecord",
     "PhaseRecord",
+    "ServingPeriodRecord",
+    "ServingSummaryRecord",
     "record_to_dict",
     "record_from_dict",
     "float_tuple",
@@ -156,6 +164,48 @@ class PhaseRecord:
     events: int
 
 
+@dataclass(frozen=True)
+class ServingPeriodRecord:
+    """One control period of the open-loop serving dispatcher.
+
+    ``weights`` is the effective routing distribution in force for the
+    *next* period (post-update, masked to the living roster) for
+    weight-based policies; for sequential policies it is uniform over
+    the living roster. ``p50``/``p99`` are exact over the period's
+    completed requests.
+    """
+
+    kind: ClassVar[str] = "serving_period"
+    round: int
+    policy: str
+    arrivals: int
+    completed: int
+    weights: tuple[float, ...]
+    dispatched: tuple[int, ...]
+    p50: float
+    p99: float
+    mean_latency: float
+
+
+@dataclass(frozen=True)
+class ServingSummaryRecord:
+    """End-of-run serving metrics for one policy on one trace."""
+
+    kind: ClassVar[str] = "serving_summary"
+    round: int
+    policy: str
+    requests: int
+    completed: int
+    failed: int
+    p50: float
+    p99: float
+    p999: float
+    mean_latency: float
+    slo: float
+    slo_attainment: float
+    quantile_mode: str
+
+
 #: kind -> record class, for deserialization.
 RECORD_KINDS: dict[str, type] = {
     cls.kind: cls
@@ -167,6 +217,8 @@ RECORD_KINDS: dict[str, type] = {
         MembershipRecord,
         FaultRecord,
         PhaseRecord,
+        ServingPeriodRecord,
+        ServingSummaryRecord,
     )
 }
 

@@ -29,6 +29,7 @@ __all__ = [
     "protocol_trace",
     "loop_trace",
     "trainer_trace",
+    "serving_trace",
 ]
 
 #: Defaults of the committed golden traces (small enough to diff in git).
@@ -117,6 +118,42 @@ def trainer_trace(
     return tracer.trace
 
 
+def serving_trace(
+    num_workers: int = GOLDEN_WORKERS,
+    rounds: int = GOLDEN_ROUNDS,
+    seed: int = GOLDEN_SEED,
+) -> Trace:
+    """Record an open-loop serving run: DOLBIE tuning routing weights
+    over a Poisson trace, ~40 requests per control period."""
+    from repro.serving import PoissonArrivals, ServingSimulator, make_policy
+
+    mu = np.linspace(1.0, 3.0, num_workers)
+    rate = 0.85 * float(mu.sum())
+    control_period = 40.0 / rate
+    total = 40 * rounds
+    tracer = Tracer()
+    tracer.header(
+        "serving",
+        num_workers,
+        rounds,
+        seed=seed,
+        policy="dolbie",
+        arrivals="poisson",
+        requests=total,
+    )
+    simulator = ServingSimulator(
+        PoissonArrivals(rate, seed=seed),
+        make_policy("dolbie", num_workers, mu, seed=seed),
+        mu,
+        seed=seed,
+        control_period=control_period,
+        quantile_mode="exact",
+        tracer=tracer,
+    )
+    simulator.run(total)
+    return tracer.trace
+
+
 #: name -> builder taking (engine, num_workers, rounds, seed).
 SCENARIOS = {
     "mw": lambda engine, n, rounds, seed: protocol_trace(
@@ -127,6 +164,7 @@ SCENARIOS = {
     ),
     "loop": lambda engine, n, rounds, seed: loop_trace(n, rounds, seed),
     "trainer": lambda engine, n, rounds, seed: trainer_trace(n, rounds, seed),
+    "serving": lambda engine, n, rounds, seed: serving_trace(n, rounds, seed),
 }
 
 

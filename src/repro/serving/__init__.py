@@ -1,0 +1,61 @@
+"""Request-level open-loop serving workload (ROADMAP: serving arc).
+
+The round-based engines model synchronized batch tuning; this package
+models the paper's other motivating regime — "heavy traffic from
+millions of users" — as an open-loop serving system: timestamped request
+arrivals streamed from seeded generators, routed across heterogeneous
+M/M/1-style workers by a pluggable policy, with DOLBIE (or the full FD
+protocol) tuning the routing weights online once per control period and
+tail latency (p50/p99/p999, SLO attainment) as the yardstick.
+"""
+
+from repro.serving.arrivals import (
+    ARRIVALS,
+    DEFAULT_CHUNK,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+from repro.serving.dispatcher import (
+    ServingSimulator,
+    ServingSummary,
+    WorkerCrash,
+)
+from repro.serving.policies import (
+    SERVING_POLICIES,
+    DolbieRouting,
+    FdDolbieRouting,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    RoutingPolicy,
+    WeightedRoundRobin,
+    WeightedRouting,
+    make_policy,
+)
+from repro.serving.quantiles import ExactQuantiles, QuantileSketch
+
+__all__ = [
+    "ARRIVALS",
+    "DEFAULT_CHUNK",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "make_arrivals",
+    "QuantileSketch",
+    "ExactQuantiles",
+    "RoutingPolicy",
+    "WeightedRouting",
+    "WeightedRoundRobin",
+    "DolbieRouting",
+    "FdDolbieRouting",
+    "JoinShortestQueue",
+    "PowerOfTwoChoices",
+    "SERVING_POLICIES",
+    "make_policy",
+    "ServingSimulator",
+    "ServingSummary",
+    "WorkerCrash",
+]

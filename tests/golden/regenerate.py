@@ -14,6 +14,12 @@ commit the result alongside the change that caused it::
 
     PYTHONPATH=src python tests/golden/regenerate.py --bless
 
+``--bless`` refuses to overwrite a golden that already has uncommitted
+changes: blessing on top of a dirty file silently merges two separate
+edits into one opaque blob, and the diff that review depends on is lost.
+Commit or revert the dirty golden first, or pass ``--force`` to bless
+anyway. Outside a git checkout the guard degrades to allow-all.
+
 Golden diffs are reviewable: each file is deterministic sorted-key JSONL,
 so `git diff` shows exactly which rounds and fields moved.
 """
@@ -21,6 +27,7 @@ so `git diff` shows exactly which rounds and fields moved.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -34,7 +41,39 @@ GOLDEN_FILES = {
     "fd": "fd.jsonl",
     "loop": "loop.jsonl",
     "trainer": "trainer.jsonl",
+    "serving": "serving.jsonl",
 }
+
+
+def dirty_goldens(filenames: list[str]) -> list[str]:
+    """The subset of ``filenames`` with uncommitted changes in git.
+
+    Returns ``[]`` when the goldens live outside a git checkout (or git
+    itself is unavailable): there is no committed state to protect, so
+    the bless guard degrades to allow-all rather than blocking.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain", "--", *filenames],
+            cwd=GOLDEN_DIR,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:
+        return []
+    dirty = []
+    for line in proc.stdout.splitlines():
+        # Porcelain v1: two status columns, a space, then the path
+        # (relative to the repo root; compare by basename since every
+        # golden lives flat in GOLDEN_DIR).
+        path = line[3:].strip().strip('"')
+        name = Path(path).name
+        if name in filenames:
+            dirty.append(name)
+    return sorted(dirty)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -44,7 +83,23 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="overwrite the committed goldens with freshly recorded traces",
     )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="bless even goldens that have uncommitted changes",
+    )
     args = parser.parse_args(argv)
+
+    if args.bless and not args.force:
+        dirty = dirty_goldens(list(GOLDEN_FILES.values()))
+        if dirty:
+            print(
+                "refusing to bless: uncommitted changes in "
+                + ", ".join(dirty)
+                + "\ncommit or revert them first (or pass --force)",
+                file=sys.stderr,
+            )
+            return 2
 
     from repro.io import load_trace, save_trace
     from repro.obs import diff_traces

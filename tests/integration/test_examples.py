@@ -76,3 +76,11 @@ def test_chaos_testing():
     assert "[PASS]" in out
     assert "invariant violations: 0" in out
     assert "bit-identical allocations across runs: True" in out
+
+
+def test_serving_workload():
+    out = _run("serving_workload.py")
+    assert "dolbie" in out and "jsq" in out
+    assert "online adaptation buys +" in out  # DOLBIE beats WRR on p99
+    assert "no post-crash routing" in out
+    assert "sum 1.000" in out  # survivor weights renormalized

@@ -88,3 +88,32 @@ def test_mw_and_fd_play_equivalent_decision_streams():
         [r.global_cost for r in fd],
         rtol=1e-12,
     )
+
+
+def test_serving_scenario_matches_golden():
+    trace = build_trace("serving")
+    diff = diff_traces(_golden("serving"), trace, include_header=True)
+    assert diff.empty, f"[serving] {BLESS_HINT}\n{diff.summary()}"
+
+
+def test_serving_golden_has_expected_shape():
+    trace = _golden("serving")
+    counts = trace.kind_counts()
+    assert counts["header"] == 1
+    assert counts["serving_summary"] == 1
+    # One record per control period, plus the final partial period.
+    assert counts["serving_period"] >= 30
+    summary = trace.by_kind("serving_summary")[0]
+    assert summary.completed == summary.requests
+    assert summary.failed == 0
+    assert 0.0 < summary.p50 <= summary.p99 <= summary.p999
+
+
+def test_serving_scenario_is_bit_identical_across_runs():
+    # Two in-process builds — fresh RNG substreams each — must agree on
+    # every record field, the cross-run determinism contract CI also
+    # checks through the CLI.
+    diff = diff_traces(
+        build_trace("serving"), build_trace("serving"), include_header=True
+    )
+    assert diff.empty, diff.summary()

@@ -1,0 +1,135 @@
+"""Integration: worker crashes mid-trace interact with serving correctly.
+
+The serving fault invariant under test: after a worker's death is
+detected, **no request is ever routed to it again** — its dispatch count
+is frozen at the crash (``death_dispatch``) — the routing weights
+renormalize over the survivors, requests still queued on the dead worker
+count as ``failed``, and the membership change lands in the trace. All
+scenarios are seeded, so the exact stranded-request count is pinned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.records import MembershipRecord, ServingSummaryRecord
+from repro.obs.tracer import Tracer
+from repro.serving import (
+    PoissonArrivals,
+    ServingSimulator,
+    WorkerCrash,
+    make_policy,
+)
+
+N = 6
+MU = np.linspace(0.5, 3.0, N)
+RATE = 0.9 * float(MU.sum())
+SEED = 7
+TOTAL = 5000
+CRASH_TIME = 150.0
+
+
+def _run(policy_name, crashes, tracer=None, total=TOTAL):
+    sim = ServingSimulator(
+        PoissonArrivals(RATE, seed=SEED),
+        make_policy(policy_name, N, MU, seed=SEED),
+        MU,
+        seed=SEED,
+        quantile_mode="exact",
+        tracer=tracer,
+        crashes=crashes,
+    )
+    return sim, sim.run(total)
+
+
+class TestCrashInvariants:
+    @pytest.mark.parametrize("policy", ["wrr", "dolbie", "jsq", "p2c"])
+    def test_no_request_routed_after_death(self, policy):
+        sim, summary = _run(policy, [WorkerCrash(CRASH_TIME, 0)])
+        # The frozen-at-crash count equals the final count: zero
+        # post-death dispatches.
+        assert sim.death_dispatch == {0: int(sim.dispatched[0])}
+        assert not sim.alive[0]
+        assert sim.alive[1:].all()
+        assert summary.completed + summary.failed == TOTAL
+
+    def test_stranded_requests_count_as_failed(self):
+        sim, summary = _run("wrr", [WorkerCrash(CRASH_TIME, 0)])
+        # Seeded and deterministic: worker 0 had exactly 8 undeparted
+        # requests at t=150. They fail; everything else completes.
+        assert summary.failed == 8
+        assert summary.completed == TOTAL - 8
+        assert summary.requests == TOTAL
+
+    def test_weights_renormalize_over_survivors(self):
+        sim, _ = _run("dolbie", [WorkerCrash(CRASH_TIME, 0)])
+        weights = sim.effective_weights()
+        assert weights[0] == 0.0
+        assert weights[1:].sum() == pytest.approx(1.0)
+        assert np.all(weights[1:] > 0.0)
+
+    def test_membership_record_lands_in_trace(self):
+        tracer = Tracer()
+        tracer.header("serving", N, TOTAL, seed=SEED, policy="wrr")
+        _, summary = _run("wrr", [WorkerCrash(CRASH_TIME, 0)], tracer=tracer)
+        memberships = [
+            r for r in tracer.trace.records if isinstance(r, MembershipRecord)
+        ]
+        assert len(memberships) == 1
+        assert memberships[0].action == "crash"
+        assert memberships[0].workers == (0,)
+        assert memberships[0].roster == tuple(range(1, N))
+        summaries = [
+            r
+            for r in tracer.trace.records
+            if isinstance(r, ServingSummaryRecord)
+        ]
+        assert len(summaries) == 1
+        assert summaries[0].failed == summary.failed
+
+    def test_multiple_crashes_each_freeze_their_worker(self):
+        sim, summary = _run(
+            "wrr", [WorkerCrash(120.0, 1), WorkerCrash(260.0, 0)]
+        )
+        assert set(sim.death_dispatch) == {0, 1}
+        for worker, frozen in sim.death_dispatch.items():
+            assert frozen == int(sim.dispatched[worker])
+        assert not sim.alive[0] and not sim.alive[1]
+        assert summary.completed + summary.failed == TOTAL
+
+    def test_seeded_crash_run_is_reproducible(self):
+        a_sim, a = _run("dolbie", [WorkerCrash(CRASH_TIME, 0)])
+        b_sim, b = _run("dolbie", [WorkerCrash(CRASH_TIME, 0)])
+        assert a == b
+        np.testing.assert_array_equal(a_sim.dispatched, b_sim.dispatched)
+        np.testing.assert_array_equal(
+            np.concatenate(a_sim.store._chunks),
+            np.concatenate(b_sim.store._chunks),
+        )
+
+
+class TestScheduleValidation:
+    def test_rejects_killing_every_worker(self):
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(
+                PoissonArrivals(RATE, seed=SEED),
+                make_policy("wrr", N, MU, seed=SEED),
+                MU,
+                crashes=[WorkerCrash(10.0 * (w + 1), w) for w in range(N)],
+            )
+
+    def test_rejects_double_crash_and_bad_worker(self):
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(
+                PoissonArrivals(RATE, seed=SEED),
+                make_policy("wrr", N, MU, seed=SEED),
+                MU,
+                crashes=[WorkerCrash(10.0, 2), WorkerCrash(20.0, 2)],
+            )
+        with pytest.raises(ConfigurationError):
+            ServingSimulator(
+                PoissonArrivals(RATE, seed=SEED),
+                make_policy("wrr", N, MU, seed=SEED),
+                MU,
+                crashes=[WorkerCrash(10.0, N)],
+            )

@@ -1,0 +1,88 @@
+"""Integration: the serving comparison experiment end-to-end at QUICK scale."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import QUICK
+from repro.experiments.serving_experiment import (
+    QUICK_POLICIES,
+    fleet_service_rates,
+    render_figure,
+    run,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run(QUICK)
+
+
+class TestComparison:
+    def test_covers_every_quick_policy(self, comparison):
+        assert set(comparison.summaries) == set(QUICK_POLICIES)
+        assert comparison.num_workers == 8
+        for summary in comparison.summaries.values():
+            assert summary.requests == comparison.requests
+            assert summary.completed == comparison.requests
+            assert summary.failed == 0
+            assert 0.0 < summary.p50 <= summary.p99 <= summary.p999
+            assert np.isfinite(summary.p999)
+
+    def test_dolbie_beats_wrr_on_p99(self, comparison):
+        # The headline: same speed-proportional starting weights, so the
+        # gap is exactly what online min-max adaptation buys.
+        assert comparison.p99_gap > 0.0
+
+    def test_fd_control_plane_matches_centralized(self, comparison):
+        # Same update rule, so the distributed control plane reproduces
+        # the centralized DOLBIE run bit-for-bit (all fields except the
+        # policy name itself).
+        from dataclasses import asdict
+
+        fd = asdict(comparison.summaries["dolbie-fd"])
+        central = asdict(comparison.summaries["dolbie"])
+        fd.pop("policy"), central.pop("policy")
+        assert fd == central
+
+    def test_jsq_oracle_beats_every_weight_policy(self, comparison):
+        # Instantaneous global state is strictly more information than
+        # any weight vector; if this inverts, the dispatcher is broken.
+        jsq = comparison.summaries["jsq"].p99
+        for name in ("wrr", "dolbie"):
+            assert jsq < comparison.summaries[name].p99
+
+    def test_every_policy_saw_the_identical_trace(self, comparison):
+        durations = {
+            s.duration for s in comparison.summaries.values()
+        }
+        assert len(durations) == 1  # same arrival stream for everyone
+
+    def test_fleet_is_heterogeneous(self):
+        mu = fleet_service_rates(8)
+        assert mu.shape == (8,)
+        assert mu[-1] / mu[0] == pytest.approx(6.0)
+
+
+class TestWriters:
+    def test_csv_has_one_row_per_period(self, comparison, tmp_path):
+        path = write_csv(comparison, tmp_path / "serving_p99.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[0] == "period"
+        assert set(header[1:]) == set(QUICK_POLICIES)
+        periods = min(len(s) for s in comparison.period_p99.values())
+        assert len(data) == periods
+        # repr round-trip: the CSV is bit-exact.
+        name = header[1]
+        assert float(data[0][1]) == float(comparison.period_p99[name][0])
+
+    def test_figure_renders_svg(self, comparison, tmp_path):
+        path = render_figure(comparison, tmp_path / "serving_p99.svg")
+        content = path.read_text()
+        assert content.startswith("<svg") or "<svg" in content
+        for name in QUICK_POLICIES:
+            assert name in content

@@ -1,0 +1,78 @@
+"""Integration: one million requests stream through the serving path.
+
+The whole point of the streaming design — chunked arrival generation and
+a bounded-memory quantile sketch — is that request count never shows up
+as memory. This drives the full 1M-request paper-scale configuration in
+a *subprocess* (the RSS high-water mark is process-wide, so the ceiling
+is only meaningful from a fresh process) and asserts it completes under
+1 GB with finite tail quantiles.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+DRIVER = """
+import json
+import resource
+import sys
+
+import numpy as np
+
+from repro.serving import PoissonArrivals, ServingSimulator, make_policy
+from repro.experiments.serving_experiment import fleet_service_rates
+
+N, TOTAL = 32, 1_000_000
+mu = fleet_service_rates(N)
+rate = 0.85 * float(mu.sum())
+sim = ServingSimulator(
+    PoissonArrivals(rate, seed=0),
+    make_policy("dolbie", N, mu, seed=0),
+    mu,
+    seed=0,
+    quantile_mode="sketch",
+)
+summary = sim.run(TOTAL)
+peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+json.dump(
+    {
+        "requests": summary.requests,
+        "completed": summary.completed,
+        "failed": summary.failed,
+        "p50": summary.p50,
+        "p99": summary.p99,
+        "p999": summary.p999,
+        "slo_attainment": summary.slo_attainment,
+        "peak_rss_bytes": peak,
+        "dispatched_total": int(sim.dispatched.sum()),
+    },
+    sys.stdout,
+)
+"""
+
+
+def test_one_million_requests_stream_under_a_1gb_ceiling():
+    proc = subprocess.run(
+        [sys.executable, "-c", DRIVER],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["requests"] == 1_000_000
+    assert stats["completed"] == 1_000_000
+    assert stats["failed"] == 0
+    assert stats["dispatched_total"] == 1_000_000
+    assert 0.0 < stats["p50"] <= stats["p99"] <= stats["p999"]
+    assert stats["p999"] < float("inf")
+    assert 0.0 < stats["slo_attainment"] <= 1.0
+    # The streaming acceptance criterion: far below materializing 1M
+    # request records, and below the 1 GB ceiling with a wide margin.
+    assert stats["peak_rss_bytes"] < 1_000_000_000, (
+        f"peak RSS {stats['peak_rss_bytes'] / 1e6:.0f} MB exceeds ceiling"
+    )

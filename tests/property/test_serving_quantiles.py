@@ -1,0 +1,206 @@
+"""Property-based tests for the streaming quantile sketch (hypothesis).
+
+The sketch's headline guarantee is *self-certified*: every query comes
+with a rank-error bound computed from its own summary. These tests check
+that guarantee against an exact-sort oracle on adversarial streams —
+heavy ties, sorted/reversed inserts, tiny and huge batches — plus the
+structural summary invariants and the checkpoint round-trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.serving.quantiles import ExactQuantiles, QuantileSketch
+
+QS = (0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0)
+
+
+@st.composite
+def streams(draw):
+    """A latency-like stream delivered in arbitrary batches."""
+    n = draw(st.integers(1, 5000))
+    shape = draw(st.sampled_from(["iid", "sorted", "reversed", "ties"]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    values = rng.exponential(1.0, size=n)
+    if shape == "sorted":
+        values = np.sort(values)
+    elif shape == "reversed":
+        values = np.sort(values)[::-1]
+    elif shape == "ties":
+        values = np.round(values, 1)  # massive duplication
+    batches = []
+    pos = 0
+    while pos < n:
+        size = draw(st.integers(1, max(1, n // 3)))
+        batches.append(values[pos : pos + size])
+        pos += size
+    return values, batches
+
+
+def _small_sketch():
+    # Tiny summary/buffer so compression and merging actually trigger
+    # at property-test sizes.
+    return QuantileSketch(max_summary=64, buffer_size=128)
+
+
+class TestCertifiedError:
+    @given(streams())
+    @settings(max_examples=60, deadline=None)
+    def test_true_rank_within_certified_bound(self, stream):
+        values, batches = stream
+        sketch = _small_sketch()
+        oracle = ExactQuantiles()
+        for batch in batches:
+            sketch.add(batch)
+            oracle.add(batch)
+        n = len(values)
+        for q in QS:
+            estimate = sketch.query(q)
+            bound = sketch.certified_error(q)
+            target = 1.0 + q * (n - 1)
+            lo, hi = oracle.rank_interval(estimate)
+            # The estimate's true rank interval must intersect
+            # [target - bound, target + bound].
+            assert lo - bound <= target <= hi + bound, (
+                f"q={q}: estimate {estimate} has true ranks [{lo}, {hi}], "
+                f"target {target}, certified bound {bound}"
+            )
+
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_certified_bound_stays_useful(self, stream):
+        values, batches = stream
+        sketch = _small_sketch()
+        for batch in batches:
+            sketch.add(batch)
+        n = len(values)
+        for q in (0.5, 0.99):
+            # ~2n/max_summary is the design bound on distinct values;
+            # heavy ties widen rank intervals, so allow 8x headroom —
+            # the test pins the order of magnitude, not the constant.
+            assert sketch.certified_error(q) <= max(16.0 * n / 64, 2.0)
+
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_are_inserted_values_and_extremes_exact(self, stream):
+        values, batches = stream
+        sketch = _small_sketch()
+        for batch in batches:
+            sketch.add(batch)
+        for q in QS:
+            assert sketch.query(q) in values
+        assert sketch.query(0.0) == values.min()
+        assert sketch.query(1.0) == values.max()
+
+
+class TestSummaryInvariants:
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_bounds_well_formed_and_count_conserved(self, stream):
+        values, batches = stream
+        sketch = _small_sketch()
+        for batch in batches:
+            sketch.add(batch)
+        sketch._flush()
+        assert sketch.count == len(values)
+        vals, rmin, rmax = sketch._vals, sketch._rmin, sketch._rmax
+        assert vals.size <= sketch.max_summary + 2
+        assert np.all(np.diff(vals) >= 0.0)
+        assert np.all(rmin <= rmax)
+        assert np.all(rmin >= 1)
+        assert np.all(rmax <= sketch.count)
+        # The min and max of the stream are pinned exactly at the ends.
+        assert vals[0] == values.min() and int(rmin[0]) == 1
+        assert vals[-1] == values.max() and int(rmax[-1]) == sketch.count
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_a=st.integers(1, 2000),
+        n_b=st.integers(1, 2000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_of_exact_summaries_conserves_total_rank_span(
+        self, seed, n_a, n_b
+    ):
+        from repro.serving.quantiles import _merge
+
+        rng = np.random.default_rng(seed)
+        a = np.sort(rng.exponential(1.0, n_a))
+        b = np.sort(rng.exponential(1.0, n_b))
+        ra = np.arange(1, n_a + 1, dtype=np.int64)
+        rb = np.arange(1, n_b + 1, dtype=np.int64)
+        vals, rmin, rmax = _merge(a, ra, ra, b, rb, rb)
+        assert vals.size == n_a + n_b
+        assert int(rmax[-1]) == n_a + n_b
+        assert int(rmin[0]) == 1
+        assert np.all(rmin <= rmax)
+        # Distinct values from continuous draws: merged ranks are exact.
+        if np.unique(vals).size == vals.size:
+            np.testing.assert_array_equal(rmin, rmax)
+            np.testing.assert_array_equal(
+                vals, np.sort(np.concatenate((a, b)))
+            )
+
+
+class TestExactReference:
+    @given(streams())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_path_matches_numpy_sort(self, stream):
+        values, batches = stream
+        oracle = ExactQuantiles()
+        for batch in batches:
+            oracle.add(batch)
+        data = np.sort(values)
+        for q in QS:
+            r = int(round(1.0 + q * (len(values) - 1))) - 1
+            assert oracle.query(q) == data[r]
+
+    def test_empty_stores_raise(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().query(0.5)
+        with pytest.raises(ConfigurationError):
+            ExactQuantiles().query(0.5)
+        with pytest.raises(ConfigurationError):
+            QuantileSketch().add([np.inf])
+
+
+class TestCheckpoint:
+    @given(streams())
+    @settings(max_examples=30, deadline=None)
+    def test_sketch_resume_is_bit_identical(self, stream):
+        values, batches = stream
+        colocated = _small_sketch()
+        resumed = _small_sketch()
+        split = len(batches) // 2
+        for batch in batches[:split]:
+            colocated.add(batch)
+        snapshot = json.loads(json.dumps(colocated.capture_state()))
+        resumed.restore_state(snapshot)
+        for batch in batches[split:]:
+            colocated.add(batch)
+            resumed.add(batch)
+        for q in QS:
+            assert resumed.query(q) == colocated.query(q)
+            assert resumed.certified_error(q) == colocated.certified_error(q)
+        np.testing.assert_array_equal(resumed._vals, colocated._vals)
+
+    def test_capture_does_not_flush_pending_buffer(self):
+        sketch = QuantileSketch(max_summary=64, buffer_size=1000)
+        sketch.add(np.arange(10.0))
+        state = sketch.capture_state()
+        assert state["vals"] == []  # nothing flushed yet
+        assert len(state["buffer"]) == 10
+        assert sketch._buffered == 10  # capture left the buffer alone
+
+    def test_restore_rejects_different_sizing(self):
+        sketch = _small_sketch()
+        sketch.add([1.0, 2.0])
+        state = sketch.capture_state()
+        other = QuantileSketch(max_summary=128, buffer_size=128)
+        with pytest.raises(ConfigurationError):
+            other.restore_state(state)

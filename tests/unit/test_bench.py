@@ -36,30 +36,52 @@ def _baseline(**speedups):
 
 class TestCompareToBaseline:
     def test_passes_within_tolerance(self):
-        failures = compare_to_baseline(
+        failures, notices = compare_to_baseline(
             [_result(speedup=4.0)], _baseline(fig4=5.0), tolerance=0.3
         )
         assert failures == []
+        assert notices == []
 
     def test_fails_below_tolerance(self):
-        failures = compare_to_baseline(
+        failures, notices = compare_to_baseline(
             [_result(speedup=3.0)], _baseline(fig4=5.0), tolerance=0.3
         )
         assert len(failures) == 1
         assert "fig4" in failures[0]
+        assert notices == []
 
     def test_improvements_always_pass(self):
-        failures = compare_to_baseline(
+        failures, notices = compare_to_baseline(
             [_result(speedup=50.0)], _baseline(fig4=5.0), tolerance=0.0
         )
         assert failures == []
+        assert notices == []
 
-    def test_missing_benchmark_reported(self):
-        failures = compare_to_baseline(
+    def test_missing_benchmark_is_notice_not_failure(self):
+        # A brand-new benchmark with no committed baseline entry must not
+        # fail the run (the baseline cannot predate the benchmark); it is
+        # reported as a notice pointing at --update-baseline.
+        failures, notices = compare_to_baseline(
             [_result(name="brand_new")], _baseline(fig4=5.0)
         )
-        assert len(failures) == 1
-        assert "brand_new" in failures[0]
+        assert failures == []
+        assert len(notices) == 1
+        assert "brand_new" in notices[0]
+        assert "no baseline" in notices[0]
+        assert "--update-baseline" in notices[0]
+
+    def test_entry_without_speedup_key_is_notice(self):
+        # Regression: a baseline entry missing the "speedup" key used to
+        # raise KeyError; now it is a notice like a missing entry.
+        baseline = {
+            "schema": SCHEMA,
+            "benchmarks": {"fig4": {"incremental_s": 1.0}},
+        }
+        failures, notices = compare_to_baseline([_result()], baseline)
+        assert failures == []
+        assert len(notices) == 1
+        assert "fig4" in notices[0]
+        assert "no baseline" in notices[0]
 
     def test_tolerance_validated(self):
         with pytest.raises(ValueError):

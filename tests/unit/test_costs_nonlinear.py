@@ -10,6 +10,7 @@ from repro.costs.nonlinear import (
     PiecewiseLinearCost,
     PowerLawCost,
     QueueingDelayCost,
+    SaturatingQueueingCost,
 )
 from repro.exceptions import CostFunctionError
 
@@ -122,3 +123,52 @@ class TestQueueingDelay:
             QueueingDelayCost(mu=0.0, lam=1.0)
         with pytest.raises(CostFunctionError):
             QueueingDelayCost(mu=1.0, lam=-1.0)
+
+
+class TestSaturatingQueueing:
+    def test_matches_mm1_below_the_knee(self):
+        f = SaturatingQueueingCost(mu=3.0, lam=4.0, c=0.1)  # knee at 0.7125
+        g = QueueingDelayCost(mu=3.0, lam=4.0, c=0.1)
+        for x in (0.0, 0.2, 0.5, 0.9 * f.x_knee):
+            assert f(x) == pytest.approx(g(x), rel=1e-12)
+
+    def test_continuous_and_c1_at_the_knee(self):
+        f = SaturatingQueueingCost(mu=2.0, lam=3.0)
+        eps = 1e-7
+        below = f(f.x_knee - eps)
+        above = f(f.x_knee + eps)
+        at = f(f.x_knee)
+        assert below < at < above
+        # One-sided slopes agree to first order: C^1 at the knee.
+        slope_below = (at - below) / eps
+        slope_above = (above - at) / eps
+        assert slope_below == pytest.approx(slope_above, rel=1e-5)
+        assert slope_above == pytest.approx(f.slope, rel=1e-5)
+
+    def test_defined_and_finite_on_the_whole_simplex(self):
+        # lam >> mu: classic M/M/1 would hit a pole inside [0, 1]; the
+        # saturating curve stays finite, increasing, and very steep.
+        f = SaturatingQueueingCost(mu=0.5, lam=10.0)
+        values = [f(x) for x in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert all(math.isfinite(v) for v in values)
+        assert values == sorted(values)
+        assert f(1.0) > 100 * f(0.0)  # overload is catastrophically priced
+
+    def test_level_inverse_roundtrip_both_branches(self):
+        f = SaturatingQueueingCost(mu=1.0, lam=4.0, c=0.2)
+        for x in (0.05, 0.5 * f.x_knee, f.x_knee, 1.5 * f.x_knee, 1.0):
+            assert f.level_inverse(f(x)) == pytest.approx(x, abs=1e-9)
+
+    def test_level_inverse_clamps_below_offset(self):
+        f = SaturatingQueueingCost(mu=2.0, lam=1.0, c=0.5)
+        assert f.level_inverse(0.1) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CostFunctionError):
+            SaturatingQueueingCost(mu=0.0, lam=1.0)
+        with pytest.raises(CostFunctionError):
+            SaturatingQueueingCost(mu=1.0, lam=-1.0)
+        with pytest.raises(CostFunctionError):
+            SaturatingQueueingCost(mu=1.0, lam=1.0, knee=1.0)
+        with pytest.raises(CostFunctionError):
+            SaturatingQueueingCost(mu=1.0, lam=1.0, c=-0.1)

@@ -56,8 +56,8 @@ class TestCli:
 
     def test_experiment_registry_covers_all_figures(self):
         assert {"fig3", "fig4", "fig5", "fig6to8", "fig9", "fig10", "fig11",
-                "complexity", "regret", "ablations", "edge",
-                "sensitivity", "resilience", "aggregation"} == set(EXPERIMENTS)
+                "complexity", "regret", "ablations", "edge", "sensitivity",
+                "resilience", "aggregation", "serving"} == set(EXPERIMENTS)
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0

@@ -25,6 +25,8 @@ from repro.obs.records import (
     HeaderRecord,
     MembershipRecord,
     PhaseRecord,
+    ServingPeriodRecord,
+    ServingSummaryRecord,
     StragglerRecord,
 )
 
@@ -70,6 +72,31 @@ class TestRecords:
                 groups=((0,), (1, 2)),
             ),
             PhaseRecord(round=6, phase="round", start=0.1, end=0.4, events=12),
+            ServingPeriodRecord(
+                round=7,
+                policy="dolbie",
+                arrivals=200,
+                completed=198,
+                weights=(0.3, 0.3, 0.4),
+                dispatched=(60, 60, 80),
+                p50=0.8,
+                p99=2.5,
+                mean_latency=0.9,
+            ),
+            ServingSummaryRecord(
+                round=8,
+                policy="dolbie",
+                requests=1000,
+                completed=990,
+                failed=10,
+                p50=0.8,
+                p99=2.5,
+                p999=4.0,
+                mean_latency=0.9,
+                slo=3.0,
+                slo_attainment=0.98,
+                quantile_mode="sketch",
+            ),
         ]
         assert {type(s).kind for s in samples} == set(RECORD_KINDS)
         for record in samples:

@@ -1,0 +1,178 @@
+"""Unit tests for the golden-regeneration ``--bless`` dirty guard.
+
+``tests/golden/regenerate.py --bless`` must refuse to overwrite a golden
+that already carries uncommitted changes (blessing on top of a dirty
+file merges two edits into one unreviewable blob), degrade to allow-all
+outside a git checkout, and honor ``--force``. The script is exercised
+as a module loaded straight from its file — it is a script, not a
+package member — with its module-level constants monkeypatched so no
+test ever touches the real committed goldens.
+"""
+
+import importlib.util
+import subprocess
+import types
+from pathlib import Path
+
+import pytest
+
+REGENERATE = (
+    Path(__file__).resolve().parents[1] / "golden" / "regenerate.py"
+)
+
+
+@pytest.fixture()
+def regen():
+    spec = importlib.util.spec_from_file_location(
+        "_regenerate_under_test", REGENERATE
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _git(*args, cwd):
+    subprocess.run(
+        ["git", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+        },
+    )
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    """A throwaway git repo with one committed golden file."""
+    try:
+        _git("init", "-q", cwd=tmp_path)
+    except (OSError, subprocess.CalledProcessError):
+        pytest.skip("git unavailable")
+    golden = tmp_path / "serving.jsonl"
+    golden.write_text('{"kind": "header"}\n')
+    _git("add", "serving.jsonl", cwd=tmp_path)
+    _git("commit", "-q", "-m", "golden", cwd=tmp_path)
+    return tmp_path
+
+
+def _point_at(regen, monkeypatch, directory, filenames):
+    monkeypatch.setattr(regen, "GOLDEN_DIR", Path(directory))
+    monkeypatch.setattr(
+        regen, "GOLDEN_FILES", {Path(f).stem: f for f in filenames}
+    )
+
+
+class TestDirtyGoldens:
+    def test_clean_checkout_reports_nothing(
+        self, regen, git_repo, monkeypatch
+    ):
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+        assert regen.dirty_goldens(["serving.jsonl"]) == []
+
+    def test_modified_golden_is_dirty(self, regen, git_repo, monkeypatch):
+        (git_repo / "serving.jsonl").write_text("tampered\n")
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+        assert regen.dirty_goldens(["serving.jsonl"]) == ["serving.jsonl"]
+
+    def test_other_dirty_files_do_not_count(
+        self, regen, git_repo, monkeypatch
+    ):
+        (git_repo / "unrelated.txt").write_text("scratch\n")
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+        assert regen.dirty_goldens(["serving.jsonl"]) == []
+
+    def test_outside_git_degrades_to_allow_all(
+        self, regen, tmp_path, monkeypatch
+    ):
+        # No .git anywhere up the tree: git status fails, the guard
+        # returns [] rather than blocking the bless.
+        golden = tmp_path / "serving.jsonl"
+        golden.write_text("anything\n")
+        _point_at(regen, monkeypatch, tmp_path, ["serving.jsonl"])
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "no-such-gitdir"))
+        assert regen.dirty_goldens(["serving.jsonl"]) == []
+
+    def test_git_binary_missing_degrades_to_allow_all(
+        self, regen, tmp_path, monkeypatch
+    ):
+        _point_at(regen, monkeypatch, tmp_path, ["serving.jsonl"])
+
+        def raise_oserror(*args, **kwargs):
+            raise OSError("no git binary")
+
+        monkeypatch.setattr(regen.subprocess, "run", raise_oserror)
+        assert regen.dirty_goldens(["serving.jsonl"]) == []
+
+
+class TestBlessGuard:
+    def test_bless_refuses_dirty_golden(
+        self, regen, git_repo, monkeypatch, capsys
+    ):
+        original = '{"kind": "header"}\n'
+        golden = git_repo / "serving.jsonl"
+        golden.write_text("tampered\n")
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+        rc = regen.main(["--bless"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "refusing to bless" in err
+        assert "serving.jsonl" in err
+        assert "--force" in err
+        # The dirty file was left exactly as it was — nothing overwritten.
+        assert golden.read_text() == "tampered\n"
+        assert golden.read_text() != original
+
+    def test_force_blesses_anyway(self, regen, git_repo, monkeypatch):
+        golden = git_repo / "serving.jsonl"
+        golden.write_text("tampered\n")
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+        blessed = []
+
+        def fake_save(trace, path):
+            Path(path).write_text("blessed\n")
+            blessed.append(Path(path).name)
+
+        # The guard runs BEFORE the repro imports; patch the real modules
+        # the script imports at call time.
+        import repro.io as repro_io
+        import repro.obs.scenarios as scenarios
+
+        monkeypatch.setattr(repro_io, "save_trace", fake_save)
+        monkeypatch.setattr(
+            scenarios,
+            "build_trace",
+            lambda name, **kw: types.SimpleNamespace(records=[]),
+        )
+        rc = regen.main(["--bless", "--force"])
+        assert rc == 0
+        assert blessed == ["serving.jsonl"]
+        assert golden.read_text() == "blessed\n"
+
+    def test_clean_checkout_blesses_without_force(
+        self, regen, git_repo, monkeypatch
+    ):
+        _point_at(regen, monkeypatch, git_repo, ["serving.jsonl"])
+
+        import repro.io as repro_io
+        import repro.obs.scenarios as scenarios
+
+        monkeypatch.setattr(
+            repro_io,
+            "save_trace",
+            lambda trace, path: Path(path).write_text("blessed\n"),
+        )
+        monkeypatch.setattr(
+            scenarios,
+            "build_trace",
+            lambda name, **kw: types.SimpleNamespace(records=[]),
+        )
+        rc = regen.main(["--bless"])
+        assert rc == 0
+        assert (git_repo / "serving.jsonl").read_text() == "blessed\n"

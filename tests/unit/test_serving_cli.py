@@ -1,0 +1,83 @@
+"""Unit tests for the ``repro serve`` CLI command."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_trace
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.policy == ["dolbie"]
+        assert args.workers == 8
+        assert args.requests == 50000
+        assert args.arrival == "poisson"
+        assert args.quantiles == "sketch"
+
+    def test_rejects_unknown_arrival_process(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "weekly"])
+
+    def test_rejects_unknown_quantile_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--quantiles", "tdigest"])
+
+
+class TestServeCommand:
+    def _serve(self, *extra):
+        return main(
+            ["serve", "--workers", "4", "--requests", "2000", *extra]
+        )
+
+    def test_runs_single_policy(self, capsys):
+        assert self._serve("--policy", "wrr") == 0
+        out = capsys.readouterr().out
+        assert "wrr" in out
+        assert "p99" in out
+
+    def test_all_expands_to_every_policy(self, capsys):
+        assert self._serve("--policy", "all", "--requests", "500") == 0
+        out = capsys.readouterr().out
+        for name in ("wrr", "dolbie", "dolbie-fd", "jsq", "p2c"):
+            assert name in out
+
+    def test_unknown_policy_exits_2(self, capsys):
+        assert self._serve("--policy", "least-connections") == 2
+        assert "unknown policies" in capsys.readouterr().err
+
+    def test_bursty_and_exact_quantiles(self, capsys):
+        assert (
+            self._serve(
+                "--policy", "jsq", "--arrival", "bursty",
+                "--quantiles", "exact",
+            )
+            == 0
+        )
+        assert "bursty" in capsys.readouterr().out
+
+    def test_trace_out_single_policy(self, tmp_path, capsys):
+        out = tmp_path / "serve.jsonl"
+        assert (
+            self._serve("--policy", "dolbie", "--trace-out", str(out)) == 0
+        )
+        trace = load_trace(out)
+        counts = trace.kind_counts()
+        assert counts["header"] == 1
+        assert counts["serving_summary"] == 1
+        assert counts.get("serving_period", 0) >= 1
+
+    def test_trace_out_multi_policy_gets_stem_suffix(self, tmp_path, capsys):
+        out = tmp_path / "serve.jsonl"
+        assert (
+            main(
+                [
+                    "serve", "--workers", "4", "--requests", "800",
+                    "--policy", "wrr", "jsq", "--trace-out", str(out),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "serve-wrr.jsonl").exists()
+        assert (tmp_path / "serve-jsq.jsonl").exists()
+        assert not out.exists()

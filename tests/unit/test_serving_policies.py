@@ -1,0 +1,134 @@
+"""Unit tests for the serving routing-policy layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.costs.nonlinear import SaturatingQueueingCost
+from repro.exceptions import CheckpointError, ConfigurationError
+from repro.serving.policies import (
+    SERVING_POLICIES,
+    DolbieRouting,
+    FdDolbieRouting,
+    JoinShortestQueue,
+    PowerOfTwoChoices,
+    WeightedRoundRobin,
+    make_policy,
+)
+
+N = 5
+MU = np.linspace(1.0, 3.0, N)
+
+
+def _costs(lam=6.0):
+    return [SaturatingQueueingCost(float(m), lam) for m in MU]
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in SERVING_POLICIES:
+            policy = make_policy(name, N, MU, seed=3)
+            assert policy.name == name
+            assert policy.num_workers == N
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("least-connections", N, MU)
+
+    def test_service_rate_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("wrr", N, MU[:-1])
+        with pytest.raises(ConfigurationError):
+            make_policy("wrr", N, np.stack([MU, MU]))
+
+    def test_too_few_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JoinShortestQueue(1)
+
+    def test_sequential_flags(self):
+        assert JoinShortestQueue(N).is_sequential
+        assert PowerOfTwoChoices(N).is_sequential
+        assert not make_policy("wrr", N, MU).is_sequential
+        assert not make_policy("dolbie", N, MU).is_sequential
+        assert not make_policy("dolbie-fd", N, MU).is_sequential
+
+
+class TestWeights:
+    def test_wrr_weights_proportional_to_speed(self):
+        policy = WeightedRoundRobin(N, MU)
+        np.testing.assert_allclose(policy.weights, MU / MU.sum())
+
+    def test_dolbie_starts_at_speed_proportional_weights(self):
+        # Same prior knowledge as WRR, so the p99 gap isolates online
+        # adaptation (and no worker starts saturated).
+        for name in ("dolbie", "dolbie-fd"):
+            policy = make_policy(name, N, MU)
+            np.testing.assert_allclose(policy.weights, MU / MU.sum())
+
+    def test_weights_stay_on_the_simplex_across_updates(self):
+        policy = DolbieRouting(N, initial_allocation=MU / MU.sum())
+        for period in range(1, 8):
+            policy.control_update(period, _costs())
+            assert policy.weights.sum() == pytest.approx(1.0)
+            assert np.all(policy.weights >= -1e-12)
+
+    def test_wrr_never_moves(self):
+        policy = WeightedRoundRobin(N, MU)
+        before = policy.weights.copy()
+        policy.control_update(1, _costs())
+        np.testing.assert_array_equal(policy.weights, before)
+
+    def test_fd_protocol_matches_centralized_dolbie(self):
+        central = DolbieRouting(N, initial_allocation=MU / MU.sum())
+        distributed = FdDolbieRouting(N, initial_allocation=MU / MU.sum())
+        for period in range(1, 6):
+            central.control_update(period, _costs())
+            distributed.control_update(period, _costs())
+            np.testing.assert_allclose(
+                distributed.weights, central.weights, atol=1e-12
+            )
+
+
+class TestCheckpoint:
+    @pytest.mark.parametrize("name", sorted(SERVING_POLICIES))
+    def test_json_roundtrip_resumes_identically(self, name):
+        policy = make_policy(name, N, MU, seed=9)
+        # Advance past a couple of control rounds (and RNG draws).
+        for period in range(1, 4):
+            policy.control_update(period, _costs())
+        if policy.is_sequential:
+            for _ in range(10):
+                policy.select(np.arange(N, dtype=float))
+        snapshot = json.loads(json.dumps(policy.capture_state()))
+
+        resumed = make_policy(name, N, MU, seed=9)
+        resumed.restore_state(snapshot)
+        policy.control_update(4, _costs())
+        resumed.control_update(4, _costs())
+        if hasattr(policy, "weights"):
+            np.testing.assert_array_equal(resumed.weights, policy.weights)
+        if policy.is_sequential:
+            backlogs = np.linspace(3.0, 1.0, N)
+            for _ in range(5):
+                assert resumed.select(backlogs) == policy.select(backlogs)
+
+    def test_state_rejects_wrong_policy(self):
+        state = make_policy("wrr", N, MU).capture_state()
+        with pytest.raises(CheckpointError):
+            make_policy("jsq", N, MU).restore_state(state)
+
+
+class TestSelectors:
+    def test_jsq_breaks_ties_to_lowest_index(self):
+        policy = JoinShortestQueue(3)
+        assert policy.select(np.array([2.0, 1.0, 1.0])) == 1
+        assert policy.select(np.zeros(3)) == 0
+
+    def test_p2c_seeded_rerun_is_identical(self):
+        backlogs = np.linspace(5.0, 1.0, N)
+        a = PowerOfTwoChoices(N, seed=17)
+        b = PowerOfTwoChoices(N, seed=17)
+        assert [a.select(backlogs) for _ in range(50)] == [
+            b.select(backlogs) for _ in range(50)
+        ]
