@@ -17,9 +17,23 @@ Tags (a one-key wrapper dict each, so they cannot collide with real
 payload keys unless a payload deliberately fakes one):
 
 - ``{"__ndarray__": {"dtype", "shape", "data"}}`` — any numpy array;
+- ``{"__ndarray_blob__": {"dtype", "shape", "offset", "nbytes"}}`` — a
+  *large* numpy array whose raw little-endian bytes live in the
+  snapshot's out-of-band binary blob instead of inline base64 (33%
+  smaller and no encode/decode pass — the difference between an
+  N=10⁵ checkpoint and an N=10⁶ one). Emitted only when the caller
+  passes a ``blobs`` accumulator and the array clears
+  :data:`BLOB_THRESHOLD` (``$REPRO_CKPT_BINARY_THRESHOLD`` bytes,
+  default 4096; ``<= 0`` disables blobbing);
 - ``{"__set__": [...]}`` — a set, elements sorted;
 - ``{"__pairs__": [[k, v], ...]}`` — a dict whose keys are not all
   strings (int- or tuple-keyed), entries sorted by encoded key.
+
+With a ``blobs`` accumulator active the traversal itself is
+canonicalized (string dict keys visited sorted, ``__pairs__`` sorted by
+encoded key *before* values are encoded) so equal payloads produce
+identical blob offsets — the canonical-bytes guarantee extends to the
+binary tail.
 """
 
 from __future__ import annotations
@@ -27,27 +41,65 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 from typing import Any
 
 import numpy as np
 
 from repro.exceptions import CheckpointError
 
-__all__ = ["to_jsonable", "from_jsonable", "canonical_dumps", "fingerprint"]
+__all__ = [
+    "BLOB_THRESHOLD_ENV",
+    "blob_threshold",
+    "to_jsonable",
+    "from_jsonable",
+    "canonical_dumps",
+    "fingerprint",
+]
+
+#: Environment override for the inline-vs-blob array size cutoff.
+BLOB_THRESHOLD_ENV = "REPRO_CKPT_BINARY_THRESHOLD"
+_DEFAULT_BLOB_THRESHOLD = 4096
+
+
+def blob_threshold() -> int:
+    """Arrays of at least this many bytes go to the binary blob (when
+    one is being collected); ``<= 0`` disables blobbing entirely."""
+    raw = os.environ.get(BLOB_THRESHOLD_ENV, "")
+    return int(raw) if raw.strip() else _DEFAULT_BLOB_THRESHOLD
 
 
 def _pair_sort_key(encoded_key: Any) -> str:
     return json.dumps(encoded_key, sort_keys=True, separators=(",", ":"))
 
 
-def to_jsonable(obj: Any) -> Any:
-    """Encode ``obj`` into plain JSON types plus the tags above."""
+def to_jsonable(obj: Any, blobs: "list[bytes] | None" = None) -> Any:
+    """Encode ``obj`` into plain JSON types plus the tags above.
+
+    ``blobs``, when given, is a mutable accumulator of raw byte chunks:
+    large arrays append their little-endian bytes there and encode as
+    an ``__ndarray_blob__`` reference. The caller owns concatenating
+    the chunks into the snapshot's binary tail.
+    """
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     if isinstance(obj, np.generic):
-        return to_jsonable(obj.item())
+        return to_jsonable(obj.item(), blobs)
     if isinstance(obj, np.ndarray):
         arr = np.ascontiguousarray(obj)
+        threshold = blob_threshold() if blobs is not None else 0
+        if blobs is not None and threshold > 0 and arr.nbytes >= threshold:
+            le = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+            offset = sum(len(chunk) for chunk in blobs)
+            blobs.append(le.tobytes())
+            return {
+                "__ndarray_blob__": {
+                    "dtype": le.dtype.str,
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                    "nbytes": int(le.nbytes),
+                }
+            }
         return {
             "__ndarray__": {
                 "dtype": arr.dtype.str,
@@ -56,16 +108,26 @@ def to_jsonable(obj: Any) -> Any:
             }
         }
     if isinstance(obj, (list, tuple)):
-        return [to_jsonable(item) for item in obj]
+        return [to_jsonable(item, blobs) for item in obj]
     if isinstance(obj, (set, frozenset)):
+        # Set elements are hashable, hence never ndarrays — encoding
+        # them can't touch the blob, so sort-after-encode stays sound.
         encoded = [to_jsonable(item) for item in obj]
         return {"__set__": sorted(encoded, key=_pair_sort_key)}
     if isinstance(obj, dict):
         if all(isinstance(key, str) for key in obj):
-            return {key: to_jsonable(value) for key, value in obj.items()}
-        pairs = [[to_jsonable(k), to_jsonable(v)] for k, v in obj.items()]
-        pairs.sort(key=lambda pair: _pair_sort_key(pair[0]))
-        return {"__pairs__": pairs}
+            keys = sorted(obj) if blobs is not None else obj
+            return {key: to_jsonable(obj[key], blobs) for key in keys}
+        # Keys are hashable (never ndarrays): encode and sort them
+        # first, then encode values in sorted-key order so blob offsets
+        # are canonical.
+        keyed = sorted(
+            ((to_jsonable(k), v) for k, v in obj.items()),
+            key=lambda pair: _pair_sort_key(pair[0]),
+        )
+        return {
+            "__pairs__": [[k, to_jsonable(v, blobs)] for k, v in keyed]
+        }
     raise CheckpointError(
         f"cannot encode {type(obj).__name__} into a checkpoint payload"
     )
@@ -78,10 +140,11 @@ def _hashable(value: Any) -> Any:
     return value
 
 
-def from_jsonable(obj: Any) -> Any:
+def from_jsonable(obj: Any, blob: bytes = b"") -> Any:
     """Exact inverse of :func:`to_jsonable` (tuples come back as
     lists except inside set elements and dict keys, where hashability
-    requires tuples)."""
+    requires tuples). ``blob`` is the snapshot's binary tail, needed
+    only when the payload contains ``__ndarray_blob__`` references."""
     if isinstance(obj, dict):
         if len(obj) == 1:
             if "__ndarray__" in obj:
@@ -90,16 +153,35 @@ def from_jsonable(obj: Any) -> Any:
                     base64.b64decode(meta["data"]), dtype=np.dtype(meta["dtype"])
                 )
                 return arr.reshape(tuple(meta["shape"])).copy()
+            if "__ndarray_blob__" in obj:
+                meta = obj["__ndarray_blob__"]
+                offset, nbytes = int(meta["offset"]), int(meta["nbytes"])
+                if offset + nbytes > len(blob):
+                    raise CheckpointError(
+                        "ndarray blob reference reaches past the "
+                        "snapshot's binary tail (truncated snapshot?)"
+                    )
+                dtype = np.dtype(meta["dtype"])
+                arr = np.frombuffer(
+                    blob[offset:offset + nbytes], dtype=dtype
+                )
+                return np.ascontiguousarray(
+                    arr.reshape(tuple(meta["shape"])).astype(
+                        dtype.newbyteorder("="), copy=True
+                    )
+                )
             if "__set__" in obj:
-                return {_hashable(from_jsonable(v)) for v in obj["__set__"]}
+                return {
+                    _hashable(from_jsonable(v, blob)) for v in obj["__set__"]
+                }
             if "__pairs__" in obj:
                 return {
-                    _hashable(from_jsonable(k)): from_jsonable(v)
+                    _hashable(from_jsonable(k, blob)): from_jsonable(v, blob)
                     for k, v in obj["__pairs__"]
                 }
-        return {key: from_jsonable(value) for key, value in obj.items()}
+        return {key: from_jsonable(value, blob) for key, value in obj.items()}
     if isinstance(obj, list):
-        return [from_jsonable(item) for item in obj]
+        return [from_jsonable(item, blob) for item in obj]
     return obj
 
 

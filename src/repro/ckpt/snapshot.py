@@ -1,6 +1,6 @@
 """The versioned, fingerprinted snapshot envelope.
 
-A snapshot file is a single line of deterministic JSON::
+A version-1 snapshot file is a single line of deterministic JSON::
 
     {"fingerprint": "<sha256>", "config": ..., "kind": "run",
      "round_index": 50, "state": ..., "version": 1}
@@ -12,6 +12,20 @@ somehow survived the atomic-rename protocol) is detected on load.
 refuses a snapshot whose config does not match what it is asked to
 rebuild. ``state`` is the tagged-JSON payload produced by
 :mod:`repro.ckpt.state`.
+
+A **version-2** file is the same JSON head line followed by a raw
+binary tail: large ndarrays encode as ``__ndarray_blob__`` offset
+references into the tail instead of inline base64 (see
+:mod:`repro.ckpt.codec`), which is what keeps N=10⁶ checkpoints
+writable. :meth:`Snapshot.to_bytes` picks the container automatically
+— a payload with no blob-worthy arrays produces a byte-identical
+version-1 file, so old snapshots stay loadable and small snapshots
+stay diffable text. The version-2 fingerprint covers the head *and*
+the binary tail (``sha256(head_canonical_utf8 + blob)``), so
+corruption anywhere in the file is still detected. The logical
+:attr:`Snapshot.fingerprint` is always computed over the version-1
+(all-inline) encoding, making snapshot identity independent of which
+container it was stored in.
 
 Versioning policy (see ``docs/checkpointing.md``): the schema version
 is bumped on any incompatible change to the state layout; loaders
@@ -28,8 +42,10 @@ from typing import Any
 from repro.ckpt.codec import canonical_dumps, from_jsonable, to_jsonable
 
 SNAPSHOT_VERSION = 1
+#: The binary-tail container; state layout is identical to version 1.
+BLOB_SNAPSHOT_VERSION = 2
 
-__all__ = ["SNAPSHOT_VERSION", "Snapshot"]
+__all__ = ["SNAPSHOT_VERSION", "BLOB_SNAPSHOT_VERSION", "Snapshot"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +64,8 @@ class Snapshot:
     version: int = SNAPSHOT_VERSION
 
     def _payload(self) -> dict[str, Any]:
+        """The logical (all-inline, version-1) payload. Never collects
+        blobs: :attr:`fingerprint` must not depend on the container."""
         return {
             "version": int(self.version),
             "kind": str(self.kind),
@@ -58,35 +76,54 @@ class Snapshot:
 
     @property
     def fingerprint(self) -> str:
-        """SHA-256 over the canonical encoding of the payload."""
+        """SHA-256 over the canonical encoding of the logical payload
+        (always the inline version-1 form, whatever container
+        :meth:`to_bytes` ends up choosing)."""
         return hashlib.sha256(
             canonical_dumps(self._payload()).encode("utf-8")
         ).hexdigest()
 
     def to_bytes(self) -> bytes:
-        """Deterministic single-line JSON, fingerprint included.
+        """Deterministic snapshot bytes, file fingerprint included.
 
-        The payload is serialized exactly once: the digest covers the
-        canonical (sorted-key) encoding of the fingerprint-less
-        envelope, and the fingerprint field is spliced in front rather
-        than re-serializing the whole payload. ``from_bytes`` pops the
-        field and re-derives the same canonical text, so verification
-        is independent of where the field sits in the file.
+        The payload is serialized exactly once, with a blob accumulator
+        offered to the codec. If nothing blobbed (small arrays, or
+        blobbing disabled via ``$REPRO_CKPT_BINARY_THRESHOLD=0``), the
+        output is the byte-identical version-1 single-line JSON of
+        previous releases: the file digest covers the canonical
+        (sorted-key) encoding of the fingerprint-less envelope, spliced
+        in front rather than re-serializing the payload. With blobs the
+        envelope carries ``"version": 2`` plus ``"blob_bytes"``, the
+        binary tail follows the head line's newline, and the file
+        digest covers head *and* tail.
         """
-        body = canonical_dumps(self._payload())
-        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
-        return f'{{"fingerprint":"{digest}",{body[1:]}\n'.encode("utf-8")
+        blobs: list[bytes] = []
+        payload = {
+            "version": int(self.version),
+            "kind": str(self.kind),
+            "round_index": int(self.round_index),
+            "config": to_jsonable(self.config, blobs),
+            "state": to_jsonable(self.state, blobs),
+        }
+        blob = b"".join(blobs)
+        if blob:
+            payload["version"] = BLOB_SNAPSHOT_VERSION
+            payload["blob_bytes"] = len(blob)
+        body = canonical_dumps(payload)
+        digest = hashlib.sha256(body.encode("utf-8") + blob).hexdigest()
+        return f'{{"fingerprint":"{digest}",{body[1:]}\n'.encode("utf-8") + blob
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "Snapshot":
         """Decode and verify; raises ``ValueError`` on corruption or a
         version mismatch (the store treats both as self-healable)."""
-        envelope = json.loads(raw.decode("utf-8"))
+        head, _, blob = raw.partition(b"\n")
+        envelope = json.loads(head.decode("utf-8"))
         if not isinstance(envelope, dict):
             raise ValueError("snapshot envelope is not a JSON object")
         stored_digest = envelope.pop("fingerprint", None)
         actual_digest = hashlib.sha256(
-            canonical_dumps(envelope).encode("utf-8")
+            canonical_dumps(envelope).encode("utf-8") + blob
         ).hexdigest()
         if stored_digest != actual_digest:
             raise ValueError(
@@ -94,15 +131,26 @@ class Snapshot:
                 f"content hashes to {actual_digest!r}"
             )
         version = envelope.get("version")
-        if version != SNAPSHOT_VERSION:
+        if version not in (SNAPSHOT_VERSION, BLOB_SNAPSHOT_VERSION):
             raise ValueError(
                 f"snapshot schema version {version!r} is not supported "
-                f"(this build reads version {SNAPSHOT_VERSION})"
+                f"(this build reads versions {SNAPSHOT_VERSION} and "
+                f"{BLOB_SNAPSHOT_VERSION})"
             )
+        if version == BLOB_SNAPSHOT_VERSION:
+            declared = int(envelope.get("blob_bytes", -1))
+            if declared != len(blob):
+                raise ValueError(
+                    f"snapshot binary tail is {len(blob)} bytes but the "
+                    f"envelope declares {declared} (truncated snapshot?)"
+                )
+        # The returned snapshot is the *logical* object — version 1
+        # regardless of container, so fingerprints and equality are
+        # encoding-independent.
         return cls(
             kind=str(envelope["kind"]),
             round_index=int(envelope["round_index"]),
-            config=from_jsonable(envelope["config"]),
-            state=from_jsonable(envelope["state"]),
-            version=int(version),
+            config=from_jsonable(envelope["config"], blob),
+            state=from_jsonable(envelope["state"], blob),
+            version=SNAPSHOT_VERSION,
         )

@@ -183,10 +183,39 @@ def restore_link(link: Link, state: Mapping) -> None:
 
 # -- cluster --------------------------------------------------------------
 def capture_cluster(cluster) -> dict:
-    """The network substrate: clock, chaos hooks, RNGs, metrics, nodes."""
+    """The network substrate: clock, chaos hooks, RNGs, metrics, nodes.
+
+    Clusters backed by a :class:`~repro.net.node.LazyNodeTable` (the
+    struct-of-arrays peer store) capture the per-node delivery counters
+    and liveness flags as two packed arrays (``node_arrays``) instead of
+    a per-node list — O(1) array copies instead of N dict entries.
+    """
     partition = cluster._partition
     loss_override = cluster._loss_override
+    lazy = getattr(cluster, "lazy_nodes", None)
+    if lazy is not None:
+        nodes_state: dict = {
+            "nodes": [],
+            "node_arrays": {
+                "received_count": lazy.received_count.copy(),
+                "failed": lazy.failed.copy(),
+            },
+        }
+    else:
+        nodes_state = {
+            "nodes": [
+                [
+                    int(node_id),
+                    {
+                        "received_count": int(node.received_count),
+                        "failed": bool(node.failed),
+                    },
+                ]
+                for node_id, node in sorted(cluster._nodes.items())
+            ],
+        }
     return {
+        **nodes_state,
         "engine": capture_engine(cluster.engine),
         "trace_round": int(cluster.trace_round),
         "partition": (
@@ -212,16 +241,6 @@ def capture_cluster(cluster) -> dict:
             for (src, dst), link in sorted(cluster._links.items())
         ],
         "metrics": cluster.metrics.registry.to_records(),
-        "nodes": [
-            [
-                int(node_id),
-                {
-                    "received_count": int(node.received_count),
-                    "failed": bool(node.failed),
-                },
-            ]
-            for node_id, node in sorted(cluster._nodes.items())
-        ],
     }
 
 
@@ -257,7 +276,33 @@ def restore_cluster(cluster, state: Mapping) -> None:
         restore_link(cluster._links[key], link_state)
     cluster.metrics.registry = MetricsRegistry.from_records(state["metrics"])
     cluster.metrics._init_handles()
+    lazy = getattr(cluster, "lazy_nodes", None)
+    node_arrays = state.get("node_arrays")
+    if node_arrays is not None:
+        received = np.asarray(node_arrays["received_count"], dtype=np.int64)
+        failed = np.asarray(node_arrays["failed"], dtype=bool)
+        if lazy is not None:
+            lazy.received_count[:] = received
+            lazy.failed[:] = failed
+        else:  # packed snapshot into an eager cluster (cross-mode)
+            for node_id in range(received.size):
+                node = cluster._nodes.get(node_id)
+                if node is None:
+                    raise CheckpointError(
+                        f"snapshot mentions unknown node {node_id}"
+                    )
+                node.received_count = int(received[node_id])
+                node.failed = bool(failed[node_id])
     for node_id, node_state in state["nodes"]:
+        if lazy is not None:
+            # Write the packed columns directly — hydrating a view to
+            # set two scalars through its properties would be the same
+            # bytes, just slower.
+            lazy.received_count[int(node_id)] = int(
+                node_state["received_count"]
+            )
+            lazy.failed[int(node_id)] = bool(node_state["failed"])
+            continue
         node = cluster._nodes.get(int(node_id))
         if node is None:
             raise CheckpointError(f"snapshot mentions unknown node {node_id}")
@@ -321,24 +366,70 @@ def _ledgers_state(protocol) -> dict:
         entry.round_index: position
         for position, entry in enumerate(auth_entries)
     }
-    return {
-        "ledger": [entry.to_dict() for entry in auth_entries],
-        "worker_ledgers": {
+    state = {"ledger": [entry.to_dict() for entry in auth_entries]}
+    book = getattr(protocol, "_ledger_book", None)
+    if book is not None:
+        # Store mode: the replicas already *are* spans — two packed
+        # arrays capture all N of them; only the few materialized
+        # (gap-holding) replicas need the per-entry packing.
+        state["worker_ledger_spans"] = book.spans_state()
+        state["worker_ledgers"] = {
+            int(worker): _pack_replica(ledger, auth_entries, by_round)
+            for worker, ledger in sorted(book.materialized.items())
+        }
+    else:
+        state["worker_ledgers"] = {
             int(worker): _pack_replica(ledger, auth_entries, by_round)
             for worker, ledger in sorted(protocol._worker_ledgers.items())
-        },
-    }
+        }
+    return state
 
 
 def _restore_ledgers(protocol, state: Mapping) -> None:
     authoritative = state["ledger"]
-    protocol.ledger = RoundLedger.from_records(authoritative)
-    protocol._worker_ledgers = {
-        int(worker): RoundLedger.from_records(
-            _unpack_replica(packed, authoritative)
-        )
-        for worker, packed in state["worker_ledgers"].items()
-    }
+    ledger = RoundLedger.from_records(authoritative)
+    protocol.ledger = ledger
+    book = getattr(protocol, "_ledger_book", None)
+    spans = state.get("worker_ledger_spans")
+    if book is not None:
+        book.rebind_authority(ledger)
+        book.materialized = {}
+        if spans is not None:
+            book.restore_spans(spans)
+            for worker, packed in state["worker_ledgers"].items():
+                book.materialized[int(worker)] = RoundLedger.from_records(
+                    _unpack_replica(packed, authoritative)
+                )
+        else:  # per-replica snapshot into store mode (cross-mode)
+            book.start[:] = 0
+            book.stop[:] = 0
+            for worker, packed in state["worker_ledgers"].items():
+                replica = RoundLedger.from_records(
+                    _unpack_replica(packed, authoritative)
+                )
+                book.restore_replica(int(worker), replica.entries)
+    elif spans is not None:  # span snapshot into object mode (cross-mode)
+        start = np.asarray(spans["start"], dtype=np.int64)
+        stop = np.asarray(spans["stop"], dtype=np.int64)
+        entries = ledger.entries
+        ledgers: dict[int, RoundLedger] = {}
+        for worker in range(protocol.num_workers):
+            replica = RoundLedger()
+            for entry in entries[int(start[worker]):int(stop[worker])]:
+                replica.replicate(entry)
+            ledgers[worker] = replica
+        for worker, packed in state["worker_ledgers"].items():
+            ledgers[int(worker)] = RoundLedger.from_records(
+                _unpack_replica(packed, authoritative)
+            )
+        protocol._worker_ledgers = ledgers
+    else:
+        protocol._worker_ledgers = {
+            int(worker): RoundLedger.from_records(
+                _unpack_replica(packed, authoritative)
+            )
+            for worker, packed in state["worker_ledgers"].items()
+        }
 
 
 def capture_protocol(protocol) -> dict:
@@ -502,16 +593,71 @@ def _restore_aggregation(protocol, agg: Mapping | None) -> None:
         protocol.last_tree = rebuilt
 
 
+def _peer_transients(peer) -> dict:
+    """The event-engine-transient containers of one peer object."""
+    return {
+        "peer_costs": {
+            int(w): [float(cost), float(alpha)]
+            for w, (cost, alpha) in peer._peer_costs.items()
+        },
+        "peer_decisions": {
+            int(w): float(v) for w, v in peer._peer_decisions.items()
+        },
+        "seen_floods": sorted(
+            [str(kind), int(origin)] for kind, origin in peer._seen_floods
+        ),
+    }
+
+
 def _capture_fully_distributed(protocol) -> dict:
     last_tree = getattr(protocol, "last_tree", None)
+    store = getattr(protocol, "_store", None)
+    if store is not None:
+        # Struct-of-arrays mode: all scalar peer state is a handful of
+        # packed arrays; transient event-round containers exist only on
+        # hydrated views and are captured sparsely.
+        alive_state: "list | np.ndarray" = np.asarray(
+            protocol._alive, dtype=bool
+        ).copy()
+        peers_state: dict = {
+            "peerstore": store.state(),
+            "peer_transients": [
+                [int(node_id), _peer_transients(peer)]
+                for node_id, peer in sorted(
+                    protocol.cluster._nodes.items()
+                )
+                if peer._peer_costs
+                or peer._peer_decisions
+                or peer._seen_floods
+            ],
+        }
+    else:
+        alive_state = [bool(a) for a in protocol._alive]
+        peers_state = {
+            "peers": [
+                {
+                    "x": float(peer.x),
+                    "alpha_bar": float(peer.alpha_bar),
+                    "local_cost": peer.local_cost,
+                    "current_round": int(peer.current_round),
+                    "is_straggler": bool(peer.is_straggler),
+                    "global_cost": peer.global_cost,
+                    "straggler_id": peer.straggler_id,
+                    "roster": sorted(int(w) for w in peer.roster),
+                    **_peer_transients(peer),
+                }
+                for peer in protocol.peers
+            ],
+        }
     return {
         "architecture": "fully-distributed",
         "num_workers": int(protocol.num_workers),
-        "alive": [bool(a) for a in protocol._alive],
+        "alive": alive_state,
         "stalled": sorted(int(w) for w in protocol._stalled),
         "fast_rounds": int(protocol.fast_rounds),
         "fallback_rounds": int(protocol.fallback_rounds),
         "tree_rounds": int(getattr(protocol, "tree_rounds", 0)),
+        **peers_state,
         # Aggregation-layer identity: mode/overlay parameters plus the
         # last overlay's shard membership. The overlay itself is a pure
         # function of (roster, shard_size, branching), so restore
@@ -524,9 +670,12 @@ def _capture_fully_distributed(protocol) -> dict:
             "backend": str(protocol.backend.name)
             if hasattr(protocol, "backend")
             else "numpy64",
-            # Informational (not restore-checked): any thread count is
-            # bit-identical, see _restore_aggregation.
+            # Informational (not restore-checked): any thread/process
+            # count is bit-identical, and the peer store changes memory
+            # layout only — see _restore_aggregation.
             "shard_threads": int(getattr(protocol, "shard_threads", 1)),
+            "shard_procs": int(getattr(protocol, "shard_procs", 1)),
+            "peer_store": bool(getattr(protocol, "peer_store", False)),
             "last_tree": None
             if last_tree is None
             else {
@@ -537,46 +686,94 @@ def _capture_fully_distributed(protocol) -> dict:
                 ],
             },
         },
-        "peers": [
-            {
-                "x": float(peer.x),
-                "alpha_bar": float(peer.alpha_bar),
-                "local_cost": peer.local_cost,
-                "current_round": int(peer.current_round),
-                "is_straggler": bool(peer.is_straggler),
-                "global_cost": peer.global_cost,
-                "straggler_id": peer.straggler_id,
-                "roster": sorted(int(w) for w in peer.roster),
-                "peer_costs": {
-                    int(w): [float(cost), float(alpha)]
-                    for w, (cost, alpha) in peer._peer_costs.items()
-                },
-                "peer_decisions": {
-                    int(w): float(v) for w, v in peer._peer_decisions.items()
-                },
-                "seen_floods": sorted(
-                    [str(kind), int(origin)]
-                    for kind, origin in peer._seen_floods
-                ),
-            }
-            for peer in protocol.peers
-        ],
         **_ledgers_state(protocol),
         "cluster": capture_cluster(protocol.cluster),
     }
 
 
-def _restore_fully_distributed(protocol, state: Mapping) -> None:
-    _check_shape(protocol, state, "fully-distributed")
-    protocol._alive = [bool(a) for a in state["alive"]]
-    protocol._stalled = {int(w) for w in state["stalled"]}
-    protocol.fast_rounds = int(state["fast_rounds"])
-    protocol.fallback_rounds = int(state["fallback_rounds"])
-    protocol.tree_rounds = int(state.get("tree_rounds", 0))
-    _restore_aggregation(protocol, state.get("aggregation"))
-    # Identical rosters share one frozenset (the O(N) construction
-    # contract of _Peer — rosters are rebound, never mutated, so one
-    # object per distinct roster is safe and keeps restore O(N)).
+def _apply_peer_transients(peer, transients: Mapping) -> None:
+    peer._peer_costs = {
+        int(w): (float(pair[0]), float(pair[1]))
+        for w, pair in transients["peer_costs"].items()
+    }
+    peer._peer_decisions = {
+        int(w): float(v) for w, v in transients["peer_decisions"].items()
+    }
+    peer._seen_floods = {
+        (str(kind), int(origin)) for kind, origin in transients["seen_floods"]
+    }
+
+
+def _restore_peers_from_store_block(protocol, state: Mapping) -> None:
+    """Pour a ``peerstore`` (array-shaped) snapshot block into the live
+    protocol — directly into the store in store mode, through the peer
+    objects otherwise (cross-mode restore)."""
+    arrays = state["peerstore"]
+    store = getattr(protocol, "_store", None)
+    if store is not None:
+        store.restore(arrays)
+        # Stale transients on already-hydrated views must not survive
+        # the restore; the snapshot's sparse list reinstates them.
+        for peer in protocol.cluster._nodes.values():
+            peer._peer_costs = {}
+            peer._peer_decisions = {}
+            peer._seen_floods = set()
+    else:
+        shared = frozenset(
+            int(w) for w in np.asarray(arrays["shared_roster"]).tolist()
+        )
+        overrides = {
+            int(w): frozenset(int(i) for i in np.asarray(ids).tolist())
+            for w, ids in arrays["roster_overrides"].items()
+        }
+        local_cost = np.asarray(arrays["local_cost"], dtype=float)
+        global_cost = np.asarray(arrays["global_cost"], dtype=float)
+        straggler_id = np.asarray(arrays["straggler_id"], dtype=np.int64)
+        for i, peer in enumerate(protocol.peers):
+            peer.x = float(arrays["x"][i])
+            peer.alpha_bar = float(arrays["alpha_bar"][i])
+            peer.local_cost = (
+                None if np.isnan(local_cost[i]) else float(local_cost[i])
+            )
+            peer.current_round = int(arrays["current_round"][i])
+            peer.is_straggler = bool(arrays["is_straggler"][i])
+            peer.global_cost = (
+                None if np.isnan(global_cost[i]) else float(global_cost[i])
+            )
+            peer.straggler_id = (
+                None if straggler_id[i] < 0 else int(straggler_id[i])
+            )
+            peer.roster = overrides.get(i, shared)
+            peer._peer_costs = {}
+            peer._peer_decisions = {}
+            peer._seen_floods = set()
+    for node_id, transients in state.get("peer_transients", []):
+        _apply_peer_transients(protocol.peers[int(node_id)], transients)
+
+
+def _restore_peers_from_list(protocol, state: Mapping) -> None:
+    """Pour a per-peer-dict snapshot block into the live protocol.
+
+    Identical rosters share one frozenset (the O(N) construction
+    contract of _Peer — rosters are rebound, never mutated, so one
+    object per distinct roster is safe and keeps restore O(N)). In
+    store mode the dominant roster becomes the store's shared roster so
+    the restored store keeps its O(overrides) eligibility checks."""
+    store = getattr(protocol, "_store", None)
+    if store is not None:
+        from collections import Counter
+
+        keys = [
+            tuple(int(w) for w in peer_state["roster"])
+            for peer_state in state["peers"]
+        ]
+        dominant = Counter(keys).most_common(1)[0][0] if keys else ()
+        store.shared_roster = frozenset(dominant)
+        store.roster_overrides = {
+            i: frozenset(key)
+            for i, key in enumerate(keys)
+            if key != dominant
+        }
     shared_rosters: dict[tuple, frozenset] = {}
     for peer, peer_state in zip(protocol.peers, state["peers"]):
         peer.x = float(peer_state["x"])
@@ -586,21 +783,29 @@ def _restore_fully_distributed(protocol, state: Mapping) -> None:
         peer.is_straggler = bool(peer_state["is_straggler"])
         peer.global_cost = peer_state["global_cost"]
         peer.straggler_id = peer_state["straggler_id"]
-        roster_key = tuple(int(w) for w in peer_state["roster"])
-        peer.roster = shared_rosters.setdefault(
-            roster_key, frozenset(roster_key)
-        )
-        peer._peer_costs = {
-            int(w): (float(pair[0]), float(pair[1]))
-            for w, pair in peer_state["peer_costs"].items()
-        }
-        peer._peer_decisions = {
-            int(w): float(v) for w, v in peer_state["peer_decisions"].items()
-        }
-        peer._seen_floods = {
-            (str(kind), int(origin))
-            for kind, origin in peer_state["seen_floods"]
-        }
+        if store is None:
+            roster_key = tuple(int(w) for w in peer_state["roster"])
+            peer.roster = shared_rosters.setdefault(
+                roster_key, frozenset(roster_key)
+            )
+        _apply_peer_transients(peer, peer_state)
+
+
+def _restore_fully_distributed(protocol, state: Mapping) -> None:
+    _check_shape(protocol, state, "fully-distributed")
+    if getattr(protocol, "_store", None) is not None:
+        protocol._alive = np.asarray(state["alive"], dtype=bool).copy()
+    else:
+        protocol._alive = [bool(a) for a in state["alive"]]
+    protocol._stalled = {int(w) for w in state["stalled"]}
+    protocol.fast_rounds = int(state["fast_rounds"])
+    protocol.fallback_rounds = int(state["fallback_rounds"])
+    protocol.tree_rounds = int(state.get("tree_rounds", 0))
+    _restore_aggregation(protocol, state.get("aggregation"))
+    if "peerstore" in state:
+        _restore_peers_from_store_block(protocol, state)
+    else:
+        _restore_peers_from_list(protocol, state)
     _restore_ledgers(protocol, state)
     restore_cluster(protocol.cluster, state["cluster"])
 

@@ -18,6 +18,7 @@ from repro.core.membership import (
     add_worker_allocation,
     remove_worker_allocation,
 )
+from repro.core.peerstore import LedgerBook, PeerStore
 from repro.core.restart import RestartDolbie
 from repro.core.quantities import acceptable_workloads, assistance_vector
 from repro.core.step_size import StepSizeRule, feasibility_cap, initial_step_size
@@ -35,7 +36,9 @@ __all__ = [
     "assistance_vector",
     "add_worker_allocation",
     "remove_worker_allocation",
+    "LedgerBook",
     "LedgerEntry",
+    "PeerStore",
     "RoundLedger",
     "prefix_consistency_violations",
     "StepSizeRule",

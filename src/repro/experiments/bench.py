@@ -57,6 +57,34 @@ BENCH = replace(
     include_overhead=False,
 )
 
+def _machine_context() -> dict:
+    """The machine block stamped into results and history lines.
+
+    Besides the hardware identity, it records the parallelism knobs in
+    effect (``$REPRO_SHARD_THREADS`` / ``$REPRO_SHARD_PROCS``) and
+    whether the compiled kernels are numba-jitted or running the numpy
+    fallback — the three things that most change what a wall-clock
+    number from this machine means.
+    """
+    from repro.backend.kernels import HAVE_NUMBA
+
+    def _knob(env: str) -> int:
+        raw = os.environ.get(env, "")
+        try:
+            return max(int(raw), 1) if raw.strip() else 1
+        except ValueError:
+            return 1
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "shard_threads": _knob("REPRO_SHARD_THREADS"),
+        "shard_procs": _knob("REPRO_SHARD_PROCS"),
+        "kernel_backend": "numba" if HAVE_NUMBA else "numpy",
+    }
+
+
 #: Results-file schema version (bump on incompatible layout changes).
 SCHEMA = 1
 
@@ -586,6 +614,169 @@ def _bench_protocol_tree_smoke(repetitions: int) -> BenchmarkResult:
     )
 
 
+#: Process-parallel smoke: the N=100,000 compiled tree round again, but
+#: fanned over ``PROC_SMOKE_PROCS`` pool processes with the round
+#: vectors in shared memory (Layer 10). On a multi-core runner the
+#: procs leg must beat the single-process leg by
+#: :data:`PROC_SMOKE_MIN_SPEEDUP`; on one core there is no parallelism
+#: to claim, so the gate degrades to completing within
+#: :data:`TREE_SMOKE_BUDGET_S` and the speedup column is pinned to 1.0
+#: (a <1 measured ratio is pure process overhead and would make the
+#: baseline floor comparison flap); both timing columns still record
+#: the real per-leg numbers.
+PROC_SMOKE_PROCS = 2
+PROC_SMOKE_MIN_SPEEDUP = 1.5
+
+
+def _bench_protocol_tree_procs(repetitions: int) -> BenchmarkResult:
+    """Single-process vs ``shard_procs=2`` compiled tree round, N=10^5.
+
+    Both legs run the struct-of-arrays peer store (the configuration the
+    N=10^6 wall actually uses), pair metrics off, construction untimed.
+    The procs leg must genuinely run the process layer: a silent
+    fallback to serial would make the ratio a lie, so the fallback
+    warning is promoted to an error for the duration.
+    """
+    import warnings
+
+    from repro.costs.affine_vector import AffineCostVector
+    from repro.costs.timevarying import RandomAffineProcess
+    from repro.net.links import Link, UniformLatency
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+    n = TREE_SMOKE_N
+    saved = os.environ.get("REPRO_PAIR_METRICS")
+    os.environ["REPRO_PAIR_METRICS"] = "0"
+    try:
+        speeds = [1.0 + (i % 23) for i in range(n)]
+        process = RandomAffineProcess(speeds, sigma=0.1, comm_scale=0.01, seed=n)
+        vector = AffineCostVector.coerce(process.costs_at(1))
+
+        def leg(procs: int) -> float:
+            link = Link(UniformLatency(0.0005, 0.005, np.random.default_rng(n)))
+            protocol = FullyDistributedDolbie(
+                n,
+                link=link,
+                aggregation="tree",
+                backend="compiled",
+                peer_store=True,
+                shard_procs=procs,
+            )
+            state = {"t": 0}
+
+            def one_round() -> None:
+                state["t"] += 1
+                protocol.run_round(state["t"], vector)
+
+            with warnings.catch_warnings():
+                if procs > 1:
+                    warnings.simplefilter("error", RuntimeWarning)
+                one_round()  # untimed: compiled structures + shm + pool
+                times = [
+                    _time_once(one_round)
+                    for _ in range(max(1, min(repetitions, 2)))
+                ]
+            if protocol.tree_rounds != state["t"]:
+                raise RuntimeError(
+                    f"n{n} procs smoke fell off the tree path "
+                    f"({protocol.tree_rounds}/{state['t']} tree rounds)"
+                )
+            return min(times)
+
+        serial_s = leg(1)
+        procs_s = leg(PROC_SMOKE_PROCS)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PAIR_METRICS", None)
+        else:
+            os.environ["REPRO_PAIR_METRICS"] = saved
+    speedup = serial_s / procs_s if procs_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    if cores >= 2 and speedup < PROC_SMOKE_MIN_SPEEDUP:
+        raise RuntimeError(
+            f"n{n} shard_procs={PROC_SMOKE_PROCS} round gained only "
+            f"{speedup:.2f}x over single-process on {cores} cores "
+            f"(gate {PROC_SMOKE_MIN_SPEEDUP:.1f}x)"
+        )
+    if procs_s > TREE_SMOKE_BUDGET_S:
+        raise RuntimeError(
+            f"n{n} shard_procs={PROC_SMOKE_PROCS} round took {procs_s:.1f}s "
+            f"(budget {TREE_SMOKE_BUDGET_S:.0f}s)"
+        )
+    return BenchmarkResult(
+        name=f"proto_fd_tree_n{n}_procs",
+        incremental_s=serial_s,
+        materialized_s=procs_s,
+        speedup=round(speedup, 3) if cores >= 2 else 1.0,
+        rounds=1,
+    )
+
+
+#: Struct-of-arrays roster construction at the paper's next wall: a
+#: million-peer protocol must be *constructible* in bounded time (the
+#: object-peer path allocates a million python objects and is not), and
+#: the store's packed arrays must stay O(N) compact.
+PEERSTORE_CONSTRUCT_N = 1_000_000
+PEERSTORE_CONSTRUCT_BUDGET_S = 10.0
+PEERSTORE_ARRAYS_CEILING_BYTES = 200 * 2**20
+
+
+def _bench_peerstore_construct(repetitions: int) -> BenchmarkResult:
+    """Construction-only gate for the N=10^6 roster.
+
+    Times building a full store-mode compiled-tree protocol (packed
+    peer arrays, ledger spans, aggregation tree, lazy node table — no
+    rounds). Gates: under :data:`PEERSTORE_CONSTRUCT_BUDGET_S` seconds,
+    and the store's packed arrays total under
+    :data:`PEERSTORE_ARRAYS_CEILING_BYTES` — the assertion that peer
+    state is O(N) arrays, not a million objects. (Process-wide peak RSS
+    is stamped by the runner but not gated here: it is monotonic across
+    the whole bench suite.)
+    """
+    from repro.net.links import ConstantLatency, Link
+    from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+    n = PEERSTORE_CONSTRUCT_N
+    holder: dict = {}
+
+    def construct() -> None:
+        holder["protocol"] = FullyDistributedDolbie(
+            n,
+            link=Link(ConstantLatency(0.001)),
+            aggregation="tree",
+            backend="compiled",
+            peer_store=True,
+        )
+
+    times = [_time_once(construct) for _ in range(max(1, min(repetitions, 2)))]
+    best = min(times)
+    if best > PEERSTORE_CONSTRUCT_BUDGET_S:
+        raise RuntimeError(
+            f"n{n} store-mode construction took {best:.1f}s "
+            f"(budget {PEERSTORE_CONSTRUCT_BUDGET_S:.0f}s)"
+        )
+    store = holder["protocol"]._store
+    packed = sum(
+        getattr(store, field).nbytes
+        for field in (
+            "x", "alpha_bar", "local_cost", "current_round", "is_straggler",
+            "global_cost", "straggler_id", "failed", "received_count",
+        )
+    )
+    if packed > PEERSTORE_ARRAYS_CEILING_BYTES:
+        raise RuntimeError(
+            f"n{n} peer store packs {packed / 2**20:.0f} MiB "
+            f"(ceiling {PEERSTORE_ARRAYS_CEILING_BYTES / 2**20:.0f} MiB)"
+        )
+    return BenchmarkResult(
+        name="peerstore_construct_n1e6",
+        incremental_s=best,
+        materialized_s=best,
+        speedup=1.0,
+        rounds=1,
+    )
+
+
 #: Serving throughput benchmark sizing and its hard floor: the
 #: vectorized dispatcher must sustain at least this many dispatched
 #: requests per wall-clock second at N=32 with DOLBIE control enabled —
@@ -827,6 +1018,18 @@ def run_benchmarks(
     )
     suite.append(
         (
+            f"proto_fd_tree_n{TREE_SMOKE_N}_procs",
+            lambda: _bench_protocol_tree_procs(repetitions),
+        )
+    )
+    suite.append(
+        (
+            "peerstore_construct_n1e6",
+            lambda: _bench_peerstore_construct(repetitions),
+        )
+    )
+    suite.append(
+        (
             "serving_throughput",
             lambda: _bench_serving_throughput(repetitions),
         )
@@ -866,11 +1069,7 @@ def write_results(
         "numpy": np.__version__,
         # Machine context: speedup ratios transfer across hardware, but
         # when a gate fails on a different runner this says what ran it.
-        "machine": {
-            "platform": platform.platform(),
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": _machine_context(),
         "benchmarks": {
             r.name: {
                 "incremental_s": round(r.incremental_s, 6),
@@ -922,11 +1121,7 @@ def append_history(
         "jobs": jobs,
         # Same machine context as the results file: history lines from
         # different runners must be distinguishable when eyeballing drift.
-        "machine": {
-            "platform": platform.platform(),
-            "machine": platform.machine(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": _machine_context(),
         "benchmarks": {
             r.name: {
                 "incremental_s": round(r.incremental_s, 6),

@@ -179,7 +179,13 @@ class BatchedCluster:
         # One stable argsort/split pass replaces the historical
         # per-destination bincount loop — O(E) array ops plus one Python
         # attribute bump per *receiver* (bit-identical counts, pinned by
-        # tests/unit/test_net_batch.py).
+        # tests/unit/test_net_batch.py). Over a lazy node table the
+        # per-receiver bumps collapse to a single scatter-add on the
+        # shared counter column.
+        if self._cluster.lazy_nodes is not None:
+            unique_dst, counts = np.unique(batch.dst, return_counts=True)
+            self._cluster.lazy_nodes.bump(unique_dst, counts)
+            return arrivals
         unique_dst, groups = group_by_destination(batch.dst, batch.dst)
         node = self._cluster.node
         for dst, group in zip(unique_dst.tolist(), groups):
@@ -255,12 +261,23 @@ class DeliveryPlan:
         cluster = batched.cluster
         # Per-receiver bumps, ascending destination (the order the
         # one-shot path applies them; addition is commutative but keep
-        # it anyway for strict attribute-write parity).
+        # it anyway for strict attribute-write parity). Over a lazy node
+        # table the plan keeps (dst, count) arrays instead of resolved
+        # node objects — resolving would hydrate every receiver, which
+        # at N=10⁶ is exactly what lazy mode exists to avoid.
         unique_dst, groups = group_by_destination(self.dst, self.dst)
-        self._recv = [
-            (cluster.node(int(d)), int(g.size))
-            for d, g in zip(unique_dst.tolist(), groups)
-        ]
+        if cluster.lazy_nodes is not None:
+            self._recv = None
+            self._recv_dst = unique_dst.astype(np.int64, copy=True)
+            self._recv_counts = np.array(
+                [g.size for g in groups], dtype=np.int64
+            )
+        else:
+            self._recv = [
+                (cluster.node(int(d)), int(g.size))
+                for d, g in zip(unique_dst.tolist(), groups)
+            ]
+            self._recv_dst = self._recv_counts = None
         # Unique (src, dst) pairs in first-occurrence frame order — the
         # counter creation order record_batch_arrays uses — plus each
         # frame's entry index (for drop=).
@@ -309,10 +326,15 @@ class DeliveryPlan:
         metrics.record_totals(round_index, count, count * self.size_bytes)
         if metrics.pair_accounting and count:
             self._bump_pairs(metrics, drop)
-        for node, bump in self._recv:
-            node.received_count += bump
-        if drop is not None:
-            cluster.node(int(self.dst[drop])).received_count -= 1
+        if self._recv is None:
+            cluster.lazy_nodes.bump(self._recv_dst, self._recv_counts)
+            if drop is not None:
+                cluster.lazy_nodes.received_count[int(self.dst[drop])] -= 1
+        else:
+            for node, bump in self._recv:
+                node.received_count += bump
+            if drop is not None:
+                cluster.node(int(self.dst[drop])).received_count -= 1
         return arrivals
 
     def _bump_pairs(self, metrics, drop: int | None) -> None:

@@ -48,7 +48,7 @@ from repro.net.events import EventEngine
 from repro.net.links import Link
 from repro.net.message import Message, scalar_payload_size
 from repro.net.metrics import NetworkMetrics
-from repro.net.node import Node
+from repro.net.node import LazyNodeTable, Node
 
 __all__ = ["Cluster"]
 
@@ -58,7 +58,7 @@ class Cluster:
 
     def __init__(
         self,
-        nodes: Sequence[Node],
+        nodes: "Sequence[Node] | LazyNodeTable",
         default_link: Link | None = None,
         retransmit_timeout: float = 0.05,
         max_retransmits: int = 30,
@@ -66,7 +66,13 @@ class Cluster:
         """``retransmit_timeout``/``max_retransmits`` configure the
         transport layer used over lossy links: a dropped frame is resent
         after the timeout, up to the retry budget (then the send fails
-        loudly — protocols assume reliable rounds)."""
+        loudly — protocols assume reliable rounds).
+
+        ``nodes`` is normally the full node sequence; a
+        :class:`~repro.net.node.LazyNodeTable` may stand in for it, in
+        which case node objects are hydrated (and attached) on first
+        :meth:`node` access — the struct-of-arrays peer store uses this
+        so an N=10⁶ cluster never materializes a million objects."""
         if len(nodes) == 0:
             raise SimulationError("a cluster needs at least one node")
         if retransmit_timeout <= 0 or max_retransmits < 0:
@@ -80,9 +86,6 @@ class Cluster:
         self._extra_delay: dict[int, float] = {}
         #: cluster-wide frame-loss override: (probability, rng) or None.
         self._loss_override: tuple[float, Any] | None = None
-        ids = [node.node_id for node in nodes]
-        if len(set(ids)) != len(ids):
-            raise SimulationError(f"duplicate node ids: {sorted(ids)}")
         self.engine = EventEngine()
         self.metrics = NetworkMetrics()
         #: Optional :class:`repro.obs.Tracer`; when set, the chaos hooks
@@ -90,22 +93,56 @@ class Cluster:
         #: :attr:`trace_round` (the protocol keeps it current).
         self.tracer = None
         self.trace_round = 0
+        #: Hydrated node objects (all of them in eager mode; a cache in
+        #: lazy mode).
         self._nodes: dict[int, Node] = {}
+        self._lazy: LazyNodeTable | None = None
         self._links: dict[tuple[int, int], Link] = {}
         self._default_link = default_link if default_link is not None else Link()
-        for node in nodes:
-            node.attach(self)
-            self._nodes[node.node_id] = node
+        if isinstance(nodes, LazyNodeTable):
+            self._lazy = nodes
+        else:
+            ids = [node.node_id for node in nodes]
+            if len(set(ids)) != len(ids):
+                raise SimulationError(f"duplicate node ids: {sorted(ids)}")
+            for node in nodes:
+                node.attach(self)
+                self._nodes[node.node_id] = node
 
     @property
-    def node_ids(self) -> list[int]:
+    def lazy_nodes(self) -> LazyNodeTable | None:
+        """The lazy node table, when this cluster was built over one."""
+        return self._lazy
+
+    @property
+    def node_ids(self) -> "list[int] | range":
+        if self._lazy is not None:
+            return self._lazy.ids()
         return sorted(self._nodes)
 
     def node(self, node_id: int) -> Node:
         try:
             return self._nodes[node_id]
         except KeyError:
+            if self._lazy is not None:
+                node = self._lazy.build(node_id)  # raises on unknown id
+                node.attach(self)
+                self._nodes[node_id] = node
+                return node
             raise ProtocolError(f"unknown node id {node_id}") from None
+
+    def bump_received(self, unique_dst: np.ndarray, counts: np.ndarray) -> None:
+        """Credit batched deliveries to many receivers at once.
+
+        In lazy mode this is one array op on the shared counter column;
+        in eager mode it applies the same bumps node by node (ascending
+        destination, matching the historical per-receiver loop)."""
+        if self._lazy is not None:
+            self._lazy.bump(unique_dst, counts)
+            return
+        node = self.node
+        for dst, bump in zip(unique_dst.tolist(), counts.tolist()):
+            node(dst).received_count += bump
 
     def set_link(self, src: int, dst: int, link: Link) -> None:
         """Override the link used for ``src -> dst`` messages."""

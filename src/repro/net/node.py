@@ -4,13 +4,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
+import numpy as np
+
 from repro.exceptions import ProtocolError
 from repro.net.message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.cluster import Cluster
 
-__all__ = ["Node"]
+__all__ = ["Node", "LazyNodeTable"]
 
 Handler = Callable[[Message], None]
 
@@ -82,3 +84,60 @@ class Node:
             )
         self.received_count += 1
         handler(message)
+
+
+class LazyNodeTable:
+    """A virtual node roster of ``count`` ids with on-demand hydration.
+
+    Constructing a :class:`~repro.net.cluster.Cluster` normally requires
+    every :class:`Node` object up front — at N=10⁶ that is exactly the
+    per-peer object wall the struct-of-arrays peer store exists to
+    avoid. A ``LazyNodeTable`` stands in for the node sequence: it knows
+    how many nodes exist (ids are dense ``0..count-1``), shares the
+    store's packed ``received_count``/``failed`` columns so bulk
+    delivery accounting is two array ops, and builds a real node object
+    through ``factory`` only when some code path addresses that id as an
+    object (``Cluster.node`` caches the result).
+
+    Hydration is observably free: the factory's views read and write the
+    same packed columns, so a count bumped through :meth:`bump` before
+    hydration is visible on the view afterwards, and vice versa.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        factory: Callable[[int], "Node"],
+        received_count: "np.ndarray",
+        failed: "np.ndarray",
+    ) -> None:
+        if count <= 0:
+            raise ProtocolError("a node table needs at least one node")
+        self.count = int(count)
+        self._factory = factory
+        #: Packed delivery counters, shared with the peer store.
+        self.received_count = received_count
+        #: Packed liveness flags, shared with the peer store.
+        self.failed = failed
+        if received_count.shape != (self.count,) or failed.shape != (self.count,):
+            raise ProtocolError("node table column shapes do not match count")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, node_id: object) -> bool:
+        return isinstance(node_id, int) and 0 <= node_id < self.count
+
+    def ids(self) -> range:
+        return range(self.count)
+
+    def build(self, node_id: int) -> "Node":
+        """Hydrate the node object for ``node_id`` (uncached — the
+        cluster owns the cache)."""
+        if not 0 <= node_id < self.count:
+            raise ProtocolError(f"unknown node id {node_id}")
+        return self._factory(int(node_id))
+
+    def bump(self, unique_dst: "np.ndarray", counts: "np.ndarray") -> None:
+        """Credit deliveries to many receivers in one array op."""
+        self.received_count[unique_dst] += counts

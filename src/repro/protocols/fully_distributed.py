@@ -20,6 +20,7 @@ decisions — the O(N^2) row of §IV-C.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -31,6 +32,7 @@ from repro.core.interface import identify_straggler
 from repro.core.ledger import LedgerEntry, RoundLedger
 from repro.core.loop import RunResult
 from repro.core.membership import add_worker_allocation
+from repro.core.peerstore import LedgerBook, PeerStore
 from repro.core.step_size import feasibility_cap, initial_step_size
 from repro.costs.affine_vector import AffineCostVector
 from repro.costs.base import CostFunction
@@ -41,7 +43,7 @@ from repro.net.batch import BatchedCluster, DeliveryPlan, default_chunk_frames
 from repro.net.cluster import Cluster
 from repro.net.links import Link
 from repro.net.message import FrameBatch, Message
-from repro.net.node import Node
+from repro.net.node import LazyNodeTable, Node
 from repro.net.topology import Topology, connected_components
 from repro.obs.profiler import Profiler
 from repro.obs.tracer import Tracer
@@ -57,6 +59,35 @@ TAG_FLOOD = "flood"
 #: Env default for the compiled tree round's shard thread count (the
 #: ``shard_threads`` constructor parameter wins when passed).
 SHARD_THREADS_ENV = "REPRO_SHARD_THREADS"
+
+#: Env default for the compiled tree round's shard *process* count (the
+#: ``shard_procs`` constructor parameter wins when passed). Processes
+#: sidestep the GIL entirely — see :mod:`repro.backend.shardpool`.
+SHARD_PROCS_ENV = "REPRO_SHARD_PROCS"
+
+#: Env default for the struct-of-arrays peer store (the ``peer_store``
+#: constructor parameter wins when passed). Off by default: tier-1 runs
+#: the historical object peers.
+PEER_STORE_ENV = "REPRO_PEER_STORE"
+
+_warned_shard_procs_fallback = False
+
+
+def _warn_shard_procs_fallback(exc: BaseException) -> None:
+    """Warn once per process when ``shard_procs > 1`` was requested but
+    the process layer could not be established (pool spawn failure, no
+    shared-memory support); execution falls back to threads/serial."""
+    global _warned_shard_procs_fallback
+    if _warned_shard_procs_fallback:
+        return
+    _warned_shard_procs_fallback = True
+    warnings.warn(
+        "shard_procs > 1 requested but the process-parallel layer is "
+        f"unavailable ({exc!r}); falling back to thread/serial shard "
+        "execution (results are identical, just slower)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class _Peer(Node):
@@ -318,6 +349,153 @@ class _Peer(Node):
         return True
 
 
+class _StorePeer(_Peer):
+    """A flyweight ``_Peer`` whose scalar state lives in a
+    :class:`~repro.core.peerstore.PeerStore`.
+
+    Hydrated lazily (via the cluster's :class:`~repro.net.node.
+    LazyNodeTable`) only when some code path addresses the peer as an
+    object — the event engine, the python fast paths, chaos tooling,
+    tests. Every scalar field the object peer stores on itself is a
+    property over the packed arrays here, so views and array code see
+    one state. Transient per-round containers (``_peer_costs``,
+    ``_peer_decisions``, ``_seen_floods``) and the ``cost_fn`` object
+    stay on the view: they hold python objects, exist only around
+    event-engine rounds, and are empty on every peer a clean round
+    never hydrates.
+    """
+
+    def __init__(self, store: PeerStore, node_id: int, num_workers: int) -> None:
+        # Deliberately NOT calling _Peer/Node.__init__: both assign
+        # defaults (x, received_count=0, failed=False, ...) that would
+        # clobber live store state through the property setters.
+        self._store = store
+        self.node_id = int(node_id)
+        self._handlers = {}
+        self._cluster = None
+        self.num_workers = int(num_workers)
+        self.neighbors = None
+        self.cost_fn = None
+        self.cost_timeout = 1.0
+        self._peer_costs = {}
+        self._peer_decisions = {}
+        self._seen_floods = set()
+        self.on(TAG_COST, self._on_cost)
+        self.on(TAG_DECISION, self._on_decision)
+        self.on(TAG_FLOOD, self._on_flood)
+
+    @property
+    def x(self) -> float:
+        return float(self._store.x[self.node_id])
+
+    @x.setter
+    def x(self, value: float) -> None:
+        self._store.x[self.node_id] = value
+
+    @property
+    def alpha_bar(self) -> float:
+        return float(self._store.alpha_bar[self.node_id])
+
+    @alpha_bar.setter
+    def alpha_bar(self, value: float) -> None:
+        self._store.alpha_bar[self.node_id] = value
+
+    @property
+    def local_cost(self) -> float | None:
+        value = self._store.local_cost[self.node_id]
+        return None if np.isnan(value) else float(value)
+
+    @local_cost.setter
+    def local_cost(self, value: float | None) -> None:
+        self._store.local_cost[self.node_id] = (
+            np.nan if value is None else value
+        )
+
+    @property
+    def current_round(self) -> int:
+        return int(self._store.current_round[self.node_id])
+
+    @current_round.setter
+    def current_round(self, value: int) -> None:
+        self._store.current_round[self.node_id] = value
+
+    @property
+    def is_straggler(self) -> bool:
+        return bool(self._store.is_straggler[self.node_id])
+
+    @is_straggler.setter
+    def is_straggler(self, value: bool) -> None:
+        self._store.is_straggler[self.node_id] = value
+
+    @property
+    def global_cost(self) -> float | None:
+        value = self._store.global_cost[self.node_id]
+        return None if np.isnan(value) else float(value)
+
+    @global_cost.setter
+    def global_cost(self, value: float | None) -> None:
+        self._store.global_cost[self.node_id] = (
+            np.nan if value is None else value
+        )
+
+    @property
+    def straggler_id(self) -> int | None:
+        value = int(self._store.straggler_id[self.node_id])
+        return None if value < 0 else value
+
+    @straggler_id.setter
+    def straggler_id(self, value: int | None) -> None:
+        self._store.straggler_id[self.node_id] = -1 if value is None else value
+
+    @property
+    def failed(self) -> bool:
+        return bool(self._store.failed[self.node_id])
+
+    @failed.setter
+    def failed(self, value: bool) -> None:
+        self._store.failed[self.node_id] = value
+
+    @property
+    def received_count(self) -> int:
+        return int(self._store.received_count[self.node_id])
+
+    @received_count.setter
+    def received_count(self, value: int) -> None:
+        self._store.received_count[self.node_id] = value
+
+    @property
+    def roster(self):
+        return self._store.roster_of(self.node_id)
+
+    @roster.setter
+    def roster(self, value) -> None:
+        self._store.set_roster(self.node_id, value)
+
+
+class _PeerSeq(Sequence):
+    """``protocol.peers`` in store mode: a sequence of lazily hydrated
+    :class:`_StorePeer` views (the cluster's node cache is the single
+    view cache, so ``peers[i] is cluster.node(i)``)."""
+
+    def __init__(self, protocol: "FullyDistributedDolbie") -> None:
+        self._protocol = protocol
+
+    def __len__(self) -> int:
+        return self._protocol.num_workers
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        return self._protocol.cluster.node(index)
+
+    def __iter__(self):
+        cluster = self._protocol.cluster
+        for i in range(len(self)):
+            yield cluster.node(i)
+
+
 class _CompiledTreeRound:
     """Everything the compiled tree round precomputes for one roster.
 
@@ -356,10 +534,9 @@ class _CompiledTreeRound:
         self.m = m
         self.parts = np.ascontiguousarray(tree.participants, dtype=np.int64)
         self.n_parts = int(self.parts.size)
-        part_set = set(self.key)
-        self.nonparticipants = np.array(
-            [i for i in range(n) if i not in part_set], dtype=np.int64
-        )
+        member_mask = np.zeros(n, dtype=bool)
+        member_mask[self.parts] = True
+        self.nonparticipants = np.flatnonzero(~member_mask)
         shard_sizes = np.array([len(s) for s in tree.shards], dtype=np.int64)
         self.full_offsets = np.concatenate(
             ([0], np.cumsum(shard_sizes)[:-1])
@@ -428,19 +605,88 @@ class _CompiledTreeRound:
         self.acc_sum = np.empty(m, dtype=dtype)
         self.x_arr = np.empty(n, dtype=float)
         self.alpha_arr = np.empty(n, dtype=float)
+        self._store = protocol._store
         #: Bound unchecked-append methods of the participants' ledger
         #: replicas (validated once on the authoritative ledger per
         #: round; see :meth:`repro.core.ledger.RoundLedger.replicate`).
-        self.replicas: list[Callable] = [
-            protocol._worker_ledgers[i].replicate for i in self.participants
-        ]
+        #: In store mode the :class:`~repro.core.peerstore.LedgerBook`
+        #: fans entries out vectorized instead.
+        if protocol._worker_ledgers is not None:
+            self.replicas: list[Callable] = [
+                protocol._worker_ledgers[i].replicate
+                for i in self.participants
+            ]
+        else:
+            self.replicas = []
+        #: Process-parallel shard execution (Layer 10): one shared
+        #: segment per compiled-round epoch carrying the static index
+        #: arrays, the per-round staging vectors, and every kernel
+        #: output; ``None`` when ``shard_procs == 1`` or the process
+        #: layer is unavailable (thread/serial fallback).
+        self.shm = None
+        self.proc_pool = None
+        if protocol.shard_procs > 1:
+            try:
+                from repro.backend import shardpool
 
-    def resync(self, peers: "list[_Peer]") -> None:
+                pool = shardpool.get_pool(protocol.shard_procs)
+                shm = shardpool.RoundShm(
+                    {
+                        "parts": (np.int64, (self.n_parts,)),
+                        "full_offsets": (np.int64, (m,)),
+                        "ends": (np.int64, (m,)),
+                        "local": (dtype, (n,)),
+                        "alphas": (np.float64, (n,)),
+                        "x_new": (dtype, (n,)),
+                        "ordered_local": (dtype, (self.n_parts,)),
+                        "ordered_alpha": (np.float64, (self.n_parts,)),
+                        "ordered_x": (dtype, (self.n_parts,)),
+                        "out_max": (dtype, (m,)),
+                        "out_arg": (np.int64, (m,)),
+                        "out_alpha": (dtype, (m,)),
+                        "acc_sum": (dtype, (m,)),
+                    }
+                )
+            except Exception as exc:  # fall back to threads/serial
+                _warn_shard_procs_fallback(exc)
+            else:
+                arrays = shm.arrays
+                arrays["parts"][:] = self.parts
+                arrays["full_offsets"][:] = self.full_offsets
+                arrays["ends"][:] = self.ends
+                # The segment's views become the canonical buffers so
+                # parent-side serial code (combine passes, final
+                # writes) reads the children's output zero-copy.
+                self.parts = arrays["parts"]
+                self.full_offsets = arrays["full_offsets"]
+                self.ends = arrays["ends"]
+                self.out_max = arrays["out_max"]
+                self.out_arg = arrays["out_arg"]
+                self.out_alpha = arrays["out_alpha"]
+                self.acc_sum = arrays["acc_sum"]
+                self.alpha_arr = arrays["alphas"]
+                self.shm = shm
+                self.proc_pool = pool
+
+    def release(self) -> None:
+        """Tear down epoch-owned process resources (the shared segment);
+        called on every membership-churn invalidation. The worker pool
+        itself is process-global and outlives epochs."""
+        if self.shm is not None:
+            shm, self.shm = self.shm, None
+            self.proc_pool = None
+            shm.release()
+
+    def resync(self, peers: "Sequence[_Peer]") -> None:
         """Refresh the x/alpha mirrors from live peer state (needed
         whenever a non-compiled round or a membership event touched the
         peers since the last compiled round)."""
-        self.x_arr[:] = [p.x for p in peers]
-        self.alpha_arr[:] = [p.alpha_bar for p in peers]
+        if self._store is not None:
+            self.x_arr[:] = self._store.x
+            self.alpha_arr[:] = self._store.alpha_bar
+        else:
+            self.x_arr[:] = [p.x for p in peers]
+            self.alpha_arr[:] = [p.alpha_bar for p in peers]
 
 
 class FullyDistributedDolbie:
@@ -463,6 +709,8 @@ class FullyDistributedDolbie:
         branching: int = 4,
         backend: "str | ArrayBackend | None" = None,
         shard_threads: int | None = None,
+        shard_procs: int | None = None,
+        peer_store: bool | None = None,
     ) -> None:
         """``topology`` restricts connectivity to a connected graph (see
         :class:`repro.net.topology.Topology`); per-round information then
@@ -506,6 +754,30 @@ class FullyDistributedDolbie:
         requires numba (the njit kernels release the GIL — the numpy
         fallbacks keep threading correct but not faster).
 
+        ``shard_procs`` (default ``$REPRO_SHARD_PROCS`` or 1) fans the
+        same disjoint shard ranges over a persistent **process** pool
+        instead, with the round vectors living in one
+        ``multiprocessing.shared_memory`` segment per compiled-round
+        epoch (:mod:`repro.backend.shardpool`) — no per-round pickling
+        of (N,) arrays. Same kernels, same ``np.linspace`` range split,
+        disjoint output slices: any process count is bit-identical to
+        serial. Beats threads wherever numba is absent (numpy holds the
+        GIL) and scales past it where numba is present. If the process
+        layer cannot be established the round falls back to the
+        thread/serial path with a one-time ``RuntimeWarning``; values
+        above 1 apply to compiled tree rounds only.
+
+        ``peer_store`` (default ``$REPRO_PEER_STORE`` or off) keeps all
+        peer scalar state in packed struct-of-arrays columns
+        (:class:`repro.core.peerstore.PeerStore`) instead of N python
+        peer objects, with node objects hydrated lazily as flyweight
+        views over the columns. Bit-identical observables — views read
+        and write the same arrays the compiled round uses — but roster
+        construction and checkpointing become O(N) array allocations,
+        which is what makes N=10⁶ tractable. Requires
+        ``topology=None`` (the complete graph; sparse-topology flooding
+        keeps per-peer handler state that the store does not model).
+
         ``tracer``/``profiler`` attach the observability layer (see
         :mod:`repro.obs`); trace payloads are identical on both
         execution paths."""
@@ -541,6 +813,23 @@ class FullyDistributedDolbie:
             raise ConfigurationError(
                 f"shard_threads must be >= 1, got {self.shard_threads}"
             )
+        if shard_procs is None:
+            raw = os.environ.get(SHARD_PROCS_ENV)
+            shard_procs = int(raw) if raw else 1
+        self.shard_procs = int(shard_procs)
+        if self.shard_procs < 1:
+            raise ConfigurationError(
+                f"shard_procs must be >= 1, got {self.shard_procs}"
+            )
+        if peer_store is None:
+            raw = os.environ.get(PEER_STORE_ENV, "")
+            peer_store = raw.strip().lower() in ("1", "true", "yes", "on")
+        self.peer_store = bool(peer_store)
+        if self.peer_store and topology is not None:
+            raise ConfigurationError(
+                "peer_store requires topology=None (the struct-of-arrays "
+                "store does not model per-peer flooding state)"
+            )
         self._shard_pool: ThreadPoolExecutor | None = None
         self._chunk_frames = default_chunk_frames()
         self.num_workers = int(num_workers)
@@ -560,19 +849,41 @@ class FullyDistributedDolbie:
         if alpha_1 is None:
             alpha_1 = initial_step_size(x0)
         full_roster = frozenset(range(num_workers))  # shared, never mutated
-        self.peers = [
-            _Peer(
-                i,
-                num_workers,
-                x0[i],
-                alpha_1,
-                neighbors=None if topology is None else topology.neighbors(i),
-                roster=full_roster,
+        if self.peer_store:
+            # Struct-of-arrays mode: peer scalar state lives in packed
+            # columns; node objects are flyweight views hydrated only
+            # for the ids some code path actually addresses.
+            self._store: PeerStore | None = PeerStore(
+                num_workers, x0, float(alpha_1), roster=full_roster
             )
-            for i in range(num_workers)
-        ]
-        self.cluster = Cluster(self.peers, default_link=link)
-        self._alive = [True] * num_workers
+            table = LazyNodeTable(
+                num_workers,
+                self._hydrate_peer,
+                self._store.received_count,
+                self._store.failed,
+            )
+            self.cluster = Cluster(table, default_link=link)
+            self.peers: "Sequence[_Peer]" = _PeerSeq(self)
+            self._alive: "list[bool] | np.ndarray" = np.ones(
+                num_workers, dtype=bool
+            )
+        else:
+            self._store = None
+            self.peers = [
+                _Peer(
+                    i,
+                    num_workers,
+                    x0[i],
+                    alpha_1,
+                    neighbors=(
+                        None if topology is None else topology.neighbors(i)
+                    ),
+                    roster=full_roster,
+                )
+                for i in range(num_workers)
+            ]
+            self.cluster = Cluster(self.peers, default_link=link)
+            self._alive = [True] * num_workers
         #: Alive peers currently unreachable from the primary component
         #: (cut off by a partition or a dead relay); their shares are
         #: folded into the straggler until the topology heals.
@@ -607,9 +918,24 @@ class FullyDistributedDolbie:
         #: process memory is gone — while a checkpointed *restart*
         #: restores it (see :mod:`repro.core.ledger`).
         self.ledger = RoundLedger()
-        self._worker_ledgers: dict[int, RoundLedger] = {
-            i: RoundLedger() for i in range(num_workers)
-        }
+        if self.peer_store:
+            # Span-compressed replica bookkeeping: healthy replicas are
+            # contiguous runs of the authority, tracked as two int64
+            # columns instead of N RoundLedger objects.
+            self._worker_ledgers: "dict[int, RoundLedger] | None" = None
+            self._ledger_book: LedgerBook | None = LedgerBook(
+                num_workers, self.ledger
+            )
+        else:
+            self._worker_ledgers = {
+                i: RoundLedger() for i in range(num_workers)
+            }
+            self._ledger_book = None
+
+    def _hydrate_peer(self, node_id: int) -> "_StorePeer":
+        """Factory the lazy node table uses to build flyweight peer
+        views over the store columns (cached by the cluster)."""
+        return _StorePeer(self._store, node_id, self.num_workers)
 
     def crash_worker(self, worker: int) -> None:
         """Silence ``worker`` from the next round on. Surviving peers'
@@ -621,10 +947,16 @@ class FullyDistributedDolbie:
             raise ConfigurationError(f"worker index {worker} out of range")
         self._alive[worker] = False
         self._stalled.discard(worker)
-        self.peers[worker].failed = True
+        if self._store is not None:
+            self._store.failed[worker] = True  # no need to hydrate a view
+        else:
+            self.peers[worker].failed = True
         self._invalidate_compiled_round()
         # Process memory is gone: the peer's ledger replica dies with it.
-        self._worker_ledgers[worker] = RoundLedger()
+        if self._ledger_book is not None:
+            self._ledger_book.wipe(worker)
+        else:
+            self._worker_ledgers[worker] = RoundLedger()
         emit_membership(
             self.tracer, self.cluster.trace_round, "crash", [worker],
             self.roster,
@@ -647,7 +979,10 @@ class FullyDistributedDolbie:
         if self._alive[worker] and worker not in self._stalled:
             raise ConfigurationError(f"worker {worker} is already active")
         self._alive[worker] = True
-        self.peers[worker].failed = False
+        if self._store is not None:
+            self._store.failed[worker] = False
+        else:
+            self.peers[worker].failed = False
         self._invalidate_compiled_round()
         self._readmit(worker, share)
         emit_membership(
@@ -657,6 +992,8 @@ class FullyDistributedDolbie:
 
     def worker_ledger(self, worker: int) -> RoundLedger:
         """``worker``'s replica of the round ledger."""
+        if self._ledger_book is not None:
+            return self._ledger_book.worker_ledger(worker)
         return self._worker_ledgers[worker]
 
     def restore_worker_ledger(
@@ -664,7 +1001,10 @@ class FullyDistributedDolbie:
     ) -> None:
         """Reload ``worker``'s ledger replica from a checkpoint (the
         restart fault's recovery path; a plain rejoin starts empty)."""
-        self._worker_ledgers[worker] = RoundLedger(entries)
+        if self._ledger_book is not None:
+            self._ledger_book.restore_replica(worker, entries)
+        else:
+            self._worker_ledgers[worker] = RoundLedger(entries)
         # The compiled cache holds bound methods of the old replica.
         self._invalidate_compiled_round()
 
@@ -676,10 +1016,16 @@ class FullyDistributedDolbie:
         ledger replica the cache holds bound methods of; ``_readmit``
         rewrites allocations and step sizes behind the mirrors."""
         self._membership_dirty = True
-        self._compiled_cache = None
+        if self._compiled_cache is not None:
+            # Epoch teardown: the shared segment (if any) belongs to the
+            # dropped round cache and must be unlinked now, not at GC.
+            self._compiled_cache.release()
+            self._compiled_cache = None
 
     def _participants(self) -> list[int]:
         """Peers expected to take part in the next round."""
+        if self._store is not None and not self._stalled:
+            return np.flatnonzero(self._alive).tolist()
         return [
             i
             for i in range(self.num_workers)
@@ -697,6 +1043,9 @@ class FullyDistributedDolbie:
             raise ConfigurationError(
                 f"cannot rejoin worker {worker}: no live quorum to join"
             )
+        if self._store is not None:
+            self._readmit_store(worker, incumbents, share)
+            return
         if incumbents and all(
             worker in self.peers[i].roster for i in incumbents
         ):
@@ -723,6 +1072,40 @@ class FullyDistributedDolbie:
         consensus = min(self.peers[i].alpha_bar for i in incumbents)
         cap = feasibility_cap(float(x_new[-1]), len(new_roster))
         self.peers[worker].alpha_bar = min(consensus, cap)
+
+    def _readmit_store(
+        self, worker: int, incumbents: list[int], share: float | None
+    ) -> None:
+        """:meth:`_readmit` over the packed store: the same arithmetic
+        as the object path, expressed as array slices — no peer views
+        are hydrated."""
+        store = self._store
+        if not store.roster_overrides:
+            # Every incumbent shares the one roster: the object path's
+            # all(...) membership scan collapses to a single lookup.
+            if worker in store.shared_roster:
+                return  # never dropped from the live rosters
+        elif all(worker in store.roster_of(i) for i in incumbents):
+            return
+        inc = np.asarray(incumbents, dtype=np.int64)
+        x_live = store.x[inc].copy()
+        total = float(x_live.sum())
+        if total > 1e-12:
+            x_live = x_live / total
+        else:  # pathological: the departed peers held ~all the workload
+            x_live = np.full(len(incumbents), 1.0 / len(incumbents))
+        x_new = add_worker_allocation(x_live, share)
+        store.x[inc] = x_new[:-1]
+        store.x[worker] = float(x_new[-1])
+        new_roster = frozenset(incumbents) | {worker}
+        # Dead and stalled peers keep the roster they last saw, exactly
+        # like the object path (which simply never touches them).
+        stale = np.flatnonzero(~np.asarray(self._alive)).tolist()
+        stale.extend(self._stalled)
+        store.rebind_roster(new_roster, stale_ids=stale)
+        consensus = float(store.alpha_bar[inc].min())
+        cap = feasibility_cap(float(x_new[-1]), len(new_roster))
+        store.alpha_bar[worker] = min(consensus, cap)
 
     def _reachable_components(self) -> list[set[int]]:
         """Components of the effective graph: alive peers, restricted to
@@ -751,6 +1134,8 @@ class FullyDistributedDolbie:
         """Peers whose process is running (may include peers stalled
         behind a partition — see :attr:`roster` for the coordinating
         quorum)."""
+        if self._store is not None:
+            return np.flatnonzero(self._alive).tolist()
         return [i for i in range(self.num_workers) if self._alive[i]]
 
     @property
@@ -763,12 +1148,16 @@ class FullyDistributedDolbie:
 
     @property
     def allocation(self) -> np.ndarray:
+        if self._store is not None:
+            return self._store.x.copy()
         return np.array([p.x for p in self.peers])
 
     @property
     def alpha(self) -> float:
         """The consensus step size the *next* round will use (the min
         over the active quorum's local step sizes)."""
+        if self._store is not None:
+            return float(self._store.alpha_bar[self._participants()].min())
         return min(self.peers[i].alpha_bar for i in self._participants())
 
     @property
@@ -788,9 +1177,21 @@ class FullyDistributedDolbie:
             and self.aggregation == "flat"
             and self.topology is None
             and len(participants) == self.num_workers
-            and all(len(p.roster) == self.num_workers for p in self.peers)
+            and self._rosters_full()
             and self.cluster.batch_eligible()
         )
+
+    def _rosters_full(self) -> bool:
+        """Every peer's local roster is complete (length N)."""
+        if self._store is not None:
+            # The store's roster contract makes this O(overrides), not
+            # O(N): peers without an override share one frozenset.
+            store = self._store
+            return len(store.shared_roster) == self.num_workers and all(
+                len(r) == self.num_workers
+                for r in store.roster_overrides.values()
+            )
+        return all(len(p.roster) == self.num_workers for p in self.peers)
 
     def _tree_eligible(self, participants: list[int]) -> bool:
         """Whether this round can run hierarchical (tree) aggregation.
@@ -811,11 +1212,26 @@ class FullyDistributedDolbie:
             and self.aggregation == "tree"
             and self.topology is None
             and len(participants) >= 2
-            and all(
-                len(self.peers[i].roster) == len(participants)
-                for i in participants
-            )
+            and self._rosters_agree(participants)
             and self.cluster.batch_eligible()
+        )
+
+    def _rosters_agree(self, participants: list[int]) -> bool:
+        """Every participant's local roster matches the participant set
+        (by length — the O(1)-per-peer proxy documented above)."""
+        if self._store is not None:
+            store = self._store
+            if not store.roster_overrides:
+                # One shared roster for everyone — a single length check
+                # replaces the N-peer scan (and hydrates no views).
+                return len(store.shared_roster) == len(participants)
+            want = len(participants)
+            return all(
+                len(store.roster_of(i)) == want for i in participants
+            )
+        return all(
+            len(self.peers[i].roster) == len(participants)
+            for i in participants
         )
 
     def _tree_structures(self, participants: list[int]) -> tuple:
@@ -957,15 +1373,31 @@ class FullyDistributedDolbie:
         backend.ensure(local, "local costs")
 
         # Participant-ordered views (phase A payloads + reduction input).
-        ordered_local = np.empty(cc.n_parts, dtype=local.dtype)
-        ordered_alpha = np.empty(cc.n_parts, dtype=alphas.dtype)
-        self._map_ranges(
-            cc.n_parts,
-            lambda lo, hi: (
-                kernels.gather(local, parts, ordered_local, lo, hi),
-                kernels.gather(alphas, parts, ordered_alpha, lo, hi),
-            ),
-        )
+        shm = cc.shm
+        if shm is not None:
+            from repro.backend import shardpool
+
+            # Stage the one freshly computed input into the shared
+            # segment; alphas already live there (cc.alpha_arr *is* the
+            # segment's view), and all outputs are written in place by
+            # the children — nothing else crosses a process boundary.
+            shm.arrays["local"][:] = local
+            ordered_local = shm.arrays["ordered_local"]
+            ordered_alpha = shm.arrays["ordered_alpha"]
+            shardpool.run_ranges(
+                cc.proc_pool, shm, cc.n_parts, "tree_gather_reports",
+                self.shard_procs,
+            )
+        else:
+            ordered_local = np.empty(cc.n_parts, dtype=local.dtype)
+            ordered_alpha = np.empty(cc.n_parts, dtype=alphas.dtype)
+            self._map_ranges(
+                cc.n_parts,
+                lambda lo, hi: (
+                    kernels.gather(local, parts, ordered_local, lo, hi),
+                    kernels.gather(alphas, parts, ordered_alpha, lo, hi),
+                ),
+            )
 
         # Lines 5-7 as flat reductions, kept (cheap) to cross-check the
         # tree combine exactly like the python tree path does.
@@ -992,13 +1424,18 @@ class FullyDistributedDolbie:
         # Per-shard consensus + up-tree semilattice combine (phase B's
         # aggregates), fused.
         out_max, out_arg, out_alpha = cc.out_max, cc.out_arg, cc.out_alpha
-        self._map_ranges(
-            m,
-            lambda lo, hi: kernels.shard_consensus(
-                ordered_local, ordered_alpha, parts, cc.full_offsets,
-                cc.ends, out_max, out_arg, out_alpha, lo, hi,
-            ),
-        )
+        if shm is not None:
+            shardpool.run_ranges(
+                cc.proc_pool, shm, m, "tree_consensus", self.shard_procs
+            )
+        else:
+            self._map_ranges(
+                m,
+                lambda lo, hi: kernels.shard_consensus(
+                    ordered_local, ordered_alpha, parts, cc.full_offsets,
+                    cc.ends, out_max, out_arg, out_alpha, lo, hi,
+                ),
+            )
         kernels.combine_up_consensus(
             out_max, out_arg, out_alpha, cc.order, cc.parent64
         )
@@ -1074,20 +1511,34 @@ class FullyDistributedDolbie:
                 kernels.scatter_max(sum_ready, shard_idx, arrivals)
 
         # Phase F: documented-order decision sums + up-tree frames.
-        ordered_x = np.empty(cc.n_parts, dtype=x_new.dtype)
-        self._map_ranges(
-            cc.n_parts,
-            lambda lo, hi: kernels.gather(x_new, parts, ordered_x, lo, hi),
-        )
         exclude_pos = int(np.searchsorted(parts, straggler))
         acc_sum = cc.acc_sum
-        self._map_ranges(
-            m,
-            lambda lo, hi: kernels.shard_decision_sums(
-                ordered_x, cc.full_offsets, cc.ends, exclude_pos, acc_sum,
-                lo, hi,
-            ),
-        )
+        if shm is not None:
+            shm.arrays["x_new"][:] = x_new
+            ordered_x = shm.arrays["ordered_x"]
+            shardpool.run_ranges(
+                cc.proc_pool, shm, cc.n_parts, "tree_gather_x",
+                self.shard_procs,
+            )
+            shardpool.run_ranges(
+                cc.proc_pool, shm, m, "tree_sums", self.shard_procs,
+                extra=(exclude_pos,),
+            )
+        else:
+            ordered_x = np.empty(cc.n_parts, dtype=x_new.dtype)
+            self._map_ranges(
+                cc.n_parts,
+                lambda lo, hi: kernels.gather(
+                    x_new, parts, ordered_x, lo, hi
+                ),
+            )
+            self._map_ranges(
+                m,
+                lambda lo, hi: kernels.shard_decision_sums(
+                    ordered_x, cc.full_offsets, cc.ends, exclude_pos,
+                    acc_sum, lo, hi,
+                ),
+            )
         kernels.combine_up_sums(acc_sum, cc.order, cc.parent64)
         backend.ensure(acc_sum, "decision partial sums")
         for level, parent_lv, _plan_b, plan_f in cc.up_levels:
@@ -1124,20 +1575,35 @@ class FullyDistributedDolbie:
             x_new[cc.nonparticipants] = 0.0
         local64 = np.full(n, np.nan)
         local64[parts] = np.asarray(ordered_local, dtype=float)
-        x_list = x_new.tolist()
-        for i in cc.participants:
-            peer = peers[i]
-            peer.current_round = round_index
-            peer.global_cost = global_cost
-            peer.straggler_id = straggler
-            peer.x = x_list[i]
-        straggler_peer = peers[straggler]
-        straggler_peer.alpha_bar = min(
-            straggler_peer.alpha_bar,
-            feasibility_cap(x_close, len(participants)),
-        )  # line 13 / Eq. (8)
-        cc.x_arr = x_new  # owned: x_list copied the values out
-        cc.alpha_arr[straggler] = straggler_peer.alpha_bar
+        store = self._store
+        if store is not None:
+            # The same slim write set, as four sliced array stores —
+            # zero peer views hydrated on a clean round.
+            store.current_round[parts] = round_index
+            store.global_cost[parts] = global_cost
+            store.straggler_id[parts] = straggler
+            store.x[parts] = x_new[parts]
+            straggler_alpha = min(
+                float(store.alpha_bar[straggler]),
+                feasibility_cap(x_close, len(participants)),
+            )  # line 13 / Eq. (8)
+            store.alpha_bar[straggler] = straggler_alpha
+        else:
+            x_list = x_new.tolist()
+            for i in cc.participants:
+                peer = peers[i]
+                peer.current_round = round_index
+                peer.global_cost = global_cost
+                peer.straggler_id = straggler
+                peer.x = x_list[i]
+            straggler_peer = peers[straggler]
+            straggler_peer.alpha_bar = min(
+                straggler_peer.alpha_bar,
+                feasibility_cap(x_close, len(participants)),
+            )  # line 13 / Eq. (8)
+            straggler_alpha = straggler_peer.alpha_bar
+        cc.x_arr = x_new  # owned: the store/peer writes copied values out
+        cc.alpha_arr[straggler] = straggler_alpha
 
         cc.batched.finish_round(final_now, events)
         self.last_tree = cc.tree
@@ -1650,8 +2116,11 @@ class FullyDistributedDolbie:
                 roster=cc.roster_tuple,
             )
             self.ledger.append(entry)
-            for replicate in cc.replicas:
-                replicate(entry)
+            if self._ledger_book is not None:
+                self._ledger_book.fanout_ids(cc.parts, entry)
+            else:
+                for replicate in cc.replicas:
+                    replicate(entry)
         else:
             entry = LedgerEntry(
                 round_index=round_index,
@@ -1660,8 +2129,11 @@ class FullyDistributedDolbie:
                 roster=tuple(self.roster),
             )
             self.ledger.append(entry)
-            for worker in entry.roster:
-                self._worker_ledgers[worker].append(entry)
+            if self._ledger_book is not None:
+                self._ledger_book.fanout(entry.roster, entry)
+            else:
+                for worker in entry.roster:
+                    self._worker_ledgers[worker].append(entry)
         if tracer is not None:
             roster_after = self.roster
             if roster_after != roster_before:

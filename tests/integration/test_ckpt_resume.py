@@ -45,6 +45,41 @@ def test_resume_is_bit_identical(tmp_path, architecture, engine):
     assert run_result_to_csv(full) == run_result_to_csv(resumed)
 
 
+def test_trace_is_serialized_incrementally(tmp_path):
+    # Each checkpoint's trace must extend the previous one's (the
+    # runner only encodes records appended since the last checkpoint)
+    # while the final snapshot still covers the full run.
+    store = CheckpointStore(tmp_path)
+    full_trace, _ = run_with_checkpoints(
+        "fd", "fast", WORKERS, ROUNDS, SEED,
+        store=store, checkpoint_every=4,
+    )
+    traces = [
+        store.load(t).state["trace"] for t in range(4, ROUNDS + 1, 4)
+    ]
+    for earlier, later in zip(traces, traces[1:]):
+        assert later[: len(earlier)] == earlier
+        assert len(later) > len(earlier)
+    assert all(store.load(t).state["trace_complete"]
+               for t in range(4, ROUNDS + 1, 4))
+
+
+def test_capture_trace_false_skips_trace_but_keeps_trajectory(tmp_path):
+    store = CheckpointStore(tmp_path)
+    _, full = run_with_checkpoints(
+        "fd", "fast", WORKERS, ROUNDS, SEED,
+        store=store, checkpoint_at=[CHECKPOINT_AT],
+        capture_trace=False,
+    )
+    snapshot = store.load(CHECKPOINT_AT)
+    assert snapshot.state["trace"] == []
+    assert snapshot.state["trace_complete"] is False
+    _, resumed = resume_run(snapshot)
+    assert np.array_equal(full.allocations, resumed.allocations)
+    assert np.array_equal(full.global_costs, resumed.global_costs)
+    assert np.array_equal(full.stragglers, resumed.stragglers)
+
+
 def test_resume_refuses_shorter_horizon(tmp_path):
     store = CheckpointStore(tmp_path)
     run_with_checkpoints(

@@ -23,6 +23,7 @@ from repro.exceptions import CheckpointError, ConfigurationError
 from repro.net.links import ConstantLatency, Link, UniformLatency
 from repro.obs import Tracer, diff_traces
 from repro.protocols.fully_distributed import (
+    SHARD_PROCS_ENV,
     SHARD_THREADS_ENV,
     FullyDistributedDolbie,
 )
@@ -125,6 +126,95 @@ class TestParallelShards:
         assert _protocol(10, backend="compiled").shard_threads == 1
         with pytest.raises(ConfigurationError, match="shard_threads"):
             _protocol(10, backend="compiled", shard_threads=0)
+
+
+class TestParallelProcs:
+    """The process layer (Layer 10): same disjoint-range rule as the
+    thread pool, so any process count must be bit-identical to serial —
+    including the acceptance pin at N=1000 with an empty trace diff."""
+
+    @pytest.mark.parametrize("procs", [2, 3])
+    def test_any_process_count_is_bit_identical_to_serial(self, procs):
+        n, horizon = 120, 4
+        serial = _protocol(n, backend="compiled", shard_procs=1)
+        parallel = _protocol(n, backend="compiled", shard_procs=procs)
+        result_serial = serial.run(_process(n), horizon)
+        result_parallel = parallel.run(_process(n), horizon)
+        _assert_observationally_equal(
+            serial, parallel, result_serial, result_parallel
+        )
+
+    def test_procs2_trace_diff_empty_and_ledgers_equal_at_n1000(self):
+        n, horizon = 1000, 3
+        runs = {}
+        for procs in (1, 2):
+            tracer = Tracer()
+            protocol = _protocol(
+                n, backend="compiled", shard_procs=procs, tracer=tracer
+            )
+            runs[procs] = (
+                protocol, protocol.run(_process(n), horizon), tracer
+            )
+            assert protocol.tree_rounds == horizon
+        diff = diff_traces(runs[1][2].trace, runs[2][2].trace)
+        assert diff.empty, diff.summary()
+        assert runs[1][0].ledger == runs[2][0].ledger
+        _assert_observationally_equal(
+            runs[1][0], runs[2][0], runs[1][1], runs[2][1]
+        )
+
+    def test_membership_churn_respawns_the_shared_segment(self):
+        # Crash/rejoin invalidates the compiled round: the old shm
+        # segment must be released and a fresh one attached, with the
+        # whole episode still bit-identical to serial.
+        n, seed = 60, 3
+        runs = {}
+        for procs in (1, 2):
+            protocol = _protocol(
+                n, backend="compiled", shard_size=8, shard_procs=procs
+            )
+            process = _process(n, seed=seed)
+            outcomes = []
+            for t in range(1, 13):
+                if t == 4:
+                    protocol.crash_worker(17)
+                if t == 8:
+                    protocol.rejoin_worker(17)
+                x, _, cost, straggler = protocol.run_round(
+                    t, process.costs_at(t)
+                )
+                outcomes.append((tuple(x), cost, straggler))
+            runs[procs] = (protocol, outcomes)
+        assert runs[1][1] == runs[2][1]
+        assert runs[1][0].ledger == runs[2][0].ledger
+
+    def test_env_default_and_validation(self, monkeypatch):
+        monkeypatch.setenv(SHARD_PROCS_ENV, "2")
+        assert _protocol(10, backend="compiled").shard_procs == 2
+        monkeypatch.delenv(SHARD_PROCS_ENV)
+        assert _protocol(10, backend="compiled").shard_procs == 1
+        with pytest.raises(ConfigurationError, match="shard_procs"):
+            _protocol(10, backend="compiled", shard_procs=0)
+
+    def test_pool_failure_falls_back_to_serial_with_warning(self, monkeypatch):
+        from repro.backend import shardpool
+        from repro.protocols import fully_distributed as fd
+
+        def broken_pool(procs):
+            raise OSError("no process pool here")
+
+        monkeypatch.setattr(shardpool, "get_pool", broken_pool)
+        monkeypatch.setattr(fd, "_warned_shard_procs_fallback", False)
+        serial = _protocol(40, backend="compiled", shard_procs=1)
+        degraded = _protocol(40, backend="compiled", shard_procs=2)
+        result_serial = serial.run(_process(40), 3)
+        # The compiled round (and with it the pool attempt) is built
+        # lazily on the first eligible round.
+        with pytest.warns(RuntimeWarning, match="shard_procs"):
+            result_degraded = degraded.run(_process(40), 3)
+        _assert_observationally_equal(
+            serial, degraded, result_serial, result_degraded
+        )
 
 
 class TestChaosSoak:

@@ -1,0 +1,131 @@
+"""Integration tests for the struct-of-arrays peer store (Layer 10).
+
+The store's contract has three parts, each pinned here: construction is
+O(N) array allocations with peers hydrated lazily as flyweight views
+(a clean compiled round hydrates nobody); the configuration surface
+(``peer_store=`` / ``$REPRO_PEER_STORE``) resolves and validates like
+the other knobs; and checkpoints cross modes — a snapshot taken in
+either peer representation restores into either, bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckpt.snapshot import Snapshot
+from repro.ckpt.state import capture_protocol, restore_protocol
+from repro.costs.timevarying import DriftingAffineProcess
+from repro.exceptions import ConfigurationError
+from repro.net.links import ConstantLatency, Link
+from repro.net.topology import Topology
+from repro.protocols.fully_distributed import (
+    PEER_STORE_ENV,
+    FullyDistributedDolbie,
+)
+
+
+def _process(n, seed=0):
+    speeds = [1.0 + 3.0 * (i / max(n - 1, 1)) for i in range(n)]
+    return DriftingAffineProcess(speeds, amplitude=0.25, period=40.0, seed=seed)
+
+
+def _protocol(n, **kwargs):
+    kwargs.setdefault("link", Link(ConstantLatency(0.001)))
+    return FullyDistributedDolbie(n, **kwargs)
+
+
+class TestConstructionAndHydration:
+    def test_clean_compiled_rounds_hydrate_no_peers(self):
+        n = 1000
+        protocol = _protocol(
+            n, aggregation="tree", backend="compiled", peer_store=True
+        )
+        process = _process(n)
+        for t in range(1, 4):
+            protocol.run_round(t, process.costs_at(t))
+        assert protocol.tree_rounds == 3
+        # The whole point of the store: a healthy compiled round works
+        # on the packed arrays and never materializes a peer object.
+        assert len(protocol.cluster._nodes) == 0
+
+    def test_hydrated_views_are_cached_flyweights(self):
+        protocol = _protocol(12, peer_store=True)
+        peer = protocol.peers[5]
+        assert protocol.peers[5] is peer
+        assert protocol.cluster.node(5) is peer
+        # A view mutation is a store mutation.
+        peer.alpha_bar = 0.125
+        assert protocol._store.alpha_bar[5] == 0.125
+
+    def test_store_arrays_are_packed_o_n(self):
+        n = 50_000
+        protocol = _protocol(
+            n, aggregation="tree", backend="compiled", peer_store=True
+        )
+        store = protocol._store
+        assert store.x.shape == (n,)
+        assert np.isclose(store.x.sum(), 1.0)
+        # One compiled round end-to-end at this N stays well inside
+        # tier-1 time.
+        process = _process(n)
+        protocol.run_round(1, process.costs_at(1))
+        assert protocol.tree_rounds == 1
+
+
+class TestConfiguration:
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv(PEER_STORE_ENV, "1")
+        assert _protocol(8)._store is not None
+        monkeypatch.delenv(PEER_STORE_ENV)
+        assert _protocol(8)._store is None
+
+    def test_explicit_parameter_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(PEER_STORE_ENV, "1")
+        assert _protocol(8, peer_store=False)._store is None
+
+    def test_topology_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="peer_store"):
+            _protocol(8, peer_store=True, topology=Topology.ring(8))
+
+
+class TestCrossModeCheckpoints:
+    @pytest.mark.parametrize("capture_store", [False, True])
+    @pytest.mark.parametrize("restore_store", [False, True])
+    def test_snapshot_crosses_peer_representations(
+        self, capture_store, restore_store
+    ):
+        n, seed = 24, 11
+        process = _process(n, seed=seed)
+
+        def make(peer_store):
+            return _protocol(
+                n, aggregation="tree", backend="compiled",
+                peer_store=peer_store,
+            )
+
+        source = make(capture_store)
+        for t in range(1, 5):
+            if t == 2:
+                source.crash_worker(7)
+            if t == 4:
+                source.rejoin_worker(7)
+            source.run_round(t, process.costs_at(t))
+        state = capture_protocol(source)
+
+        target = make(restore_store)
+        restore_protocol(target, state)
+        if capture_store == restore_store:
+            # Same representation: capture∘restore is the identity down
+            # to the fingerprint. (Cross-mode captures differ in their
+            # representation blocks; equality there is behavioral.)
+            assert (
+                Snapshot("run", 4, {}, capture_protocol(target)).fingerprint
+                == Snapshot("run", 4, {}, state).fingerprint
+            )
+        # Continuation equality always holds, cross-mode included.
+        for t in range(5, 8):
+            xa, _, ca, sa = source.run_round(t, process.costs_at(t))
+            xb, _, cb, sb = target.run_round(t, process.costs_at(t))
+            assert np.array_equal(xa, xb) and ca == cb and sa == sb
+        assert source.ledger == target.ledger
+        for w in range(n):
+            assert source.worker_ledger(w) == target.worker_ledger(w)

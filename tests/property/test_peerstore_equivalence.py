@@ -1,0 +1,115 @@
+"""Property-based bit-identity of the struct-of-arrays peer store.
+
+``peer_store=True`` swaps the FD protocol's N per-peer python objects
+for packed (N,) arrays behind the same peer/protocol API (see
+:mod:`repro.core.peerstore`). That is an execution-layer change, never a
+semantic one: for any worker count, seed, link distribution and
+crash/rejoin schedule, the store-mode run must reproduce the object-mode
+run *exactly* — allocation trajectories (``==``, not ``allclose``),
+consensus outcomes, ledger contents, communication accounting, virtual
+clock, and the position of every RNG stream the run consumed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.timevarying import RandomAffineProcess
+from repro.net.links import ConstantLatency, Link, UniformLatency
+from repro.protocols.fully_distributed import FullyDistributedDolbie
+
+
+@st.composite
+def configurations(draw):
+    n = draw(st.integers(4, 12))
+    seed = draw(st.integers(0, 2**16))
+    horizon = draw(st.integers(3, 10))
+    uniform_link = draw(st.booleans())
+    aggregation = draw(st.sampled_from(["flat", "tree"]))
+    # Crash/rejoin schedule: worker -> (crash round, optional rejoin
+    # round). Never crash everyone; rounds are 1-based.
+    crashed = draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=max(n - 2, 1))
+    )
+    schedule = {}
+    for worker in crashed:
+        crash_t = draw(st.integers(1, horizon))
+        rejoin_t = draw(
+            st.one_of(st.none(), st.integers(crash_t + 1, horizon + 1))
+        )
+        schedule[worker] = (crash_t, rejoin_t)
+    return n, seed, horizon, uniform_link, aggregation, schedule
+
+
+def _make_latency(uniform: bool, seed: int):
+    if uniform:
+        return UniformLatency(0.0005, 0.005, np.random.default_rng(seed))
+    return ConstantLatency(0.003)
+
+
+def _run(config, peer_store: bool):
+    n, seed, horizon, uniform_link, aggregation, schedule = config
+    speeds = [1.0 + (7 * i + seed) % 13 for i in range(n)]
+    process = RandomAffineProcess(speeds, sigma=0.2, comm_scale=0.05, seed=seed)
+    latency = _make_latency(uniform_link, seed)
+    protocol = FullyDistributedDolbie(
+        n,
+        link=Link(latency),
+        aggregation=aggregation,
+        peer_store=peer_store,
+    )
+    outcomes = []
+    for t in range(1, horizon + 1):
+        for worker, (crash_t, rejoin_t) in schedule.items():
+            if t == crash_t and len(protocol.alive_workers) > 2:
+                protocol.crash_worker(worker)
+            if rejoin_t is not None and t == rejoin_t:
+                if worker not in protocol.alive_workers:
+                    protocol.rejoin_worker(worker)
+        x, local, cost, straggler = protocol.run_round(t, process.costs_at(t))
+        outcomes.append((np.asarray(x).copy(), np.asarray(local).copy(),
+                         cost, straggler))
+    return protocol, outcomes, latency
+
+
+@given(configurations())
+@settings(max_examples=25, deadline=None)
+def test_store_mode_is_bit_identical_to_object_mode(config):
+    obj_protocol, obj_outcomes, obj_latency = _run(config, peer_store=False)
+    store_protocol, store_outcomes, store_latency = _run(config, peer_store=True)
+
+    # Decision trajectories: exact, not approximate (a dead worker's
+    # local cost is NaN on both sides — equal_nan covers it).
+    assert len(obj_outcomes) == len(store_outcomes)
+    for (xa, la, ca, sa), (xb, lb, cb, sb) in zip(obj_outcomes, store_outcomes):
+        assert np.array_equal(xa, xb)
+        assert np.array_equal(la, lb, equal_nan=True)
+        assert ca == cb and sa == sb
+    assert np.array_equal(obj_protocol.allocation, store_protocol.allocation)
+    assert obj_protocol.alpha == store_protocol.alpha
+    assert obj_protocol.alive_workers == store_protocol.alive_workers
+
+    # Ledgers: the blessed ledger and every worker replica.
+    assert obj_protocol.ledger == store_protocol.ledger
+    for w in range(obj_protocol.num_workers):
+        assert (
+            obj_protocol.worker_ledger(w) == store_protocol.worker_ledger(w)
+        ), f"worker {w} replica diverged"
+
+    # Execution substrate: same virtual clock, same message accounting,
+    # and — when the link draws randomness — the same RNG stream
+    # position (one extra draw anywhere would show up here).
+    assert obj_protocol.cluster.engine.now == store_protocol.cluster.engine.now
+    assert (
+        obj_protocol.metrics.messages_total
+        == store_protocol.metrics.messages_total
+    )
+    if hasattr(obj_latency, "_rng"):
+        assert (
+            obj_latency._rng.bit_generator.state
+            == store_latency._rng.bit_generator.state
+        )
+
+    # The store-mode run visibly ran the store (not a silent fallback).
+    assert store_protocol._store is not None
+    assert obj_protocol._store is None

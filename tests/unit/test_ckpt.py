@@ -112,9 +112,11 @@ class TestSnapshot:
             Snapshot.from_bytes(tampered)
 
     def test_version_mismatch_rejected(self):
+        # +1 is the blob container (BLOB_SNAPSHOT_VERSION); +2 is the
+        # first genuinely unknown schema version.
         alien = Snapshot(
             kind="run", round_index=1, config={}, state={},
-            version=SNAPSHOT_VERSION + 1,
+            version=SNAPSHOT_VERSION + 2,
         )
         with pytest.raises(ValueError, match="version"):
             Snapshot.from_bytes(alien.to_bytes())
